@@ -1,0 +1,168 @@
+//! Composite differentiable helpers built from the primitive ops.
+//!
+//! These are the loss fragments shared by the debiasing methods: weighted
+//! means over a mini-batch, masked squared error, clipped inverse-propensity
+//! weights, and the Gram-trick Frobenius penalties from the DT losses.
+
+use crate::{Graph, Var};
+use dt_tensor::Tensor;
+
+impl Graph {
+    /// Mean squared error `mean((a − b)²)`.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.sqr(d);
+        self.mean(sq)
+    }
+
+    /// Element-wise squared error `(a − b)²` (no reduction).
+    pub fn squared_error(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        self.sqr(d)
+    }
+
+    /// Mean of the element-wise product `w ⊙ x` — the building block for
+    /// every IPS/DR-style reweighted loss. `w` is typically a constant or a
+    /// detached propensity.
+    pub fn weighted_mean(&mut self, w: Var, x: Var) -> Var {
+        let p = self.mul(w, x);
+        self.mean(p)
+    }
+
+    /// Self-normalised weighted mean `Σ(w⊙x) / Σw` (the SNIPS estimator
+    /// core). Differentiable in both `w` and `x`.
+    pub fn self_normalized_mean(&mut self, w: Var, x: Var) -> Var {
+        let num0 = self.mul(w, x);
+        let num = self.sum(num0);
+        let den = self.sum(w);
+        self.div(num, den)
+    }
+
+    /// Mean binary cross-entropy with logits.
+    pub fn bce_mean(&mut self, logits: Var, targets: Var) -> Var {
+        let l = self.bce_with_logits(logits, targets);
+        self.mean(l)
+    }
+
+    /// Inverse of a clipped tensor: `1 / max(x, clip)` — the standard
+    /// propensity-clipping used by every IPS/DR variant in the paper.
+    pub fn clipped_inverse(&mut self, x: Var, clip: f64) -> Var {
+        let c = self.clamp(x, clip, f64::INFINITY);
+        let ones = self.constant(Tensor::ones(
+            self.value(x).rows(),
+            self.value(x).cols(),
+        ));
+        self.div(ones, c)
+    }
+
+    /// `‖AᵀB‖²_F` — the disentangling penalty between two embedding blocks
+    /// sharing a row dimension (cheap: the product is `k₁×k₂`).
+    pub fn disentangle_penalty(&mut self, a: Var, b: Var) -> Var {
+        let prod = self.matmul_tn(a, b);
+        self.frob_sq(prod)
+    }
+
+    /// `‖A·Bᵀ‖²_F` computed through the Gram identity
+    /// `trace((AᵀA)(BᵀB))` in `O((m+n)k²)` — the paper's regularisation
+    /// term at KuaiRec scale without materialising the `m×n` product.
+    pub fn cross_gram_penalty(&mut self, a: Var, b: Var) -> Var {
+        let ga = self.matmul_tn(a, a);
+        let gb = self.matmul_tn(b, b);
+        let prod = self.mul(ga, gb);
+        // trace(Ga·Gb) = Σ_ij Ga[i,j]·Gb[j,i]; both are symmetric so this
+        // equals the element-wise sum of Ga ⊙ Gb.
+        self.sum(prod)
+    }
+
+    /// Shannon-entropy confidence penalty `−mean(p·ln p + (1−p)·ln(1−p))`
+    /// over probabilities `p` (used by CVIB). Inputs are clamped away from
+    /// {0, 1} for numerical stability.
+    pub fn entropy_penalty(&mut self, p: Var) -> Var {
+        let pc = self.clamp(p, 1e-9, 1.0 - 1e-9);
+        let lnp = self.ln(pc);
+        let term1 = self.mul(pc, lnp);
+        let one = self.constant(Tensor::ones(
+            self.value(p).rows(),
+            self.value(p).cols(),
+        ));
+        let q = self.sub(one, pc);
+        let lnq = self.ln(q);
+        let term2 = self.mul(q, lnq);
+        let s = self.add(term1, term2);
+        let m = self.mean(s);
+        self.neg(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradcheck;
+
+    #[test]
+    fn mse_value() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::row_vec(&[1.0, 2.0]));
+        let b = g.constant(Tensor::row_vec(&[3.0, 2.0]));
+        let m = g.mse(a, b);
+        assert_eq!(g.item(m), 2.0);
+    }
+
+    #[test]
+    fn self_normalized_mean_value() {
+        let mut g = Graph::new();
+        let w = g.constant(Tensor::row_vec(&[1.0, 3.0]));
+        let x = g.constant(Tensor::row_vec(&[2.0, 4.0]));
+        let s = g.self_normalized_mean(w, x);
+        assert!((g.item(s) - (2.0 + 12.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipped_inverse_clips() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::row_vec(&[0.5, 0.001]));
+        let inv = g.clipped_inverse(x, 0.05);
+        assert_eq!(g.value(inv).data(), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn cross_gram_matches_direct() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 0.5]]);
+        let b = Tensor::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]]);
+        let mut g = Graph::new();
+        let av = g.constant(a.clone());
+        let bv = g.constant(b.clone());
+        let pen = g.cross_gram_penalty(av, bv);
+        let direct = a.matmul_nt(&b).frob_sq();
+        assert!((g.item(pen) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_gram_gradient_is_correct() {
+        let a = Tensor::from_rows(&[&[0.4, -0.3], &[0.2, 0.9]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.2], &[-0.5, 0.3], &[0.1, 0.1]]);
+        assert_gradcheck(&[a, b], 1e-5, |g, vars| {
+            g.cross_gram_penalty(vars[0], vars[1])
+        });
+    }
+
+    #[test]
+    fn disentangle_penalty_gradient_is_correct() {
+        let a = Tensor::from_rows(&[&[0.4, -0.3], &[0.2, 0.9], &[1.0, 0.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[0.5], &[-0.2]]);
+        assert_gradcheck(&[a, b], 1e-5, |g, vars| {
+            g.disentangle_penalty(vars[0], vars[1])
+        });
+    }
+
+    #[test]
+    fn entropy_penalty_max_at_half() {
+        let mut g = Graph::new();
+        let p_half = g.constant(Tensor::row_vec(&[0.5]));
+        let p_sure = g.constant(Tensor::row_vec(&[0.99]));
+        let e_half = g.entropy_penalty(p_half);
+        let e_sure = g.entropy_penalty(p_sure);
+        assert!(g.item(e_half) > g.item(e_sure));
+        assert!((g.item(e_half) - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Finite-difference verification of analytic gradients.
+//!
+//! Every op's backward rule in this crate is validated by comparing the
+//! tape's gradient against central differences of the forward computation.
+//! The harness is public so downstream crates (models, losses) can check
+//! their composite computations the same way.
+
+use dt_tensor::Tensor;
+
+use crate::{Graph, Var};
+
+/// Result of a gradient check for one input tensor.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f64,
+    /// Largest difference relative to `max(1, |numeric|)`.
+    pub max_rel_err: f64,
+}
+
+/// Checks the gradient of `build` with respect to every tensor in `inputs`.
+///
+/// `build` receives a fresh graph plus one differentiable leaf per input and
+/// must return a **scalar** output variable. Returns one report per input.
+///
+/// # Panics
+/// Panics if `build` returns a non-scalar variable.
+#[must_use]
+pub fn gradcheck(
+    inputs: &[Tensor],
+    eps: f64,
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Vec<GradCheckReport> {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let out = build(&mut g, &vars);
+    let analytic = g.backward_collect(out, &vars);
+
+    // Numeric pass: central differences per element.
+    let eval = |perturbed: &[Tensor]| -> f64 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
+        let out = build(&mut g, &vars);
+        g.item(out)
+    };
+
+    let mut reports = Vec::with_capacity(inputs.len());
+    for (k, input) in inputs.iter().enumerate() {
+        let mut max_abs = 0.0_f64;
+        let mut max_rel = 0.0_f64;
+        for idx in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[k].data_mut()[idx] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[k].data_mut()[idx] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[k].data()[idx];
+            let abs = (a - numeric).abs();
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(abs / numeric.abs().max(1.0));
+        }
+        reports.push(GradCheckReport {
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+    reports
+}
+
+/// Convenience assertion wrapper around [`gradcheck`].
+///
+/// # Panics
+/// Panics when any input's relative gradient error exceeds `tol`.
+pub fn assert_gradcheck(
+    inputs: &[Tensor],
+    tol: f64,
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) {
+    let reports = gradcheck(inputs, 1e-5, build);
+    for (k, r) in reports.iter().enumerate() {
+        assert!(
+            r.max_rel_err < tol,
+            "gradient check failed for input {k}: rel err {:.3e}, abs err {:.3e}",
+            r.max_rel_err,
+            r.max_abs_err
+        );
+    }
+}

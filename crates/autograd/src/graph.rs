@@ -1,0 +1,709 @@
+//! The tape: forward builders and the reverse sweep.
+
+use std::rc::Rc;
+
+use dt_tensor::Tensor;
+
+use crate::op::Op;
+use crate::params::{ParamId, Params};
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Var(usize);
+
+struct Node {
+    op: Op,
+    value: Rc<Tensor>,
+    requires_grad: bool,
+}
+
+/// A single-use computation tape.
+///
+/// Build the forward computation with the methods below (values are computed
+/// eagerly), then call [`Graph::backward`] once on a scalar loss. Training
+/// loops construct a fresh graph per mini-batch.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the tape is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value of a variable.
+    #[must_use]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The scalar value of a `1×1` variable.
+    ///
+    /// # Panics
+    /// Panics if the variable is not scalar-shaped.
+    #[must_use]
+    pub fn item(&self, v: Var) -> f64 {
+        self.value(v).item()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        let requires_grad = match &op {
+            Op::Leaf(param) => param.is_some(),
+            Op::Constant => false,
+            Op::Detach(_) => false,
+            other => other
+                .inputs()
+                .iter()
+                .any(|v| self.nodes[v.0].requires_grad),
+        };
+        self.nodes.push(Node {
+            op,
+            value: Rc::new(value),
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    // -- leaves ---------------------------------------------------------------
+
+    /// Mounts a parameter from `params` as a differentiable leaf.
+    pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
+        let value = params.value_rc(id);
+        self.nodes.push(Node {
+            op: Op::Leaf(Some(id)),
+            value,
+            requires_grad: true,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Mounts a non-trainable constant tensor.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Constant, value)
+    }
+
+    /// Mounts a `1×1` constant.
+    pub fn scalar(&mut self, value: f64) -> Var {
+        self.constant(Tensor::scalar(value))
+    }
+
+    /// Mounts a differentiable leaf that is not tied to a parameter store
+    /// (useful for gradient checking). Its gradient is retrievable through
+    /// [`Graph::backward_collect`].
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.nodes.push(Node {
+            op: Op::Leaf(None),
+            value: Rc::new(value),
+            requires_grad: true,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    // -- element-wise binary ----------------------------------------------------
+
+    /// `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// `a ⊙ b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// `a / b` element-wise.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div(self.value(b));
+        self.push(Op::Div(a, b), v)
+    }
+
+    // -- element-wise unary -------------------------------------------------------
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).neg();
+        self.push(Op::Neg(a), v)
+    }
+
+    /// `a + c`.
+    pub fn add_scalar(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(Op::AddScalar(a, c), v)
+    }
+
+    /// `c · a`.
+    pub fn mul_scalar(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(Op::MulScalar(a, c), v)
+    }
+
+    /// `a^p` element-wise.
+    pub fn pow_const(&mut self, a: Var, p: f64) -> Var {
+        let v = self.value(a).map(|x| x.powf(p));
+        self.push(Op::PowConst(a, p), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// `exp(a)`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// `ln(a)`.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::ln);
+        self.push(Op::Ln(a), v)
+    }
+
+    /// `√a`.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::sqrt);
+        self.push(Op::Sqrt(a), v)
+    }
+
+    /// `a²`.
+    pub fn sqr(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(Op::Sqr(a), v)
+    }
+
+    /// `clamp(a, lo, hi)`.
+    pub fn clamp(&mut self, a: Var, lo: f64, hi: f64) -> Var {
+        let v = self.value(a).clamp(lo, hi);
+        self.push(Op::Clamp(a, lo, hi), v)
+    }
+
+    // -- scalar-variable broadcast ---------------------------------------------------
+
+    /// `a · s` for a `1×1` variable `s`.
+    pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        let sv = self.item(s);
+        let v = self.value(a).scale(sv);
+        self.push(Op::MulScalarVar(a, s), v)
+    }
+
+    /// `a / s` for a `1×1` variable `s`.
+    pub fn div_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        let sv = self.item(s);
+        let v = self.value(a).scale(1.0 / sv);
+        self.push(Op::DivScalarVar(a, s), v)
+    }
+
+    // -- matrix --------------------------------------------------------------------
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `Aᵀ · B`.
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_tn(self.value(b));
+        self.push(Op::MatMulTN(a, b), v)
+    }
+
+    /// `A · Bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(Op::MatMulNT(a, b), v)
+    }
+
+    /// `Aᵀ`.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Row-wise dot product producing `n×1`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).row_dot(self.value(b));
+        self.push(Op::RowDot(a, b), v)
+    }
+
+    // -- reductions -------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(Op::Sum(a), v)
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(Op::Mean(a), v)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).frob_sq());
+        self.push(Op::FrobSq(a), v)
+    }
+
+    /// Per-row sums (`n×1`).
+    pub fn row_sums(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(Op::RowSums(a), v)
+    }
+
+    /// Per-column sums (`1×c`).
+    pub fn col_sums(&mut self, a: Var) -> Var {
+        let v = self.value(a).col_sums();
+        self.push(Op::ColSums(a), v)
+    }
+
+    // -- structural ----------------------------------------------------------------------
+
+    /// Row gather (embedding lookup).
+    pub fn gather(&mut self, table: Var, indices: Rc<Vec<usize>>) -> Var {
+        let v = self.value(table).gather_rows(&indices);
+        self.push(Op::Gather(table, indices), v)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Column slice `a[:, lo..hi]`.
+    pub fn slice_cols(&mut self, a: Var, lo: usize, hi: usize) -> Var {
+        let v = self.value(a).slice_cols(lo, hi);
+        self.push(Op::SliceCols(a, lo, hi), v)
+    }
+
+    /// `a + bias` with `bias: 1×c` broadcast over rows.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(bias));
+        self.push(Op::AddRowBroadcast(a, bias), v)
+    }
+
+    /// `a + bias` with `bias: r×1` broadcast over columns.
+    pub fn add_col_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_col_broadcast(self.value(bias));
+        self.push(Op::AddColBroadcast(a, bias), v)
+    }
+
+    // -- gradient control / losses ----------------------------------------------------------
+
+    /// Identity forward, zero backward.
+    pub fn detach(&mut self, a: Var) -> Var {
+        let v = self.value(a).clone();
+        self.push(Op::Detach(a), v)
+    }
+
+    /// Numerically stable element-wise BCE with logits.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Var) -> Var {
+        let v = self
+            .value(logits)
+            .zip_map(self.value(targets), |x, t| {
+                x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()
+            });
+        self.push(Op::BceWithLogits(logits, targets), v)
+    }
+
+    // -- backward ------------------------------------------------------------------------------
+
+    /// Reverse sweep from the scalar `loss`; gradients of parameter leaves
+    /// are accumulated into `params`.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not `1×1`.
+    pub fn backward(&self, loss: Var, params: &mut Params) {
+        let grads = self.run_backward(loss);
+        for (i, g) in grads.into_iter().enumerate() {
+            if let (Op::Leaf(Some(id)), Some(g)) = (&self.nodes[i].op, g) {
+                params.accumulate_grad(*id, &g);
+            }
+        }
+    }
+
+    /// Reverse sweep that returns the gradients of the requested variables
+    /// (used by gradient checking and the optimizer tests).
+    #[must_use]
+    pub fn backward_collect(&self, loss: Var, wanted: &[Var]) -> Vec<Tensor> {
+        let grads = self.run_backward(loss);
+        wanted
+            .iter()
+            .map(|v| {
+                grads[v.0].clone().unwrap_or_else(|| {
+                    let t = self.value(*v);
+                    Tensor::zeros(t.rows(), t.cols())
+                })
+            })
+            .collect()
+    }
+
+    fn run_backward(&self, loss: Var) -> Vec<Option<Tensor>> {
+        assert!(
+            self.value(loss).shape().is_scalar(),
+            "backward: loss must be 1x1, got {}",
+            self.value(loss).shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            let node = &self.nodes[i];
+            if node.requires_grad {
+                self.backprop_node(i, &g, &mut grads);
+            }
+            grads[i] = Some(g);
+        }
+        grads
+    }
+
+    fn acc(&self, grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
+        if !self.nodes[v.0].requires_grad && !matches!(self.nodes[v.0].op, Op::Leaf(None)) {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        use Op::*;
+        let val = |v: Var| -> &Tensor { &self.nodes[v.0].value };
+        let out = &self.nodes[i].value;
+        match self.nodes[i].op.clone() {
+            Leaf(_) | Constant | Detach(_) => {}
+
+            Add(a, b) => {
+                self.acc(grads, a, g.clone());
+                self.acc(grads, b, g.clone());
+            }
+            Sub(a, b) => {
+                self.acc(grads, a, g.clone());
+                self.acc(grads, b, g.neg());
+            }
+            Mul(a, b) => {
+                self.acc(grads, a, g.mul(val(b)));
+                self.acc(grads, b, g.mul(val(a)));
+            }
+            Div(a, b) => {
+                self.acc(grads, a, g.div(val(b)));
+                // d(a/b)/db = -a/b² = -out/b
+                let db = g.mul(out).div(val(b)).neg();
+                self.acc(grads, b, db);
+            }
+
+            Neg(a) => self.acc(grads, a, g.neg()),
+            AddScalar(a, _) => self.acc(grads, a, g.clone()),
+            MulScalar(a, c) => self.acc(grads, a, g.scale(c)),
+            PowConst(a, p) => {
+                let da = val(a).map(|x| p * x.powf(p - 1.0)).mul(g);
+                self.acc(grads, a, da);
+            }
+            Sigmoid(a) => {
+                let da = out.map(|y| y * (1.0 - y)).mul(g);
+                self.acc(grads, a, da);
+            }
+            Tanh(a) => {
+                let da = out.map(|y| 1.0 - y * y).mul(g);
+                self.acc(grads, a, da);
+            }
+            Relu(a) => {
+                let da = val(a).zip_map(g, |x, gv| if x > 0.0 { gv } else { 0.0 });
+                self.acc(grads, a, da);
+            }
+            Exp(a) => self.acc(grads, a, out.mul(g)),
+            Ln(a) => self.acc(grads, a, g.div(val(a))),
+            Sqrt(a) => {
+                let da = out.zip_map(g, |y, gv| gv / (2.0 * y));
+                self.acc(grads, a, da);
+            }
+            Sqr(a) => {
+                let da = val(a).zip_map(g, |x, gv| 2.0 * x * gv);
+                self.acc(grads, a, da);
+            }
+            Clamp(a, lo, hi) => {
+                let da = val(a).zip_map(g, |x, gv| if (lo..=hi).contains(&x) { gv } else { 0.0 });
+                self.acc(grads, a, da);
+            }
+
+            MulScalarVar(a, s) => {
+                let sv = val(s).item();
+                self.acc(grads, a, g.scale(sv));
+                self.acc(grads, s, Tensor::scalar(g.dot(val(a))));
+            }
+            DivScalarVar(a, s) => {
+                let sv = val(s).item();
+                self.acc(grads, a, g.scale(1.0 / sv));
+                self.acc(grads, s, Tensor::scalar(-g.dot(out) / sv));
+            }
+
+            MatMul(a, b) => {
+                self.acc(grads, a, g.matmul_nt(val(b)));
+                self.acc(grads, b, val(a).matmul_tn(g));
+            }
+            MatMulTN(a, b) => {
+                // C = AᵀB → dA = B·gᵀ, dB = A·g
+                self.acc(grads, a, val(b).matmul_nt(g));
+                self.acc(grads, b, val(a).matmul(g));
+            }
+            MatMulNT(a, b) => {
+                // C = A·Bᵀ → dA = g·B, dB = gᵀ·A
+                self.acc(grads, a, g.matmul(val(b)));
+                self.acc(grads, b, g.matmul_tn(val(a)));
+            }
+            Transpose(a) => self.acc(grads, a, g.transpose()),
+            RowDot(a, b) => {
+                // out[i] = Σ_k a[i,k] b[i,k]; g: n×1
+                let mut da = val(b).clone();
+                for r in 0..da.rows() {
+                    let gv = g.get(r, 0);
+                    for v in da.row_mut(r) {
+                        *v *= gv;
+                    }
+                }
+                self.acc(grads, a, da);
+                let mut db = val(a).clone();
+                for r in 0..db.rows() {
+                    let gv = g.get(r, 0);
+                    for v in db.row_mut(r) {
+                        *v *= gv;
+                    }
+                }
+                self.acc(grads, b, db);
+            }
+
+            Sum(a) => {
+                let t = val(a);
+                self.acc(grads, a, Tensor::full(t.rows(), t.cols(), g.item()));
+            }
+            Mean(a) => {
+                let t = val(a);
+                let c = g.item() / t.len() as f64;
+                self.acc(grads, a, Tensor::full(t.rows(), t.cols(), c));
+            }
+            FrobSq(a) => {
+                self.acc(grads, a, val(a).scale(2.0 * g.item()));
+            }
+            RowSums(a) => {
+                let t = val(a);
+                let mut da = Tensor::zeros(t.rows(), t.cols());
+                for r in 0..t.rows() {
+                    let gv = g.get(r, 0);
+                    for v in da.row_mut(r) {
+                        *v = gv;
+                    }
+                }
+                self.acc(grads, a, da);
+            }
+            ColSums(a) => {
+                let t = val(a);
+                let mut da = Tensor::zeros(t.rows(), t.cols());
+                for r in 0..t.rows() {
+                    da.row_mut(r).copy_from_slice(g.row(0));
+                }
+                self.acc(grads, a, da);
+            }
+
+            Gather(table, indices) => {
+                let t = val(table);
+                let mut dt = Tensor::zeros(t.rows(), t.cols());
+                dt.scatter_add_rows(&indices, g);
+                self.acc(grads, table, dt);
+            }
+            ConcatCols(a, b) => {
+                let ca = val(a).cols();
+                self.acc(grads, a, g.slice_cols(0, ca));
+                self.acc(grads, b, g.slice_cols(ca, g.cols()));
+            }
+            SliceCols(a, lo, _hi) => {
+                let t = val(a);
+                let mut da = Tensor::zeros(t.rows(), t.cols());
+                for r in 0..t.rows() {
+                    da.row_mut(r)[lo..lo + g.cols()].copy_from_slice(g.row(r));
+                }
+                self.acc(grads, a, da);
+            }
+            AddRowBroadcast(a, bias) => {
+                self.acc(grads, a, g.clone());
+                self.acc(grads, bias, g.col_sums());
+            }
+            AddColBroadcast(a, bias) => {
+                self.acc(grads, a, g.clone());
+                self.acc(grads, bias, g.row_sums());
+            }
+
+            BceWithLogits(x, t) => {
+                let dx = val(x)
+                    .zip_map(val(t), |xv, tv| stable_sigmoid(xv) - tv)
+                    .mul(g);
+                self.acc(grads, x, dx);
+                let dt = val(x).neg().mul(g);
+                self.acc(grads, t, dt);
+            }
+        }
+    }
+}
+
+/// Overflow-free logistic sigmoid.
+#[must_use]
+pub(crate) fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.constant(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+        let m = g.mul(a, b);
+        assert_eq!(g.value(m).data(), &[3.0, 8.0]);
+        let total = g.sum(m);
+        assert_eq!(g.item(total), 11.0);
+    }
+
+    #[test]
+    fn simple_gradient_flows_to_params() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_rows(&[&[3.0]]));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let y = g.sqr(wv); // y = w², dy/dw = 2w = 6
+        let loss = g.sum(y);
+        g.backward(loss, &mut params);
+        assert_eq!(params.grad(w).item(), 6.0);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(2.0));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let d = g.detach(wv);
+        let prod = g.mul(wv, d); // loss = w · stop(w); dloss/dw = stop(w) = 2
+        let loss = g.sum(prod);
+        g.backward(loss, &mut params);
+        assert_eq!(params.grad(w).item(), 2.0);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(5.0));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let sum = g.add(wv, wv); // 2w → grad 2
+        let loss = g.sum(sum);
+        g.backward(loss, &mut params);
+        assert_eq!(params.grad(w).item(), 2.0);
+    }
+
+    #[test]
+    fn constant_gets_no_gradient() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(1.0));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let c = g.scalar(10.0);
+        let prod = g.mul(wv, c);
+        let loss = g.sum(prod);
+        g.backward(loss, &mut params);
+        assert_eq!(params.grad(w).item(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be 1x1")]
+    fn non_scalar_loss_panics() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::ones(2, 2));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        g.backward(wv, &mut params);
+    }
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert_eq!(stable_sigmoid(1000.0), 1.0);
+        assert_eq!(stable_sigmoid(-1000.0), 0.0);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_naive_formula() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::row_vec(&[0.3, -1.2, 4.0]));
+        let t = g.constant(Tensor::row_vec(&[1.0, 0.0, 1.0]));
+        let l = g.bce_with_logits(x, t);
+        for (i, (&xv, &tv)) in [0.3, -1.2, 4.0].iter().zip(&[1.0, 0.0, 1.0]).enumerate() {
+            let p = stable_sigmoid(xv);
+            let naive = -(tv * p.ln() + (1.0 - tv) * (1.0 - p).ln());
+            assert!((g.value(l).data()[i] - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gather_gradient_scatter_adds() {
+        let mut params = Params::new();
+        let table = params.add("t", Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]));
+        let mut g = Graph::new();
+        let tv = g.param(&params, table);
+        let rows = g.gather(tv, Rc::new(vec![1, 1, 0]));
+        let s = g.sum(rows);
+        g.backward(s, &mut params);
+        // Row 1 gathered twice, row 0 once.
+        assert_eq!(params.grad(table).row(1), &[2.0, 2.0]);
+        assert_eq!(params.grad(table).row(0), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The differentiable-operation vocabulary.
+
+use std::rc::Rc;
+
+use crate::graph::Var;
+use crate::params::ParamId;
+
+/// One differentiable operation recorded on the tape.
+///
+/// Backward rules live in [`crate::Graph::backward`]; every rule is verified
+/// against central finite differences in the test suite.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A leaf tensor; `Some(id)` when it mirrors a parameter in a
+    /// [`crate::Params`] store (gradients flow back into the store).
+    Leaf(Option<ParamId>),
+    /// A constant: no gradient ever flows into it.
+    Constant,
+
+    // -- element-wise binary ------------------------------------------------
+    /// `a + b` (same shape).
+    Add(Var, Var),
+    /// `a - b` (same shape).
+    Sub(Var, Var),
+    /// Hadamard product `a ⊙ b`.
+    Mul(Var, Var),
+    /// Element-wise quotient `a / b`.
+    Div(Var, Var),
+
+    // -- element-wise unary -------------------------------------------------
+    /// `-a`.
+    Neg(Var),
+    /// `a + c` for a compile-time constant `c`.
+    AddScalar(Var, f64),
+    /// `c · a` for a compile-time constant `c`.
+    MulScalar(Var, f64),
+    /// `a^p` element-wise (callers must keep the base in `p`'s domain).
+    PowConst(Var, f64),
+    /// Logistic sigmoid `σ(a)`.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Rectified linear unit `max(a, 0)`.
+    Relu(Var),
+    /// `exp(a)`.
+    Exp(Var),
+    /// Natural logarithm (domain `a > 0`).
+    Ln(Var),
+    /// `√a` (domain `a ≥ 0`).
+    Sqrt(Var),
+    /// `a²`.
+    Sqr(Var),
+    /// `clamp(a, lo, hi)`; gradient passes inside `[lo, hi]`.
+    Clamp(Var, f64, f64),
+
+    // -- scalar-variable broadcast -------------------------------------------
+    /// `a · s` where `s` is a `1×1` variable.
+    MulScalarVar(Var, Var),
+    /// `a / s` where `s` is a `1×1` variable.
+    DivScalarVar(Var, Var),
+
+    // -- matrix ---------------------------------------------------------------
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// `Aᵀ · B` (Gram-style product without materialised transpose).
+    MatMulTN(Var, Var),
+    /// `A · Bᵀ`.
+    MatMulNT(Var, Var),
+    /// `Aᵀ`.
+    Transpose(Var),
+    /// Row-wise dot product of two `n×k` tensors, producing `n×1`.
+    RowDot(Var, Var),
+
+    // -- reductions -------------------------------------------------------------
+    /// Sum of all elements (scalar output).
+    Sum(Var),
+    /// Mean of all elements (scalar output).
+    Mean(Var),
+    /// Squared Frobenius norm `Σ a²` (scalar output).
+    FrobSq(Var),
+    /// Per-row sums (`n×1` output).
+    RowSums(Var),
+    /// Per-column sums (`1×c` output).
+    ColSums(Var),
+
+    // -- structural ----------------------------------------------------------------
+    /// Row gather (embedding lookup); backward is scatter-add.
+    Gather(Var, Rc<Vec<usize>>),
+    /// Horizontal concatenation `[a | b]`.
+    ConcatCols(Var, Var),
+    /// Column slice `a[:, lo..hi]`.
+    SliceCols(Var, usize, usize),
+    /// `a + bias` where `bias` is `1×c`, broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// `a + bias` where `bias` is `r×1`, broadcast over columns.
+    AddColBroadcast(Var, Var),
+
+    // -- gradient control / losses -----------------------------------------------
+    /// Identity forward, zero backward (stop-gradient).
+    Detach(Var),
+    /// Numerically stable element-wise binary cross-entropy with logits:
+    /// `max(x,0) − x·t + ln(1 + e^{−|x|})`.
+    BceWithLogits(Var, Var),
+}
+
+impl Op {
+    /// The input variables of this op, in a fixed order.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<Var> {
+        use Op::*;
+        match self {
+            Leaf(_) | Constant => vec![],
+            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | MatMul(a, b) | MatMulTN(a, b)
+            | MatMulNT(a, b) | RowDot(a, b) | ConcatCols(a, b) | AddRowBroadcast(a, b)
+            | AddColBroadcast(a, b) | BceWithLogits(a, b) | MulScalarVar(a, b)
+            | DivScalarVar(a, b) => vec![*a, *b],
+            Neg(a) | AddScalar(a, _) | MulScalar(a, _) | PowConst(a, _) | Sigmoid(a) | Tanh(a)
+            | Relu(a) | Exp(a) | Ln(a) | Sqrt(a) | Sqr(a) | Clamp(a, _, _) | Transpose(a)
+            | Sum(a) | Mean(a) | FrobSq(a) | RowSums(a) | ColSums(a) | Gather(a, _)
+            | SliceCols(a, _, _) | Detach(a) => vec![*a],
+        }
+    }
+
+    /// Returns `true` for ops that block gradient flow to their inputs.
+    #[must_use]
+    pub fn blocks_gradient(&self) -> bool {
+        matches!(self, Op::Detach(_) | Op::Constant | Op::Leaf(_))
+    }
+}

@@ -1,0 +1,290 @@
+//! Parameter storage shared between model code, graphs and optimizers.
+
+use std::rc::Rc;
+
+use dt_tensor::Tensor;
+
+/// Handle to a parameter inside a [`Params`] store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+struct Entry {
+    name: String,
+    value: Rc<Tensor>,
+    grad: Tensor,
+}
+
+/// A store of named, trainable tensors plus their accumulated gradients.
+///
+/// Values are reference counted: mounting a parameter into a [`crate::Graph`]
+/// is an `Rc` clone. The optimizer mutates values through
+/// [`Params::value_mut`], which copies-on-write only if a graph from a
+/// previous step is still alive (normally it is not).
+#[derive(Default)]
+pub struct Params {
+    entries: Vec<Entry>,
+}
+
+impl Params {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(Entry {
+            name: name.into(),
+            value: Rc::new(value),
+            grad,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no parameters are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    #[must_use]
+    pub fn n_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// The parameter's name.
+    #[must_use]
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Immutable view of the parameter value.
+    #[must_use]
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// The reference-counted value (used by [`crate::Graph::param`]).
+    #[must_use]
+    pub(crate) fn value_rc(&self, id: ParamId) -> Rc<Tensor> {
+        Rc::clone(&self.entries[id.0].value)
+    }
+
+    /// Mutable access to the parameter value (copy-on-write).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        Rc::make_mut(&mut self.entries[id.0].value)
+    }
+
+    /// Immutable view of the accumulated gradient.
+    #[must_use]
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable access to the accumulated gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Adds `delta` into the gradient accumulator for `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.entries[id.0].grad.add_assign(delta);
+    }
+
+    /// Zeroes every gradient accumulator (call between optimizer steps).
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill_zero();
+        }
+    }
+
+    /// Iterates over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Global L2 norm of all gradients, used for clipping diagnostics.
+    #[must_use]
+    pub fn grad_norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.frob_sq())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `true` when every parameter and gradient is finite.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.value.all_finite() && e.grad.all_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::ones(2, 3));
+        let b = p.add("b", Tensor::zeros(1, 1));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.n_scalars(), 7);
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.name(b), "b");
+        assert_eq!(p.value(a).sum(), 6.0);
+        assert_eq!(p.grad(a).sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(2, 2));
+        p.accumulate_grad(a, &Tensor::ones(2, 2));
+        p.accumulate_grad(a, &Tensor::ones(2, 2));
+        assert_eq!(p.grad(a).sum(), 8.0);
+        assert_eq!(p.grad_norm(), 4.0);
+        p.zero_grad();
+        assert_eq!(p.grad(a).sum(), 0.0);
+    }
+
+    #[test]
+    fn value_mut_copy_on_write() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(1, 2));
+        let shared = p.value_rc(a); // simulate a live graph holding the value
+        p.value_mut(a).set(0, 0, 5.0);
+        assert_eq!(p.value(a).get(0, 0), 5.0);
+        assert_eq!(shared.get(0, 0), 0.0, "old graph must see the old value");
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::ones(1, 1));
+        assert!(p.all_finite());
+        p.value_mut(a).set(0, 0, f64::NAN);
+        assert!(!p.all_finite());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+/// A serialisable snapshot of a [`Params`] store (names + values; gradients
+/// are not checkpointed).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ParamsSnapshot {
+    entries: Vec<(String, Tensor)>,
+}
+
+impl Params {
+    /// Captures the current parameter values.
+    #[must_use]
+    pub fn snapshot(&self) -> ParamsSnapshot {
+        ParamsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), (*e.value).clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores values from a snapshot taken on an identically-structured
+    /// store (same names, same shapes, same order). Gradients are zeroed.
+    ///
+    /// # Panics
+    /// Panics on any structural mismatch — restoring into the wrong model
+    /// is a programmer error worth failing loudly on.
+    pub fn restore(&mut self, snapshot: &ParamsSnapshot) {
+        assert_eq!(
+            self.entries.len(),
+            snapshot.entries.len(),
+            "restore: {} params vs {} in snapshot",
+            self.entries.len(),
+            snapshot.entries.len()
+        );
+        for (e, (name, value)) in self.entries.iter_mut().zip(&snapshot.entries) {
+            assert_eq!(&e.name, name, "restore: parameter name mismatch");
+            assert_eq!(
+                e.value.shape(),
+                value.shape(),
+                "restore: shape mismatch for {name}"
+            );
+            e.value = Rc::new(value.clone());
+            e.grad.fill_zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn store() -> (Params, ParamId, ParamId) {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = p.add("b", Tensor::scalar(3.0));
+        (p, a, b)
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (mut p, a, b) = store();
+        let snap = p.snapshot();
+        p.value_mut(a).set(0, 0, 99.0);
+        p.value_mut(b).set(0, 0, -1.0);
+        p.accumulate_grad(a, &Tensor::ones(1, 2));
+        p.restore(&snap);
+        assert_eq!(p.value(a).get(0, 0), 1.0);
+        assert_eq!(p.value(b).item(), 3.0);
+        assert_eq!(p.grad(a).sum(), 0.0, "gradients zeroed on restore");
+    }
+
+    #[test]
+    fn snapshot_survives_json() {
+        let (p, _, _) = store();
+        let json = serde_json::to_string(&p.snapshot()).unwrap();
+        let back: ParamsSnapshot = serde_json::from_str(&json).unwrap();
+        let (mut q, a, _) = store();
+        q.value_mut(a).set(0, 1, 42.0);
+        q.restore(&back);
+        assert_eq!(q.value(a).get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter name mismatch")]
+    fn restore_into_wrong_store_panics() {
+        let (p, _, _) = store();
+        let snap = p.snapshot();
+        let mut other = Params::new();
+        other.add("x", Tensor::from_rows(&[&[0.0, 0.0]]));
+        other.add("b", Tensor::scalar(0.0));
+        other.restore(&snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_with_wrong_shape_panics() {
+        let (p, _, _) = store();
+        let snap = p.snapshot();
+        let mut other = Params::new();
+        other.add("a", Tensor::zeros(2, 2));
+        other.add("b", Tensor::scalar(0.0));
+        other.restore(&snap);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the tape: randomized op chains must pass the
+//! finite-difference check, and algebraic identities of differentiation
+//! must hold.
+
+use dt_autograd::gradcheck::gradcheck;
+use dt_autograd::{Graph, Params};
+use dt_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A small tensor with bounded entries (away from op-domain edges).
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f64..2.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+/// A random chain of smooth unary ops applied elementwise.
+#[derive(Debug, Clone)]
+enum UnaryOp {
+    Sigmoid,
+    Tanh,
+    Exp,
+    Sqr,
+    Neg,
+    MulScalar(f64),
+    AddScalar(f64),
+}
+
+fn unary_op() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::Exp),
+        Just(UnaryOp::Sqr),
+        Just(UnaryOp::Neg),
+        (-2.0f64..2.0).prop_map(UnaryOp::MulScalar),
+        (-2.0f64..2.0).prop_map(UnaryOp::AddScalar),
+    ]
+}
+
+fn apply(g: &mut Graph, v: dt_autograd::Var, op: &UnaryOp) -> dt_autograd::Var {
+    match op {
+        UnaryOp::Sigmoid => g.sigmoid(v),
+        UnaryOp::Tanh => g.tanh(v),
+        UnaryOp::Exp => g.exp(v),
+        UnaryOp::Sqr => g.sqr(v),
+        UnaryOp::Neg => g.neg(v),
+        UnaryOp::MulScalar(c) => g.mul_scalar(v, *c),
+        UnaryOp::AddScalar(c) => g.add_scalar(v, *c),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_unary_chains_pass_gradcheck(
+        x in small_tensor(),
+        ops in proptest::collection::vec(unary_op(), 1..5),
+    ) {
+        // Exp chains can explode; clamp the input range via tanh first.
+        let reports = gradcheck(&[x], 1e-5, |g, vars| {
+            let mut v = g.tanh(vars[0]);
+            for op in &ops {
+                v = apply(g, v, op);
+            }
+            g.mean(v)
+        });
+        prop_assert!(
+            reports[0].max_rel_err < 1e-4,
+            "rel err {}",
+            reports[0].max_rel_err
+        );
+    }
+
+    #[test]
+    fn backward_is_linear_in_the_loss(x in small_tensor()) {
+        // d(αL)/dx == α·dL/dx.
+        let grad_of = |alpha: f64| -> Tensor {
+            let mut g = Graph::new();
+            let v = g.leaf(x.clone());
+            let s = g.sqr(v);
+            let l0 = g.sum(s);
+            let l = g.mul_scalar(l0, alpha);
+            g.backward_collect(l, &[v]).remove(0)
+        };
+        let g1 = grad_of(1.0);
+        let g3 = grad_of(3.0);
+        prop_assert!(g1.scale(3.0).approx_eq(&g3, 1e-10));
+    }
+
+    #[test]
+    fn gradient_of_sum_decomposes(x in small_tensor()) {
+        // dL/dx for L = L1 + L2 equals the sum of individual gradients.
+        let grad_of = |which: u8| -> Tensor {
+            let mut g = Graph::new();
+            let v = g.leaf(x.clone());
+            let sq = g.sqr(v);
+            let l1 = g.sum(sq);
+            let sig = g.sigmoid(v);
+            let l2 = g.mean(sig);
+            let loss = match which {
+                1 => l1,
+                2 => l2,
+                _ => g.add(l1, l2),
+            };
+            g.backward_collect(loss, &[v]).remove(0)
+        };
+        let combined = grad_of(0);
+        let sum = grad_of(1).add(&grad_of(2));
+        prop_assert!(combined.approx_eq(&sum, 1e-10));
+    }
+
+    #[test]
+    fn detach_yields_exactly_zero_grad(x in small_tensor()) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let d = g.detach(v);
+        let s = g.sqr(d);
+        let l = g.sum(s);
+        let grad = g.backward_collect(l, &[v]).remove(0);
+        prop_assert_eq!(grad.frob_sq(), 0.0);
+    }
+
+    #[test]
+    fn params_grad_equals_leaf_grad(x in small_tensor()) {
+        // The Params-accumulation path and the collect path agree.
+        let mut params = Params::new();
+        let id = params.add("x", x.clone());
+        let mut g = Graph::new();
+        let v = g.param(&params, id);
+        let s = g.sigmoid(v);
+        let l = g.mean(s);
+        let direct = g.backward_collect(l, &[v]).remove(0);
+        g.backward(l, &mut params);
+        prop_assert!(params.grad(id).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn value_is_unchanged_by_backward(x in small_tensor()) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let s = g.sqr(v);
+        let l = g.sum(s);
+        let before = g.value(v).clone();
+        let _ = g.backward_collect(l, &[v]);
+        prop_assert_eq!(g.value(v), &before);
+    }
+}

@@ -1,0 +1,64 @@
+//! Tape build + backward cost for a realistic MF training step.
+
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dt_autograd::{Graph, Params};
+use dt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mf_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut params = Params::new();
+    let p = params.add("P", dt_tensor::normal(2000, 16, 0.0, 0.1, &mut rng));
+    let q = params.add("Q", dt_tensor::normal(3000, 16, 0.0, 0.1, &mut rng));
+    let users = Rc::new((0..512usize).map(|k| (k * 13) % 2000).collect::<Vec<_>>());
+    let items = Rc::new((0..512usize).map(|k| (k * 7) % 3000).collect::<Vec<_>>());
+    let labels = Tensor::col_vec(&(0..512).map(|k| f64::from(k % 2 == 0)).collect::<Vec<_>>());
+
+    c.bench_function("mf forward+backward batch 512", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let pv = g.param(&params, p);
+            let qv = g.param(&params, q);
+            let pu = g.gather(pv, Rc::clone(&users));
+            let qi = g.gather(qv, Rc::clone(&items));
+            let logits = g.row_dot(pu, qi);
+            let y = g.constant(labels.clone());
+            let loss = g.bce_mean(logits, y);
+            g.backward(loss, &mut params);
+            params.zero_grad();
+            black_box(g.len())
+        });
+    });
+
+    c.bench_function("dt losses (disentangle + gram reg) 2000/3000 x16", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let pv = g.param(&params, p);
+            let qv = g.param(&params, q);
+            let p_prim = g.slice_cols(pv, 0, 12);
+            let p_aux = g.slice_cols(pv, 12, 16);
+            let q_prim = g.slice_cols(qv, 0, 12);
+            let q_aux = g.slice_cols(qv, 12, 16);
+            let d1 = g.disentangle_penalty(p_prim, p_aux);
+            let d2 = g.disentangle_penalty(q_prim, q_aux);
+            let r1 = g.cross_gram_penalty(p_prim, q_prim);
+            let r2 = g.cross_gram_penalty(p_aux, q_aux);
+            let s1 = g.add(d1, d2);
+            let s2 = g.add(r1, r2);
+            let loss = g.add(s1, s2);
+            g.backward(loss, &mut params);
+            params.zero_grad();
+            black_box(g.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = mf_step
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 5 as a benchmark: training cost as the training log is
+//! subsampled — the runtime panel of the paper's sparsity study.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_core::{registry, Method, TrainConfig};
+use dt_data::{coat_like, sparsify, RealWorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparsity(c: &mut Criterion) {
+    let full = coat_like(&RealWorldConfig::default());
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 512,
+        emb_dim: 8,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("figure5 DT-IPS fit by kept fraction");
+    group.sample_size(10);
+    for keep in [1.0, 0.5, 0.25, 0.125] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = sparsify(&full, keep, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", keep * 100.0)),
+            &ds,
+            |bench, ds| {
+                bench.iter(|| {
+                    let mut model = registry::build(Method::DtIps, ds, &cfg, 0);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    black_box(model.fit(ds, &mut rng).final_loss)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sparsity
+}
+criterion_main!(benches);

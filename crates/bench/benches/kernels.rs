@@ -1,0 +1,61 @@
+//! Substrate microbenchmarks: the tensor kernels every training step rides
+//! on, including the Gram-trick evaluation of `‖P·Qᵀ‖²_F` that makes the
+//! DT regularisation loss tractable at catalogue scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = dt_tensor::normal(256, 64, 0.0, 1.0, &mut rng);
+    let b = dt_tensor::normal(64, 256, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul 256x64x256", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+
+    let tall = dt_tensor::normal(2048, 32, 0.0, 1.0, &mut rng);
+    c.bench_function("gram 2048x32", |bench| {
+        bench.iter(|| black_box(tall.gram()));
+    });
+}
+
+fn bench_gram_trick_vs_direct(c: &mut Criterion) {
+    // ‖P·Qᵀ‖²_F two ways: the naive m×n product vs trace((PᵀP)(QᵀQ)).
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = dt_tensor::normal(800, 16, 0.0, 0.1, &mut rng);
+    let q = dt_tensor::normal(1200, 16, 0.0, 0.1, &mut rng);
+    let mut group = c.benchmark_group("frobenius of PQ^T (800x1200, k=16)");
+    group.bench_function("direct m*n product", |bench| {
+        bench.iter(|| black_box(p.matmul_nt(&q).frob_sq()));
+    });
+    group.bench_function("gram trick", |bench| {
+        bench.iter(|| black_box(p.gram().trace_product(&q.gram())));
+    });
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let table = dt_tensor::normal(10_000, 32, 0.0, 0.1, &mut rng);
+    let idx: Vec<usize> = (0..512).map(|k| (k * 7919) % 10_000).collect();
+    c.bench_function("gather 512 of 10k x32", |bench| {
+        bench.iter(|| black_box(table.gather_rows(&idx)));
+    });
+    let rows = table.gather_rows(&idx);
+    c.bench_function("scatter-add 512 into 10k x32", |bench| {
+        bench.iter(|| {
+            let mut acc = Tensor::zeros(10_000, 32);
+            acc.scatter_add_rows(&idx, &rows);
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_gram_trick_vs_direct, bench_gather_scatter
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table I as a benchmark: generating one mechanism dataset and measuring
+//! the exact IPS bias grid.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+use dt_estimators::BiasGrid;
+
+fn bias_grid(c: &mut Criterion) {
+    let cfg = MechanismConfig {
+        n_users: 100,
+        n_items: 150,
+        seed: 5,
+        ..MechanismConfig::default()
+    };
+    for mech in [Mechanism::Mcar, Mechanism::Mar, Mechanism::Mnar] {
+        let ds = mechanism_dataset(mech, &cfg);
+        let predictions = ds
+            .truth
+            .as_ref()
+            .unwrap()
+            .preference
+            .map(|p| 0.8 * p + 0.1);
+        c.bench_function(&format!("table1 bias grid {}", mech.label()), |bench| {
+            bench.iter(|| black_box(BiasGrid::compute(&ds, &predictions)));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bias_grid
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table III as a benchmark: the semi-synthetic generation pipeline and
+//! one full training run per Table III method on a reduced instance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_core::{registry, Method, TrainConfig};
+use dt_data::{semi_synthetic, SemiSyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> dt_data::Dataset {
+    semi_synthetic(&SemiSyntheticConfig {
+        n_users: 100,
+        n_items: 160,
+        n_ratings: 1_500,
+        mf_epochs: 8,
+        rho: 1.0,
+        epsilon: 0.3,
+        seed: 0,
+        ..SemiSyntheticConfig::default()
+    })
+}
+
+fn pipeline(c: &mut Criterion) {
+    c.bench_function("semi-synthetic pipeline 100x160", |bench| {
+        bench.iter(|| black_box(dataset()));
+    });
+}
+
+fn training(c: &mut Criterion) {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 256,
+        emb_dim: 8,
+        l2: 1e-4,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("table3 fit (3 epochs)");
+    group.sample_size(10);
+    for method in Method::TABLE3 {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |bench, &method| {
+                bench.iter(|| {
+                    let mut model = registry::build(method, &ds, &cfg, 0);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    black_box(model.fit(&ds, &mut rng).final_loss)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pipeline, training
+}
+criterion_main!(benches);

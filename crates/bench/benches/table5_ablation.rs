@@ -1,0 +1,50 @@
+//! Table V as a benchmark: what each DT loss term costs per fit — the
+//! disentangling loss is cheap (k×k Gram products), the regularisation
+//! loss rides the Gram trick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dt_core::methods::{DtRecommender, DtVariant};
+use dt_core::{Recommender, TrainConfig};
+use dt_data::{coat_like, RealWorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ablation(c: &mut Criterion) {
+    let ds = coat_like(&RealWorldConfig::default());
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 512,
+        emb_dim: 16,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("table5 DT-IPS fit by loss config (2 epochs)");
+    group.sample_size(10);
+    for (label, beta_on, gamma_on) in [
+        ("no-beta no-gamma", false, false),
+        ("beta only", true, false),
+        ("gamma only", false, true),
+        ("beta+gamma", true, true),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut model = DtRecommender::new(&ds, &cfg, DtVariant::Ips, 0);
+                if !beta_on {
+                    model = model.without_disentangle();
+                }
+                if !gamma_on {
+                    model = model.without_regularization();
+                }
+                let mut rng = StdRng::seed_from_u64(0);
+                black_box(model.fit(&ds, &mut rng).final_loss)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Table VI as a benchmark: the paper's efficiency study — training cost
+//! and per-sample inference latency for the nine methods it compares.
+//! (`repro table6` prints the same quantities as a table.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dt_core::{registry, Method, TrainConfig};
+use dt_data::{coat_like, RealWorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const METHODS: [Method; 9] = [
+    Method::Esmm,
+    Method::Ips,
+    Method::MultiIps,
+    Method::Escm2Ips,
+    Method::DtIps,
+    Method::DrJl,
+    Method::MultiDr,
+    Method::Escm2Dr,
+    Method::DtDr,
+];
+
+fn training(c: &mut Criterion) {
+    let ds = coat_like(&RealWorldConfig::default());
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 512,
+        emb_dim: 16,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("table6 train 1 epoch on coat-like");
+    group.sample_size(10);
+    for method in METHODS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |bench, &method| {
+                bench.iter(|| {
+                    let mut model = registry::build(method, &ds, &cfg, 0);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    black_box(model.fit(&ds, &mut rng).final_loss)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn inference(c: &mut Criterion) {
+    let ds = coat_like(&RealWorldConfig::default());
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 512,
+        emb_dim: 16,
+        ..TrainConfig::default()
+    };
+    let pairs: Vec<(usize, usize)> = (0..4096)
+        .map(|k| (k % ds.n_users, (k * 31) % ds.n_items))
+        .collect();
+    let mut group = c.benchmark_group("table6 inference 4096 pairs");
+    group.throughput(Throughput::Elements(4096));
+    group.sample_size(20);
+    for method in METHODS {
+        let mut model = registry::build(method, &ds, &cfg, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        model.fit(&ds, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |bench, _| {
+                bench.iter(|| black_box(model.predict(&pairs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = training, inference
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # dt-bench
+//!
+//! Criterion benchmarks for the `disrec` workspace. The library itself is
+//! empty — everything lives in `benches/`:
+//!
+//! * `kernels` / `autograd` — substrate microbenchmarks (gemm, Gram trick,
+//!   tape build + backward);
+//! * `table1_bias_grid` — the Table I bias computation;
+//! * `table3_semisynthetic` — the semi-synthetic pipeline + one training
+//!   epoch per method;
+//! * `table4_realworld` — per-method fit time on a COAT-scale dataset;
+//! * `table5_ablation` — DT fit time with each loss toggled;
+//! * `table6_timing` — the paper's efficiency study (training + inference
+//!   latency per method);
+//! * `figure5_sparsity` — fit time as the training log is subsampled.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,111 @@
+//! The naive baseline: matrix factorisation on the observed ratings only
+//! (eq. (2) — unbiased under MCAR, biased otherwise).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_autograd::Graph;
+use dt_data::{BatchIter, Dataset};
+use dt_models::MfModel;
+use dt_optim::{Adam, Optimizer};
+use dt_tensor::Tensor;
+
+use crate::config::TrainConfig;
+use crate::methods::common::Batch;
+use crate::recommender::{FitReport, Recommender};
+
+/// Plain MF trained with BCE on the observed log.
+pub struct MfRecommender {
+    model: MfModel,
+    cfg: TrainConfig,
+}
+
+impl MfRecommender {
+    /// A fresh model for the dataset's dimensions.
+    #[must_use]
+    pub fn new(ds: &Dataset, cfg: &TrainConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            model: MfModel::new(ds.n_users, ds.n_items, cfg.emb_dim, &mut rng),
+            cfg: *cfg,
+        }
+    }
+}
+
+impl Recommender for MfRecommender {
+    fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
+        let start = Instant::now();
+        let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);
+        let mut trace = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut n = 0usize;
+            for raw in BatchIter::new(&ds.train, self.cfg.batch_size, rng) {
+                let b = Batch::from_interactions(&raw);
+                let mut g = Graph::new();
+                let logits = self.model.logits(&mut g, &b.users, &b.items);
+                let y = g.constant(Tensor::col_vec(&b.ratings));
+                let loss = g.bce_mean(logits, y);
+                epoch_loss += g.item(loss);
+                n += 1;
+                g.backward(loss, &mut self.model.params);
+                opt.step(&mut self.model.params);
+                self.model.params.zero_grad();
+            }
+            trace.push(epoch_loss / n.max(1) as f64);
+        }
+        FitReport {
+            epochs_run: self.cfg.epochs,
+            final_loss: *trace.last().unwrap_or(&f64::NAN),
+            loss_trace: trace,
+            aux_trace: Vec::new(),
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        self.model.predict(pairs)
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.model.n_parameters()
+    }
+
+    fn name(&self) -> &'static str {
+        "MF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = mechanism_dataset(
+            Mechanism::Mcar,
+            &MechanismConfig {
+                n_users: 40,
+                n_items: 50,
+                target_density: 0.2,
+                seed: 6,
+                ..MechanismConfig::default()
+            },
+        );
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        };
+        let mut m = MfRecommender::new(&ds, &cfg, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rep = m.fit(&ds, &mut rng);
+        assert_eq!(rep.epochs_run, 8);
+        assert!(rep.loss_trace[0] > rep.final_loss, "{:?}", rep.loss_trace);
+        assert!(rep.final_loss < 0.69, "below chance-level BCE");
+        assert!(rep.train_seconds > 0.0);
+    }
+}

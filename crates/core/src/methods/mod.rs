@@ -1,0 +1,23 @@
+//! The training methods (one module per family).
+
+mod balanced;
+mod common;
+mod cvib;
+mod dib;
+mod dr_family;
+mod dt;
+mod ips;
+mod mf;
+mod mr;
+mod multitask;
+
+pub use balanced::{BalancedRecommender, BalancedVariant};
+pub use common::fit_mar_propensity;
+pub use cvib::CvibRecommender;
+pub use dib::DibRecommender;
+pub use dr_family::{DrRecommender, DrVariant};
+pub use dt::{DtRecommender, DtVariant};
+pub use ips::IpsRecommender;
+pub use mf::MfRecommender;
+pub use mr::MrRecommender;
+pub use multitask::{MultiTaskRecommender, MultiTaskVariant};

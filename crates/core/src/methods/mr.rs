@@ -1,0 +1,232 @@
+//! MR — multiple robust learning (Li et al., AAAI 2023).
+//!
+//! Instead of betting on one propensity model and one imputation model, MR
+//! maintains *candidate sets* of both and learns a convex combination; the
+//! estimator is unbiased if any candidate (or a linear combination of
+//! them) is accurate. Our candidate sets:
+//!
+//! * propensities — {constant `P(o=1)`, logistic-MF `P(o=1|x)`,
+//!   Naive-Bayes `P(o=1|r)` when a test slice exists};
+//! * imputations — {zero, constant EMA of observed error}.
+//!
+//! The combination weights are trained (softmax-parameterised) to minimise
+//! the squared *self-diagnostic* of the DR estimator — the empirical bias
+//! term `mean_O[(e − ê)·(w − 1/density)]`-style residual used by the MR
+//! objective — alongside the prediction model's DR loss.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_autograd::Graph;
+use dt_data::{BatchIter, Dataset};
+use dt_models::propensity::{ConstantPropensity, NaiveBayesAdapter, PropensityHead};
+use dt_models::MfModel;
+use dt_optim::{Adam, Optimizer};
+use dt_tensor::Tensor;
+
+use crate::config::TrainConfig;
+use crate::methods::common::{fit_mar_propensity, Batch};
+use crate::recommender::{FitReport, Recommender};
+
+/// The MR trainer.
+pub struct MrRecommender {
+    model: MfModel,
+    cfg: TrainConfig,
+    /// Softmax logits over the propensity candidates.
+    mix_logits: Vec<f64>,
+    heads: Vec<Box<dyn PropensityHead>>,
+    const_imp: f64,
+}
+
+impl MrRecommender {
+    /// A fresh model.
+    #[must_use]
+    pub fn new(ds: &Dataset, cfg: &TrainConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            model: MfModel::new(ds.n_users, ds.n_items, cfg.emb_dim, &mut rng),
+            cfg: *cfg,
+            mix_logits: Vec::new(),
+            heads: Vec::new(),
+            const_imp: 0.25,
+        }
+    }
+
+    fn mix_weights(&self) -> Vec<f64> {
+        let max = self
+            .mix_logits
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = self.mix_logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.iter().map(|e| e / total).collect()
+    }
+
+    /// Combined inverse propensity for one observed interaction.
+    fn combined_inverse(&self, user: usize, item: usize, rating: f64) -> f64 {
+        let weights = self.mix_weights();
+        self.heads
+            .iter()
+            .zip(&weights)
+            .map(|(h, w)| {
+                w / h
+                    .propensity(user, item, rating)
+                    .max(self.cfg.prop_clip)
+            })
+            .sum()
+    }
+}
+
+impl Recommender for MrRecommender {
+    fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
+        let start = Instant::now();
+        // Build the candidate set.
+        self.heads = vec![Box::new(ConstantPropensity::fit(ds))];
+        let logistic = fit_mar_propensity(ds, &self.cfg, rng);
+        self.heads.push(Box::new(logistic));
+        if !ds.test.is_empty() {
+            self.heads
+                .push(Box::new(NaiveBayesAdapter::fit(ds, self.cfg.prop_clip)));
+        }
+        self.mix_logits = vec![0.0; self.heads.len()];
+
+        let density = ds.train.density();
+        let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);
+        let mut trace = Vec::with_capacity(self.cfg.epochs);
+
+        for _ in 0..self.cfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut n = 0usize;
+            for raw in BatchIter::new(&ds.train, self.cfg.batch_size, rng) {
+                let b = Batch::from_interactions(&raw);
+                let inv_p: Vec<f64> = (0..b.len())
+                    .map(|k| self.combined_inverse(b.users[k], b.items[k], b.ratings[k]))
+                    .collect();
+
+                // Prediction step: DR with the combined weights and the
+                // constant imputation.
+                let e_vals: Vec<f64>;
+                {
+                    let mut g = Graph::new();
+                    let logits = self.model.logits(&mut g, &b.users, &b.items);
+                    let pred = g.sigmoid(logits);
+                    let y = g.constant(Tensor::col_vec(&b.ratings));
+                    let err = g.squared_error(pred, y);
+                    let eh = g.constant(Tensor::full(b.len(), 1, self.const_imp));
+                    let diff = g.sub(err, eh);
+                    let w = g.constant(Tensor::col_vec(&inv_p));
+                    let corr0 = g.weighted_mean(w, diff);
+                    let corr = g.mul_scalar(corr0, density);
+                    let base = g.scalar(self.const_imp);
+                    let loss = g.add(base, corr);
+                    epoch_loss += g.item(loss);
+                    n += 1;
+                    e_vals = g.value(err).data().to_vec();
+                    g.backward(loss, &mut self.model.params);
+                    opt.step(&mut self.model.params);
+                    self.model.params.zero_grad();
+                }
+                self.const_imp = 0.9 * self.const_imp
+                    + 0.1 * (e_vals.iter().sum::<f64>() / e_vals.len().max(1) as f64);
+
+                // Mixture step: nudge the weights to shrink the MR
+                // self-diagnostic |mean_O[w·o] − 1| (a correct inverse
+                // propensity satisfies E[o·w] = 1 over D, i.e.
+                // density·mean_O[w] = 1). Numeric gradient over the few
+                // mixture logits.
+                let diagnostic = |logits: &[f64]| -> f64 {
+                    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+                    let total: f64 = exps.iter().sum();
+                    let ws: Vec<f64> = exps.iter().map(|e| e / total).collect();
+                    let mean_inv: f64 = (0..b.len())
+                        .map(|k| {
+                            self.heads
+                                .iter()
+                                .zip(&ws)
+                                .map(|(h, w)| {
+                                    w / h
+                                        .propensity(b.users[k], b.items[k], b.ratings[k])
+                                        .max(self.cfg.prop_clip)
+                                })
+                                .sum::<f64>()
+                        })
+                        .sum::<f64>()
+                        / b.len().max(1) as f64;
+                    let resid = density * mean_inv - 1.0;
+                    resid * resid
+                };
+                let eps = 1e-4;
+                let mut grads = vec![0.0; self.mix_logits.len()];
+                for k in 0..self.mix_logits.len() {
+                    let mut plus = self.mix_logits.clone();
+                    plus[k] += eps;
+                    let mut minus = self.mix_logits.clone();
+                    minus[k] -= eps;
+                    grads[k] = (diagnostic(&plus) - diagnostic(&minus)) / (2.0 * eps);
+                }
+                for (l, gr) in self.mix_logits.iter_mut().zip(&grads) {
+                    *l -= self.cfg.lr * gr;
+                }
+            }
+            trace.push(epoch_loss / n.max(1) as f64);
+        }
+        FitReport {
+            epochs_run: self.cfg.epochs,
+            final_loss: *trace.last().unwrap_or(&f64::NAN),
+            loss_trace: trace,
+            aux_trace: self.mix_weights(),
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        self.model.predict(pairs)
+    }
+
+    fn n_parameters(&self) -> usize {
+        // Prediction MF + logistic propensity candidate + mixture logits.
+        self.model.n_parameters() + self.model.n_parameters() / 2 + self.mix_logits.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "MR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+
+    #[test]
+    fn trains_and_learns_a_mixture() {
+        let ds = mechanism_dataset(
+            Mechanism::Mnar,
+            &MechanismConfig {
+                n_users: 40,
+                n_items: 50,
+                target_density: 0.15,
+                seed: 17,
+                ..MechanismConfig::default()
+            },
+        );
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        };
+        let mut m = MrRecommender::new(&ds, &cfg, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rep = m.fit(&ds, &mut rng);
+        assert!(rep.final_loss.is_finite());
+        // Three candidates (test slice exists): constant, logistic, NB.
+        assert_eq!(rep.aux_trace.len(), 3);
+        let total: f64 = rep.aux_trace.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to one");
+        assert!(rep.aux_trace.iter().all(|&w| w > 0.0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Method registry: every row of the paper's Table IV, constructible by
+//! name.
+
+use dt_data::Dataset;
+
+use crate::config::TrainConfig;
+use crate::methods::{
+    BalancedRecommender, BalancedVariant, CvibRecommender, DibRecommender, DrRecommender,
+    DrVariant, DtRecommender, DtVariant, IpsRecommender, MfRecommender, MrRecommender,
+    MultiTaskRecommender, MultiTaskVariant,
+};
+use crate::recommender::Recommender;
+
+/// Every method in the paper's evaluation (Table IV order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Method {
+    Mf,
+    Cvib,
+    Dib,
+    Ips,
+    Dr,
+    DrJl,
+    MrdrJl,
+    DrBias,
+    DrMse,
+    Mr,
+    Tdr,
+    TdrJl,
+    StableDr,
+    MultiIps,
+    MultiDr,
+    Esmm,
+    Escm2Ips,
+    Escm2Dr,
+    IpsV2,
+    DrV2,
+    DtIps,
+    DtDr,
+}
+
+impl Method {
+    /// All methods, in Table IV order.
+    pub const ALL: [Method; 22] = [
+        Method::Mf,
+        Method::Cvib,
+        Method::Dib,
+        Method::Ips,
+        Method::Dr,
+        Method::DrJl,
+        Method::MrdrJl,
+        Method::DrBias,
+        Method::DrMse,
+        Method::Mr,
+        Method::Tdr,
+        Method::TdrJl,
+        Method::StableDr,
+        Method::MultiIps,
+        Method::MultiDr,
+        Method::Esmm,
+        Method::Escm2Ips,
+        Method::Escm2Dr,
+        Method::IpsV2,
+        Method::DrV2,
+        Method::DtIps,
+        Method::DtDr,
+    ];
+
+    /// The subset used in the semi-synthetic Table III.
+    pub const TABLE3: [Method; 9] = [
+        Method::Mf,
+        Method::Ips,
+        Method::Dr,
+        Method::MultiIps,
+        Method::MultiDr,
+        Method::Escm2Ips,
+        Method::Escm2Dr,
+        Method::DtIps,
+        Method::DtDr,
+    ];
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Mf => "MF",
+            Method::Cvib => "CVIB",
+            Method::Dib => "DIB",
+            Method::Ips => "IPS",
+            Method::Dr => "DR",
+            Method::DrJl => "DR-JL",
+            Method::MrdrJl => "MRDR-JL",
+            Method::DrBias => "DR-BIAS",
+            Method::DrMse => "DR-MSE",
+            Method::Mr => "MR",
+            Method::Tdr => "TDR",
+            Method::TdrJl => "TDR-JL",
+            Method::StableDr => "Stable-DR",
+            Method::MultiIps => "Multi-IPS",
+            Method::MultiDr => "Multi-DR",
+            Method::Esmm => "ESMM",
+            Method::Escm2Ips => "ESCM2-IPS",
+            Method::Escm2Dr => "ESCM2-DR",
+            Method::IpsV2 => "IPS-V2",
+            Method::DrV2 => "DR-V2",
+            Method::DtIps => "DT-IPS",
+            Method::DtDr => "DT-DR",
+        }
+    }
+
+    /// Parses a display name (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Method> {
+        let s = s.to_ascii_lowercase();
+        Method::ALL
+            .into_iter()
+            .find(|m| m.label().to_ascii_lowercase() == s)
+    }
+}
+
+/// Builds an untrained model of the given method for a dataset.
+#[must_use]
+pub fn build(
+    method: Method,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> Box<dyn Recommender> {
+    match method {
+        Method::Mf => Box::new(MfRecommender::new(ds, cfg, seed)),
+        Method::Cvib => Box::new(CvibRecommender::new(ds, cfg, seed)),
+        Method::Dib => Box::new(DibRecommender::new(ds, cfg, seed)),
+        Method::Ips => Box::new(IpsRecommender::new(ds, cfg, seed)),
+        Method::Dr => Box::new(DrRecommender::new(ds, cfg, DrVariant::Vanilla, seed)),
+        Method::DrJl => Box::new(DrRecommender::new(ds, cfg, DrVariant::JointLearning, seed)),
+        Method::MrdrJl => Box::new(DrRecommender::new(ds, cfg, DrVariant::Mrdr, seed)),
+        Method::DrBias => Box::new(DrRecommender::new(ds, cfg, DrVariant::Bias, seed)),
+        Method::DrMse => Box::new(DrRecommender::new(ds, cfg, DrVariant::Mse, seed)),
+        Method::Mr => Box::new(MrRecommender::new(ds, cfg, seed)),
+        Method::Tdr => Box::new(DrRecommender::new(ds, cfg, DrVariant::Tdr, seed)),
+        Method::TdrJl => Box::new(DrRecommender::new(ds, cfg, DrVariant::TdrJl, seed)),
+        Method::StableDr => Box::new(DrRecommender::new(ds, cfg, DrVariant::Stable, seed)),
+        Method::MultiIps => Box::new(MultiTaskRecommender::new(
+            ds,
+            cfg,
+            MultiTaskVariant::MultiIps,
+            seed,
+        )),
+        Method::MultiDr => Box::new(MultiTaskRecommender::new(
+            ds,
+            cfg,
+            MultiTaskVariant::MultiDr,
+            seed,
+        )),
+        Method::Esmm => Box::new(MultiTaskRecommender::new(
+            ds,
+            cfg,
+            MultiTaskVariant::Esmm,
+            seed,
+        )),
+        Method::Escm2Ips => Box::new(MultiTaskRecommender::new(
+            ds,
+            cfg,
+            MultiTaskVariant::Escm2Ips,
+            seed,
+        )),
+        Method::Escm2Dr => Box::new(MultiTaskRecommender::new(
+            ds,
+            cfg,
+            MultiTaskVariant::Escm2Dr,
+            seed,
+        )),
+        Method::IpsV2 => Box::new(BalancedRecommender::new(
+            ds,
+            cfg,
+            BalancedVariant::IpsV2,
+            seed,
+        )),
+        Method::DrV2 => Box::new(BalancedRecommender::new(
+            ds,
+            cfg,
+            BalancedVariant::DrV2,
+            seed,
+        )),
+        Method::DtIps => Box::new(DtRecommender::new(ds, cfg, DtVariant::Ips, seed)),
+        Method::DtDr => Box::new(DtRecommender::new(ds, cfg, DtVariant::Dr, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+
+    fn dataset() -> Dataset {
+        mechanism_dataset(
+            Mechanism::Mnar,
+            &MechanismConfig {
+                n_users: 20,
+                n_items: 25,
+                target_density: 0.2,
+                seed: 20,
+                ..MechanismConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn every_method_builds_and_reports_parameters() {
+        let ds = dataset();
+        let cfg = TrainConfig {
+            emb_dim: 4,
+            ..TrainConfig::default()
+        };
+        for method in Method::ALL {
+            let m = build(method, &ds, &cfg, 0);
+            assert_eq!(m.name(), method.label());
+            assert!(m.n_parameters() > 0, "{}", method.label());
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for method in Method::ALL {
+            assert_eq!(Method::parse(method.label()), Some(method));
+            assert_eq!(Method::parse(&method.label().to_lowercase()), Some(method));
+        }
+        assert_eq!(Method::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn table2_embedding_ratios_hold() {
+        // The parameter-structure claims of Table II: with a common config,
+        //   IPS ≈ 2× MF embeddings, DR-JL ≈ 3×, DT-IPS ≈ 1× (+ prop-head
+        //   biases), DT-DR ≈ 2×.
+        let ds = dataset();
+        let cfg = TrainConfig {
+            emb_dim: 16,
+            ..TrainConfig::default()
+        };
+        let params = |m: Method| build(m, &ds, &cfg, 0).n_parameters() as f64;
+        let mf = params(Method::Mf);
+        assert!(params(Method::Ips) / mf > 1.3, "IPS carries a 2nd model");
+        assert!(
+            params(Method::DrJl) > params(Method::Ips),
+            "DR-JL adds imputation"
+        );
+        assert!(
+            params(Method::DtIps) < params(Method::Ips),
+            "DT-IPS shares its embeddings"
+        );
+        assert!(
+            params(Method::DtDr) > params(Method::DtIps),
+            "DT-DR adds imputation"
+        );
+    }
+}

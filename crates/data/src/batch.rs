@@ -1,0 +1,173 @@
+//! Mini-batch iteration and full-space sampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::interactions::{Interaction, InteractionLog, Pair};
+
+/// Shuffled mini-batches over an interaction log for one epoch.
+pub struct BatchIter<'a> {
+    log: &'a InteractionLog,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// A new shuffled epoch over `log`.
+    ///
+    /// # Panics
+    /// Panics when `batch_size == 0`.
+    #[must_use]
+    pub fn new(log: &'a InteractionLog, batch_size: usize, rng: &mut impl Rng) -> Self {
+        assert!(batch_size > 0, "BatchIter: zero batch size");
+        let mut order: Vec<usize> = (0..log.len()).collect();
+        order.shuffle(rng);
+        Self {
+            log,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches in the epoch.
+    #[must_use]
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Vec<Interaction>;
+
+    fn next(&mut self) -> Option<Vec<Interaction>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end]
+            .iter()
+            .map(|&i| self.log.interactions()[i])
+            .collect();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Draws `n` uniform pairs from the full space `D = U × I` (with
+/// replacement) — the sampler behind every entire-space loss term.
+///
+/// # Panics
+/// Panics on an empty space.
+#[must_use]
+pub fn uniform_pairs(
+    n_users: usize,
+    n_items: usize,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Vec<Pair> {
+    assert!(n_users > 0 && n_items > 0, "uniform_pairs: empty space");
+    (0..n)
+        .map(|_| {
+            Pair::new(
+                rng.gen_range(0..n_users) as u32,
+                rng.gen_range(0..n_items) as u32,
+            )
+        })
+        .collect()
+}
+
+/// Epoch bookkeeping shared by the trainers: fixed batch size, a shuffled
+/// pass over the observed log per epoch, plus a configurable ratio of
+/// full-space samples per observed example.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochPlan {
+    /// Mini-batch size over the observed log.
+    pub batch_size: usize,
+    /// Uniform full-space pairs drawn per observed example in the batch
+    /// (for propensity / entire-space losses).
+    pub full_space_ratio: usize,
+}
+
+impl EpochPlan {
+    /// A plan with the given batch size and one full-space sample per
+    /// observed example.
+    #[must_use]
+    pub fn new(batch_size: usize) -> Self {
+        Self {
+            batch_size,
+            full_space_ratio: 1,
+        }
+    }
+
+    /// Sets the full-space sampling ratio.
+    #[must_use]
+    pub fn with_full_space_ratio(mut self, ratio: usize) -> Self {
+        self.full_space_ratio = ratio;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn log(n: usize) -> InteractionLog {
+        let mut l = InteractionLog::new(n, 1);
+        for u in 0..n {
+            l.push(Interaction::new(u as u32, 0, u as f64));
+        }
+        l
+    }
+
+    #[test]
+    fn epoch_covers_every_example_once() {
+        let l = log(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let it = BatchIter::new(&l, 3, &mut rng);
+        assert_eq!(it.n_batches(), 4);
+        let mut seen: Vec<f64> = it.flatten().map(|i| i.rating).collect();
+        seen.sort_by(f64::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_are_shuffled_between_epochs() {
+        let l = log(100);
+        let collect = |seed: u64| -> Vec<f64> {
+            BatchIter::new(&l, 100, &mut StdRng::seed_from_u64(seed))
+                .flatten()
+                .map(|i| i.rating)
+                .collect()
+        };
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn last_batch_may_be_short() {
+        let l = log(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sizes: Vec<usize> = BatchIter::new(&l, 3, &mut rng).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn uniform_pairs_stay_in_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in uniform_pairs(5, 7, 1000, &mut rng) {
+            assert!((p.user as usize) < 5 && (p.item as usize) < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_pairs_cover_the_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = uniform_pairs(3, 3, 2000, &mut rng);
+        let distinct: std::collections::HashSet<_> =
+            pairs.iter().map(|p| (p.user, p.item)).collect();
+        assert_eq!(distinct.len(), 9, "all 9 cells should be hit");
+    }
+}

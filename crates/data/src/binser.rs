@@ -1,0 +1,196 @@
+//! Compact binary serialisation of interaction logs.
+//!
+//! JSON is fine for experiment *results*; the KuaiRec-scale training logs
+//! (10⁷ interactions) need something tighter. The format is a fixed
+//! little-endian layout with a magic header and version byte:
+//!
+//! ```text
+//! magic "DTLG" | version u8 | n_users u64 | n_items u64 | n u64
+//! then n × (user u32 | item u32 | rating f64)
+//! ```
+//!
+//! ≈ 16 bytes per interaction, streamable, and validated on load.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::interactions::{Interaction, InteractionLog};
+
+const MAGIC: &[u8; 4] = b"DTLG";
+const VERSION: u8 = 1;
+
+/// Errors raised when decoding a binary log.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not a `DTLG` payload.
+    BadMagic,
+    /// Unknown format version.
+    UnsupportedVersion(u8),
+    /// The payload ended early or the record count disagrees.
+    Truncated,
+    /// An interaction indexes outside the declared space.
+    OutOfSpace {
+        /// Offending user index.
+        user: u32,
+        /// Offending item index.
+        item: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a DTLG payload"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported DTLG version {v}"),
+            DecodeError::Truncated => write!(f, "truncated DTLG payload"),
+            DecodeError::OutOfSpace { user, item } => {
+                write!(f, "interaction ({user}, {item}) outside declared space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a log into the `DTLG` binary format.
+#[must_use]
+pub fn encode_log(log: &InteractionLog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 1 + 24 + 16 * log.len());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(log.n_users() as u64);
+    buf.put_u64_le(log.n_items() as u64);
+    buf.put_u64_le(log.len() as u64);
+    for it in log.interactions() {
+        buf.put_u32_le(it.user);
+        buf.put_u32_le(it.item);
+        buf.put_f64_le(it.rating);
+    }
+    buf.freeze()
+}
+
+/// Decodes a `DTLG` payload.
+///
+/// # Errors
+/// Returns a [`DecodeError`] on malformed input; never panics on
+/// attacker-controlled bytes.
+pub fn decode_log(mut data: &[u8]) -> Result<InteractionLog, DecodeError> {
+    if data.len() < 4 + 1 + 24 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let n_users = data.get_u64_le() as usize;
+    let n_items = data.get_u64_le() as usize;
+    let n = data.get_u64_le() as usize;
+    if data.remaining() != n.saturating_mul(16) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut log = InteractionLog::new(n_users, n_items);
+    for _ in 0..n {
+        let user = data.get_u32_le();
+        let item = data.get_u32_le();
+        let rating = data.get_f64_le();
+        if (user as usize) >= n_users || (item as usize) >= n_items {
+            return Err(DecodeError::OutOfSpace { user, item });
+        }
+        log.push(Interaction::new(user, item, rating));
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InteractionLog {
+        let mut log = InteractionLog::new(100, 200);
+        for k in 0..50u32 {
+            log.push(Interaction::new(k % 100, (k * 3) % 200, f64::from(k) / 10.0));
+        }
+        log
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample();
+        let bytes = encode_log(&log);
+        let back = decode_log(&bytes).unwrap();
+        assert_eq!(back.n_users(), 100);
+        assert_eq!(back.n_items(), 200);
+        assert_eq!(back.interactions(), log.interactions());
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let log = sample();
+        let bytes = encode_log(&log);
+        assert_eq!(bytes.len(), 4 + 1 + 24 + 16 * 50);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let log = InteractionLog::new(5, 7);
+        let back = decode_log(&encode_log(&log)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.n_users(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            decode_log(b"NOPE....................................."),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode_log(&sample()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            decode_log(&bytes),
+            Err(DecodeError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode_log(&sample());
+        assert!(matches!(
+            decode_log(&bytes[..bytes.len() - 3]),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(decode_log(&bytes[..10]), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_out_of_space_records() {
+        // Handcraft a payload whose record exceeds the declared space.
+        let mut log = InteractionLog::new(10, 10);
+        log.push(Interaction::new(3, 4, 1.0));
+        let mut bytes = encode_log(&log).to_vec();
+        // Overwrite the user id with 999 (little-endian at the record start).
+        let rec = 4 + 1 + 24;
+        bytes[rec..rec + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(
+            decode_log(&bytes),
+            Err(DecodeError::OutOfSpace { user: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn declared_count_must_match_payload() {
+        let mut bytes = encode_log(&sample()).to_vec();
+        // Claim one more record than present.
+        let count_off = 4 + 1 + 16;
+        bytes[count_off..count_off + 8].copy_from_slice(&51u64.to_le_bytes());
+        assert!(matches!(decode_log(&bytes), Err(DecodeError::Truncated)));
+    }
+}

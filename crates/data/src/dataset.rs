@@ -1,0 +1,146 @@
+//! The dataset container shared by every experiment.
+
+use dt_tensor::Tensor;
+
+use crate::interactions::InteractionLog;
+
+/// Oracle quantities known only because the data came from a generator.
+///
+/// All matrices are `n_users × n_items`. These fields are what make the
+/// workspace's bias measurements *exact*: the paper can only argue about
+/// bias theoretically, whereas the simulators expose the true propensities.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// `E[r | x]` — the true preference surface (η in the semi-synthetic
+    /// pipeline).
+    pub preference: Tensor,
+    /// The MNAR propensity `P(o = 1 | x, r)` evaluated at the realized
+    /// rating of each pair.
+    pub propensity_xr: Tensor,
+    /// The MAR propensity `P(o = 1 | x) = E_r[P(o = 1 | x, r) | x]`.
+    /// Equal to `propensity_xr` under MCAR/MAR mechanisms.
+    pub propensity_x: Tensor,
+    /// The realized ratings of **all** pairs (observed or not).
+    pub ratings: Tensor,
+}
+
+impl GroundTruth {
+    /// Validates internal consistency (shapes, probability ranges).
+    ///
+    /// # Panics
+    /// Panics when shapes disagree or a propensity leaves `[0, 1]`.
+    pub fn validate(&self) {
+        let s = self.preference.shape();
+        assert_eq!(self.propensity_xr.shape(), s, "propensity_xr shape");
+        assert_eq!(self.propensity_x.shape(), s, "propensity_x shape");
+        assert_eq!(self.ratings.shape(), s, "ratings shape");
+        assert!(
+            self.propensity_xr.min() >= 0.0 && self.propensity_xr.max() <= 1.0,
+            "propensity_xr outside [0,1]"
+        );
+        assert!(
+            self.propensity_x.min() >= 0.0 && self.propensity_x.max() <= 1.0,
+            "propensity_x outside [0,1]"
+        );
+    }
+}
+
+/// A dataset: an MNAR training log, an unbiased test log, and (for
+/// generated data) the oracle ground truth.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable name (shows up in experiment reports).
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// The biased (MNAR) training log.
+    pub train: InteractionLog,
+    /// The unbiased (MCAR/MAR) test log; may be empty when evaluation is
+    /// done against [`GroundTruth::preference`] instead.
+    pub test: InteractionLog,
+    /// Oracle quantities, when the data came from a generator.
+    pub truth: Option<GroundTruth>,
+}
+
+impl Dataset {
+    /// Validates index spaces and ground-truth shapes.
+    ///
+    /// # Panics
+    /// Panics on any inconsistency.
+    pub fn validate(&self) {
+        assert_eq!(self.train.n_users(), self.n_users, "train user space");
+        assert_eq!(self.train.n_items(), self.n_items, "train item space");
+        assert_eq!(self.test.n_users(), self.n_users, "test user space");
+        assert_eq!(self.test.n_items(), self.n_items, "test item space");
+        if let Some(t) = &self.truth {
+            assert_eq!(t.preference.rows(), self.n_users, "truth rows");
+            assert_eq!(t.preference.cols(), self.n_items, "truth cols");
+            t.validate();
+        }
+    }
+
+    /// One-line description used in logs and tables.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}x{} space, {} train ({}%), {} test",
+            self.name,
+            self.n_users,
+            self.n_items,
+            self.train.len(),
+            (self.train.density() * 100.0 * 100.0).round() / 100.0,
+            self.test.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        let train = InteractionLog::from_interactions(
+            2,
+            2,
+            vec![Interaction::new(0, 0, 1.0)],
+        );
+        let ds = Dataset {
+            name: "tiny".into(),
+            n_users: 2,
+            n_items: 2,
+            train,
+            test: InteractionLog::new(2, 2),
+            truth: Some(GroundTruth {
+                preference: Tensor::full(2, 2, 0.5),
+                propensity_xr: Tensor::full(2, 2, 0.3),
+                propensity_x: Tensor::full(2, 2, 0.3),
+                ratings: Tensor::zeros(2, 2),
+            }),
+        };
+        ds.validate();
+        assert!(ds.summary().contains("tiny"));
+    }
+
+    #[test]
+    #[should_panic(expected = "propensity_xr outside")]
+    fn validate_rejects_bad_propensities() {
+        let ds = Dataset {
+            name: "bad".into(),
+            n_users: 1,
+            n_items: 1,
+            train: InteractionLog::new(1, 1),
+            test: InteractionLog::new(1, 1),
+            truth: Some(GroundTruth {
+                preference: Tensor::zeros(1, 1),
+                propensity_xr: Tensor::full(1, 1, 1.5),
+                propensity_x: Tensor::full(1, 1, 0.5),
+                ratings: Tensor::zeros(1, 1),
+            }),
+        };
+        ds.validate();
+    }
+}

@@ -1,0 +1,284 @@
+//! Interaction logs: the sparse COO representation of observed feedback.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A user–item pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Pair {
+    /// User index in `0..n_users`.
+    pub user: u32,
+    /// Item index in `0..n_items`.
+    pub item: u32,
+}
+
+impl Pair {
+    /// Creates a pair.
+    #[must_use]
+    pub fn new(user: u32, item: u32) -> Self {
+        Self { user, item }
+    }
+}
+
+/// One observed interaction: a pair plus its rating / conversion label.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Interaction {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+    /// The feedback value (binary labels use 0.0 / 1.0; the semi-synthetic
+    /// five-star source keeps 1.0–5.0).
+    pub rating: f64,
+}
+
+impl Interaction {
+    /// Creates an interaction.
+    #[must_use]
+    pub fn new(user: u32, item: u32, rating: f64) -> Self {
+        Self { user, item, rating }
+    }
+
+    /// The pair without the rating.
+    #[must_use]
+    pub fn pair(&self) -> Pair {
+        Pair::new(self.user, self.item)
+    }
+}
+
+/// A sparse log of observed interactions over an `n_users × n_items` space.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InteractionLog {
+    n_users: usize,
+    n_items: usize,
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionLog {
+    /// An empty log over the given space.
+    #[must_use]
+    pub fn new(n_users: usize, n_items: usize) -> Self {
+        Self {
+            n_users,
+            n_items,
+            interactions: Vec::new(),
+        }
+    }
+
+    /// Builds a log from parts.
+    ///
+    /// # Panics
+    /// Panics when an interaction indexes outside the space.
+    #[must_use]
+    pub fn from_interactions(
+        n_users: usize,
+        n_items: usize,
+        interactions: Vec<Interaction>,
+    ) -> Self {
+        for it in &interactions {
+            assert!(
+                (it.user as usize) < n_users && (it.item as usize) < n_items,
+                "interaction ({}, {}) outside {}x{} space",
+                it.user,
+                it.item,
+                n_users,
+                n_items
+            );
+        }
+        Self {
+            n_users,
+            n_items,
+            interactions,
+        }
+    }
+
+    /// Appends one interaction.
+    ///
+    /// # Panics
+    /// Panics when the pair indexes outside the space.
+    pub fn push(&mut self, it: Interaction) {
+        assert!(
+            (it.user as usize) < self.n_users && (it.item as usize) < self.n_items,
+            "interaction ({}, {}) outside {}x{} space",
+            it.user,
+            it.item,
+            self.n_users,
+            self.n_items
+        );
+        self.interactions.push(it);
+    }
+
+    /// Number of users in the space.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items in the space.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// `|D| = n_users · n_items`.
+    #[must_use]
+    pub fn n_pairs_total(&self) -> usize {
+        self.n_users * self.n_items
+    }
+
+    /// Number of observed interactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Returns `true` when the log holds no interactions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Fraction of the full space that is observed.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.len() as f64 / self.n_pairs_total() as f64
+    }
+
+    /// The interactions.
+    #[must_use]
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Mean rating of the log.
+    ///
+    /// # Panics
+    /// Panics on an empty log.
+    #[must_use]
+    pub fn mean_rating(&self) -> f64 {
+        assert!(!self.is_empty(), "mean_rating of empty log");
+        self.interactions.iter().map(|i| i.rating).sum::<f64>() / self.len() as f64
+    }
+
+    /// Per-user interaction counts.
+    #[must_use]
+    pub fn user_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.n_users];
+        for it in &self.interactions {
+            c[it.user as usize] += 1;
+        }
+        c
+    }
+
+    /// Per-item interaction counts (popularity).
+    #[must_use]
+    pub fn item_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.n_items];
+        for it in &self.interactions {
+            c[it.item as usize] += 1;
+        }
+        c
+    }
+
+    /// Maps every rating through `f` (e.g. the paper's binarisation
+    /// "ratings < 3 → 0, otherwise 1").
+    #[must_use]
+    pub fn map_ratings(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            interactions: self
+                .interactions
+                .iter()
+                .map(|it| Interaction::new(it.user, it.item, f(it.rating)))
+                .collect(),
+        }
+    }
+
+    /// Builds an O(1) membership set over the observed pairs.
+    #[must_use]
+    pub fn pair_set(&self) -> PairSet {
+        PairSet {
+            set: self.interactions.iter().map(Interaction::pair).collect(),
+        }
+    }
+}
+
+/// O(1) membership queries over a set of observed pairs (used by the
+/// full-space losses to label sampled pairs with `o ∈ {0,1}`).
+#[derive(Clone, Debug, Default)]
+pub struct PairSet {
+    set: HashSet<Pair>,
+}
+
+impl PairSet {
+    /// Whether `(user, item)` was observed.
+    #[must_use]
+    pub fn contains(&self, user: u32, item: u32) -> bool {
+        self.set.contains(&Pair::new(user, item))
+    }
+
+    /// Number of observed pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` when no pairs are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> InteractionLog {
+        InteractionLog::from_interactions(
+            3,
+            4,
+            vec![
+                Interaction::new(0, 0, 5.0),
+                Interaction::new(0, 3, 1.0),
+                Interaction::new(2, 1, 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_stats() {
+        let log = sample_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.n_pairs_total(), 12);
+        assert!((log.density() - 0.25).abs() < 1e-12);
+        assert!((log.mean_rating() - 3.0).abs() < 1e-12);
+        assert_eq!(log.user_counts(), vec![2, 0, 1]);
+        assert_eq!(log.item_counts(), vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn binarisation_matches_paper_rule() {
+        let log = sample_log().map_ratings(|r| if r < 3.0 { 0.0 } else { 1.0 });
+        let ratings: Vec<f64> = log.interactions().iter().map(|i| i.rating).collect();
+        assert_eq!(ratings, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pair_set_membership() {
+        let ps = sample_log().pair_set();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.contains(0, 0));
+        assert!(ps.contains(2, 1));
+        assert!(!ps.contains(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_space_interaction_panics() {
+        let mut log = InteractionLog::new(2, 2);
+        log.push(Interaction::new(5, 0, 1.0));
+    }
+}

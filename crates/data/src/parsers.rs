@@ -1,0 +1,203 @@
+//! Parsers for the real datasets' on-disk formats.
+//!
+//! A downstream user with the actual downloads can feed them straight into
+//! the experiment harness:
+//!
+//! * MovieLens-100K `u.data` — tab-separated `user \t item \t rating \t ts`
+//!   with **1-based** ids.
+//! * COAT `train.ascii` / `test.ascii` — a dense space-separated matrix,
+//!   one row per user, `0` meaning unobserved.
+//! * Yahoo! R3 `ydata-*.txt` — `user \t item \t rating` triples, 1-based.
+
+use std::io::BufRead;
+
+use crate::interactions::{Interaction, InteractionLog};
+
+/// Error raised by the dataset parsers.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed line with its 1-based line number.
+    Malformed(usize, String),
+    /// An id was zero where 1-based ids were expected.
+    ZeroId(usize),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(line, s) => write!(f, "line {line}: malformed record {s:?}"),
+            ParseError::ZeroId(line) => write!(f, "line {line}: zero id in 1-based format"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses MovieLens `u.data` (tab-separated, 1-based ids, trailing
+/// timestamp ignored). The space is sized by the maximum ids seen.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed records or zero ids.
+pub fn parse_movielens(reader: impl BufRead) -> Result<InteractionLog, ParseError> {
+    parse_triples(reader, '\t', true)
+}
+
+/// Parses Yahoo! R3 triple files (`user \t item \t rating`, 1-based ids).
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed records or zero ids.
+pub fn parse_yahoo_triples(reader: impl BufRead) -> Result<InteractionLog, ParseError> {
+    parse_triples(reader, '\t', true)
+}
+
+fn parse_triples(
+    reader: impl BufRead,
+    sep: char,
+    one_based: bool,
+) -> Result<InteractionLog, ParseError> {
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+    let (mut max_u, mut max_i) = (0u32, 0u32);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(sep).filter(|s| !s.is_empty());
+        let (u, i, r) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(i), Some(r)) => (u, i, r),
+            _ => return Err(ParseError::Malformed(lineno + 1, line.to_string())),
+        };
+        let parse_id = |s: &str| -> Result<u32, ParseError> {
+            s.parse::<u32>()
+                .map_err(|_| ParseError::Malformed(lineno + 1, line.to_string()))
+        };
+        let mut u: u32 = parse_id(u)?;
+        let mut i: u32 = parse_id(i)?;
+        let r: f64 = r
+            .parse()
+            .map_err(|_| ParseError::Malformed(lineno + 1, line.to_string()))?;
+        if one_based {
+            if u == 0 || i == 0 {
+                return Err(ParseError::ZeroId(lineno + 1));
+            }
+            u -= 1;
+            i -= 1;
+        }
+        max_u = max_u.max(u);
+        max_i = max_i.max(i);
+        entries.push((u, i, r));
+    }
+    let mut log = InteractionLog::new(max_u as usize + 1, max_i as usize + 1);
+    for (u, i, r) in entries {
+        log.push(Interaction::new(u, i, r));
+    }
+    Ok(log)
+}
+
+/// Parses a COAT-style dense ASCII matrix: one row per user, space-separated
+/// integer ratings, `0` = unobserved.
+///
+/// # Errors
+/// Returns [`ParseError`] on ragged rows or non-numeric cells.
+pub fn parse_coat_ascii(reader: impl BufRead) -> Result<InteractionLog, ParseError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<f64>()
+                    .map_err(|_| ParseError::Malformed(lineno + 1, tok.to_string()))
+            })
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(ParseError::Malformed(lineno + 1, "ragged row".into()));
+            }
+        }
+        rows.push(row);
+    }
+    let n_items = rows.first().map_or(0, Vec::len);
+    let mut log = InteractionLog::new(rows.len(), n_items);
+    for (u, row) in rows.iter().enumerate() {
+        for (i, &r) in row.iter().enumerate() {
+            if r != 0.0 {
+                log.push(Interaction::new(u as u32, i as u32, r));
+            }
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn movielens_roundtrip() {
+        let data = "1\t2\t5\t881250949\n3\t1\t3\t891717742\n";
+        let log = parse_movielens(Cursor::new(data)).unwrap();
+        assert_eq!(log.n_users(), 3);
+        assert_eq!(log.n_items(), 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.interactions()[0], Interaction::new(0, 1, 5.0));
+        assert_eq!(log.interactions()[1], Interaction::new(2, 0, 3.0));
+    }
+
+    #[test]
+    fn movielens_rejects_zero_ids() {
+        let err = parse_movielens(Cursor::new("0\t2\t5\t0\n")).unwrap_err();
+        assert!(matches!(err, ParseError::ZeroId(1)));
+    }
+
+    #[test]
+    fn movielens_rejects_garbage() {
+        let err = parse_movielens(Cursor::new("1\tnope\t5\t0\n")).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(1, _)));
+    }
+
+    #[test]
+    fn yahoo_triples_without_timestamp() {
+        let log = parse_yahoo_triples(Cursor::new("1\t1\t4\n2\t3\t1\n\n")).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.n_items(), 3);
+    }
+
+    #[test]
+    fn coat_ascii_skips_zeros() {
+        let data = "5 0 3\n0 0 1\n";
+        let log = parse_coat_ascii(Cursor::new(data)).unwrap();
+        assert_eq!(log.n_users(), 2);
+        assert_eq!(log.n_items(), 3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.interactions()[0], Interaction::new(0, 0, 5.0));
+        assert_eq!(log.interactions()[2], Interaction::new(1, 2, 1.0));
+    }
+
+    #[test]
+    fn coat_ascii_rejects_ragged_rows() {
+        let err = parse_coat_ascii(Cursor::new("1 2 3\n1 2\n")).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(2, _)));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_log() {
+        let log = parse_coat_ascii(Cursor::new("")).unwrap();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! The paper's semi-synthetic ML-100K pipeline (Section V, Steps 1–3).
+//!
+//! The original protocol seeds the pipeline with the real MovieLens-100K
+//! log; offline we substitute [`ml100k_like`], a generator that matches its
+//! shape (943 users × 1,682 items, ≈100k five-star MNAR ratings whose
+//! observation probability increases with the rating). The substitution is
+//! benign because Steps 1–3 only consume the *observed* log:
+//!
+//! 1. Fit matrix factorisation on the observed ratings, predict a rating
+//!    for every pair, clip to `[0, 5]`, and standardise to a conversion
+//!    probability `η` via eq. (11) with noise floor `ε`.
+//! 2. Set the observation probability `p = (2^η − 1)^ρ`, coupling `o`
+//!    to the conversion probability (the MNAR ingredient).
+//! 3. Sample `r ~ Bern(η)` and `o ~ Bern(p)` for every pair.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use dt_stats::sample_bernoulli;
+use dt_tensor::Tensor;
+
+use crate::dataset::{Dataset, GroundTruth};
+use crate::interactions::{Interaction, InteractionLog};
+
+/// Configuration of the semi-synthetic pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct SemiSyntheticConfig {
+    /// Noise floor `ε` of eq. (11).
+    pub epsilon: f64,
+    /// Sparsity/correlation exponent `ρ` of Step 2.
+    pub rho: f64,
+    /// Latent dimension of the completing MF model.
+    pub mf_dim: usize,
+    /// Training epochs of the completing MF model.
+    pub mf_epochs: usize,
+    /// RNG seed (drives both the source log and the resampling).
+    pub seed: u64,
+    /// Users in the source log (paper: 943).
+    pub n_users: usize,
+    /// Items in the source log (paper: 1,682).
+    pub n_items: usize,
+    /// Observed ratings in the source log (paper: 100,000).
+    pub n_ratings: usize,
+}
+
+impl Default for SemiSyntheticConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.3,
+            rho: 1.0,
+            mf_dim: 12,
+            mf_epochs: 20,
+            seed: 0,
+            n_users: 943,
+            n_items: 1682,
+            n_ratings: 100_000,
+        }
+    }
+}
+
+/// Generates an ML-100K-shaped five-star MNAR log: a latent-factor rating
+/// surface discretised to 1–5 stars, with observation probability
+/// increasing in the rating (users rate what they like).
+///
+/// # Panics
+/// Panics when more ratings are requested than the space holds.
+#[must_use]
+pub fn ml100k_like(n_users: usize, n_items: usize, n_ratings: usize, seed: u64) -> InteractionLog {
+    assert!(
+        n_ratings <= n_users * n_items,
+        "ml100k_like: {n_ratings} ratings in a {}-pair space",
+        n_users * n_items
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_SOURCE);
+    let d = 8;
+    let u = dt_tensor::normal(n_users, d, 0.0, 0.6 / (d as f64).sqrt(), &mut rng);
+    let v = dt_tensor::normal(n_items, d, 0.0, 0.6, &mut rng);
+    let ub = dt_tensor::normal(n_users, 1, 0.0, 0.4, &mut rng);
+    let ib = dt_tensor::normal(1, n_items, 0.0, 0.4, &mut rng);
+    let score = u
+        .matmul_nt(&v)
+        .add_col_broadcast(&ub)
+        .add_row_broadcast(&ib);
+
+    // Stars: 3.6 + score + noise, rounded into 1..=5 (ML-100K's mean is 3.53).
+    let stars = Tensor::from_fn(n_users, n_items, |i, j| {
+        let raw = 3.6 + 1.1 * score.get(i, j) + 0.4 * rng.gen::<f64>();
+        raw.round().clamp(1.0, 5.0)
+    });
+
+    // MNAR selection: weight ∝ base^stars (higher-rated pairs more likely
+    // logged). Sample without replacement via exponential race.
+    let base: f64 = 1.8;
+    let mut keyed: Vec<(f64, u32, u32)> = Vec::with_capacity(n_users * n_items);
+    for i in 0..n_users {
+        for j in 0..n_items {
+            let w = base.powf(stars.get(i, j));
+            let key = -rng.gen::<f64>().ln() / w; // Exp(w): smallest keys win
+            keyed.push((key, i as u32, j as u32));
+        }
+    }
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut log = InteractionLog::new(n_users, n_items);
+    for &(_, i, j) in keyed.iter().take(n_ratings) {
+        log.push(Interaction::new(i, j, stars.get(i as usize, j as usize)));
+    }
+    log
+}
+
+/// Seed-mixing constants keeping the three RNG streams of the pipeline
+/// (source log, MF init, resampling) independent under a shared user seed.
+const SEED_SOURCE: u64 = 0x5EED_0001;
+const SEED_MF: u64 = 0x5EED_0002;
+const SEED_RESAMPLE: u64 = 0x5EED_0003;
+
+/// The matrix-factorisation completion used by Step 1: biases + latent
+/// factors fitted by SGD on the observed five-star ratings.
+#[derive(Debug)]
+pub struct MfCompletion {
+    user_f: Tensor,
+    item_f: Tensor,
+    user_b: Vec<f64>,
+    item_b: Vec<f64>,
+    mu: f64,
+}
+
+impl MfCompletion {
+    /// Fits the completion model on a five-star log.
+    ///
+    /// # Panics
+    /// Panics on an empty log.
+    #[must_use]
+    pub fn fit(log: &InteractionLog, dim: usize, epochs: usize, seed: u64) -> Self {
+        assert!(!log.is_empty(), "MfCompletion: empty log");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m, n) = (log.n_users(), log.n_items());
+        let mut model = Self {
+            user_f: dt_tensor::normal(m, dim, 0.0, 0.1, &mut rng),
+            item_f: dt_tensor::normal(n, dim, 0.0, 0.1, &mut rng),
+            user_b: vec![0.0; m],
+            item_b: vec![0.0; n],
+            mu: log.mean_rating(),
+        };
+        let lr = 0.01;
+        let reg = 0.02;
+        let mut order: Vec<usize> = (0..log.len()).collect();
+        for _ in 0..epochs {
+            rand::seq::SliceRandom::shuffle(&mut order[..], &mut rng);
+            for &k in &order {
+                let it = log.interactions()[k];
+                let (ui, ii) = (it.user as usize, it.item as usize);
+                let err = model.predict(ui, ii) - it.rating;
+                model.user_b[ui] -= lr * (err + reg * model.user_b[ui]);
+                model.item_b[ii] -= lr * (err + reg * model.item_b[ii]);
+                for t in 0..dim {
+                    let uf = model.user_f.get(ui, t);
+                    let vf = model.item_f.get(ii, t);
+                    model.user_f.set(ui, t, uf - lr * (err * vf + reg * uf));
+                    model.item_f.set(ii, t, vf - lr * (err * uf + reg * vf));
+                }
+            }
+        }
+        model
+    }
+
+    /// Predicted rating (unclipped).
+    #[must_use]
+    pub fn predict(&self, user: usize, item: usize) -> f64 {
+        self.mu
+            + self.user_b[user]
+            + self.item_b[item]
+            + self
+                .user_f
+                .row(user)
+                .iter()
+                .zip(self.item_f.row(item))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+
+    /// The full completed matrix, clipped to `[0, 5]` per Step 1.
+    #[must_use]
+    pub fn completed_matrix(&self) -> Tensor {
+        let m = self.user_b.len();
+        let n = self.item_b.len();
+        Tensor::from_fn(m, n, |i, j| self.predict(i, j).clamp(0.0, 5.0))
+    }
+
+    /// Root-mean-squared error on a log.
+    #[must_use]
+    pub fn rmse(&self, log: &InteractionLog) -> f64 {
+        let se: f64 = log
+            .interactions()
+            .iter()
+            .map(|it| {
+                let e = self.predict(it.user as usize, it.item as usize) - it.rating;
+                e * e
+            })
+            .sum();
+        (se / log.len() as f64).sqrt()
+    }
+}
+
+/// Runs the full semi-synthetic pipeline and returns a dataset whose ground
+/// truth carries `η` (preference), `p` (propensity) and the realized binary
+/// conversions.
+#[must_use]
+pub fn semi_synthetic(cfg: &SemiSyntheticConfig) -> Dataset {
+    assert!(
+        (0.0..=1.0).contains(&cfg.epsilon),
+        "epsilon must be in [0,1]"
+    );
+    assert!(cfg.rho > 0.0, "rho must be positive");
+    let source = ml100k_like(cfg.n_users, cfg.n_items, cfg.n_ratings, cfg.seed);
+
+    // Step 1: complete with MF, clip, standardise to η via eq. (11).
+    let mf = MfCompletion::fit(&source, cfg.mf_dim, cfg.mf_epochs, cfg.seed ^ SEED_MF);
+    let gamma = mf.completed_matrix();
+    let (g_min, g_max) = (gamma.min(), gamma.max());
+    let span = (g_max - g_min).max(1e-12);
+    let eta = gamma.map(|g| cfg.epsilon + (1.0 - cfg.epsilon) * (g - g_min) / span);
+
+    // Step 2: observation probability coupled to η.
+    let p = eta.map(|e| (2f64.powf(e) - 1.0).powf(cfg.rho));
+
+    // Step 3: realize conversions and observations.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ SEED_RESAMPLE);
+    let (m, n) = (cfg.n_users, cfg.n_items);
+    let ratings = Tensor::from_fn(m, n, |i, j| {
+        f64::from(sample_bernoulli(eta.get(i, j), &mut rng))
+    });
+    let mut train = InteractionLog::new(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            if sample_bernoulli(p.get(i, j), &mut rng) {
+                train.push(Interaction::new(i as u32, j as u32, ratings.get(i, j)));
+            }
+        }
+    }
+
+    let ds = Dataset {
+        name: format!("semi-synthetic(rho={}, eps={})", cfg.rho, cfg.epsilon),
+        n_users: m,
+        n_items: n,
+        train,
+        test: InteractionLog::new(m, n), // evaluation is against η directly
+        truth: Some(GroundTruth {
+            preference: eta,
+            propensity_xr: p.clone(),
+            // In this protocol p is a deterministic function of η = E[r|x],
+            // i.e. a function of x alone — but because r ~ Bern(η) and p is
+            // strongly coupled to η, observed conversions remain informative
+            // about missingness. The MAR propensity equals p here.
+            propensity_x: p,
+            ratings,
+        }),
+    };
+    ds.validate();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SemiSyntheticConfig {
+        SemiSyntheticConfig {
+            n_users: 60,
+            n_items: 90,
+            n_ratings: 700,
+            mf_epochs: 10,
+            seed: 5,
+            ..SemiSyntheticConfig::default()
+        }
+    }
+
+    #[test]
+    fn source_log_shape_and_star_range() {
+        let log = ml100k_like(50, 80, 400, 1);
+        assert_eq!(log.len(), 400);
+        for it in log.interactions() {
+            assert!((1.0..=5.0).contains(&it.rating));
+            assert_eq!(it.rating, it.rating.round());
+        }
+    }
+
+    #[test]
+    fn source_log_is_mnar_shaped() {
+        // Observed mean stars should exceed ~the midpoint because selection
+        // favours high ratings.
+        let log = ml100k_like(100, 150, 1500, 2);
+        assert!(log.mean_rating() > 3.4, "mean {}", log.mean_rating());
+    }
+
+    #[test]
+    fn mf_completion_learns_the_log() {
+        let log = ml100k_like(60, 90, 1200, 3);
+        let untrained_rmse = {
+            let m = MfCompletion::fit(&log, 8, 0, 3);
+            m.rmse(&log)
+        };
+        let trained = MfCompletion::fit(&log, 8, 15, 3);
+        assert!(trained.rmse(&log) < untrained_rmse * 0.9);
+        let full = trained.completed_matrix();
+        assert!(full.min() >= 0.0 && full.max() <= 5.0);
+    }
+
+    #[test]
+    fn eta_respects_epsilon_floor() {
+        let ds = semi_synthetic(&tiny_cfg());
+        let t = ds.truth.unwrap();
+        assert!(t.preference.min() >= 0.3 - 1e-12);
+        assert!(t.preference.max() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn step2_formula_is_applied() {
+        let ds = semi_synthetic(&tiny_cfg());
+        let t = ds.truth.unwrap();
+        for idx in [(0usize, 0usize), (3, 7), (50, 80)] {
+            let eta = t.preference.get(idx.0, idx.1);
+            let expected = (2f64.powf(eta) - 1.0).powf(1.0);
+            assert!((t.propensity_xr.get(idx.0, idx.1) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_rho_means_sparser_observations() {
+        let mut cfg = tiny_cfg();
+        cfg.rho = 0.5;
+        let dense = semi_synthetic(&cfg);
+        cfg.rho = 1.5;
+        let sparse = semi_synthetic(&cfg);
+        assert!(sparse.train.density() < dense.train.density());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = semi_synthetic(&tiny_cfg());
+        let b = semi_synthetic(&tiny_cfg());
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.truth.unwrap().ratings, b.truth.unwrap().ratings);
+    }
+
+    #[test]
+    fn conversions_correlate_with_observations() {
+        // The whole point of the protocol: r and o must be correlated.
+        let ds = semi_synthetic(&tiny_cfg());
+        let t = ds.truth.as_ref().unwrap();
+        let pop_rate = t.ratings.mean();
+        let obs_rate = ds.train.mean_rating();
+        assert!(
+            obs_rate > pop_rate,
+            "observed conversion rate {obs_rate} should exceed population {pop_rate}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Training-set subsampling for the data-sparsity experiment (Figure 5).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::interactions::InteractionLog;
+
+/// Returns a copy of `ds` whose training log is uniformly subsampled to
+/// `keep_frac` of its interactions; the test set and ground truth are left
+/// untouched. Used to sweep the sparsity axis of the paper's Figure 5.
+///
+/// # Panics
+/// Panics when `keep_frac` is outside `(0, 1]`.
+#[must_use]
+pub fn sparsify(ds: &Dataset, keep_frac: f64, rng: &mut impl Rng) -> Dataset {
+    assert!(
+        keep_frac > 0.0 && keep_frac <= 1.0,
+        "sparsify: keep_frac must be in (0,1], got {keep_frac}"
+    );
+    if (keep_frac - 1.0).abs() < f64::EPSILON {
+        return ds.clone();
+    }
+    let keep = ((ds.train.len() as f64) * keep_frac).round().max(1.0) as usize;
+    let mut order: Vec<usize> = (0..ds.train.len()).collect();
+    order.shuffle(rng);
+    let mut train = InteractionLog::new(ds.n_users, ds.n_items);
+    for &i in order.iter().take(keep) {
+        train.push(ds.train.interactions()[i]);
+    }
+    Dataset {
+        name: format!("{}@{:.0}%", ds.name, keep_frac * 100.0),
+        n_users: ds.n_users,
+        n_items: ds.n_items,
+        train,
+        test: ds.test.clone(),
+        truth: ds.truth.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        let mut train = InteractionLog::new(10, 10);
+        for u in 0..10u32 {
+            for i in 0..10u32 {
+                train.push(Interaction::new(u, i, 1.0));
+            }
+        }
+        Dataset {
+            name: "full".into(),
+            n_users: 10,
+            n_items: 10,
+            train,
+            test: InteractionLog::new(10, 10),
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn halving_halves_the_log() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let half = sparsify(&ds, 0.5, &mut rng);
+        assert_eq!(half.train.len(), 50);
+        assert_eq!(half.n_users, 10);
+        assert!(half.name.contains("50%"));
+    }
+
+    #[test]
+    fn full_fraction_is_identity() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let same = sparsify(&ds, 1.0, &mut rng);
+        assert_eq!(same.train.len(), 100);
+        assert_eq!(same.name, "full");
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_at_least_one() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tiny = sparsify(&ds, 0.001, &mut rng);
+        assert!(!tiny.train.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_frac")]
+    fn zero_fraction_panics() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sparsify(&ds, 0.0, &mut rng);
+    }
+}

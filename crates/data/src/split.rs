@@ -1,0 +1,127 @@
+//! Train/validation splitting utilities.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::interactions::InteractionLog;
+
+/// Random holdout split: returns `(train, holdout)` with `holdout_frac` of
+/// the interactions held out.
+///
+/// # Panics
+/// Panics when `holdout_frac` is outside `[0, 1)`.
+#[must_use]
+pub fn holdout_split(
+    log: &InteractionLog,
+    holdout_frac: f64,
+    rng: &mut impl Rng,
+) -> (InteractionLog, InteractionLog) {
+    assert!(
+        (0.0..1.0).contains(&holdout_frac),
+        "holdout_split: frac must be in [0,1), got {holdout_frac}"
+    );
+    let mut order: Vec<usize> = (0..log.len()).collect();
+    order.shuffle(rng);
+    let n_holdout = (log.len() as f64 * holdout_frac).round() as usize;
+    let (m, n) = (log.n_users(), log.n_items());
+    let mut train = InteractionLog::new(m, n);
+    let mut holdout = InteractionLog::new(m, n);
+    for (k, &i) in order.iter().enumerate() {
+        let it = log.interactions()[i];
+        if k < n_holdout {
+            holdout.push(it);
+        } else {
+            train.push(it);
+        }
+    }
+    (train, holdout)
+}
+
+/// Leave-k-out per user: up to `k` interactions of every user are held out
+/// (users with fewer than `k + 1` interactions keep everything in train).
+#[must_use]
+pub fn leave_k_out(
+    log: &InteractionLog,
+    k: usize,
+    rng: &mut impl Rng,
+) -> (InteractionLog, InteractionLog) {
+    let (m, n) = (log.n_users(), log.n_items());
+    let mut by_user: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (i, it) in log.interactions().iter().enumerate() {
+        by_user[it.user as usize].push(i);
+    }
+    let mut train = InteractionLog::new(m, n);
+    let mut holdout = InteractionLog::new(m, n);
+    for idxs in &mut by_user {
+        idxs.shuffle(rng);
+        let n_out = if idxs.len() > k { k } else { 0 };
+        for (pos, &i) in idxs.iter().enumerate() {
+            let it = log.interactions()[i];
+            if pos < n_out {
+                holdout.push(it);
+            } else {
+                train.push(it);
+            }
+        }
+    }
+    (train, holdout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn log() -> InteractionLog {
+        let mut l = InteractionLog::new(4, 10);
+        for u in 0..4u32 {
+            for i in 0..10u32 {
+                l.push(Interaction::new(u, i, f64::from(u * 10 + i)));
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn holdout_sizes_add_up() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, hold) = holdout_split(&l, 0.25, &mut rng);
+        assert_eq!(hold.len(), 10);
+        assert_eq!(train.len(), 30);
+        // No interaction lost or duplicated.
+        let total: f64 = train
+            .interactions()
+            .iter()
+            .chain(hold.interactions())
+            .map(|i| i.rating)
+            .sum();
+        let expected: f64 = l.interactions().iter().map(|i| i.rating).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn leave_k_out_per_user() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, hold) = leave_k_out(&l, 2, &mut rng);
+        assert_eq!(hold.len(), 8);
+        assert_eq!(train.len(), 32);
+        assert!(hold.user_counts().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn leave_k_out_spares_small_users() {
+        let mut l = InteractionLog::new(2, 5);
+        l.push(Interaction::new(0, 0, 1.0));
+        l.push(Interaction::new(0, 1, 1.0));
+        l.push(Interaction::new(1, 0, 1.0)); // user 1 has only one rating
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, hold) = leave_k_out(&l, 1, &mut rng);
+        assert_eq!(train.user_counts()[1], 1, "small user kept intact");
+        assert_eq!(hold.user_counts()[1], 0);
+        assert_eq!(hold.user_counts()[0], 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the data substrate.
+
+use dt_data::{
+    holdout_split, sparsify, uniform_pairs, BatchIter, Dataset, Interaction, InteractionLog,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_log() -> impl Strategy<Value = InteractionLog> {
+    (2usize..12, 2usize..12).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m as u32, 0..n as u32, 0.0f64..5.0), 1..40).prop_map(
+            move |entries| {
+                let mut log = InteractionLog::new(m, n);
+                for (u, i, r) in entries {
+                    log.push(Interaction::new(u, i, r));
+                }
+                log
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn batch_iter_partitions_the_epoch(log in arbitrary_log(), batch in 1usize..16, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let it = BatchIter::new(&log, batch, &mut rng);
+        let n_batches = it.n_batches();
+        let batches: Vec<_> = it.collect();
+        prop_assert_eq!(batches.len(), n_batches);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, log.len());
+        // Every batch except possibly the last is full-size.
+        for b in &batches[..batches.len().saturating_sub(1)] {
+            prop_assert_eq!(b.len(), batch);
+        }
+        // Multiset of ratings preserved.
+        let mut seen: Vec<f64> = batches.iter().flatten().map(|i| i.rating).collect();
+        let mut orig: Vec<f64> = log.interactions().iter().map(|i| i.rating).collect();
+        seen.sort_by(f64::total_cmp);
+        orig.sort_by(f64::total_cmp);
+        prop_assert_eq!(seen, orig);
+    }
+
+    #[test]
+    fn holdout_split_partitions(log in arbitrary_log(), frac in 0.0f64..0.9, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, hold) = holdout_split(&log, frac, &mut rng);
+        prop_assert_eq!(train.len() + hold.len(), log.len());
+        let expected_holdout = (log.len() as f64 * frac).round() as usize;
+        prop_assert_eq!(hold.len(), expected_holdout);
+    }
+
+    #[test]
+    fn uniform_pairs_stay_in_bounds(m in 1usize..50, n in 1usize..50, k in 0usize..200, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = uniform_pairs(m, n, k, &mut rng);
+        prop_assert_eq!(pairs.len(), k);
+        for p in pairs {
+            prop_assert!((p.user as usize) < m && (p.item as usize) < n);
+        }
+    }
+
+    #[test]
+    fn sparsify_keeps_the_requested_fraction(log in arbitrary_log(), frac in 0.05f64..1.0, seed in 0u64..50) {
+        let ds = Dataset {
+            name: "prop".into(),
+            n_users: log.n_users(),
+            n_items: log.n_items(),
+            train: log.clone(),
+            test: InteractionLog::new(log.n_users(), log.n_items()),
+            truth: None,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sub = sparsify(&ds, frac, &mut rng);
+        let expected = ((log.len() as f64 * frac).round().max(1.0)) as usize;
+        prop_assert_eq!(sub.train.len(), expected);
+        prop_assert_eq!(sub.n_users, ds.n_users);
+        // Subsample is a subset: every kept interaction exists in the original.
+        let orig = ds.train.pair_set();
+        for it in sub.train.interactions() {
+            prop_assert!(orig.contains(it.user, it.item));
+        }
+    }
+
+    #[test]
+    fn pair_set_agrees_with_membership(log in arbitrary_log()) {
+        let set = log.pair_set();
+        for it in log.interactions() {
+            prop_assert!(set.contains(it.user, it.item));
+        }
+        // A pair outside the space is never contained.
+        prop_assert!(!set.contains(log.n_users() as u32 + 5, 0));
+    }
+
+    #[test]
+    fn density_is_consistent(log in arbitrary_log()) {
+        // Logs may contain duplicate pairs (repeat events), so density is
+        // only lower-bounded; the defining identity must hold exactly.
+        let d = log.density();
+        prop_assert!(d >= 0.0);
+        prop_assert!((d * log.n_pairs_total() as f64 - log.len() as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,403 @@
+//! Exact bias analysis: the expectations of the estimators over the
+//! missingness realisation, computable because the generators expose the
+//! true propensities.
+//!
+//! This module turns the paper's Table I into a measurement. Conditioning
+//! on the realized ratings (which is the relevant conditioning — ratings
+//! are drawn first, then the mechanism decides what is observed):
+//!
+//! * `E[IPS] = (1/|D|) Σ p·e/p̂` where `p = P(o=1|x,r)` is the true MNAR
+//!   propensity and `p̂` the propensity the estimator *uses*;
+//! * `E[DR]  = (1/|D|) Σ [ê + p·(e − ê)/p̂]`;
+//! * `E[naive] ≈ Σ p·e / Σ p` (ratio-of-expectations approximation, exact
+//!   as `|D| → ∞`).
+//!
+//! Lemma 1 (unbiasedness under accurate propensities), Lemma 2(a) (IPS/DR
+//! biased under MNAR with the MAR propensity) and Lemma 2(b) (unbiased
+//! with the MNAR propensity) all become assertions on these quantities —
+//! see the tests.
+
+use dt_data::{Dataset, GroundTruth};
+use dt_tensor::Tensor;
+
+use crate::estimator::ideal;
+
+/// Which propensity a (hypothetical) estimator plugs in — the rows of the
+/// paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropensityKind {
+    /// The constant `P(o = 1)`.
+    Mcar,
+    /// The feature-only `P(o = 1 | x)`.
+    Mar,
+    /// The full `P(o = 1 | x, r)`.
+    Mnar,
+}
+
+impl PropensityKind {
+    /// All three kinds, in Table I order.
+    pub const ALL: [PropensityKind; 3] = [
+        PropensityKind::Mcar,
+        PropensityKind::Mar,
+        PropensityKind::Mnar,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PropensityKind::Mcar => "MCAR propensity P(o=1)",
+            PropensityKind::Mar => "MAR propensity P(o=1|x)",
+            PropensityKind::Mnar => "MNAR propensity P(o=1|x,r)",
+        }
+    }
+
+    /// Extracts the corresponding oracle propensity matrix.
+    #[must_use]
+    pub fn oracle(&self, truth: &GroundTruth) -> Tensor {
+        match self {
+            PropensityKind::Mcar => {
+                let mean = truth.propensity_xr.mean();
+                Tensor::full(
+                    truth.propensity_xr.rows(),
+                    truth.propensity_xr.cols(),
+                    mean,
+                )
+            }
+            PropensityKind::Mar => truth.propensity_x.clone(),
+            PropensityKind::Mnar => truth.propensity_xr.clone(),
+        }
+    }
+}
+
+/// `E[IPS]` over the missingness realisation.
+#[must_use]
+pub fn expected_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
+    errors.mul(true_prop).div(used_prop).mean()
+}
+
+/// `E[DR]` over the missingness realisation.
+#[must_use]
+pub fn expected_dr(
+    errors: &Tensor,
+    true_prop: &Tensor,
+    used_prop: &Tensor,
+    imputed: &Tensor,
+) -> f64 {
+    let corr = errors.sub(imputed).mul(true_prop).div(used_prop);
+    imputed.add(&corr).mean()
+}
+
+/// `E[naive]` (ratio-of-expectations approximation).
+#[must_use]
+pub fn expected_naive(errors: &Tensor, true_prop: &Tensor) -> f64 {
+    errors.mul(true_prop).sum() / true_prop.sum()
+}
+
+/// `|E[IPS] − ideal|`.
+#[must_use]
+pub fn bias_of_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
+    (expected_ips(errors, true_prop, used_prop) - ideal(errors)).abs()
+}
+
+/// `|E[DR] − ideal|`.
+#[must_use]
+pub fn bias_of_dr(
+    errors: &Tensor,
+    true_prop: &Tensor,
+    used_prop: &Tensor,
+    imputed: &Tensor,
+) -> f64 {
+    (expected_dr(errors, true_prop, used_prop, imputed) - ideal(errors)).abs()
+}
+
+/// `|E[naive] − ideal|`.
+#[must_use]
+pub fn bias_of_naive(errors: &Tensor, true_prop: &Tensor) -> f64 {
+    (expected_naive(errors, true_prop) - ideal(errors)).abs()
+}
+
+/// The Table I grid: IPS bias for every propensity kind on one dataset.
+#[derive(Debug, Clone)]
+pub struct BiasGrid {
+    /// `(kind, |bias|, relative bias)` per row.
+    pub rows: Vec<(PropensityKind, f64, f64)>,
+    /// The ideal loss the biases are measured against.
+    pub ideal_loss: f64,
+}
+
+impl BiasGrid {
+    /// Computes the grid for a generated dataset, using squared error of a
+    /// supplied prediction matrix against the realized ratings.
+    ///
+    /// # Panics
+    /// Panics when the dataset has no ground truth.
+    #[must_use]
+    pub fn compute(ds: &Dataset, predictions: &Tensor) -> Self {
+        let truth = ds
+            .truth
+            .as_ref()
+            .expect("BiasGrid: dataset has no ground truth");
+        let errors = predictions.sub(&truth.ratings).map(|d| d * d);
+        let ideal_loss = ideal(&errors);
+        let rows = PropensityKind::ALL
+            .iter()
+            .map(|kind| {
+                let used = kind.oracle(truth);
+                let bias = bias_of_ips(&errors, &truth.propensity_xr, &used);
+                (*kind, bias, bias / ideal_loss.abs().max(1e-12))
+            })
+            .collect();
+        Self { rows, ideal_loss }
+    }
+
+    /// Whether the given propensity kind yields (near-)unbiasedness, at a
+    /// relative tolerance.
+    #[must_use]
+    pub fn is_unbiased(&self, kind: PropensityKind, rel_tol: f64) -> bool {
+        self.rows
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, _, rel)| *rel < rel_tol)
+            .expect("kind always present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{dr, ips};
+    use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(mech: Mechanism) -> Dataset {
+        mechanism_dataset(
+            mech,
+            &MechanismConfig {
+                n_users: 100,
+                n_items: 150,
+                target_density: 0.1,
+                feature_effect: 1.2,
+                rating_effect: 2.0,
+                seed: 21,
+                ..MechanismConfig::default()
+            },
+        )
+    }
+
+    /// A fixed, imperfect prediction matrix whose errors correlate with the
+    /// ratings (as any real model's errors do).
+    fn predictions(ds: &Dataset) -> Tensor {
+        let t = ds.truth.as_ref().unwrap();
+        t.preference.map(|p| 0.8 * p + 0.1)
+    }
+
+    #[test]
+    fn lemma1_ips_unbiased_under_mar_with_true_propensity() {
+        let ds = dataset(Mechanism::Mar);
+        let grid = BiasGrid::compute(&ds, &predictions(&ds));
+        assert!(grid.is_unbiased(PropensityKind::Mar, 1e-9));
+        assert!(grid.is_unbiased(PropensityKind::Mnar, 1e-9));
+        assert!(!grid.is_unbiased(PropensityKind::Mcar, 0.01));
+    }
+
+    #[test]
+    fn lemma2a_mar_propensity_biased_under_mnar() {
+        let ds = dataset(Mechanism::Mnar);
+        let grid = BiasGrid::compute(&ds, &predictions(&ds));
+        assert!(
+            !grid.is_unbiased(PropensityKind::Mar, 0.01),
+            "MAR propensity must be biased under MNAR: {:?}",
+            grid.rows
+        );
+        assert!(!grid.is_unbiased(PropensityKind::Mcar, 0.01));
+    }
+
+    #[test]
+    fn lemma2b_mnar_propensity_unbiased_under_mnar() {
+        let ds = dataset(Mechanism::Mnar);
+        let grid = BiasGrid::compute(&ds, &predictions(&ds));
+        assert!(grid.is_unbiased(PropensityKind::Mnar, 1e-9));
+    }
+
+    #[test]
+    fn mcar_everything_is_unbiased() {
+        let ds = dataset(Mechanism::Mcar);
+        let grid = BiasGrid::compute(&ds, &predictions(&ds));
+        for kind in PropensityKind::ALL {
+            assert!(grid.is_unbiased(kind, 1e-9), "{kind:?} under MCAR");
+        }
+    }
+
+    #[test]
+    fn dr_bias_vanishes_with_accurate_imputation_even_under_mnar() {
+        // Lemma 1's DR clause, stressed under MNAR with a *wrong*
+        // propensity but perfect imputation.
+        let ds = dataset(Mechanism::Mnar);
+        let truth = ds.truth.as_ref().unwrap();
+        let errors = predictions(&ds).sub(&truth.ratings).map(|d| d * d);
+        let wrong_prop = PropensityKind::Mar.oracle(truth);
+        let bias = bias_of_dr(&errors, &truth.propensity_xr, &wrong_prop, &errors);
+        assert!(bias < 1e-12);
+    }
+
+    #[test]
+    fn naive_estimator_is_biased_under_mnar() {
+        let ds = dataset(Mechanism::Mnar);
+        let truth = ds.truth.as_ref().unwrap();
+        let errors = predictions(&ds).sub(&truth.ratings).map(|d| d * d);
+        let rel = bias_of_naive(&errors, &truth.propensity_xr) / ideal(&errors);
+        assert!(rel > 0.05, "relative naive bias {rel}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        // Sample many missingness realisations and check the empirical mean
+        // of the IPS estimator converges to expected_ips.
+        let ds = dataset(Mechanism::Mnar);
+        let truth = ds.truth.as_ref().unwrap();
+        let errors = predictions(&ds).sub(&truth.ratings).map(|d| d * d);
+        let used = PropensityKind::Mar.oracle(truth);
+        let expected = expected_ips(&errors, &truth.propensity_xr, &used);
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let n_trials = 60;
+        let mut sum_ips = 0.0;
+        let mut sum_dr = 0.0;
+        let imputed = Tensor::full(errors.rows(), errors.cols(), 0.05);
+        for _ in 0..n_trials {
+            let o = Tensor::from_fn(errors.rows(), errors.cols(), |i, j| {
+                f64::from(rng.gen::<f64>() < truth.propensity_xr.get(i, j))
+            });
+            sum_ips += ips(&errors, &o, &used);
+            sum_dr += dr(&errors, &o, &used, &imputed);
+        }
+        let mc_ips = sum_ips / n_trials as f64;
+        assert!(
+            (mc_ips - expected).abs() < 0.01,
+            "MC {mc_ips} vs closed form {expected}"
+        );
+        let expected_dr_v = expected_dr(&errors, &truth.propensity_xr, &used, &imputed);
+        let mc_dr = sum_dr / n_trials as f64;
+        assert!((mc_dr - expected_dr_v).abs() < 0.01);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator variance (the MRDR / Stable-DR motivation, measured)
+// ---------------------------------------------------------------------------
+
+/// Exact variance of the IPS estimator over the missingness realisation:
+/// with independent `o ~ Bern(p)`,
+/// `Var[IPS] = (1/|D|²) Σ p(1−p)·(e/p̂)²`.
+#[must_use]
+pub fn variance_of_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
+    let n = errors.len() as f64;
+    let term = errors
+        .div(used_prop)
+        .map(|v| v * v)
+        .mul(&true_prop.zip_map(true_prop, |p, _| p * (1.0 - p)));
+    term.sum() / (n * n)
+}
+
+/// Exact variance of the DR estimator: only the correction term is random,
+/// so `Var[DR] = (1/|D|²) Σ p(1−p)·((e − ê)/p̂)²`.
+#[must_use]
+pub fn variance_of_dr(
+    errors: &Tensor,
+    true_prop: &Tensor,
+    used_prop: &Tensor,
+    imputed: &Tensor,
+) -> f64 {
+    let n = errors.len() as f64;
+    let term = errors
+        .sub(imputed)
+        .div(used_prop)
+        .map(|v| v * v)
+        .mul(&true_prop.zip_map(true_prop, |p, _| p * (1.0 - p)));
+    term.sum() / (n * n)
+}
+
+#[cfg(test)]
+mod variance_tests {
+    use super::*;
+    use crate::estimator::ips;
+    use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (Tensor, Tensor) {
+        let ds = mechanism_dataset(
+            Mechanism::Mnar,
+            &MechanismConfig {
+                n_users: 60,
+                n_items: 80,
+                target_density: 0.1,
+                seed: 31,
+                ..MechanismConfig::default()
+            },
+        );
+        let truth = ds.truth.unwrap();
+        let errors = truth
+            .preference
+            .map(|p| 0.8 * p + 0.1)
+            .sub(&truth.ratings)
+            .map(|d| d * d);
+        (errors, truth.propensity_xr)
+    }
+
+    #[test]
+    fn monte_carlo_confirms_the_variance_formula() {
+        let (errors, prop) = setup();
+        let analytic = variance_of_ips(&errors, &prop, &prop);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n_trials = 400;
+        let samples: Vec<f64> = (0..n_trials)
+            .map(|_| {
+                let o = Tensor::from_fn(errors.rows(), errors.cols(), |i, j| {
+                    f64::from(rng.gen::<f64>() < prop.get(i, j))
+                });
+                ips(&errors, &o, &prop)
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n_trials as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / (n_trials - 1) as f64;
+        assert!(
+            (var - analytic).abs() / analytic < 0.25,
+            "MC var {var:.3e} vs analytic {analytic:.3e}"
+        );
+    }
+
+    #[test]
+    fn good_imputation_reduces_dr_variance_below_ips() {
+        // The DR motivation: an imputation correlated with the errors
+        // shrinks the random correction term.
+        let (errors, prop) = setup();
+        let v_ips = variance_of_ips(&errors, &prop, &prop);
+        let imputed = errors.scale(0.8); // 80%-accurate imputation
+        let v_dr = variance_of_dr(&errors, &prop, &prop, &imputed);
+        assert!(
+            v_dr < 0.1 * v_ips,
+            "DR variance {v_dr:.3e} should be far below IPS {v_ips:.3e}"
+        );
+        // A useless (zero) imputation recovers the IPS variance exactly.
+        let zero = Tensor::zeros(errors.rows(), errors.cols());
+        let v_dr0 = variance_of_dr(&errors, &prop, &prop, &zero);
+        assert!((v_dr0 - v_ips).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clipping_trades_bias_for_variance() {
+        // The classical trade-off: raising the clip floor lowers variance
+        // but introduces bias.
+        let (errors, prop) = setup();
+        let clipped = prop.clamp(0.3, 1.0);
+        let v_raw = variance_of_ips(&errors, &prop, &prop);
+        let v_clip = variance_of_ips(&errors, &prop, &clipped);
+        assert!(v_clip < v_raw, "clipping must cut variance");
+        let bias_clip = bias_of_ips(&errors, &prop, &clipped);
+        assert!(bias_clip > 1e-3, "clipping must introduce bias");
+    }
+}

@@ -1,0 +1,153 @@
+//! Point estimators computed from one realized missingness pattern.
+
+use dt_tensor::Tensor;
+
+fn check_shapes(name: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{name}: shape mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+/// The ideal (full-information) loss `(1/|D|) Σ e` of eq. (1).
+///
+/// # Panics
+/// Panics on an empty tensor.
+#[must_use]
+pub fn ideal(errors: &Tensor) -> f64 {
+    errors.mean()
+}
+
+/// The naive estimator `(1/|O|) Σ_O e` of eq. (2).
+///
+/// # Panics
+/// Panics when nothing is observed.
+#[must_use]
+pub fn naive(errors: &Tensor, observed: &Tensor) -> f64 {
+    check_shapes("naive", errors, observed);
+    let n_obs = observed.sum();
+    assert!(n_obs > 0.0, "naive: no observed entries");
+    errors.mul(observed).sum() / n_obs
+}
+
+/// The IPS estimator `(1/|D|) Σ o·e/p̂` of eq. (3).
+#[must_use]
+pub fn ips(errors: &Tensor, observed: &Tensor, propensities: &Tensor) -> f64 {
+    check_shapes("ips", errors, observed);
+    check_shapes("ips", errors, propensities);
+    errors.mul(observed).div(propensities).mean()
+}
+
+/// IPS with propensity clipping `max(p̂, clip)` — the standard
+/// variance-control device.
+///
+/// # Panics
+/// Panics when `clip` is not positive.
+#[must_use]
+pub fn ips_clipped(errors: &Tensor, observed: &Tensor, propensities: &Tensor, clip: f64) -> f64 {
+    assert!(clip > 0.0, "ips_clipped: clip must be positive");
+    ips(errors, observed, &propensities.clamp(clip, f64::INFINITY))
+}
+
+/// The self-normalised IPS estimator `Σ(o·e/p̂) / Σ(o/p̂)`.
+///
+/// # Panics
+/// Panics when nothing is observed.
+#[must_use]
+pub fn snips(errors: &Tensor, observed: &Tensor, propensities: &Tensor) -> f64 {
+    check_shapes("snips", errors, observed);
+    check_shapes("snips", errors, propensities);
+    let w = observed.div(propensities);
+    let den = w.sum();
+    assert!(den > 0.0, "snips: no observed entries");
+    errors.mul(&w).sum() / den
+}
+
+/// The doubly robust estimator `(1/|D|) Σ [ê + o·(e − ê)/p̂]` of eq. (4).
+#[must_use]
+pub fn dr(errors: &Tensor, observed: &Tensor, propensities: &Tensor, imputed: &Tensor) -> f64 {
+    check_shapes("dr", errors, observed);
+    check_shapes("dr", errors, propensities);
+    check_shapes("dr", errors, imputed);
+    let correction = errors.sub(imputed).mul(observed).div(propensities);
+    imputed.add(&correction).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> (Tensor, Tensor, Tensor) {
+        let e = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let o = Tensor::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        let p = Tensor::from_rows(&[&[0.5, 0.5], &[0.25, 0.25]]);
+        (e, o, p)
+    }
+
+    #[test]
+    fn ideal_and_naive_values() {
+        let (e, o, _) = fixtures();
+        assert_eq!(ideal(&e), 2.5);
+        assert_eq!(naive(&e, &o), 2.0);
+    }
+
+    #[test]
+    fn ips_known_value() {
+        let (e, o, p) = fixtures();
+        // (1/0.5 + 3/0.25) / 4 = (2 + 12)/4 = 3.5
+        assert_eq!(ips(&e, &o, &p), 3.5);
+    }
+
+    #[test]
+    fn snips_known_value() {
+        let (e, o, p) = fixtures();
+        // weights: 2 and 4; Σ w e = 2 + 12 = 14; Σ w = 6 → 14/6
+        assert!((snips(&e, &o, &p) - 14.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_caps_small_propensities() {
+        let (e, o, mut p) = fixtures();
+        p.set(1, 0, 1e-6);
+        let unclipped = ips(&e, &o, &p);
+        let clipped = ips_clipped(&e, &o, &p, 0.25);
+        assert!(unclipped > 1e5);
+        assert_eq!(clipped, 3.5);
+    }
+
+    #[test]
+    fn dr_with_perfect_imputation_equals_ideal() {
+        let (e, o, p) = fixtures();
+        // ê = e → correction term vanishes → mean(e) regardless of p̂.
+        assert_eq!(dr(&e, &o, &p, &e), ideal(&e));
+    }
+
+    #[test]
+    fn dr_with_perfect_propensity_is_ips_like() {
+        let (e, o, p) = fixtures();
+        let imputed = Tensor::zeros(2, 2);
+        // With ê = 0, DR reduces to IPS.
+        assert_eq!(dr(&e, &o, &p, &imputed), ips(&e, &o, &p));
+    }
+
+    #[test]
+    fn full_observation_makes_everything_ideal() {
+        let e = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let o = Tensor::ones(2, 2);
+        let p = Tensor::ones(2, 2);
+        assert_eq!(naive(&e, &o), ideal(&e));
+        assert_eq!(ips(&e, &o, &p), ideal(&e));
+        assert_eq!(snips(&e, &o, &p), ideal(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "no observed entries")]
+    fn naive_without_observations_panics() {
+        let e = Tensor::ones(1, 2);
+        let o = Tensor::zeros(1, 2);
+        let _ = naive(&e, &o);
+    }
+}

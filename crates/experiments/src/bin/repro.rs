@@ -1,0 +1,105 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment | all> [--quick | --paper] [--seed N] [--seeds K] [--out DIR]
+//! ```
+//!
+//! Experiments: table1 table2 table3 table4 table5 table6 figure3 figure4
+//! figure5 identify. Results are printed as markdown and written (md +
+//! CSV + JSON) under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dt_experiments::runners::{self, EXPERIMENTS};
+use dt_experiments::{RunOptions, Scale};
+
+fn usage() -> String {
+    format!(
+        "usage: repro <experiment|all> [--quick|--paper] [--seed N] [--seeds K] [--out DIR]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let target = args[0].clone();
+    let mut opts = RunOptions::default();
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--paper" | "--full" => opts.scale = Scale::Paper,
+            "--seed" => {
+                i += 1;
+                opts.seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--seed needs an integer\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--seeds" => {
+                i += 1;
+                opts.n_seeds = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => v,
+                    _ => {
+                        eprintln!("--seeds needs a positive integer\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => PathBuf::from(p),
+                    None => {
+                        eprintln!("--out needs a path\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if target == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&target.as_str()) {
+        vec![Box::leak(target.clone().into_boxed_str()) as &str]
+    } else {
+        eprintln!("unknown experiment {target:?}\n{}", usage());
+        return ExitCode::from(2);
+    };
+
+    for id in ids {
+        eprintln!("== running {id} ({:?}, seed {}) ==", opts.scale, opts.seed);
+        let t0 = Instant::now();
+        let set = runners::run(id, &opts);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{}", set.markdown());
+        if id.starts_with("figure") {
+            for t in &set.tables {
+                println!("{}", dt_experiments::ascii_chart(t, 12));
+            }
+        }
+        if let Err(e) = set.write_to(&out, id) {
+            eprintln!("failed to write results for {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("== {id} done in {secs:.1}s → {}/{id}.md ==\n", out.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,153 @@
+//! Plain-text line charts for the figure experiments.
+//!
+//! The paper's Figures 3–5 are line plots; the harness renders each result
+//! table as an ASCII chart so the *shape* (who wins, where lines cross) is
+//! visible directly in the markdown reports without a plotting stack.
+
+use crate::report::Table;
+
+/// Renders a table as an ASCII chart: one series per row, columns on the
+/// x-axis. `height` is the number of plot rows (min 4).
+///
+/// NaN cells are skipped. Returns a fenced code block ready for markdown.
+#[must_use]
+pub fn ascii_chart(table: &Table, height: usize) -> String {
+    let height = height.max(4);
+    let n_cols = table.columns.len();
+    if n_cols == 0 || table.rows.is_empty() {
+        return String::from("```\n(empty chart)\n```\n");
+    }
+
+    let values: Vec<f64> = table
+        .rows
+        .iter()
+        .flat_map(|r| r.cells.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if values.is_empty() {
+        return String::from("```\n(no finite values)\n```\n");
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    // One marker char per series.
+    const MARKS: &[char] = &['o', 'x', '*', '+', '#', '@', '%', '&', '$', '~'];
+    let col_width = 6usize;
+    let plot_w = n_cols * col_width;
+    let mut grid = vec![vec![' '; plot_w]; height];
+
+    for (si, row) in table.rows.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (ci, &v) in row.cells.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let y = ((v - lo) / span * (height - 1) as f64).round() as usize;
+            let y = height - 1 - y.min(height - 1);
+            let x = ci * col_width + col_width / 2;
+            // Collisions keep the earlier series' mark visible next to it.
+            if grid[y][x] == ' ' {
+                grid[y][x] = mark;
+            } else if x + 1 < plot_w && grid[y][x + 1] == ' ' {
+                grid[y][x + 1] = mark;
+            }
+        }
+    }
+
+    let mut out = String::from("```\n");
+    out.push_str(&format!("{}\n", table.title));
+    for (yi, line) in grid.iter().enumerate() {
+        let label = if yi == 0 {
+            format!("{hi:>9.4} ")
+        } else if yi == height - 1 {
+            format!("{lo:>9.4} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(plot_w));
+    out.push('\n');
+    out.push_str(&" ".repeat(11));
+    for c in &table.columns {
+        let c: String = c.chars().take(col_width - 1).collect();
+        out.push_str(&format!("{c:<col_width$}"));
+    }
+    out.push('\n');
+    // Legend.
+    for (si, row) in table.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} = {}\n",
+            MARKS[si % MARKS.len()],
+            row.label
+        ));
+    }
+    out.push_str("```\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Table;
+
+    fn sample() -> Table {
+        let mut t = Table::new("f", "A Figure", &["x=1", "x=2", "x=3"]);
+        t.push_row("up", vec![0.1, 0.5, 0.9]);
+        t.push_row("down", vec![0.9, 0.5, 0.1]);
+        t
+    }
+
+    #[test]
+    fn renders_all_series_and_legend() {
+        let chart = ascii_chart(&sample(), 8);
+        assert!(chart.starts_with("```"));
+        assert!(chart.contains("A Figure"));
+        assert!(chart.contains("o = up"));
+        assert!(chart.contains("x = down"));
+        // Extremes appear as axis labels.
+        assert!(chart.contains("0.9000"));
+        assert!(chart.contains("0.1000"));
+    }
+
+    #[test]
+    fn monotone_series_has_marks_on_distinct_rows() {
+        let chart = ascii_chart(&sample(), 8);
+        let plot_lines: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // The rising series' marks must not all share a row.
+        let rows_with_o: usize = plot_lines.iter().filter(|l| l.contains('o')).count();
+        assert!(rows_with_o >= 2, "{chart}");
+    }
+
+    #[test]
+    fn nan_cells_are_skipped() {
+        let mut t = Table::new("f", "NaNs", &["a", "b"]);
+        t.push_row("r", vec![f64::NAN, 1.0]);
+        let chart = ascii_chart(&t, 6);
+        assert!(chart.contains("r"));
+    }
+
+    #[test]
+    fn empty_table_is_handled() {
+        let t = Table::new("f", "Empty", &["a"]);
+        let chart = ascii_chart(&t, 6);
+        assert!(chart.contains("empty chart"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut t = Table::new("f", "Flat", &["a", "b"]);
+        t.push_row("r", vec![0.5, 0.5]);
+        let chart = ascii_chart(&t, 6);
+        assert!(chart.contains("0.5000"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # dt-experiments
+//!
+//! The reproduction harness: one runner per table and figure of
+//! *"Uncovering the Propensity Identification Problem in Debiased
+//! Recommendations"* (ICDE 2024), returning structured results and
+//! rendering markdown/CSV. The `repro` binary drives them:
+//!
+//! ```sh
+//! cargo run --release -p dt-experiments --bin repro -- table3 --quick
+//! cargo run --release -p dt-experiments --bin repro -- all --out results/
+//! ```
+//!
+//! Every runner accepts a [`Scale`]: `Quick` sizes each experiment to a
+//! couple of minutes on one laptop core (used by CI and the benches);
+//! `Paper` restores the paper's dataset dimensions.
+
+pub mod chart;
+pub mod report;
+pub mod runners;
+pub mod sweep;
+
+pub use chart::ascii_chart;
+pub use report::{Table, TableSet};
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down datasets / budgets (minutes on one core).
+    Quick,
+    /// The paper's dataset dimensions (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Interpolates a size knob.
+    #[must_use]
+    pub fn pick(&self, quick: usize, paper: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Common run options for all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Sizing.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Seeds (repetitions) for mean ± std columns where applicable.
+    pub n_seeds: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Quick,
+            seed: 0,
+            n_seeds: 1,
+        }
+    }
+}

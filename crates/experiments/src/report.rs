@@ -1,0 +1,259 @@
+//! Result tables: structured records with markdown / CSV / JSON rendering.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One result table (a paper table, or one panel of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Identifier, e.g. `table3-mse`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (the first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label + one cell per column.
+    pub rows: Vec<TableRow>,
+}
+
+/// One row of a [`Table`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Row label (method name, parameter value, …).
+    pub label: String,
+    /// Cells, aligned with [`Table::columns`]. `NaN` (missing metric) is
+    /// serialised as JSON `null` and restored on deserialisation.
+    #[serde(with = "nan_as_null")]
+    pub cells: Vec<f64>,
+}
+
+mod nan_as_null {
+    use serde::de::Deserializer;
+    use serde::ser::{SerializeSeq, Serializer};
+    use serde::Deserialize;
+
+    pub fn serialize<S: Serializer>(cells: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(cells.len()))?;
+        for &v in cells {
+            if v.is_nan() {
+                seq.serialize_element(&Option::<f64>::None)?;
+            } else {
+                seq.serialize_element(&Some(v))?;
+            }
+        }
+        seq.end()
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let raw: Vec<Option<f64>> = Vec::deserialize(d)?;
+        Ok(raw.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect())
+    }
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "push_row: {} cells vs {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(TableRow {
+            label: label.into(),
+            cells,
+        });
+    }
+
+    /// Looks up a cell by row label and column name.
+    #[must_use]
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|r| r.label == row_label)?;
+        row.cells.get(col).copied()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}\n", self.title);
+        let _ = write!(s, "| |");
+        for c in &self.columns {
+            let _ = write!(s, " {c} |");
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "|---|");
+        for _ in &self.columns {
+            let _ = write!(s, "---|");
+        }
+        let _ = writeln!(s);
+        for row in &self.rows {
+            let _ = write!(s, "| {} |", row.label);
+            for v in &row.cells {
+                let _ = write!(s, " {} |", fmt_cell(*v));
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders CSV (row label in the first column).
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "label,{}", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.cells.iter().map(|v| fmt_cell(*v)).collect();
+            let _ = writeln!(s, "{},{}", row.label, cells.join(","));
+        }
+        s
+    }
+}
+
+fn fmt_cell(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else if v.abs() < 0.001 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// A group of tables produced by one experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableSet {
+    /// The tables, in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl TableSet {
+    /// One-table convenience constructor.
+    #[must_use]
+    pub fn single(table: Table) -> Self {
+        Self {
+            tables: vec![table],
+        }
+    }
+
+    /// Adds a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Finds a table by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+
+    /// All tables as one markdown document.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        self.tables
+            .iter()
+            .map(Table::markdown)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Writes markdown + per-table CSV + one JSON record into `dir`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{stem}.md")), self.markdown())?;
+        for t in &self.tables {
+            fs::write(dir.join(format!("{stem}-{}.csv", t.id)), t.csv())?;
+        }
+        let json = serde_json::to_string_pretty(self).expect("tables serialise");
+        fs::write(dir.join(format!("{stem}.json")), json)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", "A Title", &["x", "y"]);
+        t.push_row("row1", vec![1.0, 0.5]);
+        t.push_row("row2", vec![f64::NAN, 1234.5]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().markdown();
+        assert!(md.contains("### A Title"));
+        assert!(md.contains("| row1 | 1 | 0.5000 |"));
+        assert!(md.contains("| row2 | - | 1234 |"), "{md}");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().csv();
+        assert!(csv.starts_with("label,x,y\n"));
+        assert!(csv.contains("row1,1,0.5000"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("row1", "y"), Some(0.5));
+        assert_eq!(t.cell("row1", "nope"), None);
+        assert_eq!(t.cell("nope", "y"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("t", "t", &["a"]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn tableset_roundtrips_through_json() {
+        let set = TableSet::single(sample());
+        let json = serde_json::to_string(&set).unwrap();
+        let back: TableSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tables[0].rows.len(), 2);
+        assert!(back.get("t").is_some());
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let dir = std::env::temp_dir().join("disrec-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        TableSet::single(sample()).write_to(&dir, "unit").unwrap();
+        assert!(dir.join("unit.md").exists());
+        assert!(dir.join("unit-t.csv").exists());
+        assert!(dir.join("unit.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

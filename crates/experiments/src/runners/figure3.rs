@@ -1,0 +1,72 @@
+//! **Figure 3** — MSE and MAE of the IPS- and DR-style estimators as the
+//! noise floor ε of eq. (11) varies (semi-synthetic pipeline, ρ = 1).
+
+use dt_core::{registry, Method, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{Table, TableSet};
+use crate::runners::table3::semi_eval;
+use crate::runners::util::semisynthetic_dataset;
+use crate::{RunOptions, Scale};
+
+/// The ε grid.
+pub const EPSILONS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+const METHODS: [Method; 5] = [
+    Method::Mf,
+    Method::Ips,
+    Method::Dr,
+    Method::DtIps,
+    Method::DtDr,
+];
+
+/// Runs the ε sweep.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let cfg = match opts.scale {
+        Scale::Quick => TrainConfig {
+            epochs: 12,
+            batch_size: 256,
+            emb_dim: 16,
+            l2: 1e-4,
+            ..TrainConfig::default()
+        },
+        Scale::Paper => TrainConfig {
+            epochs: 30,
+            batch_size: 2048,
+            emb_dim: 32,
+            l2: 1e-4,
+            ..TrainConfig::default()
+        },
+    };
+    let max_users = opts.scale.pick(120, 943);
+    let columns: Vec<String> = EPSILONS.iter().map(|e| format!("eps={e}")).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut mse_t = Table::new("figure3-mse", "Figure 3 — MSE vs η by ε (ρ = 1)", &col_refs);
+    let mut mae_t = Table::new("figure3-mae", "Figure 3 — MAE vs η by ε (ρ = 1)", &col_refs);
+
+    let datasets: Vec<_> = EPSILONS
+        .iter()
+        .map(|&eps| semisynthetic_dataset(opts.scale, 1.0, eps, opts.seed))
+        .collect();
+
+    for method in METHODS {
+        let mut mse_row = Vec::new();
+        let mut mae_row = Vec::new();
+        for ds in &datasets {
+            let mut model = registry::build(method, ds, &cfg, opts.seed);
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            model.fit(ds, &mut rng);
+            let (mse, mae, _) = semi_eval(model.as_ref(), ds, 50, max_users);
+            mse_row.push(mse);
+            mae_row.push(mae);
+        }
+        mse_t.push_row(method.label(), mse_row);
+        mae_t.push_row(method.label(), mae_row);
+    }
+    let mut set = TableSet::default();
+    set.push(mse_t);
+    set.push(mae_t);
+    set
+}

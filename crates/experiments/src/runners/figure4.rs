@@ -1,0 +1,106 @@
+//! **Figure 4** — sensitivity to the disentangling weight β:
+//!
+//! * panels (a, b): prediction performance (AUC / NDCG@K) as β sweeps
+//!   across orders of magnitude, on the YAHOO- and KUAIREC-like datasets;
+//! * panels (c, d): the disentangling-loss scale per training epoch for
+//!   several β — larger β should drive the scale down faster.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_core::methods::{DtRecommender, DtVariant};
+use dt_core::{evaluate, Hyper, Recommender, TrainConfig};
+
+use crate::report::{Table, TableSet};
+use crate::runners::util::{cutoff_for, realworld_datasets, short_name, train_cfg};
+use crate::sweep::run_sweep;
+use crate::RunOptions;
+
+/// The β grid (normalised-loss scale; `0` disables the term).
+pub const BETAS: [f64; 6] = [0.0, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let base = train_cfg(opts.scale);
+    // Figure 4 uses the YAHOO- and KUAIREC-like datasets.
+    let datasets: Vec<_> = realworld_datasets(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|d| !d.name.starts_with("coat"))
+        .collect();
+
+    let mut set = TableSet::default();
+
+    // Panels (a, b): performance vs β.
+    let mut perf_cols = Vec::new();
+    for ds in &datasets {
+        let n = short_name(ds);
+        perf_cols.push(format!("{n} AUC"));
+        perf_cols.push(format!("{n} N@K"));
+    }
+    let col_refs: Vec<&str> = perf_cols.iter().map(String::as_str).collect();
+    let mut perf = Table::new(
+        "figure4-performance",
+        "Figure 4(a,b) — DT-IPS performance vs β",
+        &col_refs,
+    );
+
+    // Panels (c, d): disentangle-scale trace per epoch, one table per
+    // dataset, one row per β.
+    let mut traces: Vec<Table> = datasets
+        .iter()
+        .map(|ds| {
+            let cols: Vec<String> = (0..base.epochs).map(|e| format!("epoch{e}")).collect();
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            Table::new(
+                &format!("figure4-trace-{}", short_name(ds).to_lowercase()),
+                &format!(
+                    "Figure 4(c,d) — disentangling-loss scale per epoch ({})",
+                    short_name(ds)
+                ),
+                &col_refs,
+            )
+        })
+        .collect();
+
+    // One job per (β, dataset); executed on the sweep pool (serial on a
+    // single core, parallel where cores exist), results in job order.
+    let jobs: Vec<(f64, usize)> = BETAS
+        .iter()
+        .flat_map(|&beta| (0..datasets.len()).map(move |k| (beta, k)))
+        .collect();
+    let results = run_sweep(jobs, 0, |&(beta, k)| {
+        eprintln!("[figure4] beta = {beta} on {}", short_name(&datasets[k]));
+        let cfg = TrainConfig {
+            hyper: Hyper { beta, ..base.hyper },
+            ..base
+        };
+        let ds = &datasets[k];
+        let mut model = DtRecommender::new(ds, &cfg, DtVariant::Ips, opts.seed);
+        if beta == 0.0 {
+            model = model.without_disentangle();
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let fit = model.fit(ds, &mut rng);
+        let eval = evaluate(&model, ds, cutoff_for(ds));
+        (eval.auc, eval.ndcg, fit.aux_trace)
+    });
+
+    let mut it = results.into_iter();
+    for &beta in &BETAS {
+        let mut row = Vec::new();
+        for k in 0..datasets.len() {
+            let (auc, ndcg, trace) = it.next().expect("one result per job");
+            row.push(auc);
+            row.push(ndcg);
+            traces[k].push_row(format!("beta={beta}"), trace);
+        }
+        perf.push_row(format!("beta={beta}"), row);
+    }
+
+    set.push(perf);
+    for t in traces {
+        set.push(t);
+    }
+    set
+}

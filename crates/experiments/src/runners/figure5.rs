@@ -1,0 +1,62 @@
+//! **Figure 5** — data-sparsity study: AUC and training time as the
+//! training log is subsampled to {100%, 50%, 25%, 12.5%}.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_core::Method;
+use dt_data::sparsify;
+
+use crate::report::{Table, TableSet};
+use crate::runners::util::{fit_eval, realworld_datasets, short_name, train_cfg};
+use crate::RunOptions;
+
+/// The sparsity grid.
+pub const KEEP_FRACTIONS: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
+
+const METHODS: [Method; 4] = [Method::Mf, Method::Ips, Method::Escm2Dr, Method::DtIps];
+
+/// Runs the sparsity sweep on the COAT- and YAHOO-like datasets.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let cfg = train_cfg(opts.scale);
+    let datasets: Vec<_> = realworld_datasets(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|d| !d.name.starts_with("kuairec"))
+        .collect();
+
+    let mut set = TableSet::default();
+    for ds in &datasets {
+        let name = short_name(ds);
+        let columns: Vec<String> = KEEP_FRACTIONS
+            .iter()
+            .flat_map(|f| {
+                [
+                    format!("{:.0}% AUC", f * 100.0),
+                    format!("{:.0}% train s", f * 100.0),
+                ]
+            })
+            .collect();
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("figure5-{}", name.to_lowercase()),
+            &format!("Figure 5 — AUC and training time vs data sparsity ({name})"),
+            &col_refs,
+        );
+
+        for method in METHODS {
+            eprintln!("[figure5] {name} {}", method.label());
+            let mut row = Vec::new();
+            for &frac in &KEEP_FRACTIONS {
+                let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5AA5);
+                let sub = sparsify(ds, frac, &mut rng);
+                let (eval, fit, _) = fit_eval(method, &sub, &cfg, opts.seed);
+                row.push(eval.auc);
+                row.push(fit.train_seconds);
+            }
+            table.push_row(method.label(), row);
+        }
+        set.push(table);
+    }
+    set
+}

@@ -1,0 +1,42 @@
+//! One runner per paper table/figure.
+
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod identify;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub(crate) mod util;
+
+use crate::{RunOptions, TableSet};
+
+/// The experiment ids accepted by the `repro` binary.
+pub const EXPERIMENTS: [&str; 10] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "figure3", "figure4", "figure5",
+    "identify",
+];
+
+/// Dispatches an experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first).
+#[must_use]
+pub fn run(id: &str, opts: &RunOptions) -> TableSet {
+    match id {
+        "table1" => table1::run(opts),
+        "table2" => table2::run(opts),
+        "table3" => table3::run(opts),
+        "table4" => table4::run(opts),
+        "table5" => table5::run(opts),
+        "table6" => table6::run(opts),
+        "figure3" => figure3::run(opts),
+        "figure4" => figure4::run(opts),
+        "figure5" => figure5::run(opts),
+        "identify" => identify::run(opts),
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}

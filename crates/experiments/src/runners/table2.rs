@@ -1,0 +1,99 @@
+//! **Table II** — parameter-structure comparison: embedding size and
+//! hidden-layer size relative to ESMM, plus which training losses each
+//! method carries.
+//!
+//! The relative sizes are *measured* from the constructed models; the loss
+//! flags are structural facts of each objective (1 = present).
+
+use dt_core::{registry, Method, TrainConfig};
+use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+
+use crate::report::{Table, TableSet};
+use crate::RunOptions;
+
+const METHODS: [Method; 9] = [
+    Method::Esmm,
+    Method::Ips,
+    Method::MultiIps,
+    Method::Escm2Ips,
+    Method::DtIps,
+    Method::DrJl,
+    Method::MultiDr,
+    Method::Escm2Dr,
+    Method::DtDr,
+];
+
+/// `(propensity loss, CTCVR loss, disentangle loss)` per method — the
+/// structure of each objective.
+fn loss_flags(method: Method) -> (f64, f64, f64) {
+    match method {
+        Method::Esmm => (1.0, 1.0, 0.0),
+        Method::Ips | Method::DrJl => (1.0, 0.0, 0.0),
+        Method::MultiIps | Method::MultiDr => (1.0, 0.0, 0.0),
+        Method::Escm2Ips | Method::Escm2Dr => (1.0, 1.0, 0.0),
+        Method::DtIps | Method::DtDr => (1.0, 0.0, 1.0),
+        _ => (0.0, 0.0, 0.0),
+    }
+}
+
+/// Runs the parameter-structure comparison.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let ds = mechanism_dataset(
+        Mechanism::Mnar,
+        &MechanismConfig {
+            n_users: opts.scale.pick(200, 1000),
+            n_items: opts.scale.pick(300, 1500),
+            seed: opts.seed,
+            ..MechanismConfig::default()
+        },
+    );
+    let cfg = TrainConfig::default();
+    let esmm_params = registry::build(Method::Esmm, &ds, &cfg, 0).n_parameters() as f64;
+
+    let mut table = Table::new(
+        "table2",
+        "Table II — parameters relative to ESMM and training-loss structure",
+        &[
+            "params (xESMM)",
+            "propensity loss",
+            "CTCVR loss",
+            "disentangle loss",
+        ],
+    );
+    for method in METHODS {
+        let params = registry::build(method, &ds, &cfg, 0).n_parameters() as f64;
+        let (p, c, d) = loss_flags(method);
+        table.push_row(method.label(), vec![params / esmm_params, p, c, d]);
+    }
+    TableSet::single(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_sizes_follow_table_ii() {
+        let set = run(&RunOptions::default());
+        let t = set.get("table2").unwrap();
+        let rel = |m: &str| t.cell(m, "params (xESMM)").unwrap();
+        // Shared-embedding multi-task methods sit at ≈ 1×.
+        assert!((rel("Multi-IPS") - 1.0).abs() < 0.2);
+        assert!((rel("ESCM2-IPS") - 1.0).abs() < 0.2);
+        // Two-stage IPS carries a second embedding table.
+        assert!(rel("IPS") > rel("Multi-IPS"));
+        // DR-JL carries three.
+        assert!(rel("DR-JL") > rel("IPS"));
+        // DT-IPS contains the prediction embedding inside the propensity
+        // embedding → cheapest of the IPS family.
+        assert!(rel("DT-IPS") < rel("IPS"));
+        // DT-DR ≈ 2× DT-IPS.
+        let ratio = rel("DT-DR") / rel("DT-IPS");
+        assert!(ratio > 1.6 && ratio < 2.4, "ratio {ratio}");
+        // Loss flags.
+        assert_eq!(t.cell("DT-IPS", "disentangle loss"), Some(1.0));
+        assert_eq!(t.cell("ESMM", "CTCVR loss"), Some(1.0));
+        assert_eq!(t.cell("IPS", "disentangle loss"), Some(0.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! **Table IV** — the main comparison: AUC / NDCG@K / Recall@K of all 22
+//! methods on the COAT-, YAHOO- and KUAIREC-like datasets (K = 5, 5, 50).
+//!
+//! With `--seeds K > 1`, an extra significance table reports the paired
+//! t-test p-value of DT-IPS/DT-DR against the best baseline per dataset
+//! (the `*` markers of the paper's Table IV).
+
+use dt_core::Method;
+use dt_stats::paired_t_test;
+
+use crate::report::{Table, TableSet};
+use crate::runners::util::{fit_eval, realworld_datasets, short_name, train_cfg};
+use crate::RunOptions;
+
+/// Runs the full method × dataset grid.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let cfg = train_cfg(opts.scale);
+    let datasets = realworld_datasets(opts.scale, opts.seed);
+
+    let mut columns = Vec::new();
+    for ds in &datasets {
+        let n = short_name(ds);
+        columns.push(format!("{n} AUC"));
+        columns.push(format!("{n} N@K"));
+        columns.push(format!("{n} R@K"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "table4",
+        "Table IV — AUC / NDCG@K / Recall@K on the three real-world-style datasets",
+        &col_refs,
+    );
+
+    // Per-method, per-dataset, per-seed AUC samples (for the t-tests).
+    let mut auc_samples: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); datasets.len()]; Method::ALL.len()];
+
+    for (mi, method) in Method::ALL.into_iter().enumerate() {
+        eprintln!("[table4] {}", method.label());
+        let mut row = Vec::new();
+        for (di, ds) in datasets.iter().enumerate() {
+            let mut mean = (0.0, 0.0, 0.0);
+            for k in 0..opts.n_seeds {
+                let (eval, _, _) = fit_eval(method, ds, &cfg, opts.seed + k as u64);
+                auc_samples[mi][di].push(eval.auc);
+                mean.0 += eval.auc;
+                mean.1 += eval.ndcg;
+                mean.2 += eval.recall;
+            }
+            let n = opts.n_seeds as f64;
+            row.push(mean.0 / n);
+            row.push(mean.1 / n);
+            row.push(mean.2 / n);
+        }
+        table.push_row(method.label(), row);
+    }
+
+    let mut set = TableSet::single(table);
+
+    // Significance of the DT methods against the best baseline (by mean
+    // AUC) on each dataset — only meaningful with repeated seeds.
+    if opts.n_seeds >= 2 {
+        let cols: Vec<String> = datasets
+            .iter()
+            .map(|d| format!("{} p-value vs best baseline", short_name(d)))
+            .collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut sig = Table::new(
+            "table4-significance",
+            "Table IV — paired t-test of the DT methods vs the best baseline (AUC)",
+            &col_refs,
+        );
+        let dt_indices: Vec<usize> = Method::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m, Method::DtIps | Method::DtDr))
+            .map(|(i, _)| i)
+            .collect();
+        for &dt_i in &dt_indices {
+            let mut cells = Vec::new();
+            for di in 0..datasets.len() {
+                // Best baseline = highest mean AUC among non-DT methods.
+                let best = (0..Method::ALL.len())
+                    .filter(|i| !dt_indices.contains(i))
+                    .max_by(|&a, &b| {
+                        mean(&auc_samples[a][di]).total_cmp(&mean(&auc_samples[b][di]))
+                    })
+                    .expect("non-empty method set");
+                let t = paired_t_test(&auc_samples[dt_i][di], &auc_samples[best][di]);
+                cells.push(t.p_value);
+            }
+            sig.push_row(Method::ALL[dt_i].label(), cells);
+        }
+        set.push(sig);
+    }
+    set
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}

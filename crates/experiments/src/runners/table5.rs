@@ -1,0 +1,64 @@
+//! **Table V** — ablation of the DT training losses: the disentangling
+//! term (β) and the regularisation term (γ), on × off, for DT-IPS and
+//! DT-DR on all three datasets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_core::methods::{DtRecommender, DtVariant};
+use dt_core::{evaluate, Recommender};
+
+use crate::report::{Table, TableSet};
+use crate::runners::util::{cutoff_for, realworld_datasets, short_name, train_cfg};
+use crate::RunOptions;
+
+/// Runs the 2×2 loss ablation.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let cfg = train_cfg(opts.scale);
+    let datasets = realworld_datasets(opts.scale, opts.seed);
+
+    let mut columns = Vec::new();
+    for ds in &datasets {
+        let n = short_name(ds);
+        columns.push(format!("{n} AUC"));
+        columns.push(format!("{n} N@K"));
+        columns.push(format!("{n} R@K"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "table5",
+        "Table V — DT loss ablation (β = disentangling, γ = regularisation)",
+        &col_refs,
+    );
+
+    for variant in [DtVariant::Ips, DtVariant::Dr] {
+        for (beta_on, gamma_on) in [(false, false), (false, true), (true, false), (true, true)] {
+            let label = format!(
+                "{} β={} γ={}",
+                if variant == DtVariant::Ips { "DT-IPS" } else { "DT-DR" },
+                if beta_on { "on" } else { "off" },
+                if gamma_on { "on" } else { "off" },
+            );
+            eprintln!("[table5] {label}");
+            let mut row = Vec::new();
+            for ds in &datasets {
+                let mut model = DtRecommender::new(ds, &cfg, variant, opts.seed);
+                if !beta_on {
+                    model = model.without_disentangle();
+                }
+                if !gamma_on {
+                    model = model.without_regularization();
+                }
+                let mut rng = StdRng::seed_from_u64(opts.seed);
+                model.fit(ds, &mut rng);
+                let eval = evaluate(&model, ds, cutoff_for(ds));
+                row.push(eval.auc);
+                row.push(eval.ndcg);
+                row.push(eval.recall);
+            }
+            table.push_row(label, row);
+        }
+    }
+    TableSet::single(table)
+}

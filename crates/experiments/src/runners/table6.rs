@@ -1,0 +1,73 @@
+//! **Table VI** — efficiency: parameter counts, training wall-clock and
+//! per-sample inference latency for the nine methods of the paper's
+//! efficiency study, on all three datasets.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_core::{registry, Method};
+
+use crate::report::{Table, TableSet};
+use crate::runners::util::{realworld_datasets, short_name, train_cfg};
+use crate::RunOptions;
+
+/// The method subset of Table VI.
+pub const METHODS: [Method; 9] = [
+    Method::Esmm,
+    Method::Ips,
+    Method::MultiIps,
+    Method::Escm2Ips,
+    Method::DtIps,
+    Method::DrJl,
+    Method::MultiDr,
+    Method::Escm2Dr,
+    Method::DtDr,
+];
+
+/// Runs the efficiency measurements.
+#[must_use]
+pub fn run(opts: &RunOptions) -> TableSet {
+    let cfg = train_cfg(opts.scale);
+    let datasets = realworld_datasets(opts.scale, opts.seed);
+
+    let mut columns = Vec::new();
+    for ds in &datasets {
+        let n = short_name(ds);
+        columns.push(format!("{n} params"));
+        columns.push(format!("{n} train s"));
+        columns.push(format!("{n} infer us"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "table6",
+        "Table VI — parameters, training seconds, inference microseconds/sample",
+        &col_refs,
+    );
+
+    for method in METHODS {
+        eprintln!("[table6] {}", method.label());
+        let mut row = Vec::new();
+        for ds in &datasets {
+            let mut model = registry::build(method, ds, &cfg, opts.seed);
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let fit = model.fit(ds, &mut rng);
+
+            // Inference latency over a deterministic pair sweep.
+            let n_probe = 20_000.min(ds.n_users * ds.n_items);
+            let pairs: Vec<(usize, usize)> = (0..n_probe)
+                .map(|k| (k % ds.n_users, (k * 7919) % ds.n_items))
+                .collect();
+            let t0 = Instant::now();
+            let preds = model.predict(&pairs);
+            let micros = t0.elapsed().as_secs_f64() * 1e6 / preds.len() as f64;
+
+            row.push(model.n_parameters() as f64);
+            row.push(fit.train_seconds);
+            row.push(micros);
+        }
+        table.push_row(method.label(), row);
+    }
+    TableSet::single(table)
+}

@@ -1,0 +1,151 @@
+//! Shared experiment plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dt_core::{evaluate, registry, EvalReport, FitReport, Method, TrainConfig};
+use dt_data::{
+    coat_like, kuairec_like, semi_synthetic, sparsify, yahoo_like, Dataset, RealWorldConfig,
+    SemiSyntheticConfig,
+};
+
+use crate::Scale;
+
+/// The training configuration used by the real-world experiments.
+#[must_use]
+pub fn train_cfg(scale: Scale) -> TrainConfig {
+    match scale {
+        Scale::Quick => TrainConfig {
+            epochs: 10,
+            batch_size: 512,
+            emb_dim: 16,
+            lr: 0.03,
+            ..TrainConfig::default()
+        },
+        Scale::Paper => TrainConfig {
+            epochs: 30,
+            batch_size: 2048,
+            emb_dim: 32,
+            lr: 0.03,
+            ..TrainConfig::default()
+        },
+    }
+}
+
+/// The three real-world-style datasets, scaled for the run.
+#[must_use]
+pub fn realworld_datasets(scale: Scale, seed: u64) -> Vec<Dataset> {
+    let cfg = RealWorldConfig {
+        seed,
+        full_scale: scale == Scale::Paper,
+        ..RealWorldConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+    let coat = coat_like(&cfg);
+    let yahoo = {
+        let full = yahoo_like(&cfg);
+        match scale {
+            Scale::Paper => full,
+            // Quick: keep the user/item space but halve the training log.
+            Scale::Quick => sparsify(&full, 0.5, &mut rng),
+        }
+    };
+    let kuairec = {
+        let full = kuairec_like(&cfg);
+        match scale {
+            Scale::Paper => full,
+            Scale::Quick => sparsify(&full, 0.15, &mut rng),
+        }
+    };
+    vec![coat, yahoo, kuairec]
+}
+
+/// Short display name of a real-world dataset (column prefix).
+#[must_use]
+pub fn short_name(ds: &Dataset) -> &'static str {
+    if ds.name.starts_with("coat") {
+        "COAT"
+    } else if ds.name.starts_with("yahoo") {
+        "YAHOO"
+    } else if ds.name.starts_with("kuairec") {
+        "KUAIREC"
+    } else {
+        "DATA"
+    }
+}
+
+/// The ranking cutoff used for a dataset (paper: K = 5 for COAT/YAHOO,
+/// 50 for KUAIREC).
+#[must_use]
+pub fn cutoff_for(ds: &Dataset) -> usize {
+    if ds.name.starts_with("kuairec") {
+        50
+    } else {
+        5
+    }
+}
+
+/// The semi-synthetic dataset at a scale.
+#[must_use]
+pub fn semisynthetic_dataset(scale: Scale, rho: f64, epsilon: f64, seed: u64) -> Dataset {
+    let cfg = match scale {
+        Scale::Quick => SemiSyntheticConfig {
+            n_users: 236,
+            n_items: 420,
+            n_ratings: 6_250,
+            mf_epochs: 15,
+            rho,
+            epsilon,
+            seed,
+            ..SemiSyntheticConfig::default()
+        },
+        Scale::Paper => SemiSyntheticConfig {
+            rho,
+            epsilon,
+            seed,
+            ..SemiSyntheticConfig::default()
+        },
+    };
+    semi_synthetic(&cfg)
+}
+
+/// Trains one method and evaluates it.
+pub fn fit_eval(
+    method: Method,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> (EvalReport, FitReport, usize) {
+    let mut model = registry::build(method, ds, cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fit = model.fit(ds, &mut rng);
+    let eval = evaluate(model.as_ref(), ds, cutoff_for(ds));
+    (eval, fit, model.n_parameters())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_have_expected_shape() {
+        let ds = realworld_datasets(Scale::Quick, 1);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(short_name(&ds[0]), "COAT");
+        assert_eq!(short_name(&ds[1]), "YAHOO");
+        assert_eq!(short_name(&ds[2]), "KUAIREC");
+        assert_eq!(cutoff_for(&ds[0]), 5);
+        assert_eq!(cutoff_for(&ds[2]), 50);
+        for d in &ds {
+            d.validate();
+            assert!(!d.test.is_empty());
+        }
+    }
+
+    #[test]
+    fn semisynthetic_quick_is_small() {
+        let ds = semisynthetic_dataset(Scale::Quick, 1.0, 0.3, 0);
+        assert_eq!(ds.n_users, 236);
+        assert!(ds.truth.is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! A numerical checker for Lemma 3's condition (7).
+//!
+//! Two candidate models are *indistinguishable* from observed data exactly
+//! when the ratio of their selection probabilities equals the inverse ratio
+//! of their outcome densities for every `(z, r)`:
+//!
+//! ```text
+//! P₁(o=1 | z, r) / P₂(o=1 | z, r)  ==  P₂(r) / P₁(r)    ∀ z, r
+//! ```
+//!
+//! Condition (7) requires this *not* to happen for any two distinct
+//! candidates. The checker evaluates both sides over a grid: if the
+//! equality holds everywhere the pair violates identifiability (as in
+//! Example 1, which has no `z`); if the left side varies with `z` while the
+//! right side cannot, the pair is distinguishable.
+
+/// A candidate model: a selection probability over `(z, r)` and an outcome
+/// density over `r`.
+pub struct CandidateModel {
+    /// `P(o = 1 | z, r)`.
+    pub selection: Box<dyn Fn(f64, f64) -> f64>,
+    /// `P(r)` (the outcome law; conditioning on `x` is left implicit).
+    pub outcome: Box<dyn Fn(f64) -> f64>,
+}
+
+impl CandidateModel {
+    /// Builds a candidate from closures.
+    #[must_use]
+    pub fn new(
+        selection: impl Fn(f64, f64) -> f64 + 'static,
+        outcome: impl Fn(f64) -> f64 + 'static,
+    ) -> Self {
+        Self {
+            selection: Box::new(selection),
+            outcome: Box::new(outcome),
+        }
+    }
+}
+
+/// Returns `true` when condition (7) holds for the pair over the grid —
+/// i.e. the two candidates are distinguishable from observed data (there
+/// exists a grid point where the selection ratio differs from the inverse
+/// outcome-density ratio).
+///
+/// `rel_tol` controls when two ratios count as equal.
+///
+/// # Panics
+/// Panics on an empty grid.
+#[must_use]
+pub fn condition7_holds(
+    m1: &CandidateModel,
+    m2: &CandidateModel,
+    z_grid: &[f64],
+    r_grid: &[f64],
+    rel_tol: f64,
+) -> bool {
+    assert!(
+        !z_grid.is_empty() && !r_grid.is_empty(),
+        "condition7_holds: empty grid"
+    );
+    for &z in z_grid {
+        for &r in r_grid {
+            let sel_ratio = (m1.selection)(z, r) / (m2.selection)(z, r);
+            let out_ratio = (m2.outcome)(r) / (m1.outcome)(r);
+            let scale = sel_ratio.abs().max(out_ratio.abs()).max(1e-300);
+            if (sel_ratio - out_ratio).abs() > rel_tol * scale {
+                // Found a witness where the two observed densities differ.
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example1::{example1_models, GaussianLogisticModel};
+    use dt_stats::expit;
+
+    fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    fn as_candidate(m: GaussianLogisticModel) -> CandidateModel {
+        // No z-dependence: the Example 1 world has no auxiliary variable.
+        CandidateModel::new(move |_z, r| m.propensity(r), move |r| m.outcome_density(r))
+    }
+
+    #[test]
+    fn example1_pair_violates_condition7() {
+        let (a, b) = example1_models();
+        let holds = condition7_holds(
+            &as_candidate(a),
+            &as_candidate(b),
+            &grid(-2.0, 2.0, 9),
+            &grid(-3.0, 7.0, 101),
+            1e-9,
+        );
+        assert!(!holds, "Example 1 must be undetectable without z");
+    }
+
+    #[test]
+    fn identical_models_violate_trivially() {
+        let (a, _) = example1_models();
+        let holds = condition7_holds(
+            &as_candidate(a),
+            &as_candidate(a),
+            &grid(-1.0, 1.0, 5),
+            &grid(-3.0, 5.0, 41),
+            1e-9,
+        );
+        assert!(!holds, "a model is never distinguishable from itself");
+    }
+
+    #[test]
+    fn separable_logistic_candidates_with_z_satisfy_condition7() {
+        // Two distinct separable-logistic mechanisms over z: their selection
+        // ratio varies with z, which the outcome ratio cannot mimic
+        // (Theorem 1).
+        let m1 = CandidateModel::new(
+            |z, r| expit(-1.0 + 1.0 * z + 2.0 * r),
+            |r| dt_stats::normal_pdf(r - 1.0),
+        );
+        let m2 = CandidateModel::new(
+            |z, r| expit(-1.0 + 0.5 * z + 2.0 * r),
+            |r| dt_stats::normal_pdf(r - 1.0),
+        );
+        let holds = condition7_holds(&m1, &m2, &grid(-2.0, 2.0, 9), &grid(-2.0, 4.0, 31), 1e-9);
+        assert!(holds);
+    }
+
+    #[test]
+    fn example1_pair_becomes_distinguishable_with_an_informative_z() {
+        // Embed the Example 1 mechanisms in a world with an auxiliary
+        // variable that shifts selection (Assumption 1(ii)): now the ratio
+        // varies with z and the ambiguity disappears.
+        let (a, b) = example1_models();
+        let m1 = CandidateModel::new(
+            move |z, r| expit(a.a + a.b * r + 1.5 * z),
+            move |r| a.outcome_density(r),
+        );
+        let m2 = CandidateModel::new(
+            move |z, r| expit(b.a + b.b * r + 0.5 * z),
+            move |r| b.outcome_density(r),
+        );
+        let holds = condition7_holds(&m1, &m2, &grid(-2.0, 2.0, 9), &grid(-3.0, 7.0, 41), 1e-9);
+        assert!(holds);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let (a, b) = example1_models();
+        let _ = condition7_holds(&as_candidate(a), &as_candidate(b), &[], &[1.0], 1e-9);
+    }
+}

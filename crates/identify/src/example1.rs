@@ -1,0 +1,125 @@
+//! The paper's Example 1: non-identifiability of the MNAR propensity.
+//!
+//! Model (a): `P(o=1|r) = σ(−4 + 2r)`, `r ~ N(1, 1)`.
+//! Model (b): `P(o=1|r) = σ( 4 − 2r)`, `r ~ N(3, 1)`.
+//!
+//! Both induce the same joint density of `(o = 1, r)` — checked here to
+//! machine precision over a grid — so a likelihood fitted to observed data
+//! cannot distinguish a mechanism that *reveals high ratings* from one that
+//! *reveals low ratings*. Debiasing with the wrong one is catastrophic,
+//! which is the motivation for the auxiliary-variable construction.
+
+use dt_stats::{expit, normal_pdf};
+
+/// A Gaussian-outcome / logistic-missingness model:
+/// `r ~ N(mean, 1)`, `P(o=1|r) = σ(a + b·r)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianLogisticModel {
+    /// Intercept of the selection logit.
+    pub a: f64,
+    /// Rating coefficient of the selection logit.
+    pub b: f64,
+    /// Mean of the outcome distribution.
+    pub mean: f64,
+}
+
+impl GaussianLogisticModel {
+    /// The MNAR propensity `P(o = 1 | r)`.
+    #[must_use]
+    pub fn propensity(&self, r: f64) -> f64 {
+        expit(self.a + self.b * r)
+    }
+
+    /// The outcome density `P(r)` (standard-normal shape around `mean`).
+    #[must_use]
+    pub fn outcome_density(&self, r: f64) -> f64 {
+        normal_pdf(r - self.mean)
+    }
+}
+
+/// The observed-data density `P(o = 1, r) = P(o = 1 | r) · P(r)`.
+#[must_use]
+pub fn observed_density(model: &GaussianLogisticModel, r: f64) -> f64 {
+    model.propensity(r) * model.outcome_density(r)
+}
+
+/// The two models of the paper's Example 1.
+#[must_use]
+pub fn example1_models() -> (GaussianLogisticModel, GaussianLogisticModel) {
+    (
+        GaussianLogisticModel {
+            a: -4.0,
+            b: 2.0,
+            mean: 1.0,
+        },
+        GaussianLogisticModel {
+            a: 4.0,
+            b: -2.0,
+            mean: 3.0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_two_models_are_genuinely_different() {
+        let (a, b) = example1_models();
+        assert_ne!(a, b);
+        // Their propensities disagree wildly at r = 4:
+        assert!(a.propensity(4.0) > 0.9);
+        assert!(b.propensity(4.0) < 0.1);
+        // And their outcome laws disagree:
+        assert!((a.outcome_density(1.0) - b.outcome_density(3.0)).abs() < 1e-15);
+        assert!(a.outcome_density(1.0) > 3.0 * b.outcome_density(1.0));
+    }
+
+    #[test]
+    fn observed_data_distributions_coincide_exactly() {
+        // The heart of Example 1: identical P(o=1, r) everywhere.
+        let (a, b) = example1_models();
+        for i in 0..=400 {
+            let r = -4.0 + i as f64 * 0.03; // grid over [-4, 8]
+            let da = observed_density(&a, r);
+            let db = observed_density(&b, r);
+            assert!(
+                (da - db).abs() < 1e-12 * da.max(db).max(1e-300),
+                "densities differ at r = {r}: {da} vs {db}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_densities_integrate_to_the_same_mass() {
+        // Same P(o=1) marginal — the likelihood of the missing part also
+        // matches, so even "o = 0 counts" cannot separate the models.
+        let (a, b) = example1_models();
+        let integrate = |m: &GaussianLogisticModel| -> f64 {
+            let mut s = 0.0;
+            let h = 0.001;
+            let mut r = -10.0;
+            while r < 14.0 {
+                s += observed_density(m, r) * h;
+                r += h;
+            }
+            s
+        };
+        let (ma, mb) = (integrate(&a), integrate(&b));
+        assert!((ma - mb).abs() < 1e-9, "{ma} vs {mb}");
+        // And it is a proper sub-probability mass.
+        assert!(ma > 0.0 && ma < 1.0);
+    }
+
+    #[test]
+    fn debiasing_with_the_wrong_model_is_catastrophic() {
+        // The practical consequence: IPS weights 1/p̂ under the two models
+        // differ by orders of magnitude at the same observed point.
+        let (a, b) = example1_models();
+        let r = 4.5;
+        let w_a = 1.0 / a.propensity(r);
+        let w_b = 1.0 / b.propensity(r);
+        assert!(w_b / w_a > 50.0, "weight ratio {}", w_b / w_a);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dt-identify
+//!
+//! Numerical companion to the paper's identifiability theory (§IV-A):
+//!
+//! * [`example1`] — the paper's Example 1: two distinct (propensity,
+//!   outcome-law) pairs that induce **exactly** the same observed-data
+//!   distribution, so no amount of data can tell them apart. This is why
+//!   fitting the MNAR propensity without extra structure is hopeless.
+//! * [`condition`] — a numerical checker for Lemma 3's condition (7): given
+//!   two candidate models over an auxiliary variable `z`, decide whether
+//!   they are distinguishable from observed data.
+//! * [`separable_mle`] — Theorem 1 in action: with an auxiliary variable
+//!   `z` (satisfying Assumption 1) and the separable logistic mechanism
+//!   `P(o=1|z,r) = σ(c + α·z + β·r)`, the full law *is* identifiable, and a
+//!   maximum-likelihood fit on `(z, o, r·o)` data recovers the generating
+//!   parameters — including the rating coefficient `β` that drives the
+//!   MNAR propensity.
+
+pub mod condition;
+pub mod example1;
+pub mod separable_mle;
+
+pub use condition::{condition7_holds, CandidateModel};
+pub use example1::{example1_models, observed_density, GaussianLogisticModel};
+pub use separable_mle::{fit_separable, MnarSample, SeparableLogisticModel};

@@ -1,0 +1,292 @@
+//! Theorem 1 in action: maximum-likelihood recovery of the separable
+//! logistic MNAR mechanism using an auxiliary variable.
+//!
+//! World: `z ~ N(0,1)` and `r ~ Bern(π)` independent (Assumption 1(i),
+//! with `x` implicit), selection `o ~ Bern(σ(c + α·z + β·r))`
+//! (Assumption 1(ii): `z` affects `o`). The analyst sees `(z, o)` for every
+//! unit but `r` only when `o = 1` — exactly the recommendation setting.
+//!
+//! The observed-data log-likelihood marginalises the missing ratings:
+//!
+//! ```text
+//! o=1:  ln π_r + ln σ(c + α·z + β·r)
+//! o=0:  ln Σ_{r∈{0,1}} π_r · (1 − σ(c + α·z + β·r))
+//! ```
+//!
+//! Theorem 1 guarantees this likelihood has a unique population maximiser,
+//! so MLE recovers `(c, α, β, π)` — including the rating coefficient `β`
+//! that the MAR propensity is structurally unable to represent. The test
+//! suite also shows the contrast: with `α = 0` (no auxiliary variable) the
+//! likelihood is flat across an Example-1-style ridge.
+
+use dt_stats::{expit, logit, sample_bernoulli};
+use rand::Rng;
+
+/// The separable logistic MNAR model `P(o=1|z,r) = σ(c + α·z + β·r)`,
+/// `P(r=1) = π`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparableLogisticModel {
+    /// Selection intercept.
+    pub c: f64,
+    /// Auxiliary-variable coefficient (`q(z) = α·z`).
+    pub alpha: f64,
+    /// Rating coefficient (`g(r) = β·r`) — the MNAR ingredient.
+    pub beta: f64,
+    /// Positive-rating probability.
+    pub pi: f64,
+}
+
+impl SeparableLogisticModel {
+    /// The selection propensity.
+    #[must_use]
+    pub fn propensity(&self, z: f64, r: f64) -> f64 {
+        expit(self.c + self.alpha * z + self.beta * r)
+    }
+
+    /// Samples a dataset of `n` units.
+    #[must_use]
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> MnarSample {
+        let mut z = Vec::with_capacity(n);
+        let mut o = Vec::with_capacity(n);
+        let mut r = Vec::with_capacity(n);
+        for _ in 0..n {
+            let zi: f64 = {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let ri = sample_bernoulli(self.pi, rng);
+            let oi = sample_bernoulli(self.propensity(zi, f64::from(ri)), rng);
+            z.push(zi);
+            o.push(oi);
+            r.push(if oi { Some(ri) } else { None });
+        }
+        MnarSample { z, o, r }
+    }
+}
+
+/// An MNAR sample: `z` and `o` always observed, `r` only where `o = 1`.
+#[derive(Debug, Clone)]
+pub struct MnarSample {
+    /// Auxiliary variable per unit.
+    pub z: Vec<f64>,
+    /// Observation indicator per unit.
+    pub o: Vec<bool>,
+    /// Rating, present only for observed units.
+    pub r: Vec<Option<bool>>,
+}
+
+impl MnarSample {
+    /// Number of units.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Returns `true` for an empty sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+
+    /// Observed-data log-likelihood of a candidate model (averaged per
+    /// unit, for scale stability).
+    #[must_use]
+    pub fn log_likelihood(&self, m: &SeparableLogisticModel) -> f64 {
+        let mut ll = 0.0;
+        for i in 0..self.len() {
+            let z = self.z[i];
+            if self.o[i] {
+                let r = f64::from(self.r[i].expect("observed unit has a rating"));
+                let pr = if r > 0.5 { m.pi } else { 1.0 - m.pi };
+                ll += pr.max(1e-300).ln() + m.propensity(z, r).max(1e-300).ln();
+            } else {
+                let miss = m.pi * (1.0 - m.propensity(z, 1.0))
+                    + (1.0 - m.pi) * (1.0 - m.propensity(z, 0.0));
+                ll += miss.max(1e-300).ln();
+            }
+        }
+        ll / self.len() as f64
+    }
+}
+
+/// Fits the separable logistic model by gradient ascent on the observed
+/// log-likelihood (numeric central-difference gradients over the four
+/// parameters, with `π` optimised on the logit scale).
+///
+/// # Panics
+/// Panics on an empty sample.
+#[must_use]
+pub fn fit_separable(sample: &MnarSample, steps: usize, lr: f64) -> SeparableLogisticModel {
+    assert!(!sample.is_empty(), "fit_separable: empty sample");
+    // Initialise at an agnostic point.
+    let obs_rate = sample.o.iter().filter(|&&o| o).count() as f64 / sample.len() as f64;
+    let mut theta = [
+        logit(obs_rate.clamp(0.01, 0.99)), // c
+        0.0,                               // alpha
+        0.0,                               // beta
+        0.0,                               // logit(pi)
+    ];
+    let unpack = |t: &[f64; 4]| SeparableLogisticModel {
+        c: t[0],
+        alpha: t[1],
+        beta: t[2],
+        pi: expit(t[3]),
+    };
+    let eps = 1e-5;
+    let mut lr = lr;
+    let mut prev = sample.log_likelihood(&unpack(&theta));
+    for _ in 0..steps {
+        let mut grad = [0.0; 4];
+        for k in 0..4 {
+            let mut plus = theta;
+            plus[k] += eps;
+            let mut minus = theta;
+            minus[k] -= eps;
+            grad[k] = (sample.log_likelihood(&unpack(&plus))
+                - sample.log_likelihood(&unpack(&minus)))
+                / (2.0 * eps);
+        }
+        for k in 0..4 {
+            theta[k] += lr * grad[k];
+        }
+        let ll = sample.log_likelihood(&unpack(&theta));
+        if ll < prev {
+            lr *= 0.5; // backtrack on overshoot
+        }
+        prev = ll;
+    }
+    unpack(&theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> SeparableLogisticModel {
+        SeparableLogisticModel {
+            c: -1.0,
+            alpha: 1.2,
+            beta: 1.8,
+            pi: 0.4,
+        }
+    }
+
+    #[test]
+    fn sample_shape_and_missingness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = truth().sample(5000, &mut rng);
+        assert_eq!(s.len(), 5000);
+        for i in 0..s.len() {
+            assert_eq!(s.o[i], s.r[i].is_some());
+        }
+        // Positives should be over-represented among observed units
+        // (beta > 0): the MNAR signature.
+        let obs_pos = s
+            .r
+            .iter()
+            .flatten()
+            .filter(|&&r| r)
+            .count() as f64
+            / s.o.iter().filter(|&&o| o).count() as f64;
+        assert!(obs_pos > 0.5, "observed positive rate {obs_pos} vs π = 0.4");
+    }
+
+    #[test]
+    fn likelihood_peaks_at_the_truth_in_population() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = truth().sample(40_000, &mut rng);
+        let ll_true = s.log_likelihood(&truth());
+        // Perturbations in every direction lower the likelihood.
+        for (dc, da, db, dp) in [
+            (0.5, 0.0, 0.0, 0.0),
+            (0.0, 0.5, 0.0, 0.0),
+            (0.0, 0.0, 0.7, 0.0),
+            (0.0, 0.0, 0.0, 0.15),
+            (-0.5, 0.3, -0.5, -0.1),
+        ] {
+            let m = SeparableLogisticModel {
+                c: truth().c + dc,
+                alpha: truth().alpha + da,
+                beta: truth().beta + db,
+                pi: (truth().pi + dp).clamp(0.01, 0.99),
+            };
+            assert!(
+                s.log_likelihood(&m) < ll_true,
+                "perturbed model not worse: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mle_recovers_the_generating_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = truth().sample(40_000, &mut rng);
+        let fitted = fit_separable(&s, 800, 2.0);
+        assert!((fitted.c - truth().c).abs() < 0.15, "c = {}", fitted.c);
+        assert!(
+            (fitted.alpha - truth().alpha).abs() < 0.15,
+            "alpha = {}",
+            fitted.alpha
+        );
+        assert!(
+            (fitted.beta - truth().beta).abs() < 0.3,
+            "beta = {}",
+            fitted.beta
+        );
+        assert!((fitted.pi - truth().pi).abs() < 0.05, "pi = {}", fitted.pi);
+        // Crucially, the rating effect is detected as strongly positive —
+        // the MNAR propensity is identified.
+        assert!(fitted.beta > 1.0);
+    }
+
+    #[test]
+    fn without_z_an_example1_style_ridge_appears() {
+        // Remove the auxiliary variable (alpha = 0). Then a *MAR* model
+        // (beta' = 0) exactly mimics the MNAR generator on observed data by
+        // trading the rating effect against the rating prevalence:
+        //   σ(c') = π·σ(c+β) + (1−π)·σ(c),   π' = π·σ(c+β)/σ(c').
+        // This matches P(o=1, r=1), P(o=1, r=0) and P(o=0) simultaneously —
+        // the binary-rating analogue of the paper's Example 1, and the
+        // sharpest reading of its message: observed data cannot even tell
+        // MNAR from MAR.
+        let gen = SeparableLogisticModel {
+            c: -2.0,
+            alpha: 0.0,
+            beta: 4.0,
+            pi: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = gen.sample(40_000, &mut rng);
+
+        let p1 = expit(gen.c + gen.beta); // P(o=1|r=1)
+        let p0 = expit(gen.c); // P(o=1|r=0)
+        let sel = gen.pi * p1 + (1.0 - gen.pi) * p0;
+        let dual = SeparableLogisticModel {
+            c: logit(sel),
+            alpha: 0.0,
+            beta: 0.0,
+            pi: gen.pi * p1 / sel,
+        };
+        assert!(dual.pi > 0.8, "dual inflates prevalence: {}", dual.pi);
+
+        let ll_gen = s.log_likelihood(&gen);
+        let ll_dual = s.log_likelihood(&dual);
+        assert!(
+            (ll_gen - ll_dual).abs() < 1e-9,
+            "without z the MAR dual is indistinguishable: {ll_gen} vs {ll_dual}"
+        );
+
+        // With an informative z (alpha ≠ 0) the same trade-off IS
+        // detectable: logistic curves at different offsets are not scalar
+        // multiples of each other across z.
+        let gen_z = SeparableLogisticModel { alpha: 1.5, ..gen };
+        let s_z = gen_z.sample(40_000, &mut StdRng::seed_from_u64(5));
+        let dual_z = SeparableLogisticModel { alpha: 1.5, ..dual };
+        let gap = s_z.log_likelihood(&gen_z) - s_z.log_likelihood(&dual_z);
+        assert!(gap > 0.01, "z breaks the ridge: gap {gap}");
+    }
+}

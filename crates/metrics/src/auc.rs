@@ -1,0 +1,99 @@
+//! Area under the ROC curve.
+
+/// AUC via the rank-sum (Mann–Whitney) formulation, with proper handling of
+/// tied scores (ties contribute the average rank).
+///
+/// Labels are binary (`> 0.5` is positive). Returns `NaN`-free 0.5 when one
+/// class is absent, which is the conventional "no information" value.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn auc(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    assert!(!scores.is_empty(), "auc: empty input");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    // Average ranks with tie correction.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half() {
+        let scores = [0.5; 6];
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert_eq!(auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn single_class_gives_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6)=1, (0.8>0.2)=1, (0.4<0.6)=0, (0.4>0.2)=1 → 3/4
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_tie_counts_half() {
+        // pos 0.5 tied with neg 0.5 → that pair contributes 0.5.
+        let scores = [0.5, 0.5, 0.9];
+        let labels = [1.0, 0.0, 1.0];
+        // pairs: (pos .5 vs neg .5)=0.5, (pos .9 vs neg .5)=1 → 1.5/2
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_to_monotone_transform() {
+        let scores = [0.11, 0.52, 0.35, 0.97, 0.75];
+        let labels = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let transformed: Vec<f64> = scores.iter().map(|s| (s * 5.0_f64).exp()).collect();
+        assert!((auc(&scores, &labels) - auc(&transformed, &labels)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Propensity calibration diagnostics.
+//!
+//! The identifiability story of the paper is ultimately about whether the
+//! *learned propensities* can match the true MNAR propensities. Because the
+//! generators in `dt-data` expose oracle propensities, calibration can be
+//! measured directly.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationBin {
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Mean observed outcome (or oracle probability) in the bin.
+    pub mean_observed: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Expected calibration error over equal-width probability bins; also
+/// returns the reliability diagram.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or `n_bins == 0`.
+#[must_use]
+pub fn expected_calibration_error(
+    predicted: &[f64],
+    observed: &[f64],
+    n_bins: usize,
+) -> (f64, Vec<CalibrationBin>) {
+    assert_eq!(predicted.len(), observed.len(), "ece: length mismatch");
+    assert!(!predicted.is_empty(), "ece: empty input");
+    assert!(n_bins > 0, "ece: need at least one bin");
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); n_bins];
+    for (&p, &o) in predicted.iter().zip(observed) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b].0 += p;
+        sums[b].1 += o;
+        sums[b].2 += 1;
+    }
+    let n = predicted.len() as f64;
+    let mut ece = 0.0;
+    let bins: Vec<CalibrationBin> = sums
+        .into_iter()
+        .filter(|&(_, _, c)| c > 0)
+        .map(|(sp, so, c)| {
+            let bin = CalibrationBin {
+                mean_predicted: sp / c as f64,
+                mean_observed: so / c as f64,
+                count: c,
+            };
+            ece += (c as f64 / n) * (bin.mean_predicted - bin.mean_observed).abs();
+            bin
+        })
+        .collect();
+    (ece, bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_is_zero() {
+        let p = [0.1, 0.1, 0.9, 0.9];
+        let (ece, bins) = expected_calibration_error(&p, &p, 10);
+        assert!(ece < 1e-12);
+        assert_eq!(bins.len(), 2);
+    }
+
+    #[test]
+    fn constant_misprediction_is_the_gap() {
+        let p = [0.8; 10];
+        let o = [0.3; 10];
+        let (ece, _) = expected_calibration_error(&p, &o, 5);
+        assert!((ece - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bins_partition_all_samples() {
+        let p = [0.05, 0.15, 0.55, 0.95, 1.0];
+        let o = [0.0, 0.0, 1.0, 1.0, 1.0];
+        let (_, bins) = expected_calibration_error(&p, &o, 10);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn p_equal_one_lands_in_last_bin() {
+        let (_, bins) = expected_calibration_error(&[1.0], &[1.0], 4);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 1);
+    }
+}

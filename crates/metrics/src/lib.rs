@@ -1,0 +1,18 @@
+//! # dt-metrics
+//!
+//! Evaluation metrics used throughout the paper's tables: pointwise errors
+//! (MSE, MAE — Table III / Fig. 3), AUC and top-K ranking quality
+//! (NDCG@K, Recall@K, Precision@K — Tables IV/V, Fig. 5), and propensity
+//! calibration diagnostics for the identifiability experiments.
+
+mod auc;
+mod calibration;
+mod pointwise;
+mod ranking;
+
+pub use auc::auc;
+pub use calibration::{expected_calibration_error, CalibrationBin};
+pub use pointwise::{mae, mse, rmse};
+pub use ranking::{
+    evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, RankingReport,
+};

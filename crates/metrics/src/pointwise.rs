@@ -1,0 +1,71 @@
+//! Pointwise prediction errors.
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse: length mismatch");
+    assert!(!pred.is_empty(), "mse: empty input");
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mae: length mismatch");
+    assert!(!pred.is_empty(), "mae: empty input");
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+#[must_use]
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    mse(pred, target).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 2.0];
+        assert!((mse(&p, &t) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((rmse(&p, &t) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let p = [0.3, 0.7];
+        assert_eq!(mse(&p, &p), 0.0);
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mse_penalises_outliers_more_than_mae() {
+        let p = [0.0, 0.0];
+        let t = [0.1, 1.9]; // one outlier
+        assert!(mse(&p, &t) > mae(&p, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

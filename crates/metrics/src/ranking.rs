@@ -1,0 +1,199 @@
+//! Top-K ranking metrics, following the paper's protocol: metrics are
+//! computed per user over that user's test items, then averaged over users
+//! with at least one relevant test item.
+
+use dt_data::InteractionLog;
+
+/// Scored test items of one user: `(score, binary_label)`.
+type ScoredItems<'a> = &'a [(f64, f64)];
+
+/// NDCG@K over one user's test items with binary relevance.
+///
+/// Items are ranked by score (descending); DCG sums `1/log2(rank+1)` over
+/// relevant items in the top K, IDCG is the DCG of a perfect ordering.
+/// Returns `None` when the user has no relevant test item.
+#[must_use]
+pub fn ndcg_at_k(items: ScoredItems, k: usize) -> Option<f64> {
+    let n_pos = items.iter().filter(|(_, l)| *l > 0.5).count();
+    if n_pos == 0 || k == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].0.total_cmp(&items[a].0));
+    let dcg: f64 = order
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &i)| items[i].1 > 0.5)
+        .map(|(rank0, _)| 1.0 / ((rank0 + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = (0..n_pos.min(k))
+        .map(|rank0| 1.0 / ((rank0 + 2) as f64).log2())
+        .sum();
+    Some(dcg / idcg)
+}
+
+/// Recall@K with the paper's truncated denominator
+/// `min(K, |test items of u|)` applied to the positive count.
+/// Returns `None` when the user has no relevant test item.
+#[must_use]
+pub fn recall_at_k(items: ScoredItems, k: usize) -> Option<f64> {
+    let n_pos = items.iter().filter(|(_, l)| *l > 0.5).count();
+    if n_pos == 0 || k == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].0.total_cmp(&items[a].0));
+    let hits = order
+        .iter()
+        .take(k)
+        .filter(|&&i| items[i].1 > 0.5)
+        .count();
+    Some(hits as f64 / n_pos.min(k) as f64)
+}
+
+/// Precision@K: fraction of the top-K that is relevant. Returns `None` when
+/// the user has no relevant test item.
+#[must_use]
+pub fn precision_at_k(items: ScoredItems, k: usize) -> Option<f64> {
+    let n_pos = items.iter().filter(|(_, l)| *l > 0.5).count();
+    if n_pos == 0 || k == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].0.total_cmp(&items[a].0));
+    let depth = k.min(items.len());
+    let hits = order
+        .iter()
+        .take(depth)
+        .filter(|&&i| items[i].1 > 0.5)
+        .count();
+    Some(hits as f64 / depth as f64)
+}
+
+/// Dataset-level ranking report at a single cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingReport {
+    /// Mean NDCG@K over users with a relevant test item.
+    pub ndcg: f64,
+    /// Mean Recall@K over the same users.
+    pub recall: f64,
+    /// Mean Precision@K over the same users.
+    pub precision: f64,
+    /// Number of users contributing to the averages.
+    pub n_users: usize,
+}
+
+/// Evaluates ranking metrics over a test log given one score per test
+/// interaction (aligned with `log.interactions()` order).
+///
+/// # Panics
+/// Panics when `scores.len() != log.len()`.
+#[must_use]
+pub fn evaluate_ranking(log: &InteractionLog, scores: &[f64], k: usize) -> RankingReport {
+    assert_eq!(scores.len(), log.len(), "evaluate_ranking: score mismatch");
+    let mut per_user: Vec<Vec<(f64, f64)>> = vec![Vec::new(); log.n_users()];
+    for (it, &s) in log.interactions().iter().zip(scores) {
+        per_user[it.user as usize].push((s, it.rating));
+    }
+    let (mut nd, mut rc, mut pr, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for items in &per_user {
+        if items.is_empty() {
+            continue;
+        }
+        if let (Some(a), Some(b), Some(c)) = (
+            ndcg_at_k(items, k),
+            recall_at_k(items, k),
+            precision_at_k(items, k),
+        ) {
+            nd += a;
+            rc += b;
+            pr += c;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return RankingReport {
+            ndcg: 0.0,
+            recall: 0.0,
+            precision: 0.0,
+            n_users: 0,
+        };
+    }
+    RankingReport {
+        ndcg: nd / n as f64,
+        recall: rc / n as f64,
+        precision: pr / n as f64,
+        n_users: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_data::Interaction;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let items = [(0.9, 1.0), (0.8, 1.0), (0.2, 0.0), (0.1, 0.0)];
+        assert_eq!(ndcg_at_k(&items, 2), Some(1.0));
+        assert_eq!(recall_at_k(&items, 2), Some(1.0));
+        assert_eq!(precision_at_k(&items, 2), Some(1.0));
+    }
+
+    #[test]
+    fn worst_ranking_is_zero() {
+        let items = [(0.1, 1.0), (0.2, 1.0), (0.8, 0.0), (0.9, 0.0)];
+        assert_eq!(ndcg_at_k(&items, 2), Some(0.0));
+        assert_eq!(recall_at_k(&items, 2), Some(0.0));
+        assert_eq!(precision_at_k(&items, 2), Some(0.0));
+    }
+
+    #[test]
+    fn ndcg_discounts_by_position() {
+        // One relevant item at rank 2 of K=2: DCG = 1/log2(3), IDCG = 1.
+        let items = [(0.9, 0.0), (0.8, 1.0), (0.1, 0.0)];
+        let expected = 1.0 / 3f64.log2();
+        assert!((ndcg_at_k(&items, 2).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_relevant_items_is_none() {
+        let items = [(0.9, 0.0), (0.8, 0.0)];
+        assert_eq!(ndcg_at_k(&items, 2), None);
+        assert_eq!(recall_at_k(&items, 2), None);
+        assert_eq!(precision_at_k(&items, 2), None);
+    }
+
+    #[test]
+    fn recall_uses_truncated_denominator() {
+        // 3 positives, K=2, both slots hit → recall = 2/min(2,3) = 1.
+        let items = [(0.9, 1.0), (0.8, 1.0), (0.7, 1.0), (0.1, 0.0)];
+        assert_eq!(recall_at_k(&items, 2), Some(1.0));
+    }
+
+    #[test]
+    fn evaluate_ranking_aggregates_over_users() {
+        let mut log = InteractionLog::new(3, 4);
+        // user 0: perfect; user 1: worst; user 2: no positives (skipped)
+        log.push(Interaction::new(0, 0, 1.0));
+        log.push(Interaction::new(0, 1, 0.0));
+        log.push(Interaction::new(1, 0, 1.0));
+        log.push(Interaction::new(1, 1, 0.0));
+        log.push(Interaction::new(2, 0, 0.0));
+        let scores = [0.9, 0.1, 0.1, 0.9, 0.5];
+        let rep = evaluate_ranking(&log, &scores, 1);
+        assert_eq!(rep.n_users, 2);
+        assert!((rep.ndcg - 0.5).abs() < 1e-12);
+        assert!((rep.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_when_no_user_qualifies() {
+        let mut log = InteractionLog::new(1, 2);
+        log.push(Interaction::new(0, 0, 0.0));
+        let rep = evaluate_ranking(&log, &[0.5], 5);
+        assert_eq!(rep.n_users, 0);
+        assert_eq!(rep.ndcg, 0.0);
+    }
+}

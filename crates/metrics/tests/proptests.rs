@@ -1,0 +1,100 @@
+//! Property-based tests for the metric implementations.
+
+use dt_metrics::{auc, expected_calibration_error, mae, mse, ndcg_at_k, precision_at_k, recall_at_k};
+use proptest::prelude::*;
+
+/// Scored items: (score in [0,1], binary label), at least one of each class
+/// not guaranteed.
+fn scored_items() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (0.0f64..1.0, prop_oneof![Just(0.0f64), Just(1.0f64)]),
+        1..30,
+    )
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded(items in scored_items()) {
+        let scores: Vec<f64> = items.iter().map(|x| x.0).collect();
+        let labels: Vec<f64> = items.iter().map(|x| x.1).collect();
+        let v = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn auc_label_flip_complements(items in scored_items()) {
+        let scores: Vec<f64> = items.iter().map(|x| x.0).collect();
+        let labels: Vec<f64> = items.iter().map(|x| x.1).collect();
+        let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+        // Only meaningful when both classes are present.
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let flipped: Vec<f64> = labels.iter().map(|l| 1.0 - l).collect();
+        let direct = auc(&scores, &labels);
+        let flip = auc(&scores, &flipped);
+        prop_assert!((direct + flip - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_score_negation_complements(items in scored_items()) {
+        let scores: Vec<f64> = items.iter().map(|x| x.0).collect();
+        let labels: Vec<f64> = items.iter().map(|x| x.1).collect();
+        let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+        prop_assert!((auc(&scores, &labels) + auc(&negated, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_metrics_are_bounded(items in scored_items(), k in 1usize..10) {
+        for metric in [ndcg_at_k, recall_at_k, precision_at_k] {
+            if let Some(v) = metric(&items, k) {
+                prop_assert!((0.0..=1.0).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ndcg_none_iff_no_positives(items in scored_items(), k in 1usize..10) {
+        let has_pos = items.iter().any(|(_, l)| *l > 0.5);
+        prop_assert_eq!(ndcg_at_k(&items, k).is_some(), has_pos);
+    }
+
+    #[test]
+    fn perfect_order_maximises_ndcg(labels in proptest::collection::vec(
+        prop_oneof![Just(0.0f64), Just(1.0f64)], 2..20), k in 1usize..10) {
+        prop_assume!(labels.iter().any(|l| *l > 0.5));
+        // Score = label: perfect ordering.
+        let perfect: Vec<(f64, f64)> = labels.iter().map(|&l| (l, l)).collect();
+        prop_assert_eq!(ndcg_at_k(&perfect, k), Some(1.0));
+        prop_assert_eq!(recall_at_k(&perfect, k).map(|v| v >= 0.999), Some(true));
+    }
+
+    #[test]
+    fn mse_dominates_squared_mae(pred in proptest::collection::vec(0.0f64..1.0, 1..40)) {
+        let target: Vec<f64> = pred.iter().map(|p| 1.0 - p).collect();
+        // Jensen: mae² ≤ mse.
+        let m = mae(&pred, &target);
+        prop_assert!(m * m <= mse(&pred, &target) + 1e-12);
+    }
+
+    #[test]
+    fn mse_is_translation_detecting(pred in proptest::collection::vec(0.0f64..1.0, 1..40),
+                                    shift in 0.01f64..0.5) {
+        let shifted: Vec<f64> = pred.iter().map(|p| p + shift).collect();
+        prop_assert!((mse(&shifted, &pred) - shift * shift).abs() < 1e-12);
+        prop_assert!((mae(&shifted, &pred) - shift).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ece_is_bounded_and_zero_when_matched(p in proptest::collection::vec(0.0f64..1.0, 1..60)) {
+        let (ece, bins) = expected_calibration_error(&p, &p, 10);
+        prop_assert!(ece.abs() < 0.2, "self-calibration within bin width");
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, p.len());
+        // Against constant-zero outcomes, ECE equals the mean prediction.
+        let zeros = vec![0.0; p.len()];
+        let (ece0, _) = expected_calibration_error(&p, &zeros, 10);
+        let mean = p.iter().sum::<f64>() / p.len() as f64;
+        prop_assert!((ece0 - mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Embedding tables.
+
+use std::rc::Rc;
+
+use dt_autograd::{Graph, ParamId, Params, Var};
+use rand::Rng;
+
+/// A trainable `n × dim` embedding table registered in a [`Params`] store.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingTable {
+    id: ParamId,
+    n: usize,
+    dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Registers a table initialised `N(0, scale²)`.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        n: usize,
+        dim: usize,
+        scale: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let init = dt_tensor::normal(n, dim, 0.0, scale, rng);
+        Self {
+            id: params.add(name, init),
+            n,
+            dim,
+        }
+    }
+
+    /// The parameter handle.
+    #[must_use]
+    pub fn id(&self) -> ParamId {
+        self.id
+    }
+
+    /// Number of rows (entities).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for an empty table.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Mounts the full table as a leaf.
+    pub fn full(&self, g: &mut Graph, params: &Params) -> Var {
+        g.param(params, self.id)
+    }
+
+    /// Looks up a batch of rows (differentiable; backward scatter-adds).
+    pub fn lookup(&self, g: &mut Graph, params: &Params, indices: &[usize]) -> Var {
+        debug_assert!(indices.iter().all(|&i| i < self.n));
+        let table = g.param(params, self.id);
+        g.gather(table, Rc::new(indices.to_vec()))
+    }
+
+    /// Direct (non-differentiable) lookup of one row's values.
+    #[must_use]
+    pub fn row<'p>(&self, params: &'p Params, i: usize) -> &'p [f64] {
+        params.value(self.id).row(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_and_gradients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let table = EmbeddingTable::new(&mut params, "emb", 5, 3, 0.1, &mut rng);
+        assert_eq!(table.len(), 5);
+        assert_eq!(table.dim(), 3);
+
+        let mut g = Graph::new();
+        let rows = table.lookup(&mut g, &params, &[0, 0, 4]);
+        assert_eq!(g.value(rows).rows(), 3);
+        let loss0 = g.sqr(rows);
+        let loss = g.sum(loss0);
+        g.backward(loss, &mut params);
+        // Row 0 looked up twice → its grad is 2·(2·w); rows 1..3 untouched.
+        let grad = params.grad(table.id());
+        assert_eq!(grad.row(1), &[0.0, 0.0, 0.0]);
+        let w = table.row(&params, 0).to_vec();
+        for (gv, wv) in grad.row(0).iter().zip(&w) {
+            assert!((gv - 4.0 * wv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn init_scale_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let t = EmbeddingTable::new(&mut params, "e", 400, 16, 0.01, &mut rng);
+        let v = params.value(t.id());
+        let std = (v.frob_sq() / v.len() as f64).sqrt();
+        assert!((std - 0.01).abs() < 0.002, "std {std}");
+    }
+}

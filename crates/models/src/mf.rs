@@ -1,0 +1,179 @@
+//! Matrix factorisation with biases — the paper's base model.
+
+use dt_autograd::{Graph, ParamId, Params, Var};
+use dt_stats::expit;
+use rand::Rng;
+
+use crate::broadcast_scalar;
+use crate::embedding::EmbeddingTable;
+
+/// Biased matrix factorisation: `logit(u, i) = pᵤ·qᵢ + bᵤ + bᵢ + µ`.
+///
+/// The model owns its parameter store; trainers mount what they need per
+/// mini-batch and run the optimizer over [`MfModel::params`].
+pub struct MfModel {
+    /// The parameter store (embeddings + biases).
+    pub params: Params,
+    user_emb: EmbeddingTable,
+    item_emb: EmbeddingTable,
+    user_bias: ParamId,
+    item_bias: ParamId,
+    mu: ParamId,
+}
+
+impl MfModel {
+    /// A fresh model with `N(0, 0.1²)` embeddings and zero biases.
+    #[must_use]
+    pub fn new(n_users: usize, n_items: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let mut params = Params::new();
+        let user_emb = EmbeddingTable::new(&mut params, "user_emb", n_users, dim, 0.1, rng);
+        let item_emb = EmbeddingTable::new(&mut params, "item_emb", n_items, dim, 0.1, rng);
+        let user_bias = params.add("user_bias", dt_tensor::Tensor::zeros(n_users, 1));
+        let item_bias = params.add("item_bias", dt_tensor::Tensor::zeros(n_items, 1));
+        let mu = params.add("mu", dt_tensor::Tensor::zeros(1, 1));
+        Self {
+            params,
+            user_emb,
+            item_emb,
+            user_bias,
+            item_bias,
+            mu,
+        }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.user_emb.len()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.item_emb.len()
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.user_emb.dim()
+    }
+
+    /// Total scalar parameter count.
+    #[must_use]
+    pub fn n_parameters(&self) -> usize {
+        self.params.n_scalars()
+    }
+
+    /// Differentiable logits for a batch of pairs (`n×1`).
+    pub fn logits(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> Var {
+        assert_eq!(users.len(), items.len(), "logits: batch mismatch");
+        let pu = self.user_emb.lookup(g, &self.params, users);
+        let qi = self.item_emb.lookup(g, &self.params, items);
+        let dot = g.row_dot(pu, qi);
+        let bu_table = g.param(&self.params, self.user_bias);
+        let bu = g.gather(bu_table, std::rc::Rc::new(users.to_vec()));
+        let bi_table = g.param(&self.params, self.item_bias);
+        let bi = g.gather(bi_table, std::rc::Rc::new(items.to_vec()));
+        let mu = g.param(&self.params, self.mu);
+        let mu_col = broadcast_scalar(g, mu, users.len());
+        let s1 = g.add(dot, bu);
+        let s2 = g.add(s1, bi);
+        g.add(s2, mu_col)
+    }
+
+    /// Differentiable sigmoid predictions (`n×1`).
+    pub fn predict_var(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> Var {
+        let l = self.logits(g, users, items);
+        g.sigmoid(l)
+    }
+
+    /// Fast inference path (no tape): sigmoid probabilities for pairs.
+    #[must_use]
+    pub fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, i)| expit(self.score(u, i)))
+            .collect()
+    }
+
+    /// Fast inference path: raw logit for one pair.
+    #[must_use]
+    pub fn score(&self, user: usize, item: usize) -> f64 {
+        let pu = self.user_emb.row(&self.params, user);
+        let qi = self.item_emb.row(&self.params, item);
+        let dot: f64 = pu.iter().zip(qi).map(|(a, b)| a * b).sum();
+        dot + self.params.value(self.user_bias).get(user, 0)
+            + self.params.value(self.item_bias).get(item, 0)
+            + self.params.value(self.mu).item()
+    }
+
+    /// L2 penalty on the embedding tables (not the biases), as a
+    /// differentiable term.
+    pub fn l2_penalty(&self, g: &mut Graph) -> Var {
+        let p = self.user_emb.full(g, &self.params);
+        let q = self.item_emb.full(g, &self.params);
+        let fp = g.frob_sq(p);
+        let fq = g.frob_sq(q);
+        g.add(fp, fq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_optim::{Adam, Optimizer};
+    use dt_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn score_matches_graph_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MfModel::new(4, 6, 3, &mut rng);
+        let mut g = Graph::new();
+        let l = m.logits(&mut g, &[1, 3], &[0, 5]);
+        assert!((g.value(l).get(0, 0) - m.score(1, 0)).abs() < 1e-12);
+        assert!((g.value(l).get(1, 0) - m.score(3, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MfModel::new(10, 20, 4, &mut rng);
+        // 10·4 + 20·4 + 10 + 20 + 1 = 151
+        assert_eq!(m.n_parameters(), 151);
+    }
+
+    #[test]
+    fn can_overfit_a_tiny_pattern() {
+        // 2 users × 2 items, XOR-free pattern learnable by MF with biases.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = MfModel::new(2, 2, 4, &mut rng);
+        let users = [0usize, 0, 1, 1];
+        let items = [0usize, 1, 0, 1];
+        let labels = Tensor::col_vec(&[1.0, 0.0, 0.0, 1.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let logits = m.logits(&mut g, &users, &items);
+            let y = g.constant(labels.clone());
+            let loss = g.bce_mean(logits, y);
+            g.backward(loss, &mut m.params);
+            opt.step(&mut m.params);
+            m.params.zero_grad();
+        }
+        let preds = m.predict(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(preds[0] > 0.9 && preds[3] > 0.9, "{preds:?}");
+        assert!(preds[1] < 0.1 && preds[2] < 0.1, "{preds:?}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MfModel::new(3, 3, 2, &mut rng);
+        for p in m.predict(&[(0, 0), (2, 2)]) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Adagrad.
+
+use dt_autograd::Params;
+use dt_tensor::Tensor;
+
+use crate::Optimizer;
+
+/// Adagrad (Duchi et al., 2011): per-coordinate learning rates that decay
+/// with the accumulated squared gradient — a good fit for the sparse,
+/// long-tailed updates of embedding tables.
+pub struct Adagrad {
+    lr: f64,
+    eps: f64,
+    accum: Vec<Tensor>,
+}
+
+impl Adagrad {
+    /// Adagrad with `eps = 1e-10`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive learning rate.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "Adagrad: lr must be positive, got {lr}");
+        Self {
+            lr,
+            eps: 1e-10,
+            accum: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, params: &mut Params) {
+        for id in params.ids().skip(self.accum.len()).collect::<Vec<_>>() {
+            let v = params.value(id);
+            self.accum.push(Tensor::zeros(v.rows(), v.cols()));
+        }
+        let ids: Vec<_> = params.ids().collect();
+        for (k, id) in ids.into_iter().enumerate() {
+            let g = params.grad(id).clone();
+            let acc = &mut self.accum[k];
+            let g_sq = g.map(|x| x * x);
+            acc.add_assign(&g_sq);
+            let lr = self.lr;
+            let eps = self.eps;
+            let update = g.zip_map(acc, |gv, av| lr * gv / (av.sqrt() + eps));
+            params.value_mut(id).axpy(-1.0, &update);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_autograd::Graph;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(4.0));
+        let mut opt = Adagrad::new(1.0);
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.param(&params, w);
+            let sq = g.sqr(wv);
+            let loss = g.sum(sq);
+            g.backward(loss, &mut params);
+            opt.step(&mut params);
+            params.zero_grad();
+        }
+        assert!(params.value(w).item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_sizes_shrink_over_time() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(0.0));
+        let mut opt = Adagrad::new(0.1);
+        let mut prev = f64::INFINITY;
+        for _ in 0..5 {
+            params.accumulate_grad(w, &Tensor::scalar(1.0));
+            let before = params.value(w).item();
+            opt.step(&mut params);
+            params.zero_grad();
+            let delta = (params.value(w).item() - before).abs();
+            assert!(delta < prev);
+            prev = delta;
+        }
+    }
+}

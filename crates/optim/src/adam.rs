@@ -1,0 +1,207 @@
+//! Adam and AdamW.
+
+use dt_autograd::Params;
+use dt_tensor::Tensor;
+
+use crate::Optimizer;
+
+struct Moments {
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Moments {
+    fn ensure(&mut self, params: &Params) {
+        let n = params.len();
+        for id in params.ids().skip(self.m.len()) {
+            let val = params.value(id);
+            self.m.push(Tensor::zeros(val.rows(), val.cols()));
+            self.v.push(Tensor::zeros(val.rows(), val.cols()));
+        }
+        debug_assert_eq!(self.m.len(), n);
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the optimizer the paper uses for all methods.
+///
+/// `decoupled_decay = false` gives classic Adam with L2 regularisation folded
+/// into the gradient; `true` gives AdamW (decay applied directly to the
+/// weights).
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    decoupled_decay: bool,
+    state: Moments,
+}
+
+impl Adam {
+    /// Adam with standard betas `(0.9, 0.999)` and `eps = 1e-8`.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully configured classic Adam.
+    ///
+    /// # Panics
+    /// Panics on out-of-range hyper-parameters.
+    #[must_use]
+    pub fn with_config(lr: f64, beta1: f64, beta2: f64, eps: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "Adam: lr must be positive, got {lr}");
+        assert!((0.0..1.0).contains(&beta1), "Adam: beta1 out of range");
+        assert!((0.0..1.0).contains(&beta2), "Adam: beta2 out of range");
+        assert!(eps > 0.0, "Adam: eps must be positive");
+        assert!(weight_decay >= 0.0, "Adam: negative weight_decay");
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            decoupled_decay: false,
+            state: Moments {
+                m: Vec::new(),
+                v: Vec::new(),
+                t: 0,
+            },
+        }
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay.
+pub struct AdamW(Adam);
+
+impl AdamW {
+    /// AdamW with standard betas and the given decay.
+    #[must_use]
+    pub fn new(lr: f64, weight_decay: f64) -> Self {
+        let mut inner = Adam::with_config(lr, 0.9, 0.999, 1e-8, weight_decay);
+        inner.decoupled_decay = true;
+        Self(inner)
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut Params) {
+        self.0.step(params);
+    }
+    fn learning_rate(&self) -> f64 {
+        self.0.learning_rate()
+    }
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.0.set_learning_rate(lr);
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params) {
+        self.state.ensure(params);
+        self.state.t += 1;
+        let t = self.state.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+
+        let ids: Vec<_> = params.ids().collect();
+        for (k, id) in ids.into_iter().enumerate() {
+            let mut g = params.grad(id).clone();
+            if self.weight_decay > 0.0 && !self.decoupled_decay {
+                g.axpy(self.weight_decay, params.value(id));
+            }
+
+            let m = &mut self.state.m[k];
+            m.scale_inplace(self.beta1);
+            m.axpy(1.0 - self.beta1, &g);
+
+            let v = &mut self.state.v[k];
+            v.scale_inplace(self.beta2);
+            let g_sq = g.map(|x| x * x);
+            v.axpy(1.0 - self.beta2, &g_sq);
+
+            let lr = self.lr;
+            let eps = self.eps;
+            let update = m.zip_map(v, |mv, vv| {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                lr * m_hat / (v_hat.sqrt() + eps)
+            });
+
+            if self.weight_decay > 0.0 && self.decoupled_decay {
+                let decay = self.lr * self.weight_decay;
+                let w = params.value_mut(id);
+                w.scale_inplace(1.0 - decay);
+            }
+            let w = params.value_mut(id);
+            w.axpy(-1.0, &update);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_autograd::Graph;
+
+    #[test]
+    fn converges_on_rosenbrock_like_quadratic() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::row_vec(&[3.0, -2.0]));
+        let target = Tensor::row_vec(&[1.0, 1.0]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let mut g = Graph::new();
+            let wv = g.param(&params, w);
+            let tv = g.constant(target.clone());
+            let loss = g.mse(wv, tv);
+            g.backward(loss, &mut params);
+            opt.step(&mut params);
+            params.zero_grad();
+        }
+        assert!(params.value(w).sub(&target).frob_sq() < 1e-8);
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the very first Adam update has magnitude ≈ lr.
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(10.0));
+        params.accumulate_grad(w, &Tensor::scalar(123.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut params);
+        assert!((params.value(w).item() - (10.0 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adamw_decays_even_without_gradient() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(1.0));
+        let mut opt = AdamW::new(0.01, 0.1);
+        opt.step(&mut params);
+        assert!(params.value(w).item() < 1.0);
+    }
+
+    #[test]
+    fn handles_params_added_after_first_step() {
+        let mut params = Params::new();
+        let a = params.add("a", Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.1);
+        params.accumulate_grad(a, &Tensor::scalar(1.0));
+        opt.step(&mut params);
+        params.zero_grad();
+        let b = params.add("b", Tensor::scalar(1.0));
+        params.accumulate_grad(b, &Tensor::scalar(1.0));
+        opt.step(&mut params); // must not panic
+        assert!(params.value(b).item() < 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Global-norm gradient clipping.
+
+use dt_autograd::Params;
+
+/// Scales all gradients so their global L2 norm does not exceed `max_norm`.
+/// Returns the pre-clipping norm (useful for divergence diagnostics).
+///
+/// # Panics
+/// Panics when `max_norm` is not positive.
+pub fn clip_grad_norm(params: &mut Params, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    let norm = params.grad_norm();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for id in params.ids().collect::<Vec<_>>() {
+            params.grad_mut(id).scale_inplace(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_tensor::Tensor;
+
+    #[test]
+    fn clips_large_gradients() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(1, 2));
+        p.accumulate_grad(a, &Tensor::row_vec(&[3.0, 4.0])); // norm 5
+        let pre = clip_grad_norm(&mut p, 1.0);
+        assert_eq!(pre, 5.0);
+        assert!((p.grad_norm() - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((p.grad(a).get(0, 0) / p.grad(a).get(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaves_small_gradients_alone() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(1, 2));
+        p.accumulate_grad(a, &Tensor::row_vec(&[0.3, 0.4]));
+        let pre = clip_grad_norm(&mut p, 1.0);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(p.grad(a).data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn spans_multiple_params() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(1, 1));
+        let b = p.add("b", Tensor::zeros(1, 1));
+        p.accumulate_grad(a, &Tensor::scalar(3.0));
+        p.accumulate_grad(b, &Tensor::scalar(4.0));
+        clip_grad_norm(&mut p, 1.0);
+        assert!((p.grad_norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Early stopping on a validation metric.
+
+/// Tracks a validation metric and signals when training should stop.
+///
+/// `patience` is the number of consecutive non-improving evaluations
+/// tolerated before stopping; `min_delta` is the minimum improvement that
+/// counts. Works for metrics where **lower is better** (losses); negate the
+/// metric for AUC-style scores.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    best_epoch: usize,
+    bad_streak: usize,
+    epoch: usize,
+}
+
+impl EarlyStopping {
+    /// A fresh tracker.
+    #[must_use]
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            best_epoch: 0,
+            bad_streak: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Records one validation value; returns `true` when training should
+    /// stop. Non-finite values count as non-improvements.
+    pub fn update(&mut self, value: f64) -> bool {
+        let improved = value.is_finite() && value < self.best - self.min_delta;
+        if improved {
+            self.best = value;
+            self.best_epoch = self.epoch;
+            self.bad_streak = 0;
+        } else {
+            self.bad_streak += 1;
+        }
+        self.epoch += 1;
+        self.bad_streak > self.patience
+    }
+
+    /// Best value seen so far.
+    #[must_use]
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Epoch index (0-based) at which the best value occurred.
+    #[must_use]
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_patience_exceeded() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.9));
+        assert!(!es.update(0.95)); // bad 1
+        assert!(!es.update(0.95)); // bad 2
+        assert!(es.update(0.95)); // bad 3 > patience
+        assert_eq!(es.best(), 0.9);
+        assert_eq!(es.best_epoch(), 1);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(0, 0.1);
+        assert!(!es.update(1.0));
+        // 0.95 improves by less than min_delta → counts as bad, stops.
+        assert!(es.update(0.95));
+    }
+
+    #[test]
+    fn nan_counts_as_non_improvement() {
+        let mut es = EarlyStopping::new(0, 0.0);
+        assert!(!es.update(1.0));
+        assert!(es.update(f64::NAN));
+    }
+}

@@ -1,0 +1,62 @@
+//! # dt-optim
+//!
+//! First-order optimizers and training-loop utilities for the `disrec`
+//! workspace: SGD (with momentum), Adagrad, Adam/AdamW, learning-rate
+//! schedules, global-norm gradient clipping and early stopping.
+//!
+//! All optimizers implement the [`Optimizer`] trait and operate on a
+//! [`dt_autograd::Params`] store: the training loop accumulates gradients
+//! via `Graph::backward`, optionally clips them, calls [`Optimizer::step`],
+//! then [`dt_autograd::Params::zero_grad`].
+//!
+//! ## Example
+//!
+//! ```
+//! use dt_autograd::{Graph, Params};
+//! use dt_optim::{Adam, Optimizer};
+//! use dt_tensor::Tensor;
+//!
+//! let mut params = Params::new();
+//! let w = params.add("w", Tensor::scalar(5.0));
+//! let mut opt = Adam::new(0.5);
+//!
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let wv = g.param(&params, w);
+//!     let loss0 = g.sqr(wv); // minimise w²
+//!     let loss = g.sum(loss0);
+//!     g.backward(loss, &mut params);
+//!     opt.step(&mut params);
+//!     params.zero_grad();
+//! }
+//! assert!(params.value(w).item().abs() < 1e-3);
+//! ```
+
+mod adagrad;
+mod adam;
+mod clip;
+mod early_stop;
+mod schedule;
+mod sgd;
+
+pub use adagrad::Adagrad;
+pub use adam::{Adam, AdamW};
+pub use clip::clip_grad_norm;
+pub use early_stop::EarlyStopping;
+pub use schedule::{ConstantLr, CosineLr, ExponentialDecay, LrSchedule, StepDecay};
+pub use sgd::Sgd;
+
+use dt_autograd::Params;
+
+/// A first-order optimizer over a [`Params`] store.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated in
+    /// `params`. Does not zero the gradients.
+    fn step(&mut self, params: &mut Params);
+
+    /// The current base learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the base learning rate (used by [`LrSchedule`] drivers).
+    fn set_learning_rate(&mut self, lr: f64);
+}

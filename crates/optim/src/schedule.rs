@@ -1,0 +1,112 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps an epoch index to a multiplier applied to
+/// the optimizer's base learning rate.
+pub trait LrSchedule {
+    /// The learning rate to use at `epoch` (0-based), given the base rate.
+    fn lr_at(&self, epoch: usize, base_lr: f64) -> f64;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize, base_lr: f64) -> f64 {
+        base_lr
+    }
+}
+
+/// Multiplies the rate by `gamma` every `step_size` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Number of epochs between decays.
+    pub step_size: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f64,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
+        base_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+/// Smooth exponential decay `lr · gamma^epoch`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialDecay {
+    /// Per-epoch decay factor in `(0, 1]`.
+    pub gamma: f64,
+}
+
+impl LrSchedule for ExponentialDecay {
+    fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
+        base_lr * self.gamma.powi(epoch as i32)
+    }
+}
+
+/// Cosine annealing from the base rate down to `min_lr` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    /// Length of the annealing window.
+    pub total_epochs: usize,
+    /// Floor learning rate.
+    pub min_lr: f64,
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
+        if self.total_epochs == 0 {
+            return base_lr;
+        }
+        let t = (epoch.min(self.total_epochs)) as f64 / self.total_epochs as f64;
+        self.min_lr + 0.5 * (base_lr - self.min_lr) * (1.0 + (std::f64::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        assert_eq!(ConstantLr.lr_at(0, 0.1), 0.1);
+        assert_eq!(ConstantLr.lr_at(999, 0.1), 0.1);
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = StepDecay {
+            step_size: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn exponential_decay_is_monotone() {
+        let s = ExponentialDecay { gamma: 0.9 };
+        let mut prev = f64::INFINITY;
+        for e in 0..20 {
+            let lr = s.lr_at(e, 1.0);
+            assert!(lr < prev);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn cosine_hits_endpoints() {
+        let s = CosineLr {
+            total_epochs: 100,
+            min_lr: 0.001,
+        };
+        assert!((s.lr_at(0, 0.1) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(100, 0.1) - 0.001).abs() < 1e-12);
+        assert!((s.lr_at(200, 0.1) - 0.001).abs() < 1e-12, "clamps past end");
+        // Midpoint is the average of the endpoints.
+        assert!((s.lr_at(50, 0.1) - 0.0505).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Stochastic gradient descent with optional momentum and weight decay.
+
+use dt_autograd::Params;
+use dt_tensor::Tensor;
+
+use crate::Optimizer;
+
+/// SGD: `w ← w − lr · (g + weight_decay · w)`, with optional classical
+/// momentum `v ← µ·v + g`.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        Self::with_config(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `µ` and L2 weight decay.
+    ///
+    /// # Panics
+    /// Panics on negative hyper-parameters or `momentum ≥ 1`.
+    #[must_use]
+    pub fn with_config(lr: f64, momentum: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "Sgd: lr must be positive, got {lr}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0,1), got {momentum}"
+        );
+        assert!(weight_decay >= 0.0, "Sgd: negative weight_decay");
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params) {
+        let ids: Vec<_> = params.ids().collect();
+        if self.momentum > 0.0 && self.velocity.len() < ids.len() {
+            for id in ids.iter().skip(self.velocity.len()) {
+                let v = params.value(*id);
+                self.velocity.push(Tensor::zeros(v.rows(), v.cols()));
+            }
+        }
+        for (k, id) in ids.into_iter().enumerate() {
+            let mut g = params.grad(id).clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, params.value(id));
+            }
+            let update = if self.momentum > 0.0 {
+                let v = &mut self.velocity[k];
+                v.scale_inplace(self.momentum);
+                v.add_assign(&g);
+                v.clone()
+            } else {
+                g
+            };
+            params.value_mut(id).axpy(-self.lr, &update);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_autograd::Graph;
+
+    fn quadratic_step(params: &mut Params, w: dt_autograd::ParamId) {
+        let mut g = Graph::new();
+        let wv = g.param(params, w);
+        let sq = g.sqr(wv);
+        let loss = g.sum(sq);
+        g.backward(loss, params);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(4.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_step(&mut params, w);
+            opt.step(&mut params);
+            params.zero_grad();
+        }
+        assert!(params.value(w).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f64| {
+            let mut params = Params::new();
+            let w = params.add("w", Tensor::scalar(4.0));
+            let mut opt = Sgd::with_config(0.02, momentum, 0.0);
+            for _ in 0..50 {
+                quadratic_step(&mut params, w);
+                opt.step(&mut params);
+                params.zero_grad();
+            }
+            params.value(w).item().abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(1.0));
+        let mut opt = Sgd::with_config(0.1, 0.0, 0.5);
+        // No backward pass: gradient is zero, only decay acts.
+        opt.step(&mut params);
+        assert!((params.value(w).item() - (1.0 - 0.1 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr must be positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Percentile bootstrap confidence intervals.
+
+use rand::Rng;
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapCi {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic.
+///
+/// Resamples `data` with replacement `n_resamples` times and returns the
+/// `(alpha/2, 1 − alpha/2)` percentiles of the statistic's distribution.
+///
+/// # Panics
+/// Panics on empty data, `n_resamples == 0`, or `alpha` outside `(0, 1)`.
+#[must_use]
+pub fn bootstrap_ci(
+    data: &[f64],
+    n_resamples: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap_ci: empty data");
+    assert!(n_resamples > 0, "bootstrap_ci: need at least one resample");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "bootstrap_ci: alpha must be in (0,1)"
+    );
+    let estimate = statistic(data);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut buf = vec![0.0; data.len()];
+    for _ in 0..n_resamples {
+        for slot in &mut buf {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(f64::total_cmp);
+    let idx = |q: f64| -> f64 {
+        let pos = q * (stats.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        stats[lo] * (1.0 - frac) + stats[hi] * frac
+    };
+    BootstrapCi {
+        estimate,
+        lo: idx(alpha / 2.0),
+        hi: idx(1.0 - alpha / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let ci = bootstrap_ci(&data, 1000, 0.05, &mut rng, mean);
+        assert!((ci.estimate - 4.5).abs() < 1e-12);
+        assert!(ci.lo < 4.5 && 4.5 < ci.hi);
+        assert!(ci.hi - ci.lo < 1.0, "CI too wide: [{}, {}]", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn degenerate_data_gives_zero_width() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = vec![2.0; 50];
+        let ci = bootstrap_ci(&data, 200, 0.05, &mut rng, mean);
+        assert_eq!(ci.lo, 2.0);
+        assert_eq!(ci.hi, 2.0);
+    }
+
+    #[test]
+    fn narrower_alpha_widens_interval() {
+        let data: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        let wide = bootstrap_ci(&data, 2000, 0.01, &mut StdRng::seed_from_u64(1), mean);
+        let tight = bootstrap_ci(&data, 2000, 0.20, &mut StdRng::seed_from_u64(1), mean);
+        assert!(wide.hi - wide.lo > tight.hi - tight.lo);
+    }
+}

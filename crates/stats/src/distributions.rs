@@ -1,0 +1,107 @@
+//! Gaussian density/CDF and categorical sampling.
+
+use rand::Rng;
+
+/// Standard normal density `φ(x)`.
+#[must_use]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF `Φ(x)` via the Abramowitz–Stegun erf approximation
+/// (max absolute error < 1.5e-7, plenty for the identifiability demos).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Draws a Bernoulli sample with success probability `p` (clamped to [0,1]).
+#[must_use]
+pub fn sample_bernoulli(p: f64, rng: &mut impl Rng) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Draws an index from an unnormalised weight vector.
+///
+/// # Panics
+/// Panics when the weights are empty, contain negatives, or sum to zero.
+#[must_use]
+pub fn sample_categorical(weights: &[f64], rng: &mut impl Rng) -> usize {
+    assert!(!weights.is_empty(), "sample_categorical: empty weights");
+    let total: f64 = weights
+        .iter()
+        .inspect(|w| assert!(**w >= 0.0, "sample_categorical: negative weight"))
+        .sum();
+    assert!(total > 0.0, "sample_categorical: weights sum to zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((normal_pdf(0.0) - 0.398_942_280).abs() < 1e-8);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| sample_bernoulli(0.3, &mut rng)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_categorical(&w, &mut rng)] += 1;
+        }
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.02);
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn zero_weights_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sample_categorical(&[0.0, 0.0], &mut rng);
+    }
+}

@@ -1,0 +1,93 @@
+//! Scalar link functions and moment helpers.
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, overflow-free over all of `f64`.
+#[must_use]
+pub fn expit(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse of [`expit`]: `ln(p / (1-p))`.
+///
+/// # Panics
+/// Panics outside the open interval `(0, 1)`.
+#[must_use]
+pub fn logit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "logit: p must be in (0,1), got {p}");
+    (p / (1.0 - p)).ln()
+}
+
+/// `ln(1 + e^x)` without overflow (softplus).
+#[must_use]
+pub fn log1pexp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n − 1`).
+///
+/// # Panics
+/// Panics when fewer than two values are given.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "variance needs at least two values");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expit_logit_roundtrip() {
+        for &p in &[0.01, 0.3, 0.5, 0.9, 0.999] {
+            assert!((expit(logit(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expit_extremes_do_not_overflow() {
+        assert_eq!(expit(800.0), 1.0);
+        assert_eq!(expit(-800.0), 0.0);
+    }
+
+    #[test]
+    fn log1pexp_matches_naive_in_safe_range() {
+        for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+            assert!((log1pexp(x) - (1.0 + x.exp()).ln()).abs() < 1e-12);
+        }
+        // Large x: naive overflows, ours is ≈ x.
+        assert!((log1pexp(1000.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "logit")]
+    fn logit_out_of_domain_panics() {
+        let _ = logit(1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # dt-stats
+//!
+//! Statistical primitives for the `disrec` workspace: link functions,
+//! Gaussian density/CDF, logistic regression (the classical MAR propensity
+//! model), the Naive-Bayes MNAR propensity estimator of Schnabel et al.
+//! (2016), paired t-tests (used for the significance stars in the paper's
+//! Table IV), and bootstrap confidence intervals.
+
+mod bootstrap;
+mod distributions;
+mod func;
+mod logistic;
+mod naive_bayes;
+mod ttest;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use distributions::{normal_cdf, normal_pdf, sample_bernoulli, sample_categorical};
+pub use func::{expit, log1pexp, logit, mean, variance};
+pub use logistic::LogisticRegression;
+pub use naive_bayes::NaiveBayesPropensity;
+pub use ttest::{paired_t_test, TTestResult};

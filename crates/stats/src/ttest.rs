@@ -1,0 +1,205 @@
+//! Paired t-test, used for the significance markers in the paper's Table IV.
+
+use crate::func::{mean, variance};
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// `true` when the two-sided p-value is at or below `alpha`.
+    #[must_use]
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Two-sided paired t-test on matched samples.
+///
+/// # Panics
+/// Panics when the samples have different lengths or fewer than two pairs.
+#[must_use]
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired_t_test: length mismatch");
+    assert!(a.len() >= 2, "paired_t_test: need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let d_mean = mean(&diffs);
+    let d_var = variance(&diffs);
+    let df = diffs.len() - 1;
+    if d_var == 0.0 {
+        // All differences identical: either exactly zero (no effect) or a
+        // deterministic shift (infinitely significant).
+        let p = if d_mean == 0.0 { 1.0 } else { 0.0 };
+        return TTestResult {
+            t: if d_mean == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_value: p,
+        };
+    }
+    let t = d_mean / (d_var / n).sqrt();
+    let p = 2.0 * student_t_sf(t.abs(), df as f64);
+    TTestResult { t, df, p_value: p }
+}
+
+/// Student-t survival function `P(T > t)` via the regularised incomplete
+/// beta function.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularised incomplete beta `I_x(a, b)` via the continued-fraction
+/// expansion (Numerical Recipes §6.4).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_4e-5,
+        0.0,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in &G[..6] {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(5) = 24
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_endpoints_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform)
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_sf_matches_table_values() {
+        // t=2.776, df=4 → two-sided p = 0.05 → sf = 0.025
+        assert!((student_t_sf(2.776, 4.0) - 0.025).abs() < 5e-4);
+        // t=1.96, df large → sf → 0.025
+        assert!((student_t_sf(1.96, 10_000.0) - 0.025).abs() < 5e-4);
+    }
+
+    #[test]
+    fn detects_obvious_difference() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.98, 1.02];
+        let b = [2.0, 2.1, 1.9, 2.05, 1.98, 2.02];
+        let r = paired_t_test(&a, &b);
+        assert!(r.significant(0.001), "p = {}", r.p_value);
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn no_difference_is_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn noisy_equal_means_rarely_significant() {
+        let a = [1.0, 1.2, 0.8, 1.1, 0.9, 1.0, 1.05, 0.95];
+        let b = [1.01, 1.19, 0.81, 1.09, 0.91, 1.0, 1.04, 0.96];
+        let r = paired_t_test(&a, &b);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+}

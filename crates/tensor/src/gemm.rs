@@ -1,0 +1,206 @@
+//! Matrix-multiplication kernels.
+//!
+//! The workloads in this workspace multiply tall-skinny embedding matrices
+//! (`n × k` with `k ≤ 256`), so a cache-friendly `i-k-j` loop order over
+//! row-major data gets within a small factor of a tuned BLAS without any
+//! unsafe code. The `*_tn` / `*_nt` variants avoid materialising transposes,
+//! which matters for the Gram-matrix computations (`AᵀA`) used by the
+//! disentangling losses.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// `self · other` — standard matrix product.
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions disagree.
+    #[must_use]
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimension mismatch {} · {}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Tensor::zeros(m, n);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += aip * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// For `self: n × k1`, `other: n × k2` the result is `k1 × k2`;
+    /// `a.matmul_tn(&a)` is the Gram matrix `AᵀA`.
+    #[must_use]
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn: row mismatch {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k1, k2) = (self.rows(), self.cols(), other.cols());
+        let mut out = Tensor::zeros(k1, k2);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for r in 0..n {
+            let arow = &a[r * k1..(r + 1) * k1];
+            let brow = &b[r * k2..(r + 1) * k2];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * k2..(i + 1) * k2];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// For `self: m × k`, `other: n × k` the result is `m × n`.
+    #[must_use]
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt: col mismatch {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (j, ov) in orow.iter_mut().enumerate() {
+                let brow = &other.data()[j * k..(j + 1) * k];
+                *ov = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+            }
+        }
+        out
+    }
+
+    /// The Gram matrix `selfᵀ · self` (`cols × cols`, symmetric PSD).
+    #[must_use]
+    pub fn gram(&self) -> Self {
+        self.matmul_tn(self)
+    }
+
+    /// `trace(self · other)` for square-compatible shapes, computed without
+    /// forming the product: `Σ_ij self[i,j] · other[j,i]`.
+    ///
+    /// Combined with [`Tensor::gram`], this evaluates the paper's
+    /// regularisation term `‖P·Qᵀ‖²_F = trace((PᵀP)(QᵀQ))` in
+    /// `O((M+N)·k²)` instead of `O(M·N·k)`.
+    #[must_use]
+    pub fn trace_product(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "trace_product: inner dimension mismatch {} · {}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            self.rows(),
+            other.cols(),
+            "trace_product: product is not square ({} · {})",
+            self.shape(),
+            other.shape()
+        );
+        let mut t = 0.0;
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                t += self[(i, j)] * other[(j, i)];
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> (Tensor, Tensor) {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let (a, b) = example();
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (a, _) = example();
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let (a, b) = example();
+        assert_eq!(a.matmul_tn(&a), a.transpose().matmul(&a));
+        assert_eq!(a.matmul_nt(&b.transpose()), a.matmul(&b));
+        let bt = b.transpose();
+        assert_eq!(bt.matmul_tn(&bt), b.matmul(&bt));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let (a, _) = example();
+        let g = a.gram();
+        assert_eq!(g.shape().rows, 3);
+        for i in 0..3 {
+            assert!(g[(i, i)] >= 0.0);
+            for j in 0..3 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_product_equals_frobenius_identity() {
+        // ‖A·Bᵀ‖²_F == trace((AᵀA)(BᵀB)) for A: m×k, B: n×k.
+        let a = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 3.0], &[2.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[4.0, 1.0], &[-1.0, 2.0]]);
+        let direct = a.matmul_nt(&b).frob_sq();
+        let via_gram = a.gram().trace_product(&b.gram());
+        assert!((direct - via_gram).abs() < 1e-9, "{direct} vs {via_gram}");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn shape_mismatch_panics() {
+        let (a, _) = example();
+        let _ = a.matmul(&a);
+    }
+}

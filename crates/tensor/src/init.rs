@@ -1,0 +1,99 @@
+//! Random tensor initialisers.
+//!
+//! All functions take an explicit RNG so that an experiment seeded once is
+//! reproducible end-to-end.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+use crate::Tensor;
+
+/// i.i.d. `N(mean, std²)` entries.
+///
+/// # Panics
+/// Panics when `std` is negative or non-finite.
+#[must_use]
+pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Tensor {
+    let dist = Normal::new(mean, std).expect("normal: invalid std");
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+/// i.i.d. `U[lo, hi)` entries.
+///
+/// # Panics
+/// Panics when `lo >= hi`.
+#[must_use]
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+    let dist = Uniform::new(lo, hi);
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+/// Glorot/Xavier uniform: `U[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.
+#[must_use]
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`.
+#[must_use]
+pub fn xavier_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / (rows + cols) as f64).sqrt();
+    normal(rows, cols, 0.0, std, rng)
+}
+
+/// He/Kaiming normal: `N(0, 2 / fan_in)`, suited to ReLU towers.
+#[must_use]
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / rows as f64).sqrt();
+    normal(rows, cols, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(200, 50, 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(100, 10, -0.5, 0.5, &mut rng);
+        assert!(t.min() >= -0.5 && t.max() < 0.5);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(300, 300, &mut rng);
+        let a = (6.0 / 600.0_f64).sqrt();
+        assert!(t.min() >= -a && t.max() < a);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = normal(5, 5, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = normal(5, 5, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn he_normal_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = he_normal(10_000, 4, &mut rng);
+        // std should be about sqrt(2/10000) ≈ 0.0141
+        let std = (wide.frob_sq() / wide.len() as f64).sqrt();
+        assert!((std - 0.01414).abs() < 0.002, "std {std}");
+    }
+}

@@ -1,0 +1,69 @@
+//! # dt-tensor
+//!
+//! Dense, row-major, rank-2 `f64` tensors used as the numeric substrate of
+//! the `disrec` workspace (the Rust reproduction of *"Uncovering the
+//! Propensity Identification Problem in Debiased Recommendations"*,
+//! ICDE 2024).
+//!
+//! Everything in the paper is a matrix: user/item embedding tables
+//! (`users × dim`), mini-batches (`batch × dim`), Gram matrices
+//! (`dim × dim`) and scalars (`1 × 1`). Restricting the library to rank-2
+//! keeps every kernel small enough to be exhaustively tested (including
+//! property-based tests) while still covering the whole workload.
+//!
+//! Shape mismatches are programmer errors and panic with a precise message,
+//! mirroring the convention of `ndarray` and of the `Vec` indexing the
+//! standard library uses. All random initialisation takes an explicit
+//! [`rand::Rng`] so experiments stay deterministic under a fixed seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use dt_tensor::Tensor;
+//!
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! assert_eq!(a.frob_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+//! ```
+
+mod gemm;
+mod linalg;
+mod init;
+mod shape;
+mod tensor;
+
+pub use init::{he_normal, normal, uniform, xavier_normal, xavier_uniform};
+pub use linalg::NotPositiveDefinite;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the crate's approximate comparisons.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in absolute value
+/// or by `tol` relative to the larger magnitude (handles both tiny and large
+/// values sensibly).
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-12), 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+}

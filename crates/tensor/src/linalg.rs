@@ -1,0 +1,154 @@
+//! Small dense linear algebra: Cholesky factorisation and solves.
+//!
+//! Used by the IRLS (Newton) fitting path of the logistic-regression
+//! propensity model: each iteration solves `(XᵀWX + λI) δ = XᵀWz` with a
+//! symmetric positive-definite left-hand side of feature dimension `d`
+//! (small — the feature maps here are low-dimensional), for which Cholesky
+//! is the right tool.
+
+use crate::Tensor;
+
+/// Error raised when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// The pivot index where factorisation failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Tensor {
+    /// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower-triangular `L`.
+    ///
+    /// # Errors
+    /// Returns [`NotPositiveDefinite`] when a pivot is non-positive.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square.
+    pub fn cholesky(&self) -> Result<Tensor, NotPositiveDefinite> {
+        assert_eq!(self.rows(), self.cols(), "cholesky: matrix must be square");
+        let n = self.rows();
+        let mut l = Tensor::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky
+    /// (`b` is `n × 1`).
+    ///
+    /// # Errors
+    /// Returns [`NotPositiveDefinite`] when `A` is not SPD.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn solve_spd(&self, b: &Tensor) -> Result<Tensor, NotPositiveDefinite> {
+        assert_eq!(b.rows(), self.rows(), "solve_spd: rhs length mismatch");
+        assert_eq!(b.cols(), 1, "solve_spd: rhs must be a column vector");
+        let l = self.cholesky()?;
+        let n = self.rows();
+        // Forward substitution: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b.get(i, 0);
+            for k in 0..i {
+                s -= l.get(i, k) * y[k];
+            }
+            y[i] = s / l.get(i, i);
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l.get(k, i) * x[k];
+            }
+            x[i] = s / l.get(i, i);
+        }
+        Ok(Tensor::col_vec(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Tensor {
+        // A·Aᵀ + I is SPD for any A.
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.3, 1.0]]);
+        let mut g = a.matmul_nt(&a);
+        for i in 0..3 {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd();
+        let l = a.cholesky().unwrap();
+        let back = l.matmul_nt(&l);
+        assert!(back.approx_eq(&a, 1e-10), "{back:?} vs {a:?}");
+        // L is lower triangular.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = spd();
+        let x_true = Tensor::col_vec(&[1.0, -2.0, 0.5]);
+        let b = a.matmul(&x_true);
+        let x = a.solve_spd(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let i3 = Tensor::eye(3);
+        let b = Tensor::col_vec(&[4.0, 5.0, 6.0]);
+        assert!(i3.solve_spd(&b).unwrap().approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(a.cholesky(), Err(NotPositiveDefinite { pivot: 1 }));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Tensor::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let _ = Tensor::zeros(2, 3).cholesky();
+    }
+}

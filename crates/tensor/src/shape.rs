@@ -1,0 +1,93 @@
+//! Rank-2 shape type.
+
+use std::fmt;
+
+/// The shape of a rank-2 tensor: `rows × cols`.
+///
+/// Scalars are represented as `1 × 1`, row vectors as `1 × n` and column
+/// vectors as `n × 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    #[must_use]
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements (`rows * cols`).
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns `true` when the shape holds no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` for the `1 × 1` shape.
+    #[must_use]
+    pub const fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// The transposed shape (`cols × rows`).
+    #[must_use]
+    pub const fn t(&self) -> Self {
+        Self::new(self.cols, self.rows)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Self::new(rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        assert!(!s.is_scalar());
+        assert_eq!(s.t(), Shape::new(4, 3));
+        assert_eq!(format!("{s}"), "3x4");
+    }
+
+    #[test]
+    fn scalar_and_empty() {
+        assert!(Shape::new(1, 1).is_scalar());
+        assert!(Shape::new(0, 5).is_empty());
+        assert!(Shape::new(5, 0).is_empty());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape = (2, 7).into();
+        assert_eq!(s, Shape::new(2, 7));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor kernels.
+
+use dt_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor with dims in 1..=6 and entries in [-10, 10].
+fn tensor_strategy() -> impl Strategy<Value = Tensor> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a pair of tensors with identical shapes.
+fn same_shape_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        let v = proptest::collection::vec(-10.0f64..10.0, r * c);
+        (v.clone(), v).prop_map(move |(a, b)| {
+            (Tensor::from_vec(r, c, a), Tensor::from_vec(r, c, b))
+        })
+    })
+}
+
+/// Strategy: matmul-compatible pair (m×k, k×n).
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f64..5.0, m * k);
+        let b = proptest::collection::vec(-5.0f64..5.0, k * n);
+        (a, b).prop_map(move |(a, b)| {
+            (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b))
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in same_shape_pair()) {
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-12));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips((a, b) in same_shape_pair()) {
+        prop_assert!(a.sub(&b).add(&b).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(a in tensor_strategy()) {
+        prop_assert!((a.frob_sq() - a.transpose().frob_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (AB)ᵀ == Bᵀ Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose(a in tensor_strategy()) {
+        let at = a.transpose();
+        let lhs = at.matmul_tn(&at); // (Aᵀ)ᵀ(Aᵀ) = A Aᵀ
+        let rhs = a.matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose((a, b) in matmul_pair()) {
+        let bt = b.transpose();
+        prop_assert!(a.matmul_nt(&bt).approx_eq(&a.matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn row_dot_diag_of_product((a, b) in same_shape_pair()) {
+        let rd = a.row_dot(&b);
+        let full = a.matmul_nt(&b);
+        for i in 0..a.rows() {
+            prop_assert!((rd.get(i, 0) - full.get(i, i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frobenius_gram_identity((a, b) in matmul_pair()) {
+        // ‖A Bᵀ‖²_F == trace((AᵀA)(BᵀB)) with B reshaped to share a's cols.
+        let bt = b.transpose(); // n × k where k = a.cols()
+        let direct = a.matmul_nt(&bt).frob_sq();
+        let via_gram = a.gram().trace_product(&bt.gram());
+        let scale = direct.abs().max(1.0);
+        prop_assert!((direct - via_gram).abs() < 1e-8 * scale);
+    }
+
+    #[test]
+    fn gather_then_scatter_is_row_count(a in tensor_strategy()) {
+        // Gathering every row once and scattering back doubles the matrix.
+        let idx: Vec<usize> = (0..a.rows()).collect();
+        let g = a.gather_rows(&idx);
+        let mut acc = a.clone();
+        acc.scatter_add_rows(&idx, &g);
+        prop_assert!(acc.approx_eq(&a.scale(2.0), 1e-12));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip((a, b) in same_shape_pair()) {
+        let c = a.concat_cols(&b);
+        prop_assert_eq!(c.slice_cols(0, a.cols()), a.clone());
+        prop_assert_eq!(c.slice_cols(a.cols(), a.cols() + b.cols()), b);
+        let r = a.concat_rows(&a);
+        prop_assert_eq!(r.slice_rows(a.rows(), 2 * a.rows()), a);
+    }
+
+    #[test]
+    fn row_col_sums_agree_with_total(a in tensor_strategy()) {
+        let total = a.sum();
+        prop_assert!((a.row_sums().sum() - total).abs() < 1e-9);
+        prop_assert!((a.col_sums().sum() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_bounds_hold(a in tensor_strategy()) {
+        let c = a.clamp(-1.0, 1.0);
+        prop_assert!(c.min() >= -1.0 && c.max() <= 1.0);
+    }
+}

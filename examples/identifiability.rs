@@ -1,0 +1,79 @@
+//! The identifiability story of §IV-A, numerically:
+//!
+//! 1. Example 1 — two different MNAR worlds, one observed-data law.
+//! 2. The binary-rating analogue — an MAR model that exactly mimics an
+//!    MNAR one on observed data.
+//! 3. Theorem 1 — with an auxiliary variable, maximum likelihood recovers
+//!    the true mechanism.
+//!
+//! ```sh
+//! cargo run --release --example identifiability
+//! ```
+
+use dt_identify::{
+    example1_models, fit_separable, observed_density, SeparableLogisticModel,
+};
+use dt_stats::{expit, logit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- 1. Example 1 ------------------------------------------------------
+    let (a, b) = example1_models();
+    println!("Example 1: model (a) reveals HIGH ratings, model (b) reveals LOW ratings");
+    println!("           P_a(o=1|r=4) = {:.3}, P_b(o=1|r=4) = {:.3}", a.propensity(4.0), b.propensity(4.0));
+    let mut max_gap: f64 = 0.0;
+    for i in 0..=300 {
+        let r = -3.0 + 0.04 * f64::from(i);
+        max_gap = max_gap.max((observed_density(&a, r) - observed_density(&b, r)).abs());
+    }
+    println!("           max |P_a(o=1,r) − P_b(o=1,r)| over r ∈ [−3, 9] = {max_gap:.2e}");
+    println!("           → the observed data CANNOT distinguish them.\n");
+
+    // ---- 2. The MAR mimic --------------------------------------------------
+    let gen = SeparableLogisticModel {
+        c: -2.0,
+        alpha: 0.0,
+        beta: 4.0,
+        pi: 0.5,
+    };
+    let p1 = expit(gen.c + gen.beta);
+    let p0 = expit(gen.c);
+    let sel = gen.pi * p1 + (1.0 - gen.pi) * p0;
+    let mar_mimic = SeparableLogisticModel {
+        c: logit(sel),
+        alpha: 0.0,
+        beta: 0.0,
+        pi: gen.pi * p1 / sel,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample = gen.sample(50_000, &mut rng);
+    println!("Binary analogue: true mechanism is MNAR (β = 4), but the MAR model");
+    println!(
+        "  (β = 0, inflated π = {:.3}) has log-likelihood {:.6} vs true {:.6}",
+        mar_mimic.pi,
+        sample.log_likelihood(&mar_mimic),
+        sample.log_likelihood(&gen)
+    );
+    println!("  → identical: observed data cannot even tell MNAR from MAR.\n");
+
+    // ---- 3. Theorem 1: the auxiliary variable breaks the tie ----------------
+    let gen_z = SeparableLogisticModel {
+        alpha: 1.2,
+        ..gen
+    };
+    let sample_z = gen_z.sample(50_000, &mut StdRng::seed_from_u64(2));
+    let fitted = fit_separable(&sample_z, 600, 2.0);
+    println!("With auxiliary z (Assumption 1), MLE on (z, o, r·o) recovers:");
+    println!("  true  : c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}", gen_z.c, gen_z.alpha, gen_z.beta, gen_z.pi);
+    println!("  fitted: c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}", fitted.c, fitted.alpha, fitted.beta, fitted.pi);
+    let mar_mimic_z = SeparableLogisticModel {
+        alpha: 1.2,
+        ..mar_mimic
+    };
+    println!(
+        "  and the MAR mimic now scores {:.6} < {:.6} — the ridge is gone.",
+        sample_z.log_likelihood(&mar_mimic_z),
+        sample_z.log_likelihood(&gen_z)
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: generate an MNAR dataset, train the naive baseline and the
+//! paper's DT-IPS, and compare them on the unbiased test slice.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dt_core::{evaluate, registry, Method, TrainConfig};
+use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. An MNAR world: what users rate depends on how much they like it.
+    let ds = mechanism_dataset(
+        Mechanism::Mnar,
+        &MechanismConfig {
+            n_users: 200,
+            n_items: 300,
+            target_density: 0.1,
+            rating_effect: 2.5,
+            feature_effect: 0.8,
+            seed: 7,
+            ..MechanismConfig::default()
+        },
+    );
+    println!("dataset  : {}", ds.summary());
+    println!(
+        "selection bias: observed mean rating {:.3} vs population {:.3}\n",
+        ds.train.mean_rating(),
+        ds.truth.as_ref().unwrap().ratings.mean()
+    );
+
+    // 2. Train the naive baseline and DT-IPS with the same budget.
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 128,
+        emb_dim: 16,
+        ..TrainConfig::default()
+    };
+    for method in [Method::Mf, Method::Ips, Method::DtIps] {
+        let mut model = registry::build(method, &ds, &cfg, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let fit = model.fit(&ds, &mut rng);
+        let eval = evaluate(model.as_ref(), &ds, 5);
+        println!(
+            "{:8} | AUC {:.3} | NDCG@5 {:.3} | MSE-vs-truth {:.4} | {:.1}s, {} params",
+            model.name(),
+            eval.auc,
+            eval.ndcg,
+            eval.mse_vs_truth,
+            fit.train_seconds,
+            model.n_parameters(),
+        );
+    }
+
+    println!("\nDT-IPS's propensity head models P(o=1|x,r); the vanilla IPS");
+    println!("propensity can only express P(o=1|x) — the identification gap");
+    println!("this library exists to demonstrate.");
+}

@@ -1,0 +1,155 @@
+//! Failure-injection and degenerate-input behaviour of the training stack.
+
+use dt_core::{evaluate, registry, Method, TrainConfig};
+use dt_data::{Dataset, Interaction, InteractionLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset_from(log: InteractionLog) -> Dataset {
+    let ds = Dataset {
+        name: "edge".into(),
+        n_users: log.n_users(),
+        n_items: log.n_items(),
+        test: InteractionLog::new(log.n_users(), log.n_items()),
+        train: log,
+        truth: None,
+    };
+    ds.validate();
+    ds
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        emb_dim: 4,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn all_positive_training_log_does_not_blow_up() {
+    // The MNAR extreme: every observed rating is positive. Losses must stay
+    // finite and predictions must remain probabilities.
+    let mut log = InteractionLog::new(10, 12);
+    for u in 0..10u32 {
+        for i in 0..4u32 {
+            log.push(Interaction::new(u, (u + i) % 12, 1.0));
+        }
+    }
+    let ds = dataset_from(log);
+    for method in [Method::Mf, Method::Ips, Method::DrJl, Method::DtIps, Method::Esmm] {
+        let mut model = registry::build(method, &ds, &tiny_cfg(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let fit = model.fit(&ds, &mut rng);
+        assert!(fit.final_loss.is_finite(), "{}", model.name());
+        let p = model.predict(&[(0, 0)])[0];
+        assert!((0.0..=1.0).contains(&p), "{}: {p}", model.name());
+    }
+}
+
+#[test]
+fn single_user_catalogue() {
+    let mut log = InteractionLog::new(1, 20);
+    for i in 0..10u32 {
+        log.push(Interaction::new(0, i, f64::from(i % 2)));
+    }
+    let ds = dataset_from(log);
+    let mut model = registry::build(Method::DtIps, &ds, &tiny_cfg(), 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let fit = model.fit(&ds, &mut rng);
+    assert!(fit.final_loss.is_finite());
+}
+
+#[test]
+fn single_item_catalogue() {
+    let mut log = InteractionLog::new(20, 1);
+    for u in 0..10u32 {
+        log.push(Interaction::new(u, 0, f64::from(u % 2)));
+    }
+    let ds = dataset_from(log);
+    let mut model = registry::build(Method::DtDr, &ds, &tiny_cfg(), 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let fit = model.fit(&ds, &mut rng);
+    assert!(fit.final_loss.is_finite());
+}
+
+#[test]
+fn one_interaction_is_enough_to_train() {
+    let mut log = InteractionLog::new(3, 3);
+    log.push(Interaction::new(1, 1, 1.0));
+    let ds = dataset_from(log);
+    for method in [Method::Mf, Method::Ips, Method::DtIps] {
+        let mut model = registry::build(method, &ds, &tiny_cfg(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let fit = model.fit(&ds, &mut rng);
+        assert!(fit.final_loss.is_finite(), "{}", model.name());
+    }
+}
+
+#[test]
+fn minimum_embedding_dimension() {
+    // emb_dim 2 forces primary_dim 1 — the smallest legal disentanglement.
+    let mut log = InteractionLog::new(6, 6);
+    for u in 0..6u32 {
+        log.push(Interaction::new(u, u, 1.0));
+        log.push(Interaction::new(u, (u + 1) % 6, 0.0));
+    }
+    let ds = dataset_from(log);
+    let cfg = TrainConfig {
+        emb_dim: 2,
+        ..tiny_cfg()
+    };
+    assert_eq!(cfg.primary_dim(), 1);
+    let mut model = registry::build(Method::DtIps, &ds, &cfg, 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(model.fit(&ds, &mut rng).final_loss.is_finite());
+}
+
+#[test]
+fn evaluation_with_empty_test_log_yields_nans_not_panics() {
+    let mut log = InteractionLog::new(4, 4);
+    log.push(Interaction::new(0, 0, 1.0));
+    let ds = dataset_from(log);
+    let mut model = registry::build(Method::Mf, &ds, &tiny_cfg(), 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    model.fit(&ds, &mut rng);
+    let eval = evaluate(model.as_ref(), &ds, 5);
+    assert!(eval.auc.is_nan());
+    assert!(eval.ndcg.is_nan());
+    assert!(eval.mse_vs_truth.is_nan());
+}
+
+#[test]
+fn huge_ratings_in_log_stay_finite() {
+    // Parsers binarise before training normally; but a user feeding raw
+    // 5-star values directly must not produce NaNs (squared error on
+    // sigmoid predictions is bounded).
+    let mut log = InteractionLog::new(5, 5);
+    for u in 0..5u32 {
+        log.push(Interaction::new(u, u, 5.0));
+    }
+    let ds = dataset_from(log);
+    let mut model = registry::build(Method::Ips, &ds, &tiny_cfg(), 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(model.fit(&ds, &mut rng).final_loss.is_finite());
+}
+
+#[test]
+fn predictions_outside_training_support_are_probabilities() {
+    let mut log = InteractionLog::new(30, 30);
+    // Only the top-left corner is ever trained.
+    for u in 0..3u32 {
+        for i in 0..3u32 {
+            log.push(Interaction::new(u, i, 1.0));
+        }
+    }
+    let ds = dataset_from(log);
+    let mut model = registry::build(Method::DtIps, &ds, &tiny_cfg(), 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    model.fit(&ds, &mut rng);
+    // Cold users/items: predictions must stay valid probabilities.
+    for p in model.predict(&[(29, 29), (0, 29), (29, 0)]) {
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,168 @@
+//! Zoo-wide contracts: every registered method upholds the `Recommender`
+//! interface invariants on an MNAR dataset.
+
+use dt_core::{registry, Method, TrainConfig};
+use dt_data::{mechanism_dataset, Mechanism, MechanismConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_mnar() -> dt_data::Dataset {
+    mechanism_dataset(
+        Mechanism::Mnar,
+        &MechanismConfig {
+            n_users: 25,
+            n_items: 30,
+            target_density: 0.2,
+            seed: 77,
+            ..MechanismConfig::default()
+        },
+    )
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        emb_dim: 4,
+        ..TrainConfig::default()
+    }
+}
+
+/// Every method trains without NaNs and predicts probabilities on every
+/// cell of the space.
+#[test]
+fn zoo_trains_and_predicts_probabilities() {
+    let ds = tiny_mnar();
+    let cfg = tiny_cfg();
+    let all_pairs: Vec<(usize, usize)> = (0..ds.n_users)
+        .flat_map(|u| (0..ds.n_items).map(move |i| (u, i)))
+        .collect();
+    for method in Method::ALL {
+        let mut model = registry::build(method, &ds, &cfg, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fit = model.fit(&ds, &mut rng);
+        assert!(
+            fit.final_loss.is_finite(),
+            "{}: non-finite training loss",
+            model.name()
+        );
+        let preds = model.predict(&all_pairs);
+        assert_eq!(preds.len(), all_pairs.len());
+        for (k, p) in preds.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(p) && p.is_finite(),
+                "{}: prediction {p} at pair {:?}",
+                model.name(),
+                all_pairs[k]
+            );
+        }
+    }
+}
+
+/// Loss traces have the declared length and no NaNs anywhere.
+#[test]
+fn zoo_loss_traces_are_well_formed() {
+    let ds = tiny_mnar();
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..tiny_cfg()
+    };
+    for method in Method::ALL {
+        let mut model = registry::build(method, &ds, &cfg, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let fit = model.fit(&ds, &mut rng);
+        assert_eq!(fit.loss_trace.len(), 3, "{}", model.name());
+        assert!(
+            fit.loss_trace.iter().all(|l| l.is_finite()),
+            "{}: {:?}",
+            model.name(),
+            fit.loss_trace
+        );
+    }
+}
+
+/// Predictions are pure: calling predict twice gives identical results,
+/// and predict does not mutate the model.
+#[test]
+fn zoo_prediction_is_pure() {
+    let ds = tiny_mnar();
+    for method in [Method::Mf, Method::DtIps, Method::Esmm, Method::Mr] {
+        let mut model = registry::build(method, &ds, &tiny_cfg(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        model.fit(&ds, &mut rng);
+        let pairs = [(0, 0), (4, 7), (24, 29)];
+        let a = model.predict(&pairs);
+        let b = model.predict(&pairs);
+        assert_eq!(a, b, "{}", model.name());
+    }
+}
+
+/// Empty prediction batches are fine.
+#[test]
+fn zoo_accepts_empty_batches() {
+    let ds = tiny_mnar();
+    for method in Method::ALL {
+        let model = registry::build(method, &ds, &tiny_cfg(), 4);
+        assert!(model.predict(&[]).is_empty(), "{}", model.name());
+    }
+}
+
+/// All parameter counts are stable across construction with the same
+/// config (no RNG-dependent architecture).
+#[test]
+fn zoo_parameter_counts_are_deterministic() {
+    let ds = tiny_mnar();
+    for method in Method::ALL {
+        let a = registry::build(method, &ds, &tiny_cfg(), 5).n_parameters();
+        let b = registry::build(method, &ds, &tiny_cfg(), 99).n_parameters();
+        assert_eq!(a, b, "{method:?}");
+    }
+}
+
+/// Regression test: the DR-family variants must produce *different*
+/// models — the imputation pseudo-labels must reach the prediction
+/// gradient (an earlier formulation detached them, collapsing every DR
+/// variant onto the same trajectory).
+#[test]
+fn dr_variants_are_distinguishable() {
+    let ds = tiny_mnar();
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..tiny_cfg()
+    };
+    let fit = |method: Method| {
+        let mut model = registry::build(method, &ds, &cfg, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        model.fit(&ds, &mut rng);
+        model.predict(&[(0, 0), (3, 7), (11, 13), (24, 29)])
+    };
+    let jl = fit(Method::DrJl);
+    let mrdr = fit(Method::MrdrJl);
+    let bias = fit(Method::DrBias);
+    let stable = fit(Method::StableDr);
+    let tdr_jl = fit(Method::TdrJl);
+    assert_ne!(jl, mrdr, "DR-JL vs MRDR-JL");
+    assert_ne!(jl, bias, "DR-JL vs DR-BIAS");
+    assert_ne!(jl, stable, "DR-JL vs Stable-DR");
+    assert_ne!(jl, tdr_jl, "DR-JL vs TDR-JL");
+    assert_ne!(mrdr, bias, "MRDR-JL vs DR-BIAS");
+}
+
+/// DT-DR's imputation must influence the rating head (same regression
+/// class as above): its predictions must differ from DT-IPS beyond the
+/// density-scaled learning-rate effect.
+#[test]
+fn dt_dr_uses_its_imputation() {
+    let ds = tiny_mnar();
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..tiny_cfg()
+    };
+    let fit = |method: Method| {
+        let mut model = registry::build(method, &ds, &cfg, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        model.fit(&ds, &mut rng);
+        model.predict(&[(0, 0), (3, 7), (11, 13)])
+    };
+    assert_ne!(fit(Method::DtIps), fit(Method::DtDr));
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test (including the kernel determinism sweep across
+# pool widths), lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+# The kernels promise byte-identical output for any pool width; re-run the
+# tensor suite (reference-equivalence + proptests) at explicit widths.
+for t in 1 2 8; do
+    echo "==> cargo test -p dt-tensor (DT_NUM_THREADS=$t)"
+    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel
+done
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -231,6 +231,11 @@ impl Graph {
     }
 
     // -- matrix --------------------------------------------------------------------
+    //
+    // Forward and backward both ride on the blocked `dt-tensor` kernels,
+    // which are multi-threaded above a size threshold yet byte-identical
+    // for any `DT_NUM_THREADS` — so gradients (and thus whole training
+    // runs) stay bit-reproducible regardless of the host's core count.
 
     /// `A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {

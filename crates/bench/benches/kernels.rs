@@ -1,29 +1,62 @@
 //! Substrate microbenchmarks: the tensor kernels every training step rides
 //! on, including the Gram-trick evaluation of `‖P·Qᵀ‖²_F` that makes the
 //! DT regularisation loss tractable at catalogue scale.
+//!
+//! The GEMM benches pit the blocked/parallel kernels against the naive
+//! reference loops at the paper's tall-skinny shapes (4096×k · k×4096,
+//! k ∈ {8, 64, 256}). After the criterion run, `main` regenerates
+//! `BENCH_kernels.json` at the repo root via [`dt_bench::report`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dt_tensor::Tensor;
+use criterion::{black_box, criterion_group, Criterion};
+use dt_tensor::{reference, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_tall_skinny_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let a = dt_tensor::normal(256, 64, 0.0, 1.0, &mut rng);
-    let b = dt_tensor::normal(64, 256, 0.0, 1.0, &mut rng);
-    c.bench_function("matmul 256x64x256", |bench| {
-        bench.iter(|| black_box(a.matmul(&b)));
-    });
+    for k in [8usize, 64, 256] {
+        let a = dt_tensor::normal(4096, k, 0.0, 1.0, &mut rng);
+        let b = dt_tensor::normal(k, 4096, 0.0, 1.0, &mut rng);
+        let mut group = c.benchmark_group(format!("matmul 4096x{k}x4096"));
+        group.sample_size(10);
+        group.bench_function("naive reference", |bench| {
+            bench.iter(|| black_box(reference::matmul(&a, &b)));
+        });
+        group.bench_function("blocked sequential", |bench| {
+            bench.iter(|| black_box(dt_parallel::run_sequential(|| a.matmul(&b))));
+        });
+        group.bench_function("blocked parallel", |bench| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.finish();
+    }
+}
 
-    let tall = dt_tensor::normal(2048, 32, 0.0, 1.0, &mut rng);
-    c.bench_function("gram 2048x32", |bench| {
-        bench.iter(|| black_box(tall.gram()));
-    });
+fn bench_tall_skinny_tn(c: &mut Criterion) {
+    // The Gram-style reduction Aᵀ·B over 4096 interaction rows: the single
+    // hottest kernel of the DT loss (called once per batch per epoch).
+    let mut rng = StdRng::seed_from_u64(2);
+    for k in [8usize, 64, 256] {
+        let a = dt_tensor::normal(4096, k, 0.0, 1.0, &mut rng);
+        let b = dt_tensor::normal(4096, k, 0.0, 1.0, &mut rng);
+        let mut group = c.benchmark_group(format!("matmul_tn 4096-tall k={k}"));
+        group.sample_size(10);
+        group.bench_function("naive reference", |bench| {
+            bench.iter(|| black_box(reference::matmul_tn(&a, &b)));
+        });
+        group.bench_function("blocked sequential", |bench| {
+            bench.iter(|| black_box(dt_parallel::run_sequential(|| a.matmul_tn(&b))));
+        });
+        group.bench_function("blocked parallel", |bench| {
+            bench.iter(|| black_box(a.matmul_tn(&b)));
+        });
+        group.finish();
+    }
 }
 
 fn bench_gram_trick_vs_direct(c: &mut Criterion) {
     // ‖P·Qᵀ‖²_F two ways: the naive m×n product vs trace((PᵀP)(QᵀQ)).
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = StdRng::seed_from_u64(3);
     let p = dt_tensor::normal(800, 16, 0.0, 0.1, &mut rng);
     let q = dt_tensor::normal(1200, 16, 0.0, 0.1, &mut rng);
     let mut group = c.benchmark_group("frobenius of PQ^T (800x1200, k=16)");
@@ -37,7 +70,7 @@ fn bench_gram_trick_vs_direct(c: &mut Criterion) {
 }
 
 fn bench_gather_scatter(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = StdRng::seed_from_u64(4);
     let table = dt_tensor::normal(10_000, 32, 0.0, 0.1, &mut rng);
     let idx: Vec<usize> = (0..512).map(|k| (k * 7919) % 10_000).collect();
     c.bench_function("gather 512 of 10k x32", |bench| {
@@ -56,6 +89,17 @@ fn bench_gather_scatter(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_gram_trick_vs_direct, bench_gather_scatter
+    targets = bench_tall_skinny_gemm, bench_tall_skinny_tn,
+              bench_gram_trick_vs_direct, bench_gather_scatter
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    eprintln!("\nwriting kernel throughput report to {path}");
+    if let Err(e) = dt_bench::report::write_kernel_report(std::path::Path::new(path)) {
+        eprintln!("failed to write {path}: {e}");
+    }
+}

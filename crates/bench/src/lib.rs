@@ -1,10 +1,13 @@
 //! # dt-bench
 //!
-//! Criterion benchmarks for the `disrec` workspace. The library itself is
-//! empty — everything lives in `benches/`:
+//! Criterion benchmarks for the `disrec` workspace plus the std-only kernel
+//! throughput report behind `BENCH_kernels.json` (see [`report`]). The
+//! benches live in `benches/`:
 //!
-//! * `kernels` / `autograd` — substrate microbenchmarks (gemm, Gram trick,
-//!   tape build + backward);
+//! * `kernels` / `autograd` — substrate microbenchmarks (blocked gemm at the
+//!   paper's tall-skinny shapes vs the naive reference loops, Gram trick,
+//!   tape build + backward); the `kernels` run also regenerates
+//!   `BENCH_kernels.json` at the repo root;
 //! * `table1_bias_grid` — the Table I bias computation;
 //! * `table3_semisynthetic` — the semi-synthetic pipeline + one training
 //!   epoch per method;
@@ -14,4 +17,7 @@
 //!   latency per method);
 //! * `figure5_sparsity` — fit time as the training log is subsampled.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. Kernel benches respect
+//! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
+
+pub mod report;

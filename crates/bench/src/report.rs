@@ -1,0 +1,235 @@
+//! Kernel throughput report: before/after numbers for `BENCH_kernels.json`.
+//!
+//! Criterion gives per-benchmark statistics, but the acceptance artefact for
+//! the parallel-kernel work is a single machine-readable file comparing the
+//! naive seed loops against the blocked kernels, sequential and parallel, at
+//! the paper's tall-skinny shapes. This module measures exactly that with a
+//! plain `Instant` best-of-N harness (std-only, so the offline verification
+//! shim can run it too) and hand-rolls the JSON — no serde needed.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use dt_tensor::{reference, Tensor};
+
+/// One kernel × shape measurement. Times are the best of several reps.
+pub struct Measurement {
+    pub kernel: &'static str,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub flops: usize,
+    pub naive_ms: f64,
+    pub blocked_seq_ms: f64,
+    pub parallel_ms: f64,
+}
+
+impl Measurement {
+    fn gflops(&self, ms: f64) -> f64 {
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / (ms * 1e6)
+    }
+}
+
+/// Deterministic xorshift64* fill — the report must not depend on `rand`.
+fn filled(rows: usize, cols: usize, mut state: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Repetition count scaled so each cell costs roughly the same wall time;
+/// never fewer than 2 so a single cold run (page faults, allocator warm-up)
+/// cannot be the reported number.
+fn reps_for(flops: usize) -> usize {
+    (4_000_000_000 / flops.max(1)).clamp(2, 5)
+}
+
+/// Measures one (kernel, shape) cell: naive reference vs blocked sequential
+/// vs blocked parallel.
+fn measure(
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive: impl Fn() -> Tensor,
+    blocked: impl Fn() -> Tensor,
+) -> Measurement {
+    let flops = 2 * m * k * n;
+    let reps = reps_for(flops);
+    let naive_ms = time_ms(reps, || {
+        std::hint::black_box(naive());
+    });
+    let blocked_seq_ms = time_ms(reps, || {
+        std::hint::black_box(dt_parallel::run_sequential(&blocked));
+    });
+    let parallel_ms = time_ms(reps, || {
+        std::hint::black_box(blocked());
+    });
+    Measurement {
+        kernel,
+        m,
+        k,
+        n,
+        flops,
+        naive_ms,
+        blocked_seq_ms,
+        parallel_ms,
+    }
+}
+
+/// The paper-class tall-skinny shapes: 4096×k · k×4096 for `matmul`, and the
+/// matching 4096-tall reductions for `matmul_tn` (Gram-style k×k output) and
+/// `matmul_nt` (4096×4096 output, k=8 only — larger k only scales the same
+/// kernel loop).
+pub fn run_measurements() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for k in [8, 64, 256] {
+        let a = filled(4096, k, 0x9E37_79B9 ^ k as u64);
+        let b = filled(k, 4096, 0xBF58_476D ^ k as u64);
+        out.push(measure(
+            "matmul",
+            4096,
+            k,
+            4096,
+            || reference::matmul(&a, &b),
+            || a.matmul(&b),
+        ));
+    }
+    for k in [8, 64, 256] {
+        let a = filled(4096, k, 0x94D0_49BB ^ k as u64);
+        let b = filled(4096, k, 0xD6E8_FEB8 ^ k as u64);
+        out.push(measure(
+            "matmul_tn",
+            k,
+            4096,
+            k,
+            || reference::matmul_tn(&a, &b),
+            || a.matmul_tn(&b),
+        ));
+    }
+    {
+        let a = filled(4096, 8, 0x2545_F491);
+        let b = filled(4096, 8, 0x4F6C_DD1D);
+        out.push(measure(
+            "matmul_nt",
+            4096,
+            8,
+            4096,
+            || reference::matmul_nt(&a, &b),
+            || a.matmul_nt(&b),
+        ));
+    }
+    out
+}
+
+/// Renders the report as JSON.
+#[must_use]
+pub fn render_report(results: &[Measurement]) -> String {
+    let threads = dt_parallel::num_threads();
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"dt-bench/kernels/v1\",");
+    let _ = writeln!(
+        s,
+        "  \"note\": \"best-of-N wall times; naive = unblocked seed loops \
+         (dt_tensor::reference), blocked = cache-blocked kernels, parallel = \
+         blocked kernels on the dt-parallel pool. Parallel speedup needs a \
+         multi-core host.\","
+    );
+    let _ = writeln!(s, "  \"host_threads\": {host},");
+    let _ = writeln!(s, "  \"pool_threads\": {threads},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"naive_ms\": {:.3}, \"blocked_seq_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"gflops_naive\": {:.3}, \"gflops_blocked_seq\": {:.3}, \"gflops_parallel\": {:.3}, \
+             \"speedup_blocked_vs_naive\": {:.2}, \"speedup_parallel_vs_naive\": {:.2}}}{sep}",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.naive_ms,
+            r.blocked_seq_ms,
+            r.parallel_ms,
+            r.gflops(r.naive_ms),
+            r.gflops(r.blocked_seq_ms),
+            r.gflops(r.parallel_ms),
+            r.naive_ms / r.blocked_seq_ms.max(1e-9),
+            r.naive_ms / r.parallel_ms.max(1e-9),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Runs the measurements and writes `BENCH_kernels.json` to `path`.
+///
+/// # Errors
+/// Propagates the underlying file-write error.
+pub fn write_kernel_report(path: &Path) -> std::io::Result<()> {
+    let results = run_measurements();
+    std::fs::write(path, render_report(&results))?;
+    for r in &results {
+        eprintln!(
+            "{:>9} {:4}x{:<3}x{:<4}  naive {:8.2} ms  blocked {:8.2} ms  parallel {:8.2} ms",
+            r.kernel, r.m, r.k, r.n, r.naive_ms, r.blocked_seq_ms, r.parallel_ms
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_valid_shape_and_monotone_flops() {
+        let m = Measurement {
+            kernel: "matmul",
+            m: 4096,
+            k: 64,
+            n: 4096,
+            flops: 2 * 4096 * 64 * 4096,
+            naive_ms: 10.0,
+            blocked_seq_ms: 5.0,
+            parallel_ms: 2.5,
+        };
+        assert!((m.gflops(10.0) - m.flops as f64 / 1e7).abs() < 1e-9);
+        let json = render_report(&[m]);
+        assert!(json.contains("\"speedup_blocked_vs_naive\": 2.00"));
+        assert!(json.contains("\"speedup_parallel_vs_naive\": 4.00"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn reps_scale_inversely_with_work() {
+        assert_eq!(reps_for(1), 5);
+        assert_eq!(reps_for(2_000_000_000), 2);
+        assert_eq!(reps_for(usize::MAX), 2);
+    }
+}

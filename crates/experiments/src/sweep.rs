@@ -2,68 +2,108 @@
 //!
 //! The sweeps behind Tables III–VI fan out over (method × dataset ×
 //! hyper-parameter) grids whose jobs are independent. [`run_sweep`] executes
-//! them on a scoped thread pool sized to the machine (`crossbeam::scope` +
-//! a `parking_lot`-guarded work queue), preserving the job order in the
-//! returned results regardless of completion order. Models are constructed
-//! *inside* the worker threads, so nothing non-`Send` crosses a thread
-//! boundary; determinism is preserved because every job carries its own
-//! seed.
+//! them on the workspace-shared [`dt_parallel`] pool, preserving the job
+//! order in the returned results regardless of completion order. Models are
+//! constructed *inside* the worker closures, so nothing non-`Send` crosses a
+//! thread boundary; determinism is preserved because every job carries its
+//! own seed.
+//!
+//! Nested parallelism is deliberately disabled: each job runs under
+//! [`dt_parallel::run_sequential`], so the tensor kernels it calls stay
+//! single-threaded and the sweep owns the machine's parallelism budget.
+//! (A sweep already saturates the cores with coarse-grained jobs; letting
+//! every job's GEMMs fan out again would only add scheduling overhead.)
 
-use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Locks ignoring poisoning: a poisoned slot only means some job panicked,
+/// which `run_sweep` reports explicitly afterwards.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Runs `jobs.len()` independent jobs, at most `max_threads` at a time
-/// (0 = use the machine's available parallelism). Results are returned in
-/// job order.
+/// (0 = use the pool's full width, i.e. `DT_NUM_THREADS` or the machine's
+/// available parallelism). Results are returned in job order.
+///
+/// Jobs are dynamically scheduled (a slow job does not hold up the queue),
+/// and each runs with kernel parallelism disabled — see the module docs.
 ///
 /// # Panics
-/// Propagates a panic from any job after all threads are joined.
+/// If any job panics, every remaining job still runs to completion, then
+/// `run_sweep` panics with the **lowest failing job index** and the original
+/// panic message, so a 300-job grid failure pinpoints the offending
+/// configuration.
 pub fn run_sweep<J, R, F>(jobs: Vec<J>, max_threads: usize, f: F) -> Vec<R>
 where
     J: Sync,
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let n_threads = if max_threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = if max_threads == 0 {
+        dt_parallel::num_threads()
     } else {
         max_threads
     }
-    .min(jobs.len().max(1));
+    .min(n);
 
-    if n_threads <= 1 {
-        return jobs.iter().map(&f).collect();
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
+    let failed: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+
+    dt_parallel::with_thread_limit(cap, || {
+        dt_parallel::par_indices(n, |i| {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                dt_parallel::run_sequential(|| f(&jobs[i]))
+            }));
+            match out {
+                Ok(r) => *lock(&slots[i]) = Some(r),
+                Err(payload) => {
+                    let mut worst = lock(&failed);
+                    // Keep the lowest index so the report is deterministic
+                    // even when several jobs fail in racing order.
+                    let replace = match worst.as_ref() {
+                        Some((j, _)) => i < *j,
+                        None => true,
+                    };
+                    if replace {
+                        *worst = Some((i, payload));
+                    }
+                }
+            }
+        });
+    });
+
+    if let Some((idx, payload)) = failed.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        panic!(
+            "run_sweep: job {idx} of {n} panicked: {}",
+            panic_message(payload.as_ref())
+        );
     }
 
-    let n = jobs.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let queue = Mutex::new((0usize, slots));
-    let jobs_ref = &jobs;
-    let f_ref = &f;
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut q = queue.lock();
-                    if q.0 >= n {
-                        return;
-                    }
-                    let i = q.0;
-                    q.0 += 1;
-                    i
-                };
-                let result = f_ref(&jobs_ref[idx]);
-                queue.lock().1[idx] = Some(result);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let (_, slots) = queue.into_inner();
     slots
         .into_iter()
-        .map(|r| r.expect("every job produced a result"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every job produced a result")
+        })
         .collect()
 }
 
@@ -97,6 +137,14 @@ mod tests {
     }
 
     #[test]
+    fn jobs_run_with_kernel_parallelism_disabled() {
+        let seq = run_sweep((0..16).collect::<Vec<i32>>(), 4, |_| {
+            dt_parallel::is_sequential()
+        });
+        assert!(seq.into_iter().all(|s| s));
+    }
+
+    #[test]
     fn sweep_actually_uses_multiple_threads_when_available() {
         use std::collections::HashSet;
         use std::sync::Mutex as StdMutex;
@@ -108,6 +156,25 @@ mod tests {
         // On a single-core box this may legitimately collapse to one
         // worker; just assert nothing deadlocked and at least one ran.
         assert!(!ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn panic_report_names_the_lowest_failing_job() {
+        let err = std::panic::catch_unwind(|| {
+            run_sweep((0..10).collect::<Vec<i32>>(), 4, |&j| {
+                assert!(j != 3 && j != 7, "bad hyper-parameter combination");
+                j
+            })
+        })
+        .expect_err("sweep with failing jobs must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("run_sweep panics with a formatted String");
+        assert!(msg.contains("job 3 of 10"), "unexpected report: {msg}");
+        assert!(
+            msg.contains("bad hyper-parameter combination"),
+            "original message lost: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! # dt-parallel
+//!
+//! The workspace-shared worker pool behind every parallel code path in
+//! `disrec`: the blocked GEMM kernels in `dt-tensor`, the elementwise
+//! backward-sweep helpers, and the experiment sweeps in `dt-experiments`.
+//!
+//! ## Design
+//!
+//! * **One lazily-initialised pool per process.** The first parallel call
+//!   spawns `width - 1` helper threads (the calling thread is always the
+//!   `width`-th participant), where `width` comes from the `DT_NUM_THREADS`
+//!   environment variable or, when unset, from
+//!   [`std::thread::available_parallelism`]. `DT_NUM_THREADS=1` disables
+//!   threading entirely — every primitive degrades to an inline loop —
+//!   which is the debugging / CI-determinism mode.
+//! * **Scoped execution without `'static` closures.** [`par_tasks`] runs a
+//!   batch of borrowing closures and only returns once every task has
+//!   finished (or panicked), so borrows of the caller's stack are sound.
+//!   Internally the non-`'static` tasks are lifetime-erased and handed to
+//!   the long-lived workers; the completion latch is what makes this safe.
+//! * **No nested parallelism.** Pool workers and [`run_sequential`] sections
+//!   mark the thread as sequential; any parallel primitive invoked there
+//!   runs inline. This prevents both oversubscription (a sweep worker
+//!   spawning kernel subtasks) and queue deadlock.
+//! * **Determinism is the caller's contract, and the primitives make it
+//!   cheap to honour.** [`par_rows`] hands out disjoint contiguous row
+//!   ranges (each output row is written by exactly one task) and
+//!   [`for_each_chunk`] derives chunk boundaries from the chunk length
+//!   alone — never from the thread count — so a kernel that fixes its
+//!   reduction order per chunk produces bit-identical results for any
+//!   `DT_NUM_THREADS`.
+//!
+//! The implementation is dependency-free (std mutex/condvar/mpsc only):
+//! the pool lock is touched a handful of times per *kernel call*, not per
+//! element, so a faster mutex would be unobservable, and zero dependencies
+//! keep the crate buildable everywhere the toolchain is.
+//!
+//! ## Example
+//!
+//! ```
+//! let mut out = vec![0.0f64; 1024];
+//! // Square each element in parallel; chunk geometry is independent of
+//! // the worker count, so any DT_NUM_THREADS yields the same bytes.
+//! dt_parallel::for_each_chunk(&mut out, 128, |chunk_idx, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         let flat = chunk_idx * 128 + i;
+//!         *v = (flat * flat) as f64;
+//!     }
+//! });
+//! assert_eq!(out[33], 33.0 * 33.0);
+//! ```
+
+mod pool;
+
+pub use pool::{
+    effective_threads, for_each_chunk, is_sequential, num_threads, par_indices, par_rows,
+    par_tasks, run_sequential, with_thread_limit,
+};

@@ -1,0 +1,515 @@
+//! The process-wide worker pool and the scoped data-parallel primitives.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A lifetime-erased unit of work handed to the long-lived workers.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: mpsc::Sender<Job>,
+    width: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool workers and inside [`run_sequential`] sections: every
+    /// parallel primitive on this thread degrades to an inline loop.
+    static SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override of the task-partition width (0 = pool width).
+    static LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Locks ignoring poisoning: tasks are executed under `catch_unwind`, so a
+/// poisoned pool lock can only mean a panic we are already propagating.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn configured_width() -> usize {
+    match std::env::var("DT_NUM_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("dt-parallel: ignoring invalid DT_NUM_THREADS={raw:?}");
+                default_width()
+            }
+        },
+        Err(_) => default_width(),
+    }
+}
+
+/// The shared pool, spawning its workers on first use. The calling thread
+/// always participates in scoped work, so only `width - 1` threads are
+/// spawned; `width == 1` spawns none and keeps the process single-threaded.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let width = configured_width();
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for worker in 1..width {
+            let rx = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("dt-parallel-{worker}"))
+                .spawn(move || {
+                    SEQUENTIAL.with(|s| s.set(true));
+                    loop {
+                        // Jobs are participation closures that never unwind
+                        // (task panics are caught and stashed by the scope),
+                        // so the worker loop survives any workload.
+                        let job = { lock(&rx).recv() };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // channel closed: process exit
+                        }
+                    }
+                })
+                .expect("dt-parallel: failed to spawn worker thread");
+        }
+        Pool { sender, width }
+    })
+}
+
+/// The configured pool width: `DT_NUM_THREADS` when set (minimum 1),
+/// otherwise [`std::thread::available_parallelism`].
+#[must_use]
+pub fn num_threads() -> usize {
+    pool().width
+}
+
+/// Returns `true` when parallel primitives on this thread run inline —
+/// on a pool worker, inside [`run_sequential`], or when the pool width is 1.
+#[must_use]
+pub fn is_sequential() -> bool {
+    SEQUENTIAL.with(Cell::get) || num_threads() == 1
+}
+
+/// The number of tasks a partitioning primitive will create right now:
+/// 1 in sequential context, otherwise the [`with_thread_limit`] override or
+/// the pool width. A limit *above* the pool width is honoured — the extra
+/// tasks queue on the existing workers — which lets tests exercise
+/// multi-task partitions on small machines.
+#[must_use]
+pub fn effective_threads() -> usize {
+    if SEQUENTIAL.with(Cell::get) {
+        return 1;
+    }
+    let limit = LIMIT.with(Cell::get);
+    if limit > 0 {
+        limit
+    } else {
+        num_threads()
+    }
+}
+
+/// Restores a thread-local `Cell` on drop, so the guards below are
+/// panic-safe.
+struct Restore<T: Copy + 'static> {
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> Drop for Restore<T> {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs `f` with parallelism disabled on this thread: every primitive
+/// invoked inside (however deeply) executes inline. Used by sweep workers
+/// to keep coarse-grained job parallelism from nesting with kernel
+/// parallelism, and by determinism tests.
+pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+    let prev = SEQUENTIAL.with(|s| s.replace(true));
+    let _restore = Restore { cell: &SEQUENTIAL, prev };
+    f()
+}
+
+/// Runs `f` with the task-partition width pinned to `limit` on this thread
+/// (`0` restores the pool default). Does not resize the pool — only how
+/// many tasks the partitioning primitives create — so kernels whose chunk
+/// geometry is already thread-count independent produce identical bytes
+/// under any limit; this is what the determinism tests sweep over.
+pub fn with_thread_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    let prev = LIMIT.with(|s| s.replace(limit));
+    let _restore = Restore { cell: &LIMIT, prev };
+    f()
+}
+
+/// Shared state of one `par_tasks` invocation.
+struct Scope {
+    /// Lifetime-erased tasks; `None` once claimed.
+    tasks: Mutex<Vec<Option<Job>>>,
+    /// Next task index to claim.
+    cursor: AtomicUsize,
+    total: usize,
+    /// Number of tasks that finished (successfully or by panic).
+    done: Mutex<usize>,
+    all_done: Condvar,
+    /// First panic payload observed, rethrown on the calling thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Scope {
+    /// Claims and runs tasks until none remain. Runs with the sequential
+    /// marker set, so tasks cannot nest parallelism.
+    fn work(&self) {
+        let prev = SEQUENTIAL.with(|s| s.replace(true));
+        let _restore = Restore { cell: &SEQUENTIAL, prev };
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let task = lock(&self.tasks)[i].take();
+            if let Some(task) = task {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    lock(&self.panic).get_or_insert(payload);
+                }
+                let mut done = lock(&self.done);
+                *done += 1;
+                if *done == self.total {
+                    self.all_done.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Blocks until every task has finished.
+    fn wait(&self) {
+        let mut done = lock(&self.done);
+        while *done < self.total {
+            done = self
+                .all_done
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Runs a batch of borrowing tasks across the pool, returning once all have
+/// finished. The calling thread participates, so a width-1 pool (or a
+/// sequential context) degrades to an ordered inline loop. The first panic
+/// among the tasks is re-raised here — after every other task has completed,
+/// so borrows held by sibling tasks are never outlived.
+pub fn par_tasks<F: FnOnce() + Send>(tasks: Vec<F>) {
+    let total = tasks.len();
+    if total == 0 {
+        return;
+    }
+    let width = num_threads();
+    let helpers = effective_threads().min(width).min(total) - 1;
+    if total == 1 || helpers == 0 || is_sequential() {
+        // Match the parallel path's contract exactly: tasks run
+        // sequential-marked, every task runs even if an earlier one
+        // panicked, and the first panic is re-raised at the end.
+        let mut first_panic = None;
+        run_sequential(|| {
+            for task in tasks {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        });
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        return;
+    }
+
+    let erased: Vec<Option<Job>> = tasks
+        .into_iter()
+        .map(|task| {
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(task);
+            // SAFETY: lifetime erasure only. Every task is either executed
+            // or dropped before `par_tasks` returns: `wait()` blocks until
+            // all `total` tasks have run, and late-arriving helpers observe
+            // an exhausted cursor and touch nothing. Hence no erased
+            // closure (or its borrows) outlives this call frame.
+            let boxed: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed)
+            };
+            Some(boxed)
+        })
+        .collect();
+
+    let scope = Arc::new(Scope {
+        tasks: Mutex::new(erased),
+        cursor: AtomicUsize::new(0),
+        total,
+        done: Mutex::new(0),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let p = pool();
+    for _ in 0..helpers {
+        let s = Arc::clone(&scope);
+        // A send error means the receiver is gone, which cannot happen
+        // while the static pool is alive; the caller-side `work` below
+        // would still drain every task if it somehow did.
+        let _ = p.sender.send(Box::new(move || s.work()));
+    }
+    scope.work();
+    scope.wait();
+
+    let payload = lock(&scope.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Partitions `0..rows` into at most [`effective_threads`] contiguous,
+/// near-equal ranges of at least `min_rows_per_task` rows each and runs
+/// `f` on every range, in parallel. Each row index is handed to exactly one
+/// task, so a kernel that writes disjoint per-row output is race-free and
+/// — when its per-row computation is order-fixed — bit-for-bit
+/// deterministic under any thread count.
+pub fn par_rows(rows: usize, min_rows_per_task: usize, f: impl Fn(Range<usize>) + Sync) {
+    if rows == 0 {
+        return;
+    }
+    let min_rows = min_rows_per_task.max(1);
+    let n_tasks = effective_threads().min(rows / min_rows).max(1);
+    if n_tasks <= 1 {
+        f(0..rows);
+        return;
+    }
+    let base = rows / n_tasks;
+    let rem = rows % n_tasks;
+    let mut tasks = Vec::with_capacity(n_tasks);
+    let mut start = 0;
+    for t in 0..n_tasks {
+        let len = base + usize::from(t < rem);
+        let range = start..start + len;
+        start += len;
+        let f = &f;
+        tasks.push(move || f(range));
+    }
+    par_tasks(tasks);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `f(chunk_index, chunk)` on each, in parallel.
+/// Chunk boundaries depend only on `chunk_len` — never on the thread count
+/// — so reductions that fix their merge order per chunk stay deterministic
+/// under any `DT_NUM_THREADS`.
+///
+/// # Panics
+/// Panics when `chunk_len == 0`.
+pub fn for_each_chunk<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "for_each_chunk: chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let n_tasks = effective_threads().min(chunks.len());
+    if n_tasks <= 1 {
+        for (i, chunk) in chunks {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Contiguous runs of chunks per task, balanced to within one chunk.
+    let base = chunks.len() / n_tasks;
+    let rem = chunks.len() % n_tasks;
+    let mut tasks = Vec::with_capacity(n_tasks);
+    for t in (0..n_tasks).rev() {
+        let len = base + usize::from(t < rem);
+        let run = chunks.split_off(chunks.len() - len);
+        let f = &f;
+        tasks.push(move || {
+            for (i, chunk) in run {
+                f(i, chunk);
+            }
+        });
+    }
+    par_tasks(tasks);
+}
+
+/// Runs `f(0), …, f(n - 1)` across the pool with dynamic (work-stealing
+/// style) scheduling: participants claim the next unclaimed index until
+/// none remain. Suited to heterogeneous task costs (experiment sweeps);
+/// for uniform numeric work prefer [`par_rows`] / [`for_each_chunk`].
+/// If `f` panics, that participant stops claiming further indices but the
+/// survivors finish the rest; the first panic is re-raised at the end.
+pub fn par_indices(n: usize, f: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let n_tasks = effective_threads().min(n);
+    if n_tasks <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let tasks = (0..n_tasks)
+        .map(|_| {
+            let (f, cursor) = (&f, &cursor);
+            move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                f(i);
+            }
+        })
+        .collect();
+    par_tasks(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_rows_covers_every_row_once() {
+        let rows = 997; // prime, so partitions are ragged
+        let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+        par_rows(rows, 1, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_geometry_is_thread_count_independent() {
+        let run = |limit: usize| -> Vec<u64> {
+            let mut out = vec![0u64; 1003];
+            with_thread_limit(limit, || {
+                for_each_chunk(&mut out, 64, |ci, chunk| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        // Encode (chunk index, offset): equal outputs imply
+                        // equal chunk boundaries.
+                        *v = (ci as u64) << 32 | off as u64;
+                    }
+                });
+            });
+            out
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert_eq!(one[64], 1 << 32);
+    }
+
+    #[test]
+    fn par_indices_visits_each_index_exactly_once() {
+        let n = 313;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_thread_limit(8, || {
+            par_indices(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_guard_forces_inline_execution() {
+        run_sequential(|| {
+            assert!(is_sequential());
+            assert_eq!(effective_threads(), 1);
+            // Nested primitives still complete (inline, no deadlock).
+            let counter = AtomicU64::new(0);
+            par_indices(10, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 10);
+        });
+        assert!(!SEQUENTIAL.with(Cell::get));
+    }
+
+    #[test]
+    fn thread_limit_is_scoped_and_restored() {
+        with_thread_limit(3, || {
+            if !is_sequential() {
+                assert_eq!(effective_threads(), 3);
+            }
+            with_thread_limit(0, || {
+                assert_eq!(effective_threads(), if is_sequential() { 1 } else { num_threads() });
+            });
+        });
+        assert_eq!(LIMIT.with(Cell::get), 0);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_without_deadlock() {
+        let counter = AtomicU64::new(0);
+        with_thread_limit(4, || {
+            par_rows(16, 1, |outer| {
+                // Inside a task the thread is sequential-marked: the inner
+                // call must run inline rather than re-entering the pool.
+                assert!(is_sequential());
+                par_rows(outer.len(), 1, |inner| {
+                    counter.fetch_add(inner.len() as u64, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_finish() {
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_limit(4, || {
+                let tasks: Vec<_> = (0..8)
+                    .map(|i| {
+                        let finished = &finished;
+                        move || {
+                            if i == 3 {
+                                panic!("task 3 exploded");
+                            }
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .collect();
+                par_tasks(tasks);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn empty_inputs_are_no_ops() {
+        par_rows(0, 1, |_| panic!("must not run"));
+        par_indices(0, |_| panic!("must not run"));
+        for_each_chunk(&mut [0u8; 0], 4, |_, _| panic!("must not run"));
+        par_tasks(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn results_match_sequential_reference() {
+        let n = 4096usize;
+        let mut par = vec![0.0f64; n];
+        with_thread_limit(8, || {
+            for_each_chunk(&mut par, 100, |ci, chunk| {
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    let i = ci * 100 + off;
+                    *v = (i as f64).sqrt().sin();
+                }
+            });
+        });
+        let seq: Vec<f64> = (0..n).map(|i| (i as f64).sqrt().sin()).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,16 +1,189 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication kernels: cache-blocked, multi-threaded, and
+//! bit-for-bit deterministic.
 //!
 //! The workloads in this workspace multiply tall-skinny embedding matrices
-//! (`n × k` with `k ≤ 256`), so a cache-friendly `i-k-j` loop order over
-//! row-major data gets within a small factor of a tuned BLAS without any
-//! unsafe code. The `*_tn` / `*_nt` variants avoid materialising transposes,
-//! which matters for the Gram-matrix computations (`AᵀA`) used by the
-//! disentangling losses.
+//! (`n × k` with `k ≤ 256`). Each kernel combines
+//!
+//! * **`k`-blocked panels with slice-based inner loops** — the `i-k-j` loop
+//!   order over row-major data, tiled so a panel of the right-hand operand
+//!   is reused across a 4-row micro-tile of the output (one load of a `B`
+//!   row feeds four FMA streams); and
+//! * **row-partitioned execution on the shared `dt-parallel` pool** above a
+//!   flop threshold — each output row is written by exactly one thread.
+//!
+//! ## Determinism guarantee
+//!
+//! Every kernel produces *identical bytes* for any `DT_NUM_THREADS`
+//! (including 1):
+//!
+//! * `matmul` / `matmul_nt`: per output element the `k` products are
+//!   accumulated in ascending-`p` order — exactly the naive triple loop —
+//!   and row partitioning never splits an element's reduction, so the
+//!   partition cannot affect the result.
+//! * `matmul_tn` reduces over input rows. Rows are grouped into fixed
+//!   [`TN_REDUCTION_CHUNK`]-high chunks (a function of the shape only,
+//!   never of the thread count); each chunk's `k1 × k2` partial is a
+//!   fixed-order sequential sum, and partials are merged in ascending
+//!   chunk order on the calling thread.
+//!
+//! The naive oracles these claims are tested against live in
+//! [`crate::reference`].
 
 use crate::Tensor;
 
+/// Height (input rows) of one reduction chunk in [`Tensor::matmul_tn`].
+/// Part of the determinism contract: chunk geometry depends only on the
+/// input shape, so any thread count reproduces the same float grouping.
+pub const TN_REDUCTION_CHUNK: usize = 512;
+
+/// `k`-panel height: the slice of the shared operand streamed per pass.
+const KC: usize = 256;
+
+/// Output rows updated together by the micro-tile.
+const MR: usize = 4;
+
+/// Minimum multiply-adds before a kernel fans out to the pool; below this
+/// the thread handoff costs more than the arithmetic.
+const PAR_MIN_FLOPS: usize = 1 << 17;
+
+/// Cache-blocked `C += A · B` over row-major slices (`A: m×k`, `B: k×n`,
+/// `C: m×n`, `m = c.len() / n`). Per output element the products are
+/// accumulated in ascending-`p` order, so any row-partition of `C` (with
+/// the matching rows of `A`) reproduces the sequential result exactly.
+fn mm_panel(a: &[f64], b: &[f64], c: &mut [f64], k: usize, n: usize) {
+    let m = c.len() / n;
+    for p0 in (0..k).step_by(KC) {
+        let pe = (p0 + KC).min(k);
+        let mut i = 0;
+        // 4-row micro-tile: one load of each B row feeds four output rows.
+        while i + MR <= m {
+            let block = &mut c[i * n..(i + MR) * n];
+            let (c0, block) = block.split_at_mut(n);
+            let (c1, block) = block.split_at_mut(n);
+            let (c2, c3) = block.split_at_mut(n);
+            for p in p0..pe {
+                let a0 = a[i * k + p];
+                let a1 = a[(i + 1) * k + p];
+                let a2 = a[(i + 2) * k + p];
+                let a3 = a[(i + 3) * k + p];
+                let brow = &b[p * n..(p + 1) * n];
+                for ((((v0, v1), v2), v3), &bv) in c0
+                    .iter_mut()
+                    .zip(c1.iter_mut())
+                    .zip(c2.iter_mut())
+                    .zip(c3.iter_mut())
+                    .zip(brow)
+                {
+                    *v0 += a0 * bv;
+                    *v1 += a1 * bv;
+                    *v2 += a2 * bv;
+                    *v3 += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        // Remainder rows, same ascending-p order.
+        while i < m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in p0..pe {
+                let av = a[i * k + p];
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `C[i,j] = A row i · B row j` over row-major slices (`A: m×k`, `B: n×k`,
+/// `C: m×n`). Four dot products against consecutive `B` rows share one
+/// streaming pass over the `A` row; every sum runs in ascending-`p` order.
+fn nt_panel(a: &[f64], b: &[f64], c: &mut [f64], k: usize, n: usize) {
+    for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for ((((&av, &v0), &v1), &v2), &v3) in
+                arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            crow[j] = s0;
+            crow[j + 1] = s1;
+            crow[j + 2] = s2;
+            crow[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                s += av * bv;
+            }
+            crow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// `C += Aᵀ · B` over row-major slices (`A: r×k1`, `B: r×k2`, `C: k1×k2`),
+/// accumulating input rows in ascending order.
+///
+/// Rows are consumed four at a time so each pass over `C` retires four
+/// input rows (4× less output traffic — `C` is the large operand when
+/// `k1·k2` outgrows the cache). Per output element the four updates are
+/// separate sequential `+=`s in ascending-row order, so the result is
+/// bit-identical to the row-at-a-time loop.
+fn tn_panel(a: &[f64], b: &[f64], c: &mut [f64], k1: usize, k2: usize) {
+    let r = a.len().checked_div(k1).unwrap_or(0);
+    let mut row = 0;
+    while row + 4 <= r {
+        let a0 = &a[row * k1..(row + 1) * k1];
+        let a1 = &a[(row + 1) * k1..(row + 2) * k1];
+        let a2 = &a[(row + 2) * k1..(row + 3) * k1];
+        let a3 = &a[(row + 3) * k1..(row + 4) * k1];
+        let b0 = &b[row * k2..(row + 1) * k2];
+        let b1 = &b[(row + 1) * k2..(row + 2) * k2];
+        let b2 = &b[(row + 2) * k2..(row + 3) * k2];
+        let b3 = &b[(row + 3) * k2..(row + 4) * k2];
+        for (i, crow) in c.chunks_exact_mut(k2).enumerate() {
+            let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+            for ((((cv, &v0), &v1), &v2), &v3) in
+                crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *cv += x0 * v0;
+                *cv += x1 * v1;
+                *cv += x2 * v2;
+                *cv += x3 * v3;
+            }
+        }
+        row += 4;
+    }
+    for (arow, brow) in a[row * k1..].chunks_exact(k1).zip(b[row * k2..].chunks_exact(k2)) {
+        for (&av, crow) in arow.iter().zip(c.chunks_exact_mut(k2)) {
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// `self · other` — standard matrix product.
+    ///
+    /// Blocked and, above a size threshold, row-parallel on the shared
+    /// pool; bit-identical to the naive `i-k-j` loop for every thread
+    /// count (see the module docs).
     ///
     /// # Panics
     /// Panics when the inner dimensions disagree.
@@ -25,21 +198,22 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
         let a = self.data();
         let b = other.data();
         let c = out.data_mut();
-        for i in 0..m {
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += aip * bv;
-                }
-            }
+        let threads = dt_parallel::effective_threads();
+        if threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS {
+            let rows_per_task = m.div_ceil(threads);
+            dt_parallel::for_each_chunk(c, rows_per_task * n, |ci, c_chunk| {
+                let r0 = ci * rows_per_task;
+                let rows = c_chunk.len() / n;
+                mm_panel(&a[r0 * k..(r0 + rows) * k], b, c_chunk, k, n);
+            });
+        } else {
+            mm_panel(a, b, c, k, n);
         }
         out
     }
@@ -47,7 +221,13 @@ impl Tensor {
     /// `selfᵀ · other` without materialising the transpose.
     ///
     /// For `self: n × k1`, `other: n × k2` the result is `k1 × k2`;
-    /// `a.matmul_tn(&a)` is the Gram matrix `AᵀA`.
+    /// `a.matmul_tn(&a)` is the Gram matrix `AᵀA`. The reduction over the
+    /// `n` input rows runs in [`TN_REDUCTION_CHUNK`]-high chunks whose
+    /// partials are merged in ascending chunk order, so the result is
+    /// bit-identical for every thread count (see the module docs).
+    ///
+    /// # Panics
+    /// Panics when the row counts disagree.
     #[must_use]
     pub fn matmul_tn(&self, other: &Self) -> Self {
         assert_eq!(
@@ -59,28 +239,54 @@ impl Tensor {
         );
         let (n, k1, k2) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(k1, k2);
+        if n == 0 || k1 == 0 || k2 == 0 {
+            return out;
+        }
         let a = self.data();
         let b = other.data();
+        let n_chunks = n.div_ceil(TN_REDUCTION_CHUNK);
+        if n_chunks == 1 {
+            // One chunk: accumulating straight into the zeroed output is
+            // bit-identical to the buffered merge below (0.0 + x == x).
+            tn_panel(a, b, out.data_mut(), k1, k2);
+            return out;
+        }
+        let threads = dt_parallel::effective_threads();
+        let par = threads > 1 && n * k1 * k2 >= PAR_MIN_FLOPS;
+        // Chunks are processed in waves of per-thread partial buffers and
+        // merged in ascending chunk order after each wave. The wave width
+        // bounds memory (`wave · k1 · k2` floats) and has no numeric
+        // effect: the merge order is a function of the chunking alone.
+        let wave = if par { threads.min(n_chunks) } else { 1 };
+        let mut partials = vec![0.0f64; wave * k1 * k2];
         let c = out.data_mut();
-        for r in 0..n {
-            let arow = &a[r * k1..(r + 1) * k1];
-            let brow = &b[r * k2..(r + 1) * k2];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut c[i * k2..(i + 1) * k2];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
+        let mut chunk0 = 0;
+        while chunk0 < n_chunks {
+            let wave_n = wave.min(n_chunks - chunk0);
+            let pslice = &mut partials[..wave_n * k1 * k2];
+            pslice.fill(0.0);
+            dt_parallel::for_each_chunk(pslice, k1 * k2, |wi, buf| {
+                let r0 = (chunk0 + wi) * TN_REDUCTION_CHUNK;
+                let r1 = (r0 + TN_REDUCTION_CHUNK).min(n);
+                tn_panel(&a[r0 * k1..r1 * k1], &b[r0 * k2..r1 * k2], buf, k1, k2);
+            });
+            for buf in pslice.chunks_exact(k1 * k2) {
+                for (cv, &pv) in c.iter_mut().zip(buf) {
+                    *cv += pv;
                 }
             }
+            chunk0 += wave_n;
         }
         out
     }
 
     /// `self · otherᵀ` without materialising the transpose.
     ///
-    /// For `self: m × k`, `other: n × k` the result is `m × n`.
+    /// For `self: m × k`, `other: n × k` the result is `m × n`. Row-parallel
+    /// above a size threshold and bit-identical for every thread count.
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree.
     #[must_use]
     pub fn matmul_nt(&self, other: &Self) -> Self {
         assert_eq!(
@@ -92,13 +298,22 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, ov) in orow.iter_mut().enumerate() {
-                let brow = &other.data()[j * k..(j + 1) * k];
-                *ov = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-            }
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        let threads = dt_parallel::effective_threads();
+        if threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS {
+            let rows_per_task = m.div_ceil(threads);
+            dt_parallel::for_each_chunk(c, rows_per_task * n, |ci, c_chunk| {
+                let r0 = ci * rows_per_task;
+                let rows = c_chunk.len() / n;
+                nt_panel(&a[r0 * k..(r0 + rows) * k], b, c_chunk, k, n);
+            });
+        } else {
+            nt_panel(a, b, c, k, n);
         }
         out
     }
@@ -114,7 +329,9 @@ impl Tensor {
     ///
     /// Combined with [`Tensor::gram`], this evaluates the paper's
     /// regularisation term `‖P·Qᵀ‖²_F = trace((PᵀP)(QᵀQ))` in
-    /// `O((M+N)·k²)` instead of `O(M·N·k)`.
+    /// `O((M+N)·k²)` instead of `O(M·N·k)`. Iterates row slices of `self`
+    /// against strided column walks of `other` — no per-element
+    /// bounds-checked `(i, j)` indexing in the O(n²) loop.
     #[must_use]
     pub fn trace_product(&self, other: &Self) -> f64 {
         assert_eq!(
@@ -131,11 +348,16 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        let ocols = other.cols();
+        let odata = other.data();
         let mut t = 0.0;
         for i in 0..self.rows() {
-            for j in 0..self.cols() {
-                t += self[(i, j)] * other[(j, i)];
-            }
+            t += self
+                .row(i)
+                .iter()
+                .zip(odata[i..].iter().step_by(ocols))
+                .map(|(&s, &o)| s * o)
+                .sum::<f64>();
         }
         t
     }
@@ -175,6 +397,25 @@ mod tests {
     }
 
     #[test]
+    fn micro_tile_remainders_match_reference() {
+        // Shapes straddling the 4-row/4-col micro-tiles: 5, 6, 7 rows/cols.
+        for m in 1..=7 {
+            for k in 1..=5 {
+                for n in 1..=7 {
+                    let a = Tensor::from_fn(m, k, |i, j| (i * 31 + j * 7) as f64 - 8.0);
+                    let b = Tensor::from_fn(k, n, |i, j| (i * 13 + j * 3) as f64 * 0.5 - 4.0);
+                    assert_eq!(a.matmul(&b), crate::reference::matmul(&a, &b));
+                    let bn = Tensor::from_fn(n, k, |i, j| (i * 5 + j) as f64 - 3.0);
+                    assert_eq!(a.matmul_nt(&bn), crate::reference::matmul_nt(&a, &bn));
+                    let an = Tensor::from_fn(m, k, |i, j| (i + j * 11) as f64 - 6.0);
+                    let b2 = Tensor::from_fn(m, n, |i, j| (i * 2 + j) as f64 - 5.0);
+                    assert_eq!(an.matmul_tn(&b2), crate::reference::matmul_tn(&an, &b2));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gram_is_symmetric_psd_diagonal() {
         let (a, _) = example();
         let g = a.gram();
@@ -195,6 +436,15 @@ mod tests {
         let direct = a.matmul_nt(&b).frob_sq();
         let via_gram = a.gram().trace_product(&b.gram());
         assert!((direct - via_gram).abs() < 1e-9, "{direct} vs {via_gram}");
+    }
+
+    #[test]
+    fn trace_product_rectangular() {
+        // 2×3 · 3×2: trace must sum self-row × other-column products.
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let expected = a.matmul(&b).data()[0] + a.matmul(&b).data()[3];
+        assert!((a.trace_product(&b) - expected).abs() < 1e-12);
     }
 
     #[test]

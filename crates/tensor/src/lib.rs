@@ -16,6 +16,12 @@
 //! standard library uses. All random initialisation takes an explicit
 //! [`rand::Rng`] so experiments stay deterministic under a fixed seed.
 //!
+//! The GEMM and large element-wise kernels run multi-threaded on the
+//! workspace-shared `dt-parallel` pool (sized by `DT_NUM_THREADS`, default
+//! all cores) and are **bit-for-bit deterministic for every thread count**
+//! — see the `gemm` module docs for the contract and [`reference`] for the
+//! naive oracles it is tested against.
+//!
 //! ## Example
 //!
 //! ```
@@ -28,12 +34,15 @@
 //! assert_eq!(a.frob_sq(), 1.0 + 4.0 + 9.0 + 16.0);
 //! ```
 
+mod elementwise;
 mod gemm;
 mod linalg;
 mod init;
+pub mod reference;
 mod shape;
 mod tensor;
 
+pub use gemm::TN_REDUCTION_CHUNK;
 pub use init::{he_normal, normal, uniform, xavier_normal, xavier_uniform};
 pub use linalg::NotPositiveDefinite;
 pub use shape::Shape;

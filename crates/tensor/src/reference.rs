@@ -1,0 +1,149 @@
+//! Naive reference kernels: the oracles for the blocked/parallel GEMM.
+//!
+//! Each function is the textbook triple loop with the same per-element
+//! accumulation order the production kernels guarantee (ascending along the
+//! reduced axis), so tests and benches can assert **exact** `==` equality —
+//! not approximate closeness — against [`Tensor::matmul`] and friends, and
+//! measure the speedup of the blocked kernels over the unblocked baseline.
+//!
+//! These implementations are deliberately slow; nothing outside tests and
+//! benches should call them.
+
+use crate::gemm::TN_REDUCTION_CHUNK;
+use crate::Tensor;
+
+/// Naive `a · b` via the unblocked `i-k-j` triple loop.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "reference::matmul: inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    let (ad, bd) = (a.data(), b.data());
+    let c = out.data_mut();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            for j in 0..n {
+                c[i * n + j] += av * bd[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Naive `a · bᵀ`: one ascending-`p` dot product per output element.
+///
+/// # Panics
+/// Panics when the column counts disagree.
+#[must_use]
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.cols(), "reference::matmul_nt: col mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Tensor::zeros(m, n);
+    let (ad, bd) = (a.data(), b.data());
+    let c = out.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += ad[i * k + p] * bd[j * k + p];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    out
+}
+
+/// Naive `aᵀ · b` accumulating input rows in one ascending sweep.
+///
+/// Matches [`Tensor::matmul_tn`] exactly when `a.rows()` fits in a single
+/// reduction chunk; for taller inputs the production kernel's float
+/// grouping is chunked, which [`matmul_tn_chunked`] mirrors.
+///
+/// # Panics
+/// Panics when the row counts disagree.
+#[must_use]
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "reference::matmul_tn: row mismatch");
+    let (n, k1, k2) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(k1, k2);
+    let (ad, bd) = (a.data(), b.data());
+    let c = out.data_mut();
+    for r in 0..n {
+        for i in 0..k1 {
+            let av = ad[r * k1 + i];
+            for j in 0..k2 {
+                c[i * k2 + j] += av * bd[r * k2 + j];
+            }
+        }
+    }
+    out
+}
+
+/// Naive `aᵀ · b` with the production reduction grouping: input rows are
+/// summed into per-chunk partials (`chunk_rows` high, ascending within the
+/// chunk) that are merged in ascending chunk order. With
+/// `chunk_rows ==` [`TN_REDUCTION_CHUNK`] this is the byte-exact oracle
+/// for [`Tensor::matmul_tn`] at every input height and thread count.
+///
+/// # Panics
+/// Panics when the row counts disagree or `chunk_rows == 0`.
+#[must_use]
+pub fn matmul_tn_chunked(a: &Tensor, b: &Tensor, chunk_rows: usize) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "reference::matmul_tn_chunked: row mismatch");
+    assert!(chunk_rows > 0, "reference::matmul_tn_chunked: chunk_rows must be positive");
+    let n = a.rows();
+    if n <= chunk_rows {
+        return matmul_tn(a, b);
+    }
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    let mut r0 = 0;
+    while r0 < n {
+        let r1 = (r0 + chunk_rows).min(n);
+        let partial = matmul_tn(&a.slice_rows(r0, r1), &b.slice_rows(r0, r1));
+        for (cv, &pv) in out.data_mut().iter_mut().zip(partial.data()) {
+            *cv += pv;
+        }
+        r0 = r1;
+    }
+    out
+}
+
+/// The production chunk height, re-exported so external tests can build
+/// byte-exact oracles without hard-coding the constant.
+#[must_use]
+pub fn tn_reduction_chunk() -> usize {
+    TN_REDUCTION_CHUNK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_agree_with_each_other() {
+        let a = Tensor::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.0);
+        let b = Tensor::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.25);
+        let direct = matmul(&a, &b);
+        assert!(matmul_nt(&a, &b.transpose()).approx_eq(&direct, 1e-12));
+        assert!(matmul_tn(&a.transpose(), &b).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn chunked_tn_matches_plain_tn_approximately() {
+        let a = Tensor::from_fn(37, 3, |i, j| ((i * 7 + j) % 11) as f64 - 5.0);
+        let b = Tensor::from_fn(37, 2, |i, j| ((i * 5 + j) % 13) as f64 * 0.5);
+        let chunked = matmul_tn_chunked(&a, &b, 8);
+        assert!(chunked.approx_eq(&matmul_tn(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn chunked_tn_single_chunk_is_exact() {
+        let a = Tensor::from_fn(5, 2, |i, j| (i + j) as f64);
+        let b = Tensor::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(matmul_tn_chunked(&a, &b, 100), matmul_tn(&a, &b));
+    }
+}

@@ -263,7 +263,11 @@ impl IndexMut<(usize, usize)> for Tensor {
 }
 
 // ---------------------------------------------------------------------------
-// Element-wise kernels
+// Broadcasts
+//
+// (The flat element-wise kernels — add/sub/mul/div, axpy, scale, map — live
+// in `elementwise.rs`, where the large-tensor paths run on the shared
+// `dt-parallel` pool.)
 // ---------------------------------------------------------------------------
 
 macro_rules! assert_same_shape {
@@ -277,112 +281,6 @@ macro_rules! assert_same_shape {
 }
 
 impl Tensor {
-    /// Applies `f` to every element, producing a new tensor.
-    #[must_use]
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self {
-            shape: self.shape,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
-    }
-
-    /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
-    }
-
-    /// Combines two same-shaped tensors element-wise.
-    #[must_use]
-    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
-        assert_same_shape!("zip_map", self, other);
-        Self {
-            shape: self.shape,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
-    }
-
-    /// Element-wise sum.
-    #[must_use]
-    pub fn add(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a + b)
-    }
-
-    /// Element-wise difference.
-    #[must_use]
-    pub fn sub(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a - b)
-    }
-
-    /// Element-wise (Hadamard) product.
-    #[must_use]
-    pub fn mul(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a * b)
-    }
-
-    /// Element-wise quotient.
-    #[must_use]
-    pub fn div(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a / b)
-    }
-
-    /// Adds `other` into `self` in place.
-    pub fn add_assign(&mut self, other: &Self) {
-        assert_same_shape!("add_assign", self, other);
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
-    }
-
-    /// `self += alpha * other` (the BLAS `axpy` kernel).
-    pub fn axpy(&mut self, alpha: f64, other: &Self) {
-        assert_same_shape!("axpy", self, other);
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
-    }
-
-    /// Multiplies every element by `alpha`.
-    #[must_use]
-    pub fn scale(&self, alpha: f64) -> Self {
-        self.map(|v| v * alpha)
-    }
-
-    /// Multiplies every element by `alpha` in place.
-    pub fn scale_inplace(&mut self, alpha: f64) {
-        self.map_inplace(|v| v * alpha);
-    }
-
-    /// Adds `alpha` to every element.
-    #[must_use]
-    pub fn add_scalar(&self, alpha: f64) -> Self {
-        self.map(|v| v + alpha)
-    }
-
-    /// Negates every element.
-    #[must_use]
-    pub fn neg(&self) -> Self {
-        self.map(|v| -v)
-    }
-
-    /// Clamps every element to `[lo, hi]`.
-    #[must_use]
-    pub fn clamp(&self, lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
-        self.map(|v| v.clamp(lo, hi))
-    }
-
-    /// Resets every element to zero, keeping the allocation.
-    pub fn fill_zero(&mut self) {
-        self.data.fill(0.0);
-    }
-
     /// Adds the `1 × cols` row vector `bias` to every row.
     #[must_use]
     pub fn add_row_broadcast(&self, bias: &Self) -> Self {
@@ -716,34 +614,6 @@ mod tests {
         assert_eq!(t.row(0), &[1.0, 9.0]);
         t.row_mut(1)[1] = -1.0;
         assert_eq!(t.get(1, 1), -1.0);
-    }
-
-    #[test]
-    fn elementwise_ops() {
-        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        let b = Tensor::full(2, 2, 2.0);
-        assert_eq!(a.add(&b).data(), &[3.0, 4.0, 5.0, 6.0]);
-        assert_eq!(a.sub(&b).data(), &[-1.0, 0.0, 1.0, 2.0]);
-        assert_eq!(a.mul(&b).data(), &[2.0, 4.0, 6.0, 8.0]);
-        assert_eq!(a.div(&b).data(), &[0.5, 1.0, 1.5, 2.0]);
-        assert_eq!(a.scale(2.0), a.mul(&b));
-        assert_eq!(a.neg().sum(), -10.0);
-        assert_eq!(a.add_scalar(1.0).sum(), 14.0);
-        assert_eq!(a.clamp(2.0, 3.0).data(), &[2.0, 2.0, 3.0, 3.0]);
-    }
-
-    #[test]
-    fn axpy_and_inplace() {
-        let mut a = Tensor::ones(1, 3);
-        let b = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
-        a.axpy(2.0, &b);
-        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
-        a.add_assign(&b);
-        assert_eq!(a.data(), &[4.0, 7.0, 10.0]);
-        a.scale_inplace(0.5);
-        assert_eq!(a.data(), &[2.0, 3.5, 5.0]);
-        a.fill_zero();
-        assert_eq!(a.sum(), 0.0);
     }
 
     #[test]

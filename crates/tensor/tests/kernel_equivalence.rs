@@ -1,0 +1,182 @@
+//! Randomized equivalence and determinism tests for the blocked/parallel
+//! kernels.
+//!
+//! Every assertion here is **exact** (`f64::to_bits`), not approximate:
+//! the production kernels promise byte-identical results to the naive
+//! oracles in `dt_tensor::reference` and across thread counts. The tests
+//! sweep partition widths 1/2/8 via `dt_parallel::with_thread_limit`, and
+//! `ci.sh` re-runs the whole suite under `DT_NUM_THREADS=1,2,8` so the
+//! real pool width is covered as well.
+//!
+//! (Deliberately std-only — no proptest — so the offline verification shim
+//! can execute this file; the proptest shape sweeps live in `proptests.rs`.)
+
+use dt_tensor::{reference, Tensor};
+
+/// Minimal xorshift64* generator: deterministic, dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish in [-1, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn tensor(&mut self, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| self.next_f64()).collect())
+    }
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: byte mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// (m, k, n) triples: micro-tile edges (1, 4±1), degenerate axes (0, 1),
+/// and sizes that cross the parallel flop threshold and the `matmul_tn`
+/// reduction-chunk boundary.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (0, 3, 2),
+        (3, 0, 2),
+        (3, 2, 0),
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 7, 5),
+        (5, 1, 7),
+        (7, 5, 1),
+        (3, 3, 3),
+        (4, 4, 4),
+        (5, 3, 9),
+        (8, 8, 8),
+        (13, 17, 11),
+        (33, 9, 47),
+        // Crosses PAR_MIN_FLOPS (2^17): parallel row-partition path.
+        (96, 40, 96),
+        (160, 64, 130),
+    ]
+}
+
+#[test]
+fn matmul_matches_naive_reference_exactly_at_every_width() {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    for &(m, k, n) in &shapes() {
+        let a = rng.tensor(m, k);
+        let b = rng.tensor(k, n);
+        let want = reference::matmul(&a, &b);
+        for limit in [1, 2, 8] {
+            let got = dt_parallel::with_thread_limit(limit, || a.matmul(&b));
+            assert_bits_eq(&got, &want, &format!("matmul {m}x{k}x{n} @{limit}"));
+        }
+        let got_seq = dt_parallel::run_sequential(|| a.matmul(&b));
+        assert_bits_eq(&got_seq, &want, &format!("matmul {m}x{k}x{n} sequential"));
+    }
+}
+
+#[test]
+fn matmul_nt_matches_naive_reference_exactly_at_every_width() {
+    let mut rng = XorShift(0xDEAD_BEEF_CAFE_F00D);
+    for &(m, k, n) in &shapes() {
+        let a = rng.tensor(m, k);
+        let b = rng.tensor(n, k);
+        let want = reference::matmul_nt(&a, &b);
+        for limit in [1, 2, 8] {
+            let got = dt_parallel::with_thread_limit(limit, || a.matmul_nt(&b));
+            assert_bits_eq(&got, &want, &format!("matmul_nt {m}x{k}x{n} @{limit}"));
+        }
+    }
+}
+
+#[test]
+fn matmul_tn_matches_chunked_oracle_exactly_at_every_width() {
+    let chunk = reference::tn_reduction_chunk();
+    let mut rng = XorShift(0x1234_5678_9ABC_DEF1);
+    // Input heights straddling the reduction-chunk boundary, including
+    // several chunks and a ragged tail.
+    let heights = [0, 1, 7, chunk - 1, chunk, chunk + 1, 3 * chunk - 5];
+    for &r in &heights {
+        for &(k1, k2) in &[(1, 1), (1, 6), (5, 1), (8, 8), (24, 32)] {
+            let a = rng.tensor(r, k1);
+            let b = rng.tensor(r, k2);
+            let want = reference::matmul_tn_chunked(&a, &b, chunk);
+            for limit in [1, 2, 8] {
+                let got = dt_parallel::with_thread_limit(limit, || a.matmul_tn(&b));
+                assert_bits_eq(&got, &want, &format!("matmul_tn {r}x{k1}/{k2} @{limit}"));
+            }
+            let got_seq = dt_parallel::run_sequential(|| a.matmul_tn(&b));
+            assert_bits_eq(&got_seq, &want, &format!("matmul_tn {r}x{k1}/{k2} sequential"));
+        }
+    }
+}
+
+#[test]
+fn gram_is_exactly_symmetric_under_parallel_execution() {
+    let mut rng = XorShift(42);
+    let a = rng.tensor(1100, 16);
+    for limit in [1, 2, 8] {
+        let g = dt_parallel::with_thread_limit(limit, || a.gram());
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn elementwise_kernels_are_width_independent() {
+    let mut rng = XorShift(7);
+    // Crosses the element-wise parallel threshold (2^15 elements).
+    let a = rng.tensor(260, 150);
+    let b = rng.tensor(260, 150);
+    let alpha = 0.37;
+    let run = |limit: usize| {
+        dt_parallel::with_thread_limit(limit, || {
+            let mut acc = a.add(&b).mul(&a).sub(&b);
+            acc.axpy(alpha, &b);
+            acc.add_assign(&a);
+            acc.scale_inplace(1.25);
+            (acc.clone(), a.div(&b), a.scale(alpha), a.neg(), a.add_scalar(2.5))
+        })
+    };
+    let base = run(1);
+    for limit in [2, 8] {
+        let got = run(limit);
+        assert_bits_eq(&got.0, &base.0, "chained elementwise");
+        assert_bits_eq(&got.1, &base.1, "div");
+        assert_bits_eq(&got.2, &base.2, "scale");
+        assert_bits_eq(&got.3, &base.3, "neg");
+        assert_bits_eq(&got.4, &base.4, "add_scalar");
+    }
+}
+
+#[test]
+fn trace_product_matches_explicit_product_trace() {
+    let mut rng = XorShift(0xABCD);
+    for &(m, k) in &[(1, 1), (3, 5), (17, 4), (40, 40)] {
+        let a = rng.tensor(m, k);
+        let b = rng.tensor(k, m);
+        let prod = reference::matmul(&a, &b);
+        let explicit: f64 = (0..m).map(|i| prod[(i, i)]).sum();
+        let got = a.trace_product(&b);
+        assert!(
+            (got - explicit).abs() <= 1e-12 * explicit.abs().max(1.0),
+            "trace_product {m}x{k}: {got} vs {explicit}"
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor kernels.
 
-use dt_tensor::Tensor;
+use dt_tensor::{reference, Tensor};
 use proptest::prelude::*;
 
 /// Strategy: a tensor with dims in 1..=6 and entries in [-10, 10].
@@ -24,6 +24,18 @@ fn same_shape_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
 /// Strategy: matmul-compatible pair (m×k, k×n).
 fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f64..5.0, m * k);
+        let b = proptest::collection::vec(-5.0f64..5.0, k * n);
+        (a, b).prop_map(move |(a, b)| {
+            (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b))
+        })
+    })
+}
+
+/// Strategy: matmul-compatible pair with dims large enough to exercise the
+/// micro-tile remainders and (occasionally) the parallel row partition.
+fn wide_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=40, 1usize..=20, 1usize..=40).prop_flat_map(|(m, k, n)| {
         let a = proptest::collection::vec(-5.0f64..5.0, m * k);
         let b = proptest::collection::vec(-5.0f64..5.0, k * n);
         (a, b).prop_map(move |(a, b)| {
@@ -124,5 +136,44 @@ proptest! {
     fn clamp_bounds_hold(a in tensor_strategy()) {
         let c = a.clamp(-1.0, 1.0);
         prop_assert!(c.min() >= -1.0 && c.max() <= 1.0);
+    }
+
+    // --- Blocked/parallel kernels vs naive reference: EXACT equality ---
+    // The blocked kernels accumulate each output element in the same
+    // ascending-k order as the naive triple loop, so the match is
+    // bit-for-bit, not approximate; `prop_assert_eq!` is intentional.
+
+    #[test]
+    fn blocked_matmul_equals_naive_reference((a, b) in wide_matmul_pair()) {
+        prop_assert_eq!(a.matmul(&b), reference::matmul(&a, &b));
+    }
+
+    #[test]
+    fn blocked_matmul_nt_equals_naive_reference((a, b) in wide_matmul_pair()) {
+        let bt = b.transpose(); // n × k
+        prop_assert_eq!(a.matmul_nt(&bt), reference::matmul_nt(&a, &bt));
+    }
+
+    #[test]
+    fn blocked_matmul_tn_equals_chunked_reference((a, b) in wide_matmul_pair()) {
+        // matmul_tn's operands share their row count, so pair `a` (m×k)
+        // with `a·b` (m×n) to vary both inner dimensions.
+        let chunk = reference::tn_reduction_chunk();
+        let other = a.matmul(&b);
+        prop_assert_eq!(
+            a.matmul_tn(&other),
+            reference::matmul_tn_chunked(&a, &other, chunk)
+        );
+    }
+
+    #[test]
+    fn kernels_are_thread_count_independent((a, b) in wide_matmul_pair()) {
+        let one = dt_parallel::with_thread_limit(1, || a.matmul(&b));
+        let eight = dt_parallel::with_thread_limit(8, || a.matmul(&b));
+        prop_assert_eq!(one, eight);
+        let bt = b.transpose();
+        let one = dt_parallel::with_thread_limit(1, || a.matmul_nt(&bt));
+        let eight = dt_parallel::with_thread_limit(8, || a.matmul_nt(&bt));
+        prop_assert_eq!(one, eight);
     }
 }

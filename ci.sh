@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test (including the kernel determinism sweep across
-# pool widths), lint. Run from the repo root.
+# Tier-1 gate: invariants, build, test (including the kernel determinism
+# sweep across pool widths), lint. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# The invariant analyzer is dependency-free, so it gates everything else
+# before the first real build. Warnings (missing paper citations) are
+# errors in CI.
+echo "==> dt-lint --deny-warnings (workspace invariants, DESIGN.md section 9)"
+cargo run -q -p dt-lint -- --deny-warnings --quiet
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping the format check"
+fi
 
 echo "==> cargo build --release"
 cargo build --workspace --release

@@ -48,10 +48,7 @@ impl Graph {
     /// propensity-clipping used by every IPS/DR variant in the paper.
     pub fn clipped_inverse(&mut self, x: Var, clip: f64) -> Var {
         let c = self.clamp(x, clip, f64::INFINITY);
-        let ones = self.constant(Tensor::ones(
-            self.value(x).rows(),
-            self.value(x).cols(),
-        ));
+        let ones = self.constant(Tensor::ones(self.value(x).rows(), self.value(x).cols()));
         self.div(ones, c)
     }
 
@@ -81,10 +78,7 @@ impl Graph {
         let pc = self.clamp(p, 1e-9, 1.0 - 1e-9);
         let lnp = self.ln(pc);
         let term1 = self.mul(pc, lnp);
-        let one = self.constant(Tensor::ones(
-            self.value(p).rows(),
-            self.value(p).cols(),
-        ));
+        let one = self.constant(Tensor::ones(self.value(p).rows(), self.value(p).cols()));
         let q = self.sub(one, pc);
         let lnq = self.ln(q);
         let term2 = self.mul(q, lnq);

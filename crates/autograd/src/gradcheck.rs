@@ -72,11 +72,7 @@ pub fn gradcheck(
 ///
 /// # Panics
 /// Panics when any input's relative gradient error exceeds `tol`.
-pub fn assert_gradcheck(
-    inputs: &[Tensor],
-    tol: f64,
-    build: impl Fn(&mut Graph, &[Var]) -> Var,
-) {
+pub fn assert_gradcheck(inputs: &[Tensor], tol: f64, build: impl Fn(&mut Graph, &[Var]) -> Var) {
     let reports = gradcheck(inputs, 1e-5, build);
     for (k, r) in reports.iter().enumerate() {
         assert!(

@@ -66,10 +66,7 @@ impl Graph {
             Op::Leaf(param) => param.is_some(),
             Op::Constant => false,
             Op::Detach(_) => false,
-            other => other
-                .inputs()
-                .iter()
-                .any(|v| self.nodes[v.0].requires_grad),
+            other => other.inputs().iter().any(|v| self.nodes[v.0].requires_grad),
         };
         self.nodes.push(Node {
             op,
@@ -341,11 +338,9 @@ impl Graph {
 
     /// Numerically stable element-wise BCE with logits.
     pub fn bce_with_logits(&mut self, logits: Var, targets: Var) -> Var {
-        let v = self
-            .value(logits)
-            .zip_map(self.value(targets), |x, t| {
-                x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()
-            });
+        let v = self.value(logits).zip_map(self.value(targets), |x, t| {
+            x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()
+        });
         self.push(Op::BceWithLogits(logits, targets), v)
     }
 

@@ -40,6 +40,8 @@
 //! assert_eq!(params.grad(w).data(), &[2.0, 4.0, 6.0, 8.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod compose;
 pub mod gradcheck;
 mod graph;

@@ -110,14 +110,41 @@ impl Op {
         use Op::*;
         match self {
             Leaf(_) | Constant => vec![],
-            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | MatMul(a, b) | MatMulTN(a, b)
-            | MatMulNT(a, b) | RowDot(a, b) | ConcatCols(a, b) | AddRowBroadcast(a, b)
-            | AddColBroadcast(a, b) | BceWithLogits(a, b) | MulScalarVar(a, b)
+            Add(a, b)
+            | Sub(a, b)
+            | Mul(a, b)
+            | Div(a, b)
+            | MatMul(a, b)
+            | MatMulTN(a, b)
+            | MatMulNT(a, b)
+            | RowDot(a, b)
+            | ConcatCols(a, b)
+            | AddRowBroadcast(a, b)
+            | AddColBroadcast(a, b)
+            | BceWithLogits(a, b)
+            | MulScalarVar(a, b)
             | DivScalarVar(a, b) => vec![*a, *b],
-            Neg(a) | AddScalar(a, _) | MulScalar(a, _) | PowConst(a, _) | Sigmoid(a) | Tanh(a)
-            | Relu(a) | Exp(a) | Ln(a) | Sqrt(a) | Sqr(a) | Clamp(a, _, _) | Transpose(a)
-            | Sum(a) | Mean(a) | FrobSq(a) | RowSums(a) | ColSums(a) | Gather(a, _)
-            | SliceCols(a, _, _) | Detach(a) => vec![*a],
+            Neg(a)
+            | AddScalar(a, _)
+            | MulScalar(a, _)
+            | PowConst(a, _)
+            | Sigmoid(a)
+            | Tanh(a)
+            | Relu(a)
+            | Exp(a)
+            | Ln(a)
+            | Sqrt(a)
+            | Sqr(a)
+            | Clamp(a, _, _)
+            | Transpose(a)
+            | Sum(a)
+            | Mean(a)
+            | FrobSq(a)
+            | RowSums(a)
+            | ColSums(a)
+            | Gather(a, _)
+            | SliceCols(a, _, _)
+            | Detach(a) => vec![*a],
         }
     }
 

@@ -33,27 +33,30 @@ fn mf_step(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("dt losses (disentangle + gram reg) 2000/3000 x16", |bench| {
-        bench.iter(|| {
-            let mut g = Graph::new();
-            let pv = g.param(&params, p);
-            let qv = g.param(&params, q);
-            let p_prim = g.slice_cols(pv, 0, 12);
-            let p_aux = g.slice_cols(pv, 12, 16);
-            let q_prim = g.slice_cols(qv, 0, 12);
-            let q_aux = g.slice_cols(qv, 12, 16);
-            let d1 = g.disentangle_penalty(p_prim, p_aux);
-            let d2 = g.disentangle_penalty(q_prim, q_aux);
-            let r1 = g.cross_gram_penalty(p_prim, q_prim);
-            let r2 = g.cross_gram_penalty(p_aux, q_aux);
-            let s1 = g.add(d1, d2);
-            let s2 = g.add(r1, r2);
-            let loss = g.add(s1, s2);
-            g.backward(loss, &mut params);
-            params.zero_grad();
-            black_box(g.len())
-        });
-    });
+    c.bench_function(
+        "dt losses (disentangle + gram reg) 2000/3000 x16",
+        |bench| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let pv = g.param(&params, p);
+                let qv = g.param(&params, q);
+                let p_prim = g.slice_cols(pv, 0, 12);
+                let p_aux = g.slice_cols(pv, 12, 16);
+                let q_prim = g.slice_cols(qv, 0, 12);
+                let q_aux = g.slice_cols(qv, 12, 16);
+                let d1 = g.disentangle_penalty(p_prim, p_aux);
+                let d2 = g.disentangle_penalty(q_prim, q_aux);
+                let r1 = g.cross_gram_penalty(p_prim, q_prim);
+                let r2 = g.cross_gram_penalty(p_aux, q_aux);
+                let s1 = g.add(d1, d2);
+                let s2 = g.add(r1, r2);
+                let loss = g.add(s1, s2);
+                g.backward(loss, &mut params);
+                params.zero_grad();
+                black_box(g.len())
+            });
+        },
+    );
 }
 
 criterion_group! {

@@ -14,12 +14,7 @@ fn bias_grid(c: &mut Criterion) {
     };
     for mech in [Mechanism::Mcar, Mechanism::Mar, Mechanism::Mnar] {
         let ds = mechanism_dataset(mech, &cfg);
-        let predictions = ds
-            .truth
-            .as_ref()
-            .unwrap()
-            .preference
-            .map(|p| 0.8 * p + 0.1);
+        let predictions = ds.truth.as_ref().unwrap().preference.map(|p| 0.8 * p + 0.1);
         c.bench_function(&format!("table1 bias grid {}", mech.label()), |bench| {
             bench.iter(|| black_box(BiasGrid::compute(&ds, &predictions)));
         });

@@ -20,4 +20,6 @@
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
 
+#![forbid(unsafe_code)]
+
 pub mod report;

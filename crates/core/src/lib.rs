@@ -38,6 +38,8 @@
 //! # let _ = (coat_like, RealWorldConfig::default());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 pub mod methods;
 mod recommender;

@@ -67,7 +67,7 @@ impl BalancedRecommender {
 impl Recommender for BalancedRecommender {
     #[allow(clippy::too_many_lines)]
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let observed_set = ds.train.pair_set();
         let density = ds.train.density();
         let lambda = self.cfg.hyper.lambda;

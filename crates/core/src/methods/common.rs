@@ -55,12 +55,7 @@ pub struct UniformBatch {
 
 /// Draws a uniform full-space batch labelled against the observed set.
 #[must_use]
-pub fn uniform_batch(
-    ds: &Dataset,
-    n: usize,
-    observed: &PairSet,
-    rng: &mut StdRng,
-) -> UniformBatch {
+pub fn uniform_batch(ds: &Dataset, n: usize, observed: &PairSet, rng: &mut StdRng) -> UniformBatch {
     let pairs = uniform_pairs(ds.n_users, ds.n_items, n, rng);
     UniformBatch {
         users: pairs.iter().map(|p| p.user as usize).collect(),
@@ -76,7 +71,11 @@ pub fn uniform_batch(
 /// family): a logistic MF on the observation indicators, with a budget
 /// derived from the training config.
 #[must_use]
-pub fn fit_mar_propensity(ds: &Dataset, cfg: &TrainConfig, rng: &mut StdRng) -> LogisticMfPropensity {
+pub fn fit_mar_propensity(
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> LogisticMfPropensity {
     let dim = (cfg.emb_dim / 2).max(2);
     LogisticMfPropensity::fit(ds, dim, cfg.epochs.max(10), cfg.lr, cfg.prop_clip, rng)
 }
@@ -84,11 +83,7 @@ pub fn fit_mar_propensity(ds: &Dataset, cfg: &TrainConfig, rng: &mut StdRng) -> 
 /// Clipped inverse propensities for an observed batch, as plain values
 /// (propensities are always detached in the debiasing losses).
 #[must_use]
-pub fn inverse_propensities(
-    prop: &LogisticMfPropensity,
-    batch: &Batch,
-    clip: f64,
-) -> Vec<f64> {
+pub fn inverse_propensities(prop: &LogisticMfPropensity, batch: &Batch, clip: f64) -> Vec<f64> {
     batch
         .users
         .iter()
@@ -105,10 +100,8 @@ mod tests {
 
     #[test]
     fn batch_conversion() {
-        let b = Batch::from_interactions(&[
-            Interaction::new(1, 2, 1.0),
-            Interaction::new(3, 4, 0.0),
-        ]);
+        let b =
+            Batch::from_interactions(&[Interaction::new(1, 2, 1.0), Interaction::new(3, 4, 0.0)]);
         assert_eq!(b.len(), 2);
         assert_eq!(b.users, vec![1, 3]);
         assert_eq!(b.items, vec![2, 4]);

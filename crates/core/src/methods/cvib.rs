@@ -51,7 +51,7 @@ impl CvibRecommender {
 
 impl Recommender for CvibRecommender {
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let observed_set = ds.train.pair_set();
         let h = self.cfg.hyper;
         let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);

@@ -146,7 +146,7 @@ impl DrRecommender {
 impl Recommender for DrRecommender {
     #[allow(clippy::too_many_lines)]
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let prop = fit_mar_propensity(ds, &self.cfg, rng);
         let observed_set = ds.train.pair_set();
         let density = ds.train.density();
@@ -283,8 +283,7 @@ impl Recommender for DrRecommender {
                 } else {
                     // Constant pseudo-label: exponential moving average of
                     // the observed ratings.
-                    let batch_mean =
-                        b.ratings.iter().sum::<f64>() / b.ratings.len().max(1) as f64;
+                    let batch_mean = b.ratings.iter().sum::<f64>() / b.ratings.len().max(1) as f64;
                     self.const_imp = 0.9 * self.const_imp + 0.1 * batch_mean;
                 }
             }
@@ -307,10 +306,10 @@ impl Recommender for DrRecommender {
     fn n_parameters(&self) -> usize {
         // Prediction + propensity (+ imputation): Table II's 3× embedding
         // row for the learned-imputation variants.
-        let prop_params = self
-            .prop
-            .as_ref()
-            .map_or_else(|| self.model.n_parameters() / 2, LogisticMfPropensity::n_parameters);
+        let prop_params = self.prop.as_ref().map_or_else(
+            || self.model.n_parameters() / 2,
+            LogisticMfPropensity::n_parameters,
+        );
         self.model.n_parameters()
             + prop_params
             + self.imputation.as_ref().map_or(0, MfModel::n_parameters)

@@ -110,7 +110,7 @@ impl DtRecommender {
 impl Recommender for DtRecommender {
     #[allow(clippy::too_many_lines)]
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let observed_set = ds.train.pair_set();
         let density = ds.train.density();
         let h = self.cfg.hyper;
@@ -262,8 +262,7 @@ impl Recommender for DtRecommender {
     fn n_parameters(&self) -> usize {
         // Table II: DT-IPS's prediction embedding is *contained* in the
         // propensity embedding (1×); DT-DR adds the imputation model (2×).
-        self.model.n_parameters()
-            + self.imputation.as_ref().map_or(0, MfModel::n_parameters)
+        self.model.n_parameters() + self.imputation.as_ref().map_or(0, MfModel::n_parameters)
     }
 
     fn name(&self) -> &'static str {

@@ -51,8 +51,8 @@ impl IpsRecommender {
 
 impl Recommender for IpsRecommender {
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
-        // Stage 1: MAR propensity.
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
+                                    // Stage 1: MAR propensity.
         let prop = fit_mar_propensity(ds, &self.cfg, rng);
         // Stage 2: reweighted prediction model.
         let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);
@@ -100,10 +100,10 @@ impl Recommender for IpsRecommender {
         // Prediction MF + separate propensity MF: the paper's Table II
         // "2×" embedding row.
         self.model.n_parameters()
-            + self
-                .prop
-                .as_ref()
-                .map_or_else(|| self.model.n_parameters() / 2, LogisticMfPropensity::n_parameters)
+            + self.prop.as_ref().map_or_else(
+                || self.model.n_parameters() / 2,
+                LogisticMfPropensity::n_parameters,
+            )
     }
 
     fn name(&self) -> &'static str {

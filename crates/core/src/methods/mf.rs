@@ -37,7 +37,7 @@ impl MfRecommender {
 
 impl Recommender for MfRecommender {
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);
         let mut trace = Vec::with_capacity(self.cfg.epochs);
         for _ in 0..self.cfg.epochs {

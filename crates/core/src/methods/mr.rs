@@ -72,19 +72,15 @@ impl MrRecommender {
         self.heads
             .iter()
             .zip(&weights)
-            .map(|(h, w)| {
-                w / h
-                    .propensity(user, item, rating)
-                    .max(self.cfg.prop_clip)
-            })
+            .map(|(h, w)| w / h.propensity(user, item, rating).max(self.cfg.prop_clip))
             .sum()
     }
 }
 
 impl Recommender for MrRecommender {
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
-        // Build the candidate set.
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
+                                    // Build the candidate set.
         self.heads = vec![Box::new(ConstantPropensity::fit(ds))];
         let logistic = fit_mar_propensity(ds, &self.cfg, rng);
         self.heads.push(Box::new(logistic));

@@ -112,7 +112,7 @@ impl MultiTaskRecommender {
 impl Recommender for MultiTaskRecommender {
     #[allow(clippy::too_many_lines)]
     fn fit(&mut self, ds: &Dataset, rng: &mut StdRng) -> FitReport {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(r4): epoch wall-time telemetry only; never feeds the numerics
         let observed_set = ds.train.pair_set();
         let density = ds.train.density();
         let mut opt = Adam::with_config(self.cfg.lr, 0.9, 0.999, 1e-8, self.cfg.l2);
@@ -345,8 +345,7 @@ mod tests {
                 pairs.push((u, i));
             }
         }
-        let mean_ctr: f64 =
-            m.model.predict_ctr(&pairs).iter().sum::<f64>() / pairs.len() as f64;
+        let mean_ctr: f64 = m.model.predict_ctr(&pairs).iter().sum::<f64>() / pairs.len() as f64;
         assert!(
             (mean_ctr - ds.train.density()).abs() < 0.1,
             "mean CTR {mean_ctr} vs density {}",

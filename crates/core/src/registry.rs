@@ -120,12 +120,7 @@ impl Method {
 
 /// Builds an untrained model of the given method for a dataset.
 #[must_use]
-pub fn build(
-    method: Method,
-    ds: &Dataset,
-    cfg: &TrainConfig,
-    seed: u64,
-) -> Box<dyn Recommender> {
+pub fn build(method: Method, ds: &Dataset, cfg: &TrainConfig, seed: u64) -> Box<dyn Recommender> {
     match method {
         Method::Mf => Box::new(MfRecommender::new(ds, cfg, seed)),
         Method::Cvib => Box::new(CvibRecommender::new(ds, cfg, seed)),

@@ -61,12 +61,7 @@ impl Iterator for BatchIter<'_> {
 /// # Panics
 /// Panics on an empty space.
 #[must_use]
-pub fn uniform_pairs(
-    n_users: usize,
-    n_items: usize,
-    n: usize,
-    rng: &mut impl Rng,
-) -> Vec<Pair> {
+pub fn uniform_pairs(n_users: usize, n_items: usize, n: usize, rng: &mut impl Rng) -> Vec<Pair> {
     assert!(n_users > 0 && n_items > 0, "uniform_pairs: empty space");
     (0..n)
         .map(|_| {

@@ -112,7 +112,11 @@ mod tests {
     fn sample() -> InteractionLog {
         let mut log = InteractionLog::new(100, 200);
         for k in 0..50u32 {
-            log.push(Interaction::new(k % 100, (k * 3) % 200, f64::from(k) / 10.0));
+            log.push(Interaction::new(
+                k % 100,
+                (k * 3) % 200,
+                f64::from(k) / 10.0,
+            ));
         }
         log
     }
@@ -167,7 +171,10 @@ mod tests {
             decode_log(&bytes[..bytes.len() - 3]),
             Err(DecodeError::Truncated)
         ));
-        assert!(matches!(decode_log(&bytes[..10]), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            decode_log(&bytes[..10]),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

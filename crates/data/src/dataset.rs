@@ -103,11 +103,7 @@ mod tests {
 
     #[test]
     fn validate_accepts_consistent_dataset() {
-        let train = InteractionLog::from_interactions(
-            2,
-            2,
-            vec![Interaction::new(0, 0, 1.0)],
-        );
+        let train = InteractionLog::from_interactions(2, 2, vec![Interaction::new(0, 0, 1.0)]);
         let ds = Dataset {
             name: "tiny".into(),
             n_users: 2,

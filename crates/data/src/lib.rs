@@ -18,6 +18,8 @@
 //! preference and propensity matrices, which lets the test suite check
 //! estimator bias *exactly* (see `dt-estimators`).
 
+#![forbid(unsafe_code)]
+
 mod batch;
 mod binser;
 mod dataset;

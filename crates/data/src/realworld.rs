@@ -69,12 +69,19 @@ fn latent_world(m: usize, n: usize, rng: &mut StdRng) -> World {
         .add_col_broadcast(&ub)
         .add_row_broadcast(&ib);
     let mean = score.mean();
-    let std = score.map(|s| (s - mean) * (s - mean)).mean().sqrt().max(1e-12);
+    let std = score
+        .map(|s| (s - mean) * (s - mean))
+        .mean()
+        .sqrt()
+        .max(1e-12);
     let preference = score.map(|s| expit(1.2 * (s - mean) / std - 0.4));
     let ratings = Tensor::from_fn(m, n, |i, j| {
         f64::from(sample_bernoulli(preference.get(i, j), rng))
     });
-    World { preference, ratings }
+    World {
+        preference,
+        ratings,
+    }
 }
 
 /// Per-user self-selection: each user picks `k` distinct items with
@@ -105,12 +112,7 @@ fn self_select(
 /// Computes the per-pair MNAR selection propensity implied by repeating the
 /// weighted without-replacement draw; approximated by the normalised weight
 /// times the number of draws (exact in the small-k limit), clamped to 1.
-fn selection_propensity(
-    world: &World,
-    rating_effect: f64,
-    item_pop: &[f64],
-    k: usize,
-) -> Tensor {
+fn selection_propensity(world: &World, rating_effect: f64, item_pop: &[f64], k: usize) -> Tensor {
     let (m, n) = (world.ratings.rows(), world.ratings.cols());
     let mut p = Tensor::zeros(m, n);
     for i in 0..m {
@@ -127,11 +129,7 @@ fn selection_propensity(
 
 /// Marginalises the selection propensity over the rating distribution,
 /// producing the MAR propensity `P(o|x)`.
-fn marginal_propensity(
-    world: &World,
-    propensity_xr: &Tensor,
-    rating_effect: f64,
-) -> Tensor {
+fn marginal_propensity(world: &World, propensity_xr: &Tensor, rating_effect: f64) -> Tensor {
     let (m, n) = (propensity_xr.rows(), propensity_xr.cols());
     Tensor::from_fn(m, n, |i, j| {
         let eta = world.preference.get(i, j);
@@ -151,7 +149,9 @@ fn marginal_propensity(
 
 fn item_popularity(n: usize, rng: &mut StdRng) -> Vec<f64> {
     // Log-normal-ish popularity skew, as in real catalogues.
-    (0..n).map(|_| 0.8 * rng.gen::<f64>() + 0.6 * rng.gen::<f64>().powi(3)).collect()
+    (0..n)
+        .map(|_| 0.8 * rng.gen::<f64>() + 0.6 * rng.gen::<f64>().powi(3))
+        .collect()
 }
 
 /// COAT-like dataset: 290×300, 24 self-selected (MNAR) + 16 random (MAR)
@@ -191,7 +191,11 @@ pub fn kuairec_like(cfg: &RealWorldConfig) -> Dataset {
         let activity = 0.5 + 1.5 * rng.gen::<f64>();
         let k = ((per_user_base as f64) * activity) as usize;
         for j in self_select(&world, i, k, cfg.rating_effect, &pop, &mut rng) {
-            train.push(Interaction::new(i as u32, j as u32, world.ratings.get(i, j)));
+            train.push(Interaction::new(
+                i as u32,
+                j as u32,
+                world.ratings.get(i, j),
+            ));
         }
     }
 
@@ -202,7 +206,11 @@ pub fn kuairec_like(cfg: &RealWorldConfig) -> Dataset {
     let mut test = InteractionLog::new(m, n);
     for i in 0..bu {
         for j in 0..bi {
-            test.push(Interaction::new(i as u32, j as u32, world.ratings.get(i, j)));
+            test.push(Interaction::new(
+                i as u32,
+                j as u32,
+                world.ratings.get(i, j),
+            ));
         }
     }
 
@@ -247,14 +255,22 @@ fn build_selection_dataset(
     let mut train = InteractionLog::new(m, n);
     for i in 0..m {
         for j in self_select(&world, i, k_mnar, cfg.rating_effect, &pop, &mut rng) {
-            train.push(Interaction::new(i as u32, j as u32, world.ratings.get(i, j)));
+            train.push(Interaction::new(
+                i as u32,
+                j as u32,
+                world.ratings.get(i, j),
+            ));
         }
     }
 
     let mut test = InteractionLog::new(m, n);
     for i in 0..m {
         for j in rand::seq::index::sample(&mut rng, n, k_mar.min(n)) {
-            test.push(Interaction::new(i as u32, j as u32, world.ratings.get(i, j)));
+            test.push(Interaction::new(
+                i as u32,
+                j as u32,
+                world.ratings.get(i, j),
+            ));
         }
     }
 
@@ -327,11 +343,7 @@ mod tests {
         let t = ds.truth.unwrap();
         t.validate();
         // Realized-rating propensity differs from the marginal one.
-        let diff = t
-            .propensity_xr
-            .sub(&t.propensity_x)
-            .map(f64::abs)
-            .mean();
+        let diff = t.propensity_xr.sub(&t.propensity_x).map(f64::abs).mean();
         assert!(diff > 1e-3, "mean |p_xr − p_x| = {diff}");
     }
 

@@ -110,7 +110,9 @@ pub fn mechanism_dataset(mechanism: Mechanism, cfg: &MechanismConfig) -> Dataset
 
     // Standardize the score so effect sizes are comparable across configs.
     let mean = score.mean();
-    let std = (score.map(|s| (s - mean) * (s - mean)).mean()).sqrt().max(1e-12);
+    let std = (score.map(|s| (s - mean) * (s - mean)).mean())
+        .sqrt()
+        .max(1e-12);
     let z = score.map(|s| (s - mean) / std);
 
     let preference = z.map(expit);
@@ -141,8 +143,7 @@ pub fn mechanism_dataset(mechanism: Mechanism, cfg: &MechanismConfig) -> Dataset
     };
     let intercept = bisect_intercept(cfg.target_density, mean_prop);
 
-    let propensity_xr =
-        Tensor::from_fn(m, n, |i, j| expit(intercept + logit_wo_intercept(i, j)));
+    let propensity_xr = Tensor::from_fn(m, n, |i, j| expit(intercept + logit_wo_intercept(i, j)));
     let propensity_x = match mechanism {
         Mechanism::Mcar | Mechanism::Mar => propensity_xr.clone(),
         Mechanism::Mnar => Tensor::from_fn(m, n, |i, j| {

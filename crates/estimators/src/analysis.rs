@@ -42,7 +42,7 @@ impl PropensityKind {
         PropensityKind::Mnar,
     ];
 
-    /// Display label.
+    /// Display label, as used for the Table I row headings.
     #[must_use]
     pub fn label(&self) -> &'static str {
         match self {
@@ -52,17 +52,14 @@ impl PropensityKind {
         }
     }
 
-    /// Extracts the corresponding oracle propensity matrix.
+    /// Extracts the corresponding oracle propensity matrix — the MCAR /
+    /// MAR / MNAR mechanisms contrasted in Table I of the paper.
     #[must_use]
     pub fn oracle(&self, truth: &GroundTruth) -> Tensor {
         match self {
             PropensityKind::Mcar => {
                 let mean = truth.propensity_xr.mean();
-                Tensor::full(
-                    truth.propensity_xr.rows(),
-                    truth.propensity_xr.cols(),
-                    mean,
-                )
+                Tensor::full(truth.propensity_xr.rows(), truth.propensity_xr.cols(), mean)
             }
             PropensityKind::Mar => truth.propensity_x.clone(),
             PropensityKind::Mnar => truth.propensity_xr.clone(),
@@ -70,13 +67,13 @@ impl PropensityKind {
     }
 }
 
-/// `E[IPS]` over the missingness realisation.
+/// `E[IPS]` of the IPS estimator (eq. (3)) over the missingness realisation.
 #[must_use]
 pub fn expected_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
     errors.mul(true_prop).div(used_prop).mean()
 }
 
-/// `E[DR]` over the missingness realisation.
+/// `E[DR]` of the DR estimator (eq. (4)) over the missingness realisation.
 #[must_use]
 pub fn expected_dr(
     errors: &Tensor,
@@ -88,19 +85,22 @@ pub fn expected_dr(
     imputed.add(&corr).mean()
 }
 
-/// `E[naive]` (ratio-of-expectations approximation).
+/// `E[naive]` of the naive estimator (eq. (2)), as a ratio-of-expectations
+/// approximation.
 #[must_use]
 pub fn expected_naive(errors: &Tensor, true_prop: &Tensor) -> f64 {
     errors.mul(true_prop).sum() / true_prop.sum()
 }
 
-/// `|E[IPS] − ideal|`.
+/// Bias `|E[IPS] − ideal|` of the IPS estimator (eq. (3)) against the ideal
+/// loss (eq. (1)).
 #[must_use]
 pub fn bias_of_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
     (expected_ips(errors, true_prop, used_prop) - ideal(errors)).abs()
 }
 
-/// `|E[DR] − ideal|`.
+/// Bias `|E[DR] − ideal|` of the DR estimator (eq. (4)) against the ideal
+/// loss (eq. (1)).
 #[must_use]
 pub fn bias_of_dr(
     errors: &Tensor,
@@ -111,7 +111,8 @@ pub fn bias_of_dr(
     (expected_dr(errors, true_prop, used_prop, imputed) - ideal(errors)).abs()
 }
 
-/// `|E[naive] − ideal|`.
+/// Bias `|E[naive] − ideal|` of the naive estimator (eq. (2)) against the
+/// ideal loss (eq. (1)).
 #[must_use]
 pub fn bias_of_naive(errors: &Tensor, true_prop: &Tensor) -> f64 {
     (expected_naive(errors, true_prop) - ideal(errors)).abs()
@@ -127,8 +128,8 @@ pub struct BiasGrid {
 }
 
 impl BiasGrid {
-    /// Computes the grid for a generated dataset, using squared error of a
-    /// supplied prediction matrix against the realized ratings.
+    /// Computes the Table I bias grid for a generated dataset, using squared
+    /// error of a supplied prediction matrix against the realized ratings.
     ///
     /// # Panics
     /// Panics when the dataset has no ground truth.
@@ -137,6 +138,7 @@ impl BiasGrid {
         let truth = ds
             .truth
             .as_ref()
+            // lint: allow(r3): documented `# Panics` contract on `compute`
             .expect("BiasGrid: dataset has no ground truth");
         let errors = predictions.sub(&truth.ratings).map(|d| d * d);
         let ideal_loss = ideal(&errors);
@@ -151,14 +153,15 @@ impl BiasGrid {
         Self { rows, ideal_loss }
     }
 
-    /// Whether the given propensity kind yields (near-)unbiasedness, at a
-    /// relative tolerance.
+    /// Whether the given propensity kind yields (near-)unbiasedness at a
+    /// relative tolerance — the ✓/✗ verdicts of Table I (Lemmas 1–2).
     #[must_use]
     pub fn is_unbiased(&self, kind: PropensityKind, rel_tol: f64) -> bool {
         self.rows
             .iter()
             .find(|(k, _, _)| *k == kind)
             .map(|(_, _, rel)| *rel < rel_tol)
+            // lint: allow(r3): `rows` is built from `PropensityKind::ALL`, so every kind is present
             .expect("kind always present")
     }
 }
@@ -288,8 +291,8 @@ mod tests {
 // Estimator variance (the MRDR / Stable-DR motivation, measured)
 // ---------------------------------------------------------------------------
 
-/// Exact variance of the IPS estimator over the missingness realisation:
-/// with independent `o ~ Bern(p)`,
+/// Exact variance of the IPS estimator (eq. (3)) over the missingness
+/// realisation: with independent `o ~ Bern(p)`,
 /// `Var[IPS] = (1/|D|²) Σ p(1−p)·(e/p̂)²`.
 #[must_use]
 pub fn variance_of_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) -> f64 {
@@ -301,8 +304,8 @@ pub fn variance_of_ips(errors: &Tensor, true_prop: &Tensor, used_prop: &Tensor) 
     term.sum() / (n * n)
 }
 
-/// Exact variance of the DR estimator: only the correction term is random,
-/// so `Var[DR] = (1/|D|²) Σ p(1−p)·((e − ê)/p̂)²`.
+/// Exact variance of the DR estimator (eq. (4)): only the correction term
+/// is random, so `Var[DR] = (1/|D|²) Σ p(1−p)·((e − ê)/p̂)²`.
 #[must_use]
 pub fn variance_of_dr(
     errors: &Tensor,
@@ -362,8 +365,8 @@ mod variance_tests {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / n_trials as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / (n_trials - 1) as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n_trials - 1) as f64;
         assert!(
             (var - analytic).abs() / analytic < 0.25,
             "MC var {var:.3e} vs analytic {analytic:.3e}"

@@ -41,8 +41,8 @@ pub fn ips(errors: &Tensor, observed: &Tensor, propensities: &Tensor) -> f64 {
     errors.mul(observed).div(propensities).mean()
 }
 
-/// IPS with propensity clipping `max(p̂, clip)` — the standard
-/// variance-control device.
+/// The IPS estimator of eq. (3) with propensity clipping `max(p̂, clip)` —
+/// the standard variance-control device.
 ///
 /// # Panics
 /// Panics when `clip` is not positive.
@@ -52,7 +52,8 @@ pub fn ips_clipped(errors: &Tensor, observed: &Tensor, propensities: &Tensor, cl
     ips(errors, observed, &propensities.clamp(clip, f64::INFINITY))
 }
 
-/// The self-normalised IPS estimator `Σ(o·e/p̂) / Σ(o/p̂)`.
+/// The self-normalised variant `Σ(o·e/p̂) / Σ(o/p̂)` of the IPS estimator
+/// of eq. (3).
 ///
 /// # Panics
 /// Panics when nothing is observed.

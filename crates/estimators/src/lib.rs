@@ -18,6 +18,8 @@
 //! * SNIPS: `Σ o·e/p̂ / Σ o/p̂`
 //! * DR: `(1/|D|) Σ [ê + o·(e − ê)/p̂]`
 
+#![forbid(unsafe_code)]
+
 mod analysis;
 mod estimator;
 

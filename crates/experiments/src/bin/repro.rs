@@ -99,7 +99,10 @@ fn main() -> ExitCode {
             eprintln!("failed to write results for {id}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("== {id} done in {secs:.1}s → {}/{id}.md ==\n", out.display());
+        eprintln!(
+            "== {id} done in {secs:.1}s → {}/{id}.md ==\n",
+            out.display()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -82,11 +82,7 @@ pub fn ascii_chart(table: &Table, height: usize) -> String {
     out.push('\n');
     // Legend.
     for (si, row) in table.rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {} = {}\n",
-            MARKS[si % MARKS.len()],
-            row.label
-        ));
+        out.push_str(&format!("  {} = {}\n", MARKS[si % MARKS.len()], row.label));
     }
     out.push_str("```\n");
     out
@@ -119,10 +115,7 @@ mod tests {
     #[test]
     fn monotone_series_has_marks_on_distinct_rows() {
         let chart = ascii_chart(&sample(), 8);
-        let plot_lines: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let plot_lines: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         // The rising series' marks must not all share a row.
         let rows_with_o: usize = plot_lines.iter().filter(|l| l.contains('o')).count();
         assert!(rows_with_o >= 2, "{chart}");

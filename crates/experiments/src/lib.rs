@@ -14,10 +14,23 @@
 //! couple of minutes on one laptop core (used by CI and the benches);
 //! `Paper` restores the paper's dataset dimensions.
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod report;
 pub mod runners;
 pub mod sweep;
+
+/// Progress telemetry for the long runners: one line to stderr per unit of
+/// work. Unlike `eprintln!` this swallows a closed-pipe error instead of
+/// panicking, and it keeps console printing out of library code (lint R5).
+macro_rules! progress {
+    ($($arg:tt)*) => {{
+        use ::std::io::Write as _;
+        let _ = ::std::writeln!(::std::io::stderr().lock(), $($arg)*);
+    }};
+}
+pub(crate) use progress;
 
 pub use chart::ascii_chart;
 pub use report::{Table, TableSet};

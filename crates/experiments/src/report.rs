@@ -190,6 +190,7 @@ impl TableSet {
         for t in &self.tables {
             fs::write(dir.join(format!("{stem}-{}.csv", t.id)), t.csv())?;
         }
+        // lint: allow(r3): serialising plain Vec/f64 tables is infallible
         let json = serde_json::to_string_pretty(self).expect("tables serialise");
         fs::write(dir.join(format!("{stem}.json")), json)?;
         Ok(())

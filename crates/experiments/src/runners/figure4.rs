@@ -70,7 +70,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
         .flat_map(|&beta| (0..datasets.len()).map(move |k| (beta, k)))
         .collect();
     let results = run_sweep(jobs, 0, |&(beta, k)| {
-        eprintln!("[figure4] beta = {beta} on {}", short_name(&datasets[k]));
+        crate::progress!("[figure4] beta = {beta} on {}", short_name(&datasets[k]));
         let cfg = TrainConfig {
             hyper: Hyper { beta, ..base.hyper },
             ..base
@@ -90,6 +90,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
     for &beta in &BETAS {
         let mut row = Vec::new();
         for k in 0..datasets.len() {
+            // lint: allow(r3): the sweep returns exactly one result per submitted job
             let (auc, ndcg, trace) = it.next().expect("one result per job");
             row.push(auc);
             row.push(ndcg);

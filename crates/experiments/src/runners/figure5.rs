@@ -45,7 +45,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
         );
 
         for method in METHODS {
-            eprintln!("[figure5] {name} {}", method.label());
+            crate::progress!("[figure5] {name} {}", method.label());
             let mut row = Vec::new();
             for &frac in &KEEP_FRACTIONS {
                 let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5AA5);

@@ -59,7 +59,10 @@ pub fn run(opts: &RunOptions) -> TableSet {
     let gap_without_z = sample.log_likelihood(&gen) - sample.log_likelihood(&mimic);
 
     let gen_z = SeparableLogisticModel { alpha: 1.2, ..gen };
-    let mimic_z = SeparableLogisticModel { alpha: 1.2, ..mimic };
+    let mimic_z = SeparableLogisticModel {
+        alpha: 1.2,
+        ..mimic
+    };
     let sample_z = gen_z.sample(n, &mut StdRng::seed_from_u64(opts.seed + 1));
     let gap_with_z = sample_z.log_likelihood(&gen_z) - sample_z.log_likelihood(&mimic_z);
 
@@ -78,10 +81,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
         "Theorem 1 — separable-logistic MLE recovery (absolute errors)",
         &["c", "alpha", "beta", "pi"],
     );
-    rec.push_row(
-        "true",
-        vec![gen_z.c, gen_z.alpha, gen_z.beta, gen_z.pi],
-    );
+    rec.push_row("true", vec![gen_z.c, gen_z.alpha, gen_z.beta, gen_z.pi]);
     rec.push_row(
         "fitted",
         vec![fitted.c, fitted.alpha, fitted.beta, fitted.pi],
@@ -107,11 +107,21 @@ mod tests {
     fn identify_run_tells_the_right_story() {
         let set = run(&RunOptions::default());
         let ex1 = set.get("identify-example1").unwrap();
-        assert!(ex1.cell("models (a) vs (b)", "max observed-density gap").unwrap() < 1e-12);
+        assert!(
+            ex1.cell("models (a) vs (b)", "max observed-density gap")
+                .unwrap()
+                < 1e-12
+        );
         assert!(ex1.cell("models (a) vs (b)", "max propensity gap").unwrap() > 0.9);
 
         let mimic = set.get("identify-mimic").unwrap();
-        assert!(mimic.cell("LL(truth) − LL(MAR mimic)", "without z").unwrap().abs() < 1e-9);
+        assert!(
+            mimic
+                .cell("LL(truth) − LL(MAR mimic)", "without z")
+                .unwrap()
+                .abs()
+                < 1e-9
+        );
         assert!(mimic.cell("LL(truth) − LL(MAR mimic)", "with z").unwrap() > 0.01);
 
         let rec = set.get("identify-recovery").unwrap();

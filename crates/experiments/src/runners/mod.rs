@@ -37,6 +37,7 @@ pub fn run(id: &str, opts: &RunOptions) -> TableSet {
         "figure4" => figure4::run(opts),
         "figure5" => figure5::run(opts),
         "identify" => identify::run(opts),
+        // lint: allow(r3): CLI dispatch — an unknown name is a usage error surfaced to the user
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

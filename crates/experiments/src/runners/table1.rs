@@ -42,6 +42,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
         );
         // A fixed imperfect prediction model (errors correlate with
         // ratings, as any real model's do).
+        // lint: allow(r3): the generator always attaches ground truth
         let truth = ds.truth.as_ref().expect("generated dataset");
         let predictions = truth.preference.map(|p| 0.8 * p + 0.1);
         let grid = BiasGrid::compute(&ds, &predictions);
@@ -51,6 +52,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
                 .iter()
                 .find(|(k, _, _)| *k == kind)
                 .map(|(_, _, rel)| *rel)
+                // lint: allow(r3): BiasGrid rows cover PropensityKind::ALL
                 .expect("kind present");
             cells[row][col] = rel;
         }

@@ -26,7 +26,13 @@ pub const RHOS: [f64; 5] = [0.5, 0.75, 1.0, 1.25, 1.5];
 /// per user with the realized binary conversions as relevance (users are
 /// strided down to at most `max_users` for tractability).
 #[must_use]
-pub fn semi_eval(model: &dyn Recommender, ds: &Dataset, k: usize, max_users: usize) -> (f64, f64, f64) {
+pub fn semi_eval(
+    model: &dyn Recommender,
+    ds: &Dataset,
+    k: usize,
+    max_users: usize,
+) -> (f64, f64, f64) {
+    // lint: allow(r3): semi-synthetic datasets always carry ground truth
     let truth = ds.truth.as_ref().expect("semi-synthetic ground truth");
     let stride = (ds.n_users / max_users).max(1);
     let mut se = 0.0;
@@ -53,7 +59,11 @@ pub fn semi_eval(model: &dyn Recommender, ds: &Dataset, k: usize, max_users: usi
     (
         se / n_cells,
         ae / n_cells,
-        if ndcg_n == 0 { f64::NAN } else { ndcg_sum / ndcg_n as f64 },
+        if ndcg_n == 0 {
+            f64::NAN
+        } else {
+            ndcg_sum / ndcg_n as f64
+        },
     )
 }
 

@@ -37,7 +37,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
         vec![vec![Vec::new(); datasets.len()]; Method::ALL.len()];
 
     for (mi, method) in Method::ALL.into_iter().enumerate() {
-        eprintln!("[table4] {}", method.label());
+        crate::progress!("[table4] {}", method.label());
         let mut row = Vec::new();
         for (di, ds) in datasets.iter().enumerate() {
             let mut mean = (0.0, 0.0, 0.0);
@@ -86,6 +86,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
                     .max_by(|&a, &b| {
                         mean(&auc_samples[a][di]).total_cmp(&mean(&auc_samples[b][di]))
                     })
+                    // lint: allow(r3): Method::ALL minus the DT methods is never empty
                     .expect("non-empty method set");
                 let t = paired_t_test(&auc_samples[dt_i][di], &auc_samples[best][di]);
                 cells.push(t.p_value);

@@ -36,11 +36,15 @@ pub fn run(opts: &RunOptions) -> TableSet {
         for (beta_on, gamma_on) in [(false, false), (false, true), (true, false), (true, true)] {
             let label = format!(
                 "{} β={} γ={}",
-                if variant == DtVariant::Ips { "DT-IPS" } else { "DT-DR" },
+                if variant == DtVariant::Ips {
+                    "DT-IPS"
+                } else {
+                    "DT-DR"
+                },
                 if beta_on { "on" } else { "off" },
                 if gamma_on { "on" } else { "off" },
             );
-            eprintln!("[table5] {label}");
+            crate::progress!("[table5] {label}");
             let mut row = Vec::new();
             for ds in &datasets {
                 let mut model = DtRecommender::new(ds, &cfg, variant, opts.seed);

@@ -47,7 +47,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
     );
 
     for method in METHODS {
-        eprintln!("[table6] {}", method.label());
+        crate::progress!("[table6] {}", method.label());
         let mut row = Vec::new();
         for ds in &datasets {
             let mut model = registry::build(method, ds, &cfg, opts.seed);
@@ -59,7 +59,7 @@ pub fn run(opts: &RunOptions) -> TableSet {
             let pairs: Vec<(usize, usize)> = (0..n_probe)
                 .map(|k| (k % ds.n_users, (k * 7919) % ds.n_items))
                 .collect();
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // lint: allow(r4): Table VI measures wall-clock training time; timing is the experiment
             let preds = model.predict(&pairs);
             let micros = t0.elapsed().as_secs_f64() * 1e6 / preds.len() as f64;
 

@@ -24,7 +24,7 @@ pub struct CandidateModel {
 }
 
 impl CandidateModel {
-    /// Builds a candidate from closures.
+    /// Builds a candidate model for the condition (7) check from closures.
     #[must_use]
     pub fn new(
         selection: impl Fn(f64, f64) -> f64 + 'static,

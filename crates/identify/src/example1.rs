@@ -24,20 +24,22 @@ pub struct GaussianLogisticModel {
 }
 
 impl GaussianLogisticModel {
-    /// The MNAR propensity `P(o = 1 | r)`.
+    /// The MNAR propensity `P(o = 1 | r) = σ(a + b·r)` of Example 1.
     #[must_use]
     pub fn propensity(&self, r: f64) -> f64 {
         expit(self.a + self.b * r)
     }
 
-    /// The outcome density `P(r)` (standard-normal shape around `mean`).
+    /// The outcome density `P(r)` of Example 1 (standard-normal shape
+    /// around `mean`).
     #[must_use]
     pub fn outcome_density(&self, r: f64) -> f64 {
         normal_pdf(r - self.mean)
     }
 }
 
-/// The observed-data density `P(o = 1, r) = P(o = 1 | r) · P(r)`.
+/// The observed-data density `P(o = 1, r) = P(o = 1 | r) · P(r)` — the
+/// quantity Example 1 shows is shared by both models.
 #[must_use]
 pub fn observed_density(model: &GaussianLogisticModel, r: f64) -> f64 {
     model.propensity(r) * model.outcome_density(r)

@@ -16,6 +16,8 @@
 //!   parameters — including the rating coefficient `β` that drives the
 //!   MNAR propensity.
 
+#![forbid(unsafe_code)]
+
 pub mod condition;
 pub mod example1;
 pub mod separable_mle;

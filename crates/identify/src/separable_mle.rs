@@ -37,13 +37,15 @@ pub struct SeparableLogisticModel {
 }
 
 impl SeparableLogisticModel {
-    /// The selection propensity.
+    /// The separable selection propensity `σ(c + α·z + β·r)` of
+    /// Assumption 1.
     #[must_use]
     pub fn propensity(&self, z: f64, r: f64) -> f64 {
         expit(self.c + self.alpha * z + self.beta * r)
     }
 
-    /// Samples a dataset of `n` units.
+    /// Samples a dataset of `n` units from the Theorem 1 world:
+    /// `z ~ N(0,1)`, `r ~ Bern(π)`, `o` from the separable propensity.
     #[must_use]
     pub fn sample(&self, n: usize, rng: &mut impl Rng) -> MnarSample {
         let mut z = Vec::with_capacity(n);
@@ -80,18 +82,20 @@ pub struct MnarSample {
 impl MnarSample {
     /// Number of units.
     #[must_use]
+    // lint: allow(r6): size accessor, no paper construct to cite
     pub fn len(&self) -> usize {
         self.z.len()
     }
 
     /// Returns `true` for an empty sample.
     #[must_use]
+    // lint: allow(r6): size accessor, no paper construct to cite
     pub fn is_empty(&self) -> bool {
         self.z.is_empty()
     }
 
-    /// Observed-data log-likelihood of a candidate model (averaged per
-    /// unit, for scale stability).
+    /// Observed-data log-likelihood of a candidate model under Theorem 1's
+    /// separable mechanism (averaged per unit, for scale stability).
     #[must_use]
     pub fn log_likelihood(&self, m: &SeparableLogisticModel) -> f64 {
         let mut ll = 0.0;
@@ -111,9 +115,9 @@ impl MnarSample {
     }
 }
 
-/// Fits the separable logistic model by gradient ascent on the observed
-/// log-likelihood (numeric central-difference gradients over the four
-/// parameters, with `π` optimised on the logit scale).
+/// Fits the separable logistic model of Theorem 1 by gradient ascent on
+/// the observed log-likelihood (numeric central-difference gradients over
+/// the four parameters, with `π` optimised on the logit scale).
 ///
 /// # Panics
 /// Panics on an empty sample.
@@ -185,12 +189,7 @@ mod tests {
         }
         // Positives should be over-represented among observed units
         // (beta > 0): the MNAR signature.
-        let obs_pos = s
-            .r
-            .iter()
-            .flatten()
-            .filter(|&&r| r)
-            .count() as f64
+        let obs_pos = s.r.iter().flatten().filter(|&&r| r).count() as f64
             / s.o.iter().filter(|&&o| o).count() as f64;
         assert!(obs_pos > 0.5, "observed positive rate {obs_pos} vs π = 0.4");
     }

@@ -1,0 +1,271 @@
+//! The `lint.toml` allowlist: every exemption from a workspace invariant is
+//! written down here and reviewed like code.
+//!
+//! The registry being unreachable rules out a real TOML crate, so this
+//! module hand-parses the small subset the allowlist needs:
+//!
+//! ```toml
+//! # comment
+//! [section]
+//! key = ["value", "value"]   # string arrays, single- or multi-line
+//! other = "value"            # bare strings
+//! ```
+//!
+//! Unknown sections or keys are an error — a typo in an exemption must not
+//! silently widen the gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation problem in `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending entry (0 when unknown).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// The resolved rule configuration: path prefixes and crate scopes for
+/// rules R1–R6. Paths are workspace-relative with forward slashes; a
+/// trailing `/` marks a directory prefix.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Paths never walked at all (e.g. lint rule fixtures, which contain
+    /// deliberate violations).
+    pub skip: Vec<String>,
+    /// R1: path prefixes where `unsafe` is permitted.
+    pub r1_allow: Vec<String>,
+    /// R2: path prefixes where thread spawning is permitted.
+    pub r2_allow: Vec<String>,
+    /// R3: crate directory names whose library sources must stay
+    /// panic-free.
+    pub r3_crates: Vec<String>,
+    /// R4: path prefixes where wall-clock reads are permitted.
+    pub r4_wallclock_allow: Vec<String>,
+    /// R5: crate directory names whose library sources may print to the
+    /// console.
+    pub r5_allow_crates: Vec<String>,
+    /// R6: crate directory names whose `pub fn`s must cite the paper.
+    pub r6_crates: Vec<String>,
+}
+
+impl Config {
+    /// Parses the configuration from `lint.toml` text.
+    ///
+    /// # Errors
+    /// Returns every malformed line, unknown section or unknown key.
+    pub fn parse(text: &str) -> Result<Self, Vec<ConfigError>> {
+        let raw = parse_toml_subset(text)?;
+        let mut cfg = Config::default();
+        let mut errors = Vec::new();
+        for ((section, key), (line, values)) in raw {
+            let dest = match (section.as_str(), key.as_str()) {
+                ("global", "skip") => &mut cfg.skip,
+                ("r1", "allow") => &mut cfg.r1_allow,
+                ("r2", "allow") => &mut cfg.r2_allow,
+                ("r3", "crates") => &mut cfg.r3_crates,
+                ("r4", "wallclock_allow") => &mut cfg.r4_wallclock_allow,
+                ("r5", "allow_crates") => &mut cfg.r5_allow_crates,
+                ("r6", "crates") => &mut cfg.r6_crates,
+                _ => {
+                    errors.push(ConfigError {
+                        line,
+                        message: format!("unknown entry [{section}] {key}"),
+                    });
+                    continue;
+                }
+            };
+            *dest = values;
+        }
+        if errors.is_empty() {
+            Ok(cfg)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// `true` when `rel_path` falls under any prefix in `list` (exact file
+    /// match or directory prefix).
+    #[must_use]
+    pub fn path_matches(rel_path: &str, list: &[String]) -> bool {
+        list.iter().any(|p| {
+            rel_path == p.trim_end_matches('/')
+                || rel_path.starts_with(p.trim_end_matches('/'))
+                    && rel_path[p.trim_end_matches('/').len()..].starts_with('/')
+        })
+    }
+}
+
+type RawEntries = BTreeMap<(String, String), (u32, Vec<String>)>;
+
+/// Parses `[section]` headers and `key = "…"` / `key = […]` entries.
+fn parse_toml_subset(text: &str) -> Result<RawEntries, Vec<ConfigError>> {
+    let mut out = RawEntries::new();
+    let mut errors = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw_line)) = lines.next() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw_line).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            errors.push(ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+            continue;
+        };
+        let key = key.trim().to_owned();
+        let mut value = value.trim().to_owned();
+        // Multi-line arrays: keep consuming until the closing bracket.
+        while value.starts_with('[') && !value.ends_with(']') {
+            match lines.next() {
+                Some((_, cont)) => {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                }
+                None => break,
+            }
+        }
+        match parse_value(&value) {
+            Ok(values) => {
+                if section.is_empty() {
+                    errors.push(ConfigError {
+                        line: line_no,
+                        message: format!("entry {key:?} before any [section]"),
+                    });
+                } else {
+                    out.insert((section.clone(), key), (line_no, values));
+                }
+            }
+            Err(message) => errors.push(ConfigError {
+                line: line_no,
+                message,
+            }),
+        }
+    }
+    if errors.is_empty() {
+        Ok(out)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Removes a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(part)?);
+        }
+        return Ok(items);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("expected a double-quoted string, got {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[global]
+skip = ["crates/lint/tests/fixtures/"]
+
+[r1]
+allow = [
+    "crates/parallel/src/pool.rs",  # the pool's lifetime erasure
+    "crates/tensor/",
+]
+
+[r3]
+crates = ["tensor", "optim"]
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::parse(SAMPLE).expect("sample parses");
+        assert_eq!(cfg.skip, vec!["crates/lint/tests/fixtures/"]);
+        assert_eq!(
+            cfg.r1_allow,
+            vec!["crates/parallel/src/pool.rs", "crates/tensor/"]
+        );
+        assert_eq!(cfg.r3_crates, vec!["tensor", "optim"]);
+        assert!(cfg.r6_crates.is_empty());
+    }
+
+    #[test]
+    fn unknown_entries_are_rejected() {
+        let err = Config::parse("[r1]\nalow = [\"typo\"]\n").expect_err("typo must fail");
+        assert_eq!(err.len(), 1);
+        assert!(err[0].message.contains("unknown entry"), "{err:?}");
+    }
+
+    #[test]
+    fn entries_need_a_section() {
+        let err = Config::parse("allow = [\"x\"]\n").expect_err("must fail");
+        assert!(err[0].message.contains("before any"), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_values_are_reported_with_lines() {
+        let err = Config::parse("[r1]\nallow = [unquoted]\n").expect_err("must fail");
+        assert_eq!(err[0].line, 2);
+    }
+
+    #[test]
+    fn path_prefix_matching() {
+        let list = vec![
+            "crates/tensor/".to_owned(),
+            "crates/parallel/src/pool.rs".to_owned(),
+        ];
+        assert!(Config::path_matches("crates/tensor/src/gemm.rs", &list));
+        assert!(Config::path_matches("crates/parallel/src/pool.rs", &list));
+        assert!(!Config::path_matches("crates/parallel/src/lib.rs", &list));
+        assert!(!Config::path_matches("crates/tensors/src/x.rs", &list));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[r1]\nallow = [\"a#b\"]\n").expect("parses");
+        assert_eq!(cfg.r1_allow, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,470 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `dt-lint` must run in environments where the crates.io registry is
+//! unreachable, so it cannot lean on `syn` or `clippy_utils`. The rules in
+//! [`crate::rules`] only need a *token-accurate* view of a source file —
+//! enough to tell an identifier from the inside of a string literal or a
+//! comment — not a parse tree. This lexer provides exactly that: it
+//! tokenises identifiers, punctuation, all Rust literal forms (strings, raw
+//! strings, byte strings, char literals, numbers) and comments (line,
+//! nested block, doc), attaching a 1-based line number to every token.
+//!
+//! It is intentionally forgiving: unterminated literals or comments at end
+//! of file produce a final token rather than an error, so a half-edited
+//! file still lints instead of crashing the gate.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `fn`, …).
+    Ident,
+    /// Single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// String literal, including byte strings (`"…"`, `b"…"`).
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (only coarse: digits plus ident-ish suffix).
+    Num,
+    /// Non-doc line comment (`// …`), text includes the `//`.
+    LineComment,
+    /// Doc line comment (`/// …` or `//! …`).
+    LineDoc,
+    /// Non-doc block comment (`/* … */`), nesting handled.
+    BlockComment,
+    /// Doc block comment (`/** … */` or `/*! … */`).
+    BlockDoc,
+}
+
+/// One token with its source text and 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source text, comment markers and quotes included.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for comment tokens of any flavour.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::LineDoc | TokKind::BlockComment | TokKind::BlockDoc
+        )
+    }
+
+    /// `true` for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    #[must_use]
+    pub fn is_doc(&self) -> bool {
+        matches!(self.kind, TokKind::LineDoc | TokKind::BlockDoc)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn slice(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consumes to end of line (exclusive of the newline).
+    fn eat_line(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a `/* … */` comment body (after the opener), nesting-aware.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.pos += 2;
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.pos += 2;
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    let _ = self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+    }
+
+    /// Consumes a quoted literal body after the opening quote, honouring
+    /// `\` escapes. `quote` is `"` or `'`.
+    fn eat_quoted(&mut self, quote: u8) {
+        while let Some(b) = self.bump() {
+            if b == b'\\' {
+                let _ = self.bump();
+            } else if b == quote {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a raw string body after the `r`/`br`, i.e. `#…#"…"#…#`.
+    fn eat_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.pos += 1;
+            hashes += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; tolerate
+        }
+        let _ = self.bump();
+        'body: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        continue 'body;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+    }
+
+    fn ident_like(b: u8) -> bool {
+        b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+    }
+}
+
+/// Tokenises `src`. Never fails: malformed input degrades to best-effort
+/// tokens so a broken file still produces findings instead of a crash.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        let start = lx.pos;
+        let line = lx.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                let _ = lx.bump();
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                let third = lx.peek(2);
+                // `////…` is a plain comment by rustdoc convention.
+                let doc = (third == Some(b'/') && lx.peek(3) != Some(b'/')) || third == Some(b'!');
+                lx.eat_line();
+                out.push(Token {
+                    kind: if doc {
+                        TokKind::LineDoc
+                    } else {
+                        TokKind::LineComment
+                    },
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                let third = lx.peek(2);
+                // `/**/` is empty, not doc; `/***` is plain by convention.
+                let doc =
+                    (third == Some(b'*') && lx.peek(3) != Some(b'*') && lx.peek(3) != Some(b'/'))
+                        || third == Some(b'!');
+                lx.pos += 2;
+                lx.eat_block_comment();
+                out.push(Token {
+                    kind: if doc {
+                        TokKind::BlockDoc
+                    } else {
+                        TokKind::BlockComment
+                    },
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+            b'"' => {
+                let _ = lx.bump();
+                lx.eat_quoted(b'"');
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+            b'\'' => {
+                let _ = lx.bump();
+                // Distinguish lifetimes from char literals: `'ident` not
+                // closed by `'` is a lifetime; everything else is a char.
+                if lx.peek(0).is_some_and(Lexer::ident_like) && lx.peek(0) != Some(b'\\') {
+                    let mut k = 1;
+                    while lx.peek(k).is_some_and(Lexer::ident_like) {
+                        k += 1;
+                    }
+                    if lx.peek(k) == Some(b'\'') {
+                        lx.pos += k + 1;
+                        out.push(Token {
+                            kind: TokKind::Char,
+                            text: lx.slice(start),
+                            line,
+                        });
+                    } else {
+                        lx.pos += k;
+                        out.push(Token {
+                            kind: TokKind::Lifetime,
+                            text: lx.slice(start),
+                            line,
+                        });
+                    }
+                } else {
+                    lx.eat_quoted(b'\'');
+                    out.push(Token {
+                        kind: TokKind::Char,
+                        text: lx.slice(start),
+                        line,
+                    });
+                }
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(&lx) => {
+                // r"…", r#"…"#, b"…", br"…", b'…'
+                let mut k = 1;
+                if b == b'b' && lx.peek(1) == Some(b'r') {
+                    k = 2;
+                }
+                let quote_or_hash = lx.peek(k);
+                lx.pos += k;
+                match quote_or_hash {
+                    Some(b'\'') => {
+                        let _ = lx.bump();
+                        lx.eat_quoted(b'\'');
+                        out.push(Token {
+                            kind: TokKind::Char,
+                            text: lx.slice(start),
+                            line,
+                        });
+                    }
+                    Some(b'"') if k == 1 && b == b'b' => {
+                        let _ = lx.bump();
+                        lx.eat_quoted(b'"');
+                        out.push(Token {
+                            kind: TokKind::Str,
+                            text: lx.slice(start),
+                            line,
+                        });
+                    }
+                    _ => {
+                        lx.eat_raw_string();
+                        out.push(Token {
+                            kind: TokKind::RawStr,
+                            text: lx.slice(start),
+                            line,
+                        });
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                while lx
+                    .peek(0)
+                    .is_some_and(|c| Lexer::ident_like(c) || c == b'.')
+                {
+                    // `1..2` range: stop before `..`.
+                    if lx.peek(0) == Some(b'.') && lx.peek(1) == Some(b'.') {
+                        break;
+                    }
+                    lx.pos += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Num,
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+            _ if Lexer::ident_like(b) => {
+                while lx.peek(0).is_some_and(Lexer::ident_like) {
+                    lx.pos += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+            _ => {
+                let _ = lx.bump();
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: lx.slice(start),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the `r`/`b` at the cursor starts a literal rather than an
+/// identifier (`radius`, `beta`, …).
+fn is_raw_or_byte_literal(lx: &Lexer<'_>) -> bool {
+    let b = lx.peek(0);
+    match (b, lx.peek(1)) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(lx.peek(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("foo.unwrap()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe { panic!() }";"#);
+        assert!(toks.iter().all(|(_, t)| t != "unsafe" && t != "panic"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStr));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        // The `b` prefix must not leak as an identifier.
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Ident && t == "b")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn doc_comment_flavours() {
+        let toks = lex(
+            "/// doc\n//! inner\n// plain\n//// four\n/** blockdoc */\n/*! inner */\n/* plain */",
+        );
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::LineDoc,
+                TokKind::LineDoc,
+                TokKind::LineComment,
+                TokKind::LineComment,
+                TokKind::BlockDoc,
+                TokKind::BlockDoc,
+                TokKind::BlockComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("a\nb\n\nc /* x\ny */ d");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("c"), Some(4));
+        assert_eq!(find("d"), Some(5));
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let toks = kinds("1.5 + 2e3 - 0xff_u32; for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "0xff_u32"));
+        // `0..10` splits into two numbers around the range punct.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        let _ = lex("\"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("r#\"unterminated");
+        let _ = lex("'");
+    }
+}

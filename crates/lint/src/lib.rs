@@ -1,0 +1,101 @@
+//! # dt-lint
+//!
+//! Std-only static analysis for the disrec workspace: a hand-rolled Rust
+//! lexer, a token-stream rule engine, and a workspace walker that together
+//! enforce the repo's reproducibility invariants (see DESIGN.md §9):
+//!
+//! * **R1** — `unsafe` only in the audited modules,
+//! * **R2** — all parallelism rides the shared `dt-parallel` pool,
+//! * **R3** — no panicking shortcuts in library hot paths,
+//! * **R4** — no unseeded randomness or stray wall-clock reads,
+//! * **R5** — no console printing from library code,
+//! * **R6** — estimator/identifiability APIs cite the paper construct they
+//!   implement.
+//!
+//! The paper's DT-IPS/DT-DR results hinge on bit-identical reruns; these
+//! rules keep nondeterminism and panic shortcuts from sneaking back in as
+//! the workspace grows. Exemptions live in the committed `lint.toml` and in
+//! per-line `// lint: allow(rN): why` annotations, so every waiver is
+//! reviewed like code.
+//!
+//! The registry is intentionally out of reach (builds must work offline),
+//! so there is no `syn`, no `clippy_utils`, no TOML crate — everything here
+//! is `std` plus the lexer in [`lexer`].
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p dt-lint              # human-readable report + LINT_report.json
+//! cargo run -p dt-lint -- --deny-warnings   # CI gate: warnings also fail
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+use std::io;
+use std::path::Path;
+
+pub use config::{Config, ConfigError};
+pub use report::{Finding, Report, Severity};
+
+/// Name of the allowlist file at the workspace root.
+pub const CONFIG_FILE: &str = "lint.toml";
+
+/// Name of the JSON report written at the workspace root.
+pub const REPORT_FILE: &str = "LINT_report.json";
+
+/// Lints every source file under `root` with the given configuration.
+/// The returned report is sorted into canonical order.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk or unreadable files.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    let files = walker::walk(root, config)?;
+    let mut report = Report {
+        findings: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs)?;
+        report
+            .findings
+            .extend(rules::lint_source(&file.rel, &src, config));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Reads and parses `lint.toml` under `root`.
+///
+/// # Errors
+/// Returns the parse/validation errors, or an I/O failure as a single
+/// pseudo-error.
+pub fn load_config(root: &Path) -> Result<Config, Vec<ConfigError>> {
+    let path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        vec![ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        }]
+    })?;
+    Config::parse(&text)
+}
+
+/// Walks upward from `start` to the first directory containing `lint.toml`
+/// (the workspace root).
+#[must_use]
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join(CONFIG_FILE).is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

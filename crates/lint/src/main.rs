@@ -1,0 +1,128 @@
+//! The `dt-lint` binary: walks the workspace, applies R1–R6, prints the
+//! human-readable findings and writes `LINT_report.json`.
+//!
+//! Exit status: `0` when the gate passes, `1` on findings (errors always;
+//! warnings too under `--deny-warnings`), `2` on usage or I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dt_lint::{find_root, load_config, run, REPORT_FILE};
+
+const USAGE: &str = "\
+dt-lint: workspace invariant analyzer (see DESIGN.md section 9)
+
+USAGE:
+    dt-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>       workspace root (default: nearest ancestor with lint.toml)
+    --deny-warnings    exit nonzero on warnings (R6) as well as errors
+    --json <FILE>      write the JSON report here (default: <root>/LINT_report.json)
+    --no-json          skip writing the JSON report
+    --quiet            suppress the per-finding listing, keep the summary
+    -h, --help         show this help
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    deny_warnings: bool,
+    json: Option<PathBuf>,
+    no_json: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        deny_warnings: false,
+        json: None,
+        no_json: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json needs a path")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--no-json" => opts.no_json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dt-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts
+        .root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("dt-lint: no lint.toml found above the current directory; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = match load_config(&root) {
+        Ok(c) => c,
+        Err(errors) => {
+            for e in errors {
+                eprintln!("dt-lint: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dt-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.no_json {
+        let path = opts.json.unwrap_or_else(|| root.join(REPORT_FILE));
+        if let Err(e) = std::fs::write(&path, report.json()) {
+            eprintln!("dt-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.quiet {
+        let human = report.human();
+        if let Some(summary) = human.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{}", report.human());
+    }
+
+    if report.fails(opts.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,234 @@
+//! Findings, severities and the two output formats (human, JSON).
+//!
+//! The JSON writer is hand-rolled (std-only) and emits a stable,
+//! deterministic document — findings are sorted by path, line and rule —
+//! so `LINT_report.json` diffs cleanly across runs.
+
+use std::fmt;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the gate only under `--deny-warnings` (documentation rules).
+    Warning,
+    /// Always fails the gate (invariant violations).
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case label used in both output formats.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Deny => "error",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (`r1` … `r6`).
+    pub rule: &'static str,
+    /// Gate behaviour of the rule.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.severity.label(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The result of linting a workspace: all findings plus file statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical (path, line, rule) order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Count of findings that always gate.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Count of findings that gate only under `--deny-warnings`.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// `true` when the gate should fail.
+    #[must_use]
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Renders the human-readable listing (one line per finding plus a
+    /// summary tail).
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "dt-lint: {} file(s) scanned, {} error(s), {} warning(s)\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Renders the `LINT_report.json` document.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"severity\": {}, ", json_str(f.severity.label())));
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &'static str, severity: Severity) -> Finding {
+        Finding {
+            rule,
+            severity,
+            path: path.to_owned(),
+            line,
+            message: format!("violation of {rule}"),
+        }
+    }
+
+    #[test]
+    fn sort_is_by_path_line_rule() {
+        let mut r = Report {
+            findings: vec![
+                finding("b.rs", 2, "r1", Severity::Deny),
+                finding("a.rs", 9, "r5", Severity::Deny),
+                finding("a.rs", 9, "r3", Severity::Deny),
+            ],
+            files_scanned: 2,
+        };
+        r.sort();
+        let order: Vec<_> = r
+            .findings
+            .iter()
+            .map(|f| (f.path.as_str(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("a.rs", 9, "r3"), ("a.rs", 9, "r5"), ("b.rs", 2, "r1")]
+        );
+    }
+
+    #[test]
+    fn gate_logic_distinguishes_warnings() {
+        let r = Report {
+            findings: vec![finding("a.rs", 1, "r6", Severity::Warning)],
+            files_scanned: 1,
+        };
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        let clean = Report::default();
+        assert!(!clean.fails(true));
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "r5",
+                severity: Severity::Deny,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "found `println!(\"hi\\n\")`".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = r.json();
+        assert!(j.contains(r#""rule": "r5""#), "{j}");
+        assert!(j.contains(r#"\"hi\\n\""#), "{j}");
+        assert!(j.contains("\"errors\": 1"), "{j}");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let j = Report::default().json();
+        assert!(j.contains("\"findings\": []"), "{j}");
+    }
+}

@@ -1,0 +1,702 @@
+//! The rule engine: R1–R6 over a token stream.
+//!
+//! Each rule scans the lexed tokens of one file, scoped by the file's
+//! [`Role`], its crate, and the `lint.toml` allowlists:
+//!
+//! * **R1** `unsafe` only inside the audited allowlist.
+//! * **R2** no `thread::spawn`/`thread::Builder`/`rayon` outside
+//!   `dt-parallel` — parallelism must ride the shared pool so the
+//!   nested-parallelism guard holds.
+//! * **R3** no `.unwrap()`/`.expect()`/`panic!` in the library sources of
+//!   the configured crates.
+//! * **R4** no unseeded randomness (`thread_rng`, `from_entropy`) in any
+//!   library source, and no wall-clock reads (`Instant::now`,
+//!   `SystemTime::now`) outside the allowlisted timing modules.
+//! * **R5** no `println!`/`eprintln!`/`print!`/`eprint!` in library
+//!   sources outside the allowlisted reporter crates.
+//! * **R6** every `pub fn` in the configured crates carries a doc comment
+//!   citing the paper construct it implements (equation, lemma, theorem,
+//!   …). R6 findings are warnings; R1–R5 are errors.
+//!
+//! Two exemption mechanisms apply everywhere: code under a `#[test]` /
+//! `#[cfg(test)]` item, and lines annotated
+//! `// lint: allow(rN): justification` (the annotation covers its own line
+//! and the next — use it trailing or immediately above the construct).
+
+use crate::config::Config;
+use crate::lexer::{lex, TokKind, Token};
+use crate::report::{Finding, Severity};
+use crate::walker::{classify, crate_of, Role};
+
+/// Doc-comment substrings (lower-cased) accepted by R6 as a citation of a
+/// paper construct.
+const R6_KEYWORDS: &[&str] = &[
+    "eq.",
+    "eq (",
+    "equation",
+    "lemma",
+    "theorem",
+    "example",
+    "section",
+    "table",
+    "figure",
+    "definition",
+    "assumption",
+    "corollary",
+    "proposition",
+    "algorithm",
+    "condition (",
+    "§",
+    "paper",
+];
+
+/// Lints one source file given its workspace-relative path and contents.
+/// The role and crate are derived from the path, so fixtures can exercise
+/// scoping by choosing synthetic paths.
+#[must_use]
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let tokens = lex(src);
+    let ctx = FileCtx {
+        rel,
+        role: classify(rel),
+        crate_name: crate_of(rel),
+        cfg,
+        allows: collect_allows(&tokens),
+        test_ranges: collect_test_ranges(&tokens),
+    };
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut findings = Vec::new();
+    rule_r1(&ctx, &code, &mut findings);
+    rule_r2(&ctx, &code, &mut findings);
+    rule_r3(&ctx, &code, &mut findings);
+    rule_r4(&ctx, &code, &mut findings);
+    rule_r5(&ctx, &code, &mut findings);
+    rule_r6(&ctx, &tokens, &mut findings);
+    findings
+}
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    role: Role,
+    crate_name: Option<String>,
+    cfg: &'a Config,
+    /// `(rule, line)` pairs whitelisted by `// lint: allow(…)` comments.
+    allows: Vec<(String, u32)>,
+    /// Inclusive line ranges covered by `#[test]`/`#[cfg(test)]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileCtx<'_> {
+    fn exempt(&self, rule: &str, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+            || self.allows.iter().any(|(r, l)| r == rule && *l == line)
+    }
+
+    fn crate_in(&self, list: &[String]) -> bool {
+        self.crate_name
+            .as_ref()
+            .is_some_and(|c| list.iter().any(|x| x == c))
+    }
+
+    fn push(
+        &self,
+        findings: &mut Vec<Finding>,
+        rule: &'static str,
+        severity: Severity,
+        line: u32,
+        message: String,
+    ) {
+        if !self.exempt(rule, line) {
+            findings.push(Finding {
+                rule,
+                severity,
+                path: self.rel.to_owned(),
+                line,
+                message,
+            });
+        }
+    }
+}
+
+/// Extracts `// lint: allow(r3, r5): why` annotations. Each annotation
+/// covers its own line and the next, so it works trailing a statement or
+/// on the line directly above it.
+fn collect_allows(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(at) = t.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &t.text[at + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim().to_ascii_lowercase();
+            if !rule.is_empty() {
+                out.push((rule.clone(), t.line));
+                out.push((rule, t.line + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Finds the inclusive line ranges of items annotated `#[test]` or
+/// `#[cfg(test)]` (including `#[cfg(all(test, …))]`; `#[cfg(not(test))]`
+/// is *not* a test scope). Works on the comment-free token stream.
+fn collect_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].text == "#" && i + 1 < code.len() && code[i + 1].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's identifiers up to the matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut idents = Vec::new();
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if code[j].kind == TokKind::Ident {
+                        idents.push(code[j].text.as_str());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let is_test = idents.contains(&"test") && !idents.contains(&"not");
+        if !is_test {
+            i = j + 1;
+            continue;
+        }
+        // Span the annotated item: to the matching close brace, or to a
+        // top-level `;` for brace-less items.
+        let mut braces = 0usize;
+        let mut k = j + 1;
+        let mut end = code.len().saturating_sub(1);
+        while k < code.len() {
+            match code[k].text.as_str() {
+                "{" => braces += 1,
+                "}" => {
+                    braces = braces.saturating_sub(1);
+                    if braces == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                ";" if braces == 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let (Some(first), Some(last)) = (code.get(i), code.get(end)) {
+            out.push((first.line, last.line));
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// R1: `unsafe` appears only under the audited path allowlist.
+fn rule_r1(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
+    if Config::path_matches(ctx.rel, &ctx.cfg.r1_allow) {
+        return;
+    }
+    for t in code {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            ctx.push(
+                findings,
+                "r1",
+                Severity::Deny,
+                t.line,
+                "`unsafe` outside the audited modules (see [r1] allow in lint.toml)".to_owned(),
+            );
+        }
+    }
+}
+
+/// R2: no thread spawning or rayon outside the shared pool crate.
+fn rule_r2(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
+    if Config::path_matches(ctx.rel, &ctx.cfg.r2_allow) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let found = match t.text.as_str() {
+            "rayon" => Some("`rayon`"),
+            "spawn" | "Builder" if path_prefix_is(code, i, "thread") => {
+                Some("`thread::spawn`/`thread::Builder`")
+            }
+            "scope" if path_prefix_is(code, i, "thread") => Some("`thread::scope`"),
+            _ => None,
+        };
+        if let Some(what) = found {
+            ctx.push(
+                findings,
+                "r2",
+                Severity::Deny,
+                t.line,
+                format!(
+                    "{what} outside dt-parallel: all parallelism must ride the shared pool \
+                     (dt_parallel::par_tasks & friends)"
+                ),
+            );
+        }
+    }
+}
+
+/// R3: no panicking shortcuts in the library sources of the configured
+/// crates.
+fn rule_r3(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib || !ctx.crate_in(&ctx.cfg.r3_crates) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "unwrap" | "expect" if prev_is(code, i, ".") && next_is(code, i, "(") => {
+                format!(".{}()", t.text)
+            }
+            "panic" if next_is(code, i, "!") => "panic!".to_owned(),
+            _ => continue,
+        };
+        ctx.push(
+            findings,
+            "r3",
+            Severity::Deny,
+            t.line,
+            format!(
+                "`{what}` in library code: propagate a Result or document the invariant \
+                 with `// lint: allow(r3): why`"
+            ),
+        );
+    }
+}
+
+/// R4: determinism — no unseeded randomness anywhere in library code, no
+/// wall-clock reads outside the allowlisted timing modules.
+fn rule_r4(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "thread_rng" | "from_entropy" => {
+                ctx.push(
+                    findings,
+                    "r4",
+                    Severity::Deny,
+                    t.line,
+                    format!(
+                        "unseeded randomness `{}` in library code: take an explicit seeded \
+                         Rng so runs reproduce bit-for-bit",
+                        t.text
+                    ),
+                );
+            }
+            "now"
+                if path_prefix_is(code, i, "Instant") || path_prefix_is(code, i, "SystemTime") =>
+            {
+                if Config::path_matches(ctx.rel, &ctx.cfg.r4_wallclock_allow) {
+                    continue;
+                }
+                let source = if path_prefix_is(code, i, "Instant") {
+                    "Instant::now"
+                } else {
+                    "SystemTime::now"
+                };
+                ctx.push(
+                    findings,
+                    "r4",
+                    Severity::Deny,
+                    t.line,
+                    format!(
+                        "wall-clock read `{source}` in library code: timing belongs in \
+                         bench/allowlisted modules, or annotate telemetry with \
+                         `// lint: allow(r4): why`"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R5: no console printing from library sources outside the reporter
+/// allowlist.
+fn rule_r5(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib || ctx.crate_in(&ctx.cfg.r5_allow_crates) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && next_is(code, i, "!")
+        {
+            ctx.push(
+                findings,
+                "r5",
+                Severity::Deny,
+                t.line,
+                format!(
+                    "`{}!` in library code: print from binaries only, or route progress \
+                     through an allowlisted reporter",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R6: every `pub fn` in the configured crates carries a doc comment
+/// citing the paper construct it implements.
+fn rule_r6(ctx: &FileCtx<'_>, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib || !ctx.crate_in(&ctx.cfg.r6_crates) {
+        return;
+    }
+    let mut docs = String::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_doc() {
+            docs.push_str(&t.text);
+            docs.push('\n');
+            i += 1;
+            continue;
+        }
+        if t.is_comment() {
+            i += 1; // plain comments between docs and item are transparent
+            continue;
+        }
+        if t.text == "#" {
+            i = skip_attribute(tokens, i); // attributes keep pending docs
+            continue;
+        }
+        if t.kind == TokKind::Ident && t.text == "pub" {
+            let (is_plain_pub, j) = scan_visibility(tokens, i);
+            if is_plain_pub {
+                if let Some((name, fn_line)) = scan_fn_header(tokens, j) {
+                    check_r6_docs(ctx, &docs, &name, fn_line, findings);
+                }
+            }
+        }
+        docs.clear();
+        i += 1;
+    }
+}
+
+fn check_r6_docs(
+    ctx: &FileCtx<'_>,
+    docs: &str,
+    name: &str,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let lower = docs.to_ascii_lowercase();
+    if docs.trim().is_empty() {
+        ctx.push(
+            findings,
+            "r6",
+            Severity::Warning,
+            line,
+            format!(
+                "pub fn `{name}` has no doc comment: name the paper construct it \
+                 implements (equation, lemma, theorem, …)"
+            ),
+        );
+    } else if !R6_KEYWORDS.iter().any(|k| lower.contains(k)) {
+        ctx.push(
+            findings,
+            "r6",
+            Severity::Warning,
+            line,
+            format!(
+                "doc comment on pub fn `{name}` does not cite a paper construct \
+                 (equation/lemma/theorem/section/…); cite one or annotate \
+                 `// lint: allow(r6): why`"
+            ),
+        );
+    }
+}
+
+/// Skips a `#[…]` attribute starting at the `#`; returns the index after
+/// the closing `]`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    // Tolerate `#!` inner attributes.
+    while j < tokens.len() && tokens[j].text != "[" {
+        if tokens[j].text != "!" {
+            return j; // stray `#`, not an attribute
+        }
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// At an ident `pub` at index `i`: returns (is unrestricted `pub`, index of
+/// the token after the visibility). `pub(crate)`/`pub(super)`/`pub(in …)`
+/// are restricted and not public API.
+fn scan_visibility(tokens: &[Token], i: usize) -> (bool, usize) {
+    let j = next_code_idx(tokens, i);
+    if j < tokens.len() && tokens[j].text == "(" {
+        (false, j)
+    } else {
+        (true, j)
+    }
+}
+
+/// From the token after `pub`: accepts qualifier idents (`const`, `async`,
+/// `unsafe`, `extern` + ABI string) and returns the fn name if this is a
+/// `fn` item.
+fn scan_fn_header(tokens: &[Token], mut j: usize) -> Option<(String, u32)> {
+    for _ in 0..4 {
+        if j >= tokens.len() {
+            return None;
+        }
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "fn") => {
+                let k = next_code_idx(tokens, j);
+                let name = tokens.get(k)?;
+                return Some((name.text.clone(), tokens[j].line));
+            }
+            (TokKind::Ident, "const" | "async" | "unsafe" | "extern") => {
+                j = next_code_idx(tokens, j);
+            }
+            (TokKind::Str, _) => {
+                j = next_code_idx(tokens, j); // extern ABI string
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Index of the next non-comment token after `i`.
+fn next_code_idx(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < tokens.len() && tokens[j].is_comment() {
+        j += 1;
+    }
+    j
+}
+
+/// `true` when the ident at `code[i]` is path-qualified as `prefix::…`,
+/// i.e. preceded by `::` whose head is `prefix` (`thread::spawn`,
+/// `std::thread::spawn`, `Instant::now`).
+fn path_prefix_is(code: &[&Token], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && code[i - 1].text == ":"
+        && code[i - 2].text == ":"
+        && code[i - 3].kind == TokKind::Ident
+        && code[i - 3].text == prefix
+}
+
+fn prev_is(code: &[&Token], i: usize, text: &str) -> bool {
+    i > 0 && code[i - 1].text == text
+}
+
+fn next_is(code: &[&Token], i: usize, text: &str) -> bool {
+    i + 1 < code.len() && code[i + 1].text == text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            skip: vec![],
+            r1_allow: vec![
+                "crates/parallel/src/pool.rs".into(),
+                "crates/tensor/".into(),
+            ],
+            r2_allow: vec!["crates/parallel/".into()],
+            r3_crates: vec!["tensor".into(), "models".into()],
+            r4_wallclock_allow: vec!["crates/bench/".into()],
+            r5_allow_crates: vec!["bench".into()],
+            r6_crates: vec!["estimators".into()],
+        }
+    }
+
+    fn rules_of(rel: &str, src: &str) -> Vec<String> {
+        lint_source(rel, src, &cfg())
+            .into_iter()
+            .map(|f| f.rule.to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn r1_unsafe_placement() {
+        let src = "pub fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        assert_eq!(rules_of("crates/models/src/lib.rs", src), vec!["r1"]);
+        assert!(rules_of("crates/tensor/src/gemm.rs", src).is_empty());
+        assert!(rules_of("crates/parallel/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_spawn_and_rayon() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_of("crates/data/src/lib.rs", spawn), vec!["r2"]);
+        assert!(rules_of("crates/parallel/src/pool.rs", spawn).is_empty());
+        let ray = "use rayon::prelude::*;";
+        assert_eq!(rules_of("crates/data/src/lib.rs", ray), vec!["r2"]);
+        // `spawn` as a free function name is not thread::spawn.
+        assert!(rules_of("crates/data/src/lib.rs", "fn spawn_logic() {}").is_empty());
+    }
+
+    #[test]
+    fn r3_scoping_and_variants() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_of("crates/models/src/mlp.rs", src), vec!["r3"]);
+        // Crate out of scope, test file, and bin are all exempt.
+        assert!(rules_of("crates/data/src/lib.rs", src).is_empty());
+        assert!(rules_of("crates/models/tests/t.rs", src).is_empty());
+        assert!(rules_of("crates/models/src/bin/tool.rs", src).is_empty());
+        // unwrap_or_else is fine; panic! and .expect are not.
+        assert!(rules_of(
+            "crates/models/src/mlp.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 3) }"
+        )
+        .is_empty());
+        assert_eq!(
+            rules_of("crates/models/src/mlp.rs", "fn f() { panic!(\"boom\") }"),
+            vec!["r3"]
+        );
+    }
+
+    #[test]
+    fn r3_cfg_test_modules_are_exempt() {
+        let src =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n  fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(rules_of("crates/models/src/mlp.rs", src).is_empty());
+        // …but cfg(not(test)) is not a test scope.
+        let not = "#[cfg(not(test))]\nmod m {\n  fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert_eq!(rules_of("crates/models/src/mlp.rs", not), vec!["r3"]);
+    }
+
+    #[test]
+    fn allow_annotations_cover_their_line_and_the_next() {
+        let trailing = "fn f(x: Option<u8>) { x.unwrap(); } // lint: allow(r3): invariant";
+        assert!(rules_of("crates/models/src/mlp.rs", trailing).is_empty());
+        let above = "// lint: allow(r3): invariant\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(rules_of("crates/models/src/mlp.rs", above).is_empty());
+        let elsewhere = "// lint: allow(r3): too far\n\n\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(rules_of("crates/models/src/mlp.rs", elsewhere), vec!["r3"]);
+        // The annotation names a specific rule, not a blanket waiver.
+        let wrong = "fn f(x: Option<u8>) { x.unwrap(); } // lint: allow(r5): wrong rule";
+        assert_eq!(rules_of("crates/models/src/mlp.rs", wrong), vec!["r3"]);
+    }
+
+    #[test]
+    fn r4_rng_and_clocks() {
+        assert_eq!(
+            rules_of(
+                "crates/data/src/lib.rs",
+                "fn f() { let mut r = rand::thread_rng(); }"
+            ),
+            vec!["r4"]
+        );
+        assert_eq!(
+            rules_of(
+                "crates/data/src/lib.rs",
+                "fn f() { let t = Instant::now(); }"
+            ),
+            vec!["r4"]
+        );
+        assert!(rules_of(
+            "crates/bench/src/lib.rs",
+            "fn f() { let t = Instant::now(); }"
+        )
+        .is_empty());
+        // Seeded randomness is the sanctioned pattern.
+        assert!(rules_of(
+            "crates/data/src/lib.rs",
+            "fn f() { let mut r = StdRng::seed_from_u64(7); }"
+        )
+        .is_empty());
+        // `now` on some other type is not a clock read.
+        assert!(rules_of("crates/data/src/lib.rs", "fn f(c: Clock) { c.now(); }").is_empty());
+    }
+
+    #[test]
+    fn r5_printing() {
+        let src = "fn f() { println!(\"hi\"); }";
+        assert_eq!(rules_of("crates/data/src/lib.rs", src), vec!["r5"]);
+        assert!(rules_of("crates/bench/src/report.rs", src).is_empty());
+        assert!(rules_of("crates/data/src/bin/tool.rs", src).is_empty());
+        // Strings mentioning println are not calls.
+        assert!(rules_of("crates/data/src/lib.rs", "const S: &str = \"println!\";").is_empty());
+    }
+
+    #[test]
+    fn r6_doc_citations() {
+        let good = "/// The IPS estimator of eq. (3).\npub fn ips() {}";
+        assert!(rules_of("crates/estimators/src/lib.rs", good).is_empty());
+        let undocumented = "pub fn ips() {}";
+        assert_eq!(
+            rules_of("crates/estimators/src/lib.rs", undocumented),
+            vec!["r6"]
+        );
+        let uncited = "/// Computes a thing.\npub fn ips() {}";
+        assert_eq!(
+            rules_of("crates/estimators/src/lib.rs", uncited),
+            vec!["r6"]
+        );
+        // Attributes between the docs and the fn keep the docs attached.
+        let attr = "/// Lemma 2's bias term.\n#[must_use]\npub fn bias() -> f64 { 0.0 }";
+        assert!(rules_of("crates/estimators/src/lib.rs", attr).is_empty());
+        // Private and pub(crate) fns are not public API.
+        assert!(rules_of("crates/estimators/src/lib.rs", "fn helper() {}").is_empty());
+        assert!(rules_of("crates/estimators/src/lib.rs", "pub(crate) fn helper() {}").is_empty());
+        // Out-of-scope crates are untouched.
+        assert!(rules_of("crates/data/src/lib.rs", undocumented).is_empty());
+    }
+
+    #[test]
+    fn r6_is_a_warning_the_rest_are_errors() {
+        let f = lint_source("crates/estimators/src/lib.rs", "pub fn x() {}", &cfg());
+        assert_eq!(f[0].severity, Severity::Warning);
+        let f = lint_source("crates/models/src/m.rs", "fn f() { panic!() }", &cfg());
+        assert_eq!(f[0].severity, Severity::Deny);
+    }
+}

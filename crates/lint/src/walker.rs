@@ -1,0 +1,180 @@
+//! Workspace source discovery and file-role classification.
+//!
+//! The walker finds every `.rs` file under the workspace root, skipping
+//! build output (`target/`), hidden directories (`.git`, `.verify`) and the
+//! explicit `[global] skip` prefixes from `lint.toml`. Each file is
+//! classified into a [`Role`] — the rules scope themselves by role (library
+//! invariants do not apply to test or binary sources) and by the owning
+//! crate directory.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Where a source file sits in a crate layout. Determines which rules
+/// apply: panic/print/determinism rules guard *library* code only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `src/` of a crate, excluding `src/bin` and `src/main.rs`.
+    Lib,
+    /// `src/bin/**` or `src/main.rs` — binary entry points.
+    Bin,
+    /// `tests/**` (crate-level or workspace-level integration tests).
+    Test,
+    /// `benches/**`.
+    Bench,
+    /// `examples/**` (crate-level or workspace-level).
+    Example,
+    /// `build.rs` or anything else.
+    Other,
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Layout classification.
+    pub role: Role,
+    /// Crate directory name for `crates/<name>/…` paths.
+    pub crate_name: Option<String>,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+#[must_use]
+pub fn classify(rel: &str) -> Role {
+    let in_dir =
+        |dir: &str| rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"));
+    if in_dir("tests") {
+        Role::Test
+    } else if in_dir("benches") {
+        Role::Bench
+    } else if in_dir("examples") {
+        Role::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        Role::Bin
+    } else if rel.contains("/src/") {
+        Role::Lib
+    } else {
+        Role::Other
+    }
+}
+
+/// Extracts the crate directory name from `crates/<name>/…`.
+#[must_use]
+pub fn crate_of(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name.to_owned())
+}
+
+/// Walks the workspace and returns every lintable `.rs` file, sorted by
+/// relative path for deterministic reports.
+///
+/// # Errors
+/// Propagates filesystem errors other than racing deletions.
+pub fn walk(root: &Path, config: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk_dir(root, root, config, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, config: &Config, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if Config::path_matches(&rel, &config.skip) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk_dir(root, &path, config, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(SourceFile {
+                role: classify(&rel),
+                crate_name: crate_of(&rel),
+                abs: path,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layouts() {
+        assert_eq!(classify("crates/tensor/src/gemm.rs"), Role::Lib);
+        assert_eq!(classify("crates/lint/src/main.rs"), Role::Bin);
+        assert_eq!(classify("crates/experiments/src/bin/repro.rs"), Role::Bin);
+        assert_eq!(
+            classify("crates/tensor/tests/kernel_equivalence.rs"),
+            Role::Test
+        );
+        assert_eq!(classify("tests/integration.rs"), Role::Test);
+        assert_eq!(classify("crates/bench/benches/kernels.rs"), Role::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), Role::Example);
+        assert_eq!(classify("crates/core/build.rs"), Role::Other);
+    }
+
+    #[test]
+    fn crate_names_come_from_the_crates_dir() {
+        assert_eq!(
+            crate_of("crates/tensor/src/gemm.rs").as_deref(),
+            Some("tensor")
+        );
+        assert_eq!(crate_of("tests/integration.rs"), None);
+        assert_eq!(crate_of("crates/lonely.rs"), None);
+    }
+
+    #[test]
+    fn walk_skips_hidden_target_and_configured_prefixes() {
+        // Scratch space inside the workspace build directory (the walker
+        // itself never descends into `target/`).
+        let tmp = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("dt-lint-walk-{}", std::process::id()));
+        let mk = |p: &str| {
+            let f = tmp.join(p);
+            fs::create_dir_all(f.parent().expect("parent")).expect("mkdir");
+            fs::write(f, "fn main() {}\n").expect("write");
+        };
+        mk("crates/x/src/lib.rs");
+        mk("crates/x/target/debug/build.rs");
+        mk(".hidden/src/secret.rs");
+        mk("target/generated.rs");
+        mk("crates/lint/tests/fixtures/r1_pos.rs");
+        mk("crates/x/src/not_rust.txt");
+
+        let config = Config {
+            skip: vec!["crates/lint/tests/fixtures/".into()],
+            ..Config::default()
+        };
+        let files = walk(&tmp, &config).expect("walk");
+        let rels: Vec<_> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(rels, vec!["crates/x/src/lib.rs"]);
+        fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-rule fixture tests: every rule has a positive fixture that must
+//! fire and a negative fixture (or an exempt placement of the same
+//! source) that must stay silent. The fixtures live under
+//! `tests/fixtures/` and are excluded from the workspace walk by the
+//! committed `lint.toml`, so deliberate violations never reach CI.
+
+use std::path::Path;
+
+use dt_lint::rules::lint_source;
+use dt_lint::{find_root, load_config, Config, Report, Severity};
+
+fn config() -> Config {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint.toml above the crate");
+    load_config(&root).expect("committed lint.toml parses")
+}
+
+/// Rule ids fired when linting `src` as if it lived at `rel`.
+fn fired(rel: &str, src: &str) -> Vec<&'static str> {
+    lint_source(rel, src, &config())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+const R1_BAD: &str = include_str!("fixtures/r1_bad.rs");
+const R1_OK: &str = include_str!("fixtures/r1_ok.rs");
+const R2_BAD: &str = include_str!("fixtures/r2_bad.rs");
+const R2_OK: &str = include_str!("fixtures/r2_ok.rs");
+const R3_BAD: &str = include_str!("fixtures/r3_bad.rs");
+const R3_OK: &str = include_str!("fixtures/r3_ok.rs");
+const R4_BAD: &str = include_str!("fixtures/r4_bad.rs");
+const R4_OK: &str = include_str!("fixtures/r4_ok.rs");
+const R5_BAD: &str = include_str!("fixtures/r5_bad.rs");
+const R5_OK: &str = include_str!("fixtures/r5_ok.rs");
+const R6_BAD: &str = include_str!("fixtures/r6_bad.rs");
+const R6_OK: &str = include_str!("fixtures/r6_ok.rs");
+
+#[test]
+fn r1_unsafe_outside_the_allowlist_fires() {
+    assert_eq!(fired("crates/data/src/fixture.rs", R1_BAD), ["r1"]);
+}
+
+#[test]
+fn r1_allowlisted_paths_and_safe_code_pass() {
+    // The exact-file and directory-prefix allow entries both apply.
+    assert!(fired("crates/parallel/src/pool.rs", R1_BAD).is_empty());
+    assert!(fired("crates/tensor/src/simd.rs", R1_BAD).is_empty());
+    assert!(fired("crates/data/src/fixture.rs", R1_OK).is_empty());
+}
+
+#[test]
+fn r2_adhoc_threading_fires_outside_the_pool_crate() {
+    assert_eq!(fired("crates/models/src/fixture.rs", R2_BAD), ["r2", "r2"]);
+}
+
+#[test]
+fn r2_pool_crate_and_pool_users_pass() {
+    assert!(fired("crates/parallel/src/fixture.rs", R2_BAD).is_empty());
+    assert!(fired("crates/models/src/fixture.rs", R2_OK).is_empty());
+}
+
+#[test]
+fn r3_panicking_shortcuts_fire_in_covered_lib_code() {
+    assert_eq!(
+        fired("crates/tensor/src/fixture.rs", R3_BAD),
+        ["r3", "r3", "r3"]
+    );
+}
+
+#[test]
+fn r3_scope_annotations_and_tests_pass() {
+    // Covered crate, but annotated / under #[cfg(test)].
+    assert!(fired("crates/tensor/src/fixture.rs", R3_OK).is_empty());
+    // Uncovered crate.
+    assert!(fired("crates/metrics/src/fixture.rs", R3_BAD).is_empty());
+    // Covered crate, test role.
+    assert!(fired("crates/tensor/tests/fixture.rs", R3_BAD).is_empty());
+}
+
+#[test]
+fn r4_nondeterminism_fires_in_lib_code() {
+    assert_eq!(
+        fired("crates/core/src/fixture.rs", R4_BAD),
+        ["r4", "r4", "r4", "r4"]
+    );
+}
+
+#[test]
+fn r4_wallclock_allowlist_covers_clocks_but_not_rng() {
+    // bench may read clocks, but unseeded randomness is never allowed.
+    assert_eq!(fired("crates/bench/src/fixture.rs", R4_BAD), ["r4", "r4"]);
+    assert!(fired("crates/core/src/fixture.rs", R4_OK).is_empty());
+}
+
+#[test]
+fn r5_console_printing_fires_in_lib_code() {
+    assert_eq!(fired("crates/core/src/fixture.rs", R5_BAD), ["r5", "r5"]);
+}
+
+#[test]
+fn r5_binaries_allowlisted_crates_and_writeln_pass() {
+    assert!(fired("crates/core/src/bin/tool.rs", R5_BAD).is_empty());
+    assert!(fired("crates/bench/src/fixture.rs", R5_BAD).is_empty());
+    assert!(fired("crates/core/src/fixture.rs", R5_OK).is_empty());
+}
+
+#[test]
+fn r6_uncited_pub_fns_warn_in_covered_crates() {
+    let findings = lint_source("crates/estimators/src/fixture.rs", R6_BAD, &config());
+    assert_eq!(findings.len(), 2);
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == "r6" && f.severity == Severity::Warning));
+}
+
+#[test]
+fn r6_citations_private_fns_and_waivers_pass() {
+    assert!(fired("crates/estimators/src/fixture.rs", R6_OK).is_empty());
+    // Crates outside [r6] carry no citation duty at all.
+    assert!(fired("crates/core/src/fixture.rs", R6_BAD).is_empty());
+}
+
+#[test]
+fn gate_semantics_errors_always_fail_warnings_only_under_deny() {
+    let cfg = config();
+    let warn_only = Report {
+        findings: lint_source("crates/estimators/src/fixture.rs", R6_BAD, &cfg),
+        files_scanned: 1,
+    };
+    assert!(!warn_only.fails(false));
+    assert!(warn_only.fails(true));
+
+    let errors = Report {
+        findings: lint_source("crates/data/src/fixture.rs", R1_BAD, &cfg),
+        files_scanned: 1,
+    };
+    assert!(errors.fails(false));
+    assert!(errors.fails(true));
+}

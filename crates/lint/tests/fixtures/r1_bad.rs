@@ -1,0 +1,4 @@
+// Fixture: `unsafe` outside the audited modules (R1 positive case).
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

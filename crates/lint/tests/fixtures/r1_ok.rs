@@ -1,0 +1,4 @@
+// Fixture: safe indexing needs no waiver anywhere (R1 negative case).
+pub fn peek(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,8 @@
+// Fixture: ad-hoc threading outside dt-parallel (R2 positive case).
+use std::thread;
+
+pub fn fan_out() {
+    let h = thread::spawn(|| 1 + 1);
+    let b = std::thread::Builder::new();
+    let _ = (h.join(), b);
+}

@@ -1,0 +1,8 @@
+// Fixture: parallelism through the shared pool (R2 negative case).
+pub fn fan_out(xs: &mut [f64]) {
+    dt_parallel::for_each_chunk(xs, 4, |_, chunk| {
+        for v in chunk {
+            *v += 1.0;
+        }
+    });
+}

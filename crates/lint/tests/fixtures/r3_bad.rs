@@ -1,0 +1,12 @@
+// Fixture: panicking shortcuts in library code (R3 positive case).
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> f64 {
+    s.parse().expect("numeric")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned alternatives (R3 negative case).
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    // lint: allow(r3): documented invariant — callers guarantee non-empty
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1.0];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: nondeterminism sources (R4 positive case).
+pub fn entropy() -> f64 {
+    let mut rng = rand::thread_rng();
+    let alt = rand::rngs::StdRng::from_entropy();
+    let _ = alt;
+    rng.gen()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,9 @@
+// Fixture: explicit seeding keeps runs reproducible (R4 negative case).
+pub fn seeded(seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+pub fn telemetry() -> std::time::Instant {
+    std::time::Instant::now() // lint: allow(r4): wall-time telemetry only
+}

@@ -1,0 +1,5 @@
+// Fixture: console printing from library code (R5 positive case).
+pub fn report(x: f64) {
+    println!("value = {x}");
+    eprintln!("progress");
+}

@@ -1,0 +1,8 @@
+// Fixture: stderr writes through Write are reviewable telemetry, and the
+// format macro name in a string ("println!") must not trip the token scan
+// (R5 negative case).
+use std::io::Write as _;
+
+pub fn report(x: f64) {
+    let _ = writeln!(std::io::stderr(), "value = {x} (not println!)");
+}

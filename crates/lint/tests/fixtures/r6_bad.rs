@@ -1,0 +1,11 @@
+// Fixture: public estimator APIs without a paper citation (R6 positive
+// case): one undocumented, one documented without naming any construct.
+pub fn undocumented(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// Doubles the input.
+#[must_use]
+pub fn documented_but_uncited(x: f64) -> f64 {
+    x * 2.0
+}

@@ -1,0 +1,24 @@
+// Fixture: cited, crate-private, and waived functions all pass (R6
+// negative case).
+
+/// The IPS estimator of eq. (3).
+#[must_use]
+pub fn cited(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// Implements Lemma 2's bias decomposition.
+pub fn cited_lemma(x: f64) -> f64 {
+    x + 1.0
+}
+
+/// Crate-private helpers carry no citation duty.
+pub(crate) fn internal(x: f64) -> f64 {
+    x
+}
+
+/// Plain accessor.
+// lint: allow(r6): accessor, no paper construct to cite
+pub fn accessor(x: f64) -> f64 {
+    x
+}

@@ -1,0 +1,24 @@
+//! The self-check: the committed workspace must lint clean, including
+//! warnings — the same gate `ci.sh` enforces with `--deny-warnings`.
+
+use std::path::Path;
+
+use dt_lint::{find_root, load_config, run};
+
+#[test]
+fn committed_workspace_has_no_findings() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint.toml above the crate");
+    let config = load_config(&root).expect("committed lint.toml parses");
+    let report = run(&root, &config).expect("workspace walk succeeds");
+    assert!(
+        !report.fails(true),
+        "workspace must lint clean under --deny-warnings:\n{}",
+        report.human()
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

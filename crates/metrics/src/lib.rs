@@ -5,6 +5,8 @@
 //! (NDCG@K, Recall@K, Precision@K — Tables IV/V, Fig. 5), and propensity
 //! calibration diagnostics for the identifiability experiments.
 
+#![forbid(unsafe_code)]
+
 mod auc;
 mod calibration;
 mod pointwise;
@@ -13,6 +15,4 @@ mod ranking;
 pub use auc::auc;
 pub use calibration::{expected_calibration_error, CalibrationBin};
 pub use pointwise::{mae, mse, rmse};
-pub use ranking::{
-    evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, RankingReport,
-};
+pub use ranking::{evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, RankingReport};

@@ -44,11 +44,7 @@ pub fn recall_at_k(items: ScoredItems, k: usize) -> Option<f64> {
     }
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| items[b].0.total_cmp(&items[a].0));
-    let hits = order
-        .iter()
-        .take(k)
-        .filter(|&&i| items[i].1 > 0.5)
-        .count();
+    let hits = order.iter().take(k).filter(|&&i| items[i].1 > 0.5).count();
     Some(hits as f64 / n_pos.min(k) as f64)
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the metric implementations.
 
-use dt_metrics::{auc, expected_calibration_error, mae, mse, ndcg_at_k, precision_at_k, recall_at_k};
+use dt_metrics::{
+    auc, expected_calibration_error, mae, mse, ndcg_at_k, precision_at_k, recall_at_k,
+};
 use proptest::prelude::*;
 
 /// Scored items: (score in [0,1], binary label), at least one of each class

@@ -74,7 +74,12 @@ impl DisentangledMf {
     /// # Panics
     /// Panics unless `0 < primary_dim < total_dim`.
     #[must_use]
-    pub fn new(n_users: usize, n_items: usize, cfg: &DisentangledConfig, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        n_users: usize,
+        n_items: usize,
+        cfg: &DisentangledConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(
             cfg.primary_dim > 0 && cfg.primary_dim < cfg.total_dim,
             "DisentangledMf: need 0 < A ({}) < K ({})",
@@ -378,10 +383,7 @@ mod tests {
         let r = m.regularization_loss(&mut g);
         let p = m.params.value(m.p);
         let q = m.params.value(m.q);
-        let direct = (p
-            .slice_cols(0, 2)
-            .matmul_nt(&q.slice_cols(0, 2))
-            .frob_sq()
+        let direct = (p.slice_cols(0, 2).matmul_nt(&q.slice_cols(0, 2)).frob_sq()
             + p.slice_cols(2, 6).matmul_nt(&q.slice_cols(2, 6)).frob_sq())
             / (6.0 * 8.0);
         assert!((g.item(r) - direct).abs() < 1e-9);

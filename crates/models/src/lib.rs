@@ -14,6 +14,8 @@
 //! * [`propensity`] — the propensity heads: constant (MCAR), logistic MF
 //!   on `o` (MAR), and Naive-Bayes (MNAR with a uniform slice).
 
+#![forbid(unsafe_code)]
+
 mod disentangled;
 mod embedding;
 mod mf;
@@ -21,7 +23,7 @@ mod mlp;
 pub mod propensity;
 mod towers;
 
-pub use disentangled::{DisentangledMf, DisentangledConfig};
+pub use disentangled::{DisentangledConfig, DisentangledMf};
 pub use embedding::EmbeddingTable;
 pub use mf::MfModel;
 pub use mlp::{Activation, Mlp};

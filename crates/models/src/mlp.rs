@@ -69,16 +69,14 @@ impl Mlp {
     /// Output width.
     #[must_use]
     pub fn out_dim(&self) -> usize {
+        // lint: allow(r3): `sizes` is validated non-empty in the constructor
         *self.sizes.last().expect("non-empty by construction")
     }
 
     /// Total scalar parameter count of the tower.
     #[must_use]
     pub fn n_parameters(&self) -> usize {
-        self.sizes
-            .windows(2)
-            .map(|w| w[0] * w[1] + w[1])
-            .sum()
+        self.sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
     }
 
     /// Differentiable forward pass on a `n × in_dim` batch.

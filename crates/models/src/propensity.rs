@@ -95,9 +95,7 @@ impl LogisticMfPropensity {
         // draws from D labelled by the true observation indicator, which is
         // the unbiased Monte-Carlo estimate of the full-space BCE. One
         // epoch covers ≈ |D| sampled pairs (capped for very large spaces).
-        let steps_per_epoch = (ds.train.n_pairs_total())
-            .div_ceil(batch)
-            .clamp(4, 200);
+        let steps_per_epoch = (ds.train.n_pairs_total()).div_ceil(batch).clamp(4, 200);
         for _ in 0..epochs {
             for _ in 0..steps_per_epoch {
                 let pairs = uniform_pairs(ds.n_users, ds.n_items, batch, rng);
@@ -175,9 +173,7 @@ impl NaiveBayesAdapter {
 
 impl PropensityHead for NaiveBayesAdapter {
     fn propensity(&self, _user: usize, _item: usize, rating: f64) -> f64 {
-        self.nb
-            .propensity(usize::from(rating > 0.5))
-            .max(self.clip)
+        self.nb.propensity(usize::from(rating > 0.5)).max(self.clip)
     }
 
     fn label(&self) -> &'static str {

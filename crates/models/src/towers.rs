@@ -110,6 +110,7 @@ impl TowerModel {
         let imp = self
             .imputation
             .as_ref()
+            // lint: allow(r3): documented `# Panics` contract on `imputation_out`
             .expect("imputation tower not configured");
         let x = self.pair_embedding(g, users, items);
         imp.forward(g, &self.params, x)

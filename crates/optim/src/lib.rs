@@ -32,6 +32,8 @@
 //! assert!(params.value(w).item().abs() < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adagrad;
 mod adam;
 mod clip;

@@ -50,6 +50,10 @@
 //! assert_eq!(out[33], 33.0 * 33.0);
 //! ```
 
+// `unsafe` here is audited (lint R1): every block carries a SAFETY comment,
+// and code inside `unsafe fn` still has to spell out its unsafe operations.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 pub use pool::{

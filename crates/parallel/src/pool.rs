@@ -39,7 +39,11 @@ fn configured_width() -> usize {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!("dt-parallel: ignoring invalid DT_NUM_THREADS={raw:?}");
+                use std::io::Write as _;
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "dt-parallel: ignoring invalid DT_NUM_THREADS={raw:?}"
+                );
                 default_width()
             }
         },
@@ -129,7 +133,10 @@ impl<T: Copy + 'static> Drop for Restore<T> {
 /// parallelism, and by determinism tests.
 pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
     let prev = SEQUENTIAL.with(|s| s.replace(true));
-    let _restore = Restore { cell: &SEQUENTIAL, prev };
+    let _restore = Restore {
+        cell: &SEQUENTIAL,
+        prev,
+    };
     f()
 }
 
@@ -163,7 +170,10 @@ impl Scope {
     /// marker set, so tasks cannot nest parallelism.
     fn work(&self) {
         let prev = SEQUENTIAL.with(|s| s.replace(true));
-        let _restore = Restore { cell: &SEQUENTIAL, prev };
+        let _restore = Restore {
+            cell: &SEQUENTIAL,
+            prev,
+        };
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
@@ -234,9 +244,8 @@ pub fn par_tasks<F: FnOnce() + Send>(tasks: Vec<F>) {
             // all `total` tasks have run, and late-arriving helpers observe
             // an exhausted cursor and touch nothing. Hence no erased
             // closure (or its borrows) outlives this call frame.
-            let boxed: Job = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed)
-            };
+            let boxed: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed) };
             Some(boxed)
         })
         .collect();
@@ -444,7 +453,10 @@ mod tests {
                 assert_eq!(effective_threads(), 3);
             }
             with_thread_limit(0, || {
-                assert_eq!(effective_threads(), if is_sequential() { 1 } else { num_threads() });
+                assert_eq!(
+                    effective_threads(),
+                    if is_sequential() { 1 } else { num_threads() }
+                );
             });
         });
         assert_eq!(LIMIT.with(Cell::get), 0);

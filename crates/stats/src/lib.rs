@@ -6,6 +6,8 @@
 //! (2016), paired t-tests (used for the significance stars in the paper's
 //! Table IV), and bootstrap confidence intervals.
 
+#![forbid(unsafe_code)]
+
 mod bootstrap;
 mod distributions;
 mod func;

@@ -1,0 +1,126 @@
+//! Debug-build finiteness guards on kernel outputs.
+//!
+//! A NaN born inside one GEMM call surfaces epochs later as a diverged
+//! loss, with no trace of the operation that produced it. Each concrete
+//! kernel therefore asserts — in debug builds only (`cfg(debug_assertions)`:
+//! the dev and test profiles) — that its output contains no unexpected
+//! non-finite values. Release builds compile the checks down to nothing,
+//! so the hot path is untouched where it matters.
+//!
+//! Division may legitimately produce `±inf` (`x / 0` under a degenerate
+//! propensity, later clamped away), and clamping passes infinite bounds
+//! through, so those kernels reject only NaN.
+
+/// Which non-finite values a kernel's output may contain.
+#[derive(Clone, Copy)]
+pub(crate) enum Check {
+    /// Output must be entirely finite (no NaN, no ±inf).
+    Finite,
+    /// Output may contain ±inf but never NaN (see the module docs).
+    NoNan,
+}
+
+impl Check {
+    /// Scans `out` in debug builds and panics at the first violation;
+    /// release builds reduce this to nothing.
+    #[inline]
+    pub(crate) fn run(self, op: &str, out: &[f64]) {
+        if cfg!(debug_assertions) {
+            let bad = match self {
+                Check::Finite => out.iter().enumerate().find(|(_, v)| !v.is_finite()),
+                Check::NoNan => out.iter().enumerate().find(|(_, v)| v.is_nan()),
+            };
+            if let Some((i, v)) = bad {
+                // lint: allow(r3): debug-build guard — the panic is the diagnostic
+                panic!("{op}: non-finite output {v} at flat index {i} (debug finiteness guard)");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    // The guards are active exactly when debug assertions are; the test
+    // profile enables them, so these run un-ignored everywhere we test.
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "guards compile away without debug assertions"
+    )]
+    #[should_panic(expected = "matmul: non-finite output")]
+    fn poisoned_matmul_trips_the_guard() {
+        let mut a = Tensor::ones(3, 3);
+        a[(1, 2)] = f64::NAN;
+        let _ = a.matmul(&Tensor::ones(3, 3));
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "guards compile away without debug assertions"
+    )]
+    #[should_panic(expected = "matmul_tn: non-finite output")]
+    fn poisoned_gram_trips_the_guard() {
+        let mut a = Tensor::ones(4, 2);
+        a[(3, 1)] = f64::INFINITY;
+        let _ = a.gram();
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "guards compile away without debug assertions"
+    )]
+    #[should_panic(expected = "add: non-finite output")]
+    fn poisoned_add_trips_the_guard() {
+        let a = Tensor::full(2, 2, f64::INFINITY);
+        let _ = a.add(&Tensor::ones(2, 2));
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "guards compile away without debug assertions"
+    )]
+    #[should_panic(expected = "axpy: non-finite output")]
+    fn poisoned_axpy_trips_the_guard() {
+        let mut a = Tensor::ones(1, 3);
+        let mut b = Tensor::ones(1, 3);
+        b[(0, 1)] = f64::NAN;
+        a.axpy(0.5, &b);
+    }
+
+    #[test]
+    fn division_by_zero_is_tolerated() {
+        // ±inf is a legitimate div output; only NaN is rejected.
+        let a = Tensor::ones(1, 2);
+        let b = Tensor::from_rows(&[&[0.0, 2.0]]);
+        let q = a.div(&b);
+        assert!(q[(0, 0)].is_infinite());
+        assert!((q[(0, 1)] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "guards compile away without debug assertions"
+    )]
+    #[should_panic(expected = "div: non-finite output")]
+    fn nan_division_trips_the_guard() {
+        let z = Tensor::zeros(1, 1);
+        let _ = z.div(&z); // 0/0 is NaN, not inf
+    }
+
+    #[test]
+    fn clean_kernels_pass_the_guard() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 4.0]]);
+        let b = Tensor::from_rows(&[&[2.0, 0.5], &[-1.0, 3.0]]);
+        let _ = a.matmul(&b);
+        let _ = a.add(&b);
+        let _ = a.sub(&b).mul(&b).div(&b);
+        let _ = a.scale(3.0).neg().add_scalar(1.0).clamp(-2.0, 2.0);
+    }
+}

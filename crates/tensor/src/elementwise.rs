@@ -13,6 +13,7 @@
 //! that flexibility for callers matters more than parallelising the rare
 //! large `map`.
 
+use crate::checked::Check;
 use crate::Tensor;
 
 /// Minimum elements before an element-wise kernel fans out to the pool;
@@ -32,7 +33,13 @@ fn parallel_worthwhile(len: usize) -> bool {
 }
 
 /// `out[i] = f(a[i], b[i])`, parallel when large.
-fn binary(a: &Tensor, b: &Tensor, op: &str, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
+fn binary(
+    a: &Tensor,
+    b: &Tensor,
+    op: &str,
+    check: Check,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) -> Tensor {
     assert_eq!(
         a.shape(),
         b.shape(),
@@ -41,25 +48,39 @@ fn binary(a: &Tensor, b: &Tensor, op: &str, f: impl Fn(f64, f64) -> f64 + Sync) 
         b.shape()
     );
     let len = a.len();
-    if !parallel_worthwhile(len) {
-        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
-        return Tensor::from_vec(a.rows(), a.cols(), data);
-    }
-    let mut out = Tensor::zeros(a.rows(), a.cols());
-    let (ad, bd) = (a.data(), b.data());
-    let cl = chunk_len(len);
-    dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
-        let o = ci * cl;
-        let (xs, ys) = (&ad[o..o + chunk.len()], &bd[o..o + chunk.len()]);
-        for ((v, &x), &y) in chunk.iter_mut().zip(xs).zip(ys) {
-            *v = f(x, y);
-        }
-    });
+    let out = if parallel_worthwhile(len) {
+        let mut out = Tensor::zeros(a.rows(), a.cols());
+        let (ad, bd) = (a.data(), b.data());
+        let cl = chunk_len(len);
+        dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
+            let o = ci * cl;
+            let (xs, ys) = (&ad[o..o + chunk.len()], &bd[o..o + chunk.len()]);
+            for ((v, &x), &y) in chunk.iter_mut().zip(xs).zip(ys) {
+                *v = f(x, y);
+            }
+        });
+        out
+    } else {
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        Tensor::from_vec(a.rows(), a.cols(), data)
+    };
+    check.run(op, out.data());
     out
 }
 
 /// `dst[i] = f(dst[i], src[i])` in place, parallel when large.
-fn binary_inplace(dst: &mut Tensor, src: &Tensor, op: &str, f: impl Fn(f64, f64) -> f64 + Sync) {
+fn binary_inplace(
+    dst: &mut Tensor,
+    src: &Tensor,
+    op: &str,
+    check: Check,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) {
     assert_eq!(
         dst.shape(),
         src.shape(),
@@ -69,55 +90,60 @@ fn binary_inplace(dst: &mut Tensor, src: &Tensor, op: &str, f: impl Fn(f64, f64)
     );
     let len = dst.len();
     let sd = src.data();
-    if !parallel_worthwhile(len) {
+    if parallel_worthwhile(len) {
+        let cl = chunk_len(len);
+        dt_parallel::for_each_chunk(dst.data_mut(), cl, |ci, chunk| {
+            let src_chunk = &sd[ci * cl..ci * cl + chunk.len()];
+            for (d, &s) in chunk.iter_mut().zip(src_chunk) {
+                *d = f(*d, s);
+            }
+        });
+    } else {
         for (d, &s) in dst.data_mut().iter_mut().zip(sd) {
             *d = f(*d, s);
         }
-        return;
     }
-    let cl = chunk_len(len);
-    dt_parallel::for_each_chunk(dst.data_mut(), cl, |ci, chunk| {
-        let src_chunk = &sd[ci * cl..ci * cl + chunk.len()];
-        for (d, &s) in chunk.iter_mut().zip(src_chunk) {
-            *d = f(*d, s);
-        }
-    });
+    check.run(op, dst.data());
 }
 
 /// `out[i] = f(a[i])`, parallel when large.
-fn unary(a: &Tensor, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+fn unary(a: &Tensor, op: &str, check: Check, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
     let len = a.len();
-    if !parallel_worthwhile(len) {
+    let out = if parallel_worthwhile(len) {
+        let mut out = Tensor::zeros(a.rows(), a.cols());
+        let ad = a.data();
+        let cl = chunk_len(len);
+        dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
+            let src_chunk = &ad[ci * cl..ci * cl + chunk.len()];
+            for (v, &x) in chunk.iter_mut().zip(src_chunk) {
+                *v = f(x);
+            }
+        });
+        out
+    } else {
         let data = a.data().iter().map(|&x| f(x)).collect();
-        return Tensor::from_vec(a.rows(), a.cols(), data);
-    }
-    let mut out = Tensor::zeros(a.rows(), a.cols());
-    let ad = a.data();
-    let cl = chunk_len(len);
-    dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
-        let src_chunk = &ad[ci * cl..ci * cl + chunk.len()];
-        for (v, &x) in chunk.iter_mut().zip(src_chunk) {
-            *v = f(x);
-        }
-    });
+        Tensor::from_vec(a.rows(), a.cols(), data)
+    };
+    check.run(op, out.data());
     out
 }
 
 /// `dst[i] = f(dst[i])` in place, parallel when large.
-fn unary_inplace(dst: &mut Tensor, f: impl Fn(f64) -> f64 + Sync) {
+fn unary_inplace(dst: &mut Tensor, op: &str, check: Check, f: impl Fn(f64) -> f64 + Sync) {
     let len = dst.len();
-    if !parallel_worthwhile(len) {
+    if parallel_worthwhile(len) {
+        let cl = chunk_len(len);
+        dt_parallel::for_each_chunk(dst.data_mut(), cl, |_, chunk| {
+            for d in chunk {
+                *d = f(*d);
+            }
+        });
+    } else {
         for d in dst.data_mut() {
             *d = f(*d);
         }
-        return;
     }
-    let cl = chunk_len(len);
-    dt_parallel::for_each_chunk(dst.data_mut(), cl, |_, chunk| {
-        for d in chunk {
-            *d = f(*d);
-        }
-    });
+    check.run(op, dst.data());
 }
 
 impl Tensor {
@@ -127,7 +153,11 @@ impl Tensor {
     /// operations below parallelise instead.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self::from_vec(self.rows(), self.cols(), self.data().iter().map(|&v| f(v)).collect())
+        Self::from_vec(
+            self.rows(),
+            self.cols(),
+            self.data().iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place (sequential; see [`Tensor::map`]).
@@ -163,58 +193,61 @@ impl Tensor {
     /// Element-wise sum.
     #[must_use]
     pub fn add(&self, other: &Self) -> Self {
-        binary(self, other, "add", |a, b| a + b)
+        binary(self, other, "add", Check::Finite, |a, b| a + b)
     }
 
     /// Element-wise difference.
     #[must_use]
     pub fn sub(&self, other: &Self) -> Self {
-        binary(self, other, "sub", |a, b| a - b)
+        binary(self, other, "sub", Check::Finite, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
     #[must_use]
     pub fn mul(&self, other: &Self) -> Self {
-        binary(self, other, "mul", |a, b| a * b)
+        binary(self, other, "mul", Check::Finite, |a, b| a * b)
     }
 
-    /// Element-wise quotient.
+    /// Element-wise quotient. `±inf` from division by zero is allowed
+    /// through the debug guard; NaN (`0/0`) is not.
     #[must_use]
     pub fn div(&self, other: &Self) -> Self {
-        binary(self, other, "div", |a, b| a / b)
+        binary(self, other, "div", Check::NoNan, |a, b| a / b)
     }
 
     /// Adds `other` into `self` in place.
     pub fn add_assign(&mut self, other: &Self) {
-        binary_inplace(self, other, "add_assign", |a, b| a + b);
+        binary_inplace(self, other, "add_assign", Check::Finite, |a, b| a + b);
     }
 
     /// `self += alpha * other` (the BLAS `axpy` kernel).
     pub fn axpy(&mut self, alpha: f64, other: &Self) {
-        binary_inplace(self, other, "axpy", move |a, b| a + alpha * b);
+        binary_inplace(self, other, "axpy", Check::Finite, move |a, b| {
+            a + alpha * b
+        });
     }
 
     /// Multiplies every element by `alpha`.
     #[must_use]
     pub fn scale(&self, alpha: f64) -> Self {
-        unary(self, move |v| v * alpha)
+        unary(self, "scale", Check::Finite, move |v| v * alpha)
     }
 
     /// Multiplies every element by `alpha` in place.
     pub fn scale_inplace(&mut self, alpha: f64) {
-        unary_inplace(self, move |v| v * alpha);
+        unary_inplace(self, "scale_inplace", Check::Finite, move |v| v * alpha);
     }
 
     /// Adds `alpha` to every element.
     #[must_use]
     pub fn add_scalar(&self, alpha: f64) -> Self {
-        unary(self, move |v| v + alpha)
+        unary(self, "add_scalar", Check::Finite, move |v| v + alpha)
     }
 
     /// Negates every element.
     #[must_use]
     pub fn neg(&self) -> Self {
-        unary(self, |v| -v)
+        unary(self, "neg", Check::Finite, |v| -v)
     }
 
     /// Clamps every element to `[lo, hi]`.
@@ -224,7 +257,8 @@ impl Tensor {
     #[must_use]
     pub fn clamp(&self, lo: f64, hi: f64) -> Self {
         assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
-        unary(self, move |v| v.clamp(lo, hi))
+        // Infinite bounds pass ±inf through, so only NaN is rejected.
+        unary(self, "clamp", Check::NoNan, move |v| v.clamp(lo, hi))
     }
 
     /// Resets every element to zero, keeping the allocation.

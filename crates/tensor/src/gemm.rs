@@ -29,6 +29,7 @@
 //! The naive oracles these claims are tested against live in
 //! [`crate::reference`].
 
+use crate::checked::Check;
 use crate::Tensor;
 
 /// Height (input rows) of one reduction chunk in [`Tensor::matmul_tn`].
@@ -110,9 +111,7 @@ fn nt_panel(a: &[f64], b: &[f64], c: &mut [f64], k: usize, n: usize) {
             let b2 = &b[(j + 2) * k..(j + 3) * k];
             let b3 = &b[(j + 3) * k..(j + 4) * k];
             let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-            for ((((&av, &v0), &v1), &v2), &v3) in
-                arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
-            {
+            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
                 s0 += av * v0;
                 s1 += av * v1;
                 s2 += av * v2;
@@ -158,9 +157,7 @@ fn tn_panel(a: &[f64], b: &[f64], c: &mut [f64], k1: usize, k2: usize) {
         let b3 = &b[(row + 3) * k2..(row + 4) * k2];
         for (i, crow) in c.chunks_exact_mut(k2).enumerate() {
             let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
-            for ((((cv, &v0), &v1), &v2), &v3) in
-                crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-            {
+            for ((((cv, &v0), &v1), &v2), &v3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
                 *cv += x0 * v0;
                 *cv += x1 * v1;
                 *cv += x2 * v2;
@@ -169,7 +166,10 @@ fn tn_panel(a: &[f64], b: &[f64], c: &mut [f64], k1: usize, k2: usize) {
         }
         row += 4;
     }
-    for (arow, brow) in a[row * k1..].chunks_exact(k1).zip(b[row * k2..].chunks_exact(k2)) {
+    for (arow, brow) in a[row * k1..]
+        .chunks_exact(k1)
+        .zip(b[row * k2..].chunks_exact(k2))
+    {
         for (&av, crow) in arow.iter().zip(c.chunks_exact_mut(k2)) {
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += av * bv;
@@ -215,6 +215,7 @@ impl Tensor {
         } else {
             mm_panel(a, b, c, k, n);
         }
+        Check::Finite.run("matmul", out.data());
         out
     }
 
@@ -249,6 +250,7 @@ impl Tensor {
             // One chunk: accumulating straight into the zeroed output is
             // bit-identical to the buffered merge below (0.0 + x == x).
             tn_panel(a, b, out.data_mut(), k1, k2);
+            Check::Finite.run("matmul_tn", out.data());
             return out;
         }
         let threads = dt_parallel::effective_threads();
@@ -277,6 +279,7 @@ impl Tensor {
             }
             chunk0 += wave_n;
         }
+        Check::Finite.run("matmul_tn", out.data());
         out
     }
 
@@ -315,6 +318,7 @@ impl Tensor {
         } else {
             nt_panel(a, b, c, k, n);
         }
+        Check::Finite.run("matmul_nt", out.data());
         out
     }
 
@@ -359,6 +363,7 @@ impl Tensor {
                 .map(|(&s, &o)| s * o)
                 .sum::<f64>();
         }
+        Check::Finite.run("trace_product", &[t]);
         t
     }
 }

@@ -14,8 +14,13 @@ use crate::Tensor;
 /// Panics when `std` is negative or non-finite.
 #[must_use]
 pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Tensor {
+    // lint: allow(r3): documented `# Panics` contract — invalid `std` is a caller bug
     let dist = Normal::new(mean, std).expect("normal: invalid std");
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 /// i.i.d. `U[lo, hi)` entries.
@@ -26,7 +31,11 @@ pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng)
 pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Tensor {
     assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
     let dist = Uniform::new(lo, hi);
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 /// Glorot/Xavier uniform: `U[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.

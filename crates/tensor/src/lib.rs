@@ -34,10 +34,15 @@
 //! assert_eq!(a.frob_sq(), 1.0 + 4.0 + 9.0 + 16.0);
 //! ```
 
+// `unsafe` here is audited (lint R1): every block carries a SAFETY comment,
+// and code inside `unsafe fn` still has to spell out its unsafe operations.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod checked;
 mod elementwise;
 mod gemm;
-mod linalg;
 mod init;
+mod linalg;
 pub mod reference;
 mod shape;
 mod tensor;

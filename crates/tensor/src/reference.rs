@@ -18,7 +18,11 @@ use crate::Tensor;
 /// Panics when the inner dimensions disagree.
 #[must_use]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.cols(), b.rows(), "reference::matmul: inner dimension mismatch");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "reference::matmul: inner dimension mismatch"
+    );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Tensor::zeros(m, n);
     let (ad, bd) = (a.data(), b.data());
@@ -93,8 +97,15 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics when the row counts disagree or `chunk_rows == 0`.
 #[must_use]
 pub fn matmul_tn_chunked(a: &Tensor, b: &Tensor, chunk_rows: usize) -> Tensor {
-    assert_eq!(a.rows(), b.rows(), "reference::matmul_tn_chunked: row mismatch");
-    assert!(chunk_rows > 0, "reference::matmul_tn_chunked: chunk_rows must be positive");
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "reference::matmul_tn_chunked: row mismatch"
+    );
+    assert!(
+        chunk_rows > 0,
+        "reference::matmul_tn_chunked: chunk_rows must be positive"
+    );
     let n = a.rows();
     if n <= chunk_rows {
         return matmul_tn(a, b);

@@ -208,14 +208,22 @@ impl Tensor {
     #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
         let c = self.cols();
-        assert!(i < self.rows(), "row index {i} out of bounds for {}", self.shape);
+        assert!(
+            i < self.rows(),
+            "row index {i} out of bounds for {}",
+            self.shape
+        );
         &self.data[i * c..(i + 1) * c]
     }
 
     /// Mutable slice view of row `i`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         let c = self.cols();
-        assert!(i < self.rows(), "row index {i} out of bounds for {}", self.shape);
+        assert!(
+            i < self.rows(),
+            "row index {i} out of bounds for {}",
+            self.shape
+        );
         &mut self.data[i * c..(i + 1) * c]
     }
 
@@ -621,7 +629,10 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let row = Tensor::row_vec(&[1.0, 2.0, 3.0]);
         let col = Tensor::col_vec(&[10.0, 20.0]);
-        assert_eq!(a.add_row_broadcast(&row).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            a.add_row_broadcast(&row).data(),
+            &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        );
         assert_eq!(
             a.add_col_broadcast(&col).data(),
             &[10.0, 10.0, 10.0, 20.0, 20.0, 20.0]

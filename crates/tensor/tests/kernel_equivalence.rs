@@ -32,7 +32,11 @@ impl XorShift {
     }
 
     fn tensor(&mut self, rows: usize, cols: usize) -> Tensor {
-        Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| self.next_f64()).collect())
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| self.next_f64()).collect(),
+        )
     }
 }
 
@@ -119,7 +123,11 @@ fn matmul_tn_matches_chunked_oracle_exactly_at_every_width() {
                 assert_bits_eq(&got, &want, &format!("matmul_tn {r}x{k1}/{k2} @{limit}"));
             }
             let got_seq = dt_parallel::run_sequential(|| a.matmul_tn(&b));
-            assert_bits_eq(&got_seq, &want, &format!("matmul_tn {r}x{k1}/{k2} sequential"));
+            assert_bits_eq(
+                &got_seq,
+                &want,
+                &format!("matmul_tn {r}x{k1}/{k2} sequential"),
+            );
         }
     }
 }
@@ -151,7 +159,13 @@ fn elementwise_kernels_are_width_independent() {
             acc.axpy(alpha, &b);
             acc.add_assign(&a);
             acc.scale_inplace(1.25);
-            (acc.clone(), a.div(&b), a.scale(alpha), a.neg(), a.add_scalar(2.5))
+            (
+                acc.clone(),
+                a.div(&b),
+                a.scale(alpha),
+                a.neg(),
+                a.add_scalar(2.5),
+            )
         })
     };
     let base = run(1);

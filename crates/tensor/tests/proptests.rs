@@ -15,9 +15,8 @@ fn tensor_strategy() -> impl Strategy<Value = Tensor> {
 fn same_shape_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
         let v = proptest::collection::vec(-10.0f64..10.0, r * c);
-        (v.clone(), v).prop_map(move |(a, b)| {
-            (Tensor::from_vec(r, c, a), Tensor::from_vec(r, c, b))
-        })
+        (v.clone(), v)
+            .prop_map(move |(a, b)| (Tensor::from_vec(r, c, a), Tensor::from_vec(r, c, b)))
     })
 }
 
@@ -26,9 +25,7 @@ fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| {
         let a = proptest::collection::vec(-5.0f64..5.0, m * k);
         let b = proptest::collection::vec(-5.0f64..5.0, k * n);
-        (a, b).prop_map(move |(a, b)| {
-            (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b))
-        })
+        (a, b).prop_map(move |(a, b)| (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b)))
     })
 }
 
@@ -38,9 +35,7 @@ fn wide_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..=40, 1usize..=20, 1usize..=40).prop_flat_map(|(m, k, n)| {
         let a = proptest::collection::vec(-5.0f64..5.0, m * k);
         let b = proptest::collection::vec(-5.0f64..5.0, k * n);
-        (a, b).prop_map(move |(a, b)| {
-            (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b))
-        })
+        (a, b).prop_map(move |(a, b)| (Tensor::from_vec(m, k, a), Tensor::from_vec(k, n, b)))
     })
 }
 

@@ -10,9 +10,7 @@
 //! cargo run --release --example identifiability
 //! ```
 
-use dt_identify::{
-    example1_models, fit_separable, observed_density, SeparableLogisticModel,
-};
+use dt_identify::{example1_models, fit_separable, observed_density, SeparableLogisticModel};
 use dt_stats::{expit, logit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,7 +19,11 @@ fn main() {
     // ---- 1. Example 1 ------------------------------------------------------
     let (a, b) = example1_models();
     println!("Example 1: model (a) reveals HIGH ratings, model (b) reveals LOW ratings");
-    println!("           P_a(o=1|r=4) = {:.3}, P_b(o=1|r=4) = {:.3}", a.propensity(4.0), b.propensity(4.0));
+    println!(
+        "           P_a(o=1|r=4) = {:.3}, P_b(o=1|r=4) = {:.3}",
+        a.propensity(4.0),
+        b.propensity(4.0)
+    );
     let mut max_gap: f64 = 0.0;
     for i in 0..=300 {
         let r = -3.0 + 0.04 * f64::from(i);
@@ -58,15 +60,18 @@ fn main() {
     println!("  → identical: observed data cannot even tell MNAR from MAR.\n");
 
     // ---- 3. Theorem 1: the auxiliary variable breaks the tie ----------------
-    let gen_z = SeparableLogisticModel {
-        alpha: 1.2,
-        ..gen
-    };
+    let gen_z = SeparableLogisticModel { alpha: 1.2, ..gen };
     let sample_z = gen_z.sample(50_000, &mut StdRng::seed_from_u64(2));
     let fitted = fit_separable(&sample_z, 600, 2.0);
     println!("With auxiliary z (Assumption 1), MLE on (z, o, r·o) recovers:");
-    println!("  true  : c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}", gen_z.c, gen_z.alpha, gen_z.beta, gen_z.pi);
-    println!("  fitted: c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}", fitted.c, fitted.alpha, fitted.beta, fitted.pi);
+    println!(
+        "  true  : c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}",
+        gen_z.c, gen_z.alpha, gen_z.beta, gen_z.pi
+    );
+    println!(
+        "  fitted: c = {:.2}, α = {:.2}, β = {:.2}, π = {:.2}",
+        fitted.c, fitted.alpha, fitted.beta, fitted.pi
+    );
     let mar_mimic_z = SeparableLogisticModel {
         alpha: 1.2,
         ..mar_mimic

@@ -79,8 +79,7 @@ fn dt_methods_beat_the_naive_baseline_under_mnar() {
     // true preferences; AUC moves less on small synthetic data, so we
     // assert improvement on MSE and no regression on AUC.
     let seeds = [42, 43, 44];
-    let (mut mf_auc, mut dt_auc, mut ips_mse, mut mf_mse, mut dt_mse) =
-        (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut mf_auc, mut dt_auc, mut ips_mse, mut mf_mse, mut dt_mse) = (0.0, 0.0, 0.0, 0.0, 0.0);
     for &s in &seeds {
         let ds = dataset(Mechanism::Mnar, s);
         let mf = fit_and_eval(Method::Mf, &ds, s);
@@ -188,7 +187,10 @@ fn dt_beats_mar_ips_across_rating_effect_strengths() {
     let strong = gap(2.5);
     // gap < 0 means DT better.
     assert!(weak < 0.0, "weak-effect gap {weak:.4} should favour DT");
-    assert!(strong < 0.0, "strong-effect gap {strong:.4} should favour DT");
+    assert!(
+        strong < 0.0,
+        "strong-effect gap {strong:.4} should favour DT"
+    );
 }
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {

@@ -38,7 +38,13 @@ fn all_positive_training_log_does_not_blow_up() {
         }
     }
     let ds = dataset_from(log);
-    for method in [Method::Mf, Method::Ips, Method::DrJl, Method::DtIps, Method::Esmm] {
+    for method in [
+        Method::Mf,
+        Method::Ips,
+        Method::DrJl,
+        Method::DtIps,
+        Method::Esmm,
+    ] {
         let mut model = registry::build(method, &ds, &tiny_cfg(), 0);
         let mut rng = StdRng::seed_from_u64(0);
         let fit = model.fit(&ds, &mut rng);

@@ -33,7 +33,13 @@ fn quick_cfg() -> TrainConfig {
 #[test]
 fn full_pipeline_runs_for_representative_methods() {
     let ds = small_mnar(31);
-    for method in [Method::Mf, Method::Ips, Method::DrJl, Method::Esmm, Method::DtIps] {
+    for method in [
+        Method::Mf,
+        Method::Ips,
+        Method::DrJl,
+        Method::Esmm,
+        Method::DtIps,
+    ] {
         let mut model = registry::build(method, &ds, &quick_cfg(), 0);
         let mut rng = StdRng::seed_from_u64(0);
         let fit = model.fit(&ds, &mut rng);
@@ -42,7 +48,12 @@ fn full_pipeline_runs_for_representative_methods() {
         assert!(fit.train_seconds > 0.0);
 
         let eval = evaluate(model.as_ref(), &ds, 5);
-        assert!(eval.auc.is_finite() && eval.auc > 0.35, "{}: AUC {}", model.name(), eval.auc);
+        assert!(
+            eval.auc.is_finite() && eval.auc > 0.35,
+            "{}: AUC {}",
+            model.name(),
+            eval.auc
+        );
         assert!((0.0..=1.0).contains(&eval.ndcg));
         assert!((0.0..=1.0).contains(&eval.recall));
         assert!(eval.mse_vs_truth.is_finite());

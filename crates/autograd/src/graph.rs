@@ -2,7 +2,7 @@
 
 use std::rc::Rc;
 
-use dt_tensor::Tensor;
+use dt_tensor::{Grad, RowSparse, Tensor};
 
 use crate::op::Op;
 use crate::params::{ParamId, Params};
@@ -347,7 +347,8 @@ impl Graph {
     // -- backward ------------------------------------------------------------------------------
 
     /// Reverse sweep from the scalar `loss`; gradients of parameter leaves
-    /// are accumulated into `params`.
+    /// are accumulated into `params` — row-sparse deltas (from [`Graph::gather`]
+    /// backward) stay sparse all the way into the store.
     ///
     /// # Panics
     /// Panics when `loss` is not `1×1`.
@@ -355,59 +356,79 @@ impl Graph {
         let grads = self.run_backward(loss);
         for (i, g) in grads.into_iter().enumerate() {
             if let (Op::Leaf(Some(id)), Some(g)) = (&self.nodes[i].op, g) {
-                params.accumulate_grad(*id, &g);
+                params.accumulate_grad_owned(*id, g);
             }
         }
     }
 
-    /// Reverse sweep that returns the gradients of the requested variables
-    /// (used by gradient checking and the optimizer tests).
+    /// Reverse sweep that returns the (densified) gradients of the
+    /// requested variables (used by gradient checking and the optimizer
+    /// tests).
     #[must_use]
     pub fn backward_collect(&self, loss: Var, wanted: &[Var]) -> Vec<Tensor> {
         let grads = self.run_backward(loss);
         wanted
             .iter()
             .map(|v| {
-                grads[v.0].clone().unwrap_or_else(|| {
-                    let t = self.value(*v);
-                    Tensor::zeros(t.rows(), t.cols())
-                })
+                grads[v.0].clone().map_or_else(
+                    || {
+                        let t = self.value(*v);
+                        Tensor::zeros(t.rows(), t.cols())
+                    },
+                    Grad::into_dense,
+                )
             })
             .collect()
     }
 
-    fn run_backward(&self, loss: Var) -> Vec<Option<Tensor>> {
+    fn run_backward(&self, loss: Var) -> Vec<Option<Grad>> {
         assert!(
             self.value(loss).shape().is_scalar(),
             "backward: loss must be 1x1, got {}",
             self.value(loss).shape()
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::scalar(1.0));
+        let mut grads: Vec<Option<Grad>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Grad::Dense(Tensor::scalar(1.0)));
 
         for i in (0..=loss.0).rev() {
             let Some(g) = grads[i].take() else { continue };
             let node = &self.nodes[i];
-            if node.requires_grad {
-                self.backprop_node(i, &g, &mut grads);
-            }
+            // Leaves terminate the sweep, so their gradient may stay
+            // sparse; interior nodes densify once before backprop (in this
+            // workspace only leaf tables are gathered from, so this path
+            // never fires on a sparse gradient in practice).
+            let g = if node.requires_grad && !matches!(node.op, Op::Leaf(_)) {
+                let gd = g.into_dense();
+                self.backprop_node(i, &gd, &mut grads);
+                Grad::Dense(gd)
+            } else {
+                g
+            };
             grads[i] = Some(g);
         }
         grads
     }
 
-    fn acc(&self, grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
+    fn acc_grad(&self, grads: &mut [Option<Grad>], v: Var, delta: Grad) {
         if !self.nodes[v.0].requires_grad && !matches!(self.nodes[v.0].op, Op::Leaf(None)) {
             return;
         }
         match &mut grads[v.0] {
-            Some(g) => g.add_assign(&delta),
+            Some(g) => g.accumulate(delta),
             slot @ None => *slot = Some(delta),
         }
     }
 
+    fn acc(&self, grads: &mut [Option<Grad>], v: Var, delta: Tensor) {
+        self.acc_grad(grads, v, Grad::Dense(delta));
+    }
+
+    fn acc_rows(&self, grads: &mut [Option<Grad>], v: Var, delta: RowSparse) {
+        self.acc_grad(grads, v, Grad::RowSparse(delta));
+    }
+
     #[allow(clippy::too_many_lines)]
-    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut [Option<Grad>]) {
         use Op::*;
         let val = |v: Var| -> &Tensor { &self.nodes[v.0].value };
         let out = &self.nodes[i].value;
@@ -546,10 +567,11 @@ impl Graph {
             }
 
             Gather(table, indices) => {
+                // Row-sparse delta: O(B·K) instead of materialising an
+                // M×K scatter. Densifies to exactly `scatter_add_rows`.
                 let t = val(table);
-                let mut dt = Tensor::zeros(t.rows(), t.cols());
-                dt.scatter_add_rows(&indices, g);
-                self.acc(grads, table, dt);
+                let ds = RowSparse::from_scatter(t.rows(), t.cols(), &indices, g);
+                self.acc_rows(grads, table, ds);
             }
             ConcatCols(a, b) => {
                 let ca = val(a).cols();
@@ -702,8 +724,10 @@ mod tests {
         let rows = g.gather(tv, Rc::new(vec![1, 1, 0]));
         let s = g.sum(rows);
         g.backward(s, &mut params);
-        // Row 1 gathered twice, row 0 once.
-        assert_eq!(params.grad(table).row(1), &[2.0, 2.0]);
-        assert_eq!(params.grad(table).row(0), &[1.0, 1.0]);
+        // Row 1 gathered twice, row 0 once — and the delta stayed sparse.
+        assert!(!params.grad(table).is_dense());
+        let dense = params.grad(table).to_dense();
+        assert_eq!(dense.row(1), &[2.0, 2.0]);
+        assert_eq!(dense.row(0), &[1.0, 1.0]);
     }
 }

@@ -18,6 +18,11 @@
 //! * **Gradient pruning.** `requires_grad` propagates forward; branches
 //!   behind [`Graph::detach`] (e.g. propensities used as IPS weights) cost
 //!   nothing at backward time.
+//! * **Row-sparse embedding gradients.** The backward rule of
+//!   [`Graph::gather`] emits a [`dt_tensor::RowSparse`] delta and [`Params`]
+//!   accumulates [`dt_tensor::Grad`] values, so a `B`-row mini-batch never
+//!   materialises an `M×K` gradient unless a full-table (dense) loss term
+//!   is present — see DESIGN.md §10.
 //! * **Verified by finite differences.** The [`gradcheck`] module compares
 //!   every op's analytic gradient against central differences; the test
 //!   suite runs it over randomized shapes.
@@ -37,7 +42,7 @@
 //! g.backward(loss, &mut params);
 //!
 //! // d‖W‖²_F/dW = 2W
-//! assert_eq!(params.grad(w).data(), &[2.0, 4.0, 6.0, 8.0]);
+//! assert_eq!(params.grad(w).to_dense().data(), &[2.0, 4.0, 6.0, 8.0]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,7 +52,12 @@ pub mod gradcheck;
 mod graph;
 mod op;
 mod params;
+#[cfg(feature = "serde")]
+mod snapshot;
 
+pub use dt_tensor::{Grad, RowSparse};
 pub use graph::{Graph, Var};
 pub use op::Op;
-pub use params::{ParamId, Params, ParamsSnapshot};
+pub use params::{ParamId, Params};
+#[cfg(feature = "serde")]
+pub use snapshot::ParamsSnapshot;

@@ -2,16 +2,16 @@
 
 use std::rc::Rc;
 
-use dt_tensor::Tensor;
+use dt_tensor::{Grad, RowSparse, Tensor};
 
 /// Handle to a parameter inside a [`Params`] store.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ParamId(pub(crate) usize);
 
-struct Entry {
-    name: String,
-    value: Rc<Tensor>,
-    grad: Tensor,
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) value: Rc<Tensor>,
+    pub(crate) grad: Grad,
 }
 
 /// A store of named, trainable tensors plus their accumulated gradients.
@@ -20,6 +20,10 @@ struct Entry {
 /// is an `Rc` clone. The optimizer mutates values through
 /// [`Params::value_mut`], which copies-on-write only if a graph from a
 /// previous step is still alive (normally it is not).
+///
+/// Gradients are stored as [`Grad`] — row-sparse until a dense delta
+/// arrives — so a mini-batch that gathers `B` rows of an `M × K` table
+/// accumulates, clips and zeroes in `O(B·K)` instead of `O(M·K)`.
 #[derive(Default)]
 pub struct Params {
     entries: Vec<Entry>,
@@ -34,7 +38,7 @@ impl Params {
 
     /// Registers a parameter and returns its handle.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
-        let grad = Tensor::zeros(value.rows(), value.cols());
+        let grad = Grad::empty(value.rows(), value.cols());
         self.entries.push(Entry {
             name: name.into(),
             value: Rc::new(value),
@@ -84,26 +88,65 @@ impl Params {
         Rc::make_mut(&mut self.entries[id.0].value)
     }
 
+    /// Raw entry access for sibling modules (checkpoint restore).
+    #[cfg(feature = "serde")]
+    pub(crate) fn entry_mut(&mut self, id: ParamId) -> &mut Entry {
+        &mut self.entries[id.0]
+    }
+
     /// Immutable view of the accumulated gradient.
     #[must_use]
-    pub fn grad(&self, id: ParamId) -> &Tensor {
+    pub fn grad(&self, id: ParamId) -> &Grad {
         &self.entries[id.0].grad
     }
 
     /// Mutable access to the accumulated gradient.
-    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Grad {
         &mut self.entries[id.0].grad
     }
 
-    /// Adds `delta` into the gradient accumulator for `id`.
-    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
-        self.entries[id.0].grad.add_assign(delta);
+    /// The gradient together with mutable access to the value — the
+    /// optimizer-step view. Borrowing both sides at once lets the step
+    /// read the gradient in place instead of cloning it.
+    pub fn grad_and_value_mut(&mut self, id: ParamId) -> (&Grad, &mut Tensor) {
+        let e = &mut self.entries[id.0];
+        (&e.grad, Rc::make_mut(&mut e.value))
     }
 
-    /// Zeroes every gradient accumulator (call between optimizer steps).
+    /// Adds a dense `delta` into the gradient accumulator for `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.entries[id.0]
+            .grad
+            .accumulate(Grad::Dense(delta.clone()));
+    }
+
+    /// Adds a row-sparse `delta` into the gradient accumulator for `id`
+    /// without densifying.
+    pub fn accumulate_grad_rows(&mut self, id: ParamId, delta: RowSparse) {
+        self.entries[id.0].grad.accumulate(Grad::RowSparse(delta));
+    }
+
+    /// Adds an owned dense-or-sparse `delta` (the backward-sweep path).
+    pub fn accumulate_grad_owned(&mut self, id: ParamId, delta: Grad) {
+        self.entries[id.0].grad.accumulate(delta);
+    }
+
+    /// Converts every accumulator to its dense representation (used by the
+    /// dense-oracle tests and benchmarks; trainers never need this).
+    pub fn densify_grads(&mut self) {
+        for e in &mut self.entries {
+            if let Grad::RowSparse(s) = &e.grad {
+                e.grad = Grad::Dense(s.to_dense());
+            }
+        }
+    }
+
+    /// Resets every gradient accumulator to the empty row-sparse state
+    /// (call between optimizer steps). `O(1)` per parameter — no
+    /// full-table wipe.
     pub fn zero_grad(&mut self) {
         for e in &mut self.entries {
-            e.grad.fill_zero();
+            e.grad.clear();
         }
     }
 
@@ -113,6 +156,7 @@ impl Params {
     }
 
     /// Global L2 norm of all gradients, used for clipping diagnostics.
+    /// Touched-rows-only for sparse accumulators.
     #[must_use]
     pub fn grad_norm(&self) -> f64 {
         self.entries
@@ -145,7 +189,8 @@ mod tests {
         assert_eq!(p.name(a), "a");
         assert_eq!(p.name(b), "b");
         assert_eq!(p.value(a).sum(), 6.0);
-        assert_eq!(p.grad(a).sum(), 0.0);
+        assert_eq!(p.grad(a).frob_sq(), 0.0);
+        assert!(!p.grad(a).is_dense(), "fresh grads start row-sparse");
     }
 
     #[test]
@@ -154,10 +199,45 @@ mod tests {
         let a = p.add("a", Tensor::zeros(2, 2));
         p.accumulate_grad(a, &Tensor::ones(2, 2));
         p.accumulate_grad(a, &Tensor::ones(2, 2));
-        assert_eq!(p.grad(a).sum(), 8.0);
+        assert_eq!(p.grad(a).to_dense().sum(), 8.0);
         assert_eq!(p.grad_norm(), 4.0);
         p.zero_grad();
-        assert_eq!(p.grad(a).sum(), 0.0);
+        assert_eq!(p.grad(a).to_dense().sum(), 0.0);
+        assert!(!p.grad(a).is_dense(), "zero_grad resets to sparse");
+    }
+
+    #[test]
+    fn sparse_accumulation_stays_sparse() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(4, 2));
+        let delta = RowSparse::from_scatter(4, 2, &[1, 3], &Tensor::ones(2, 2));
+        p.accumulate_grad_rows(a, delta.clone());
+        p.accumulate_grad_rows(a, delta);
+        assert!(!p.grad(a).is_dense());
+        assert_eq!(p.grad(a).to_dense().row(1), &[2.0, 2.0]);
+        assert_eq!(p.grad(a).to_dense().row(0), &[0.0, 0.0]);
+        assert_eq!(p.grad_norm(), (4.0 * 4.0_f64).sqrt());
+    }
+
+    #[test]
+    fn densify_grads_preserves_values() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::zeros(3, 1));
+        p.accumulate_grad_rows(a, RowSparse::from_scatter(3, 1, &[2], &Tensor::scalar(5.0)));
+        p.densify_grads();
+        assert!(p.grad(a).is_dense());
+        assert_eq!(p.grad(a).to_dense().data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn grad_and_value_mut_borrows_both_sides() {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::ones(1, 2));
+        p.accumulate_grad(a, &Tensor::row_vec(&[1.0, 2.0]));
+        let (g, w) = p.grad_and_value_mut(a);
+        let g = g.to_dense();
+        w.axpy(-1.0, &g);
+        assert_eq!(p.value(a).data(), &[0.0, -1.0]);
     }
 
     #[test]
@@ -177,114 +257,5 @@ mod tests {
         assert!(p.all_finite());
         p.value_mut(a).set(0, 0, f64::NAN);
         assert!(!p.all_finite());
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Checkpointing
-// ---------------------------------------------------------------------------
-
-/// A serialisable snapshot of a [`Params`] store (names + values; gradients
-/// are not checkpointed).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
-pub struct ParamsSnapshot {
-    entries: Vec<(String, Tensor)>,
-}
-
-impl Params {
-    /// Captures the current parameter values.
-    #[must_use]
-    pub fn snapshot(&self) -> ParamsSnapshot {
-        ParamsSnapshot {
-            entries: self
-                .entries
-                .iter()
-                .map(|e| (e.name.clone(), (*e.value).clone()))
-                .collect(),
-        }
-    }
-
-    /// Restores values from a snapshot taken on an identically-structured
-    /// store (same names, same shapes, same order). Gradients are zeroed.
-    ///
-    /// # Panics
-    /// Panics on any structural mismatch — restoring into the wrong model
-    /// is a programmer error worth failing loudly on.
-    pub fn restore(&mut self, snapshot: &ParamsSnapshot) {
-        assert_eq!(
-            self.entries.len(),
-            snapshot.entries.len(),
-            "restore: {} params vs {} in snapshot",
-            self.entries.len(),
-            snapshot.entries.len()
-        );
-        for (e, (name, value)) in self.entries.iter_mut().zip(&snapshot.entries) {
-            assert_eq!(&e.name, name, "restore: parameter name mismatch");
-            assert_eq!(
-                e.value.shape(),
-                value.shape(),
-                "restore: shape mismatch for {name}"
-            );
-            e.value = Rc::new(value.clone());
-            e.grad.fill_zero();
-        }
-    }
-}
-
-#[cfg(test)]
-mod snapshot_tests {
-    use super::*;
-
-    fn store() -> (Params, ParamId, ParamId) {
-        let mut p = Params::new();
-        let a = p.add("a", Tensor::from_rows(&[&[1.0, 2.0]]));
-        let b = p.add("b", Tensor::scalar(3.0));
-        (p, a, b)
-    }
-
-    #[test]
-    fn snapshot_restore_roundtrip() {
-        let (mut p, a, b) = store();
-        let snap = p.snapshot();
-        p.value_mut(a).set(0, 0, 99.0);
-        p.value_mut(b).set(0, 0, -1.0);
-        p.accumulate_grad(a, &Tensor::ones(1, 2));
-        p.restore(&snap);
-        assert_eq!(p.value(a).get(0, 0), 1.0);
-        assert_eq!(p.value(b).item(), 3.0);
-        assert_eq!(p.grad(a).sum(), 0.0, "gradients zeroed on restore");
-    }
-
-    #[test]
-    fn snapshot_survives_json() {
-        let (p, _, _) = store();
-        let json = serde_json::to_string(&p.snapshot()).unwrap();
-        let back: ParamsSnapshot = serde_json::from_str(&json).unwrap();
-        let (mut q, a, _) = store();
-        q.value_mut(a).set(0, 1, 42.0);
-        q.restore(&back);
-        assert_eq!(q.value(a).get(0, 1), 2.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "parameter name mismatch")]
-    fn restore_into_wrong_store_panics() {
-        let (p, _, _) = store();
-        let snap = p.snapshot();
-        let mut other = Params::new();
-        other.add("x", Tensor::from_rows(&[&[0.0, 0.0]]));
-        other.add("b", Tensor::scalar(0.0));
-        other.restore(&snap);
-    }
-
-    #[test]
-    #[should_panic(expected = "shape mismatch")]
-    fn restore_with_wrong_shape_panics() {
-        let (p, _, _) = store();
-        let snap = p.snapshot();
-        let mut other = Params::new();
-        other.add("a", Tensor::zeros(2, 2));
-        other.add("b", Tensor::scalar(0.0));
-        other.restore(&snap);
     }
 }

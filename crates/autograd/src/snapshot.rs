@@ -1,0 +1,120 @@
+//! Checkpointing: serialisable snapshots of a [`Params`] store.
+//!
+//! Lives behind the (default-on) `serde` feature so the core engine stays
+//! dependency-free for the offline verification harness.
+
+use std::rc::Rc;
+
+use dt_tensor::Tensor;
+
+use crate::params::Params;
+
+/// A serialisable snapshot of a [`Params`] store (names + values; gradients
+/// are not checkpointed).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ParamsSnapshot {
+    entries: Vec<(String, Tensor)>,
+}
+
+impl Params {
+    /// Captures the current parameter values.
+    #[must_use]
+    pub fn snapshot(&self) -> ParamsSnapshot {
+        ParamsSnapshot {
+            entries: self
+                .ids()
+                .map(|id| (self.name(id).to_owned(), self.value(id).clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores values from a snapshot taken on an identically-structured
+    /// store (same names, same shapes, same order). Gradients are zeroed.
+    ///
+    /// # Panics
+    /// Panics on any structural mismatch — restoring into the wrong model
+    /// is a programmer error worth failing loudly on.
+    pub fn restore(&mut self, snapshot: &ParamsSnapshot) {
+        assert_eq!(
+            self.len(),
+            snapshot.entries.len(),
+            "restore: {} params vs {} in snapshot",
+            self.len(),
+            snapshot.entries.len()
+        );
+        let ids: Vec<_> = self.ids().collect();
+        for (id, (name, value)) in ids.into_iter().zip(&snapshot.entries) {
+            assert_eq!(self.name(id), name, "restore: parameter name mismatch");
+            assert_eq!(
+                self.value(id).shape(),
+                value.shape(),
+                "restore: shape mismatch for {name}"
+            );
+            self.entry_mut(id).value = Rc::new(value.clone());
+        }
+        self.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamId;
+
+    fn store() -> (Params, ParamId, ParamId) {
+        let mut p = Params::new();
+        let a = p.add("a", Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = p.add("b", Tensor::scalar(3.0));
+        (p, a, b)
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (mut p, a, b) = store();
+        let snap = p.snapshot();
+        p.value_mut(a).set(0, 0, 99.0);
+        p.value_mut(b).set(0, 0, -1.0);
+        p.accumulate_grad(a, &Tensor::ones(1, 2));
+        p.restore(&snap);
+        assert_eq!(p.value(a).get(0, 0), 1.0);
+        assert_eq!(p.value(b).item(), 3.0);
+        assert_eq!(
+            p.grad(a).to_dense().sum(),
+            0.0,
+            "gradients zeroed on restore"
+        );
+    }
+
+    #[test]
+    fn snapshot_survives_json() {
+        let (p, _, _) = store();
+        let json = serde_json::to_string(&p.snapshot()).unwrap();
+        let back: ParamsSnapshot = serde_json::from_str(&json).unwrap();
+        let (mut q, a, _) = store();
+        q.value_mut(a).set(0, 1, 42.0);
+        q.restore(&back);
+        assert_eq!(q.value(a).get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter name mismatch")]
+    fn restore_into_wrong_store_panics() {
+        let (p, _, _) = store();
+        let snap = p.snapshot();
+        let mut other = Params::new();
+        other.add("x", Tensor::from_rows(&[&[0.0, 0.0]]));
+        other.add("b", Tensor::scalar(0.0));
+        other.restore(&snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_with_wrong_shape_panics() {
+        let (p, _, _) = store();
+        let snap = p.snapshot();
+        let mut other = Params::new();
+        other.add("a", Tensor::zeros(2, 2));
+        other.add("b", Tensor::scalar(0.0));
+        other.restore(&snap);
+    }
+}

@@ -134,7 +134,7 @@ proptest! {
         let l = g.mean(s);
         let direct = g.backward_collect(l, &[v]).remove(0);
         g.backward(l, &mut params);
-        prop_assert!(params.grad(id).approx_eq(&direct, 1e-12));
+        prop_assert!(params.grad(id).to_dense().approx_eq(&direct, 1e-12));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! One DT-IPS-shaped training step, dense vs row-sparse gradients.
+//!
+//! The criterion run covers the `M = 10⁵` scale interactively; `main` then
+//! regenerates `BENCH_train_step.json` at the repo root via
+//! [`dt_bench::train_step`], which sweeps `M ∈ {10⁴, 10⁵, 10⁶}`.
+
+use criterion::{criterion_group, Criterion};
+use dt_bench::train_step::TrainBench;
+
+fn bench_train_step(c: &mut Criterion) {
+    let (m, k, b) = (100_000, 64, 128);
+    let mut group = c.benchmark_group(format!("DT-IPS step M={m} K={k} B={b}"));
+    group.sample_size(10);
+    let mut dense = TrainBench::new(m, k, b, true);
+    group.bench_function("dense gradients (legacy path)", |bench| {
+        bench.iter(|| dense.step());
+    });
+    let mut sparse = TrainBench::new(m, k, b, false);
+    group.bench_function("row-sparse gradients (lazy adam)", |bench| {
+        bench.iter(|| sparse.step());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step
+}
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train_step.json");
+    eprintln!("\nwriting train-step report to {path}");
+    if let Err(e) = dt_bench::train_step::write_train_step_report(std::path::Path::new(path)) {
+        eprintln!("failed to write {path}: {e}");
+    }
+}

@@ -16,6 +16,9 @@
 //! * `table6_timing` — the paper's efficiency study (training + inference
 //!   latency per method);
 //! * `figure5_sparsity` — fit time as the training log is subsampled.
+//! * `train_step` — one DT-IPS-shaped training step with dense vs
+//!   row-sparse gradients; the run also regenerates `BENCH_train_step.json`
+//!   at the repo root (see [`train_step`]).
 //!
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
@@ -23,3 +26,4 @@
 #![forbid(unsafe_code)]
 
 pub mod report;
+pub mod train_step;

@@ -1,0 +1,365 @@
+//! Training-step report: dense vs row-sparse gradient path for
+//! `BENCH_train_step.json`.
+//!
+//! The acceptance artefact for the row-sparse gradient work is a single
+//! machine-readable file timing one DT-IPS-shaped training step — a
+//! propensity update on a `4B` uniform batch followed by an IPS-weighted
+//! rating update on a `B` observed batch, both through embedding gathers
+//! over `M×K` tables and an Adam step — with the gradients carried densely
+//! (the pre-row-sparse behaviour: `Params::densify_grads` plus
+//! [`GradMode::DenseEquivalent`]) versus row-sparsely (the default lazy
+//! path). Dense-path cost is `O(M·K)` per step regardless of batch size;
+//! the sparse path touches only the gathered rows, so the gap widens with
+//! the table height `M`. Like [`crate::report`], the harness is a plain
+//! `Instant` best-of-N (std-only, so the offline verification shim can run
+//! it) and the JSON is hand-rolled.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+use std::time::Instant;
+
+use dt_autograd::{Graph, ParamId, Params};
+use dt_optim::{Adam, GradMode, Optimizer};
+use dt_tensor::Tensor;
+
+/// Deterministic xorshift64* stream — the report must not depend on `rand`.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The two embedding-backed models a DT-IPS step trains: a rating MF and a
+/// propensity MF, each `M×K` per side, sharing one parameter store so a
+/// single optimizer sweep covers the whole step (the shape that matters for
+/// the dense-vs-sparse comparison; per-model stores only change bookkeeping).
+struct DtIpsModel {
+    params: Params,
+    user: ParamId,
+    item: ParamId,
+    p_user: ParamId,
+    p_item: ParamId,
+}
+
+impl DtIpsModel {
+    fn new(m: usize, k: usize, seed: u64) -> Self {
+        let mut rng = XorShift(seed | 1);
+        let table = |rows: usize, cols: usize, rng: &mut XorShift| {
+            let data = (0..rows * cols).map(|_| 0.1 * rng.unit()).collect();
+            Tensor::from_vec(rows, cols, data)
+        };
+        let mut params = Params::new();
+        let user = params.add("user_emb", table(m, k, &mut rng));
+        let item = params.add("item_emb", table(m, k, &mut rng));
+        let p_user = params.add("p_user_emb", table(m, k, &mut rng));
+        let p_item = params.add("p_item_emb", table(m, k, &mut rng));
+        Self {
+            params,
+            user,
+            item,
+            p_user,
+            p_item,
+        }
+    }
+}
+
+/// One step's worth of index lists and targets. The index lists are
+/// `Rc`-shared exactly as the trainers share them, so the tape clones
+/// pointers, not vectors.
+struct StepBatch {
+    users: Rc<Vec<usize>>,
+    items: Rc<Vec<usize>>,
+    labels: Tensor,
+    ub_users: Rc<Vec<usize>>,
+    ub_items: Rc<Vec<usize>>,
+    obs: Tensor,
+}
+
+fn make_batches(m: usize, b: usize, count: usize, seed: u64) -> Vec<StepBatch> {
+    let mut rng = XorShift(seed | 1);
+    let draw = |n: usize, rng: &mut XorShift| -> (Rc<Vec<usize>>, Rc<Vec<usize>>, Tensor) {
+        let users = Rc::new((0..n).map(|_| rng.index(m)).collect::<Vec<_>>());
+        let items = Rc::new((0..n).map(|_| rng.index(m)).collect::<Vec<_>>());
+        let y = (0..n).map(|_| f64::from(rng.next_u64() & 1 == 0)).collect();
+        (users, items, Tensor::from_vec(n, 1, y))
+    };
+    (0..count)
+        .map(|_| {
+            let (users, items, labels) = draw(b, &mut rng);
+            let (ub_users, ub_items, obs) = draw(4 * b, &mut rng);
+            StepBatch {
+                users,
+                items,
+                labels,
+                ub_users,
+                ub_items,
+                obs,
+            }
+        })
+        .collect()
+}
+
+/// Clipped inverse-propensity weights from the current propensity tables
+/// (plain inference reads — no tape), as every IPS trainer computes them.
+fn ips_weights(params: &Params, p_user: ParamId, p_item: ParamId, b: &StepBatch) -> Tensor {
+    let pu = params.value(p_user);
+    let pi = params.value(p_item);
+    let data = b
+        .users
+        .iter()
+        .zip(b.items.iter())
+        .map(|(&u, &i)| {
+            let dot: f64 = pu.row(u).iter().zip(pi.row(i)).map(|(a, b)| a * b).sum();
+            let p = 1.0 / (1.0 + (-dot).exp());
+            1.0 / p.clamp(0.05, 1.0)
+        })
+        .collect();
+    Tensor::from_vec(b.users.len(), 1, data)
+}
+
+/// A reusable dense-or-sparse training loop at one `(M, K, B)` scale:
+/// fresh model, fresh optimizer, a rotating pool of pre-drawn batches.
+pub struct TrainBench {
+    model: DtIpsModel,
+    opt: Adam,
+    densify: bool,
+    batches: Vec<StepBatch>,
+    next: usize,
+}
+
+impl TrainBench {
+    /// Builds the harness; `dense` selects the legacy full-table gradient
+    /// path (`densify_grads` + [`GradMode::DenseEquivalent`]) instead of
+    /// the default lazy row-sparse path.
+    #[must_use]
+    pub fn new(m: usize, k: usize, b: usize, dense: bool) -> Self {
+        let mode = if dense {
+            GradMode::DenseEquivalent
+        } else {
+            GradMode::Lazy
+        };
+        Self {
+            model: DtIpsModel::new(m, k, 0x9E37_79B9_7F4A_7C15 ^ m as u64),
+            opt: Adam::new(0.01).with_grad_mode(mode),
+            densify: dense,
+            batches: make_batches(m, b, 8, 0xD6E8_FEB8_7F4A_7C15 ^ m as u64),
+            next: 0,
+        }
+    }
+
+    /// Runs one DT-IPS-shaped training step: propensity BCE on the uniform
+    /// batch, IPS-weighted rating BCE on the observed batch, one Adam step.
+    pub fn step(&mut self) {
+        let batch = &self.batches[self.next % self.batches.len()];
+        self.next += 1;
+        let model = &mut self.model;
+
+        let mut g = Graph::new();
+        let put = g.param(&model.params, model.p_user);
+        let pu = g.gather(put, Rc::clone(&batch.ub_users));
+        let pit = g.param(&model.params, model.p_item);
+        let pi = g.gather(pit, Rc::clone(&batch.ub_items));
+        let logits = g.row_dot(pu, pi);
+        let obs = g.constant(batch.obs.clone());
+        let loss = g.bce_mean(logits, obs);
+        g.backward(loss, &mut model.params);
+        drop(g); // release the tape's table Rcs so the step mutates in place
+
+        let w = ips_weights(&model.params, model.p_user, model.p_item, batch);
+        let mut g = Graph::new();
+        let ut = g.param(&model.params, model.user);
+        let eu = g.gather(ut, Rc::clone(&batch.users));
+        let it = g.param(&model.params, model.item);
+        let ei = g.gather(it, Rc::clone(&batch.items));
+        let logits = g.row_dot(eu, ei);
+        let y = g.constant(batch.labels.clone());
+        let elem = g.bce_with_logits(logits, y);
+        let wv = g.constant(w);
+        let loss = g.weighted_mean(wv, elem);
+        g.backward(loss, &mut model.params);
+        drop(g);
+
+        if self.densify {
+            model.params.densify_grads();
+        }
+        self.opt.step(&mut model.params);
+        model.params.zero_grad();
+    }
+
+    /// All parameter tensors are finite (test hook).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.model.params.all_finite()
+    }
+}
+
+/// One table-height measurement. Times are the best-of-N per-step averages.
+pub struct StepMeasurement {
+    pub m: usize,
+    pub k: usize,
+    pub batch: usize,
+    pub dense_ms: f64,
+    pub sparse_ms: f64,
+}
+
+impl StepMeasurement {
+    fn speedup(&self) -> f64 {
+        self.dense_ms / self.sparse_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` average step time in milliseconds over `steps`-step runs.
+fn time_steps(bench: &mut TrainBench, reps: usize, steps: usize) -> f64 {
+    bench.step(); // warm-up: optimizer state + page faults
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..steps.max(1) {
+            bench.step();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3 / steps.max(1) as f64);
+    }
+    best
+}
+
+/// The paper-class scales: `K = 64`, `B = 128` observed pairs (propensity
+/// batch `4B`), table height `M ∈ {10⁴, 10⁵, 10⁶}` rows per side.
+pub fn run_measurements() -> Vec<StepMeasurement> {
+    let (k, b) = (64, 128);
+    [10_000usize, 100_000, 1_000_000]
+        .iter()
+        .map(|&m| {
+            // Scale repetition so the dense arm stays tractable at M = 10⁶
+            // (its step cost is O(M·K)); never a single cold run.
+            let steps = (200_000 / m).clamp(1, 20);
+            let reps = if m >= 1_000_000 { 2 } else { 3 };
+            let dense_ms = time_steps(&mut TrainBench::new(m, k, b, true), reps, steps);
+            let sparse_ms = time_steps(&mut TrainBench::new(m, k, b, false), reps, steps);
+            StepMeasurement {
+                m,
+                k,
+                batch: b,
+                dense_ms,
+                sparse_ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders the report as JSON.
+#[must_use]
+pub fn render_report(results: &[StepMeasurement]) -> String {
+    let threads = dt_parallel::num_threads();
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"dt-bench/train_step/v1\",");
+    let _ = writeln!(
+        s,
+        "  \"note\": \"best-of-N per-step wall times for one DT-IPS-shaped \
+         training step (propensity BCE on a 4B uniform batch + IPS-weighted \
+         rating BCE on a B observed batch over M x K tables, one Adam step). \
+         dense = Params::densify_grads + GradMode::DenseEquivalent (the \
+         legacy full-table path); sparse = row-sparse gradients + lazy \
+         Adam.\","
+    );
+    let _ = writeln!(s, "  \"host_threads\": {host},");
+    let _ = writeln!(s, "  \"pool_threads\": {threads},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"m\": {}, \"k\": {}, \"batch\": {}, \
+             \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}, \
+             \"speedup_sparse_vs_dense\": {:.2}}}{sep}",
+            r.m,
+            r.k,
+            r.batch,
+            r.dense_ms,
+            r.sparse_ms,
+            r.speedup(),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Runs the measurements and writes `BENCH_train_step.json` to `path`.
+///
+/// # Errors
+/// Propagates the underlying file-write error.
+pub fn write_train_step_report(path: &Path) -> std::io::Result<()> {
+    let results = run_measurements();
+    std::fs::write(path, render_report(&results))?;
+    for r in &results {
+        eprintln!(
+            "train_step M={:7} K={} B={}  dense {:10.3} ms  sparse {:8.3} ms  speedup {:6.1}x",
+            r.m,
+            r.k,
+            r.batch,
+            r.dense_ms,
+            r.sparse_ms,
+            r.speedup()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_arms_train_and_stay_finite() {
+        for dense in [true, false] {
+            let mut tb = TrainBench::new(64, 4, 8, dense);
+            for _ in 0..20 {
+                tb.step();
+            }
+            assert!(tb.all_finite(), "dense={dense}");
+        }
+    }
+
+    #[test]
+    fn ips_weights_are_clipped_inverse_propensities() {
+        let model = DtIpsModel::new(16, 3, 7);
+        let batches = make_batches(16, 4, 1, 9);
+        let w = ips_weights(&model.params, model.p_user, model.p_item, &batches[0]);
+        assert_eq!((w.rows(), w.cols()), (4, 1));
+        for r in 0..4 {
+            let v = w.get(r, 0);
+            assert!((1.0..=20.0).contains(&v), "weight {v} outside [1, 1/0.05]");
+        }
+    }
+
+    #[test]
+    fn report_shape_is_valid() {
+        let m = StepMeasurement {
+            m: 100_000,
+            k: 64,
+            batch: 128,
+            dense_ms: 50.0,
+            sparse_ms: 2.0,
+        };
+        let json = render_report(&[m]);
+        assert!(json.contains("\"speedup_sparse_vs_dense\": 25.00"));
+        assert!(json.contains("\"schema\": \"dt-bench/train_step/v1\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -132,6 +132,7 @@ impl Recommender for BalancedRecommender {
                     let bw = g.mul_scalar(balance, lambda);
                     let prop_loss = g.add(bce, bw);
                     g.backward(prop_loss, &mut self.prop_model.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt_prop.step(&mut self.prop_model.params);
                     self.prop_model.params.zero_grad();
                 }
@@ -191,6 +192,7 @@ impl Recommender for BalancedRecommender {
                     e_vals = g.value(err).data().to_vec();
                     pred_vals = g.value(pred).data().to_vec();
                     g.backward(loss, &mut self.model.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt_pred.step(&mut self.model.params);
                     self.model.params.zero_grad();
                 }
@@ -208,6 +210,7 @@ impl Recommender for BalancedRecommender {
                     let w = g.constant(Tensor::col_vec(&inv_p));
                     let imp_loss = g.weighted_mean(w, diff_sq);
                     g.backward(imp_loss, &mut imp.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt_imp.step(&mut imp.params);
                     imp.params.zero_grad();
                 }

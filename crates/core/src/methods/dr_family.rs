@@ -249,6 +249,7 @@ impl Recommender for DrRecommender {
                     epoch_loss += g.item(loss);
                     n += 1;
                     g.backward(loss, &mut self.model.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt_pred.step(&mut self.model.params);
                     self.model.params.zero_grad();
                 }
@@ -278,6 +279,7 @@ impl Recommender for DrRecommender {
                         g.weighted_mean(w, diff_sq)
                     };
                     g.backward(imp_loss, &mut imp.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt_imp.step(&mut imp.params);
                     imp.params.zero_grad();
                 } else {

@@ -158,9 +158,16 @@ impl Recommender for DtRecommender {
                 });
 
                 // ---- main pass over the disentangled model ---------------
+                // One shared index list per side and batch: the rating and
+                // propensity heads (and the DR base term) gather through the
+                // same `Rc` instead of re-copying the lists per head.
+                let b_users = std::rc::Rc::new(b.users.clone());
+                let b_items = std::rc::Rc::new(b.items.clone());
+                let ub_users = std::rc::Rc::new(ub.users.clone());
+                let ub_items = std::rc::Rc::new(ub.items.clone());
                 let mut g = Graph::new();
 
-                let logits = self.model.rating_logits(&mut g, &b.users, &b.items);
+                let logits = self.model.rating_logits_indexed(&mut g, &b_users, &b_items);
                 let pred = g.sigmoid(logits);
                 let y = g.constant(Tensor::col_vec(&b.ratings));
                 let err = g.squared_error(pred, y);
@@ -175,7 +182,9 @@ impl Recommender for DtRecommender {
                         let corr = g.mul_scalar(corr0, density);
                         // Base term: imputed error over the uniform sample,
                         // live in the rating head.
-                        let logits_u = self.model.rating_logits(&mut g, &ub.users, &ub.items);
+                        let logits_u = self
+                            .model
+                            .rating_logits_indexed(&mut g, &ub_users, &ub_items);
                         let pred_u = g.sigmoid(logits_u);
                         let rt_u = g.constant(Tensor::col_vec(
                             r_tilde_unif.as_ref().expect("Dr variant has pseudo-labels"),
@@ -187,7 +196,9 @@ impl Recommender for DtRecommender {
                 };
 
                 // Propensity loss over the entire space (Monte Carlo).
-                let prop_logits = self.model.propensity_logits(&mut g, &ub.users, &ub.items);
+                let prop_logits = self
+                    .model
+                    .propensity_logits_indexed(&mut g, &ub_users, &ub_items);
                 let o_labels = g.constant(Tensor::col_vec(&ub.observed));
                 let prop_loss = g.bce_mean(prop_logits, o_labels);
 
@@ -209,6 +220,7 @@ impl Recommender for DtRecommender {
                 epoch_loss += g.item(loss);
                 n += 1;
                 g.backward(loss, &mut self.model.params);
+                drop(g); // release the tape's table Rcs so the step mutates in place
                 opt.step(&mut self.model.params);
                 self.model.params.zero_grad();
 
@@ -227,7 +239,7 @@ impl Recommender for DtRecommender {
                         .map(|(p, r)| (p - r) * (p - r))
                         .collect();
                     let mut gi = Graph::new();
-                    let imp_logits = imp.logits(&mut gi, &b.users, &b.items);
+                    let imp_logits = imp.logits_indexed(&mut gi, &b_users, &b_items);
                     let rt = gi.sigmoid(imp_logits);
                     let rhat = gi.constant(Tensor::col_vec(&preds));
                     let e_imp = gi.squared_error(rhat, rt);
@@ -236,6 +248,7 @@ impl Recommender for DtRecommender {
                     let wv = gi.constant(Tensor::col_vec(&inv_p));
                     let imp_loss = gi.weighted_mean(wv, diff_sq);
                     gi.backward(imp_loss, &mut imp.params);
+                    drop(gi); // release the tape's table Rcs so the step mutates in place
                     opt_imp.step(&mut imp.params);
                     imp.params.zero_grad();
                 }

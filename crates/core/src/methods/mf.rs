@@ -52,6 +52,7 @@ impl Recommender for MfRecommender {
                 epoch_loss += g.item(loss);
                 n += 1;
                 g.backward(loss, &mut self.model.params);
+                drop(g); // release the tape's table Rcs so the step mutates in place
                 opt.step(&mut self.model.params);
                 self.model.params.zero_grad();
             }

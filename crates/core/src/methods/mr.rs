@@ -123,6 +123,7 @@ impl Recommender for MrRecommender {
                     n += 1;
                     e_vals = g.value(err).data().to_vec();
                     g.backward(loss, &mut self.model.params);
+                    drop(g); // release the tape's table Rcs so the step mutates in place
                     opt.step(&mut self.model.params);
                     self.model.params.zero_grad();
                 }

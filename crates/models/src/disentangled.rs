@@ -147,16 +147,16 @@ impl DisentangledMf {
     fn head_logits(
         &self,
         g: &mut Graph,
-        users: &[usize],
-        items: &[usize],
+        users: &Rc<Vec<usize>>,
+        items: &Rc<Vec<usize>>,
         cols: std::ops::Range<usize>,
         biases: (ParamId, ParamId, ParamId),
     ) -> Var {
         assert_eq!(users.len(), items.len(), "head_logits: batch mismatch");
         let p = g.param(&self.params, self.p);
         let q = g.param(&self.params, self.q);
-        let pu_full = g.gather(p, Rc::new(users.to_vec()));
-        let qi_full = g.gather(q, Rc::new(items.to_vec()));
+        let pu_full = g.gather(p, Rc::clone(users));
+        let qi_full = g.gather(q, Rc::clone(items));
         let (pu, qi) = if cols == (0..self.total_dim) {
             (pu_full, qi_full)
         } else {
@@ -168,9 +168,9 @@ impl DisentangledMf {
         let dot = g.row_dot(pu, qi);
         let (ub, ib, mu) = biases;
         let ub_t = g.param(&self.params, ub);
-        let bu = g.gather(ub_t, Rc::new(users.to_vec()));
+        let bu = g.gather(ub_t, Rc::clone(users));
         let ib_t = g.param(&self.params, ib);
-        let bi = g.gather(ib_t, Rc::new(items.to_vec()));
+        let bi = g.gather(ib_t, Rc::clone(items));
         let mu_v = g.param(&self.params, mu);
         let mu_col = broadcast_scalar(g, mu_v, users.len());
         let s1 = g.add(dot, bu);
@@ -178,8 +178,22 @@ impl DisentangledMf {
         g.add(s2, mu_col)
     }
 
-    /// Rating-head logits: uses only the primary blocks `P′, Q′`.
+    /// Rating-head logits: uses only the primary blocks `P′, Q′`. Copies
+    /// each index list once; see [`DisentangledMf::rating_logits_indexed`].
     pub fn rating_logits(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> Var {
+        self.rating_logits_indexed(g, &Rc::new(users.to_vec()), &Rc::new(items.to_vec()))
+    }
+
+    /// Rating-head logits over `Rc`-shared index lists: one list per side
+    /// serves the embedding gather and the bias gather — and, when the
+    /// trainer also mounts the propensity head on the same batch, that head
+    /// too — without further copies.
+    pub fn rating_logits_indexed(
+        &self,
+        g: &mut Graph,
+        users: &Rc<Vec<usize>>,
+        items: &Rc<Vec<usize>>,
+    ) -> Var {
         self.head_logits(
             g,
             users,
@@ -189,8 +203,20 @@ impl DisentangledMf {
         )
     }
 
-    /// Propensity-head logits: uses the full embeddings `[pᵤ, qᵢ]`.
+    /// Propensity-head logits: uses the full embeddings `[pᵤ, qᵢ]`. Copies
+    /// each index list once; see
+    /// [`DisentangledMf::propensity_logits_indexed`].
     pub fn propensity_logits(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> Var {
+        self.propensity_logits_indexed(g, &Rc::new(users.to_vec()), &Rc::new(items.to_vec()))
+    }
+
+    /// Propensity-head logits over `Rc`-shared index lists.
+    pub fn propensity_logits_indexed(
+        &self,
+        g: &mut Graph,
+        users: &Rc<Vec<usize>>,
+        items: &Rc<Vec<usize>>,
+    ) -> Var {
         self.head_logits(
             g,
             users,

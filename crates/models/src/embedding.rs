@@ -60,11 +60,20 @@ impl EmbeddingTable {
         g.param(params, self.id)
     }
 
-    /// Looks up a batch of rows (differentiable; backward scatter-adds).
+    /// Looks up a batch of rows (differentiable; backward emits a
+    /// row-sparse gradient). Copies `indices` once — batch loops that mount
+    /// the same index list several times should build one
+    /// `Rc<Vec<usize>>` and call [`EmbeddingTable::lookup_indexed`].
     pub fn lookup(&self, g: &mut Graph, params: &Params, indices: &[usize]) -> Var {
+        self.lookup_indexed(g, params, &Rc::new(indices.to_vec()))
+    }
+
+    /// Allocation-free lookup: the shared index list is `Rc`-cloned onto
+    /// the tape instead of copied.
+    pub fn lookup_indexed(&self, g: &mut Graph, params: &Params, indices: &Rc<Vec<usize>>) -> Var {
         debug_assert!(indices.iter().all(|&i| i < self.n));
         let table = g.param(params, self.id);
-        g.gather(table, Rc::new(indices.to_vec()))
+        g.gather(table, Rc::clone(indices))
     }
 
     /// Direct (non-differentiable) lookup of one row's values.
@@ -95,10 +104,13 @@ mod tests {
         let loss = g.sum(loss0);
         g.backward(loss, &mut params);
         // Row 0 looked up twice → its grad is 2·(2·w); rows 1..3 untouched.
+        // The accumulator stays row-sparse: only rows {0, 4} are stored.
         let grad = params.grad(table.id());
-        assert_eq!(grad.row(1), &[0.0, 0.0, 0.0]);
+        assert!(!grad.is_dense());
+        let dense = grad.to_dense();
+        assert_eq!(dense.row(1), &[0.0, 0.0, 0.0]);
         let w = table.row(&params, 0).to_vec();
-        for (gv, wv) in grad.row(0).iter().zip(&w) {
+        for (gv, wv) in dense.row(0).iter().zip(&w) {
             assert!((gv - 4.0 * wv).abs() < 1e-12);
         }
     }

@@ -65,16 +65,33 @@ impl MfModel {
         self.params.n_scalars()
     }
 
-    /// Differentiable logits for a batch of pairs (`n×1`).
+    /// Differentiable logits for a batch of pairs (`n×1`). Copies each
+    /// index list once; loops that reuse the lists should call
+    /// [`MfModel::logits_indexed`].
     pub fn logits(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> Var {
+        self.logits_indexed(
+            g,
+            &std::rc::Rc::new(users.to_vec()),
+            &std::rc::Rc::new(items.to_vec()),
+        )
+    }
+
+    /// Logits over `Rc`-shared index lists: one list per side serves both
+    /// the embedding lookup and the bias gather without further copies.
+    pub fn logits_indexed(
+        &self,
+        g: &mut Graph,
+        users: &std::rc::Rc<Vec<usize>>,
+        items: &std::rc::Rc<Vec<usize>>,
+    ) -> Var {
         assert_eq!(users.len(), items.len(), "logits: batch mismatch");
-        let pu = self.user_emb.lookup(g, &self.params, users);
-        let qi = self.item_emb.lookup(g, &self.params, items);
+        let pu = self.user_emb.lookup_indexed(g, &self.params, users);
+        let qi = self.item_emb.lookup_indexed(g, &self.params, items);
         let dot = g.row_dot(pu, qi);
         let bu_table = g.param(&self.params, self.user_bias);
-        let bu = g.gather(bu_table, std::rc::Rc::new(users.to_vec()));
+        let bu = g.gather(bu_table, std::rc::Rc::clone(users));
         let bi_table = g.param(&self.params, self.item_bias);
-        let bi = g.gather(bi_table, std::rc::Rc::new(items.to_vec()));
+        let bi = g.gather(bi_table, std::rc::Rc::clone(items));
         let mu = g.param(&self.params, self.mu);
         let mu_col = broadcast_scalar(g, mu, users.len());
         let s1 = g.add(dot, bu);

@@ -1,26 +1,34 @@
-//! Adam and AdamW.
+//! Adam and AdamW, sparse-aware.
+//!
+//! The default [`GradMode::Lazy`] consumes row-sparse gradients without
+//! densifying: only the touched rows of the parameter, its first moment and
+//! its second moment are read or written, with a `β^Δt` catch-up applied to
+//! the moments of a row that sat idle for `Δt` steps (the exponent is the
+//! number of missed steps, computed from a per-row `last` stamp). Dense
+//! gradients — full-table losses — still update every row through a fused
+//! single-pass kernel that reads the gradient in place rather than cloning
+//! it, with the `1/(1-β^t)` bias corrections folded into one precomputed
+//! per-step scale.
+//!
+//! Documented lazy approximations (see DESIGN.md §10): weight decay — both
+//! coupled L2 and AdamW's decoupled form — only acts on rows the current
+//! gradient touches, and idle rows receive no updates from their decayed
+//! momentum tail. [`GradMode::DenseEquivalent`] removes all approximations
+//! by delegating to [`crate::reference::adam_step`].
 
-use dt_autograd::Params;
-use dt_tensor::Tensor;
+use std::collections::HashMap;
 
-use crate::Optimizer;
+use dt_autograd::{ParamId, Params};
+use dt_tensor::{Grad, Tensor};
 
-struct Moments {
-    m: Vec<Tensor>,
-    v: Vec<Tensor>,
-    t: u64,
-}
+use crate::{catchup_pow, reference, GradMode, Optimizer};
 
-impl Moments {
-    fn ensure(&mut self, params: &Params) {
-        let n = params.len();
-        for id in params.ids().skip(self.m.len()) {
-            let val = params.value(id);
-            self.m.push(Tensor::zeros(val.rows(), val.cols()));
-            self.v.push(Tensor::zeros(val.rows(), val.cols()));
-        }
-        debug_assert_eq!(self.m.len(), n);
-    }
+/// Per-parameter Adam state: dense moments plus the step stamp of each
+/// row's most recent update (for lazy catch-up).
+struct State {
+    m: Tensor,
+    v: Tensor,
+    last: Vec<u64>,
 }
 
 /// Adam (Kingma & Ba, 2015) — the optimizer the paper uses for all methods.
@@ -35,7 +43,9 @@ pub struct Adam {
     eps: f64,
     weight_decay: f64,
     decoupled_decay: bool,
-    state: Moments,
+    mode: GradMode,
+    t: u64,
+    state: HashMap<ParamId, State>,
 }
 
 impl Adam {
@@ -63,12 +73,18 @@ impl Adam {
             eps,
             weight_decay,
             decoupled_decay: false,
-            state: Moments {
-                m: Vec::new(),
-                v: Vec::new(),
-                t: 0,
-            },
+            mode: GradMode::Lazy,
+            t: 0,
+            state: HashMap::new(),
         }
+    }
+
+    /// Selects how row-sparse gradients are consumed (default
+    /// [`GradMode::Lazy`]).
+    #[must_use]
+    pub fn with_grad_mode(mut self, mode: GradMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -82,6 +98,14 @@ impl AdamW {
         let mut inner = Adam::with_config(lr, 0.9, 0.999, 1e-8, weight_decay);
         inner.decoupled_decay = true;
         Self(inner)
+    }
+
+    /// Selects how row-sparse gradients are consumed (default
+    /// [`GradMode::Lazy`]).
+    #[must_use]
+    pub fn with_grad_mode(mut self, mode: GradMode) -> Self {
+        self.0.mode = mode;
+        self
     }
 }
 
@@ -98,44 +122,122 @@ impl Optimizer for AdamW {
 }
 
 impl Optimizer for Adam {
+    #[allow(clippy::too_many_lines)]
     fn step(&mut self, params: &mut Params) {
-        self.state.ensure(params);
-        self.state.t += 1;
-        let t = self.state.t as f64;
-        let bc1 = 1.0 - self.beta1.powf(t);
-        let bc2 = 1.0 - self.beta2.powf(t);
+        self.t += 1;
+        let t = self.t;
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (wd, decoupled) = (self.weight_decay, self.decoupled_decay);
+        // Bias corrections depend only on the global step, so the dense
+        // update `lr·(m/bc1)/(√(v/bc2)+eps)` folds into one scale and one
+        // shifted eps, computed once per step instead of per element.
+        let bc1 = 1.0 - catchup_pow(b1, t);
+        let bc2 = 1.0 - catchup_pow(b2, t);
+        let scale = lr * bc2.sqrt() / bc1;
+        let eps2 = eps * bc2.sqrt();
 
-        let ids: Vec<_> = params.ids().collect();
-        for (k, id) in ids.into_iter().enumerate() {
-            let mut g = params.grad(id).clone();
-            if self.weight_decay > 0.0 && !self.decoupled_decay {
-                g.axpy(self.weight_decay, params.value(id));
-            }
-
-            let m = &mut self.state.m[k];
-            m.scale_inplace(self.beta1);
-            m.axpy(1.0 - self.beta1, &g);
-
-            let v = &mut self.state.v[k];
-            v.scale_inplace(self.beta2);
-            let g_sq = g.map(|x| x * x);
-            v.axpy(1.0 - self.beta2, &g_sq);
-
-            let lr = self.lr;
-            let eps = self.eps;
-            let update = m.zip_map(v, |mv, vv| {
-                let m_hat = mv / bc1;
-                let v_hat = vv / bc2;
-                lr * m_hat / (v_hat.sqrt() + eps)
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            let (rows, cols) = {
+                let val = params.value(id);
+                (val.rows(), val.cols())
+            };
+            let st = self.state.entry(id).or_insert_with(|| State {
+                m: Tensor::zeros(rows, cols),
+                v: Tensor::zeros(rows, cols),
+                last: vec![t - 1; rows],
             });
 
-            if self.weight_decay > 0.0 && self.decoupled_decay {
-                let decay = self.lr * self.weight_decay;
-                let w = params.value_mut(id);
-                w.scale_inplace(1.0 - decay);
+            if self.mode == GradMode::DenseEquivalent {
+                let g = params.grad(id).to_dense();
+                let cfg = reference::AdamCfg {
+                    lr,
+                    beta1: b1,
+                    beta2: b2,
+                    eps,
+                    weight_decay: wd,
+                    decoupled_decay: decoupled,
+                };
+                reference::adam_step(params.value_mut(id), &g, &mut st.m, &mut st.v, t, &cfg);
+                continue;
             }
-            let w = params.value_mut(id);
-            w.axpy(-1.0, &update);
+
+            let (g, w) = params.grad_and_value_mut(id);
+            let State { m, v, last } = st;
+            match g {
+                Grad::RowSparse(s) => {
+                    for (k, &r) in s.indices().iter().enumerate() {
+                        let idle = t - 1 - last[r];
+                        if idle > 0 {
+                            let d1 = catchup_pow(b1, idle);
+                            let d2 = catchup_pow(b2, idle);
+                            for x in m.row_mut(r).iter_mut() {
+                                *x *= d1;
+                            }
+                            for x in v.row_mut(r).iter_mut() {
+                                *x *= d2;
+                            }
+                        }
+                        last[r] = t;
+
+                        let grow = s.block().row(k);
+                        let wrow = w.row_mut(r);
+                        let mrow = m.row_mut(r);
+                        let vrow = v.row_mut(r);
+                        if decoupled && wd > 0.0 {
+                            let decay = 1.0 - lr * wd;
+                            for x in wrow.iter_mut() {
+                                *x *= decay;
+                            }
+                        }
+                        for j in 0..cols {
+                            let mut gi = grow[j];
+                            if wd > 0.0 && !decoupled {
+                                gi += wd * wrow[j];
+                            }
+                            mrow[j] = b1 * mrow[j] + (1.0 - b1) * gi;
+                            vrow[j] = b2 * vrow[j] + (1.0 - b2) * gi * gi;
+                            wrow[j] -= scale * mrow[j] / (vrow[j].sqrt() + eps2);
+                        }
+                    }
+                }
+                Grad::Dense(gd) => {
+                    // Rows may carry different stamps after a run of sparse
+                    // steps: catch each one up before the fused pass.
+                    for (r, stamp) in last.iter_mut().enumerate() {
+                        let idle = t - 1 - *stamp;
+                        if idle > 0 {
+                            let d1 = catchup_pow(b1, idle);
+                            let d2 = catchup_pow(b2, idle);
+                            for x in m.row_mut(r).iter_mut() {
+                                *x *= d1;
+                            }
+                            for x in v.row_mut(r).iter_mut() {
+                                *x *= d2;
+                            }
+                        }
+                        *stamp = t;
+                    }
+                    let gdata = gd.data();
+                    let wdata = w.data_mut();
+                    let mdata = m.data_mut();
+                    let vdata = v.data_mut();
+                    let decay = if decoupled && wd > 0.0 {
+                        1.0 - lr * wd
+                    } else {
+                        1.0
+                    };
+                    for j in 0..rows * cols {
+                        let mut gi = gdata[j];
+                        if wd > 0.0 && !decoupled {
+                            gi += wd * wdata[j];
+                        }
+                        mdata[j] = b1 * mdata[j] + (1.0 - b1) * gi;
+                        vdata[j] = b2 * vdata[j] + (1.0 - b2) * gi * gi;
+                        wdata[j] = decay * wdata[j] - scale * mdata[j] / (vdata[j].sqrt() + eps2);
+                    }
+                }
+            }
         }
     }
 
@@ -152,6 +254,7 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use dt_autograd::Graph;
+    use dt_tensor::RowSparse;
 
     #[test]
     fn converges_on_rosenbrock_like_quadratic() {
@@ -183,12 +286,27 @@ mod tests {
     }
 
     #[test]
-    fn adamw_decays_even_without_gradient() {
+    fn adamw_decays_with_dense_zero_gradient() {
+        // A dense (all-zero) gradient takes the full-table path, where
+        // decoupled decay shrinks every weight exactly like legacy AdamW.
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(1.0));
+        params.accumulate_grad(w, &Tensor::zeros(1, 1));
+        let mut opt = AdamW::new(0.01, 0.1);
+        opt.step(&mut params);
+        assert!(params.value(w).item() < 1.0);
+    }
+
+    #[test]
+    fn lazy_untouched_param_does_not_move() {
+        // Documented lazy semantics: with an empty row-sparse gradient no
+        // row is touched, so neither the weights nor the decay move — decay
+        // is applied per touched row, not per step.
         let mut params = Params::new();
         let w = params.add("w", Tensor::scalar(1.0));
         let mut opt = AdamW::new(0.01, 0.1);
         opt.step(&mut params);
-        assert!(params.value(w).item() < 1.0);
+        assert_eq!(params.value(w).item(), 1.0);
     }
 
     #[test]
@@ -201,7 +319,104 @@ mod tests {
         params.zero_grad();
         let b = params.add("b", Tensor::scalar(1.0));
         params.accumulate_grad(b, &Tensor::scalar(1.0));
-        opt.step(&mut params); // must not panic
+        opt.step(&mut params); // must not panic; state is keyed by ParamId
         assert!(params.value(b).item() < 1.0);
+    }
+
+    #[test]
+    fn dense_equivalent_matches_reference_bits() {
+        // Sparse gradients through the DenseEquivalent optimizer must equal
+        // the legacy dense oracle bit for bit, across steps with different
+        // touched-row sets.
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.1));
+        let mut opt = Adam::with_config(0.05, 0.9, 0.999, 1e-8, 0.01)
+            .with_grad_mode(GradMode::DenseEquivalent);
+
+        let mut oracle_w = params.value(w).clone();
+        let mut m = Tensor::zeros(5, 3);
+        let mut v = Tensor::zeros(5, 3);
+        let cfg = reference::AdamCfg {
+            lr: 0.05,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            decoupled_decay: false,
+        };
+
+        let batches: [&[usize]; 3] = [&[0, 2, 2], &[4], &[1, 3, 0]];
+        for (step, idx) in batches.iter().enumerate() {
+            let src = Tensor::from_fn(idx.len(), 3, |i, j| ((step + i + j) as f64).sin());
+            let sparse = RowSparse::from_scatter(5, 3, idx, &src);
+            params.accumulate_grad_rows(w, sparse.clone());
+            opt.step(&mut params);
+            params.zero_grad();
+
+            reference::adam_step(
+                &mut oracle_w,
+                &sparse.to_dense(),
+                &mut m,
+                &mut v,
+                step as u64 + 1,
+                &cfg,
+            );
+        }
+        assert_eq!(params.value(w).data(), oracle_w.data());
+    }
+
+    #[test]
+    fn lazy_catchup_matches_documented_semantics() {
+        // Touch row 0, leave it idle for two steps (while row 1 trains),
+        // then touch it again: its moments must be decayed by β^2 before
+        // the fourth update. The expected trajectory is simulated with
+        // scalar arithmetic implementing exactly the documented formulas.
+        let (lr, b1, b2, eps) = (0.1, 0.9, 0.999, 1e-8);
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_rows(&[&[1.0], &[1.0]]));
+        let mut opt = Adam::with_config(lr, b1, b2, eps, 0.0);
+
+        let touches: [(usize, f64); 4] = [(0, 0.5), (1, -0.3), (1, 0.2), (0, 0.7)];
+        for &(row, gval) in &touches {
+            let sparse = RowSparse::from_scatter(2, 1, &[row], &Tensor::scalar(gval));
+            params.accumulate_grad_rows(w, sparse);
+            opt.step(&mut params);
+            params.zero_grad();
+        }
+
+        // Scalar simulation for row 0 (touched at t = 1 and t = 4).
+        let (mut wv, mut m, mut v) = (1.0f64, 0.0f64, 0.0f64);
+        let mut upd = |t: i32, idle: i32, g: f64| {
+            m *= b1.powi(idle);
+            v *= b2.powi(idle);
+            m = b1 * m + (1.0 - b1) * g;
+            v = b2 * v + (1.0 - b2) * g * g;
+            let bc1 = 1.0 - b1.powi(t);
+            let bc2 = 1.0 - b2.powi(t);
+            wv -= lr * bc2.sqrt() / bc1 * m / (v.sqrt() + eps * bc2.sqrt());
+        };
+        upd(1, 0, 0.5);
+        upd(4, 2, 0.7);
+        assert!((params.value(w).get(0, 0) - wv).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixed_sparse_then_dense_grad_trains() {
+        // A parameter can see sparse gradients on one step and dense on the
+        // next (the DT loss shape); both paths share per-row stamps.
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_fn(4, 2, |i, j| (i + j) as f64));
+        let mut opt = Adam::new(0.1);
+
+        let sparse = RowSparse::from_scatter(4, 2, &[1], &Tensor::row_vec(&[1.0, 1.0]));
+        params.accumulate_grad_rows(w, sparse);
+        opt.step(&mut params);
+        params.zero_grad();
+
+        params.accumulate_grad(w, &Tensor::ones(4, 2));
+        opt.step(&mut params); // must not panic on stale stamps
+        params.zero_grad();
+        assert!(params.all_finite());
+        assert!(params.value(w).get(0, 0) < 0.0 + 1e-9);
     }
 }

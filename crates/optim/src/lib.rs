@@ -9,6 +9,25 @@
 //! via `Graph::backward`, optionally clips them, calls [`Optimizer::step`],
 //! then [`dt_autograd::Params::zero_grad`].
 //!
+//! ## Sparse-aware updates
+//!
+//! Gradients arrive as [`dt_tensor::Grad`] — row-sparse for embedding-table
+//! parameters touched through gathers, dense for full-table losses. Every
+//! optimizer here consumes both without densifying: in the default
+//! [`GradMode::Lazy`] a step over a row-sparse gradient costs
+//! `O(touched_rows × cols)`, catching idle rows' moments up with a
+//! `β^Δt` decay factor the next time they are touched (see DESIGN.md §10
+//! for the exact semantics and the documented approximations). The
+//! [`GradMode::DenseEquivalent`] mode instead densifies and delegates to
+//! the legacy formulas kept verbatim in [`reference`], and is tested to be
+//! bit-identical to the pre-sparse optimizer — the oracle for the lazy
+//! path's equivalence tests.
+//!
+//! Optimizer state (moments, velocity, squared-gradient accumulators) is
+//! keyed by [`dt_autograd::ParamId`], not by iteration position, so
+//! interleaving parameter registration with steps cannot mis-associate
+//! state.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,6 +57,7 @@ mod adagrad;
 mod adam;
 mod clip;
 mod early_stop;
+pub mod reference;
 mod schedule;
 mod sgd;
 
@@ -49,6 +69,29 @@ pub use schedule::{ConstantLr, CosineLr, ExponentialDecay, LrSchedule, StepDecay
 pub use sgd::Sgd;
 
 use dt_autograd::Params;
+
+/// How an optimizer consumes row-sparse gradients.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GradMode {
+    /// Touched-rows-only updates: a row-sparse gradient updates just its
+    /// touched rows, whose moments are first caught up with a `β^Δt`
+    /// decay for the `Δt` steps the row sat idle. `O(touched × cols)` per
+    /// step. Dense gradients still update every row.
+    #[default]
+    Lazy,
+    /// Densify every gradient and delegate to the legacy dense formulas in
+    /// [`reference`] — bit-identical to the pre-sparse optimizers. Used by
+    /// the equivalence tests and the dense arm of the training-step
+    /// benchmark; `O(rows × cols)` per step.
+    DenseEquivalent,
+}
+
+/// `beta^delta` with an integer exponent, for lazy moment catch-up.
+/// Deterministic (no `powf` on the hot path) and saturating: a `delta`
+/// beyond `i32::MAX` steps underflows to the same limit value.
+pub(crate) fn catchup_pow(beta: f64, delta: u64) -> f64 {
+    beta.powi(i32::try_from(delta).unwrap_or(i32::MAX))
+}
 
 /// A first-order optimizer over a [`Params`] store.
 pub trait Optimizer {

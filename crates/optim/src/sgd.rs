@@ -1,9 +1,26 @@
-//! Stochastic gradient descent with optional momentum and weight decay.
+//! Stochastic gradient descent with optional momentum and weight decay,
+//! sparse-aware.
+//!
+//! Plain SGD (`momentum = 0`, `weight_decay = 0`) over a row-sparse
+//! gradient is *exactly* the dense update — untouched rows have a zero
+//! gradient and would not move anyway. With momentum, the lazy path applies
+//! a `µ^Δt` velocity catch-up to rows returning from idleness, and with
+//! weight decay the `wd·w` term only acts on touched rows — both documented
+//! approximations (DESIGN.md §10). [`GradMode::DenseEquivalent`] delegates
+//! to [`crate::reference::sgd_step`] for the legacy full-table semantics.
 
-use dt_autograd::Params;
-use dt_tensor::Tensor;
+use std::collections::HashMap;
 
-use crate::Optimizer;
+use dt_autograd::{ParamId, Params};
+use dt_tensor::{Grad, Tensor};
+
+use crate::{catchup_pow, reference, GradMode, Optimizer};
+
+/// Per-parameter momentum state with per-row step stamps.
+struct State {
+    velocity: Tensor,
+    last: Vec<u64>,
+}
 
 /// SGD: `w ← w − lr · (g + weight_decay · w)`, with optional classical
 /// momentum `v ← µ·v + g`.
@@ -11,7 +28,9 @@ pub struct Sgd {
     lr: f64,
     momentum: f64,
     weight_decay: f64,
-    velocity: Vec<Tensor>,
+    mode: GradMode,
+    t: u64,
+    state: HashMap<ParamId, State>,
 }
 
 impl Sgd {
@@ -37,34 +56,102 @@ impl Sgd {
             lr,
             momentum,
             weight_decay,
-            velocity: Vec::new(),
+            mode: GradMode::Lazy,
+            t: 0,
+            state: HashMap::new(),
         }
+    }
+
+    /// Selects how row-sparse gradients are consumed (default
+    /// [`GradMode::Lazy`]).
+    #[must_use]
+    pub fn with_grad_mode(mut self, mode: GradMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut Params) {
-        let ids: Vec<_> = params.ids().collect();
-        if self.momentum > 0.0 && self.velocity.len() < ids.len() {
-            for id in ids.iter().skip(self.velocity.len()) {
-                let v = params.value(*id);
-                self.velocity.push(Tensor::zeros(v.rows(), v.cols()));
+        self.t += 1;
+        let t = self.t;
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            if self.mode == GradMode::DenseEquivalent || params.grad(id).is_dense() {
+                let g = params.grad(id).to_dense();
+                let velocity = if mu > 0.0 {
+                    let (rows, cols) = (g.rows(), g.cols());
+                    let st = self.state.entry(id).or_insert_with(|| State {
+                        velocity: Tensor::zeros(rows, cols),
+                        last: vec![t - 1; rows],
+                    });
+                    // Lazy runs may have left rows with stale velocity
+                    // decay; catch them up before the full-table update.
+                    if self.mode == GradMode::Lazy {
+                        for (r, stamp) in st.last.iter_mut().enumerate() {
+                            let idle = t - 1 - *stamp;
+                            if idle > 0 {
+                                let d = catchup_pow(mu, idle);
+                                for x in st.velocity.row_mut(r).iter_mut() {
+                                    *x *= d;
+                                }
+                            }
+                            *stamp = t;
+                        }
+                    }
+                    Some(&mut st.velocity)
+                } else {
+                    None
+                };
+                reference::sgd_step(params.value_mut(id), &g, velocity, lr, mu, wd);
+                continue;
             }
-        }
-        for (k, id) in ids.into_iter().enumerate() {
-            let mut g = params.grad(id).clone();
-            if self.weight_decay > 0.0 {
-                g.axpy(self.weight_decay, params.value(id));
-            }
-            let update = if self.momentum > 0.0 {
-                let v = &mut self.velocity[k];
-                v.scale_inplace(self.momentum);
-                v.add_assign(&g);
-                v.clone()
-            } else {
-                g
+
+            // Lazy row-sparse path.
+            let (rows, cols) = {
+                let val = params.value(id);
+                (val.rows(), val.cols())
             };
-            params.value_mut(id).axpy(-self.lr, &update);
+            if mu > 0.0 {
+                let st = self.state.entry(id).or_insert_with(|| State {
+                    velocity: Tensor::zeros(rows, cols),
+                    last: vec![t - 1; rows],
+                });
+                let (g, w) = params.grad_and_value_mut(id);
+                if let Grad::RowSparse(s) = g {
+                    for (k, &r) in s.indices().iter().enumerate() {
+                        let idle = t - 1 - st.last[r];
+                        if idle > 0 {
+                            let d = catchup_pow(mu, idle);
+                            for x in st.velocity.row_mut(r).iter_mut() {
+                                *x *= d;
+                            }
+                        }
+                        st.last[r] = t;
+                        let grow = s.block().row(k);
+                        let wrow = w.row_mut(r);
+                        let vrow = st.velocity.row_mut(r);
+                        for j in 0..cols {
+                            let gi = grow[j] + wd * wrow[j];
+                            vrow[j] = mu * vrow[j] + gi;
+                            wrow[j] -= lr * vrow[j];
+                        }
+                    }
+                }
+            } else {
+                let (g, w) = params.grad_and_value_mut(id);
+                if let Grad::RowSparse(s) = g {
+                    for (k, &r) in s.indices().iter().enumerate() {
+                        let grow = s.block().row(k);
+                        let wrow = w.row_mut(r);
+                        for j in 0..cols {
+                            wrow[j] -= lr * (grow[j] + wd * wrow[j]);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -81,6 +168,7 @@ impl Optimizer for Sgd {
 mod tests {
     use super::*;
     use dt_autograd::Graph;
+    use dt_tensor::RowSparse;
 
     fn quadratic_step(params: &mut Params, w: dt_autograd::ParamId) {
         let mut g = Graph::new();
@@ -120,13 +208,55 @@ mod tests {
     }
 
     #[test]
-    fn weight_decay_shrinks_weights_without_gradient() {
+    fn weight_decay_shrinks_weights_with_dense_zero_gradient() {
         let mut params = Params::new();
         let w = params.add("w", Tensor::scalar(1.0));
         let mut opt = Sgd::with_config(0.1, 0.0, 0.5);
-        // No backward pass: gradient is zero, only decay acts.
+        // A dense zero gradient: only decay acts, on every row.
+        params.accumulate_grad(w, &Tensor::zeros(1, 1));
         opt.step(&mut params);
         assert!((params.value(w).item() - (1.0 - 0.1 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_sparse_step_matches_dense_bits() {
+        // momentum = 0, weight_decay = 0: the lazy sparse path must equal
+        // the dense reference exactly, bit for bit.
+        let src = Tensor::from_rows(&[&[0.3, -0.7], &[0.11, 0.013]]);
+        let sparse = RowSparse::from_scatter(4, 2, &[2, 0], &src);
+
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_fn(4, 2, |i, j| (i + 2 * j) as f64 * 0.37));
+        let mut oracle_w = params.value(w).clone();
+
+        params.accumulate_grad_rows(w, sparse.clone());
+        let mut opt = Sgd::new(0.05);
+        opt.step(&mut params);
+
+        reference::sgd_step(&mut oracle_w, &sparse.to_dense(), None, 0.05, 0.0, 0.0);
+        assert_eq!(params.value(w).data(), oracle_w.data());
+    }
+
+    #[test]
+    fn momentum_velocity_catches_up_after_idle_rows() {
+        // Row 0 trains at t=1, idles at t=2, returns at t=3: its velocity
+        // must be decayed by µ² before the third update.
+        let (lr, mu) = (0.1, 0.5);
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_rows(&[&[0.0], &[0.0]]));
+        let mut opt = Sgd::with_config(lr, mu, 0.0);
+
+        let touches: [(usize, f64); 3] = [(0, 1.0), (1, 1.0), (0, 1.0)];
+        for &(row, gval) in &touches {
+            let sparse = RowSparse::from_scatter(2, 1, &[row], &Tensor::scalar(gval));
+            params.accumulate_grad_rows(w, sparse);
+            opt.step(&mut params);
+            params.zero_grad();
+        }
+        // Row 0: v1 = 1, w -= lr·1; idle 1 step: v ← v·µ^1 = 0.5;
+        // v3 = µ·0.5 + 1 = 1.25, w -= lr·1.25.
+        let expected = -(lr * 1.0 + lr * 1.25);
+        assert!((params.value(w).get(0, 0) - expected).abs() < 1e-15);
     }
 
     #[test]

@@ -44,12 +44,15 @@ mod gemm;
 mod init;
 mod linalg;
 pub mod reference;
+mod rowsparse;
+mod serdes;
 mod shape;
 mod tensor;
 
 pub use gemm::TN_REDUCTION_CHUNK;
 pub use init::{he_normal, normal, uniform, xavier_normal, xavier_uniform};
 pub use linalg::NotPositiveDefinite;
+pub use rowsparse::{Grad, RowSparse};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,102 @@
+//! Serde implementations for the tensor types.
+//!
+//! Kept in their own module so the core types (`tensor.rs`, `shape.rs`,
+//! `rowsparse.rs`) stay dependency-free: the offline verification harness
+//! compiles those files against a stub crate graph that has no `serde`.
+//! Deserialisation re-validates every structural invariant.
+
+use crate::{RowSparse, Tensor};
+
+impl serde::Serialize for Tensor {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = s.serialize_struct("Tensor", 3)?;
+        st.serialize_field("rows", &self.rows())?;
+        st.serialize_field("cols", &self.cols())?;
+        st.serialize_field("data", &self.data())?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Tensor {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            rows: usize,
+            cols: usize,
+            data: Vec<f64>,
+        }
+        let raw = Raw::deserialize(d)?;
+        if raw.data.len() != raw.rows * raw.cols {
+            return Err(serde::de::Error::custom(format!(
+                "Tensor: {} values for a {}x{} shape",
+                raw.data.len(),
+                raw.rows,
+                raw.cols
+            )));
+        }
+        Ok(Tensor::from_vec(raw.rows, raw.cols, raw.data))
+    }
+}
+
+impl serde::Serialize for RowSparse {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = s.serialize_struct("RowSparse", 4)?;
+        st.serialize_field("rows", &self.rows())?;
+        st.serialize_field("cols", &self.cols())?;
+        st.serialize_field("indices", &self.indices())?;
+        st.serialize_field("block", self.block())?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for RowSparse {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            rows: usize,
+            cols: usize,
+            indices: Vec<usize>,
+            block: Tensor,
+        }
+        let raw = Raw::deserialize(d)?;
+        RowSparse::from_parts(raw.rows, raw.cols, raw.indices, raw.block)
+            .map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Tensor::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let bad = r#"{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}"#;
+        assert!(serde_json::from_str::<Tensor>(bad).is_err());
+    }
+
+    #[test]
+    fn row_sparse_roundtrip() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rs = RowSparse::from_scatter(5, 2, &[4, 1], &src);
+        let json = serde_json::to_string(&rs).unwrap();
+        let back: RowSparse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn row_sparse_unsorted_indices_rejected() {
+        let bad =
+            r#"{"rows":5,"cols":1,"indices":[3,1],"block":{"rows":2,"cols":1,"data":[1.0,2.0]}}"#;
+        assert!(serde_json::from_str::<RowSparse>(bad).is_err());
+    }
+}

@@ -706,7 +706,7 @@ mod tests {
     fn kahan_sum_is_accurate() {
         // 1 + 1e-16 repeated: naive summation loses the small terms.
         let mut data = vec![1.0];
-        data.extend(std::iter::repeat(1e-16).take(10_000));
+        data.extend(std::iter::repeat_n(1e-16, 10_000));
         let t = Tensor::from_vec(1, data.len(), data);
         let expected = 1.0 + 1e-12;
         assert!((t.sum() - expected).abs() < 1e-15);
@@ -721,57 +721,5 @@ mod tests {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Serde (validated on deserialisation)
-// ---------------------------------------------------------------------------
-
-impl serde::Serialize for Tensor {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut st = s.serialize_struct("Tensor", 3)?;
-        st.serialize_field("rows", &self.rows())?;
-        st.serialize_field("cols", &self.cols())?;
-        st.serialize_field("data", &self.data)?;
-        st.end()
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Tensor {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            rows: usize,
-            cols: usize,
-            data: Vec<f64>,
-        }
-        let raw = Raw::deserialize(d)?;
-        if raw.data.len() != raw.rows * raw.cols {
-            return Err(serde::de::Error::custom(format!(
-                "Tensor: {} values for a {}x{} shape",
-                raw.data.len(),
-                raw.rows,
-                raw.cols
-            )));
-        }
-        Ok(Tensor::from_vec(raw.rows, raw.cols, raw.data))
-    }
-}
-
-#[cfg(test)]
-mod serde_tests {
-    use super::*;
-
-    #[test]
-    fn json_roundtrip() {
-        let t = Tensor::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, t);
-    }
-
-    #[test]
-    fn shape_mismatch_rejected() {
-        let bad = r#"{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}"#;
-        assert!(serde_json::from_str::<Tensor>(bad).is_err());
-    }
-}
+// Serde impls for this type live in `serdes.rs`, so this file stays
+// dependency-free for the offline verification harness.

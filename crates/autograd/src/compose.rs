@@ -38,8 +38,19 @@ impl Graph {
         self.div(num, den)
     }
 
-    /// Mean binary cross-entropy with logits.
+    /// Mean binary cross-entropy with logits. Rides on the fused
+    /// [`Graph::sigmoid_bce_mean`] kernel (bit-identical to the composed
+    /// chain, one pass, one pooled buffer); every trainer that calls
+    /// `bce_mean` gets the fused path for free.
     pub fn bce_mean(&mut self, logits: Var, targets: Var) -> Var {
+        self.sigmoid_bce_mean(logits, targets)
+    }
+
+    /// The composed-op reference for [`Graph::sigmoid_bce_mean`]: an
+    /// element-wise BCE node followed by a mean node. This is the oracle
+    /// the fused kernel is pinned bit-identical to (and the path taken
+    /// under `DT_FUSED_ORACLE=1`).
+    pub fn bce_mean_composed(&mut self, logits: Var, targets: Var) -> Var {
         let l = self.bce_with_logits(logits, targets);
         self.mean(l)
     }

@@ -332,16 +332,59 @@ impl Graph {
 
     /// Identity forward, zero backward.
     pub fn detach(&mut self, a: Var) -> Var {
-        let v = self.value(a).clone();
+        let v = self.value(a).pooled_clone();
         self.push(Op::Detach(a), v)
     }
 
     /// Numerically stable element-wise BCE with logits.
     pub fn bce_with_logits(&mut self, logits: Var, targets: Var) -> Var {
-        let v = self.value(logits).zip_map(self.value(targets), |x, t| {
-            x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()
-        });
+        let v = self
+            .value(logits)
+            .zip_map(self.value(targets), dt_tensor::fused::bce_term);
         self.push(Op::BceWithLogits(logits, targets), v)
+    }
+
+    /// Fused `mean(bce_with_logits(logits, targets))`: one pass computes
+    /// the scalar loss and caches the backward residual `σ(x) − t` in a
+    /// single pooled buffer, replacing the composed chain's element-wise
+    /// BCE node + mean node (and their allocations).
+    ///
+    /// Bit-identical to [`Graph::bce_mean_composed`]; setting
+    /// `DT_FUSED_ORACLE=1` routes this builder (and
+    /// [`Graph::ips_weighted_bce_mean`]) through the composed ops instead —
+    /// the oracle mode used to cross-check fused training runs.
+    pub fn sigmoid_bce_mean(&mut self, logits: Var, targets: Var) -> Var {
+        if fused_oracle_mode() {
+            return self.bce_mean_composed(logits, targets);
+        }
+        let (loss, residual) =
+            dt_tensor::fused::sigmoid_bce(self.value(logits), self.value(targets));
+        self.push(
+            Op::SigmoidBceMean(logits, targets, Rc::new(residual)),
+            Tensor::scalar(loss),
+        )
+    }
+
+    /// Fused `mean(weights ⊙ bce_with_logits(logits, targets))` — the
+    /// IPS-weighted rating loss with the propensity weights folded into the
+    /// same single pass. Weights are typically constants or detached.
+    ///
+    /// Bit-identical to `bce_with_logits` + `weighted_mean`; respects the
+    /// `DT_FUSED_ORACLE=1` oracle switch (see [`Graph::sigmoid_bce_mean`]).
+    pub fn ips_weighted_bce_mean(&mut self, weights: Var, logits: Var, targets: Var) -> Var {
+        if fused_oracle_mode() {
+            let l = self.bce_with_logits(logits, targets);
+            return self.weighted_mean(weights, l);
+        }
+        let (loss, residual) = dt_tensor::fused::ips_weighted_bce(
+            self.value(weights),
+            self.value(logits),
+            self.value(targets),
+        );
+        self.push(
+            Op::IpsWeightedBceMean(weights, logits, targets, Rc::new(residual)),
+            Tensor::scalar(loss),
+        )
     }
 
     // -- backward ------------------------------------------------------------------------------
@@ -355,8 +398,13 @@ impl Graph {
     pub fn backward(&self, loss: Var, params: &mut Params) {
         let grads = self.run_backward(loss);
         for (i, g) in grads.into_iter().enumerate() {
-            if let (Op::Leaf(Some(id)), Some(g)) = (&self.nodes[i].op, g) {
-                params.accumulate_grad_owned(*id, g);
+            match (&self.nodes[i].op, g) {
+                (Op::Leaf(Some(id)), Some(g)) => params.accumulate_grad_owned(*id, g),
+                // Interior gradients are dead once the leaves are charged;
+                // hand their buffers back to the step pool.
+                (_, Some(Grad::Dense(t))) => t.recycle(),
+                (_, Some(Grad::RowSparse(s))) => s.recycle(),
+                (_, None) => {}
             }
         }
     }
@@ -373,6 +421,7 @@ impl Graph {
                 grads[v.0].clone().map_or_else(
                     || {
                         let t = self.value(*v);
+                        // alloc-ok: gradcheck helper, never on the training step path
                         Tensor::zeros(t.rows(), t.cols())
                     },
                     Grad::into_dense,
@@ -410,7 +459,7 @@ impl Graph {
     }
 
     fn acc_grad(&self, grads: &mut [Option<Grad>], v: Var, delta: Grad) {
-        if !self.nodes[v.0].requires_grad && !matches!(self.nodes[v.0].op, Op::Leaf(None)) {
+        if !self.wants_grad(v) {
             return;
         }
         match &mut grads[v.0] {
@@ -421,6 +470,45 @@ impl Graph {
 
     fn acc(&self, grads: &mut [Option<Grad>], v: Var, delta: Tensor) {
         self.acc_grad(grads, v, Grad::Dense(delta));
+    }
+
+    /// Whether a backward rule needs to produce a delta for `v` at all.
+    /// Mirrors the store condition in [`Graph::acc_grad`], letting rules
+    /// skip computing gradients that would be thrown away (constant
+    /// targets/weights in the fused losses).
+    fn wants_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad || matches!(self.nodes[v.0].op, Op::Leaf(None))
+    }
+
+    /// In-place fan-in for a borrowed dense delta: when the slot already
+    /// holds a dense accumulator the delta is `add_assign`ed directly — no
+    /// intermediate copy — and only a first-arrival materialises a (pooled)
+    /// clone. This is the non-pool-dependent fix for the old
+    /// allocate-then-add fan-in: with the pool disabled the in-place path
+    /// is unchanged, the clone merely comes from the global allocator.
+    fn acc_ref(&self, grads: &mut [Option<Grad>], v: Var, delta: &Tensor) {
+        if !self.wants_grad(v) {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(Grad::Dense(acc)) => acc.add_assign(delta),
+            Some(g) => g.accumulate(Grad::Dense(delta.pooled_clone())),
+            slot @ None => *slot = Some(Grad::Dense(delta.pooled_clone())),
+        }
+    }
+
+    /// In-place fan-in of `-delta`: `axpy(-1, ·)` into an existing dense
+    /// accumulator (bit-identical to adding the negation — IEEE negation
+    /// is exact), materialising the negated tensor only on first arrival.
+    fn acc_neg_ref(&self, grads: &mut [Option<Grad>], v: Var, delta: &Tensor) {
+        if !self.wants_grad(v) {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(Grad::Dense(acc)) => acc.axpy(-1.0, delta),
+            Some(g) => g.accumulate(Grad::Dense(delta.neg())),
+            slot @ None => *slot = Some(Grad::Dense(delta.neg())),
+        }
     }
 
     fn acc_rows(&self, grads: &mut [Option<Grad>], v: Var, delta: RowSparse) {
@@ -436,12 +524,12 @@ impl Graph {
             Leaf(_) | Constant | Detach(_) => {}
 
             Add(a, b) => {
-                self.acc(grads, a, g.clone());
-                self.acc(grads, b, g.clone());
+                self.acc_ref(grads, a, g);
+                self.acc_ref(grads, b, g);
             }
             Sub(a, b) => {
-                self.acc(grads, a, g.clone());
-                self.acc(grads, b, g.neg());
+                self.acc_ref(grads, a, g);
+                self.acc_neg_ref(grads, b, g);
             }
             Mul(a, b) => {
                 self.acc(grads, a, g.mul(val(b)));
@@ -454,8 +542,8 @@ impl Graph {
                 self.acc(grads, b, db);
             }
 
-            Neg(a) => self.acc(grads, a, g.neg()),
-            AddScalar(a, _) => self.acc(grads, a, g.clone()),
+            Neg(a) => self.acc_neg_ref(grads, a, g),
+            AddScalar(a, _) => self.acc_ref(grads, a, g),
             MulScalar(a, c) => self.acc(grads, a, g.scale(c)),
             PowConst(a, p) => {
                 let da = val(a).map(|x| p * x.powf(p - 1.0)).mul(g);
@@ -516,7 +604,7 @@ impl Graph {
             Transpose(a) => self.acc(grads, a, g.transpose()),
             RowDot(a, b) => {
                 // out[i] = Σ_k a[i,k] b[i,k]; g: n×1
-                let mut da = val(b).clone();
+                let mut da = val(b).pooled_clone();
                 for r in 0..da.rows() {
                     let gv = g.get(r, 0);
                     for v in da.row_mut(r) {
@@ -524,7 +612,7 @@ impl Graph {
                     }
                 }
                 self.acc(grads, a, da);
-                let mut db = val(a).clone();
+                let mut db = val(a).pooled_clone();
                 for r in 0..db.rows() {
                     let gv = g.get(r, 0);
                     for v in db.row_mut(r) {
@@ -536,19 +624,20 @@ impl Graph {
 
             Sum(a) => {
                 let t = val(a);
-                self.acc(grads, a, Tensor::full(t.rows(), t.cols(), g.item()));
+                self.acc(grads, a, Tensor::pooled_full(t.rows(), t.cols(), g.item()));
             }
             Mean(a) => {
                 let t = val(a);
                 let c = g.item() / t.len() as f64;
-                self.acc(grads, a, Tensor::full(t.rows(), t.cols(), c));
+                self.acc(grads, a, Tensor::pooled_full(t.rows(), t.cols(), c));
             }
             FrobSq(a) => {
                 self.acc(grads, a, val(a).scale(2.0 * g.item()));
             }
             RowSums(a) => {
                 let t = val(a);
-                let mut da = Tensor::zeros(t.rows(), t.cols());
+                // pool: every element is assigned below.
+                let mut da = Tensor::pooled_scratch(t.rows(), t.cols());
                 for r in 0..t.rows() {
                     let gv = g.get(r, 0);
                     for v in da.row_mut(r) {
@@ -559,7 +648,8 @@ impl Graph {
             }
             ColSums(a) => {
                 let t = val(a);
-                let mut da = Tensor::zeros(t.rows(), t.cols());
+                // pool: every row is copied over below.
+                let mut da = Tensor::pooled_scratch(t.rows(), t.cols());
                 for r in 0..t.rows() {
                     da.row_mut(r).copy_from_slice(g.row(0));
                 }
@@ -580,18 +670,20 @@ impl Graph {
             }
             SliceCols(a, lo, _hi) => {
                 let t = val(a);
-                let mut da = Tensor::zeros(t.rows(), t.cols());
+                // pool: only the sliced columns are written, the rest of
+                // the gradient must be zero — so a zeroed buffer.
+                let mut da = Tensor::pooled_zeros(t.rows(), t.cols());
                 for r in 0..t.rows() {
                     da.row_mut(r)[lo..lo + g.cols()].copy_from_slice(g.row(r));
                 }
                 self.acc(grads, a, da);
             }
             AddRowBroadcast(a, bias) => {
-                self.acc(grads, a, g.clone());
+                self.acc_ref(grads, a, g);
                 self.acc(grads, bias, g.col_sums());
             }
             AddColBroadcast(a, bias) => {
-                self.acc(grads, a, g.clone());
+                self.acc_ref(grads, a, g);
                 self.acc(grads, bias, g.row_sums());
             }
 
@@ -603,20 +695,77 @@ impl Graph {
                 let dt = val(x).neg().mul(g);
                 self.acc(grads, t, dt);
             }
+
+            SigmoidBceMean(x, t, r) => {
+                // Composed sweep: mean backward emits `c = g/n` everywhere,
+                // then the BCE node multiplies the cached residual by it.
+                let c = g.item() / r.len() as f64;
+                self.acc(grads, x, dt_tensor::fused::sigmoid_bce_backward(&r, c));
+                if self.wants_grad(t) {
+                    let dt = val(x).map(|xv| -xv * c);
+                    self.acc(grads, t, dt);
+                }
+            }
+            IpsWeightedBceMean(w, x, t, r) => {
+                let c = g.item() / r.len() as f64;
+                let dx = dt_tensor::fused::ips_weighted_bce_backward(&r, val(w), c);
+                self.acc(grads, x, dx);
+                if self.wants_grad(t) {
+                    let dt = val(x).zip_map(val(w), |xv, wv| -xv * (c * wv));
+                    self.acc(grads, t, dt);
+                }
+                if self.wants_grad(w) {
+                    // dL/dw_i = c · bce_i; recomputed on demand — the
+                    // weights are detached/constant in every trainer, so
+                    // this only runs in gradient-check style tests.
+                    let dw =
+                        val(x).zip_map(val(t), |xv, tv| c * dt_tensor::fused::bce_term(xv, tv));
+                    self.acc(grads, w, dw);
+                }
+            }
         }
     }
 }
 
-/// Overflow-free logistic sigmoid.
-#[must_use]
-pub(crate) fn stable_sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
+/// When `true`, the fused-loss builders record composed primitive ops
+/// instead — the oracle mode (`DT_FUSED_ORACLE=1`). Safe to flip per run
+/// because fused and composed are pinned bit-identical.
+fn fused_oracle_mode() -> bool {
+    use std::sync::OnceLock;
+    static ORACLE: OnceLock<bool> = OnceLock::new();
+    *ORACLE.get_or_init(|| {
+        std::env::var("DT_FUSED_ORACLE").is_ok_and(|v| !matches!(v.as_str(), "" | "0"))
+    })
+}
+
+impl Drop for Graph {
+    /// Dropping the tape returns its buffers to the thread-local pool:
+    /// every node value the graph uniquely owns (forward intermediates,
+    /// constants, fused-loss residuals) is recycled. Parameter leaves are
+    /// shared with their [`Params`] store (`Rc` strong count > 1) and are
+    /// left untouched — so the PR 3 rule "drop the tape before
+    /// `opt.step`" now also hands the step's working set back for reuse.
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            match node.op {
+                Op::SigmoidBceMean(_, _, r) | Op::IpsWeightedBceMean(_, _, _, r) => {
+                    if let Ok(t) = Rc::try_unwrap(r) {
+                        t.recycle();
+                    }
+                }
+                _ => {}
+            }
+            if let Ok(t) = Rc::try_unwrap(node.value) {
+                t.recycle();
+            }
+        }
     }
 }
+
+/// Overflow-free logistic sigmoid (canonical definition lives with the
+/// fused kernels in `dt-tensor` so forward, backward and fused paths share
+/// one rounding behaviour).
+pub(crate) use dt_tensor::fused::stable_sigmoid;
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,8 @@
 
 use std::rc::Rc;
 
+use dt_tensor::Tensor;
+
 use crate::graph::Var;
 use crate::params::ParamId;
 
@@ -101,6 +103,14 @@ pub enum Op {
     /// Numerically stable element-wise binary cross-entropy with logits:
     /// `max(x,0) − x·t + ln(1 + e^{−|x|})`.
     BceWithLogits(Var, Var),
+    /// Fused `mean(bce_with_logits(x, t))` — scalar output computed in one
+    /// pass; the cached tensor is the backward residual `σ(x) − t` (one
+    /// pooled buffer, recycled when the tape drops).
+    SigmoidBceMean(Var, Var, Rc<Tensor>),
+    /// Fused IPS-weighted mean BCE `mean(w ⊙ bce_with_logits(x, t))` with
+    /// the weights folded into the same pass; fields are `(w, x, t,
+    /// residual)` with the same cached residual `σ(x) − t`.
+    IpsWeightedBceMean(Var, Var, Var, Rc<Tensor>),
 }
 
 impl Op {
@@ -123,7 +133,9 @@ impl Op {
             | AddColBroadcast(a, b)
             | BceWithLogits(a, b)
             | MulScalarVar(a, b)
-            | DivScalarVar(a, b) => vec![*a, *b],
+            | DivScalarVar(a, b)
+            | SigmoidBceMean(a, b, _) => vec![*a, *b],
+            IpsWeightedBceMean(w, x, t, _) => vec![*w, *x, *t],
             Neg(a)
             | AddScalar(a, _)
             | MulScalar(a, _)

@@ -148,3 +148,86 @@ proptest! {
         prop_assert_eq!(g.value(v), &before);
     }
 }
+
+/// Strategy: a `(weights, logits, targets)` triple sharing one shape for
+/// the fused-loss equivalence properties.
+fn bce_triple() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        let w = proptest::collection::vec(0.05f64..20.0, r * c);
+        let x = proptest::collection::vec(-12.0f64..12.0, r * c);
+        let t = proptest::collection::vec(0.0f64..=1.0, r * c);
+        (w, x, t).prop_map(move |(w, x, t)| {
+            (
+                Tensor::from_vec(r, c, w),
+                Tensor::from_vec(r, c, x),
+                Tensor::from_vec(r, c, t),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn fused_bce_graph_matches_composed_bits((_w, x, t) in bce_triple()) {
+        let run = |composed: bool| {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let tv = g.constant(t.clone());
+            let loss = if composed {
+                g.bce_mean_composed(xv, tv)
+            } else {
+                g.sigmoid_bce_mean(xv, tv)
+            };
+            let value = g.item(loss);
+            let grad = g.backward_collect(loss, &[xv]).remove(0);
+            (value, grad)
+        };
+        let (vf, gf) = run(false);
+        let (vc, gc) = run(true);
+        prop_assert_eq!(vf.to_bits(), vc.to_bits());
+        prop_assert_eq!(gf, gc);
+    }
+
+    #[test]
+    fn fused_ips_bce_graph_matches_composed_bits((w, x, t) in bce_triple()) {
+        let run = |composed: bool| {
+            let mut g = Graph::new();
+            let wv = g.leaf(w.clone());
+            let xv = g.leaf(x.clone());
+            let tv = g.constant(t.clone());
+            let loss = if composed {
+                let elem = g.bce_with_logits(xv, tv);
+                g.weighted_mean(wv, elem)
+            } else {
+                g.ips_weighted_bce_mean(wv, xv, tv)
+            };
+            let value = g.item(loss);
+            let mut grads = g.backward_collect(loss, &[xv, wv]);
+            (value, grads.remove(0), grads.remove(0))
+        };
+        let (vf, gxf, gwf) = run(false);
+        let (vc, gxc, gwc) = run(true);
+        prop_assert_eq!(vf.to_bits(), vc.to_bits());
+        prop_assert_eq!(gxf, gxc);
+        prop_assert_eq!(gwf, gwc);
+    }
+
+    #[test]
+    fn pooled_and_fresh_backward_are_bit_identical((w, x, t) in bce_triple()) {
+        let run = || {
+            let mut params = Params::new();
+            let id = params.add("x", x.clone());
+            let mut g = Graph::new();
+            let xv = g.param(&params, id);
+            let wv = g.constant(w.clone());
+            let tv = g.constant(t.clone());
+            let loss = g.ips_weighted_bce_mean(wv, xv, tv);
+            g.backward(loss, &mut params);
+            drop(g);
+            params.grad(id).to_dense()
+        };
+        let pooled = run();
+        let fresh = dt_tensor::pool::with_disabled(run);
+        prop_assert_eq!(pooled, fresh);
+    }
+}

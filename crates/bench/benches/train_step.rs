@@ -1,23 +1,27 @@
-//! One DT-IPS-shaped training step, dense vs row-sparse gradients.
+//! One DT-IPS-shaped training step: dense vs row-sparse vs pooled+fused.
 //!
 //! The criterion run covers the `M = 10⁵` scale interactively; `main` then
 //! regenerates `BENCH_train_step.json` at the repo root via
 //! [`dt_bench::train_step`], which sweeps `M ∈ {10⁴, 10⁵, 10⁶}`.
 
 use criterion::{criterion_group, Criterion};
-use dt_bench::train_step::TrainBench;
+use dt_bench::train_step::{StepMode, TrainBench};
 
 fn bench_train_step(c: &mut Criterion) {
     let (m, k, b) = (100_000, 64, 128);
     let mut group = c.benchmark_group(format!("DT-IPS step M={m} K={k} B={b}"));
     group.sample_size(10);
-    let mut dense = TrainBench::new(m, k, b, true);
+    let mut dense = TrainBench::new(m, k, b, StepMode::Dense);
     group.bench_function("dense gradients (legacy path)", |bench| {
         bench.iter(|| dense.step());
     });
-    let mut sparse = TrainBench::new(m, k, b, false);
+    let mut sparse = TrainBench::new(m, k, b, StepMode::Sparse);
     group.bench_function("row-sparse gradients (lazy adam)", |bench| {
         bench.iter(|| sparse.step());
+    });
+    let mut pooled = TrainBench::new(m, k, b, StepMode::Pooled);
+    group.bench_function("row-sparse + buffer pool + fused bce", |bench| {
+        bench.iter(|| pooled.step());
     });
     group.finish();
 }

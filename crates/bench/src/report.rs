@@ -13,6 +13,33 @@ use std::time::Instant;
 
 use dt_tensor::{reference, Tensor};
 
+/// Short git revision of the working tree (`git rev-parse --short HEAD`),
+/// or `"unknown"` when git is unavailable or the cwd is not a repository.
+/// Validated to be plain hex before it is embedded in a report, so a
+/// mangled git invocation can never corrupt the JSON.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_hexdigit()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Host hardware thread count for the report header: validated to be at
+/// least 1 (a zero or unreadable `available_parallelism` falls back to 1,
+/// so downstream tooling can divide by it unconditionally).
+#[must_use]
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .max(1)
+}
+
 /// One kernel × shape measurement. Times are the best of several reps.
 pub struct Measurement {
     pub kernel: &'static str,
@@ -147,10 +174,11 @@ pub fn run_measurements() -> Vec<Measurement> {
 #[must_use]
 pub fn render_report(results: &[Measurement]) -> String {
     let threads = dt_parallel::num_threads();
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let host = host_threads();
+    let rev = git_rev();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/kernels/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"dt-bench/kernels/v2\",");
     let _ = writeln!(
         s,
         "  \"note\": \"best-of-N wall times; naive = unblocked seed loops \
@@ -158,6 +186,7 @@ pub fn render_report(results: &[Measurement]) -> String {
          blocked kernels on the dt-parallel pool. Parallel speedup needs a \
          multi-core host.\","
     );
+    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
     let _ = writeln!(s, "  \"host_threads\": {host},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
     s.push_str("  \"results\": [\n");
@@ -221,8 +250,10 @@ mod tests {
         };
         assert!((m.gflops(10.0) - m.flops as f64 / 1e7).abs() < 1e-9);
         let json = render_report(&[m]);
+        assert!(json.contains("\"schema\": \"dt-bench/kernels/v2\""));
         assert!(json.contains("\"speedup_blocked_vs_naive\": 2.00"));
         assert!(json.contains("\"speedup_parallel_vs_naive\": 4.00"));
+        assert!(json.contains("\"git_rev\": \""));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -231,5 +262,19 @@ mod tests {
         assert_eq!(reps_for(1), 5);
         assert_eq!(reps_for(2_000_000_000), 2);
         assert_eq!(reps_for(usize::MAX), 2);
+    }
+
+    #[test]
+    fn git_rev_is_hex_or_unknown() {
+        let rev = git_rev();
+        assert!(
+            rev == "unknown" || (!rev.is_empty() && rev.chars().all(|c| c.is_ascii_hexdigit())),
+            "unexpected git_rev {rev:?}"
+        );
+    }
+
+    #[test]
+    fn host_threads_is_at_least_one() {
+        assert!(host_threads() >= 1);
     }
 }

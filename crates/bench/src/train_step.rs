@@ -1,18 +1,27 @@
-//! Training-step report: dense vs row-sparse gradient path for
+//! Training-step report: dense vs row-sparse vs pooled+fused step for
 //! `BENCH_train_step.json`.
 //!
-//! The acceptance artefact for the row-sparse gradient work is a single
-//! machine-readable file timing one DT-IPS-shaped training step — a
-//! propensity update on a `4B` uniform batch followed by an IPS-weighted
-//! rating update on a `B` observed batch, both through embedding gathers
-//! over `M×K` tables and an Adam step — with the gradients carried densely
-//! (the pre-row-sparse behaviour: `Params::densify_grads` plus
-//! [`GradMode::DenseEquivalent`]) versus row-sparsely (the default lazy
-//! path). Dense-path cost is `O(M·K)` per step regardless of batch size;
-//! the sparse path touches only the gathered rows, so the gap widens with
-//! the table height `M`. Like [`crate::report`], the harness is a plain
-//! `Instant` best-of-N (std-only, so the offline verification shim can run
-//! it) and the JSON is hand-rolled.
+//! The acceptance artefact for the row-sparse gradient work (PR 3) and the
+//! buffer-pool + fused-kernel work is a single machine-readable file timing
+//! one DT-IPS-shaped training step — a propensity update on a `4B` uniform
+//! batch followed by an IPS-weighted rating update on a `B` observed batch,
+//! both through embedding gathers over `M×K` tables and an Adam step — in
+//! three configurations:
+//!
+//! * **dense** — `Params::densify_grads` plus `GradMode::DenseEquivalent`
+//!   (the pre-row-sparse behaviour, `O(M·K)` per step);
+//! * **sparse** — row-sparse gradients + lazy Adam with the buffer pool
+//!   disabled and the composed-op losses (the PR 3 step, reproduced
+//!   in-process via [`dt_tensor::pool::with_disabled`]);
+//! * **pooled** — the same sparse path with the step-scoped buffer pool on
+//!   and the fused `sigmoid_bce` / `ips_weighted_bce` kernels.
+//!
+//! Alongside wall times the report carries `allocs_per_step`: the per-step
+//! count of buffers drawn from the global allocator, read off the
+//! [`dt_tensor::pool::stats`] counters (every tape/kernel buffer routes
+//! through the pooled constructors, so the counter sees both arms). Like
+//! [`crate::report`], the harness is a plain `Instant` best-of-N (std-only,
+//! so the offline verification shim can run it) and the JSON is hand-rolled.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -21,7 +30,7 @@ use std::time::Instant;
 
 use dt_autograd::{Graph, ParamId, Params};
 use dt_optim::{Adam, GradMode, Optimizer};
-use dt_tensor::Tensor;
+use dt_tensor::{pool, Tensor};
 
 /// Deterministic xorshift64* stream — the report must not depend on `rand`.
 struct XorShift(u64);
@@ -41,6 +50,30 @@ impl XorShift {
 
     fn index(&mut self, n: usize) -> usize {
         (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Which step implementation a [`TrainBench`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepMode {
+    /// Legacy full-table gradients: `Params::densify_grads` +
+    /// [`GradMode::DenseEquivalent`]; pool off, composed-op losses.
+    Dense,
+    /// Row-sparse gradients + lazy Adam with the buffer pool disabled and
+    /// the composed-op losses — the PR 3 step, bit-identical to `Pooled`.
+    Sparse,
+    /// Row-sparse gradients + lazy Adam with the step-scoped buffer pool
+    /// and the fused BCE kernels (the default production path).
+    Pooled,
+}
+
+impl StepMode {
+    fn dense(self) -> bool {
+        self == StepMode::Dense
+    }
+
+    fn pooled(self) -> bool {
+        self == StepMode::Pooled
     }
 }
 
@@ -132,31 +165,29 @@ fn ips_weights(params: &Params, p_user: ParamId, p_item: ParamId, b: &StepBatch)
     Tensor::from_vec(b.users.len(), 1, data)
 }
 
-/// A reusable dense-or-sparse training loop at one `(M, K, B)` scale:
-/// fresh model, fresh optimizer, a rotating pool of pre-drawn batches.
+/// A reusable training loop at one `(M, K, B)` scale: fresh model, fresh
+/// optimizer, a rotating pool of pre-drawn batches, one [`StepMode`].
 pub struct TrainBench {
     model: DtIpsModel,
     opt: Adam,
-    densify: bool,
+    mode: StepMode,
     batches: Vec<StepBatch>,
     next: usize,
 }
 
 impl TrainBench {
-    /// Builds the harness; `dense` selects the legacy full-table gradient
-    /// path (`densify_grads` + [`GradMode::DenseEquivalent`]) instead of
-    /// the default lazy row-sparse path.
+    /// Builds the harness for one step configuration.
     #[must_use]
-    pub fn new(m: usize, k: usize, b: usize, dense: bool) -> Self {
-        let mode = if dense {
+    pub fn new(m: usize, k: usize, b: usize, mode: StepMode) -> Self {
+        let grad_mode = if mode.dense() {
             GradMode::DenseEquivalent
         } else {
             GradMode::Lazy
         };
         Self {
             model: DtIpsModel::new(m, k, 0x9E37_79B9_7F4A_7C15 ^ m as u64),
-            opt: Adam::new(0.01).with_grad_mode(mode),
-            densify: dense,
+            opt: Adam::new(0.01).with_grad_mode(grad_mode),
+            mode,
             batches: make_batches(m, b, 8, 0xD6E8_FEB8_7F4A_7C15 ^ m as u64),
             next: 0,
         }
@@ -164,10 +195,21 @@ impl TrainBench {
 
     /// Runs one DT-IPS-shaped training step: propensity BCE on the uniform
     /// batch, IPS-weighted rating BCE on the observed batch, one Adam step.
+    /// Non-[`StepMode::Pooled`] modes run with the buffer pool disabled so
+    /// the three arms are directly comparable in one process.
     pub fn step(&mut self) {
+        if self.mode.pooled() {
+            self.step_inner();
+        } else {
+            pool::with_disabled(|| self.step_inner());
+        }
+    }
+
+    fn step_inner(&mut self) {
         let batch = &self.batches[self.next % self.batches.len()];
         self.next += 1;
         let model = &mut self.model;
+        let fused = self.mode.pooled();
 
         let mut g = Graph::new();
         let put = g.param(&model.params, model.p_user);
@@ -176,7 +218,11 @@ impl TrainBench {
         let pi = g.gather(pit, Rc::clone(&batch.ub_items));
         let logits = g.row_dot(pu, pi);
         let obs = g.constant(batch.obs.clone());
-        let loss = g.bce_mean(logits, obs);
+        let loss = if fused {
+            g.sigmoid_bce_mean(logits, obs)
+        } else {
+            g.bce_mean_composed(logits, obs)
+        };
         g.backward(loss, &mut model.params);
         drop(g); // release the tape's table Rcs so the step mutates in place
 
@@ -188,13 +234,17 @@ impl TrainBench {
         let ei = g.gather(it, Rc::clone(&batch.items));
         let logits = g.row_dot(eu, ei);
         let y = g.constant(batch.labels.clone());
-        let elem = g.bce_with_logits(logits, y);
         let wv = g.constant(w);
-        let loss = g.weighted_mean(wv, elem);
+        let loss = if fused {
+            g.ips_weighted_bce_mean(wv, logits, y)
+        } else {
+            let elem = g.bce_with_logits(logits, y);
+            g.weighted_mean(wv, elem)
+        };
         g.backward(loss, &mut model.params);
         drop(g);
 
-        if self.densify {
+        if self.mode.dense() {
             model.params.densify_grads();
         }
         self.opt.step(&mut model.params);
@@ -206,26 +256,60 @@ impl TrainBench {
     pub fn all_finite(&self) -> bool {
         self.model.params.all_finite()
     }
+
+    /// Sum of all parameter elements (bit-identity test hook).
+    #[must_use]
+    pub fn param_checksum(&self) -> f64 {
+        [
+            self.model.user,
+            self.model.item,
+            self.model.p_user,
+            self.model.p_item,
+        ]
+        .iter()
+        .map(|&id| self.model.params.value(id).sum())
+        .sum()
+    }
 }
 
-/// One table-height measurement. Times are the best-of-N per-step averages.
+/// One table-height measurement. Times are the best-of-N per-step averages;
+/// alloc counts are exact per-step [`pool::stats`] deltas.
 pub struct StepMeasurement {
     pub m: usize,
     pub k: usize,
     pub batch: usize,
     pub dense_ms: f64,
     pub sparse_ms: f64,
+    pub pooled_ms: f64,
+    pub sparse_allocs_per_step: f64,
+    pub pooled_allocs_per_step: f64,
 }
 
 impl StepMeasurement {
-    fn speedup(&self) -> f64 {
+    fn speedup_sparse(&self) -> f64 {
         self.dense_ms / self.sparse_ms.max(1e-9)
+    }
+
+    fn speedup_pooled(&self) -> f64 {
+        self.sparse_ms / self.pooled_ms.max(1e-9)
+    }
+
+    /// Fraction of per-step allocator traffic the pool removed.
+    fn alloc_reduction(&self) -> f64 {
+        if self.sparse_allocs_per_step <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.pooled_allocs_per_step / self.sparse_allocs_per_step
     }
 }
 
 /// Best-of-`reps` average step time in milliseconds over `steps`-step runs.
 fn time_steps(bench: &mut TrainBench, reps: usize, steps: usize) -> f64 {
-    bench.step(); // warm-up: optimizer state + page faults
+    // Warm-up: optimizer state, page faults, and one full rotation of the
+    // pre-drawn batches so every recurring tape shape is parked in the pool.
+    for _ in 0..bench.batches.len() {
+        bench.step();
+    }
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
@@ -237,6 +321,24 @@ fn time_steps(bench: &mut TrainBench, reps: usize, steps: usize) -> f64 {
     best
 }
 
+/// Average fresh allocations per step over `steps` post-warm-up steps,
+/// read off the global [`pool::stats`] counters. The pooled constructors
+/// count misses whether or not the pool is enabled, so the same probe
+/// measures both the sparse (pool-off) and pooled arms.
+fn allocs_per_step(bench: &mut TrainBench, steps: usize) -> f64 {
+    // Warm up with a full batch rotation so the pooled arm measures steady
+    // state (every merge/tape shape the rotating batches produce is parked).
+    for _ in 0..bench.batches.len() {
+        bench.step();
+    }
+    let before = pool::stats();
+    for _ in 0..steps.max(1) {
+        bench.step();
+    }
+    let after = pool::stats();
+    (after.fresh_allocs - before.fresh_allocs) as f64 / steps.max(1) as f64
+}
+
 /// The paper-class scales: `K = 64`, `B = 128` observed pairs (propensity
 /// batch `4B`), table height `M ∈ {10⁴, 10⁵, 10⁶}` rows per side.
 pub fn run_measurements() -> Vec<StepMeasurement> {
@@ -244,40 +346,64 @@ pub fn run_measurements() -> Vec<StepMeasurement> {
     [10_000usize, 100_000, 1_000_000]
         .iter()
         .map(|&m| {
-            // Scale repetition so the dense arm stays tractable at M = 10⁶
-            // (its step cost is O(M·K)); never a single cold run.
-            let steps = (200_000 / m).clamp(1, 20);
+            // Scale the dense arm's repetition so it stays tractable at
+            // M = 10⁶ (its step cost is O(M·K)); never a single cold run.
+            // The sparse/pooled arms are batch-bound and cheap at every M,
+            // so they always get a full 20-step sample.
+            let dense_steps = (200_000 / m).clamp(1, 20);
+            let light_steps = 20;
             let reps = if m >= 1_000_000 { 2 } else { 3 };
-            let dense_ms = time_steps(&mut TrainBench::new(m, k, b, true), reps, steps);
-            let sparse_ms = time_steps(&mut TrainBench::new(m, k, b, false), reps, steps);
+            let dense_ms = time_steps(
+                &mut TrainBench::new(m, k, b, StepMode::Dense),
+                reps,
+                dense_steps,
+            );
+            // Each arm's model is 4·M·K doubles; drop one bench before
+            // building the next so the arms never run under the memory
+            // pressure of a neighbour's live tables.
+            let mut sparse = TrainBench::new(m, k, b, StepMode::Sparse);
+            let sparse_ms = time_steps(&mut sparse, reps, light_steps);
+            let sparse_allocs_per_step = allocs_per_step(&mut sparse, light_steps);
+            drop(sparse);
+            let mut pooled = TrainBench::new(m, k, b, StepMode::Pooled);
+            let pooled_ms = time_steps(&mut pooled, reps, light_steps);
+            let pooled_allocs_per_step = allocs_per_step(&mut pooled, light_steps);
             StepMeasurement {
                 m,
                 k,
                 batch: b,
                 dense_ms,
                 sparse_ms,
+                pooled_ms,
+                sparse_allocs_per_step,
+                pooled_allocs_per_step,
             }
         })
         .collect()
 }
 
-/// Renders the report as JSON.
+/// Renders the report as JSON (schema `dt-bench/train_step/v2`).
 #[must_use]
 pub fn render_report(results: &[StepMeasurement]) -> String {
     let threads = dt_parallel::num_threads();
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let host = crate::report::host_threads();
+    let rev = crate::report::git_rev();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/train_step/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"dt-bench/train_step/v2\",");
     let _ = writeln!(
         s,
         "  \"note\": \"best-of-N per-step wall times for one DT-IPS-shaped \
          training step (propensity BCE on a 4B uniform batch + IPS-weighted \
          rating BCE on a B observed batch over M x K tables, one Adam step). \
          dense = Params::densify_grads + GradMode::DenseEquivalent (the \
-         legacy full-table path); sparse = row-sparse gradients + lazy \
-         Adam.\","
+         legacy full-table path); sparse = row-sparse gradients + lazy Adam \
+         with the buffer pool disabled and composed-op losses (the PR 3 \
+         step); pooled = sparse + step-scoped buffer pool + fused \
+         sigmoid-BCE kernels. allocs_per_step counts buffers drawn from the \
+         global allocator per step (dt_tensor::pool::stats).\","
     );
+    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
     let _ = writeln!(s, "  \"host_threads\": {host},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
     s.push_str("  \"results\": [\n");
@@ -286,14 +412,23 @@ pub fn render_report(results: &[StepMeasurement]) -> String {
         let _ = writeln!(
             s,
             "    {{\"m\": {}, \"k\": {}, \"batch\": {}, \
-             \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}, \
-             \"speedup_sparse_vs_dense\": {:.2}}}{sep}",
+             \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}, \"pooled_ms\": {:.3}, \
+             \"speedup_sparse_vs_dense\": {:.2}, \
+             \"speedup_pooled_vs_sparse\": {:.2}, \
+             \"sparse_allocs_per_step\": {:.1}, \
+             \"pooled_allocs_per_step\": {:.1}, \
+             \"alloc_reduction\": {:.3}}}{sep}",
             r.m,
             r.k,
             r.batch,
             r.dense_ms,
             r.sparse_ms,
-            r.speedup(),
+            r.pooled_ms,
+            r.speedup_sparse(),
+            r.speedup_pooled(),
+            r.sparse_allocs_per_step,
+            r.pooled_allocs_per_step,
+            r.alloc_reduction(),
         );
     }
     s.push_str("  ]\n}\n");
@@ -309,13 +444,17 @@ pub fn write_train_step_report(path: &Path) -> std::io::Result<()> {
     std::fs::write(path, render_report(&results))?;
     for r in &results {
         eprintln!(
-            "train_step M={:7} K={} B={}  dense {:10.3} ms  sparse {:8.3} ms  speedup {:6.1}x",
+            "train_step M={:7} K={} B={}  dense {:10.3} ms  sparse {:8.3} ms  \
+             pooled {:8.3} ms  pooled-speedup {:4.2}x  allocs {:6.1} -> {:5.1}",
             r.m,
             r.k,
             r.batch,
             r.dense_ms,
             r.sparse_ms,
-            r.speedup()
+            r.pooled_ms,
+            r.speedup_pooled(),
+            r.sparse_allocs_per_step,
+            r.pooled_allocs_per_step,
         );
     }
     Ok(())
@@ -326,14 +465,63 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_arms_train_and_stay_finite() {
-        for dense in [true, false] {
-            let mut tb = TrainBench::new(64, 4, 8, dense);
+    fn all_arms_train_and_stay_finite() {
+        for mode in [StepMode::Dense, StepMode::Sparse, StepMode::Pooled] {
+            let mut tb = TrainBench::new(64, 4, 8, mode);
             for _ in 0..20 {
                 tb.step();
             }
-            assert!(tb.all_finite(), "dense={dense}");
+            assert!(tb.all_finite(), "mode={mode:?}");
         }
+    }
+
+    #[test]
+    fn sparse_and_pooled_steps_are_bit_identical() {
+        let mut sparse = TrainBench::new(64, 4, 8, StepMode::Sparse);
+        let mut pooled = TrainBench::new(64, 4, 8, StepMode::Pooled);
+        for step in 0..12 {
+            sparse.step();
+            pooled.step();
+            let (a, b) = (sparse.param_checksum(), pooled.param_checksum());
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "step {step}: sparse {a:?} != pooled {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_steps_are_bit_identical_across_thread_widths() {
+        // Shapes large enough that the gathered blocks cross the parallel
+        // kernel thresholds, so the width sweep exercises real fan-out.
+        let run = |mode: StepMode| -> Vec<u64> {
+            let mut tb = TrainBench::new(4096, 32, 512, mode);
+            (0..3)
+                .map(|_| {
+                    tb.step();
+                    tb.param_checksum().to_bits()
+                })
+                .collect()
+        };
+        let base = dt_parallel::with_thread_limit(1, || run(StepMode::Sparse));
+        for width in [1usize, 2, 8] {
+            let sparse = dt_parallel::with_thread_limit(width, || run(StepMode::Sparse));
+            let pooled = dt_parallel::with_thread_limit(width, || run(StepMode::Pooled));
+            assert_eq!(base, sparse, "fresh-alloc step drifted at width {width}");
+            assert_eq!(base, pooled, "pooled step drifted at width {width}");
+        }
+    }
+
+    #[test]
+    fn pooled_arm_reuses_buffers_after_warmup() {
+        let mut pooled = TrainBench::new(64, 4, 8, StepMode::Pooled);
+        let pooled_allocs = allocs_per_step(&mut pooled, 6);
+        let mut sparse = TrainBench::new(64, 4, 8, StepMode::Sparse);
+        let sparse_allocs = allocs_per_step(&mut sparse, 6);
+        assert!(
+            pooled_allocs < 0.1 * sparse_allocs,
+            "pooled {pooled_allocs} vs sparse {sparse_allocs}"
+        );
     }
 
     #[test]
@@ -356,10 +544,28 @@ mod tests {
             batch: 128,
             dense_ms: 50.0,
             sparse_ms: 2.0,
+            pooled_ms: 1.0,
+            sparse_allocs_per_step: 200.0,
+            pooled_allocs_per_step: 10.0,
         };
         let json = render_report(&[m]);
+        assert!(json.contains("\"schema\": \"dt-bench/train_step/v2\""));
         assert!(json.contains("\"speedup_sparse_vs_dense\": 25.00"));
-        assert!(json.contains("\"schema\": \"dt-bench/train_step/v1\""));
+        assert!(json.contains("\"speedup_pooled_vs_sparse\": 2.00"));
+        assert!(json.contains("\"alloc_reduction\": 0.950"));
+        assert!(json.contains("\"git_rev\": \""));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn report_host_threads_is_validated() {
+        let json = render_report(&[]);
+        let host = json
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"host_threads\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<usize>().ok())
+            .expect("host_threads field present and numeric");
+        assert!(host >= 1);
+        assert_eq!(host, crate::report::host_threads());
     }
 }

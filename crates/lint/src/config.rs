@@ -54,6 +54,10 @@ pub struct Config {
     pub r5_allow_crates: Vec<String>,
     /// R6: crate directory names whose `pub fn`s must cite the paper.
     pub r6_crates: Vec<String>,
+    /// R7: files (workspace-relative) whose allocations must ride the step
+    /// pool; direct `Tensor::zeros`/`Tensor::from_vec` calls there need a
+    /// `// pool:` / `// alloc-ok:` annotation.
+    pub r7_hot_paths: Vec<String>,
 }
 
 impl Config {
@@ -74,6 +78,7 @@ impl Config {
                 ("r4", "wallclock_allow") => &mut cfg.r4_wallclock_allow,
                 ("r5", "allow_crates") => &mut cfg.r5_allow_crates,
                 ("r6", "crates") => &mut cfg.r6_crates,
+                ("r7", "hot_paths") => &mut cfg.r7_hot_paths,
                 _ => {
                     errors.push(ConfigError {
                         line,

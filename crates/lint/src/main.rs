@@ -1,4 +1,4 @@
-//! The `dt-lint` binary: walks the workspace, applies R1–R6, prints the
+//! The `dt-lint` binary: walks the workspace, applies R1–R7, prints the
 //! human-readable findings and writes `LINT_report.json`.
 //!
 //! Exit status: `0` when the gate passes, `1` on findings (errors always;

@@ -34,6 +34,8 @@ const R5_BAD: &str = include_str!("fixtures/r5_bad.rs");
 const R5_OK: &str = include_str!("fixtures/r5_ok.rs");
 const R6_BAD: &str = include_str!("fixtures/r6_bad.rs");
 const R6_OK: &str = include_str!("fixtures/r6_ok.rs");
+const R7_BAD: &str = include_str!("fixtures/r7_bad.rs");
+const R7_OK: &str = include_str!("fixtures/r7_ok.rs");
 
 #[test]
 fn r1_unsafe_outside_the_allowlist_fires() {
@@ -118,6 +120,21 @@ fn r6_citations_private_fns_and_waivers_pass() {
     assert!(fired("crates/estimators/src/fixture.rs", R6_OK).is_empty());
     // Crates outside [r6] carry no citation duty at all.
     assert!(fired("crates/core/src/fixture.rs", R6_BAD).is_empty());
+}
+
+#[test]
+fn r7_fresh_allocations_fire_in_configured_hot_paths() {
+    assert_eq!(fired("crates/tensor/src/gemm.rs", R7_BAD), ["r7", "r7"]);
+    assert_eq!(fired("crates/autograd/src/graph.rs", R7_BAD), ["r7", "r7"]);
+}
+
+#[test]
+fn r7_pooled_annotated_and_out_of_scope_allocations_pass() {
+    assert!(fired("crates/tensor/src/gemm.rs", R7_OK).is_empty());
+    assert!(fired("crates/tensor/src/elementwise.rs", R7_OK).is_empty());
+    // Only the configured hot paths carry the duty.
+    assert!(fired("crates/tensor/src/init.rs", R7_BAD).is_empty());
+    assert!(fired("crates/models/src/mf.rs", R7_BAD).is_empty());
 }
 
 #[test]

@@ -1,0 +1,10 @@
+// R7 fixture: direct fresh allocations in an allocation hot path, no
+// pool/alloc-ok annotation. Both calls must fire.
+
+fn output_buffer(r: usize, c: usize) -> Tensor {
+    Tensor::zeros(r, c)
+}
+
+fn materialize(r: usize, c: usize, data: Vec<f64>) -> Tensor {
+    Tensor::from_vec(r, c, data)
+}

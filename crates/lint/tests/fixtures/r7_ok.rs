@@ -1,0 +1,22 @@
+// R7 fixture: the sanctioned patterns — pooled constructors, annotated
+// fresh allocations, and test scopes. Must stay silent in a hot path.
+
+fn pooled_output(r: usize, c: usize) -> Tensor {
+    Tensor::pooled_zeros(r, c)
+}
+
+fn accumulator(r: usize, c: usize) -> Tensor {
+    // pool: accumulating kernel output must start zeroed; recycled with the tape
+    Tensor::zeros(r, c)
+}
+
+fn cold_path(r: usize, c: usize, data: Vec<f64>) -> Tensor {
+    Tensor::from_vec(r, c, data) // alloc-ok: once per process, outlives every step
+}
+
+#[cfg(test)]
+mod tests {
+    fn scratch() -> Tensor {
+        Tensor::zeros(2, 2)
+    }
+}

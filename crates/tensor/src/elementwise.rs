@@ -48,8 +48,11 @@ fn binary(
         b.shape()
     );
     let len = a.len();
-    let out = if parallel_worthwhile(len) {
-        let mut out = Tensor::zeros(a.rows(), a.cols());
+    // Every element is written below, so the stale pooled contents never
+    // escape. The buffer is taken on the calling thread; workers only see
+    // disjoint `&mut` chunks (the pool-aware handoff).
+    let mut out = Tensor::pooled_scratch(a.rows(), a.cols());
+    if parallel_worthwhile(len) {
         let (ad, bd) = (a.data(), b.data());
         let cl = chunk_len(len);
         dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
@@ -59,16 +62,11 @@ fn binary(
                 *v = f(x, y);
             }
         });
-        out
     } else {
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
-        Tensor::from_vec(a.rows(), a.cols(), data)
-    };
+        for ((v, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+            *v = f(x, y);
+        }
+    }
     check.run(op, out.data());
     out
 }
@@ -109,8 +107,9 @@ fn binary_inplace(
 /// `out[i] = f(a[i])`, parallel when large.
 fn unary(a: &Tensor, op: &str, check: Check, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
     let len = a.len();
-    let out = if parallel_worthwhile(len) {
-        let mut out = Tensor::zeros(a.rows(), a.cols());
+    // Fully overwritten before escaping; see `binary` for the pool contract.
+    let mut out = Tensor::pooled_scratch(a.rows(), a.cols());
+    if parallel_worthwhile(len) {
         let ad = a.data();
         let cl = chunk_len(len);
         dt_parallel::for_each_chunk(out.data_mut(), cl, |ci, chunk| {
@@ -119,11 +118,11 @@ fn unary(a: &Tensor, op: &str, check: Check, f: impl Fn(f64) -> f64 + Sync) -> T
                 *v = f(x);
             }
         });
-        out
     } else {
-        let data = a.data().iter().map(|&x| f(x)).collect();
-        Tensor::from_vec(a.rows(), a.cols(), data)
-    };
+        for (v, &x) in out.data_mut().iter_mut().zip(a.data()) {
+            *v = f(x);
+        }
+    }
     check.run(op, out.data());
     out
 }
@@ -153,11 +152,11 @@ impl Tensor {
     /// operations below parallelise instead.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self::from_vec(
-            self.rows(),
-            self.cols(),
-            self.data().iter().map(|&v| f(v)).collect(),
-        )
+        let mut out = Self::pooled_scratch(self.rows(), self.cols());
+        for (o, &v) in out.data_mut().iter_mut().zip(self.data()) {
+            *o = f(v);
+        }
+        out
     }
 
     /// Applies `f` to every element in place (sequential; see [`Tensor::map`]).
@@ -181,13 +180,11 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Self::from_vec(self.rows(), self.cols(), data)
+        let mut out = Self::pooled_scratch(self.rows(), self.cols());
+        for ((o, &a), &b) in out.data_mut().iter_mut().zip(self.data()).zip(other.data()) {
+            *o = f(a, b);
+        }
+        out
     }
 
     /// Element-wise sum.

@@ -1,0 +1,304 @@
+//! Fused sigmoid→BCE kernels: loss + cached backward residual in one pass.
+//!
+//! Every method in the paper runs two of these chains per mini-batch — the
+//! propensity head's plain BCE and the rating head's IPS-weighted BCE.
+//! Composed from primitive ops, each chain materialises three intermediate
+//! tensors (the element-wise BCE, the weighted product, the backward
+//! residual) plus the reduction. The fused kernels here compute the scalar
+//! mean loss and the backward residual `σ(x) − t` in a single pass over
+//! the logits, touching **one** (pooled) buffer.
+//!
+//! ## Bit-identity contract
+//!
+//! Each fused kernel is *bit-identical* to its composed-op reference
+//! ([`sigmoid_bce_reference`] / [`ips_weighted_bce_reference`], which spell
+//! out the exact primitive chain used by `dt-autograd` before fusion):
+//!
+//! * the per-element BCE term is the same stable expression
+//!   `max(x,0) − x·t + ln1p(e^{−|x|})`;
+//! * for the IPS variant the weight folds in as `w · bce` *after* the BCE
+//!   term is rounded, exactly like the composed `mul` node;
+//! * the mean reduction is the same sequential Kahan sum over the same
+//!   value sequence as [`crate::Tensor::sum`], divided by the length;
+//! * the backward products associate the same way the composed sweep
+//!   does: `r · c` for the plain kernel and `r · (c · w)` for the IPS
+//!   kernel (the composed sweep scales the upstream gradient by `w`
+//!   first).
+//!
+//! The equivalence is pinned by exhaustive sweeps in this module and by
+//! proptests in `dt-autograd` that run whole training steps both ways.
+
+use crate::checked::Check;
+use crate::Tensor;
+
+/// Overflow-free logistic sigmoid (shared with `dt-autograd`).
+#[must_use]
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The numerically stable element-wise BCE-with-logits term
+/// `max(x,0) − x·t + ln(1 + e^{−|x|})`.
+#[must_use]
+pub fn bce_term(x: f64, t: f64) -> f64 {
+    x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()
+}
+
+/// Kahan accumulator matching [`crate::Tensor::sum`] term for term.
+struct Kahan {
+    s: f64,
+    c: f64,
+}
+
+impl Kahan {
+    fn new() -> Self {
+        Self { s: 0.0, c: 0.0 }
+    }
+
+    #[inline]
+    fn add(&mut self, v: f64) {
+        let y = v - self.c;
+        let t = self.s + y;
+        self.c = (t - self.s) - y;
+        self.s = t;
+    }
+}
+
+fn assert_same_shape(op: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+/// Fused `mean(bce_with_logits(logits, targets))`.
+///
+/// Returns the scalar mean loss together with the backward residual
+/// `σ(x) − t` (one pooled buffer, the only allocation). Bit-identical to
+/// [`sigmoid_bce_reference`].
+///
+/// # Panics
+/// Panics on a shape mismatch or empty input (mean of nothing).
+#[must_use]
+pub fn sigmoid_bce(logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
+    assert_same_shape("sigmoid_bce", logits, targets);
+    assert!(!logits.is_empty(), "sigmoid_bce: mean of empty tensor");
+    let mut residual = Tensor::pooled_scratch(logits.rows(), logits.cols());
+    let mut acc = Kahan::new();
+    for ((r, &x), &t) in residual
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data())
+        .zip(targets.data())
+    {
+        acc.add(bce_term(x, t));
+        *r = stable_sigmoid(x) - t;
+    }
+    let loss = acc.s / logits.len() as f64;
+    Check::Finite.run("sigmoid_bce", residual.data());
+    (loss, residual)
+}
+
+/// Fused `mean(weights ⊙ bce_with_logits(logits, targets))` — the
+/// IPS-weighted rating loss with the weights folded into the same pass.
+///
+/// Returns the scalar mean loss and the backward residual `σ(x) − t`
+/// (weights are *not* folded into the residual: the backward scale differs
+/// per consumer). Bit-identical to [`ips_weighted_bce_reference`].
+///
+/// # Panics
+/// Panics on a shape mismatch or empty input.
+#[must_use]
+pub fn ips_weighted_bce(weights: &Tensor, logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
+    assert_same_shape("ips_weighted_bce", logits, targets);
+    assert_same_shape("ips_weighted_bce", weights, logits);
+    assert!(!logits.is_empty(), "ips_weighted_bce: mean of empty tensor");
+    let mut residual = Tensor::pooled_scratch(logits.rows(), logits.cols());
+    let mut acc = Kahan::new();
+    for (((r, &x), &t), &w) in residual
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data())
+        .zip(targets.data())
+        .zip(weights.data())
+    {
+        // `w * bce` matches the composed `mul(w, bce)` node exactly.
+        acc.add(w * bce_term(x, t));
+        *r = stable_sigmoid(x) - t;
+    }
+    let loss = acc.s / logits.len() as f64;
+    Check::Finite.run("ips_weighted_bce", residual.data());
+    (loss, residual)
+}
+
+/// Backward of [`sigmoid_bce`] w.r.t. the logits: `dx_i = r_i · scale`
+/// with `scale = ∂L/∂loss / n`. Output draws from the pool.
+#[must_use]
+pub fn sigmoid_bce_backward(residual: &Tensor, scale: f64) -> Tensor {
+    let mut dx = Tensor::pooled_scratch(residual.rows(), residual.cols());
+    for (d, &r) in dx.data_mut().iter_mut().zip(residual.data()) {
+        *d = r * scale;
+    }
+    Check::Finite.run("sigmoid_bce_backward", dx.data());
+    dx
+}
+
+/// Backward of [`ips_weighted_bce`] w.r.t. the logits:
+/// `dx_i = r_i · (scale · w_i)` — the inner product associates exactly
+/// like the composed sweep, which scales the upstream gradient by `w`
+/// before it reaches the BCE node.
+///
+/// # Panics
+/// Panics on a shape mismatch.
+#[must_use]
+pub fn ips_weighted_bce_backward(residual: &Tensor, weights: &Tensor, scale: f64) -> Tensor {
+    assert_same_shape("ips_weighted_bce_backward", residual, weights);
+    let mut dx = Tensor::pooled_scratch(residual.rows(), residual.cols());
+    for ((d, &r), &w) in dx
+        .data_mut()
+        .iter_mut()
+        .zip(residual.data())
+        .zip(weights.data())
+    {
+        *d = r * (scale * w);
+    }
+    Check::Finite.run("ips_weighted_bce_backward", dx.data());
+    dx
+}
+
+// ---------------------------------------------------------------------------
+// Composed-op reference oracles
+// ---------------------------------------------------------------------------
+
+/// Composed-op reference for [`sigmoid_bce`]: the exact primitive chain
+/// (`zip_map` BCE, then [`crate::Tensor::mean`]) the fused kernel replaces.
+#[must_use]
+pub fn sigmoid_bce_reference(logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
+    let bce = logits.zip_map(targets, bce_term);
+    let residual = logits.zip_map(targets, |x, t| stable_sigmoid(x) - t);
+    (bce.mean(), residual)
+}
+
+/// Composed-op reference for [`ips_weighted_bce`]: element-wise BCE, a
+/// `mul` with the weights, then the mean.
+#[must_use]
+pub fn ips_weighted_bce_reference(
+    weights: &Tensor,
+    logits: &Tensor,
+    targets: &Tensor,
+) -> (f64, Tensor) {
+    let bce = logits.zip_map(targets, bce_term);
+    let weighted = weights.mul(&bce);
+    let residual = logits.zip_map(targets, |x, t| stable_sigmoid(x) - t);
+    (weighted.mean(), residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — deterministic fill without the (offline-unavailable)
+    /// rand crate, mirroring the harness used by `kernel_equivalence.rs`.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            let v = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (v >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn batch(seed: u64, rows: usize, cols: usize) -> (Tensor, Tensor, Tensor) {
+        let mut rng = XorShift(seed | 1);
+        let logits = Tensor::from_fn(rows, cols, |_, _| (rng.next_f64() - 0.5) * 12.0);
+        let targets = Tensor::from_fn(rows, cols, |_, _| f64::from(rng.next_f64() > 0.5));
+        let weights = Tensor::from_fn(rows, cols, |_, _| 1.0 / rng.next_f64().max(0.05));
+        (logits, targets, weights)
+    }
+
+    #[test]
+    fn sigmoid_bce_matches_reference_bits() {
+        for seed in 0..32u64 {
+            let (x, t, _) = batch(seed, 17 + seed as usize, 3);
+            let (fl, fr) = sigmoid_bce(&x, &t);
+            let (rl, rr) = sigmoid_bce_reference(&x, &t);
+            assert_eq!(fl.to_bits(), rl.to_bits(), "loss bits, seed {seed}");
+            assert_eq!(fr, rr, "residual bits, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ips_weighted_bce_matches_reference_bits() {
+        for seed in 0..32u64 {
+            let (x, t, w) = batch(seed, 23 + seed as usize, 2);
+            let (fl, fr) = ips_weighted_bce(&w, &x, &t);
+            let (rl, rr) = ips_weighted_bce_reference(&w, &x, &t);
+            assert_eq!(fl.to_bits(), rl.to_bits(), "loss bits, seed {seed}");
+            assert_eq!(fr, rr, "residual bits, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_composed_products_bits() {
+        let (x, t, w) = batch(7, 64, 1);
+        let (_, r) = sigmoid_bce(&x, &t);
+        let scale = 1.0 / x.len() as f64;
+        // Composed sweep: mean backward emits a full tensor of `scale`,
+        // then the BCE node multiplies residual · upstream.
+        let upstream = Tensor::full(x.rows(), x.cols(), scale);
+        let composed = r.mul(&upstream);
+        assert_eq!(sigmoid_bce_backward(&r, scale), composed);
+
+        // IPS: upstream through the mul node is `scale · w` per element.
+        let scaled_w = upstream.mul(&w);
+        let composed_ips = r.mul(&scaled_w);
+        assert_eq!(ips_weighted_bce_backward(&r, &w, scale), composed_ips);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let x = Tensor::row_vec(&[500.0, -500.0, 0.0, 36.7, -36.7]);
+        let t = Tensor::row_vec(&[0.0, 1.0, 0.5, 1.0, 0.0]);
+        let (loss, r) = sigmoid_bce(&x, &t);
+        assert!(loss.is_finite());
+        assert!(r.all_finite());
+        // σ(500) = 1, target 0 ⇒ loss term ≈ 500 dominates the mean.
+        assert!(loss > 150.0);
+    }
+
+    #[test]
+    fn single_element_is_the_plain_term() {
+        let x = Tensor::scalar(0.75);
+        let t = Tensor::scalar(1.0);
+        let (loss, r) = sigmoid_bce(&x, &t);
+        assert_eq!(loss.to_bits(), bce_term(0.75, 1.0).to_bits());
+        assert_eq!(r.item().to_bits(), (stable_sigmoid(0.75) - 1.0).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigmoid_bce: shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = sigmoid_bce(&Tensor::zeros(2, 2), &Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    fn weighted_kernel_with_unit_weights_matches_loss_of_plain() {
+        let (x, t, _) = batch(3, 31, 1);
+        let ones = Tensor::ones(x.rows(), x.cols());
+        let (wl, _) = ips_weighted_bce(&ones, &x, &t);
+        // `1.0 * bce` is bit-exact `bce`, so the Kahan streams coincide.
+        let (pl, _) = sigmoid_bce(&x, &t);
+        assert_eq!(wl.to_bits(), pl.to_bits());
+    }
+}

@@ -197,7 +197,9 @@ impl Tensor {
             other.shape()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Tensor::zeros(m, n);
+        // pool: accumulating kernel (`C += …`), so the buffer must start
+        // zeroed; drawn from the step pool, recycled when the tape drops.
+        let mut out = Tensor::pooled_zeros(m, n);
         if m == 0 || k == 0 || n == 0 {
             return out;
         }
@@ -239,7 +241,8 @@ impl Tensor {
             other.shape()
         );
         let (n, k1, k2) = (self.rows(), self.cols(), other.cols());
-        let mut out = Tensor::zeros(k1, k2);
+        // pool: accumulating kernel; zeroed pooled output.
+        let mut out = Tensor::pooled_zeros(k1, k2);
         if n == 0 || k1 == 0 || k2 == 0 {
             return out;
         }
@@ -260,7 +263,7 @@ impl Tensor {
         // bounds memory (`wave · k1 · k2` floats) and has no numeric
         // effect: the merge order is a function of the chunking alone.
         let wave = if par { threads.min(n_chunks) } else { 1 };
-        let mut partials = vec![0.0f64; wave * k1 * k2];
+        let mut partials = crate::pool::take_zeroed(wave * k1 * k2);
         let c = out.data_mut();
         let mut chunk0 = 0;
         while chunk0 < n_chunks {
@@ -279,6 +282,7 @@ impl Tensor {
             }
             chunk0 += wave_n;
         }
+        crate::pool::recycle(partials);
         Check::Finite.run("matmul_tn", out.data());
         out
     }
@@ -300,7 +304,10 @@ impl Tensor {
             other.shape()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
-        let mut out = Tensor::zeros(m, n);
+        // pool: `nt_panel` writes every output element exactly once, so
+        // zeroed-on-miss scratch would also do; zeroed keeps the m==0/k==0
+        // early returns well-defined when `k == 0` skips the panel body.
+        let mut out = Tensor::pooled_zeros(m, n);
         if m == 0 || k == 0 || n == 0 {
             return out;
         }

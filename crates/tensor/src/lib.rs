@@ -40,9 +40,11 @@
 
 mod checked;
 mod elementwise;
+pub mod fused;
 mod gemm;
 mod init;
 mod linalg;
+pub mod pool;
 pub mod reference;
 mod rowsparse;
 mod serdes;

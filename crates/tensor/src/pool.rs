@@ -1,0 +1,296 @@
+//! Step-scoped tensor buffer pool: a free-list arena keyed by element count.
+//!
+//! Every training step rebuilds the autograd tape, which — before this
+//! module — allocated a fresh `Vec<f64>` for every forward node and every
+//! backward delta. For the paper's table shapes the hot buffers are large
+//! (a 512×64 batch of `f64` is 256 KiB), which on glibc means an
+//! `mmap`/`munmap` pair *per allocation*: the page-fault churn dominates
+//! the step once gradients are row-sparse (PR 3). The pool turns that
+//! into a pointer swap.
+//!
+//! ## Design
+//!
+//! * **Free lists are thread-local** (`RefCell<HashMap<len, Vec<Vec<f64>>>>`),
+//!   so `take`/`recycle` are lock-free and the pool needs no `Sync` story.
+//! * **Keyed by exact element count.** Training steps run the same shapes
+//!   every iteration, so exact-size reuse hits ~100% after the first step
+//!   and never wastes capacity on near-miss sizes.
+//! * **Thread-confined with a pool-aware handoff**: `dt-parallel` workers
+//!   never allocate tensor buffers — every parallel kernel allocates its
+//!   output on the calling thread and hands workers disjoint `&mut` chunks
+//!   (see `elementwise.rs` / `gemm.rs`). A buffer recycled on the thread
+//!   that took it always lands back on the free list it came from.
+//! * **Step-scoped lifetime**: buffers are recycled when the tape drops
+//!   (`dt-autograd`'s `Graph::drop` returns every uniquely-owned node
+//!   buffer), so the pool's working set is exactly one step's tape.
+//! * **Bounded**: at most [`MAX_PER_CLASS`] free buffers per size class;
+//!   extra recycles fall through to the global allocator.
+//!
+//! Pooled buffers hand back their *stale previous contents*. That is safe
+//! (only `f64`s) but means callers must either overwrite every element
+//! ([`crate::Tensor::pooled_scratch`]) or ask for an explicit wipe
+//! ([`crate::Tensor::pooled_zeros`]).
+//!
+//! The pool is on by default and can be disabled for A/B tests with the
+//! `DT_POOL=0` environment variable or, in-process and per-thread, with
+//! [`with_disabled`]. Results are bit-identical either way — the pool
+//! changes *where bytes live*, never *what is computed* — which is pinned
+//! by the pooled-vs-fresh proptests in `dt-autograd`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum free buffers retained per size class; extras are released to
+/// the global allocator. Training tapes need well under this many live
+/// buffers of any single shape.
+pub const MAX_PER_CLASS: usize = 32;
+
+// -- statistics (global atomics so they aggregate across threads) -----------
+
+static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+static DISCARDS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool's allocation counters (monotonic since process
+/// start or the last [`reset_stats`]). Std-only; used by `dt-bench` to
+/// report `allocs_per_step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Buffers obtained from the global allocator (pool misses + pool-off
+    /// allocations routed through the pooled constructors).
+    pub fresh_allocs: u64,
+    /// Buffers served from a free list.
+    pub pool_hits: u64,
+    /// Buffers handed back to a free list.
+    pub recycles: u64,
+    /// Recycles dropped because the size class was full or the pool is off.
+    pub discards: u64,
+}
+
+/// Reads the global counters.
+#[must_use]
+pub fn stats() -> Stats {
+    Stats {
+        fresh_allocs: FRESH_ALLOCS.load(Ordering::Relaxed),
+        pool_hits: POOL_HITS.load(Ordering::Relaxed),
+        recycles: RECYCLES.load(Ordering::Relaxed),
+        discards: DISCARDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the global counters to zero (bench harness bookkeeping).
+pub fn reset_stats() {
+    FRESH_ALLOCS.store(0, Ordering::Relaxed);
+    POOL_HITS.store(0, Ordering::Relaxed);
+    RECYCLES.store(0, Ordering::Relaxed);
+    DISCARDS.store(0, Ordering::Relaxed);
+}
+
+// -- enable / disable --------------------------------------------------------
+
+fn env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("DT_POOL") {
+        Ok(v) => !matches!(v.as_str(), "0" | "off" | "false"),
+        Err(_) => true,
+    })
+}
+
+thread_local! {
+    static DISABLE_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static FREE: RefCell<HashMap<usize, Vec<Vec<f64>>>> = RefCell::new(HashMap::new());
+}
+
+/// Returns `true` when `take`/`recycle` on this thread use the free lists.
+#[must_use]
+pub fn enabled() -> bool {
+    env_enabled() && DISABLE_DEPTH.with(|d| d.get()) == 0
+}
+
+/// Runs `f` with the pool disabled on the current thread (nestable).
+///
+/// The A/B switch for the pooled-vs-fresh equivalence tests: inside the
+/// closure every pooled constructor falls through to the global allocator
+/// and every recycle is a plain drop.
+pub fn with_disabled<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            DISABLE_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    DISABLE_DEPTH.with(|d| d.set(d.get() + 1));
+    let _g = Guard;
+    f()
+}
+
+// -- take / recycle ----------------------------------------------------------
+
+/// `true` in the second slot when the buffer came off a free list (and so
+/// holds stale contents).
+fn take_inner(len: usize) -> (Vec<f64>, bool) {
+    if enabled() {
+        let hit = FREE.with(|f| f.borrow_mut().get_mut(&len).and_then(std::vec::Vec::pop));
+        if let Some(buf) = hit {
+            debug_assert_eq!(buf.len(), len);
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            return (buf, true);
+        }
+    }
+    FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    (vec![0.0; len], false)
+}
+
+/// Takes a buffer of exactly `len` elements with **unspecified contents**
+/// (stale data from a previous user on a hit, zeros on a miss).
+#[must_use]
+pub fn take(len: usize) -> Vec<f64> {
+    take_inner(len).0
+}
+
+/// Takes a buffer of exactly `len` elements, zero-filled. A miss is
+/// already zeroed by the allocator; only hits pay for the wipe.
+#[must_use]
+pub fn take_zeroed(len: usize) -> Vec<f64> {
+    let (mut buf, stale) = take_inner(len);
+    if stale {
+        buf.fill(0.0);
+    }
+    buf
+}
+
+/// Hands `buf` back to the current thread's free list. Zero-length
+/// buffers are dropped (nothing to reuse).
+pub fn recycle(buf: Vec<f64>) {
+    let len = buf.len();
+    if len == 0 || !enabled() {
+        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    FREE.with(|f| {
+        let mut map = f.borrow_mut();
+        let class = map.entry(len).or_default();
+        if class.len() < MAX_PER_CLASS {
+            class.push(buf);
+            RECYCLES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            DISCARDS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Releases every free buffer on the current thread back to the global
+/// allocator.
+pub fn clear() {
+    FREE.with(|f| f.borrow_mut().clear());
+}
+
+/// Number of free buffers currently parked on this thread (tests).
+#[must_use]
+pub fn free_buffers() -> usize {
+    FREE.with(|f| f.borrow().values().map(std::vec::Vec::len).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The free lists are thread-local but the stats are global, so tests
+    // that assert on counter deltas must not race each other. Serialize
+    // them on one mutex.
+    use std::sync::Mutex;
+    static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn take_recycle_roundtrip_reuses_buffer() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        let before = stats();
+        let mut a = take(64);
+        a[0] = 42.0;
+        recycle(a);
+        let b = take(64);
+        assert_eq!(b.len(), 64);
+        assert_eq!(b[0], 42.0, "hit hands back stale contents");
+        let after = stats();
+        assert_eq!(after.pool_hits - before.pool_hits, 1);
+        assert_eq!(after.fresh_allocs - before.fresh_allocs, 1);
+        assert_eq!(after.recycles - before.recycles, 1);
+        recycle(b);
+        clear();
+    }
+
+    #[test]
+    fn take_zeroed_wipes_stale_contents() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        let mut a = take(8);
+        a.fill(7.0);
+        recycle(a);
+        let b = take_zeroed(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+        recycle(b);
+        clear();
+    }
+
+    #[test]
+    fn size_classes_do_not_cross() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        recycle(vec![1.0; 4]);
+        let b = take(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&v| v == 0.0), "miss must be fresh zeros");
+        clear();
+    }
+
+    #[test]
+    fn class_cap_discards_extras() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        let before = stats();
+        for _ in 0..MAX_PER_CLASS + 3 {
+            recycle(vec![0.0; 16]);
+        }
+        let after = stats();
+        assert_eq!(after.recycles - before.recycles, MAX_PER_CLASS as u64);
+        assert_eq!(after.discards - before.discards, 3);
+        assert_eq!(free_buffers(), MAX_PER_CLASS);
+        clear();
+    }
+
+    #[test]
+    fn with_disabled_bypasses_free_lists() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        let mut a = take(32);
+        a.fill(9.0);
+        recycle(a);
+        with_disabled(|| {
+            assert!(!enabled());
+            let b = take(32);
+            assert!(b.iter().all(|&v| v == 0.0), "disabled take is fresh");
+            recycle(b); // discarded, not parked
+                        // Nesting keeps it disabled until the outermost scope ends.
+            with_disabled(|| assert!(!enabled()));
+            assert!(!enabled());
+        });
+        assert!(enabled());
+        let c = take(32);
+        assert_eq!(c[0], 9.0, "pre-scope buffer still parked");
+        recycle(c);
+        clear();
+    }
+
+    #[test]
+    fn zero_length_recycle_is_a_noop() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        clear();
+        recycle(Vec::new());
+        assert_eq!(free_buffers(), 0);
+        clear();
+    }
+}

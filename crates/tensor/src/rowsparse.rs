@@ -87,7 +87,7 @@ impl RowSparse {
                 uniq.push(indices[k]);
             }
         }
-        let mut block = Tensor::zeros(uniq.len(), cols);
+        let mut block = Tensor::pooled_zeros(uniq.len(), cols);
         let mut at = 0usize;
         for &k in &order {
             if uniq[at] != indices[k] {
@@ -218,6 +218,7 @@ impl RowSparse {
         }
         if self.is_zero() {
             self.indices = other.indices.clone();
+            // `map` draws from the pool; the replaced block is empty.
             self.block = other.block.map(|x| 0.0 + x);
             return;
         }
@@ -254,7 +255,9 @@ impl RowSparse {
             }
         }
         let cols = self.cols;
-        let mut block = Tensor::zeros(idx.len(), cols);
+        // Every element of every union row is written by `fill_row`, so
+        // pooled scratch (stale contents) is safe here.
+        let mut block = Tensor::pooled_scratch(idx.len(), cols);
         let (ab, bb) = (&self.block, &other.block);
         let fill_row = |r: usize, out: &mut [f64]| match plan[r] {
             (Some(ak), Some(bk)) => {
@@ -289,7 +292,7 @@ impl RowSparse {
         }
         Check::Finite.run("rowsparse_merge", block.data());
         self.indices = idx;
-        self.block = block;
+        std::mem::replace(&mut self.block, block).recycle();
     }
 
     /// Adds the touched rows into the dense table `dst` (`dst[i] += row`).
@@ -325,9 +328,15 @@ impl RowSparse {
     /// of scatter-adding the block into zeros.
     #[must_use]
     pub fn to_dense(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.rows, self.cols);
+        let mut out = Tensor::pooled_zeros(self.rows, self.cols);
         self.add_to_dense(&mut out);
         out
+    }
+
+    /// Consumes the gradient and parks its block buffer on the thread-local
+    /// buffer pool (see [`crate::pool`]).
+    pub fn recycle(self) {
+        self.block.recycle();
     }
 
     /// Multiplies the block by `alpha` in place (pool-parallel when large,
@@ -474,10 +483,22 @@ impl Grad {
             delta.rows(),
             delta.cols()
         );
+        // Consumed deltas hand their buffers back to the pool: `delta` is
+        // owned (never aliased), so once its values are folded in, the
+        // backing storage is free to be reused by the next node.
         match (&mut *self, delta) {
-            (Grad::Dense(a), Grad::Dense(b)) => a.add_assign(&b),
-            (Grad::Dense(a), Grad::RowSparse(s)) => s.add_to_dense(a),
-            (Grad::RowSparse(a), Grad::RowSparse(b)) => a.merge(&b),
+            (Grad::Dense(a), Grad::Dense(b)) => {
+                a.add_assign(&b);
+                b.recycle();
+            }
+            (Grad::Dense(a), Grad::RowSparse(s)) => {
+                s.add_to_dense(a);
+                s.recycle();
+            }
+            (Grad::RowSparse(a), Grad::RowSparse(b)) => {
+                a.merge(&b);
+                b.recycle();
+            }
             (Grad::RowSparse(a), Grad::Dense(b)) => {
                 if a.is_zero() {
                     // First (and so far only) contribution: adopt the dense
@@ -486,16 +507,23 @@ impl Grad {
                 } else {
                     let mut d = a.to_dense();
                     d.add_assign(&b);
-                    *self = Grad::Dense(d);
+                    b.recycle();
+                    if let Grad::RowSparse(old) = std::mem::replace(self, Grad::Dense(d)) {
+                        old.recycle();
+                    }
                 }
             }
         }
     }
 
-    /// Resets to the all-zero sparse gradient, releasing any dense
-    /// allocation — `O(1)` in the table size.
+    /// Resets to the all-zero sparse gradient — `O(1)` in the table size.
+    /// The previous storage (dense tensor or sparse block) is handed back
+    /// to the thread-local buffer pool instead of the global allocator.
     pub fn clear(&mut self) {
-        *self = Grad::empty(self.rows(), self.cols());
+        match std::mem::replace(self, Grad::empty(self.rows(), self.cols())) {
+            Grad::Dense(t) => t.recycle(),
+            Grad::RowSparse(s) => s.recycle(),
+        }
     }
 
     /// Multiplies the stored values by `alpha` in place (gradient clipping).
@@ -562,6 +590,63 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.indices(), &[2, 5, 6]);
         assert_eq!(a.to_dense(), dense);
+    }
+
+    #[test]
+    fn merge_into_empty_lhs_copies_rhs() {
+        let src = Tensor::from_rows(&[&[1.5, -2.0], &[0.0, 4.0]]);
+        let b = RowSparse::from_scatter(6, 2, &[1, 4], &src);
+        let mut a = RowSparse::zeros(6, 2);
+        a.merge(&b);
+        assert_eq!(a.indices(), &[1, 4]);
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn merge_of_empty_rhs_is_a_noop() {
+        let src = Tensor::from_rows(&[&[1.5, -2.0]]);
+        let mut a = RowSparse::from_scatter(6, 2, &[3], &src);
+        let before = a.clone();
+        a.merge(&RowSparse::zeros(6, 2));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = RowSparse::zeros(5, 3);
+        a.merge(&RowSparse::zeros(5, 3));
+        assert!(a.is_zero());
+        assert_eq!((a.rows(), a.cols()), (5, 3));
+    }
+
+    #[test]
+    fn merge_fully_overlapping_row_sets_adds_elementwise() {
+        let s1 = Tensor::from_rows(&[&[1.0, 1e-16], &[-2.0, 3.0]]);
+        let s2 = Tensor::from_rows(&[&[0.5, 1e-16], &[2.0, -3.0]]);
+        let mut a = RowSparse::from_scatter(9, 2, &[2, 7], &s1);
+        let b = RowSparse::from_scatter(9, 2, &[2, 7], &s2);
+        let mut dense = a.to_dense();
+        dense.add_assign(&b.to_dense());
+        a.merge(&b);
+        // Same row set: the union must not grow, and bits must match the
+        // dense accumulation (including the 1e-16 + 1e-16 rounding).
+        assert_eq!(a.indices(), &[2, 7]);
+        assert_eq!(a.to_dense(), dense);
+    }
+
+    #[test]
+    fn merge_on_single_row_tables() {
+        // 1-row logical table: both operands can only touch row 0.
+        let mut a = RowSparse::from_scatter(1, 3, &[0], &Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let b = RowSparse::from_scatter(1, 3, &[0], &Tensor::from_rows(&[&[0.5, -2.0, 4.0]]));
+        a.merge(&b);
+        assert_eq!(a.indices(), &[0]);
+        assert_eq!(a.block().row(0), &[1.5, 0.0, 7.0]);
+        // Single touched row merging into a disjoint single touched row.
+        let mut c = RowSparse::from_scatter(10, 1, &[9], &Tensor::scalar(2.0));
+        c.merge(&RowSparse::from_scatter(10, 1, &[0], &Tensor::scalar(-1.0)));
+        assert_eq!(c.indices(), &[0, 9]);
+        assert_eq!(c.block().data(), &[-1.0, 2.0]);
     }
 
     #[test]

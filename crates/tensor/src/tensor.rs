@@ -111,6 +111,51 @@ impl Tensor {
         Self::from_vec(values.len(), 1, values.to_vec())
     }
 
+    /// A zero tensor whose backing buffer is drawn from the thread-local
+    /// [`crate::pool`] (falls back to a fresh allocation on a miss or when
+    /// the pool is disabled). Bit-identical to [`Tensor::zeros`].
+    #[must_use]
+    pub fn pooled_zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            shape: Shape::new(rows, cols),
+            data: crate::pool::take_zeroed(rows * cols),
+        }
+    }
+
+    /// A pooled tensor with **unspecified contents** — stale data from a
+    /// previous user on a pool hit. Strictly for kernels that overwrite
+    /// every element before the tensor escapes; never read before write.
+    #[must_use]
+    pub fn pooled_scratch(rows: usize, cols: usize) -> Self {
+        Self {
+            shape: Shape::new(rows, cols),
+            data: crate::pool::take(rows * cols),
+        }
+    }
+
+    /// A pooled tensor filled with `value`; bit-identical to
+    /// [`Tensor::full`].
+    #[must_use]
+    pub fn pooled_full(rows: usize, cols: usize, value: f64) -> Self {
+        let mut out = Self::pooled_scratch(rows, cols);
+        out.data.fill(value);
+        out
+    }
+
+    /// A pooled copy of `self` (same shape and contents).
+    #[must_use]
+    pub fn pooled_clone(&self) -> Self {
+        let mut out = Self::pooled_scratch(self.rows(), self.cols());
+        out.data.copy_from_slice(&self.data);
+        out
+    }
+
+    /// Consumes the tensor and parks its buffer on the thread-local
+    /// [`crate::pool`] free list for reuse.
+    pub fn recycle(self) {
+        crate::pool::recycle(self.data);
+    }
+
     /// Builds a tensor by evaluating `f(row, col)` for every element.
     #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
@@ -299,7 +344,7 @@ impl Tensor {
             bias.shape,
             self.shape
         );
-        let mut out = self.clone();
+        let mut out = self.pooled_clone();
         for i in 0..out.rows() {
             for (o, b) in out.row_mut(i).iter_mut().zip(&bias.data) {
                 *o += b;
@@ -318,7 +363,7 @@ impl Tensor {
             bias.shape,
             self.shape
         );
-        let mut out = self.clone();
+        let mut out = self.pooled_clone();
         for i in 0..out.rows() {
             let b = bias.data[i];
             for o in out.row_mut(i) {
@@ -383,7 +428,7 @@ impl Tensor {
     /// Per-row sums as an `rows × 1` column vector.
     #[must_use]
     pub fn row_sums(&self) -> Self {
-        let mut out = Tensor::zeros(self.rows(), 1);
+        let mut out = Tensor::pooled_scratch(self.rows(), 1);
         for i in 0..self.rows() {
             out.data[i] = self.row(i).iter().sum();
         }
@@ -393,7 +438,8 @@ impl Tensor {
     /// Per-column sums as a `1 × cols` row vector.
     #[must_use]
     pub fn col_sums(&self) -> Self {
-        let mut out = Tensor::zeros(1, self.cols());
+        // Accumulates row by row, so the buffer must start zeroed.
+        let mut out = Tensor::pooled_zeros(1, self.cols());
         for i in 0..self.rows() {
             for (o, v) in out.data.iter_mut().zip(self.row(i)) {
                 *o += v;
@@ -418,7 +464,7 @@ impl Tensor {
     /// Transposed copy.
     #[must_use]
     pub fn transpose(&self) -> Self {
-        let mut out = Tensor::zeros(self.cols(), self.rows());
+        let mut out = Tensor::pooled_scratch(self.cols(), self.rows());
         for i in 0..self.rows() {
             for j in 0..self.cols() {
                 out.data[j * self.rows() + i] = self.data[i * self.cols() + j];
@@ -437,7 +483,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        let mut out = Tensor::zeros(self.rows(), self.cols() + other.cols());
+        let mut out = Tensor::pooled_scratch(self.rows(), self.cols() + other.cols());
         for i in 0..self.rows() {
             let dst = out.row_mut(i);
             dst[..self.cols()].copy_from_slice(self.row(i));
@@ -470,7 +516,7 @@ impl Tensor {
             "slice_cols: range {lo}..{hi} out of bounds for {}",
             self.shape
         );
-        let mut out = Tensor::zeros(self.rows(), hi - lo);
+        let mut out = Tensor::pooled_scratch(self.rows(), hi - lo);
         for i in 0..self.rows() {
             out.row_mut(i).copy_from_slice(&self.row(i)[lo..hi]);
         }
@@ -496,7 +542,7 @@ impl Tensor {
     /// (the embedding-lookup kernel). Indices may repeat.
     #[must_use]
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
-        let mut out = Tensor::zeros(indices.len(), self.cols());
+        let mut out = Tensor::pooled_scratch(indices.len(), self.cols());
         for (k, &i) in indices.iter().enumerate() {
             assert!(
                 i < self.rows(),
@@ -543,7 +589,7 @@ impl Tensor {
     #[must_use]
     pub fn row_dot(&self, other: &Self) -> Self {
         assert_same_shape!("row_dot", self, other);
-        let mut out = Tensor::zeros(self.rows(), 1);
+        let mut out = Tensor::pooled_scratch(self.rows(), 1);
         for i in 0..self.rows() {
             out.data[i] = self
                 .row(i)

@@ -172,3 +172,62 @@ proptest! {
         prop_assert_eq!(one, eight);
     }
 }
+
+/// Strategy: a `(weights, logits, targets)` triple sharing one shape —
+/// positive IPS-style weights, logits wide enough to stress the stable BCE
+/// form, targets in `[0, 1]`.
+fn bce_triple() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        let w = proptest::collection::vec(0.05f64..20.0, r * c);
+        let x = proptest::collection::vec(-30.0f64..30.0, r * c);
+        let t = proptest::collection::vec(0.0f64..=1.0, r * c);
+        (w, x, t).prop_map(move |(w, x, t)| {
+            (
+                Tensor::from_vec(r, c, w),
+                Tensor::from_vec(r, c, x),
+                Tensor::from_vec(r, c, t),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn fused_sigmoid_bce_is_bit_identical_to_reference((_w, x, t) in bce_triple()) {
+        let (loss_f, res_f) = dt_tensor::fused::sigmoid_bce(&x, &t);
+        let (loss_r, res_r) = dt_tensor::fused::sigmoid_bce_reference(&x, &t);
+        prop_assert_eq!(loss_f.to_bits(), loss_r.to_bits());
+        prop_assert_eq!(res_f, res_r);
+    }
+
+    #[test]
+    fn fused_ips_weighted_bce_is_bit_identical_to_reference((w, x, t) in bce_triple()) {
+        let (loss_f, res_f) = dt_tensor::fused::ips_weighted_bce(&w, &x, &t);
+        let (loss_r, res_r) = dt_tensor::fused::ips_weighted_bce_reference(&w, &x, &t);
+        prop_assert_eq!(loss_f.to_bits(), loss_r.to_bits());
+        prop_assert_eq!(res_f, res_r);
+    }
+
+    #[test]
+    fn fused_backwards_match_composed_products((w, x, t) in bce_triple()) {
+        let scale = 1.0 / x.len() as f64;
+        let (_, res) = dt_tensor::fused::sigmoid_bce(&x, &t);
+        let dx = dt_tensor::fused::sigmoid_bce_backward(&res, scale);
+        prop_assert_eq!(dx, res.map(|r| r * scale));
+        let dxw = dt_tensor::fused::ips_weighted_bce_backward(&res, &w, scale);
+        prop_assert_eq!(dxw, res.zip_map(&w, |r, wv| r * (scale * wv)));
+    }
+
+    #[test]
+    fn pooled_and_fresh_kernels_are_bit_identical((a, b) in wide_matmul_pair()) {
+        // The pool changes where bytes live, never what is computed: the
+        // same kernel run with the pool bypassed must match bit-for-bit.
+        let pooled = (a.matmul(&b), dt_tensor::fused::sigmoid_bce(&a, &a.map(|v| v.abs().fract())));
+        let fresh = dt_tensor::pool::with_disabled(|| {
+            (a.matmul(&b), dt_tensor::fused::sigmoid_bce(&a, &a.map(|v| v.abs().fract())))
+        });
+        prop_assert_eq!(pooled.0, fresh.0);
+        prop_assert_eq!(pooled.1.0.to_bits(), fresh.1.0.to_bits());
+        prop_assert_eq!(pooled.1.1, fresh.1.1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Batched full-catalog top-K retrieval: full-sort vs partial selection.
+//!
+//! The criterion run covers the `M = 10⁵` scale interactively; `main` then
+//! regenerates `BENCH_serve.json` at the repo root via [`dt_bench::serve`],
+//! which sweeps `M ∈ {10⁴, 10⁵, 10⁶}` × `K ∈ {10, 50}`.
+
+use criterion::{criterion_group, Criterion};
+use dt_bench::serve::{build_index, full_sort_batch};
+use dt_serve::{TopKBatch, TopKEngine};
+
+fn bench_serve(c: &mut Criterion) {
+    let (n_users, m, dim, k) = (2048, 100_000, 32, 10);
+    let index = build_index(n_users, m, dim, 0x5EED);
+    let users: Vec<usize> = (0..16).map(|j| (j * 131) % n_users).collect();
+    let engine = TopKEngine::new();
+    let block = engine.block_users(m);
+    let mut group = c.benchmark_group(format!("serve M={m} K={k} users={}", users.len()));
+    group.sample_size(10);
+    let mut scratch = Vec::new();
+    let mut sorted = TopKBatch::new();
+    group.bench_function("full sort per user (seed selection)", |bench| {
+        bench.iter(|| full_sort_batch(&index, &users, k, block, &mut scratch, &mut sorted));
+    });
+    let mut batch = TopKBatch::new();
+    group.bench_function("bounded-heap partial selection", |bench| {
+        bench.iter(|| engine.recommend_into(&index, &users, k, None, &mut batch));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    eprintln!("\nwriting serve report to {path}");
+    if let Err(e) = dt_bench::serve::write_serve_report(std::path::Path::new(path)) {
+        eprintln!("failed to write {path}: {e}");
+    }
+}

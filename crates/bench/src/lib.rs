@@ -19,6 +19,9 @@
 //! * `train_step` — one DT-IPS-shaped training step with dense vs
 //!   row-sparse gradients; the run also regenerates `BENCH_train_step.json`
 //!   at the repo root (see [`train_step`]).
+//! * `serve` — batched full-catalog top-K retrieval: full-sort vs
+//!   partial-selection at `M ∈ {10⁴, 10⁵, 10⁶}`; the run also regenerates
+//!   `BENCH_serve.json` at the repo root (see [`serve`]).
 //!
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
@@ -26,4 +29,5 @@
 #![forbid(unsafe_code)]
 
 pub mod report;
+pub mod serve;
 pub mod train_step;

@@ -48,3 +48,7 @@ pub mod registry;
 pub use config::{Hyper, TrainConfig};
 pub use recommender::{evaluate, EvalReport, FitReport, Recommender};
 pub use registry::Method;
+
+// Serving-layer types, re-exported so harness code can drive
+// `Recommender::recommend_top_k` without a direct dt-serve dependency.
+pub use dt_serve::{Ranked, ScoringIndex, SeenLists, TopKBatch, TopKEngine};

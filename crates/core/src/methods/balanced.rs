@@ -145,20 +145,14 @@ impl Recommender for BalancedRecommender {
                     .map(|(&u, &i)| 1.0 / self.clipped_prop(u, i))
                     .collect();
                 // Pseudo-labels from the imputation model (DR-V2 only).
-                let r_tilde: Option<Vec<f64>> = self.imputation.as_ref().map(|imp| {
-                    b.users
-                        .iter()
-                        .zip(&b.items)
-                        .map(|(&u, &i)| dt_stats::expit(imp.score(u, i)))
-                        .collect()
-                });
-                let r_tilde_unif: Option<Vec<f64>> = self.imputation.as_ref().map(|imp| {
-                    ub.users
-                        .iter()
-                        .zip(&ub.items)
-                        .map(|(&u, &i)| dt_stats::expit(imp.score(u, i)))
-                        .collect()
-                });
+                let r_tilde: Option<Vec<f64>> = self
+                    .imputation
+                    .as_ref()
+                    .map(|imp| imp.predict_batch(&b.users, &b.items));
+                let r_tilde_unif: Option<Vec<f64>> = self
+                    .imputation
+                    .as_ref()
+                    .map(|imp| imp.predict_batch(&ub.users, &ub.items));
                 let e_vals: Vec<f64>;
                 let pred_vals: Vec<f64>;
                 {
@@ -228,6 +222,10 @@ impl Recommender for BalancedRecommender {
 
     fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
         self.model.predict(pairs)
+    }
+
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
     }
 
     fn n_parameters(&self) -> usize {

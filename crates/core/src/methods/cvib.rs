@@ -128,6 +128,10 @@ impl Recommender for CvibRecommender {
         self.model.predict(pairs)
     }
 
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
+    }
+
     fn n_parameters(&self) -> usize {
         self.model.n_parameters()
     }

@@ -110,14 +110,15 @@ impl Recommender for DibRecommender {
 
     fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
         // Test time: unbiased component only.
-        pairs
-            .iter()
-            .map(|&(u, i)| self.model.predict_rating(u, i))
-            .collect()
+        self.model.predict_rating_pairs(pairs)
     }
 
     fn n_parameters(&self) -> usize {
         self.model.n_parameters()
+    }
+
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.rating_scoring_index())
     }
 
     fn name(&self) -> &'static str {

@@ -112,11 +112,7 @@ impl DrRecommender {
     /// imputation supervises the unobserved space in DR-JL.
     fn pseudo_labels(&self, users: &[usize], items: &[usize]) -> Vec<f64> {
         match &self.imputation {
-            Some(m) => users
-                .iter()
-                .zip(items)
-                .map(|(&u, &i)| dt_stats::expit(m.score(u, i)))
-                .collect(),
+            Some(m) => m.predict_batch(users, items),
             None => vec![self.const_imp; users.len()],
         }
     }
@@ -303,6 +299,10 @@ impl Recommender for DrRecommender {
 
     fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
         self.model.predict(pairs)
+    }
+
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
     }
 
     fn n_parameters(&self) -> usize {

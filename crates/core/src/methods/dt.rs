@@ -97,13 +97,14 @@ impl DtRecommender {
         self
     }
 
-    /// Clipped MNAR propensities from the model's own head (plain values).
+    /// Clipped MNAR propensities from the model's own head (plain values),
+    /// through the batched propensity kernel.
     fn head_propensities(&self, users: &[usize], items: &[usize]) -> Vec<f64> {
-        users
-            .iter()
-            .zip(items)
-            .map(|(&u, &i)| self.model.predict_propensity(u, i).max(self.cfg.prop_clip))
-            .collect()
+        let mut out = self.model.predict_propensity_batch(users, items);
+        for p in &mut out {
+            *p = p.max(self.cfg.prop_clip);
+        }
+        out
     }
 }
 
@@ -142,20 +143,14 @@ impl Recommender for DtRecommender {
                 // treated as given for this pass; the imputed error
                 // ê = (r̂ − r̃)² stays a live function of the rating head,
                 // which is how the unobserved space is supervised.
-                let r_tilde_obs: Option<Vec<f64>> = self.imputation.as_ref().map(|imp| {
-                    b.users
-                        .iter()
-                        .zip(&b.items)
-                        .map(|(&u, &i)| dt_stats::expit(imp.score(u, i)))
-                        .collect()
-                });
-                let r_tilde_unif: Option<Vec<f64>> = self.imputation.as_ref().map(|imp| {
-                    ub.users
-                        .iter()
-                        .zip(&ub.items)
-                        .map(|(&u, &i)| dt_stats::expit(imp.score(u, i)))
-                        .collect()
-                });
+                let r_tilde_obs: Option<Vec<f64>> = self
+                    .imputation
+                    .as_ref()
+                    .map(|imp| imp.predict_batch(&b.users, &b.items));
+                let r_tilde_unif: Option<Vec<f64>> = self
+                    .imputation
+                    .as_ref()
+                    .map(|imp| imp.predict_batch(&ub.users, &ub.items));
 
                 // ---- main pass over the disentangled model ---------------
                 // One shared index list per side and batch: the rating and
@@ -227,12 +222,7 @@ impl Recommender for DtRecommender {
                 // ---- imputation pass (DT-DR): train r̃ so the implied
                 //      error (r̂ − r̃)² matches the realized error ----------
                 if let Some(imp) = &mut self.imputation {
-                    let preds: Vec<f64> = b
-                        .users
-                        .iter()
-                        .zip(&b.items)
-                        .map(|(&u, &i)| self.model.predict_rating(u, i))
-                        .collect();
+                    let preds = self.model.predict_rating_batch(&b.users, &b.items);
                     let e_vals: Vec<f64> = preds
                         .iter()
                         .zip(&b.ratings)
@@ -266,16 +256,17 @@ impl Recommender for DtRecommender {
     }
 
     fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
-        pairs
-            .iter()
-            .map(|&(u, i)| self.model.predict_rating(u, i))
-            .collect()
+        self.model.predict_rating_pairs(pairs)
     }
 
     fn n_parameters(&self) -> usize {
         // Table II: DT-IPS's prediction embedding is *contained* in the
         // propensity embedding (1×); DT-DR adds the imputation model (2×).
         self.model.n_parameters() + self.imputation.as_ref().map_or(0, MfModel::n_parameters)
+    }
+
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.rating_scoring_index())
     }
 
     fn name(&self) -> &'static str {

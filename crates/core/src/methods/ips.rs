@@ -97,6 +97,10 @@ impl Recommender for IpsRecommender {
         self.model.predict(pairs)
     }
 
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
+    }
+
     fn n_parameters(&self) -> usize {
         // Prediction MF + separate propensity MF: the paper's Table II
         // "2×" embedding row.

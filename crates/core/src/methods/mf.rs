@@ -71,6 +71,10 @@ impl Recommender for MfRecommender {
         self.model.predict(pairs)
     }
 
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
+    }
+
     fn n_parameters(&self) -> usize {
         self.model.n_parameters()
     }

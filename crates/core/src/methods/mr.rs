@@ -185,6 +185,10 @@ impl Recommender for MrRecommender {
         self.model.predict(pairs)
     }
 
+    fn scoring_index(&self) -> Option<dt_serve::ScoringIndex> {
+        Some(self.model.scoring_index())
+    }
+
     fn n_parameters(&self) -> usize {
         // Prediction MF + logistic propensity candidate + mixture logits.
         self.model.n_parameters() + self.model.n_parameters() / 2 + self.mix_logits.len()

@@ -4,6 +4,8 @@ use rand::rngs::StdRng;
 
 use dt_data::Dataset;
 use dt_metrics::{auc, evaluate_ranking, mae, mse};
+use dt_serve::{ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_tensor::topk::select_top_k;
 
 /// What every training method exposes to the experiment harness.
 pub trait Recommender {
@@ -23,6 +25,61 @@ pub trait Recommender {
     /// model (used by the calibration diagnostics).
     fn propensity(&self, _user: usize, _item: usize) -> Option<f64> {
         None
+    }
+
+    /// A dense serving index over the method's ranking scores, when its
+    /// scorer is MF-family (panels + biases). Powers the fast path of
+    /// [`Recommender::recommend_top_k`]; `None` (the default) falls back
+    /// to scoring the catalog through [`Recommender::predict`].
+    fn scoring_index(&self) -> Option<ScoringIndex> {
+        None
+    }
+
+    /// Batched full-catalog retrieval: the top `k` unseen items for each
+    /// queried user over a catalog of `n_items`, best first.
+    ///
+    /// Methods exposing a [`Recommender::scoring_index`] run the blocked
+    /// gather-GEMM + bounded-heap [`TopKEngine`]; the rest score the
+    /// catalog per user through [`Recommender::predict`]. Both paths use
+    /// the same partial-selection kernel and tie-breaking (score
+    /// descending, item id ascending), so rankings agree whenever the
+    /// index logits are a monotone transform of the predictions.
+    ///
+    /// # Panics
+    /// Panics when an index is present but built for a different catalog
+    /// size, or a user/seen-list id is out of bounds.
+    #[must_use]
+    fn recommend_top_k(
+        &self,
+        users: &[usize],
+        n_items: usize,
+        k: usize,
+        seen: Option<&SeenLists>,
+    ) -> TopKBatch {
+        if let Some(index) = self.scoring_index() {
+            assert_eq!(
+                index.n_items(),
+                n_items,
+                "recommend_top_k: index built for {} items, asked for {n_items}",
+                index.n_items()
+            );
+            return TopKEngine::new().recommend(&index, users, k, seen);
+        }
+        let mut out = TopKBatch::new();
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return out;
+        }
+        let mut pairs = Vec::with_capacity(n_items);
+        for (j, &u) in users.iter().enumerate() {
+            pairs.clear();
+            pairs.extend((0..n_items).map(|i| (u, i)));
+            let scores = self.predict(&pairs);
+            let exclude = seen.map_or(&[][..], |s| s.seen(u));
+            let filled = select_top_k(&scores, exclude, out.user_mut(j));
+            out.set_count(j, filled);
+        }
+        out
     }
 }
 
@@ -166,6 +223,71 @@ mod tests {
         assert!(rep.mae_vs_truth < 1e-12);
         assert!(rep.auc > 0.6, "auc {}", rep.auc);
         assert!(rep.ndcg > 0.5);
+    }
+
+    /// An MF model served two ways: with its index (fast path) and with
+    /// the index withheld (predict fallback).
+    struct Served {
+        model: dt_models::MfModel,
+        expose_index: bool,
+    }
+
+    impl Recommender for Served {
+        fn fit(&mut self, _ds: &Dataset, _rng: &mut StdRng) -> FitReport {
+            FitReport::empty()
+        }
+        fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+            self.model.predict(pairs)
+        }
+        fn n_parameters(&self) -> usize {
+            self.model.n_parameters()
+        }
+        fn name(&self) -> &'static str {
+            "served"
+        }
+        fn scoring_index(&self) -> Option<ScoringIndex> {
+            self.expose_index.then(|| self.model.scoring_index())
+        }
+    }
+
+    #[test]
+    fn fast_path_and_predict_fallback_rank_identically() {
+        use rand::SeedableRng;
+        // Small random weights keep the logits well inside the sigmoid's
+        // non-saturating range, so distinct logits stay distinct after
+        // expit and both paths face the same tie structure.
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = dt_models::MfModel::new(12, 37, 4, &mut rng);
+        let fast = Served {
+            model,
+            expose_index: true,
+        };
+        let users: Vec<usize> = (0..20).map(|j| (j * 5) % 12).collect();
+        let seen = SeenLists::from_pairs(12, (0..12u32).flat_map(|u| [(u, u), (u, u + 9)]));
+        let a = fast.recommend_top_k(&users, 37, 8, Some(&seen));
+        let slow = Served {
+            model: fast.model,
+            expose_index: false,
+        };
+        let b = slow.recommend_top_k(&users, 37, 8, Some(&seen));
+        assert_eq!(a.n_users(), b.n_users());
+        for j in 0..users.len() {
+            let fast_items: Vec<u32> = a.user(j).iter().map(|r| r.item).collect();
+            let slow_items: Vec<u32> = b.user(j).iter().map(|r| r.item).collect();
+            assert_eq!(fast_items, slow_items, "user-slot {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index built for")]
+    fn mismatched_catalog_size_panics() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let served = Served {
+            model: dt_models::MfModel::new(3, 5, 2, &mut rng),
+            expose_index: true,
+        };
+        let _ = served.recommend_top_k(&[0], 6, 2, None);
     }
 
     #[test]

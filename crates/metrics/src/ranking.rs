@@ -1,8 +1,18 @@
 //! Top-K ranking metrics, following the paper's protocol: metrics are
 //! computed per user over that user's test items, then averaged over users
 //! with at least one relevant test item.
+//!
+//! The per-user functions ([`ndcg_at_k`] & co.) are the reference
+//! implementations: they full-sort each user's items. The dataset-level
+//! [`evaluate_ranking`] driver instead groups the log into flat per-user
+//! ranges with one counting-sort pass and ranks each range through the
+//! shared `dt_tensor::topk` partial-selection kernel — `O(n + K log K)`
+//! per user instead of `O(n log n)`, with identical tie-breaking (score
+//! descending, then original interaction order), so both paths produce
+//! the same report bit for bit.
 
 use dt_data::InteractionLog;
+use dt_tensor::topk::{select_top_k, Ranked};
 
 /// Scored test items of one user: `(score, binary_label)`.
 type ScoredItems<'a> = &'a [(f64, f64)];
@@ -88,25 +98,56 @@ pub struct RankingReport {
 #[must_use]
 pub fn evaluate_ranking(log: &InteractionLog, scores: &[f64], k: usize) -> RankingReport {
     assert_eq!(scores.len(), log.len(), "evaluate_ranking: score mismatch");
-    let mut per_user: Vec<Vec<(f64, f64)>> = vec![Vec::new(); log.n_users()];
-    for (it, &s) in log.interactions().iter().zip(scores) {
-        per_user[it.user as usize].push((s, it.rating));
+    let n_users = log.n_users();
+
+    // Counting-sort group-by: one flat scores/labels array segmented by
+    // user, instead of a Vec<Vec<_>> of per-user allocations.
+    let mut offsets = vec![0usize; n_users + 1];
+    for it in log.interactions() {
+        offsets[it.user as usize + 1] += 1;
     }
+    for u in 0..n_users {
+        offsets[u + 1] += offsets[u];
+    }
+    let mut cursor = offsets.clone();
+    let mut flat_scores = vec![0.0; log.len()];
+    let mut flat_labels = vec![0.0; log.len()];
+    for (it, &s) in log.interactions().iter().zip(scores) {
+        let slot = cursor[it.user as usize];
+        cursor[it.user as usize] += 1;
+        flat_scores[slot] = s;
+        flat_labels[slot] = it.rating;
+    }
+
+    // Within a user's range, local ids follow interaction order, so the
+    // kernel's (score desc, id asc) tie-break reproduces the reference
+    // stable sort exactly.
+    let mut top = vec![Ranked::TOMBSTONE; k];
     let (mut nd, mut rc, mut pr, mut n) = (0.0, 0.0, 0.0, 0usize);
-    for items in &per_user {
-        if items.is_empty() {
+    for u in 0..n_users {
+        let (lo, hi) = (offsets[u], offsets[u + 1]);
+        let labels = &flat_labels[lo..hi];
+        let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+        if n_pos == 0 || k == 0 {
             continue;
         }
-        if let (Some(a), Some(b), Some(c)) = (
-            ndcg_at_k(items, k),
-            recall_at_k(items, k),
-            precision_at_k(items, k),
-        ) {
-            nd += a;
-            rc += b;
-            pr += c;
-            n += 1;
+        let filled = select_top_k(&flat_scores[lo..hi], &[], &mut top);
+        let mut hits = 0usize;
+        let mut dcg = 0.0;
+        for (rank0, r) in top[..filled].iter().enumerate() {
+            if labels[r.item as usize] > 0.5 {
+                hits += 1;
+                dcg += 1.0 / ((rank0 + 2) as f64).log2();
+            }
         }
+        let idcg: f64 = (0..n_pos.min(k))
+            .map(|rank0| 1.0 / ((rank0 + 2) as f64).log2())
+            .sum();
+        nd += dcg / idcg;
+        rc += hits as f64 / n_pos.min(k) as f64;
+        // `filled` = min(K, catalog) is exactly the reference's depth.
+        pr += hits as f64 / filled as f64;
+        n += 1;
     }
     if n == 0 {
         return RankingReport {
@@ -191,5 +232,77 @@ mod tests {
         let rep = evaluate_ranking(&log, &[0.5], 5);
         assert_eq!(rep.n_users, 0);
         assert_eq!(rep.ndcg, 0.0);
+    }
+
+    /// The reference aggregation the partial-selection driver replaced:
+    /// per-user Vec-of-Vecs grouping composed with the full-sort metrics.
+    fn evaluate_by_composition(log: &InteractionLog, scores: &[f64], k: usize) -> RankingReport {
+        let mut per_user: Vec<Vec<(f64, f64)>> = vec![Vec::new(); log.n_users()];
+        for (it, &s) in log.interactions().iter().zip(scores) {
+            per_user[it.user as usize].push((s, it.rating));
+        }
+        let (mut nd, mut rc, mut pr, mut n) = (0.0, 0.0, 0.0, 0usize);
+        for items in &per_user {
+            if let (Some(a), Some(b), Some(c)) = (
+                ndcg_at_k(items, k),
+                recall_at_k(items, k),
+                precision_at_k(items, k),
+            ) {
+                nd += a;
+                rc += b;
+                pr += c;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return RankingReport {
+                ndcg: 0.0,
+                recall: 0.0,
+                precision: 0.0,
+                n_users: 0,
+            };
+        }
+        RankingReport {
+            ndcg: nd / n as f64,
+            recall: rc / n as f64,
+            precision: pr / n as f64,
+            n_users: n,
+        }
+    }
+
+    #[test]
+    fn flat_driver_matches_per_user_composition() {
+        // Deterministic xorshift64* log with heavy score ties (quantized
+        // scores) so the tie-break paths are genuinely exercised.
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let (n_users, n_items) = (23, 17);
+        let mut log = InteractionLog::new(n_users, n_items);
+        let mut scores = Vec::new();
+        for _ in 0..400 {
+            let u = (next() % n_users as u64) as u32;
+            let i = (next() % n_items as u64) as u32;
+            let rating = f64::from((next() % 2) as u32);
+            log.push(Interaction::new(u, i, rating));
+            // Quantize to 8 levels: plenty of exact duplicates.
+            scores.push((next() % 8) as f64 / 8.0);
+        }
+        for k in [1, 3, 10, 50] {
+            let fast = evaluate_ranking(&log, &scores, k);
+            let reference = evaluate_by_composition(&log, &scores, k);
+            assert_eq!(fast.n_users, reference.n_users, "k={k}");
+            assert_eq!(fast.ndcg.to_bits(), reference.ndcg.to_bits(), "k={k}");
+            assert_eq!(fast.recall.to_bits(), reference.recall.to_bits(), "k={k}");
+            assert_eq!(
+                fast.precision.to_bits(),
+                reference.precision.to_bits(),
+                "k={k}"
+            );
+        }
     }
 }

@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use dt_autograd::{Graph, ParamId, Params, Var};
 use dt_stats::expit;
+use dt_tensor::scoring::{self, Biases};
 use rand::Rng;
 
 use crate::broadcast_scalar;
@@ -289,6 +290,91 @@ impl DisentangledMf {
         ))
     }
 
+    /// Batched rating predictions for a tuple list, through the fused
+    /// gather+dot kernel over the primary columns — bit-identical to
+    /// mapping [`DisentangledMf::predict_rating`] over the pairs.
+    #[must_use]
+    pub fn predict_rating_pairs(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        let mut out = scoring::score_pair_tuples(
+            self.params.value(self.p),
+            self.params.value(self.q),
+            0..self.primary_dim,
+            pairs,
+            Some(self.head_biases(self.user_bias_r, self.item_bias_r, self.mu_r)),
+        );
+        for v in &mut out {
+            *v = expit(*v);
+        }
+        out
+    }
+
+    /// Batched rating predictions over parallel `users`/`items` index
+    /// lists — the list-shaped form of
+    /// [`DisentangledMf::predict_rating_pairs`].
+    ///
+    /// # Panics
+    /// Panics on mismatched list lengths or an out-of-bounds index.
+    #[must_use]
+    pub fn predict_rating_batch(&self, users: &[usize], items: &[usize]) -> Vec<f64> {
+        let mut out = scoring::score_pairs(
+            self.params.value(self.p),
+            self.params.value(self.q),
+            0..self.primary_dim,
+            users,
+            items,
+            Some(self.head_biases(self.user_bias_r, self.item_bias_r, self.mu_r)),
+        );
+        for v in &mut out {
+            *v = expit(*v);
+        }
+        out
+    }
+
+    /// Batched propensities over parallel `users`/`items` index lists
+    /// (full embeddings) — the batched form of
+    /// [`DisentangledMf::predict_propensity`].
+    ///
+    /// # Panics
+    /// Panics on mismatched list lengths or an out-of-bounds index.
+    #[must_use]
+    pub fn predict_propensity_batch(&self, users: &[usize], items: &[usize]) -> Vec<f64> {
+        let mut out = scoring::score_pairs(
+            self.params.value(self.p),
+            self.params.value(self.q),
+            0..self.total_dim,
+            users,
+            items,
+            Some(self.head_biases(self.user_bias_o, self.item_bias_o, self.mu_o)),
+        );
+        for v in &mut out {
+            *v = expit(*v);
+        }
+        out
+    }
+
+    fn head_biases(&self, ub: ParamId, ib: ParamId, mu: ParamId) -> Biases<'_> {
+        Biases {
+            user: self.params.value(ub).data(),
+            item: self.params.value(ib).data(),
+            global: self.params.value(mu).item(),
+        }
+    }
+
+    /// Extracts a rating-head serving index: contiguous copies of the
+    /// **primary** column blocks `P′, Q′` plus the rating biases. Index
+    /// scores are the rating head's raw logits — monotone in
+    /// [`DisentangledMf::predict_rating`], so rankings agree.
+    #[must_use]
+    pub fn rating_scoring_index(&self) -> dt_serve::ScoringIndex {
+        dt_serve::ScoringIndex::new(
+            self.params.value(self.p).slice_cols(0, self.primary_dim),
+            self.params.value(self.q).slice_cols(0, self.primary_dim),
+            self.params.value(self.user_bias_r).data().to_vec(),
+            self.params.value(self.item_bias_r).data().to_vec(),
+            self.params.value(self.mu_r).item(),
+        )
+    }
+
     fn score_head(
         &self,
         user: usize,
@@ -413,6 +499,46 @@ mod tests {
             + p.slice_cols(2, 6).matmul_nt(&q.slice_cols(2, 6)).frob_sq())
             / (6.0 * 8.0);
         assert!((g.item(r) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_heads_match_scalar_paths_bitwise() {
+        let m = model();
+        let pairs: Vec<(usize, usize)> = (0..30).map(|j| (j % 6, (j * 3) % 8)).collect();
+        let ratings = m.predict_rating_pairs(&pairs);
+        let users: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let items: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let props = m.predict_propensity_batch(&users, &items);
+        for (j, &(u, i)) in pairs.iter().enumerate() {
+            assert_eq!(
+                ratings[j].to_bits(),
+                m.predict_rating(u, i).to_bits(),
+                "pair {j}"
+            );
+            assert_eq!(
+                props[j].to_bits(),
+                m.predict_propensity(u, i).to_bits(),
+                "pair {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn rating_index_uses_only_primary_columns() {
+        let m = model();
+        let idx = m.rating_scoring_index();
+        assert_eq!(idx.dim(), m.primary_dim());
+        let block = idx.score_block(&[3]);
+        for i in 0..8 {
+            let direct = m.score_head(
+                3,
+                i,
+                0..m.primary_dim,
+                (m.user_bias_r, m.item_bias_r, m.mu_r),
+            );
+            assert_eq!(block.row(0)[i].to_bits(), direct.to_bits(), "item {i}");
+        }
+        block.recycle();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use dt_autograd::{Graph, ParamId, Params, Var};
 use dt_stats::expit;
+use dt_tensor::scoring::{self, Biases};
 use rand::Rng;
 
 use crate::broadcast_scalar;
@@ -105,13 +106,49 @@ impl MfModel {
         g.sigmoid(l)
     }
 
-    /// Fast inference path (no tape): sigmoid probabilities for pairs.
+    /// Fast inference path (no tape): sigmoid probabilities for pairs,
+    /// through the fused batched gather+dot kernel (bit-identical to the
+    /// per-pair [`MfModel::score`] at any thread count).
     #[must_use]
     pub fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
-        pairs
-            .iter()
-            .map(|&(u, i)| expit(self.score(u, i)))
-            .collect()
+        let mut out = self.score_pairs(pairs);
+        for v in &mut out {
+            *v = expit(*v);
+        }
+        out
+    }
+
+    /// Raw logits for a tuple batch (no tape, no sigmoid).
+    #[must_use]
+    pub fn score_pairs(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        scoring::score_pair_tuples(
+            self.params.value(self.user_emb.id()),
+            self.params.value(self.item_emb.id()),
+            0..self.dim(),
+            pairs,
+            Some(self.biases()),
+        )
+    }
+
+    /// Sigmoid predictions over parallel `users`/`items` index lists —
+    /// the batched form of mapping [`MfModel::score`] through `expit`.
+    ///
+    /// # Panics
+    /// Panics on mismatched list lengths or an out-of-bounds index.
+    #[must_use]
+    pub fn predict_batch(&self, users: &[usize], items: &[usize]) -> Vec<f64> {
+        let mut out = scoring::score_pairs(
+            self.params.value(self.user_emb.id()),
+            self.params.value(self.item_emb.id()),
+            0..self.dim(),
+            users,
+            items,
+            Some(self.biases()),
+        );
+        for v in &mut out {
+            *v = expit(*v);
+        }
+        out
     }
 
     /// Fast inference path: raw logit for one pair.
@@ -123,6 +160,32 @@ impl MfModel {
         dot + self.params.value(self.user_bias).get(user, 0)
             + self.params.value(self.item_bias).get(item, 0)
             + self.params.value(self.mu).item()
+    }
+
+    /// The affine bias view over the live parameter store, as consumed by
+    /// the `dt_tensor::scoring` kernels.
+    #[must_use]
+    pub fn biases(&self) -> Biases<'_> {
+        Biases {
+            user: self.params.value(self.user_bias).data(),
+            item: self.params.value(self.item_bias).data(),
+            global: self.params.value(self.mu).item(),
+        }
+    }
+
+    /// Extracts a serving index: contiguous copies of the embedding
+    /// panels and bias vectors, decoupled from the parameter store. Index
+    /// scores are the model's raw logits — monotone in
+    /// [`MfModel::predict`], so rankings agree.
+    #[must_use]
+    pub fn scoring_index(&self) -> dt_serve::ScoringIndex {
+        dt_serve::ScoringIndex::new(
+            self.params.value(self.user_emb.id()).clone(),
+            self.params.value(self.item_emb.id()).clone(),
+            self.params.value(self.user_bias).data().to_vec(),
+            self.params.value(self.item_bias).data().to_vec(),
+            self.params.value(self.mu).item(),
+        )
     }
 
     /// L2 penalty on the embedding tables (not the biases), as a
@@ -192,5 +255,42 @@ mod tests {
         for p in m.predict(&[(0, 0), (2, 2)]) {
             assert!((0.0..=1.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn batched_predict_matches_scalar_score_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = MfModel::new(9, 13, 5, &mut rng);
+        let pairs: Vec<(usize, usize)> = (0..40).map(|j| (j % 9, (j * 7) % 13)).collect();
+        let batched = m.predict(&pairs);
+        let users: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let items: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let by_lists = m.predict_batch(&users, &items);
+        for (j, &(u, i)) in pairs.iter().enumerate() {
+            let scalar = expit(m.score(u, i));
+            assert_eq!(batched[j].to_bits(), scalar.to_bits(), "pair {j}");
+            assert_eq!(by_lists[j].to_bits(), scalar.to_bits(), "pair {j}");
+        }
+    }
+
+    #[test]
+    fn scoring_index_reproduces_model_logits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = MfModel::new(6, 10, 4, &mut rng);
+        let idx = m.scoring_index();
+        assert_eq!(idx.n_users(), 6);
+        assert_eq!(idx.n_items(), 10);
+        assert_eq!(idx.dim(), 4);
+        let block = idx.score_block(&[5, 0, 3]);
+        for (row, &u) in [5usize, 0, 3].iter().enumerate() {
+            for i in 0..10 {
+                assert_eq!(
+                    block.row(row)[i].to_bits(),
+                    m.score(u, i).to_bits(),
+                    "user {u} item {i}"
+                );
+            }
+        }
+        block.recycle();
     }
 }

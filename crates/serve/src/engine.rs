@@ -1,0 +1,284 @@
+//! The batched top-K engine: block scoring + parallel partial selection.
+
+use dt_tensor::topk::{select_top_k, Ranked};
+
+use crate::index::{ScoringIndex, SeenLists};
+
+/// Default score-matrix budget per block, in elements (`f64`s). At one
+/// million items this caps a block at four users (32 MiB of scores);
+/// small catalogs batch hundreds of users per GEMM.
+pub const DEFAULT_BLOCK_ELEMS: usize = 1 << 22;
+
+/// Maximum users per block regardless of catalog size (keeps the gather
+/// panel and per-block latency bounded).
+const MAX_BLOCK_USERS: usize = 512;
+
+/// Batched full-catalog top-K retrieval over a [`ScoringIndex`].
+///
+/// Users are processed in blocks sized so the `B × M` score matrix fits
+/// the configured element budget; each block runs one gather + blocked
+/// GEMM on the `dt-parallel` pool, then per-user bounded-heap selection
+/// sharded across the same pool (one chunk per user — chunk geometry
+/// depends only on K, never on the thread count). All scratch is pooled
+/// and recycled, so steady-state queries allocate nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKEngine {
+    block_elems: usize,
+}
+
+impl Default for TopKEngine {
+    fn default() -> Self {
+        Self {
+            block_elems: DEFAULT_BLOCK_ELEMS,
+        }
+    }
+}
+
+impl TopKEngine {
+    /// An engine with the default block budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with a custom score-matrix budget (elements per block).
+    /// Block geometry never affects results — only memory and latency.
+    ///
+    /// # Panics
+    /// Panics when `block_elems` is zero.
+    #[must_use]
+    pub fn with_block_elems(block_elems: usize) -> Self {
+        assert!(block_elems > 0, "TopKEngine: block_elems must be positive");
+        Self { block_elems }
+    }
+
+    /// Users per block for a catalog of `n_items`.
+    #[must_use]
+    pub fn block_users(&self, n_items: usize) -> usize {
+        (self.block_elems / n_items.max(1)).clamp(1, MAX_BLOCK_USERS)
+    }
+
+    /// Recommends the top `k` unseen items for each user in `users`,
+    /// writing into `out` (reused across calls: steady state performs
+    /// zero allocations). `users` may repeat and is answered in order.
+    ///
+    /// # Panics
+    /// Panics when a user id is out of bounds for the index, or `seen`
+    /// covers a different user universe than the index.
+    pub fn recommend_into(
+        &self,
+        index: &ScoringIndex,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        out: &mut TopKBatch,
+    ) {
+        if let Some(s) = seen {
+            assert_eq!(
+                s.n_users(),
+                index.n_users(),
+                "recommend: seen-lists cover {} users, index has {}",
+                s.n_users(),
+                index.n_users()
+            );
+        }
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return;
+        }
+        let block = self.block_users(index.n_items());
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = (lo + block).min(users.len());
+            let block_users = &users[lo..hi];
+            let scores = index.score_block(block_users);
+            let entries = &mut out.entries[lo * k..hi * k];
+            dt_parallel::for_each_chunk(entries, k, |j, slot| {
+                let exclude = seen.map_or(&[][..], |s| s.seen(block_users[j]));
+                select_top_k(scores.row(j), exclude, slot);
+            });
+            scores.recycle();
+            lo = hi;
+        }
+        out.recount();
+    }
+
+    /// [`TopKEngine::recommend_into`] returning a fresh batch.
+    #[must_use]
+    pub fn recommend(
+        &self,
+        index: &ScoringIndex,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+    ) -> TopKBatch {
+        let mut out = TopKBatch::new();
+        self.recommend_into(index, users, k, seen, &mut out);
+        out
+    }
+}
+
+/// Top-K results for a batch of users, stored flat (one K-slot stripe per
+/// user, best first). Reuse one batch across queries to stay
+/// allocation-free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopKBatch {
+    k: usize,
+    counts: Vec<usize>,
+    entries: Vec<Ranked>,
+}
+
+impl TopKBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and resizes for `n_users` stripes of `k` slots, all
+    /// tombstoned. Shrinking/regrowing reuses the existing buffers.
+    pub fn reset(&mut self, n_users: usize, k: usize) {
+        self.k = k;
+        self.counts.clear();
+        self.counts.resize(n_users, 0);
+        self.entries.clear();
+        self.entries.resize(n_users * k, Ranked::TOMBSTONE);
+    }
+
+    /// The cutoff K this batch was filled at.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of user stripes.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The filled recommendations of the `j`-th queried user, best first.
+    /// May hold fewer than K entries when exclusions or a small catalog
+    /// leave fewer candidates.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of bounds.
+    #[must_use]
+    pub fn user(&self, j: usize) -> &[Ranked] {
+        assert!(
+            j < self.counts.len(),
+            "TopKBatch: user {j} out of bounds for {} stripes",
+            self.counts.len()
+        );
+        &self.entries[j * self.k..j * self.k + self.counts[j]]
+    }
+
+    /// Mutable view of user `j`'s full K-slot stripe, for callers that
+    /// fill a batch through [`select_top_k`] themselves (the `predict`
+    /// fallback path in `dt-core`). Record the filled count with
+    /// [`TopKBatch::set_count`].
+    ///
+    /// # Panics
+    /// Panics when `j` is out of bounds.
+    pub fn user_mut(&mut self, j: usize) -> &mut [Ranked] {
+        assert!(
+            j < self.counts.len(),
+            "TopKBatch: user {j} out of bounds for {} stripes",
+            self.counts.len()
+        );
+        &mut self.entries[j * self.k..(j + 1) * self.k]
+    }
+
+    /// Records how many slots of user `j`'s stripe are filled.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of bounds or `n > k`.
+    pub fn set_count(&mut self, j: usize, n: usize) {
+        assert!(n <= self.k, "TopKBatch: count {n} exceeds k {}", self.k);
+        self.counts[j] = n;
+    }
+
+    /// Recomputes all counts from the tombstone boundaries (used after a
+    /// parallel fill, where per-user counts cannot be written from the
+    /// selection tasks).
+    fn recount(&mut self) {
+        for (j, count) in self.counts.iter_mut().enumerate() {
+            *count = self.entries[j * self.k..(j + 1) * self.k]
+                .iter()
+                .take_while(|r| !r.is_tombstone())
+                .count();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_tensor::Tensor;
+
+    fn tiny_index() -> ScoringIndex {
+        // 2 users x 4 items, dim 2, hand-checkable scores.
+        let p = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let q = Tensor::from_rows(&[&[3.0, 0.5], &[2.0, 1.5], &[1.0, 2.5], &[0.0, 3.5]]);
+        ScoringIndex::new(p, q, vec![0.0, 0.0], vec![0.0; 4], 0.0)
+    }
+
+    #[test]
+    fn tiny_catalog_ranks_by_hand() {
+        let idx = tiny_index();
+        let batch = TopKEngine::new().recommend(&idx, &[0, 1], 2, None);
+        // user 0 scores = first column of q: items 0,1 best.
+        let u0: Vec<u32> = batch.user(0).iter().map(|r| r.item).collect();
+        assert_eq!(u0, vec![0, 1]);
+        // user 1 scores = second column: items 3,2 best.
+        let u1: Vec<u32> = batch.user(1).iter().map(|r| r.item).collect();
+        assert_eq!(u1, vec![3, 2]);
+    }
+
+    #[test]
+    fn seen_items_are_excluded() {
+        let idx = tiny_index();
+        let seen = SeenLists::from_pairs(2, vec![(0, 0), (1, 3), (1, 2)]);
+        let batch = TopKEngine::new().recommend(&idx, &[0, 1], 2, Some(&seen));
+        let u0: Vec<u32> = batch.user(0).iter().map(|r| r.item).collect();
+        assert_eq!(u0, vec![1, 2]);
+        let u1: Vec<u32> = batch.user(1).iter().map(|r| r.item).collect();
+        assert_eq!(u1, vec![1, 0]);
+    }
+
+    #[test]
+    fn k_beyond_catalog_truncates_counts() {
+        let idx = tiny_index();
+        let batch = TopKEngine::new().recommend(&idx, &[0], 9, None);
+        assert_eq!(batch.user(0).len(), 4);
+        assert_eq!(batch.k(), 9);
+    }
+
+    #[test]
+    fn empty_queries_and_zero_k_are_fine() {
+        let idx = tiny_index();
+        let empty = TopKEngine::new().recommend(&idx, &[], 3, None);
+        assert_eq!(empty.n_users(), 0);
+        let zero_k = TopKEngine::new().recommend(&idx, &[0, 1], 0, None);
+        assert_eq!(zero_k.n_users(), 2);
+        assert!(zero_k.user(1).is_empty());
+    }
+
+    #[test]
+    fn block_geometry_does_not_change_results() {
+        let idx = tiny_index();
+        let users = [0usize, 1, 0, 1, 1, 0];
+        let whole = TopKEngine::new().recommend(&idx, &users, 3, None);
+        // Force one user per block: 4 items -> block budget of 1 element.
+        let split = TopKEngine::with_block_elems(1).recommend(&idx, &users, 3, None);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn block_users_scales_with_catalog() {
+        let e = TopKEngine::new();
+        assert_eq!(e.block_users(1 << 22), 1);
+        assert_eq!(e.block_users(1 << 13), MAX_BLOCK_USERS);
+        assert_eq!(e.block_users(0), MAX_BLOCK_USERS);
+    }
+}

@@ -1,0 +1,247 @@
+//! The serving-side view of a trained model: dense panels + seen-lists.
+
+use dt_tensor::scoring::Biases;
+use dt_tensor::Tensor;
+
+/// A dense scoring index extracted from a trained MF-family model:
+/// `score(u, i) = pᵤ·qᵢ + user_bias[u] + item_bias[i] + mu`.
+///
+/// The panels are contiguous row-major copies (primary-part slices for
+/// the DT methods), decoupled from the parameter store, so an index can
+/// outlive training and be queried concurrently with the next run.
+/// Scores are the model's raw logits — monotone in its predicted rating
+/// probability, so rankings agree with `Recommender::predict`.
+pub struct ScoringIndex {
+    p: Tensor,
+    q: Tensor,
+    user_bias: Vec<f64>,
+    item_bias: Vec<f64>,
+    mu: f64,
+}
+
+impl ScoringIndex {
+    /// Builds an index from user/item panels of equal width and matching
+    /// bias vectors.
+    ///
+    /// # Panics
+    /// Panics when the panel widths disagree, a bias vector does not
+    /// match its panel height, or the catalog has `u32::MAX` or more
+    /// items (ids must fit a `u32` with the tombstone id left over).
+    #[must_use]
+    pub fn new(p: Tensor, q: Tensor, user_bias: Vec<f64>, item_bias: Vec<f64>, mu: f64) -> Self {
+        assert_eq!(
+            p.cols(),
+            q.cols(),
+            "ScoringIndex: panel width mismatch {} vs {}",
+            p.cols(),
+            q.cols()
+        );
+        assert!(
+            (q.rows() as u64) < u64::from(u32::MAX),
+            "ScoringIndex: catalog of {} items overflows u32 ids",
+            q.rows()
+        );
+        assert_eq!(
+            user_bias.len(),
+            p.rows(),
+            "ScoringIndex: {} user biases vs {} user rows",
+            user_bias.len(),
+            p.rows()
+        );
+        assert_eq!(
+            item_bias.len(),
+            q.rows(),
+            "ScoringIndex: {} item biases vs {} item rows",
+            item_bias.len(),
+            q.rows()
+        );
+        Self {
+            p,
+            q,
+            user_bias,
+            item_bias,
+            mu,
+        }
+    }
+
+    /// Number of users the index can serve.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Catalog size M.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Panel width (the scoring dimension).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.p.cols()
+    }
+
+    /// The affine bias view used by the scoring kernels.
+    #[must_use]
+    pub fn biases(&self) -> Biases<'_> {
+        Biases {
+            user: &self.user_bias,
+            item: &self.item_bias,
+            global: self.mu,
+        }
+    }
+
+    /// Scores a block of users against the entire catalog as a pooled
+    /// `B × M` tensor (recycle it when done). Bit-identical at any
+    /// thread count; see [`dt_tensor::scoring::score_user_block`].
+    ///
+    /// # Panics
+    /// Panics when a user id is out of bounds.
+    #[must_use]
+    pub fn score_block(&self, users: &[usize]) -> Tensor {
+        dt_tensor::scoring::score_user_block(&self.p, &self.q, users, Some(self.biases()))
+    }
+}
+
+/// Per-user sorted seen-lists in CSR layout: the items to exclude from a
+/// user's recommendations (typically their training interactions).
+#[derive(Debug, Clone, Default)]
+pub struct SeenLists {
+    offsets: Vec<usize>,
+    items: Vec<u32>,
+}
+
+impl SeenLists {
+    /// Empty lists for `n_users` users (nothing excluded).
+    #[must_use]
+    pub fn empty(n_users: usize) -> Self {
+        Self {
+            offsets: vec![0; n_users + 1],
+            items: Vec::new(),
+        }
+    }
+
+    /// Builds seen-lists from `(user, item)` pairs. Items are sorted and
+    /// de-duplicated per user; pair order does not matter. Build is a
+    /// cold path and may allocate freely.
+    ///
+    /// # Panics
+    /// Panics when a pair's user id is `>= n_users`.
+    #[must_use]
+    pub fn from_pairs(n_users: usize, pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        for (u, i) in pairs {
+            assert!(
+                (u as usize) < n_users,
+                "SeenLists: user {u} out of bounds for {n_users} users"
+            );
+            buckets[u as usize].push(i);
+        }
+        let mut offsets = Vec::with_capacity(n_users + 1);
+        offsets.push(0);
+        let mut items = Vec::new();
+        for mut bucket in buckets {
+            bucket.sort_unstable();
+            bucket.dedup();
+            items.extend_from_slice(&bucket);
+            offsets.push(items.len());
+        }
+        Self { offsets, items }
+    }
+
+    /// Number of users covered.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted, de-duplicated seen items of one user.
+    ///
+    /// # Panics
+    /// Panics when `user` is out of bounds.
+    #[must_use]
+    pub fn seen(&self, user: usize) -> &[u32] {
+        assert!(
+            user < self.n_users(),
+            "SeenLists: user {user} out of bounds for {} users",
+            self.n_users()
+        );
+        &self.items[self.offsets[user]..self.offsets[user + 1]]
+    }
+
+    /// Total seen entries across all users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no user has any seen item.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seen_lists_sort_and_dedup() {
+        let s = SeenLists::from_pairs(3, vec![(1, 5), (1, 2), (1, 5), (0, 9)]);
+        assert_eq!(s.n_users(), 3);
+        assert_eq!(s.seen(0), &[9]);
+        assert_eq!(s.seen(1), &[2, 5]);
+        assert_eq!(s.seen(2), &[] as &[u32]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_lists_cover_all_users() {
+        let s = SeenLists::empty(4);
+        assert_eq!(s.n_users(), 4);
+        assert!(s.is_empty());
+        assert!(s.seen(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_user_panics() {
+        let _ = SeenLists::from_pairs(2, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn index_validates_shapes() {
+        let p = Tensor::zeros(2, 3);
+        let q = Tensor::zeros(4, 3);
+        let idx = ScoringIndex::new(p, q, vec![0.0; 2], vec![0.0; 4], 0.1);
+        assert_eq!(idx.n_users(), 2);
+        assert_eq!(idx.n_items(), 4);
+        assert_eq!(idx.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel width mismatch")]
+    fn mismatched_panels_panic() {
+        let _ = ScoringIndex::new(
+            Tensor::zeros(2, 3),
+            Tensor::zeros(4, 2),
+            vec![0.0; 2],
+            vec![0.0; 4],
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "user biases")]
+    fn mismatched_bias_panics() {
+        let _ = ScoringIndex::new(
+            Tensor::zeros(2, 3),
+            Tensor::zeros(4, 3),
+            vec![0.0; 3],
+            vec![0.0; 4],
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dt-serve
+//!
+//! Batched full-catalog top-K retrieval — the serving layer of the
+//! `disrec` workspace (DESIGN.md section 12).
+//!
+//! Training produces MF-family models whose score is a dot product plus
+//! biases; serving asks the converse question: *given a user, which K of
+//! the M catalog items score highest?* The paper's own evaluation
+//! protocol (NDCG@K / Recall@K over the unbiased test log, Table IV) is
+//! exactly this workload, and the ROADMAP north star — heavy traffic over
+//! millions of items — makes it the inference hot path.
+//!
+//! The pipeline:
+//!
+//! 1. [`ScoringIndex`] — contiguous row-major user/item panels plus bias
+//!    vectors, extracted once from a trained model (primary-part slices
+//!    for the DT methods, whose rating head only sees columns `0..A`).
+//! 2. Queries score a **block** of users against all M items through the
+//!    blocked `dt-tensor` GEMM kernels with pooled buffers: zero
+//!    steady-state allocations per query batch.
+//! 3. Each user's top-K is found by bounded-heap partial selection
+//!    ([`dt_tensor::topk`]) in `O(M + K log K)` instead of an
+//!    `O(M log M)` full sort, with optional exclusion of already-seen
+//!    items via per-user sorted [`SeenLists`].
+//!
+//! Every stage is bit-identical for any `DT_NUM_THREADS` and for pooled
+//! vs fresh buffers: chunk geometry derives from shapes only, and ties
+//! break by ascending item id (never by arrival order).
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod index;
+
+pub use dt_tensor::topk::Ranked;
+pub use engine::{TopKBatch, TopKEngine, DEFAULT_BLOCK_ELEMS};
+pub use index::{ScoringIndex, SeenLists};

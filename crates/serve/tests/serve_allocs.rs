@@ -1,0 +1,54 @@
+//! Steady-state allocation discipline: after a warm-up query, repeated
+//! batches through a reused `TopKBatch` must take every pooled buffer
+//! from the free lists — zero fresh allocations per query batch.
+//!
+//! Lives in its own integration-test binary because the pool counters are
+//! process-global: sibling tests running on other harness threads would
+//! pollute the deltas.
+
+use dt_serve::{ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_tensor::{pool, Tensor};
+
+#[test]
+fn steady_state_queries_allocate_nothing() {
+    let (n_users, n_items, dim) = (64, 4096, 16);
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let p = Tensor::from_fn(n_users, dim, |_, _| next());
+    let q = Tensor::from_fn(n_items, dim, |_, _| next());
+    let index = ScoringIndex::new(
+        p,
+        q,
+        vec![0.01; n_users],
+        vec![-0.01; n_items],
+        0.5,
+    );
+    let seen = SeenLists::from_pairs(n_users, (0..n_users as u32).map(|u| (u, u * 3)));
+    let users: Vec<usize> = (0..48).map(|j| (j * 5) % n_users).collect();
+
+    let engine = TopKEngine::new();
+    let mut batch = TopKBatch::new();
+    // Warm-up: first call populates the pool's free lists and grows the
+    // batch buffers to their steady-state capacity.
+    engine.recommend_into(&index, &users, 10, Some(&seen), &mut batch);
+
+    let before = pool::stats();
+    for _ in 0..5 {
+        engine.recommend_into(&index, &users, 10, Some(&seen), &mut batch);
+    }
+    let after = pool::stats();
+    assert_eq!(
+        after.fresh_allocs - before.fresh_allocs,
+        0,
+        "steady-state query batches must not allocate (stats {after:?} vs {before:?})"
+    );
+    assert!(
+        after.pool_hits > before.pool_hits,
+        "queries should be served from the free lists"
+    );
+}

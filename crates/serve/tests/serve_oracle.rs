@@ -1,0 +1,171 @@
+//! Std-only serving-path tests (the offline verification shim runs this
+//! file verbatim): the engine against a full-sort oracle, bit-identity
+//! across `DT_NUM_THREADS` 1/2/8, and pooled-vs-fresh equivalence. The
+//! `proptest` coverage of the selection kernel lives in `topk_props.rs`.
+
+use dt_serve::{Ranked, ScoringIndex, SeenLists, TopKEngine};
+use dt_tensor::{reference, Tensor};
+
+/// Deterministic xorshift64* stream, as in the bench emitters.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+    }
+}
+
+fn random_index(n_users: usize, n_items: usize, dim: usize, seed: u64) -> ScoringIndex {
+    let mut rng = XorShift(seed | 1);
+    let p = Tensor::from_fn(n_users, dim, |_, _| rng.next_f64());
+    let q = Tensor::from_fn(n_items, dim, |_, _| rng.next_f64());
+    let ub: Vec<f64> = (0..n_users).map(|_| rng.next_f64()).collect();
+    let ib: Vec<f64> = (0..n_items).map(|_| rng.next_f64()).collect();
+    let mu = rng.next_f64();
+    ScoringIndex::new(p, q, ub, ib, mu)
+}
+
+fn random_seen(n_users: usize, n_items: usize, per_user: usize, seed: u64) -> SeenLists {
+    let mut rng = XorShift(seed | 1);
+    let mut pairs = Vec::new();
+    for u in 0..n_users {
+        for _ in 0..rng.next_below(per_user + 1) {
+            pairs.push((u as u32, rng.next_below(n_items) as u32));
+        }
+    }
+    SeenLists::from_pairs(n_users, pairs)
+}
+
+/// The oracle: score one user against the catalog via the *pair* kernel
+/// (bit-identical to the block kernel by the scoring-module contract),
+/// then full-sort with `reference::top_k_by_sort`.
+fn oracle_top_k(index: &ScoringIndex, user: usize, k: usize, seen: &[u32]) -> Vec<Ranked> {
+    let n = index.n_items();
+    let block = index.score_block(&[user]);
+    let scores = block.row(0).to_vec();
+    block.recycle();
+    assert_eq!(scores.len(), n);
+    reference::top_k_by_sort(&scores, k, seen)
+}
+
+#[test]
+fn engine_matches_full_sort_oracle() {
+    let (n_users, n_items) = (23, 311);
+    let index = random_index(n_users, n_items, 7, 0x5EED);
+    let seen = random_seen(n_users, n_items, 40, 0xFACE);
+    let users: Vec<usize> = (0..60).map(|j| (j * 13) % n_users).collect();
+    for k in [1, 5, 97, 311, 400] {
+        let batch = TopKEngine::new().recommend(&index, &users, k, Some(&seen));
+        for (j, &u) in users.iter().enumerate() {
+            let want = oracle_top_k(&index, u, k, seen.seen(u));
+            let got = batch.user(j);
+            assert_eq!(got.len(), want.len(), "k={k} user={u}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.item, w.item, "k={k} user={u}");
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "k={k} user={u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_scores_break_ties_by_item_id() {
+    // A rank-0 index: every item scores identically for every user.
+    let p = Tensor::zeros(3, 2);
+    let q = Tensor::zeros(50, 2);
+    let index = ScoringIndex::new(p, q, vec![0.0; 3], vec![0.25; 50], 1.0);
+    let batch = TopKEngine::new().recommend(&index, &[2, 0], 4, None);
+    for j in 0..2 {
+        let items: Vec<u32> = batch.user(j).iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![0, 1, 2, 3]);
+    }
+}
+
+#[test]
+fn excluding_the_whole_catalog_empties_a_user() {
+    let index = random_index(4, 12, 3, 9);
+    let all: Vec<(u32, u32)> = (0..12).map(|i| (1u32, i)).collect();
+    let seen = SeenLists::from_pairs(4, all);
+    let batch = TopKEngine::new().recommend(&index, &[0, 1], 5, Some(&seen));
+    assert_eq!(batch.user(0).len(), 5);
+    assert!(batch.user(1).is_empty());
+}
+
+#[test]
+fn results_are_bit_identical_across_thread_widths() {
+    let (n_users, n_items) = (31, 257);
+    let index = random_index(n_users, n_items, 9, 0xA11CE);
+    let seen = random_seen(n_users, n_items, 20, 0xB0B);
+    let users: Vec<usize> = (0..48).map(|j| (j * 7) % n_users).collect();
+    let engine = TopKEngine::new();
+    let baseline =
+        dt_parallel::with_thread_limit(1, || engine.recommend(&index, &users, 10, Some(&seen)));
+    for width in [2, 8] {
+        let wide = dt_parallel::with_thread_limit(width, || {
+            engine.recommend(&index, &users, 10, Some(&seen))
+        });
+        assert_eq!(wide.n_users(), baseline.n_users(), "width {width}");
+        for j in 0..users.len() {
+            let (a, b) = (baseline.user(j), wide.user(j));
+            assert_eq!(a.len(), b.len(), "width {width} user-slot {j}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.item, y.item, "width {width} user-slot {j}");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "width {width} user-slot {j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_and_fresh_buffers_agree_bitwise() {
+    let index = random_index(17, 129, 6, 0xDECADE);
+    let users: Vec<usize> = (0..30).map(|j| (j * 5) % 17).collect();
+    let engine = TopKEngine::new();
+    let pooled = engine.recommend(&index, &users, 7, None);
+    let fresh = dt_tensor::pool::with_disabled(|| engine.recommend(&index, &users, 7, None));
+    assert_eq!(pooled, fresh);
+}
+
+#[test]
+fn reused_batch_matches_fresh_batch_after_shape_changes() {
+    let index = random_index(9, 40, 4, 0x77);
+    let engine = TopKEngine::new();
+    let mut reused = dt_serve::TopKBatch::new();
+    // Fill with one geometry, then a different one: stale state must not leak.
+    engine.recommend_into(&index, &[0, 1, 2, 3, 4], 11, None, &mut reused);
+    engine.recommend_into(&index, &[8, 8, 3], 2, None, &mut reused);
+    let fresh = engine.recommend(&index, &[8, 8, 3], 2, None);
+    assert_eq!(reused, fresh);
+}
+
+#[test]
+fn batch_scores_are_the_block_scores() {
+    // The entries a batch reports carry exactly the raw block logits, and
+    // block geometry (one GEMM vs one user per GEMM) never changes them.
+    let index = random_index(5, 33, 8, 0x1234);
+    let block = index.score_block(&[4, 0]);
+    let split = TopKEngine::with_block_elems(1).recommend(&index, &[4, 0], 33, None);
+    let whole = TopKEngine::new().recommend(&index, &[4, 0], 33, None);
+    assert_eq!(split, whole);
+    for row in [0usize, 1] {
+        assert_eq!(whole.user(row).len(), 33);
+        for r in whole.user(row) {
+            assert_eq!(r.score.to_bits(), block.row(row)[r.item as usize].to_bits());
+        }
+    }
+    block.recycle();
+}

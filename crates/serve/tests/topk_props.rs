@@ -1,0 +1,87 @@
+//! Property tests: the bounded-heap partial selection against the
+//! full-sort oracle (ties, duplicate scores, K ≥ M, empty inputs,
+//! exclusions), and the batched engine against per-user selection.
+//!
+//! Needs the `proptest` crate, so this file only compiles in the full
+//! workspace; the offline shim covers the same ground with the
+//! deterministic randomized sweeps in `serve_oracle.rs`.
+
+use proptest::prelude::*;
+
+use dt_serve::{Ranked, ScoringIndex, SeenLists, TopKEngine};
+use dt_tensor::topk::select_top_k;
+use dt_tensor::{reference, Tensor};
+
+fn select(scores: &[f64], k: usize, exclude: &[u32]) -> Vec<Ranked> {
+    let mut out = vec![Ranked::TOMBSTONE; k];
+    let n = select_top_k(scores, exclude, &mut out);
+    assert!(out[n..].iter().all(Ranked::is_tombstone));
+    out.truncate(n);
+    out
+}
+
+proptest! {
+    /// Continuous scores: arbitrary K (including 0 and K ≥ M) and an
+    /// arbitrary exclusion set must reproduce the sort oracle exactly.
+    #[test]
+    fn selection_matches_sort_oracle(
+        scores in prop::collection::vec(-1.0f64..1.0, 0..200),
+        k in 0usize..260,
+        mut exclude in prop::collection::vec(0u32..220, 0..50),
+    ) {
+        exclude.sort_unstable();
+        let got = select(&scores, k, &exclude);
+        let want = reference::top_k_by_sort(&scores, k, &exclude);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Tie-heavy scores drawn from a three-value alphabet: duplicate
+    /// scores must break by ascending item id, exactly as the stable
+    /// full sort does.
+    #[test]
+    fn ties_and_duplicates_match_sort_oracle(
+        scores in prop::collection::vec(prop::sample::select(vec![0.0f64, 0.5, 1.0]), 0..150),
+        k in 0usize..170,
+    ) {
+        let got = select(&scores, k, &[]);
+        let want = reference::top_k_by_sort(&scores, k, &[]);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The blocked engine equals independent per-user selection over the
+    /// same block scores, for random shapes, queries and seen-lists.
+    #[test]
+    fn engine_matches_per_user_selection(
+        n_users in 1usize..8,
+        n_items in 1usize..40,
+        dim in 1usize..5,
+        k in 0usize..45,
+        values in prop::collection::vec(-1.0f64..1.0, 400),
+        query in prop::collection::vec(0usize..8, 0..12),
+        seen_raw in prop::collection::vec((0usize..8, 0u32..40), 0..30),
+    ) {
+        let mut it = values.into_iter();
+        let mut next = move || it.next().unwrap_or(0.37);
+        let p = Tensor::from_fn(n_users, dim, |_, _| next());
+        let q = Tensor::from_fn(n_items, dim, |_, _| next());
+        let ub: Vec<f64> = (0..n_users).map(|_| next()).collect();
+        let ib: Vec<f64> = (0..n_items).map(|_| next()).collect();
+        let index = ScoringIndex::new(p, q, ub, ib, next());
+        let seen = SeenLists::from_pairs(
+            n_users,
+            seen_raw
+                .into_iter()
+                .filter(|&(u, i)| u < n_users && (i as usize) < n_items)
+                .map(|(u, i)| (u as u32, i)),
+        );
+        let users: Vec<usize> = query.into_iter().filter(|&u| u < n_users).collect();
+        let batch = TopKEngine::new().recommend(&index, &users, k, Some(&seen));
+        prop_assert_eq!(batch.n_users(), users.len());
+        for (j, &u) in users.iter().enumerate() {
+            let block = index.score_block(&[u]);
+            let want = select(block.row(0), k, seen.seen(u));
+            block.recycle();
+            prop_assert_eq!(batch.user(j), &want[..]);
+        }
+    }
+}

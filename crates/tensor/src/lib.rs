@@ -47,9 +47,11 @@ mod linalg;
 pub mod pool;
 pub mod reference;
 mod rowsparse;
+pub mod scoring;
 mod serdes;
 mod shape;
 mod tensor;
+pub mod topk;
 
 pub use gemm::TN_REDUCTION_CHUNK;
 pub use init::{he_normal, normal, uniform, xavier_normal, xavier_uniform};

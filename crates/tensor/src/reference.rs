@@ -130,6 +130,29 @@ pub fn tn_reduction_chunk() -> usize {
     TN_REDUCTION_CHUNK
 }
 
+/// Sort-based top-K oracle for [`crate::topk::select_top_k`]: ranks every
+/// non-excluded item with a full stable sort under
+/// [`crate::topk::rank_cmp`] (score descending, item id ascending) and
+/// truncates to `k`. `exclude` must be sorted ascending.
+#[must_use]
+pub fn top_k_by_sort(scores: &[f64], k: usize, exclude: &[u32]) -> Vec<crate::topk::Ranked> {
+    let mut all = Vec::with_capacity(scores.len());
+    let mut e = 0usize;
+    for (i, &score) in scores.iter().enumerate() {
+        let item = i as u32;
+        while e < exclude.len() && exclude[e] < item {
+            e += 1;
+        }
+        if e < exclude.len() && exclude[e] == item {
+            continue;
+        }
+        all.push(crate::topk::Ranked { item, score });
+    }
+    all.sort_by(crate::topk::rank_cmp);
+    all.truncate(k);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

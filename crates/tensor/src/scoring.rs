@@ -1,0 +1,370 @@
+//! Fused gather + dot scoring kernels for MF-family inference.
+//!
+//! The seed inference path scored one `(user, item)` pair at a time: a
+//! function call, four table lookups and a bounds check per pair. These
+//! kernels hoist the table pointers once and score whole batches — either
+//! a list of pairs (evaluation) or a block of users against the entire
+//! item catalog (serving) — on the `dt-parallel` pool.
+//!
+//! ## Determinism
+//!
+//! Every kernel is bit-identical for any `DT_NUM_THREADS`:
+//!
+//! * pair scoring writes each output element independently, with chunk
+//!   geometry fixed by [`PAIR_CHUNK`] (never by the thread count);
+//! * [`score_user_block`] composes [`Tensor::gather_rows`] and
+//!   [`Tensor::matmul_nt`] (deterministic per the `gemm` module contract)
+//!   with a per-row bias pass whose association order
+//!   `((dot + bᵤ) + bᵢ) + µ` exactly matches the pair kernels, so block
+//!   scores are bit-identical to pair scores for the same `(u, i)`.
+//!
+//! All buffers are pooled ([`crate::pool`]) and per-call scratch is
+//! recycled before returning, so steady-state serving allocates nothing.
+
+use std::ops::Range;
+
+use crate::Tensor;
+
+/// Minimum multiply-adds before a scoring kernel fans out to the pool
+/// (same scale as the GEMM threshold: below this the task hand-off costs
+/// more than the arithmetic).
+pub const PAR_MIN_WORK: usize = 1 << 17;
+
+/// Pair-kernel chunk length: output elements per parallel task unit.
+/// A shape constant, not a thread-count function — see module docs.
+const PAIR_CHUNK: usize = 1024;
+
+/// The affine part of an MF-family scorer:
+/// `score(u, i) = pᵤ·qᵢ + user[u] + item[i] + global`.
+#[derive(Clone, Copy, Debug)]
+pub struct Biases<'a> {
+    /// Per-user bias, one entry per row of the user panel.
+    pub user: &'a [f64],
+    /// Per-item bias, one entry per row of the item panel.
+    pub item: &'a [f64],
+    /// Global offset `µ`.
+    pub global: f64,
+}
+
+fn check_biases(p: &Tensor, q: &Tensor, biases: Option<&Biases<'_>>) {
+    if let Some(b) = biases {
+        assert_eq!(
+            b.user.len(),
+            p.rows(),
+            "scoring: user bias length {} vs {} user rows",
+            b.user.len(),
+            p.rows()
+        );
+        assert_eq!(
+            b.item.len(),
+            q.rows(),
+            "scoring: item bias length {} vs {} item rows",
+            b.item.len(),
+            q.rows()
+        );
+    }
+}
+
+/// Shared pair kernel over an index function `j ↦ (u, i)`.
+fn score_indexed(
+    p: &Tensor,
+    q: &Tensor,
+    cols: Range<usize>,
+    n: usize,
+    pair_at: &(impl Fn(usize) -> (usize, usize) + Sync),
+    biases: Option<Biases<'_>>,
+    out: &mut Vec<f64>,
+) {
+    let (lo, hi) = (cols.start, cols.end);
+    assert!(
+        lo <= hi && hi <= p.cols() && hi <= q.cols(),
+        "scoring: column range {lo}..{hi} out of bounds for {}x{} panels",
+        p.cols(),
+        q.cols()
+    );
+    check_biases(p, q, biases.as_ref());
+    out.clear();
+    out.resize(n, 0.0);
+    let (pd, qd) = (p.data(), q.data());
+    let (pc, qc) = (p.cols(), q.cols());
+    let (p_rows, q_rows) = (p.rows(), q.rows());
+    let kernel = |base: usize, chunk: &mut [f64]| {
+        for (off, o) in chunk.iter_mut().enumerate() {
+            let (u, i) = pair_at(base + off);
+            assert!(
+                u < p_rows && i < q_rows,
+                "scoring: pair ({u}, {i}) out of bounds for {p_rows} users x {q_rows} items"
+            );
+            let pu = &pd[u * pc + lo..u * pc + hi];
+            let qi = &qd[i * qc + lo..i * qc + hi];
+            let mut dot = 0.0;
+            for (a, b) in pu.iter().zip(qi) {
+                dot += a * b;
+            }
+            *o = match biases {
+                Some(bs) => ((dot + bs.user[u]) + bs.item[i]) + bs.global,
+                None => dot,
+            };
+        }
+    };
+    if n * (hi - lo).max(1) >= PAR_MIN_WORK {
+        dt_parallel::for_each_chunk(&mut out[..], PAIR_CHUNK, |ci, chunk| {
+            kernel(ci * PAIR_CHUNK, chunk);
+        });
+    } else {
+        kernel(0, &mut out[..]);
+    }
+}
+
+/// Scores parallel `users`/`items` index lists over the panel column
+/// range `cols`, reusing `out` (cleared and resized; the only
+/// allocation is `out`'s own growth).
+///
+/// # Panics
+/// Panics on mismatched list lengths, an out-of-bounds column range,
+/// bias vectors not matching the panel heights, or an out-of-bounds index.
+pub fn score_pairs_into(
+    p: &Tensor,
+    q: &Tensor,
+    cols: Range<usize>,
+    users: &[usize],
+    items: &[usize],
+    biases: Option<Biases<'_>>,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(
+        users.len(),
+        items.len(),
+        "score_pairs: {} users vs {} items",
+        users.len(),
+        items.len()
+    );
+    score_indexed(
+        p,
+        q,
+        cols,
+        users.len(),
+        &|j| (users[j], items[j]),
+        biases,
+        out,
+    );
+}
+
+/// [`score_pairs_into`] returning a fresh vector.
+#[must_use]
+pub fn score_pairs(
+    p: &Tensor,
+    q: &Tensor,
+    cols: Range<usize>,
+    users: &[usize],
+    items: &[usize],
+    biases: Option<Biases<'_>>,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    score_pairs_into(p, q, cols, users, items, biases, &mut out);
+    out
+}
+
+/// Scores a `(user, item)` tuple list over the panel column range
+/// `cols` — the shape of [`Recommender::predict`]-style batches.
+///
+/// # Panics
+/// Same contract as [`score_pairs_into`].
+#[must_use]
+pub fn score_pair_tuples(
+    p: &Tensor,
+    q: &Tensor,
+    cols: Range<usize>,
+    pairs: &[(usize, usize)],
+    biases: Option<Biases<'_>>,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    score_indexed(p, q, cols, pairs.len(), &|j| pairs[j], biases, &mut out);
+    out
+}
+
+/// Scores a block of users against the **entire** item catalog:
+/// `out[j, i] = p[users[j]]·q[i] + biases` as a pooled `B × N` tensor
+/// (gather-GEMM, row-parallel). The caller should [`Tensor::recycle`] the
+/// block when done so serving stays allocation-free.
+///
+/// Bit-identical to [`score_pairs`] element-for-element, at any thread
+/// count (see module docs).
+///
+/// # Panics
+/// Panics when the panels' widths disagree, a user index is out of
+/// bounds, or bias vectors do not match the panel heights.
+#[must_use]
+pub fn score_user_block(
+    p: &Tensor,
+    q: &Tensor,
+    users: &[usize],
+    biases: Option<Biases<'_>>,
+) -> Tensor {
+    assert_eq!(
+        p.cols(),
+        q.cols(),
+        "score_user_block: panel width mismatch {} vs {}",
+        p.cols(),
+        q.cols()
+    );
+    check_biases(p, q, biases.as_ref());
+    let gathered = p.gather_rows(users); // pooled B×D scratch
+    let mut block = gathered.matmul_nt(q); // pooled B×N scores
+    gathered.recycle();
+    let n_items = q.rows();
+    if let Some(bs) = biases {
+        if !block.is_empty() {
+            let add_row = |row: usize, chunk: &mut [f64]| {
+                let bu = bs.user[users[row]];
+                for (v, &bi) in chunk.iter_mut().zip(bs.item) {
+                    // Same association order as the pair kernels so block
+                    // and pair scores agree bit-for-bit.
+                    *v = ((*v + bu) + bi) + bs.global;
+                }
+            };
+            if block.len() >= PAR_MIN_WORK {
+                dt_parallel::for_each_chunk(block.data_mut(), n_items, add_row);
+            } else {
+                for row in 0..users.len() {
+                    add_row(row, block.row_mut(row));
+                }
+            }
+        }
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    fn naive(p: &Tensor, q: &Tensor, u: usize, i: usize, b: Option<Biases<'_>>) -> f64 {
+        let dot: f64 = p.row(u).iter().zip(q.row(i)).map(|(a, b)| a * b).sum();
+        match b {
+            Some(bs) => ((dot + bs.user[u]) + bs.item[i]) + bs.global,
+            None => dot,
+        }
+    }
+
+    #[test]
+    fn pairs_match_naive_per_pair_loop() {
+        let p = panel(7, 5, 11);
+        let q = panel(9, 5, 23);
+        let bu: Vec<f64> = (0..7).map(|i| i as f64 * 0.1).collect();
+        let bi: Vec<f64> = (0..9).map(|i| i as f64 * -0.05).collect();
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: 0.3,
+        };
+        let users = [0usize, 3, 6, 3];
+        let items = [8usize, 0, 4, 4];
+        let got = score_pairs(&p, &q, 0..5, &users, &items, Some(bs));
+        for (j, &g) in got.iter().enumerate() {
+            let want = naive(&p, &q, users[j], items[j], Some(bs));
+            assert!((g - want).abs() == 0.0, "pair {j}: {g} vs {want}");
+        }
+        // No-bias variant too.
+        let raw = score_pairs(&p, &q, 0..5, &users, &items, None);
+        assert!((raw[1] - naive(&p, &q, 3, 0, None)).abs() == 0.0);
+    }
+
+    #[test]
+    fn column_range_restricts_the_dot() {
+        let p = panel(4, 6, 3);
+        let q = panel(4, 6, 5);
+        let got = score_pairs(&p, &q, 0..2, &[1], &[2], None);
+        let want: f64 = p.row(1)[..2]
+            .iter()
+            .zip(&q.row(2)[..2])
+            .map(|(a, b)| a * b)
+            .sum();
+        assert_eq!(got[0], want);
+    }
+
+    #[test]
+    fn tuple_form_matches_slice_form() {
+        let p = panel(5, 3, 7);
+        let q = panel(6, 3, 9);
+        let pairs = [(0usize, 5usize), (4, 0), (2, 2)];
+        let users: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let items: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        assert_eq!(
+            score_pair_tuples(&p, &q, 0..3, &pairs, None),
+            score_pairs(&p, &q, 0..3, &users, &items, None)
+        );
+    }
+
+    #[test]
+    fn block_scores_are_bit_identical_to_pair_scores() {
+        let p = panel(10, 8, 41);
+        let q = panel(17, 8, 43);
+        let bu: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        let bi: Vec<f64> = (0..17).map(|i| (i as f64).cos()).collect();
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: -0.7,
+        };
+        let users = [2usize, 9, 0];
+        let block = score_user_block(&p, &q, &users, Some(bs));
+        for (j, &u) in users.iter().enumerate() {
+            let items: Vec<usize> = (0..17).collect();
+            let pair_scores = score_pairs(&p, &q, 0..8, &[u; 17], &items, Some(bs));
+            for (i, ps) in pair_scores.iter().enumerate() {
+                assert_eq!(block.get(j, i).to_bits(), ps.to_bits(), "user {u} item {i}");
+            }
+        }
+        block.recycle();
+    }
+
+    #[test]
+    fn large_batches_are_bit_identical_across_widths() {
+        let p = panel(64, 48, 77);
+        let q = panel(80, 48, 79);
+        let users: Vec<usize> = (0..4096).map(|j| (j * 31) % 64).collect();
+        let items: Vec<usize> = (0..4096).map(|j| (j * 17) % 80).collect();
+        let baseline =
+            dt_parallel::with_thread_limit(1, || score_pairs(&p, &q, 0..48, &users, &items, None));
+        for width in [2, 8] {
+            let wide = dt_parallel::with_thread_limit(width, || {
+                score_pairs(&p, &q, 0..48, &users, &items, None)
+            });
+            for (a, b) in baseline.iter().zip(&wide) {
+                assert_eq!(a.to_bits(), b.to_bits(), "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_pair_panics() {
+        let p = panel(2, 2, 1);
+        let q = panel(2, 2, 2);
+        let _ = score_pairs(&p, &q, 0..2, &[2], &[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "user bias length")]
+    fn short_bias_vector_panics() {
+        let p = panel(3, 2, 1);
+        let q = panel(3, 2, 2);
+        let bs = Biases {
+            user: &[0.0],
+            item: &[0.0, 0.0, 0.0],
+            global: 0.0,
+        };
+        let _ = score_pairs(&p, &q, 0..2, &[0], &[0], Some(bs));
+    }
+}

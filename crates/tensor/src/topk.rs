@@ -1,0 +1,246 @@
+//! Deterministic partial top-K selection: the serving-side ranking kernel.
+//!
+//! Full-catalog retrieval ranks every item for a user but only keeps the
+//! best K of them. Sorting all `M` scores costs `O(M log M)` and an index
+//! permutation per user; this module keeps a K-element bounded heap *inside
+//! the caller's output slice* instead, so selection is allocation-free and
+//! costs one comparison per rejected candidate — `O(M + K log K)` on
+//! typical score distributions, `O(M log K)` worst case.
+//!
+//! ## Ordering contract
+//!
+//! Results are ordered best-first by **(score descending, item id
+//! ascending)** under [`f64::total_cmp`]. The item-id tie-break makes the
+//! output a pure function of the scores — independent of heap internals,
+//! thread count or buffer reuse — and matches the stable descending sort
+//! `dt-metrics` has always used (a stable sort keeps equal-scored items in
+//! ascending index order). [`crate::reference::top_k_by_sort`] is the
+//! oracle form of the same contract.
+
+use std::cmp::Ordering;
+
+/// One retrieved item: a catalog id and its raw ranking score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ranked {
+    /// Catalog item id (a row index of the item panel).
+    pub item: u32,
+    /// Raw ranking score (higher is better).
+    pub score: f64,
+}
+
+impl Ranked {
+    /// Filler for unused output slots when fewer than K candidates exist:
+    /// ranks after every real candidate and uses an id no catalog can
+    /// reach (catalogs are bounded to `u32::MAX - 1` items).
+    pub const TOMBSTONE: Self = Self {
+        item: u32::MAX,
+        score: f64::NEG_INFINITY,
+    };
+
+    /// Returns `true` for the unused-slot filler.
+    #[must_use]
+    pub fn is_tombstone(&self) -> bool {
+        self.item == u32::MAX && self.score == f64::NEG_INFINITY
+    }
+}
+
+/// The serving rank order: best first, i.e. score descending under
+/// [`f64::total_cmp`] with ascending item id breaking ties. Usable
+/// directly as a `sort_by` comparator.
+#[must_use]
+pub fn rank_cmp(a: &Ranked, b: &Ranked) -> Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then_with(|| a.item.cmp(&b.item))
+}
+
+/// `a` ranks strictly after `b` (the heap's "worse" relation).
+#[inline]
+fn worse(a: Ranked, b: Ranked) -> bool {
+    rank_cmp(&a, &b) == Ordering::Greater
+}
+
+/// Restores the worst-at-root heap property downward from slot `i`.
+fn sift_down(heap: &mut [Ranked], mut i: usize) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut w = i;
+        if l < heap.len() && worse(heap[l], heap[w]) {
+            w = l;
+        }
+        if r < heap.len() && worse(heap[r], heap[w]) {
+            w = r;
+        }
+        if w == i {
+            return;
+        }
+        heap.swap(i, w);
+        i = w;
+    }
+}
+
+/// Restores the worst-at-root heap property upward from slot `i`.
+fn sift_up(heap: &mut [Ranked], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if worse(heap[i], heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Selects the top `out.len()` items of `scores` into `out`, best first
+/// per [`rank_cmp`], skipping the item ids listed in `exclude`.
+/// Returns the number of slots filled; the rest are set to
+/// [`Ranked::TOMBSTONE`].
+///
+/// The bounded heap lives directly in `out`, so the kernel allocates
+/// nothing. `exclude` must be sorted ascending (duplicates and ids beyond
+/// the catalog are tolerated); candidates are scanned in ascending item
+/// order with a single merge pointer into it. Scores compare under
+/// [`f64::total_cmp`], so even NaNs rank deterministically.
+///
+/// # Panics
+/// Panics when `scores` has `u32::MAX` or more entries (item ids must fit
+/// a `u32` with the tombstone id left over).
+pub fn select_top_k(scores: &[f64], exclude: &[u32], out: &mut [Ranked]) -> usize {
+    assert!(
+        (scores.len() as u64) < u64::from(u32::MAX),
+        "select_top_k: catalog of {} items overflows u32 ids",
+        scores.len()
+    );
+    debug_assert!(
+        exclude.windows(2).all(|w| w[0] <= w[1]),
+        "select_top_k: exclude list must be sorted ascending"
+    );
+    let k = out.len();
+    if k == 0 {
+        return 0;
+    }
+    let mut len = 0usize;
+    let mut e = 0usize;
+    for (i, &score) in scores.iter().enumerate() {
+        let item = i as u32;
+        while e < exclude.len() && exclude[e] < item {
+            e += 1;
+        }
+        if e < exclude.len() && exclude[e] == item {
+            continue;
+        }
+        let cand = Ranked { item, score };
+        if len < k {
+            out[len] = cand;
+            len += 1;
+            sift_up(&mut out[..len], len - 1);
+        } else if worse(out[0], cand) {
+            // The root is the worst kept candidate; replace and re-sink.
+            out[0] = cand;
+            sift_down(&mut out[..len], 0);
+        }
+    }
+    // In-place heapsort: repeatedly move the worst survivor to the back,
+    // leaving the filled prefix in best-first order.
+    let mut n = len;
+    while n > 1 {
+        out.swap(0, n - 1);
+        n -= 1;
+        sift_down(&mut out[..n], 0);
+    }
+    for slot in &mut out[len..] {
+        *slot = Ranked::TOMBSTONE;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(scores: &[f64], k: usize, exclude: &[u32]) -> Vec<Ranked> {
+        let mut out = vec![Ranked::TOMBSTONE; k];
+        let n = select_top_k(scores, exclude, &mut out);
+        assert!(out[n..].iter().all(Ranked::is_tombstone));
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn picks_best_in_order() {
+        let got = select(&[0.1, 0.9, 0.5, 0.7], 2, &[]);
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].item, got[0].score), (1, 0.9));
+        assert_eq!((got[1].item, got[1].score), (3, 0.7));
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item_id() {
+        let got = select(&[0.5, 0.5, 0.5, 0.5], 3, &[]);
+        let items: Vec<u32> = got.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_catalog_fills_tombstones() {
+        let mut out = vec![Ranked::TOMBSTONE; 5];
+        let n = select_top_k(&[1.0, 2.0], &[], &mut out);
+        assert_eq!(n, 2);
+        assert_eq!(out[0].item, 1);
+        assert_eq!(out[1].item, 0);
+        assert!(out[2..].iter().all(Ranked::is_tombstone));
+    }
+
+    #[test]
+    fn exclusion_skips_seen_items() {
+        let got = select(&[0.9, 0.8, 0.7, 0.6], 2, &[0, 2]);
+        let items: Vec<u32> = got.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![1, 3]);
+    }
+
+    #[test]
+    fn excluding_everything_yields_empty() {
+        let got = select(&[1.0, 2.0], 2, &[0, 1]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn exclude_ids_beyond_catalog_are_ignored() {
+        let got = select(&[1.0, 2.0], 2, &[5, 9]);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn zero_k_selects_nothing() {
+        assert_eq!(select_top_k(&[1.0, 2.0], &[], &mut []), 0);
+    }
+
+    #[test]
+    fn empty_scores_select_nothing() {
+        let got = select(&[], 3, &[]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn matches_sort_oracle_on_adversarial_duplicates() {
+        // Many duplicate blocks so the heap sees constant tie pressure.
+        let scores: Vec<f64> = (0..257).map(|i| f64::from(i % 7) * 0.25).collect();
+        for k in [1, 3, 7, 50, 257, 300] {
+            let got = select(&scores, k, &[3, 4, 100]);
+            let want = crate::reference::top_k_by_sort(&scores, k, &[3, 4, 100]);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically() {
+        let scores = [0.5, f64::NAN, 0.7, f64::NAN];
+        let a = select(&scores, 4, &[]);
+        let b = select(&scores, 4, &[]);
+        let ids = |v: &[Ranked]| v.iter().map(|r| r.item).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        // total_cmp ranks +NaN above every finite score.
+        assert_eq!(ids(&a), vec![1, 3, 2, 0]);
+    }
+}

@@ -24,11 +24,12 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 # The kernels promise byte-identical output for any pool width; re-run the
-# tensor suite (reference-equivalence + proptests) and the serving engine's
-# oracle tests at explicit widths.
+# tensor suite (reference-equivalence + proptests), the serving engine's
+# oracle tests (exact + IVF + k-means) and the bench helpers at explicit
+# widths.
 for t in 1 2 8; do
-    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve (DT_NUM_THREADS=$t)"
-    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve
+    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve -p dt-bench (DT_NUM_THREADS=$t)"
+    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve -p dt-bench
 done
 
 echo "==> cargo clippy"

@@ -1,0 +1,68 @@
+//! IVF probe-and-rerank vs exact full-catalog retrieval.
+//!
+//! The criterion run covers the `M = 10⁵` scale interactively; `main`
+//! then regenerates `BENCH_ann.json` at the repo root via
+//! [`dt_bench::ann`], which sweeps `nlist ∈ {64, 256, 1024}` ×
+//! `nprobe ∈ {1, 4, 16, 64}` × `M ∈ {10⁴, 10⁵, 10⁶}` × `K ∈ {10, 50}`
+//! at pool widths 1/2/8.
+
+use criterion::{criterion_group, Criterion};
+use dt_bench::ann::build_clustered_index;
+use dt_serve::{IvfIndex, IvfParams, IvfScratch, TopKBatch, TopKEngine};
+
+fn bench_ann(c: &mut Criterion) {
+    let (n_users, m, dim, k) = (2048, 100_000, 32, 10);
+    let index = build_clustered_index(n_users, m, dim, 512, 0.25, 0x0A17);
+    let users: Vec<usize> = (0..16).map(|j| (j * 131) % n_users).collect();
+    let engine = TopKEngine::new();
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 256,
+            iters: 6,
+            seed: 0x1AF5,
+            train_cap: 1 << 17,
+        },
+    );
+    let mut group = c.benchmark_group(format!("ann M={m} K={k} users={}", users.len()));
+    group.sample_size(10);
+    let mut batch = TopKBatch::new();
+    group.bench_function("exact full-catalog", |bench| {
+        bench.iter(|| engine.recommend_into(&index, &users, k, None, &mut batch));
+    });
+    let mut scratch = IvfScratch::default();
+    for nprobe in [4usize, 16] {
+        group.bench_function(format!("ivf nlist=256 nprobe={nprobe}"), |bench| {
+            bench.iter(|| {
+                engine.recommend_ivf_into(
+                    &index,
+                    &ivf,
+                    nprobe,
+                    &users,
+                    k,
+                    None,
+                    &mut scratch,
+                    &mut batch,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ann
+}
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ann.json");
+    eprintln!("\nwriting ann report to {path}");
+    if let Err(e) = dt_bench::ann::write_ann_report(std::path::Path::new(path)) {
+        eprintln!("failed to write {path}: {e}");
+    }
+}

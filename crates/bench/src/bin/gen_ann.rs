@@ -1,0 +1,18 @@
+//! Offline generator for `BENCH_ann.json`: the IVF recall/latency
+//! frontier without the criterion harness, so the artefact can be
+//! (re)built in environments where `cargo bench` is unavailable (the
+//! offline `.verify` shim). Sweeps `nlist` × `nprobe` × `M` × `K` at the
+//! pool widths in [`dt_bench::serve::SWEEP_WIDTHS`] in-process.
+//!
+//! Usage: `gen_ann [output-path]` (default: `BENCH_ann.json` at the repo
+//! root, resolved relative to this crate).
+
+fn main() {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ann.json").to_string();
+    let path = std::env::args().nth(1).unwrap_or(default);
+    eprintln!("writing ann report to {path}");
+    if let Err(e) = dt_bench::ann::write_ann_report(std::path::Path::new(&path)) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline generator for `BENCH_serve.json`: the serve-latency artefact
+//! without the criterion harness, so the report can be (re)built in
+//! environments where `cargo bench` is unavailable (the offline `.verify`
+//! shim). Sweeps the pool widths in [`dt_bench::serve::SWEEP_WIDTHS`]
+//! in-process — one results row per width.
+//!
+//! Usage: `gen_serve [output-path]` (default: `BENCH_serve.json` at the
+//! repo root, resolved relative to this crate).
+
+fn main() {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string();
+    let path = std::env::args().nth(1).unwrap_or(default);
+    eprintln!("writing serve report to {path}");
+    if let Err(e) = dt_bench::serve::write_serve_report(std::path::Path::new(&path)) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}

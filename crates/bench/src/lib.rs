@@ -21,13 +21,18 @@
 //!   at the repo root (see [`train_step`]).
 //! * `serve` — batched full-catalog top-K retrieval: full-sort vs
 //!   partial-selection at `M ∈ {10⁴, 10⁵, 10⁶}`; the run also regenerates
-//!   `BENCH_serve.json` at the repo root (see [`serve`]).
+//!   `BENCH_serve.json` at the repo root (see [`serve`]), sweeping
+//!   `DT_NUM_THREADS ∈ {1, 2, 8}` in-process.
+//! * `ann` — IVF coarse-quantized retrieval vs exact: recall@K and the
+//!   latency/recall frontier over `nlist` × `nprobe` × `M` × `K`; the run
+//!   also regenerates `BENCH_ann.json` at the repo root (see [`ann`]).
 //!
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
 
 #![forbid(unsafe_code)]
 
+pub mod ann;
 pub mod report;
 pub mod serve;
 pub mod train_step;

@@ -18,7 +18,10 @@
 //! selection strategy, nothing else. `partial_allocs_per_batch` is the
 //! per-query-batch count of buffers drawn from the global allocator after
 //! warm-up ([`dt_tensor::pool::stats`] delta); the engine's steady state
-//! is zero. Like [`crate::report`], the harness is a plain `Instant`
+//! is zero. Since v3 the sweep repeats per pool width ([`SWEEP_WIDTHS`],
+//! forced in-process through `dt_parallel::with_thread_limit`) with one
+//! results row per width, so the artefact is no longer blind to the width
+//! it ran at. Like [`crate::report`], the harness is a plain `Instant`
 //! best-of-N (std-only, so the offline verification shim can run it) and
 //! the JSON is hand-rolled.
 
@@ -91,13 +94,15 @@ pub fn full_sort_batch(
     }
 }
 
-/// One `(M, K)` measurement. Times are best-of-N per-query-batch wall
-/// times over the same sixteen-user query.
+/// One `(M, K, threads)` measurement. Times are best-of-N per-query-batch
+/// wall times over the same sixteen-user query; `threads` is the pool
+/// width forced through `dt_parallel::with_thread_limit` for the row.
 pub struct ServeMeasurement {
     pub m: usize,
     pub k: usize,
     pub users: usize,
     pub dim: usize,
+    pub threads: usize,
     pub full_sort_ms: f64,
     pub partial_ms: f64,
     pub partial_allocs_per_batch: f64,
@@ -132,9 +137,13 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// The catalog sweep: `M ∈ {10⁴, 10⁵, 10⁶}` items, `K ∈ {10, 50}`,
-/// sixteen queried users over `dim = 32` panels.
+/// sixteen queried users over `dim = 32` panels — at every pool width in
+/// `widths`, forced in-process through `dt_parallel::with_thread_limit`
+/// (one results row per width; widths beyond the host's hardware threads
+/// still run, they just oversubscribe, and the row's `host_threads`
+/// column makes that visible).
 #[must_use]
-pub fn run_measurements() -> Vec<ServeMeasurement> {
+pub fn run_measurements(widths: &[usize]) -> Vec<ServeMeasurement> {
     let (n_users, dim, n_query) = (2048usize, 32usize, 16usize);
     let engine = TopKEngine::new();
     let mut out = Vec::new();
@@ -143,73 +152,86 @@ pub fn run_measurements() -> Vec<ServeMeasurement> {
         let users: Vec<usize> = (0..n_query).map(|j| (j * 131) % n_users).collect();
         let block = engine.block_users(m);
         let reps = if m >= 1_000_000 { 2 } else { 4 };
-        for &k in &[10usize, 50] {
-            let mut batch = TopKBatch::new();
-            engine.recommend_into(&index, &users, k, None, &mut batch); // warm-up
-            let partial_ms = time_ms(reps, || {
-                engine.recommend_into(&index, &users, k, None, &mut batch);
-            });
-            let probe_batches = 5usize;
-            let before = pool::stats();
-            for _ in 0..probe_batches {
-                engine.recommend_into(&index, &users, k, None, &mut batch);
+        for &threads in widths {
+            for &k in &[10usize, 50] {
+                let row = dt_parallel::with_thread_limit(threads, || {
+                    let mut batch = TopKBatch::new();
+                    engine.recommend_into(&index, &users, k, None, &mut batch); // warm-up
+                    let partial_ms = time_ms(reps, || {
+                        engine.recommend_into(&index, &users, k, None, &mut batch);
+                    });
+                    let probe_batches = 5usize;
+                    let before = pool::stats();
+                    for _ in 0..probe_batches {
+                        engine.recommend_into(&index, &users, k, None, &mut batch);
+                    }
+                    let after = pool::stats();
+                    let partial_allocs_per_batch =
+                        (after.fresh_allocs - before.fresh_allocs) as f64 / probe_batches as f64;
+
+                    let mut scratch = Vec::new();
+                    let mut sorted = TopKBatch::new();
+                    full_sort_batch(&index, &users, k, block, &mut scratch, &mut sorted); // warm-up
+                    let full_sort_ms = time_ms(reps, || {
+                        full_sort_batch(&index, &users, k, block, &mut scratch, &mut sorted);
+                    });
+                    assert_eq!(
+                        sorted, batch,
+                        "selection arms disagree at M={m} K={k} threads={threads}"
+                    );
+
+                    ServeMeasurement {
+                        m,
+                        k,
+                        users: n_query,
+                        dim,
+                        threads,
+                        full_sort_ms,
+                        partial_ms,
+                        partial_allocs_per_batch,
+                    }
+                });
+                out.push(row);
             }
-            let after = pool::stats();
-            let partial_allocs_per_batch =
-                (after.fresh_allocs - before.fresh_allocs) as f64 / probe_batches as f64;
-
-            let mut scratch = Vec::new();
-            let mut sorted = TopKBatch::new();
-            full_sort_batch(&index, &users, k, block, &mut scratch, &mut sorted); // warm-up
-            let full_sort_ms = time_ms(reps, || {
-                full_sort_batch(&index, &users, k, block, &mut scratch, &mut sorted);
-            });
-            assert_eq!(sorted, batch, "selection arms disagree at M={m} K={k}");
-
-            out.push(ServeMeasurement {
-                m,
-                k,
-                users: n_query,
-                dim,
-                full_sort_ms,
-                partial_ms,
-                partial_allocs_per_batch,
-            });
         }
     }
     out
 }
 
-/// Renders the report as JSON (schema `dt-bench/serve/v2`).
+/// Renders the report as JSON (schema `dt-bench/serve/v3`: v2 plus a
+/// per-row `threads`/`host_threads` pair — one results row per forced
+/// pool width, fixing the v2 single-thread blind spot).
 #[must_use]
 pub fn render_report(results: &[ServeMeasurement]) -> String {
-    let threads = dt_parallel::num_threads();
     let host = crate::report::host_threads();
     let rev = crate::report::git_rev();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/serve/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"dt-bench/serve/v3\",");
     let _ = writeln!(
         s,
         "  \"note\": \"best-of-N wall times for one batched full-catalog \
          top-K query (16 users x all M items, dim-32 panels) through the \
-         dt-serve engine. Both arms score through the same pooled blocked \
-         gather-GEMM; full_sort then sorts every user's M scores \
-         (O(M log M), the seed selection), partial cuts them with the \
-         bounded-heap kernel (O(M + K log K)) into a reused batch. \
+         dt-serve engine, one results row per pool width (threads, forced \
+         in-process via dt_parallel::with_thread_limit; host_threads per \
+         row records the hardware actually available, so oversubscribed \
+         rows are self-describing). Both arms score through the same \
+         pooled blocked gather-GEMM; full_sort then sorts every user's M \
+         scores (O(M log M), the seed selection), partial cuts them with \
+         the bounded-heap kernel (O(M + K log K)) into a reused batch. \
          partial_allocs_per_batch is the post-warm-up \
          dt_tensor::pool::stats fresh-alloc delta per query batch; the \
          engine's steady state is zero.\","
     );
     let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
     let _ = writeln!(s, "  \"host_threads\": {host},");
-    let _ = writeln!(s, "  \"pool_threads\": {threads},");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             s,
             "    {{\"m\": {}, \"k\": {}, \"users\": {}, \"dim\": {}, \
+             \"threads\": {}, \"host_threads\": {host}, \
              \"full_sort_ms\": {:.3}, \"partial_ms\": {:.3}, \
              \"speedup_partial_vs_full_sort\": {:.2}, \
              \"users_per_sec_partial\": {:.1}, \
@@ -219,6 +241,7 @@ pub fn render_report(results: &[ServeMeasurement]) -> String {
             r.k,
             r.users,
             r.dim,
+            r.threads,
             r.full_sort_ms,
             r.partial_ms,
             r.speedup(),
@@ -231,19 +254,24 @@ pub fn render_report(results: &[ServeMeasurement]) -> String {
     s
 }
 
-/// Runs the measurements and writes `BENCH_serve.json` to `path`.
+/// The pool widths every serve/ann artefact sweeps.
+pub const SWEEP_WIDTHS: [usize; 3] = [1, 2, 8];
+
+/// Runs the width-sweep measurements and writes `BENCH_serve.json` to
+/// `path`.
 ///
 /// # Errors
 /// Propagates the underlying file-write error.
 pub fn write_serve_report(path: &Path) -> std::io::Result<()> {
-    let results = run_measurements();
+    let results = run_measurements(&SWEEP_WIDTHS);
     std::fs::write(path, render_report(&results))?;
     for r in &results {
         eprintln!(
-            "serve M={:7} K={:2}  full-sort {:9.3} ms  partial {:8.3} ms  \
+            "serve M={:7} K={:2} t={}  full-sort {:9.3} ms  partial {:8.3} ms  \
              speedup {:5.2}x  allocs/batch {:4.1}",
             r.m,
             r.k,
+            r.threads,
             r.full_sort_ms,
             r.partial_ms,
             r.speedup(),
@@ -278,6 +306,7 @@ mod tests {
             k: 10,
             users: 16,
             dim: 32,
+            threads: 1,
             full_sort_ms: 40.0,
             partial_ms: 10.0,
             partial_allocs_per_batch: 0.0,
@@ -294,14 +323,17 @@ mod tests {
             k: 50,
             users: 16,
             dim: 32,
+            threads: 8,
             full_sort_ms: 100.0,
             partial_ms: 20.0,
             partial_allocs_per_batch: 0.0,
         };
         let json = render_report(&[m]);
-        assert!(json.contains("\"schema\": \"dt-bench/serve/v2\""));
+        assert!(json.contains("\"schema\": \"dt-bench/serve/v3\""));
         assert!(json.contains("\"speedup_partial_vs_full_sort\": 5.00"));
         assert!(json.contains("\"partial_allocs_per_batch\": 0.0"));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"host_threads\": "));
         assert!(json.contains("\"git_rev\": \""));
         assert!(json.trim_end().ends_with('}'));
     }

@@ -4,7 +4,9 @@ use rand::rngs::StdRng;
 
 use dt_data::Dataset;
 use dt_metrics::{auc, evaluate_ranking, mae, mse};
-use dt_serve::{ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_serve::{
+    IvfIndex, IvfParams, IvfScratch, RetrievalMode, ScoringIndex, SeenLists, TopKBatch, TopKEngine,
+};
 use dt_tensor::topk::select_top_k;
 
 /// What every training method exposes to the experiment harness.
@@ -79,6 +81,61 @@ pub trait Recommender {
             let filled = select_top_k(&scores, exclude, out.user_mut(j));
             out.set_count(j, filled);
         }
+        out
+    }
+
+    /// [`Recommender::recommend_top_k`] with a retrieval-mode hint.
+    ///
+    /// `RetrievalMode::Exact` is exactly `recommend_top_k`. For
+    /// `RetrievalMode::Ivf` the method must expose a
+    /// [`Recommender::scoring_index`]; a companion [`IvfIndex`] is built
+    /// **per call** (a documented cold path — callers serving sustained
+    /// traffic should hold the index and the [`TopKEngine`] themselves,
+    /// as the Table VI runner and `dt-bench` do) and the query runs the
+    /// probe-and-rerank arm. Methods without an index ignore the hint and
+    /// take the predict fallback: the hint is advisory, never
+    /// result-changing beyond the documented IVF recall trade.
+    ///
+    /// # Panics
+    /// Panics on everything [`Recommender::recommend_top_k`] panics on.
+    #[must_use]
+    fn recommend_top_k_with(
+        &self,
+        users: &[usize],
+        n_items: usize,
+        k: usize,
+        seen: Option<&SeenLists>,
+        mode: RetrievalMode,
+    ) -> TopKBatch {
+        let (RetrievalMode::Ivf { nlist, nprobe }, Some(index)) = (mode, self.scoring_index())
+        else {
+            return self.recommend_top_k(users, n_items, k, seen);
+        };
+        assert_eq!(
+            index.n_items(),
+            n_items,
+            "recommend_top_k: index built for {} items, asked for {n_items}",
+            index.n_items()
+        );
+        let ivf = IvfIndex::build(
+            &index,
+            &IvfParams {
+                nlist,
+                ..IvfParams::default()
+            },
+        );
+        let mut out = TopKBatch::new();
+        let mut scratch = IvfScratch::default();
+        TopKEngine::new().recommend_ivf_into(
+            &index,
+            &ivf,
+            nprobe,
+            users,
+            k,
+            seen,
+            &mut scratch,
+            &mut out,
+        );
         out
     }
 }
@@ -276,6 +333,52 @@ mod tests {
             let slow_items: Vec<u32> = b.user(j).iter().map(|r| r.item).collect();
             assert_eq!(fast_items, slow_items, "user-slot {j}");
         }
+    }
+
+    #[test]
+    fn ivf_hint_at_full_probe_matches_exact_and_fallback_ignores_it() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = dt_models::MfModel::new(10, 64, 4, &mut rng);
+        let served = Served {
+            model,
+            expose_index: true,
+        };
+        let users: Vec<usize> = (0..15).map(|j| (j * 3) % 10).collect();
+        let seen = SeenLists::from_pairs(10, (0..10u32).map(|u| (u, u * 2)));
+        let exact = served.recommend_top_k(&users, 64, 6, Some(&seen));
+        // nprobe = nlist covers the catalog: identical output.
+        let ivf = served.recommend_top_k_with(
+            &users,
+            64,
+            6,
+            Some(&seen),
+            RetrievalMode::Ivf {
+                nlist: 8,
+                nprobe: 8,
+            },
+        );
+        assert_eq!(exact, ivf);
+        // Exact hint is literally the plain path.
+        let plain = served.recommend_top_k_with(&users, 64, 6, Some(&seen), RetrievalMode::Exact);
+        assert_eq!(exact, plain);
+        // A method without an index ignores the hint.
+        let fallback = Served {
+            model: served.model,
+            expose_index: false,
+        };
+        let hinted = fallback.recommend_top_k_with(
+            &users,
+            64,
+            6,
+            Some(&seen),
+            RetrievalMode::Ivf {
+                nlist: 8,
+                nprobe: 1,
+            },
+        );
+        let unhinted = fallback.recommend_top_k(&users, 64, 6, Some(&seen));
+        assert_eq!(hinted, unhinted);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The batched top-K engine: block scoring + parallel partial selection.
+//! The batched top-K engine: block scoring + parallel partial selection,
+//! with an optional IVF sublinear retrieval arm.
 
 use dt_tensor::topk::{select_top_k, Ranked};
 
 use crate::index::{ScoringIndex, SeenLists};
+use crate::ivf::IvfIndex;
 
 /// Default score-matrix budget per block, in elements (`f64`s). At one
 /// million items this caps a block at four users (32 MiB of scores);
@@ -12,6 +14,40 @@ pub const DEFAULT_BLOCK_ELEMS: usize = 1 << 22;
 /// Maximum users per block regardless of catalog size (keeps the gather
 /// panel and per-block latency bounded).
 const MAX_BLOCK_USERS: usize = 512;
+
+/// How a [`TopKEngine`] generates candidates before selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Score the full catalog per user block (the default; always
+    /// exact).
+    Exact,
+    /// Probe the `nprobe` best cells of an `nlist`-cell [`IvfIndex`] and
+    /// rerank their members exactly. Falls back towards exact on
+    /// candidate shortfall (see [`TopKEngine::recommend_ivf_into`]).
+    Ivf {
+        /// Cell count the companion [`IvfIndex`] was built with.
+        nlist: usize,
+        /// Cells probed per user before any shortfall widening.
+        nprobe: usize,
+    },
+}
+
+/// Reusable per-query scratch for the IVF arm. All five buffers grow to
+/// their steady-state size on the first query and are only rewritten
+/// afterwards, so repeated queries through one scratch allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct IvfScratch {
+    /// Per-cell centroid scores of the current user.
+    cell_scores: Vec<f64>,
+    /// Selected probe cells (best first).
+    cells: Vec<Ranked>,
+    /// Gathered candidate item ids, ascending, seen items removed.
+    cand: Vec<usize>,
+    /// Exact scores of `cand` (parallel array).
+    scores: Vec<f64>,
+    /// Selected candidate *positions* before the id remap.
+    sel: Vec<Ranked>,
+}
 
 /// Batched full-catalog top-K retrieval over a [`ScoringIndex`].
 ///
@@ -24,12 +60,14 @@ const MAX_BLOCK_USERS: usize = 512;
 #[derive(Debug, Clone, Copy)]
 pub struct TopKEngine {
     block_elems: usize,
+    mode: RetrievalMode,
 }
 
 impl Default for TopKEngine {
     fn default() -> Self {
         Self {
             block_elems: DEFAULT_BLOCK_ELEMS,
+            mode: RetrievalMode::Exact,
         }
     }
 }
@@ -49,7 +87,23 @@ impl TopKEngine {
     #[must_use]
     pub fn with_block_elems(block_elems: usize) -> Self {
         assert!(block_elems > 0, "TopKEngine: block_elems must be positive");
-        Self { block_elems }
+        Self {
+            block_elems,
+            mode: RetrievalMode::Exact,
+        }
+    }
+
+    /// The same engine with a different retrieval mode (consumed by
+    /// [`TopKEngine::retrieve_into`]).
+    #[must_use]
+    pub fn with_mode(self, mode: RetrievalMode) -> Self {
+        Self { mode, ..self }
+    }
+
+    /// The configured retrieval mode.
+    #[must_use]
+    pub fn mode(&self) -> RetrievalMode {
+        self.mode
     }
 
     /// Users per block for a catalog of `n_items`.
@@ -115,6 +169,200 @@ impl TopKEngine {
         let mut out = TopKBatch::new();
         self.recommend_into(index, users, k, seen, &mut out);
         out
+    }
+
+    /// IVF retrieval: probe `nprobe` cells per user, rerank their members
+    /// exactly, select the top `k`. Bit-identical at any thread count.
+    ///
+    /// Per user block one GEMM scores the block against the centroid
+    /// panel (`pᵤ·c_dir + c_bias`; user bias and μ are constant per user
+    /// so cell ranking ignores them). Per user, the best `nprobe` cells
+    /// are chosen by the bounded-heap kernel, their member lists
+    /// concatenated, sorted ascending and purged of seen items, and the
+    /// survivors scored through the exact pair kernel — so candidate
+    /// scores (and therefore the output whenever the probed cells cover
+    /// the true top-K) are bit-equal to the exact engine's.
+    ///
+    /// **Shortfall fallback:** while fewer than `k` unseen candidates
+    /// survive and not every cell is probed yet, the probe width doubles;
+    /// at `nprobe = nlist` the candidate set is the full unseen catalog,
+    /// i.e. the query degrades to exact rather than returning a short
+    /// stripe.
+    ///
+    /// All scratch lives in `scratch` plus the tensor pool: steady-state
+    /// queries allocate nothing.
+    ///
+    /// # Panics
+    /// Panics when the IVF index does not match `index` (catalog size or
+    /// panel width), a user id is out of bounds, or `seen` covers a
+    /// different user universe than the index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_ivf_into(
+        &self,
+        index: &ScoringIndex,
+        ivf: &IvfIndex,
+        nprobe: usize,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        scratch: &mut IvfScratch,
+        out: &mut TopKBatch,
+    ) {
+        assert_eq!(
+            ivf.n_items(),
+            index.n_items(),
+            "recommend_ivf: IVF built over {} items, index has {}",
+            ivf.n_items(),
+            index.n_items()
+        );
+        assert_eq!(
+            ivf.dim(),
+            index.dim(),
+            "recommend_ivf: IVF built at dim {}, index has {}",
+            ivf.dim(),
+            index.dim()
+        );
+        if let Some(s) = seen {
+            assert_eq!(
+                s.n_users(),
+                index.n_users(),
+                "recommend_ivf: seen-lists cover {} users, index has {}",
+                s.n_users(),
+                index.n_users()
+            );
+        }
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return;
+        }
+        let nlist = ivf.nlist();
+        let dim = index.dim();
+        // Centroid panels are small (≤ 1024 rows), so a block covers the
+        // whole query in almost all cases.
+        let block = (self.block_elems / nlist.max(1)).clamp(1, MAX_BLOCK_USERS);
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = (lo + block).min(users.len());
+            let block_users = &users[lo..hi];
+            // Cell affinities: one GEMM, no bias (added per user below so
+            // the tensor stays reusable as a pure dot-product block).
+            let affinity = dt_tensor::scoring::score_user_block(
+                index.user_panel(),
+                ivf.centroids(),
+                block_users,
+                None,
+            );
+            for (j, &user) in block_users.iter().enumerate() {
+                scratch.cell_scores.clear();
+                scratch.cell_scores.extend(
+                    affinity
+                        .row(j)
+                        .iter()
+                        .zip(ivf.centroid_bias())
+                        .map(|(a, b)| a + b),
+                );
+                let exclude = seen.map_or(&[][..], |s| s.seen(user));
+                let mut probe = nprobe.clamp(1, nlist);
+                loop {
+                    scratch.cells.clear();
+                    scratch.cells.resize(probe, Ranked::TOMBSTONE);
+                    let n_cells = select_top_k(&scratch.cell_scores, &[], &mut scratch.cells);
+                    scratch.cand.clear();
+                    for cell in &scratch.cells[..n_cells] {
+                        scratch
+                            .cand
+                            .extend(ivf.cell(cell.item as usize).iter().map(|&i| i as usize));
+                    }
+                    // Cells partition the catalog, so the concatenation is
+                    // duplicate-free; sorting restores ascending item ids
+                    // (the select_top_k tie-break order).
+                    scratch.cand.sort_unstable();
+                    if !exclude.is_empty() {
+                        let cand = &mut scratch.cand;
+                        let mut e = 0usize;
+                        let mut w = 0usize;
+                        for r in 0..cand.len() {
+                            let id = cand[r] as u32;
+                            while e < exclude.len() && exclude[e] < id {
+                                e += 1;
+                            }
+                            if e < exclude.len() && exclude[e] == id {
+                                continue;
+                            }
+                            cand[w] = cand[r];
+                            w += 1;
+                        }
+                        cand.truncate(w);
+                    }
+                    if scratch.cand.len() >= k || probe == nlist {
+                        break;
+                    }
+                    probe = (probe * 2).min(nlist);
+                }
+                dt_tensor::scoring::score_user_items_into(
+                    index.user_panel(),
+                    index.item_panel(),
+                    0..dim,
+                    user,
+                    &scratch.cand,
+                    Some(index.biases()),
+                    &mut scratch.scores,
+                );
+                scratch.sel.clear();
+                scratch.sel.resize(k, Ranked::TOMBSTONE);
+                let n = select_top_k(&scratch.scores, &[], &mut scratch.sel);
+                let stripe = out.user_mut(lo + j);
+                for (slot, r) in stripe.iter_mut().zip(&scratch.sel[..n]) {
+                    *slot = Ranked {
+                        item: scratch.cand[r.item as usize] as u32,
+                        score: r.score,
+                    };
+                }
+                out.set_count(lo + j, n);
+            }
+            affinity.recycle();
+            lo = hi;
+        }
+    }
+
+    /// Dispatches on [`TopKEngine::mode`]: the exact arm ignores `ivf`
+    /// and `scratch`; the IVF arm requires a companion index built with
+    /// the matching `nlist`.
+    ///
+    /// # Panics
+    /// Panics in IVF mode when `ivf` is `None` or was built with a
+    /// different `nlist` than the mode says (after clamping to the
+    /// catalog size), plus everything [`TopKEngine::recommend_into`] /
+    /// [`TopKEngine::recommend_ivf_into`] panic on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retrieve_into(
+        &self,
+        index: &ScoringIndex,
+        ivf: Option<&IvfIndex>,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        scratch: &mut IvfScratch,
+        out: &mut TopKBatch,
+    ) {
+        match self.mode {
+            RetrievalMode::Exact => self.recommend_into(index, users, k, seen, out),
+            RetrievalMode::Ivf { nlist, nprobe } => {
+                assert!(
+                    ivf.is_some(),
+                    "retrieve: RetrievalMode::Ivf needs a companion IvfIndex"
+                );
+                let Some(ivf) = ivf else { return };
+                assert_eq!(
+                    ivf.nlist(),
+                    nlist.min(index.n_items()),
+                    "retrieve: IvfIndex has {} cells, mode says nlist {}",
+                    ivf.nlist(),
+                    nlist
+                );
+                self.recommend_ivf_into(index, ivf, nprobe, users, k, seen, scratch, out);
+            }
+        }
     }
 }
 
@@ -280,5 +528,121 @@ mod tests {
         assert_eq!(e.block_users(1 << 22), 1);
         assert_eq!(e.block_users(1 << 13), MAX_BLOCK_USERS);
         assert_eq!(e.block_users(0), MAX_BLOCK_USERS);
+    }
+
+    fn ivf_for(idx: &ScoringIndex, nlist: usize) -> crate::IvfIndex {
+        crate::IvfIndex::build(
+            idx,
+            &crate::IvfParams {
+                nlist,
+                iters: 4,
+                seed: 7,
+                train_cap: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn full_probe_equals_exact_bit_for_bit() {
+        // nprobe = nlist covers the whole catalog, so the IVF arm must
+        // reproduce the exact engine's output exactly (same kernels, same
+        // association order, same tie-breaks).
+        let idx = tiny_index();
+        let ivf = ivf_for(&idx, 2);
+        let engine = TopKEngine::new();
+        let exact = engine.recommend(&idx, &[0, 1, 0], 3, None);
+        let mut got = TopKBatch::new();
+        let mut scratch = IvfScratch::default();
+        engine.recommend_ivf_into(&idx, &ivf, 2, &[0, 1, 0], 3, None, &mut scratch, &mut got);
+        assert_eq!(exact, got);
+    }
+
+    #[test]
+    fn all_seen_forces_fallback_then_empty() {
+        // Every item seen: the shortfall loop must widen to nlist and
+        // still return an empty stripe rather than hang or under-assert.
+        let idx = tiny_index();
+        let ivf = ivf_for(&idx, 2);
+        let seen = SeenLists::from_pairs(2, (0..4).map(|i| (0u32, i as u32)));
+        let mut got = TopKBatch::new();
+        let mut scratch = IvfScratch::default();
+        TopKEngine::new().recommend_ivf_into(
+            &idx,
+            &ivf,
+            1,
+            &[0],
+            2,
+            Some(&seen),
+            &mut scratch,
+            &mut got,
+        );
+        assert!(got.user(0).is_empty());
+    }
+
+    #[test]
+    fn k_beyond_catalog_widens_to_full_probe() {
+        let idx = tiny_index();
+        let ivf = ivf_for(&idx, 2);
+        let mut got = TopKBatch::new();
+        let mut scratch = IvfScratch::default();
+        TopKEngine::new().recommend_ivf_into(&idx, &ivf, 1, &[1], 9, None, &mut scratch, &mut got);
+        // Shortfall widening reaches nlist, so all 4 items come back.
+        assert_eq!(got.user(0).len(), 4);
+        let exact = TopKEngine::new().recommend(&idx, &[1], 9, None);
+        assert_eq!(exact, got);
+    }
+
+    #[test]
+    fn retrieve_dispatches_on_mode() {
+        let idx = tiny_index();
+        let ivf = ivf_for(&idx, 2);
+        let mut scratch = IvfScratch::default();
+        let mut exact = TopKBatch::new();
+        TopKEngine::new().retrieve_into(&idx, None, &[0, 1], 2, None, &mut scratch, &mut exact);
+        let mut via_ivf = TopKBatch::new();
+        TopKEngine::new()
+            .with_mode(RetrievalMode::Ivf {
+                nlist: 2,
+                nprobe: 2,
+            })
+            .retrieve_into(
+                &idx,
+                Some(&ivf),
+                &[0, 1],
+                2,
+                None,
+                &mut scratch,
+                &mut via_ivf,
+            );
+        assert_eq!(exact, via_ivf);
+    }
+
+    #[test]
+    #[should_panic(expected = "companion IvfIndex")]
+    fn ivf_mode_without_index_panics() {
+        let idx = tiny_index();
+        let mut scratch = IvfScratch::default();
+        let mut out = TopKBatch::new();
+        TopKEngine::new()
+            .with_mode(RetrievalMode::Ivf {
+                nlist: 2,
+                nprobe: 1,
+            })
+            .retrieve_into(&idx, None, &[0], 2, None, &mut scratch, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells, mode says nlist")]
+    fn mismatched_nlist_panics() {
+        let idx = tiny_index();
+        let ivf = ivf_for(&idx, 2);
+        let mut scratch = IvfScratch::default();
+        let mut out = TopKBatch::new();
+        TopKEngine::new()
+            .with_mode(RetrievalMode::Ivf {
+                nlist: 4,
+                nprobe: 1,
+            })
+            .retrieve_into(&idx, Some(&ivf), &[0], 2, None, &mut scratch, &mut out);
     }
 }

@@ -82,6 +82,20 @@ impl ScoringIndex {
         self.p.cols()
     }
 
+    /// The user panel P (`n_users × dim`), for callers that run their own
+    /// kernels over it (the IVF cell-ranking GEMM).
+    #[must_use]
+    pub fn user_panel(&self) -> &Tensor {
+        &self.p
+    }
+
+    /// The item panel Q (`n_items × dim`) — the panel the IVF coarse
+    /// quantizer partitions.
+    #[must_use]
+    pub fn item_panel(&self) -> &Tensor {
+        &self.q
+    }
+
     /// The affine bias view used by the scoring kernels.
     #[must_use]
     pub fn biases(&self) -> Biases<'_> {

@@ -1,0 +1,296 @@
+//! IVF coarse quantization of the item panel: sublinear candidate
+//! generation for top-K retrieval (DESIGN.md section 13).
+//!
+//! The exact engine streams all `M` item rows per user block; at
+//! `M = 10⁶` that is ~256 MiB of panel traffic per block and the serving
+//! hot path is memory-bound on it. An inverted-file (IVF) index instead
+//! partitions the catalog into `nlist` cells with deterministic k-means
+//! ([`crate::kmeans`]) over the **bias-augmented** item vectors
+//! `[qᵢ | bᵢ]`: the item bias participates in the score
+//! `pᵤ·qᵢ + b_u + bᵢ + μ`, so clustering in the augmented space keeps
+//! high-bias items findable even when their embedding is small.
+//!
+//! At query time a user probes the `nprobe` cells whose centroids score
+//! highest under the same model — `pᵤ·c_dir + c_bias` (the user bias and
+//! μ are constant per user and drop out of the per-user cell ranking) —
+//! then reranks every member of the probed cells *exactly* through the
+//! pair-scoring kernel. Approximation lives entirely in candidate
+//! generation; whenever the probed cells cover the true top-K, the output
+//! is bit-equal to the exact engine's.
+//!
+//! Cells are stored CSR (`offsets` + ascending `items` per cell), built
+//! by a counting sort over the k-means assignments — a cold path that may
+//! allocate freely; queries share the engine's pooled scratch.
+
+use dt_tensor::Tensor;
+
+use crate::index::ScoringIndex;
+use crate::kmeans::{self, KmeansConfig};
+
+/// Build-time hyper-parameters of an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of inverted cells (clamped to the catalog size).
+    pub nlist: usize,
+    /// Lloyd iterations for the coarse quantizer.
+    pub iters: usize,
+    /// Seed for the k-means init.
+    pub seed: u64,
+    /// k-means training subsample cap (0 = train on the full panel).
+    pub train_cap: usize,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            nlist: 256,
+            iters: 8,
+            seed: 0x1AF5_0C75,
+            train_cap: 1 << 17,
+        }
+    }
+}
+
+/// An inverted-file index over a [`ScoringIndex`]'s item panel.
+///
+/// Holds the centroid codebook split into its direction part
+/// (`nlist_eff × dim`, matching the user panel width) and bias part, plus
+/// CSR inverted lists mapping each cell to its ascending member item ids.
+/// Read-only after build; one index serves any `nprobe` and any `K`.
+pub struct IvfIndex {
+    centroids: Tensor,
+    centroid_bias: Vec<f64>,
+    offsets: Vec<usize>,
+    items: Vec<u32>,
+    dim: usize,
+    n_items: usize,
+}
+
+impl IvfIndex {
+    /// Clusters `index`'s item panel into `params.nlist` cells. Cold
+    /// path: allocates freely and runs the pool-parallel assignment GEMM;
+    /// the result is bit-identical for any `DT_NUM_THREADS`.
+    ///
+    /// # Panics
+    /// Panics when the catalog is empty or `params.nlist` is zero.
+    #[must_use]
+    pub fn build(index: &ScoringIndex, params: &IvfParams) -> Self {
+        let q = index.item_panel();
+        let m = q.rows();
+        let dim = q.cols();
+        assert!(m > 0, "IvfIndex: empty catalog");
+        assert!(params.nlist > 0, "IvfIndex: nlist must be positive");
+        let item_bias = index.biases().item;
+
+        // Bias-augmented panel [q_i | b_i]: clustering respects the score
+        // geometry, not just the embedding. alloc-ok: build-time panel copy.
+        let aug = Tensor::from_fn(
+            m,
+            dim + 1,
+            |i, j| {
+                if j < dim {
+                    q.get(i, j)
+                } else {
+                    item_bias[i]
+                }
+            },
+        );
+        let km = kmeans::run(
+            &aug,
+            &KmeansConfig {
+                k: params.nlist,
+                iters: params.iters,
+                seed: params.seed,
+                train_cap: params.train_cap,
+            },
+        );
+        let nlist = km.centroids.rows();
+
+        // Split the augmented codebook back into direction + bias parts.
+        let centroids = km.centroids.slice_cols(0, dim);
+        let centroid_bias: Vec<f64> = (0..nlist).map(|c| km.centroids.get(c, dim)).collect();
+
+        // Counting-sort the assignments into CSR lists; scanning items in
+        // ascending id keeps each cell's member list ascending.
+        let mut offsets = vec![0usize; nlist + 1];
+        for &a in &km.assignments {
+            offsets[a as usize + 1] += 1;
+        }
+        for c in 0..nlist {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut items = vec![0u32; m];
+        for (i, &a) in km.assignments.iter().enumerate() {
+            items[cursor[a as usize]] = i as u32;
+            cursor[a as usize] += 1;
+        }
+
+        Self {
+            centroids,
+            centroid_bias,
+            offsets,
+            items,
+            dim,
+            n_items: m,
+        }
+    }
+
+    /// Number of cells (the requested `nlist`, clamped to the catalog).
+    #[must_use]
+    pub fn nlist(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Catalog size this index was built over.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Panel width this index was built over (must match the query
+    /// index's `dim`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The centroid direction panel (`nlist × dim`).
+    #[must_use]
+    pub fn centroids(&self) -> &Tensor {
+        &self.centroids
+    }
+
+    /// Per-cell centroid bias (the clustered item-bias coordinate).
+    #[must_use]
+    pub fn centroid_bias(&self) -> &[f64] {
+        &self.centroid_bias
+    }
+
+    /// The ascending member item ids of cell `c`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of bounds.
+    #[must_use]
+    pub fn cell(&self, c: usize) -> &[u32] {
+        assert!(
+            c < self.nlist(),
+            "IvfIndex: cell {c} out of bounds for {} cells",
+            self.nlist()
+        );
+        &self.items[self.offsets[c]..self.offsets[c + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(n_users: usize, n_items: usize, dim: usize, seed: u64) -> ScoringIndex {
+        let mut rng = crate::kmeans::SplitMix64(seed);
+        let mut vals = |n: usize, scale: f64| -> Vec<f64> {
+            (0..n)
+                .map(|_| (rng.next_u64() as f64 / u64::MAX as f64 - 0.5) * scale)
+                .collect()
+        };
+        let p = Tensor::from_vec(n_users, dim, vals(n_users * dim, 1.0));
+        let q = Tensor::from_vec(n_items, dim, vals(n_items * dim, 1.0));
+        let ub = vals(n_users, 0.1);
+        let ib = vals(n_items, 0.1);
+        ScoringIndex::new(p, q, ub, ib, 0.05)
+    }
+
+    #[test]
+    fn cells_partition_the_catalog() {
+        let idx = index(4, 300, 6, 17);
+        let ivf = IvfIndex::build(
+            &idx,
+            &IvfParams {
+                nlist: 16,
+                iters: 4,
+                seed: 1,
+                train_cap: 0,
+            },
+        );
+        assert_eq!(ivf.nlist(), 16);
+        assert_eq!(ivf.n_items(), 300);
+        assert_eq!(ivf.dim(), 6);
+        let mut all: Vec<u32> = (0..16).flat_map(|c| ivf.cell(c).iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<u32>>());
+        for c in 0..16 {
+            assert!(
+                ivf.cell(c).windows(2).all(|w| w[0] < w[1]),
+                "cell {c} not ascending"
+            );
+        }
+    }
+
+    #[test]
+    fn nlist_clamps_to_catalog() {
+        let idx = index(2, 5, 3, 3);
+        let ivf = IvfIndex::build(
+            &idx,
+            &IvfParams {
+                nlist: 64,
+                iters: 2,
+                seed: 1,
+                train_cap: 0,
+            },
+        );
+        assert_eq!(ivf.nlist(), 5);
+        assert_eq!(ivf.centroid_bias().len(), 5);
+    }
+
+    #[test]
+    fn degenerate_panel_collapses_to_one_cell() {
+        // All items identical: every item lands in cell 0, the other
+        // cells are empty — queries must still work (engine tests).
+        let p = Tensor::from_fn(2, 3, |i, j| (i + j) as f64);
+        let q = Tensor::from_fn(40, 3, |_, j| j as f64 * 0.5);
+        let idx = ScoringIndex::new(p, q, vec![0.0; 2], vec![0.25; 40], 0.0);
+        let ivf = IvfIndex::build(
+            &idx,
+            &IvfParams {
+                nlist: 8,
+                iters: 3,
+                seed: 7,
+                train_cap: 0,
+            },
+        );
+        assert_eq!(ivf.cell(0).len(), 40);
+        for c in 1..ivf.nlist() {
+            assert!(ivf.cell(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let idx = index(3, 200, 5, 29);
+        let params = IvfParams {
+            nlist: 10,
+            iters: 5,
+            seed: 42,
+            train_cap: 0,
+        };
+        let a = IvfIndex::build(&idx, &params);
+        let b = IvfIndex::build(&idx, &params);
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.centroid_bias(), b.centroid_bias());
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty catalog")]
+    fn empty_catalog_panics() {
+        let idx = ScoringIndex::new(
+            Tensor::zeros(1, 2),
+            Tensor::zeros(0, 2),
+            vec![0.0],
+            vec![],
+            0.0,
+        );
+        let _ = IvfIndex::build(&idx, &IvfParams::default());
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic Lloyd's k-means: the coarse quantizer behind [`crate::IvfIndex`].
+//!
+//! Std-only and bit-reproducible by construction:
+//!
+//! * **SplitMix64-seeded init** — the initial codebook is `k` distinct
+//!   panel rows drawn by a partial Fisher–Yates shuffle over a SplitMix64
+//!   stream, so the same `(seed, shape)` always picks the same rows;
+//! * **fixed iteration count** — no data-dependent early exit, so every
+//!   run executes the same arithmetic;
+//! * **pool-parallel assignment through the blocked GEMM**
+//!   ([`dt_tensor::cluster::assign_nearest`]), deterministic for any
+//!   `DT_NUM_THREADS`;
+//! * **sequential ascending update** — per-cluster sums accumulate rows
+//!   in ascending row order on the calling thread, one fixed float
+//!   association order;
+//! * **empty clusters keep their previous centroid** (no reseeding), so
+//!   degenerate panels — e.g. every item identical — are total: all rows
+//!   collapse onto the lowest-id centroid and the rest go unused.
+//!
+//! Training may run on a deterministic strided subsample
+//! ([`KmeansConfig::train_cap`]) — standard coarse-quantizer practice —
+//! but the *final* assignment always covers the full panel.
+
+use dt_tensor::cluster::assign_nearest;
+use dt_tensor::Tensor;
+
+/// Hyper-parameters of one k-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansConfig {
+    /// Number of centroids requested; clamped to the panel height.
+    pub k: usize,
+    /// Lloyd iterations, executed exactly (no early exit).
+    pub iters: usize,
+    /// SplitMix64 seed for the initial codebook.
+    pub seed: u64,
+    /// Train on at most this many rows (deterministic stride over the
+    /// panel); `0` trains on every row. The final assignment is always
+    /// over the full panel.
+    pub train_cap: usize,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 256,
+            iters: 8,
+            seed: 0x5EED_1DF5,
+            train_cap: 1 << 17,
+        }
+    }
+}
+
+/// A trained codebook: `k_eff × dim` centroids plus the nearest-centroid
+/// id of every panel row.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// The centroid panel (`k_eff` rows — [`KmeansConfig::k`] clamped to
+    /// the input height).
+    pub centroids: Tensor,
+    /// `assignments[i]` = centroid id of panel row `i`.
+    pub assignments: Vec<u32>,
+}
+
+/// SplitMix64: the 64-bit mixing PRNG (Steele et al., "Fast splittable
+/// pseudorandom number generators") — tiny, full-period, seed-robust.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` by multiply-shift (n must be positive).
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "SplitMix64::next_below: empty range");
+        (((u128::from(self.next_u64()) * n as u128) >> 64) as u64) as usize
+    }
+}
+
+/// `k` distinct indices from `0..n` via a partial Fisher–Yates shuffle
+/// (sparse swap map, O(k) memory). Deterministic in `(seed, n, k)`.
+fn distinct_indices(rng: &mut SplitMix64, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = i + rng.next_below(n - i);
+        let pick = *swaps.get(&j).unwrap_or(&j);
+        let cur_i = *swaps.get(&i).unwrap_or(&i);
+        swaps.insert(j, cur_i);
+        out.push(pick);
+    }
+    out
+}
+
+/// Runs Lloyd's k-means over the rows of `panel`.
+///
+/// # Panics
+/// Panics when the panel is empty or `cfg.k == 0`.
+#[must_use]
+pub fn run(panel: &Tensor, cfg: &KmeansConfig) -> Kmeans {
+    let n = panel.rows();
+    let dim = panel.cols();
+    assert!(n > 0, "kmeans: empty panel");
+    assert!(cfg.k > 0, "kmeans: k must be positive");
+    let k = cfg.k.min(n);
+
+    // Initial codebook: k distinct panel rows.
+    let mut rng = SplitMix64(cfg.seed);
+    let init = distinct_indices(&mut rng, n, k);
+    let mut centroids = panel.gather_rows(&init).pooled_clone();
+
+    // Deterministic strided training subsample.
+    let train: Tensor;
+    let train_panel = if cfg.train_cap > 0 && n > cfg.train_cap {
+        let idx: Vec<usize> = (0..cfg.train_cap).map(|i| i * n / cfg.train_cap).collect();
+        train = panel.gather_rows(&idx).pooled_clone();
+        &train
+    } else {
+        panel
+    };
+
+    let mut assign: Vec<u32> = Vec::new();
+    let mut counts: Vec<u64> = vec![0; k];
+    for _ in 0..cfg.iters {
+        assign_nearest(train_panel, &centroids, &mut assign);
+        let mut sums = Tensor::pooled_zeros(k, dim);
+        counts.fill(0);
+        for (r, &a) in assign.iter().enumerate() {
+            counts[a as usize] += 1;
+            for (s, v) in sums.row_mut(a as usize).iter_mut().zip(train_panel.row(r)) {
+                *s += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f64;
+                for (dst, s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *dst = s * inv;
+                }
+            }
+            // count == 0: keep the previous centroid (empty cell).
+        }
+        sums.recycle();
+    }
+
+    let mut assignments = Vec::new();
+    assign_nearest(panel, &centroids, &mut assignments);
+    Kmeans {
+        centroids,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = SplitMix64(seed);
+        Tensor::from_fn(rows, cols, |_, _| {
+            rng.next_u64() as f64 / u64::MAX as f64 - 0.5
+        })
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs for seed 1234567 (published SplitMix64 vectors).
+        let mut rng = SplitMix64(1_234_567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = SplitMix64(99);
+        for (n, k) in [(10, 10), (100, 7), (3, 1), (5, 5)] {
+            let idx = distinct_indices(&mut rng, n, k);
+            assert_eq!(idx.len(), k);
+            assert!(idx.iter().all(|&i| i < n));
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {idx:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result_different_seed_differs() {
+        let p = panel(120, 5, 3);
+        let cfg = KmeansConfig {
+            k: 8,
+            iters: 5,
+            seed: 42,
+            train_cap: 0,
+        };
+        let a = run(&p, &cfg);
+        let b = run(&p, &cfg);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+        let c = run(&p, &KmeansConfig { seed: 43, ..cfg });
+        assert_ne!(a.assignments, c.assignments);
+    }
+
+    #[test]
+    fn assignments_cover_every_row_and_valid_ids() {
+        let p = panel(200, 4, 7);
+        let km = run(
+            &p,
+            &KmeansConfig {
+                k: 16,
+                iters: 4,
+                seed: 1,
+                train_cap: 0,
+            },
+        );
+        assert_eq!(km.assignments.len(), 200);
+        assert!(km.assignments.iter().all(|&a| (a as usize) < 16));
+        assert_eq!(km.centroids.rows(), 16);
+        assert_eq!(km.centroids.cols(), 4);
+    }
+
+    #[test]
+    fn k_clamps_to_panel_height() {
+        let p = panel(3, 2, 5);
+        let km = run(
+            &p,
+            &KmeansConfig {
+                k: 10,
+                iters: 2,
+                seed: 1,
+                train_cap: 0,
+            },
+        );
+        assert_eq!(km.centroids.rows(), 3);
+    }
+
+    #[test]
+    fn identical_rows_collapse_to_one_cluster() {
+        // Degenerate panel: every row equal. All assignments land on the
+        // lowest centroid id; the rest of the codebook goes unused.
+        let p = Tensor::from_fn(50, 3, |_, j| j as f64 + 1.0);
+        let km = run(
+            &p,
+            &KmeansConfig {
+                k: 4,
+                iters: 3,
+                seed: 9,
+                train_cap: 0,
+            },
+        );
+        assert!(
+            km.assignments.iter().all(|&a| a == 0),
+            "{:?}",
+            km.assignments
+        );
+    }
+
+    #[test]
+    fn well_separated_blobs_are_recovered() {
+        // Two tight blobs far apart: with k = 2 every blob maps to one
+        // cluster and the two clusters differ.
+        let p = Tensor::from_fn(60, 2, |i, j| {
+            let base = if i < 30 { 0.0 } else { 100.0 };
+            base + ((i * 7 + j) % 5) as f64 * 0.01
+        });
+        let km = run(
+            &p,
+            &KmeansConfig {
+                k: 2,
+                iters: 6,
+                seed: 3,
+                train_cap: 0,
+            },
+        );
+        let first = km.assignments[0];
+        let second = km.assignments[59];
+        assert_ne!(first, second);
+        assert!(km.assignments[..30].iter().all(|&a| a == first));
+        assert!(km.assignments[30..].iter().all(|&a| a == second));
+    }
+
+    #[test]
+    fn train_cap_subsample_still_assigns_full_panel() {
+        let p = panel(500, 3, 11);
+        let km = run(
+            &p,
+            &KmeansConfig {
+                k: 6,
+                iters: 3,
+                seed: 5,
+                train_cap: 64,
+            },
+        );
+        assert_eq!(km.assignments.len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty panel")]
+    fn empty_panel_panics() {
+        let _ = run(&Tensor::zeros(0, 3), &KmeansConfig::default());
+    }
+}

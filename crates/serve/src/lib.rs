@@ -26,12 +26,23 @@
 //! Every stage is bit-identical for any `DT_NUM_THREADS` and for pooled
 //! vs fresh buffers: chunk geometry derives from shapes only, and ties
 //! break by ascending item id (never by arrival order).
+//!
+//! For catalogs where even one blocked pass over all M items is too slow,
+//! the [`IvfIndex`] coarse quantizer (DESIGN.md section 13) trades a
+//! little recall for sublinear candidate generation: deterministic
+//! k-means cells over the bias-augmented item panel, probed per user and
+//! reranked **exactly** through the same scoring kernels —
+//! [`RetrievalMode::Ivf`] with a shortfall fallback that degrades to
+//! exact rather than under-filling a stripe.
 
 #![forbid(unsafe_code)]
 
 mod engine;
 mod index;
+mod ivf;
+pub mod kmeans;
 
 pub use dt_tensor::topk::Ranked;
-pub use engine::{TopKBatch, TopKEngine, DEFAULT_BLOCK_ELEMS};
+pub use engine::{IvfScratch, RetrievalMode, TopKBatch, TopKEngine, DEFAULT_BLOCK_ELEMS};
 pub use index::{ScoringIndex, SeenLists};
+pub use ivf::{IvfIndex, IvfParams};

@@ -1,0 +1,353 @@
+//! Std-only IVF retrieval tests (the offline verification shim runs this
+//! file verbatim): the IVF arm against a sort oracle over the probed
+//! candidate set, full-probe == exact bit-equality, bit-identity across
+//! `DT_NUM_THREADS` 1/2/8, pooled-vs-fresh equivalence, and the
+//! degenerate-panel / shortfall edge cases. The `proptest` variants live
+//! in `kmeans_props.rs` (full workspace only).
+
+use dt_serve::{
+    IvfIndex, IvfParams, IvfScratch, Ranked, RetrievalMode, ScoringIndex, SeenLists, TopKBatch,
+    TopKEngine,
+};
+use dt_tensor::topk::rank_cmp;
+use dt_tensor::Tensor;
+
+/// Deterministic xorshift64* stream, as in the bench emitters.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+    }
+}
+
+fn random_index(n_users: usize, n_items: usize, dim: usize, seed: u64) -> ScoringIndex {
+    let mut rng = XorShift(seed | 1);
+    let p = Tensor::from_fn(n_users, dim, |_, _| rng.next_f64());
+    let q = Tensor::from_fn(n_items, dim, |_, _| rng.next_f64());
+    let ub: Vec<f64> = (0..n_users).map(|_| rng.next_f64() * 0.2).collect();
+    let ib: Vec<f64> = (0..n_items).map(|_| rng.next_f64() * 0.2).collect();
+    let mu = rng.next_f64();
+    ScoringIndex::new(p, q, ub, ib, mu)
+}
+
+fn random_seen(n_users: usize, n_items: usize, per_user: usize, seed: u64) -> SeenLists {
+    let mut rng = XorShift(seed | 1);
+    let mut pairs = Vec::new();
+    for u in 0..n_users {
+        for _ in 0..rng.next_below(per_user + 1) {
+            pairs.push((u as u32, rng.next_below(n_items) as u32));
+        }
+    }
+    SeenLists::from_pairs(n_users, pairs)
+}
+
+fn build_ivf(index: &ScoringIndex, nlist: usize, seed: u64) -> IvfIndex {
+    IvfIndex::build(
+        index,
+        &IvfParams {
+            nlist,
+            iters: 5,
+            seed,
+            train_cap: 0,
+        },
+    )
+}
+
+fn ivf_query(
+    index: &ScoringIndex,
+    ivf: &IvfIndex,
+    nprobe: usize,
+    users: &[usize],
+    k: usize,
+    seen: Option<&SeenLists>,
+) -> TopKBatch {
+    let mut out = TopKBatch::new();
+    let mut scratch = IvfScratch::default();
+    TopKEngine::new().recommend_ivf_into(
+        index,
+        ivf,
+        nprobe,
+        users,
+        k,
+        seen,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+fn assert_batches_bit_equal(a: &TopKBatch, b: &TopKBatch, what: &str) {
+    assert_eq!(a.n_users(), b.n_users(), "{what}: stripe count");
+    for j in 0..a.n_users() {
+        let (x, y) = (a.user(j), b.user(j));
+        assert_eq!(x.len(), y.len(), "{what}: user-slot {j}");
+        for (g, w) in x.iter().zip(y) {
+            assert_eq!(g.item, w.item, "{what}: user-slot {j}");
+            assert_eq!(
+                g.score.to_bits(),
+                w.score.to_bits(),
+                "{what}: user-slot {j}"
+            );
+        }
+    }
+}
+
+/// Independent reimplementation of the probe-and-rerank contract with
+/// full sorts instead of heaps and the full block kernel instead of the
+/// pair kernel: rank cells by `pᵤ·c_dir + c_bias`, take the best
+/// `nprobe` (widening while fewer than `k` unseen candidates survive),
+/// then rank the candidate set by its exact block scores.
+fn oracle_ivf(
+    index: &ScoringIndex,
+    ivf: &IvfIndex,
+    nprobe: usize,
+    user: usize,
+    k: usize,
+    seen: &[u32],
+) -> Vec<Ranked> {
+    let nlist = ivf.nlist();
+    let aff =
+        dt_tensor::scoring::score_user_block(index.user_panel(), ivf.centroids(), &[user], None);
+    let mut cells: Vec<Ranked> = aff
+        .row(0)
+        .iter()
+        .zip(ivf.centroid_bias())
+        .enumerate()
+        .map(|(c, (a, b))| Ranked {
+            item: c as u32,
+            score: a + b,
+        })
+        .collect();
+    aff.recycle();
+    cells.sort_by(rank_cmp);
+
+    let mut probe = nprobe.clamp(1, nlist);
+    let cand: Vec<u32> = loop {
+        let mut cand: Vec<u32> = cells[..probe]
+            .iter()
+            .flat_map(|c| ivf.cell(c.item as usize).iter().copied())
+            .filter(|i| seen.binary_search(i).is_err())
+            .collect();
+        cand.sort_unstable();
+        if cand.len() >= k || probe == nlist {
+            break cand;
+        }
+        probe = (probe * 2).min(nlist);
+    };
+
+    let block = index.score_block(&[user]);
+    let mut ranked: Vec<Ranked> = cand
+        .iter()
+        .map(|&i| Ranked {
+            item: i,
+            score: block.row(0)[i as usize],
+        })
+        .collect();
+    block.recycle();
+    ranked.sort_by(rank_cmp);
+    ranked.truncate(k);
+    ranked
+}
+
+#[test]
+fn ivf_matches_probed_candidate_sort_oracle() {
+    let (n_users, n_items) = (19, 347);
+    let index = random_index(n_users, n_items, 8, 0xC0FFEE);
+    let seen = random_seen(n_users, n_items, 30, 0xFEED);
+    let ivf = build_ivf(&index, 12, 3);
+    let users: Vec<usize> = (0..40).map(|j| (j * 11) % n_users).collect();
+    for nprobe in [1, 3, 12] {
+        for k in [1, 7, 50] {
+            let batch = ivf_query(&index, &ivf, nprobe, &users, k, Some(&seen));
+            for (j, &u) in users.iter().enumerate() {
+                let want = oracle_ivf(&index, &ivf, nprobe, u, k, seen.seen(u));
+                let got = batch.user(j);
+                assert_eq!(got.len(), want.len(), "nprobe={nprobe} k={k} user={u}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.item, w.item, "nprobe={nprobe} k={k} user={u}");
+                    assert_eq!(
+                        g.score.to_bits(),
+                        w.score.to_bits(),
+                        "nprobe={nprobe} k={k} user={u}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_probe_equals_exact_engine_bitwise() {
+    let (n_users, n_items) = (13, 401);
+    let index = random_index(n_users, n_items, 6, 0xBEEF);
+    let seen = random_seen(n_users, n_items, 25, 0xD00D);
+    let ivf = build_ivf(&index, 16, 9);
+    let users: Vec<usize> = (0..24).map(|j| (j * 5) % n_users).collect();
+    let engine = TopKEngine::new();
+    for k in [1, 10, 401, 450] {
+        let exact = engine.recommend(&index, &users, k, Some(&seen));
+        let via_ivf = ivf_query(&index, &ivf, 16, &users, k, Some(&seen));
+        assert_batches_bit_equal(&exact, &via_ivf, &format!("k={k}"));
+    }
+}
+
+#[test]
+fn ivf_is_bit_identical_across_thread_widths() {
+    let (n_users, n_items) = (17, 523);
+    let index = random_index(n_users, n_items, 9, 0xACE);
+    let seen = random_seen(n_users, n_items, 15, 0xCAFE);
+    let users: Vec<usize> = (0..32).map(|j| (j * 3) % n_users).collect();
+    // Build AND query under each width: both phases must be
+    // width-independent for the end-to-end claim to hold.
+    let run = || {
+        let ivf = build_ivf(&index, 20, 5);
+        ivf_query(&index, &ivf, 4, &users, 10, Some(&seen))
+    };
+    let baseline = dt_parallel::with_thread_limit(1, run);
+    for width in [2, 8] {
+        let wide = dt_parallel::with_thread_limit(width, run);
+        assert_batches_bit_equal(&baseline, &wide, &format!("width {width}"));
+    }
+}
+
+#[test]
+fn pooled_and_fresh_buffers_agree_bitwise() {
+    let index = random_index(11, 211, 7, 0x5AFE);
+    let users: Vec<usize> = (0..20).map(|j| (j * 7) % 11).collect();
+    let run = || {
+        let ivf = build_ivf(&index, 8, 13);
+        ivf_query(&index, &ivf, 2, &users, 9, None)
+    };
+    let pooled = run();
+    let fresh = dt_tensor::pool::with_disabled(run);
+    assert_batches_bit_equal(&pooled, &fresh, "pooled vs fresh");
+}
+
+#[test]
+fn degenerate_panel_collapses_cells_yet_serves_exactly() {
+    // All items identical: k-means leaves every item in cell 0 and the
+    // other cells empty. nprobe = 1 already covers the catalog, so the
+    // result must equal the exact engine's (which here is a pure
+    // item-id tie-break ladder).
+    let p = Tensor::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.1);
+    let q = Tensor::from_fn(120, 4, |_, j| 0.3 - j as f64 * 0.05);
+    let index = ScoringIndex::new(p, q, vec![0.0; 3], vec![0.125; 120], 0.7);
+    let ivf = build_ivf(&index, 10, 21);
+    assert_eq!(ivf.nlist(), 10);
+    let exact = TopKEngine::new().recommend(&index, &[0, 2, 1], 6, None);
+    let got = ivf_query(&index, &ivf, 1, &[0, 2, 1], 6, None);
+    assert_batches_bit_equal(&exact, &got, "degenerate panel");
+}
+
+#[test]
+fn all_candidates_seen_widens_then_returns_short_stripes() {
+    let (n_users, n_items) = (3, 60);
+    let index = random_index(n_users, n_items, 5, 0xF00);
+    let ivf = build_ivf(&index, 6, 2);
+    // User 0 has seen everything; user 1 everything but item 7.
+    let mut pairs: Vec<(u32, u32)> = (0..n_items as u32).map(|i| (0, i)).collect();
+    pairs.extend((0..n_items as u32).filter(|&i| i != 7).map(|i| (1, i)));
+    let seen = SeenLists::from_pairs(n_users, pairs);
+    let batch = ivf_query(&index, &ivf, 1, &[0, 1, 2], 5, Some(&seen));
+    assert!(batch.user(0).is_empty());
+    let u1: Vec<u32> = batch.user(1).iter().map(|r| r.item).collect();
+    assert_eq!(u1, vec![7]);
+    assert_eq!(batch.user(2).len(), 5);
+}
+
+#[test]
+fn k_at_least_catalog_degrades_to_exact_minus_seen() {
+    let index = random_index(5, 37, 4, 0xB00);
+    let ivf = build_ivf(&index, 5, 4);
+    let seen = SeenLists::from_pairs(5, vec![(2, 0), (2, 36)]);
+    let engine = TopKEngine::new();
+    for k in [37, 64] {
+        let exact = engine.recommend(&index, &[2, 4], k, Some(&seen));
+        let got = ivf_query(&index, &ivf, 1, &[2, 4], k, Some(&seen));
+        assert_batches_bit_equal(&exact, &got, &format!("k={k}"));
+    }
+}
+
+#[test]
+fn mode_dispatch_and_reused_scratch_match_fresh() {
+    let index = random_index(9, 150, 6, 0x9A);
+    let ivf = build_ivf(&index, 10, 6);
+    let seen = random_seen(9, 150, 10, 0x77);
+    let engine = TopKEngine::new().with_mode(RetrievalMode::Ivf {
+        nlist: 10,
+        nprobe: 3,
+    });
+    assert_eq!(
+        engine.mode(),
+        RetrievalMode::Ivf {
+            nlist: 10,
+            nprobe: 3
+        }
+    );
+    let mut scratch = IvfScratch::default();
+    let mut reused = TopKBatch::new();
+    // Different geometries through one scratch: stale state must not leak.
+    engine.retrieve_into(
+        &index,
+        Some(&ivf),
+        &[0, 1, 2, 3],
+        12,
+        Some(&seen),
+        &mut scratch,
+        &mut reused,
+    );
+    engine.retrieve_into(
+        &index,
+        Some(&ivf),
+        &[8, 8, 5],
+        4,
+        Some(&seen),
+        &mut scratch,
+        &mut reused,
+    );
+    let fresh = ivf_query(&index, &ivf, 3, &[8, 8, 5], 4, Some(&seen));
+    assert_batches_bit_equal(&fresh, &reused, "reused scratch");
+}
+
+#[test]
+fn recall_improves_monotonically_to_one_at_full_probe() {
+    // Recall@10 against the exact arm must hit 1.0 at nprobe = nlist and
+    // be non-trivial even at nprobe = 1 on a smooth random panel.
+    let (n_users, n_items) = (16, 600);
+    let index = random_index(n_users, n_items, 8, 0x1DEA);
+    let ivf = build_ivf(&index, 16, 8);
+    let users: Vec<usize> = (0..n_users).collect();
+    let k = 10;
+    let exact = TopKEngine::new().recommend(&index, &users, k, None);
+    let recall_at = |nprobe: usize| -> f64 {
+        let got = ivf_query(&index, &ivf, nprobe, &users, k, None);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for j in 0..users.len() {
+            let truth: Vec<u32> = exact.user(j).iter().map(|r| r.item).collect();
+            total += truth.len();
+            hit += got
+                .user(j)
+                .iter()
+                .filter(|r| truth.contains(&r.item))
+                .count();
+        }
+        hit as f64 / total as f64
+    };
+    let r1 = recall_at(1);
+    let r16 = recall_at(16);
+    assert!((r16 - 1.0).abs() < f64::EPSILON, "full probe recall {r16}");
+    assert!(r1 > 0.2, "nprobe=1 recall suspiciously low: {r1}");
+    assert!(r1 <= r16 + f64::EPSILON);
+}

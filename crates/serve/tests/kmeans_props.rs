@@ -1,0 +1,137 @@
+//! Property tests for the IVF coarse quantizer: k-means bit-identity
+//! across thread widths and pooled-vs-fresh buffers, and the IVF arm
+//! against the `top_k_by_sort` oracle on the probed candidate set.
+//!
+//! Needs the `proptest` crate, so this file only compiles in the full
+//! workspace; the offline shim covers the same ground with the
+//! deterministic randomized sweeps in `ivf_oracle.rs`.
+
+use proptest::prelude::*;
+
+use dt_serve::kmeans::{self, KmeansConfig};
+use dt_serve::{IvfIndex, IvfParams, IvfScratch, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_tensor::{reference, Tensor};
+
+fn tensor_from(values: &[f64], rows: usize, cols: usize, fill: f64) -> Tensor {
+    Tensor::from_fn(rows, cols, |i, j| {
+        values.get(i * cols + j).copied().unwrap_or(fill)
+    })
+}
+
+proptest! {
+    /// Same seed + shapes ⇒ identical centroids and assignments at
+    /// widths 1, 2 and 8, and with the buffer pool disabled entirely.
+    #[test]
+    fn kmeans_is_bit_identical_across_widths_and_pools(
+        rows in 1usize..120,
+        cols in 1usize..6,
+        k in 1usize..20,
+        iters in 1usize..5,
+        seed in any::<u64>(),
+        values in prop::collection::vec(-1.0f64..1.0, 600),
+    ) {
+        let panel = tensor_from(&values, rows, cols, 0.41);
+        let cfg = KmeansConfig { k, iters, seed, train_cap: 0 };
+        let base = dt_parallel::with_thread_limit(1, || kmeans::run(&panel, &cfg));
+        for width in [2usize, 8] {
+            let wide = dt_parallel::with_thread_limit(width, || kmeans::run(&panel, &cfg));
+            prop_assert_eq!(&base.centroids, &wide.centroids, "width {}", width);
+            prop_assert_eq!(&base.assignments, &wide.assignments, "width {}", width);
+        }
+        let fresh = dt_tensor::pool::with_disabled(|| kmeans::run(&panel, &cfg));
+        prop_assert_eq!(&base.centroids, &fresh.centroids);
+        prop_assert_eq!(&base.assignments, &fresh.assignments);
+    }
+
+    /// The IVF arm equals `top_k_by_sort` restricted to the probed
+    /// candidate set (reconstructed independently from the public cell
+    /// API), for random shapes, probes and seen-lists — and is
+    /// width-independent end to end.
+    #[test]
+    fn ivf_matches_sort_oracle_on_probed_candidates(
+        n_users in 1usize..6,
+        n_items in 1usize..60,
+        dim in 1usize..4,
+        nlist in 1usize..10,
+        nprobe in 1usize..12,
+        k in 0usize..20,
+        values in prop::collection::vec(-1.0f64..1.0, 500),
+        seen_raw in prop::collection::vec((0usize..6, 0u32..60), 0..25),
+    ) {
+        let mut it = values.iter().copied();
+        let mut next = move || it.next().unwrap_or(0.23);
+        let p = Tensor::from_fn(n_users, dim, |_, _| next());
+        let q = Tensor::from_fn(n_items, dim, |_, _| next());
+        let ub: Vec<f64> = (0..n_users).map(|_| next()).collect();
+        let ib: Vec<f64> = (0..n_items).map(|_| next()).collect();
+        let index = ScoringIndex::new(p, q, ub, ib, next());
+        let seen = SeenLists::from_pairs(
+            n_users,
+            seen_raw
+                .into_iter()
+                .filter(|&(u, i)| u < n_users && (i as usize) < n_items)
+                .map(|(u, i)| (u as u32, i)),
+        );
+        let ivf = IvfIndex::build(
+            &index,
+            &IvfParams { nlist, iters: 3, seed: 11, train_cap: 0 },
+        );
+        let users: Vec<usize> = (0..n_users).collect();
+
+        let run = || {
+            let mut out = TopKBatch::new();
+            let mut scratch = IvfScratch::default();
+            TopKEngine::new().recommend_ivf_into(
+                &index, &ivf, nprobe, &users, k, Some(&seen), &mut scratch, &mut out,
+            );
+            out
+        };
+        let batch = dt_parallel::with_thread_limit(1, run);
+        let wide = dt_parallel::with_thread_limit(8, run);
+
+        for (j, &u) in users.iter().enumerate() {
+            prop_assert_eq!(batch.user(j), wide.user(j), "width mismatch, user {}", u);
+
+            // Reconstruct the probed candidate set: rank cells by
+            // centroid score, widen on shortfall exactly as documented.
+            let aff = dt_tensor::scoring::score_user_block(
+                index.user_panel(), ivf.centroids(), &[u], None,
+            );
+            let cell_scores: Vec<f64> = aff
+                .row(0)
+                .iter()
+                .zip(ivf.centroid_bias())
+                .map(|(a, b)| a + b)
+                .collect();
+            aff.recycle();
+            let nl = ivf.nlist();
+            let mut probe = nprobe.clamp(1, nl);
+            let cand: Vec<u32> = loop {
+                let cells = reference::top_k_by_sort(&cell_scores, probe, &[]);
+                let mut cand: Vec<u32> = cells
+                    .iter()
+                    .flat_map(|c| ivf.cell(c.item as usize).iter().copied())
+                    .filter(|i| seen.seen(u).binary_search(i).is_err())
+                    .collect();
+                cand.sort_unstable();
+                if cand.len() >= k || probe == nl {
+                    break cand;
+                }
+                probe = (probe * 2).min(nl);
+            };
+
+            // Oracle: full-sort the candidate set by its exact block
+            // scores (exclude = the catalog minus the candidates).
+            let block = index.score_block(&[u]);
+            let mut exclude: Vec<u32> = (0..n_items as u32)
+                .filter(|i| cand.binary_search(i).is_err())
+                .collect();
+            exclude.sort_unstable();
+            let want = reference::top_k_by_sort(block.row(0), k, &exclude);
+            block.recycle();
+            if k > 0 {
+                prop_assert_eq!(batch.user(j), &want[..], "user {}", u);
+            }
+        }
+    }
+}

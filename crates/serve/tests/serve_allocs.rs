@@ -3,15 +3,19 @@
 //! from the free lists — zero fresh allocations per query batch.
 //!
 //! Lives in its own integration-test binary because the pool counters are
-//! process-global: sibling tests running on other harness threads would
-//! pollute the deltas.
+//! process-global; the tests here additionally serialize on a mutex so
+//! their stat deltas never interleave.
 
-use dt_serve::{ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use std::sync::Mutex;
+
+use dt_serve::{IvfIndex, IvfParams, IvfScratch, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
 use dt_tensor::{pool, Tensor};
 
-#[test]
-fn steady_state_queries_allocate_nothing() {
-    let (n_users, n_items, dim) = (64, 4096, 16);
+/// Serializes the pool-stat probes: the counters are process-global, so
+/// the exact and IVF tests must not run concurrently.
+static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+fn build_index(n_users: usize, n_items: usize, dim: usize) -> ScoringIndex {
     let mut state = 0x9E37_79B9u64;
     let mut next = move || {
         state ^= state << 13;
@@ -21,13 +25,14 @@ fn steady_state_queries_allocate_nothing() {
     };
     let p = Tensor::from_fn(n_users, dim, |_, _| next());
     let q = Tensor::from_fn(n_items, dim, |_, _| next());
-    let index = ScoringIndex::new(
-        p,
-        q,
-        vec![0.01; n_users],
-        vec![-0.01; n_items],
-        0.5,
-    );
+    ScoringIndex::new(p, q, vec![0.01; n_users], vec![-0.01; n_items], 0.5)
+}
+
+#[test]
+fn steady_state_queries_allocate_nothing() {
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 4096);
+    let index = build_index(n_users, n_items, 16);
     let seen = SeenLists::from_pairs(n_users, (0..n_users as u32).map(|u| (u, u * 3)));
     let users: Vec<usize> = (0..48).map(|j| (j * 5) % n_users).collect();
 
@@ -51,4 +56,65 @@ fn steady_state_queries_allocate_nothing() {
         after.pool_hits > before.pool_hits,
         "queries should be served from the free lists"
     );
+    drop(guard);
+}
+
+#[test]
+fn steady_state_ivf_queries_allocate_nothing() {
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 4096);
+    let index = build_index(n_users, n_items, 16);
+    let seen = SeenLists::from_pairs(n_users, (0..n_users as u32).map(|u| (u, u * 5)));
+    let users: Vec<usize> = (0..48).map(|j| (j * 7) % n_users).collect();
+    // Build is a cold path and may allocate; it happens before the probe.
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 32,
+            iters: 4,
+            seed: 3,
+            train_cap: 0,
+        },
+    );
+
+    let engine = TopKEngine::new();
+    let mut batch = TopKBatch::new();
+    let mut scratch = IvfScratch::default();
+    // Warm-up grows the scratch vectors to steady-state capacity. Probe
+    // width 4 exercises the gather + rerank path, not the exact fallback.
+    engine.recommend_ivf_into(
+        &index,
+        &ivf,
+        4,
+        &users,
+        10,
+        Some(&seen),
+        &mut scratch,
+        &mut batch,
+    );
+
+    let before = pool::stats();
+    for _ in 0..5 {
+        engine.recommend_ivf_into(
+            &index,
+            &ivf,
+            4,
+            &users,
+            10,
+            Some(&seen),
+            &mut scratch,
+            &mut batch,
+        );
+    }
+    let after = pool::stats();
+    assert_eq!(
+        after.fresh_allocs - before.fresh_allocs,
+        0,
+        "steady-state IVF batches must not allocate (stats {after:?} vs {before:?})"
+    );
+    assert!(
+        after.pool_hits > before.pool_hits,
+        "IVF queries should be served from the free lists"
+    );
+    drop(guard);
 }

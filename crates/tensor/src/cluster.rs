@@ -1,0 +1,229 @@
+//! Coarse-quantizer kernels: blocked centroid distances and deterministic
+//! argmin assignment.
+//!
+//! The IVF retrieval layer (`dt-serve`, DESIGN.md section 13) partitions
+//! the item panel with Lloyd's k-means. The per-iteration hot loop is the
+//! assignment step — for every panel row, the index of the nearest
+//! centroid under squared Euclidean distance — which this module runs
+//! through the same blocked, pool-parallel GEMM as scoring:
+//!
+//! ```text
+//! ‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²
+//! ```
+//!
+//! `‖x‖²` is constant per row and drops out of the argmin, so one
+//! `X · Cᵀ` gather-GEMM plus a per-row scan over `‖c_j‖² − 2·S[r,j]`
+//! decides every assignment.
+//!
+//! ## Determinism
+//!
+//! Bit-identical assignments for any `DT_NUM_THREADS`: the GEMM is
+//! deterministic per the `gemm` module contract, `‖c‖²` is a sequential
+//! ascending sum per centroid, row blocks are a function of shapes only,
+//! and the argmin scans centroids in ascending id with a strict `<`
+//! update — ties keep the lowest centroid id, so the result is a pure
+//! function of the score matrix. Comparisons treat NaN distances as
+//! never-nearer (a NaN row keeps centroid 0), which cannot occur for
+//! finite panels but keeps the kernel total.
+
+use crate::Tensor;
+
+/// Score-matrix budget (elements) per assignment block, matching the
+/// serving engine's default: at `nlist = 1024` a block covers 4096 rows
+/// (32 MiB of scores); small codebooks batch far more.
+pub const ASSIGN_BLOCK_ELEMS: usize = 1 << 22;
+
+/// Rows per parallel argmin task unit — a shape constant, never a
+/// thread-count function, so chunk geometry is width-independent.
+const ARGMIN_CHUNK: usize = 256;
+
+/// Writes the squared L2 norm of every row of `t` into `out` (cleared
+/// and resized). Sequential ascending accumulation per row.
+pub fn row_sq_norms(t: &Tensor, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(t.rows(), 0.0);
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for v in t.row(i) {
+            s += v * v;
+        }
+        *o = s;
+    }
+}
+
+/// Assigns every row of `x` to its nearest centroid (squared Euclidean
+/// distance, ties to the lowest centroid id), writing one centroid id per
+/// row into `out` (cleared and resized). Blocked `X · Cᵀ` through the
+/// pooled gather-GEMM; bit-identical at any thread count (module docs).
+///
+/// # Panics
+/// Panics when the widths disagree, `centroids` is empty, or the
+/// centroid count overflows `u32`.
+pub fn assign_nearest(x: &Tensor, centroids: &Tensor, out: &mut Vec<u32>) {
+    assert_eq!(
+        x.cols(),
+        centroids.cols(),
+        "assign_nearest: width mismatch {} vs {}",
+        x.cols(),
+        centroids.cols()
+    );
+    assert!(
+        centroids.rows() > 0,
+        "assign_nearest: need at least one centroid"
+    );
+    assert!(
+        (centroids.rows() as u64) < u64::from(u32::MAX),
+        "assign_nearest: {} centroids overflow u32 ids",
+        centroids.rows()
+    );
+    let n = x.rows();
+    let nlist = centroids.rows();
+    out.clear();
+    out.resize(n, 0);
+    if n == 0 {
+        return;
+    }
+    let mut cnorm = crate::pool::take(nlist);
+    for (j, c) in cnorm.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for v in centroids.row(j) {
+            s += v * v;
+        }
+        *c = s;
+    }
+    let block = (ASSIGN_BLOCK_ELEMS / nlist).max(1);
+    let mut idx: Vec<usize> = Vec::with_capacity(block.min(n)); // alloc-ok: one gather-index list per call, reused across blocks
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + block).min(n);
+        idx.clear();
+        idx.extend(lo..hi);
+        let xb = x.gather_rows(&idx);
+        let scores = xb.matmul_nt(centroids);
+        xb.recycle();
+        let cn = &cnorm;
+        let s = &scores;
+        dt_parallel::for_each_chunk(&mut out[lo..hi], ARGMIN_CHUNK, |ci, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let row = s.row(ci * ARGMIN_CHUNK + off);
+                let mut best = 0u32;
+                let mut best_d = cn[0] - 2.0 * row[0];
+                for (j, (&sc, &c)) in row.iter().zip(cn.iter()).enumerate().skip(1) {
+                    let d = c - 2.0 * sc;
+                    if d < best_d {
+                        best_d = d;
+                        best = j as u32;
+                    }
+                }
+                *slot = best;
+            }
+        });
+        scores.recycle();
+        lo = hi;
+    }
+    crate::pool::recycle(cnorm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    /// Naive per-row full-distance argmin (includes the ‖x‖² term the
+    /// kernel drops — the argmin must agree).
+    fn naive_assign(x: &Tensor, c: &Tensor) -> Vec<u32> {
+        (0..x.rows())
+            .map(|r| {
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for j in 0..c.rows() {
+                    let d: f64 = x
+                        .row(r)
+                        .iter()
+                        .zip(c.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j as u32;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_full_distance_argmin() {
+        let x = panel(257, 7, 11);
+        let c = panel(9, 7, 23);
+        let mut got = Vec::new();
+        assign_nearest(&x, &c, &mut got);
+        assert_eq!(got, naive_assign(&x, &c));
+    }
+
+    #[test]
+    fn ties_pick_lowest_centroid_id() {
+        // Duplicate centroids: every row must land on the first copy.
+        let x = panel(40, 3, 5);
+        let one = panel(1, 3, 7);
+        let c = one.concat_rows(&one).concat_rows(&one);
+        let mut got = Vec::new();
+        assign_nearest(&x, &c, &mut got);
+        assert!(got.iter().all(|&a| a == 0), "{got:?}");
+    }
+
+    #[test]
+    fn exact_centroid_rows_assign_to_themselves() {
+        let c = panel(6, 4, 31);
+        let mut got = Vec::new();
+        assign_nearest(&c, &c, &mut got);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn widths_and_blocks_are_bit_identical() {
+        let x = panel(1500, 8, 41);
+        let c = panel(33, 8, 43);
+        let mut base = Vec::new();
+        dt_parallel::with_thread_limit(1, || assign_nearest(&x, &c, &mut base));
+        for w in [2, 8] {
+            let mut wide = Vec::new();
+            dt_parallel::with_thread_limit(w, || assign_nearest(&x, &c, &mut wide));
+            assert_eq!(base, wide, "width {w}");
+        }
+    }
+
+    #[test]
+    fn empty_input_clears_output() {
+        let x = Tensor::zeros(0, 3);
+        let c = panel(4, 3, 3);
+        let mut got = vec![9u32; 5];
+        assign_nearest(&x, &c, &mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn row_sq_norms_match_manual() {
+        let t = Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[-1.0, 2.0]]);
+        let mut out = Vec::new();
+        row_sq_norms(&t, &mut out);
+        assert_eq!(out, vec![25.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let mut out = Vec::new();
+        assign_nearest(&panel(2, 3, 1), &panel(2, 4, 2), &mut out);
+    }
+}

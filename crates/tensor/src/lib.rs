@@ -39,6 +39,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod checked;
+pub mod cluster;
 mod elementwise;
 pub mod fused;
 mod gemm;

@@ -183,6 +183,27 @@ pub fn score_pair_tuples(
     out
 }
 
+/// Scores one user against an explicit item-id list over the panel
+/// column range `cols`, reusing `out` (cleared and resized) — the
+/// candidate-rerank shape of the IVF retrieval path, where every user
+/// probes a different item subset. Bit-identical to [`score_pairs`] (and
+/// therefore to [`score_user_block`]) element-for-element, at any thread
+/// count.
+///
+/// # Panics
+/// Same contract as [`score_pairs_into`].
+pub fn score_user_items_into(
+    p: &Tensor,
+    q: &Tensor,
+    cols: Range<usize>,
+    user: usize,
+    items: &[usize],
+    biases: Option<Biases<'_>>,
+    out: &mut Vec<f64>,
+) {
+    score_indexed(p, q, cols, items.len(), &|j| (user, items[j]), biases, out);
+}
+
 /// Scores a block of users against the **entire** item catalog:
 /// `out[j, i] = p[users[j]]·q[i] + biases` as a pooled `B × N` tensor
 /// (gather-GEMM, row-parallel). The caller should [`Tensor::recycle`] the
@@ -304,6 +325,30 @@ mod tests {
             score_pair_tuples(&p, &q, 0..3, &pairs, None),
             score_pairs(&p, &q, 0..3, &users, &items, None)
         );
+    }
+
+    #[test]
+    fn user_items_form_matches_pair_form() {
+        let p = panel(6, 4, 13);
+        let q = panel(11, 4, 17);
+        let bu: Vec<f64> = (0..6).map(|i| i as f64 * 0.2).collect();
+        let bi: Vec<f64> = (0..11).map(|i| i as f64 * -0.1).collect();
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: 0.4,
+        };
+        let items = [9usize, 0, 4, 4, 10];
+        let mut got = Vec::new();
+        score_user_items_into(&p, &q, 0..4, 3, &items, Some(bs), &mut got);
+        let want = score_pairs(&p, &q, 0..4, &[3; 5], &items, Some(bs));
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        // Reuse keeps contents correct after a resize.
+        score_user_items_into(&p, &q, 0..4, 1, &items[..2], None, &mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], score_pairs(&p, &q, 0..4, &[1], &[9], None)[0]);
     }
 
     #[test]

@@ -6,9 +6,10 @@ cd "$(dirname "$0")"
 
 # The invariant analyzer is dependency-free, so it gates everything else
 # before the first real build. Warnings (missing paper citations) are
-# errors in CI.
-echo "==> dt-lint --deny-warnings (workspace invariants, DESIGN.md section 9)"
-cargo run -q -p dt-lint -- --deny-warnings --quiet
+# errors in CI; a malformed lint.toml fails before any rule runs, and the
+# stats line records the call-graph resolution ratio of the R10 closure.
+echo "==> dt-lint --deny-warnings (workspace invariants, DESIGN.md sections 9 and 14)"
+cargo run -q -p dt-lint -- --deny-warnings --check-config --stats --quiet
 
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then

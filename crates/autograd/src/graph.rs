@@ -11,6 +11,12 @@ use crate::params::{ParamId, Params};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Var(usize);
 
+impl Var {
+    /// Padding for the unused slots of [`crate::op::Inputs`]; never a
+    /// valid tape index.
+    pub(crate) const PAD: Var = Var(usize::MAX);
+}
+
 struct Node {
     op: Op,
     value: Rc<Tensor>,
@@ -436,6 +442,7 @@ impl Graph {
             "backward: loss must be 1x1, got {}",
             self.value(loss).shape()
         );
+        // alloc-ok: per-backward gradient table (one Option<Grad> slot per tape node) — not f64 scratch, so it cannot ride the step pool
         let mut grads: Vec<Option<Grad>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Grad::Dense(Tensor::scalar(1.0)));
 

@@ -113,13 +113,46 @@ pub enum Op {
     IpsWeightedBceMean(Var, Var, Var, Rc<Tensor>),
 }
 
+/// The input variables of one [`Op`], stored inline. `inputs()` runs for
+/// every node pushed onto the tape, so it must not heap-allocate (R10);
+/// no op has more than three inputs. Dereferences to `&[Var]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Inputs {
+    vars: [Var; 3],
+    len: usize,
+}
+
+impl Inputs {
+    const EMPTY: Inputs = Inputs {
+        vars: [Var::PAD; 3],
+        len: 0,
+    };
+
+    fn of(vs: &[Var]) -> Inputs {
+        let mut out = Inputs::EMPTY;
+        for (slot, v) in out.vars.iter_mut().zip(vs) {
+            *slot = *v;
+        }
+        out.len = vs.len().min(out.vars.len());
+        out
+    }
+}
+
+impl std::ops::Deref for Inputs {
+    type Target = [Var];
+
+    fn deref(&self) -> &[Var] {
+        &self.vars[..self.len]
+    }
+}
+
 impl Op {
     /// The input variables of this op, in a fixed order.
     #[must_use]
-    pub fn inputs(&self) -> Vec<Var> {
+    pub fn inputs(&self) -> Inputs {
         use Op::*;
         match self {
-            Leaf(_) | Constant => vec![],
+            Leaf(_) | Constant => Inputs::EMPTY,
             Add(a, b)
             | Sub(a, b)
             | Mul(a, b)
@@ -134,8 +167,8 @@ impl Op {
             | BceWithLogits(a, b)
             | MulScalarVar(a, b)
             | DivScalarVar(a, b)
-            | SigmoidBceMean(a, b, _) => vec![*a, *b],
-            IpsWeightedBceMean(w, x, t, _) => vec![*w, *x, *t],
+            | SigmoidBceMean(a, b, _) => Inputs::of(&[*a, *b]),
+            IpsWeightedBceMean(w, x, t, _) => Inputs::of(&[*w, *x, *t]),
             Neg(a)
             | AddScalar(a, _)
             | MulScalar(a, _)
@@ -156,7 +189,7 @@ impl Op {
             | ColSums(a)
             | Gather(a, _)
             | SliceCols(a, _, _)
-            | Detach(a) => vec![*a],
+            | Detach(a) => Inputs::of(&[*a]),
         }
     }
 

@@ -162,6 +162,7 @@ fn ips_weights(params: &Params, p_user: ParamId, p_item: ParamId, b: &StepBatch)
             1.0 / p.clamp(0.05, 1.0)
         })
         .collect();
+    // alloc-ok: B×1 weight column assembled from the collect above; sized by the batch and freed with it
     Tensor::from_vec(b.users.len(), 1, data)
 }
 

@@ -1,0 +1,1210 @@
+//! The workspace call graph: approximate name resolution over item trees.
+//!
+//! Full Rust name resolution needs type inference; `dt-lint` runs without
+//! the registry, so it approximates. A call site is classified as one of:
+//!
+//! * **Resolved** — exactly one workspace function matches, by qualified
+//!   name (`Type::method` via a receiver-type hint), by unique bare name,
+//!   or by module-path match for free functions;
+//! * **External** — confidently not a workspace function: the name exists
+//!   nowhere in the workspace, the call is an uppercase constructor /
+//!   enum variant, or an unhinted method whose name shadows a common std
+//!   method (`len`, `iter`, `push`, …);
+//! * **Unresolved** — could be a workspace function but the evidence is
+//!   ambiguous. These are *counted and reported* (`LINT_report.json`
+//!   stats), never silently dropped: the resolved-call ratio is the
+//!   honesty meter of the whole analysis.
+//!
+//! Receiver-type hints flow forward through each body: `fn` parameters,
+//!   `let x: Type`, `let x = Type { … }`, `let x = Type::new(…)`, and the
+//! return types of already-resolved calls (`let s = xb.matmul_nt(c)` makes
+//! `s` a `Tensor`, so `s.recycle()` resolves to `Tensor::recycle`).
+//!
+//! The same pass records every closure literal and whether it is passed —
+//! directly or via a `let`-bound name — to one of the `dt_parallel` entry
+//! points; rule R8 walks those closures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::parser::{FnDecl, ItemTree};
+use crate::walker::Role;
+
+/// The `dt_parallel` entry points whose closures run concurrently: work
+/// handed to them must be order-independent (rule R8).
+/// `run_sequential`/`with_thread_limit` are deliberately absent — their
+/// closures run on the caller's thread.
+pub const PARALLEL_ENTRIES: &[&str] = &["par_tasks", "par_rows", "par_indices", "for_each_chunk"];
+
+/// Method names that shadow ubiquitous std methods: an *unhinted* receiver
+/// calling one of these is classified External rather than Unresolved.
+/// This is the documented false-negative surface of the approximation — a
+/// workspace method with one of these names, called on a receiver the hint
+/// pass cannot type, silently falls out of the graph.
+const STD_SHADOW: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "ceil",
+    "chars",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "display",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "extend",
+    "extend_from_slice",
+    "fill",
+    "filter",
+    "clamp",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "for_each",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_some",
+    "is_none",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lines",
+    "map",
+    "map_err",
+    "map_or",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "name",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "remove",
+    "repeat",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "split_once",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "tanh",
+    "then",
+    "to_lowercase",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "wrapping_add",
+    "wrapping_mul",
+    "zip",
+];
+
+/// Keywords/forms that look like `ident(` but are not calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "match", "return", "loop", "in", "as", "move", "mut", "let",
+    "impl", "use", "pub", "where", "unsafe", "dyn", "break", "continue", "ref", "crate", "super",
+    "self", "Self",
+];
+
+/// How one call site resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Unique workspace function, by graph node index.
+    Resolved(usize),
+    /// Confidently outside the workspace (std, constructor, macro-free).
+    External,
+    /// Ambiguous: possibly workspace, counted in the unresolved bucket.
+    Unresolved,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee identifier in the file's code slice.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Callee name as written.
+    pub name: String,
+    /// Resolution outcome.
+    pub target: Target,
+}
+
+/// A closure literal passed to a `dt_parallel` entry point.
+#[derive(Debug, Clone)]
+pub struct ParClosure {
+    /// Which entry point receives it (`par_rows`, `for_each_chunk`, …).
+    pub entry: String,
+    /// 1-based line of the opening `|`.
+    pub line: u32,
+    /// Parameter names bound by the closure head.
+    pub params: Vec<String>,
+    /// Token-index span `(start, end)` of the closure (params + body),
+    /// inclusive, in the file's code slice.
+    pub span: (usize, usize),
+}
+
+/// One workspace function in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the analysis file list.
+    pub file: usize,
+    /// Stem of the defining file (`pool` for `…/pool.rs`), for
+    /// module-path resolution.
+    pub stem: String,
+    /// Owning crate directory name (`parallel` for `crates/parallel/…`).
+    pub crate_name: Option<String>,
+    /// `Type::name` or bare `name`.
+    pub qual: String,
+    /// Bare name.
+    pub name: String,
+    /// `impl` self type, when any.
+    pub self_ty: Option<String>,
+    /// Coarse return-type head.
+    pub ret_ty: Option<String>,
+    /// 1-based span lines.
+    pub line: u32,
+    /// 1-based line of the closing brace.
+    pub end_line: u32,
+    /// Body token range `(open_brace, close_brace)` in the file's code.
+    pub body: Option<(usize, usize)>,
+    /// Role of the owning file.
+    pub role: Role,
+    /// Classified call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// Closures handed to `dt_parallel` entry points.
+    pub par_closures: Vec<ParClosure>,
+}
+
+/// The whole-workspace graph plus name indexes.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function nodes.
+    pub fns: Vec<FnNode>,
+    /// `Type::name` / bare `name` → node (first wins on duplicates; the
+    /// duplicate also stays reachable through `by_name`).
+    pub by_qual: BTreeMap<String, usize>,
+    /// Bare name → all nodes sharing it.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Every `impl` self type seen in the workspace.
+    pub impl_types: BTreeSet<String>,
+    /// `Enum::Variant` → type head of its single tuple payload
+    /// (`Grad::Dense` → `Tensor`). Multi-payload and struct variants are
+    /// omitted. Feeds receiver hints for match-arm bindings.
+    pub variant_payload: BTreeMap<String, String>,
+}
+
+/// Per-file input to the graph build.
+pub struct FileInput<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Layout role (graph edges only leave from/into `Lib` analysis, but
+    /// all roles are indexed so entry points in bench sources resolve).
+    pub role: Role,
+    /// Comment-free token stream.
+    pub code: &'a [Token],
+    /// Parsed item tree of `code`.
+    pub tree: &'a ItemTree,
+}
+
+impl CallGraph {
+    /// Builds the graph: indexes every function, then classifies every
+    /// call site with receiver-type hints.
+    #[must_use]
+    pub fn build(files: &[FileInput<'_>]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for f in files {
+            scan_enum_payloads(f.code, &mut g.variant_payload);
+        }
+        for (fi, f) in files.iter().enumerate() {
+            let stem = file_stem(f.rel);
+            let crate_name = crate::walker::crate_of(f.rel);
+            for d in &f.tree.fns {
+                let id = g.fns.len();
+                let qual = d.qual();
+                g.by_qual.entry(qual.clone()).or_insert(id);
+                g.by_name.entry(d.name.clone()).or_default().push(id);
+                if let Some(t) = &d.self_ty {
+                    g.impl_types.insert(t.clone());
+                }
+                g.fns.push(FnNode {
+                    file: fi,
+                    stem: stem.clone(),
+                    crate_name: crate_name.clone(),
+                    qual,
+                    name: d.name.clone(),
+                    self_ty: d.self_ty.clone(),
+                    ret_ty: d.ret_ty.clone(),
+                    line: d.line,
+                    end_line: d.end_line,
+                    body: d.body,
+                    role: f.role,
+                    calls: Vec::new(),
+                    par_closures: Vec::new(),
+                });
+            }
+        }
+        for id in 0..g.fns.len() {
+            let fi = g.fns[id].file;
+            let file = &files[fi];
+            let Some(decl) = file
+                .tree
+                .fns
+                .iter()
+                .find(|d| d.line == g.fns[id].line && d.name == g.fns[id].name)
+            else {
+                continue;
+            };
+            let (calls, par_closures) = analyze_body(&g, file, fi, decl);
+            g.fns[id].calls = calls;
+            g.fns[id].par_closures = par_closures;
+        }
+        g
+    }
+
+    /// Sums `(resolved, external, unresolved)` over the given node set.
+    #[must_use]
+    pub fn call_stats(&self, nodes: &[usize]) -> (usize, usize, usize) {
+        let mut r = (0, 0, 0);
+        for &id in nodes {
+            for c in &self.fns[id].calls {
+                match c.target {
+                    Target::Resolved(_) => r.0 += 1,
+                    Target::External => r.1 += 1,
+                    Target::Unresolved => r.2 += 1,
+                }
+            }
+        }
+        r
+    }
+}
+
+/// Scans one function body: finds closures (and which are handed to
+/// parallel entry points), then classifies every call site with forward
+/// hint propagation.
+fn analyze_body(
+    g: &CallGraph,
+    file: &FileInput<'_>,
+    fi: usize,
+    decl: &FnDecl,
+) -> (Vec<CallSite>, Vec<ParClosure>) {
+    let Some((open, close)) = decl.body else {
+        return (Vec::new(), Vec::new());
+    };
+    let code = file.code;
+    let range = open + 1..close.min(code.len());
+
+    // -------- pass A: closure literals and their let-bound names --------
+    let mut closures: Vec<ParClosure> = Vec::new();
+    let mut closure_lets: BTreeMap<String, usize> = BTreeMap::new();
+    // let-bound closure name → declared `-> Type` return head, so that
+    // `val(x).m(…)` and `let t = val(x);` keep the type flowing.
+    let mut closure_rets: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = range.start;
+    while i < range.end {
+        if code[i].text == "|" && is_closure_start(code, i) {
+            if let Some((params, span_end)) = parse_closure(code, i, range.end) {
+                let idx = closures.len();
+                // `let name = |…|` / `let name = move |…|` association.
+                let mut b = i;
+                if b >= 1 && code[b - 1].text == "move" {
+                    b -= 1;
+                }
+                if b >= 2 && code[b - 1].text == "=" && code[b - 2].kind == TokKind::Ident {
+                    let name = &code[b - 2].text;
+                    let is_let = (3..=4)
+                        .any(|k| b >= k && matches!(code[b - k].text.as_str(), "let" | "mut"));
+                    if is_let {
+                        closure_lets.insert(name.clone(), idx);
+                        if let Some(rt) = closure_ret_head(code, i, range.end) {
+                            closure_rets.insert(name.clone(), rt);
+                        }
+                    }
+                }
+                closures.push(ParClosure {
+                    entry: String::new(), // filled when marked
+                    line: code[i].line,
+                    params,
+                    span: (i, span_end),
+                });
+                i += 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // -------- pass B: hints + call classification --------
+    let mut hints: BTreeMap<String, String> = BTreeMap::new();
+    for p in &decl.params {
+        if let Some(t) = &p.ty {
+            hints.insert(p.name.clone(), t.clone());
+        }
+    }
+    let mut calls: Vec<CallSite> = Vec::new();
+    // closing-paren token index → return-type head of the resolved call
+    let mut ret_at: BTreeMap<usize, String> = BTreeMap::new();
+    let mut pending_let: Option<String> = None;
+    let mut i = range.start;
+    while i < range.end {
+        let t = &code[i];
+        match t.text.as_str() {
+            ";" => pending_let = None,
+            "let" => {
+                // `let [mut] name [: Type] = …`
+                let mut j = i + 1;
+                while j < range.end && code[j].text == "mut" {
+                    j += 1;
+                }
+                if j < range.end
+                    && code[j].kind == TokKind::Ident
+                    // `let Enum::Variant(x) = …` is a destructuring
+                    // pattern, not a binding: leave it to the
+                    // variant-payload scan below.
+                    && !code.get(j + 2).is_some_and(|t| t.text == ":")
+                {
+                    let name = code[j].text.clone();
+                    match code.get(j + 1).map(|t| t.text.as_str()) {
+                        Some(":") => {
+                            let ty_toks: Vec<&Token> = code[j + 2..range.end]
+                                .iter()
+                                .take_while(|t| t.text != "=" && t.text != ";")
+                                .collect();
+                            if let Some(h) = coarse_type_head(&ty_toks) {
+                                hints.insert(name, h);
+                            }
+                        }
+                        Some("=") => {
+                            // `let x = Type { … }` struct literal.
+                            if let (Some(a), Some(b)) = (code.get(j + 2), code.get(j + 3)) {
+                                if a.kind == TokKind::Ident
+                                    && starts_upper(&a.text)
+                                    && b.text == "{"
+                                {
+                                    hints.insert(name.clone(), a.text.clone());
+                                }
+                                // `let x = y;` hint copy.
+                                if a.kind == TokKind::Ident && b.text == ";" {
+                                    if let Some(h) = hints.get(&a.text).cloned() {
+                                        hints.insert(name.clone(), h);
+                                    }
+                                }
+                            }
+                            pending_let = Some(name);
+                        }
+                        _ => {}
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        // `Enum::Variant(binding)` — in a match pattern the binding *is*
+        // the payload; in a constructor the argument must *be* one. Either
+        // way the ident inside carries the variant's payload type.
+        if t.kind == TokKind::Ident
+            && starts_upper(&t.text)
+            && code.get(i + 1).is_some_and(|n| n.text == ":")
+            && code.get(i + 2).is_some_and(|n| n.text == ":")
+        {
+            if let (Some(v), Some(p)) = (code.get(i + 3), code.get(i + 4)) {
+                if v.kind == TokKind::Ident && p.text == "(" {
+                    if let Some(pay) = g.variant_payload.get(&format!("{}::{}", t.text, v.text)) {
+                        let mut k = i + 5;
+                        while code
+                            .get(k)
+                            .is_some_and(|x| x.text == "ref" || x.text == "mut")
+                        {
+                            k += 1;
+                        }
+                        if let (Some(b), Some(c)) = (code.get(k), code.get(k + 1)) {
+                            if b.kind == TokKind::Ident
+                                && !starts_upper(&b.text)
+                                && b.text != "_"
+                                && c.text == ")"
+                            {
+                                hints.insert(b.text.clone(), pay.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if t.kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+            && !NOT_CALLS.contains(&t.text.as_str())
+            && !(i >= 1 && code[i - 1].text == "fn")
+        {
+            // Invoking a let-bound closure is same-fn control flow, not a
+            // call edge — but its declared return type still feeds hints.
+            let free_form = !(i >= 1 && matches!(code[i - 1].text.as_str(), "." | ":"));
+            if free_form && closure_lets.contains_key(&t.text) {
+                if let (Some(rt), Some(cp)) = (closure_rets.get(&t.text), paren_close(code, i + 1))
+                {
+                    ret_at.insert(cp, rt.clone());
+                    let ends_stmt = code
+                        .get(cp + 1)
+                        .map_or(true, |n| n.text == ";" || n.text == "?");
+                    if ends_stmt {
+                        if let Some(name) = pending_let.take() {
+                            hints.insert(name, rt.clone());
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            let site = classify_call(g, fi, code, i, &hints, &closure_lets);
+            if let Some(mut site) = site {
+                // Feed method-chain receivers: reuse ret_at lookups. The
+                // chain hint also overrides a *shadow*-based External —
+                // `val(a).map(f)` is `Tensor::map`, not `Iterator::map`,
+                // once the receiver's type is known.
+                let rescue = site.target == Target::Unresolved
+                    || (site.target == Target::External
+                        && STD_SHADOW.contains(&site.name.as_str()));
+                if rescue {
+                    if let Some(hint) = chain_hint(code, i, &ret_at) {
+                        site = reclassify_with_hint(g, site, &hint);
+                    }
+                }
+                // Track the value type for `let x = call(…);` chains. A
+                // literal `Self` return is the callee's impl type.
+                if let Some(cp) = paren_close(code, i + 1) {
+                    let ret = match site.target {
+                        Target::Resolved(id) => {
+                            let f = &g.fns[id];
+                            f.ret_ty.clone().map(|r| match (r.as_str(), &f.self_ty) {
+                                ("Self", Some(t)) => t.clone(),
+                                _ => r,
+                            })
+                        }
+                        _ => None,
+                    };
+                    if let Some(rt) = ret {
+                        ret_at.insert(cp, rt.clone());
+                        let ends_stmt = code
+                            .get(cp + 1)
+                            .map_or(true, |n| n.text == ";" || n.text == "?");
+                        if ends_stmt {
+                            if let Some(name) = pending_let.take() {
+                                hints.insert(name, rt);
+                            }
+                        }
+                    }
+                    // Parallel entry: mark closures in its argument list.
+                    if PARALLEL_ENTRIES.contains(&site.name.as_str()) {
+                        mark_parallel_closures(
+                            code,
+                            i + 1,
+                            cp,
+                            &site.name,
+                            &mut closures,
+                            &closure_lets,
+                        );
+                    }
+                }
+                calls.push(site);
+            }
+        }
+        i += 1;
+    }
+    let par: Vec<ParClosure> = closures
+        .into_iter()
+        .filter(|c| !c.entry.is_empty())
+        .collect();
+    (calls, par)
+}
+
+/// Classifies the call whose callee identifier sits at `i`.
+fn classify_call(
+    g: &CallGraph,
+    fi: usize,
+    code: &[Token],
+    i: usize,
+    hints: &BTreeMap<String, String>,
+    closure_lets: &BTreeMap<String, usize>,
+) -> Option<CallSite> {
+    let name = code[i].text.clone();
+    let line = code[i].line;
+    let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+    let target = if prev == Some(".") {
+        // Method call: type the receiver.
+        let hint = method_receiver_hint(code, i, hints);
+        classify_method(g, &name, hint.as_deref())
+    } else if prev == Some(":") && i >= 2 && code[i - 2].text == ":" {
+        classify_path_call(g, code, i, &name, hints)
+    } else {
+        // Free call.
+        if closure_lets.contains_key(&name) {
+            return None; // invoking a local closure: same-fn control flow
+        }
+        if starts_upper(&name) {
+            Target::External // tuple-struct / enum-variant constructor
+        } else {
+            classify_free(g, fi, &name)
+        }
+    };
+    Some(CallSite {
+        tok: i,
+        line,
+        name,
+        target,
+    })
+}
+
+/// Receiver hint for `recv.name(…)` with the callee ident at `i`
+/// (`code[i-1]` is the `.`).
+fn method_receiver_hint(
+    code: &[Token],
+    i: usize,
+    hints: &BTreeMap<String, String>,
+) -> Option<String> {
+    let r = i.checked_sub(2)?;
+    let rt = code.get(r)?;
+    if rt.kind == TokKind::Ident {
+        // `x.m()` — but `a.x.m()` (field access) gets no hint. A `.` right
+        // before the receiver can also be the second dot of a range
+        // (`0..x.m()` — the lexer splits `..`); that one keeps the hint.
+        if r >= 1 && code[r - 1].text == "." && !(r >= 2 && code[r - 2].text == ".") {
+            return None;
+        }
+        return hints.get(&rt.text).cloned();
+    }
+    None
+}
+
+/// For a chained call `….prev().name(…)`: the receiver ends in `)` whose
+/// return type may be known from `ret_at`.
+fn chain_hint(code: &[Token], i: usize, ret_at: &BTreeMap<usize, String>) -> Option<String> {
+    let r = i.checked_sub(2)?;
+    if code.get(r)?.text == ")" {
+        return ret_at.get(&r).cloned();
+    }
+    None
+}
+
+fn reclassify_with_hint(g: &CallGraph, mut site: CallSite, hint: &str) -> CallSite {
+    site.target = classify_method(g, &site.name, Some(hint));
+    site
+}
+
+/// Resolution for `recv.name(…)`.
+fn classify_method(g: &CallGraph, name: &str, hint: Option<&str>) -> Target {
+    if let Some(t) = hint {
+        if let Some(&id) = g.by_qual.get(&format!("{t}::{name}")) {
+            return Target::Resolved(id);
+        }
+        if !g.impl_types.contains(t) {
+            return Target::External; // typed receiver outside the workspace
+        }
+        // Workspace type without that method: derived/trait impl or std
+        // shadow. Anything on the shadow list is std; the rest is honest
+        // ambiguity.
+        if STD_SHADOW.contains(&name) {
+            return Target::External;
+        }
+        return Target::Unresolved;
+    }
+    let methods: Vec<usize> = g
+        .by_name
+        .get(name)
+        .map(|v| {
+            v.iter()
+                .copied()
+                .filter(|&id| g.fns[id].self_ty.is_some())
+                .collect()
+        })
+        .unwrap_or_default();
+    if methods.is_empty() {
+        return Target::External;
+    }
+    if STD_SHADOW.contains(&name) {
+        return Target::External;
+    }
+    if methods.len() == 1 {
+        return Target::Resolved(methods[0]);
+    }
+    Target::Unresolved
+}
+
+/// Resolution for `head::name(…)` path calls.
+fn classify_path_call(
+    g: &CallGraph,
+    code: &[Token],
+    i: usize,
+    name: &str,
+    hints: &BTreeMap<String, String>,
+) -> Target {
+    let Some(head) = path_head(code, i) else {
+        return Target::Unresolved;
+    };
+    let head = if head == "Self" {
+        match hints.get("self") {
+            Some(t) => t.clone(),
+            None => head,
+        }
+    } else {
+        head
+    };
+    if starts_upper(&head) {
+        if let Some(&id) = g.by_qual.get(&format!("{head}::{name}")) {
+            return Target::Resolved(id);
+        }
+        if starts_upper(name) {
+            return Target::External; // `Grad::Dense(…)` enum variant
+        }
+        if !g.impl_types.contains(&head) {
+            return Target::External; // `String::new`, `Instant::now`, …
+        }
+        if STD_SHADOW.contains(&name) {
+            return Target::External;
+        }
+        return Target::Unresolved;
+    }
+    // Module path: match free fns by defining-file stem or crate name.
+    let free: Vec<usize> = g
+        .by_name
+        .get(name)
+        .map(|v| {
+            v.iter()
+                .copied()
+                .filter(|&id| g.fns[id].self_ty.is_none())
+                .collect()
+        })
+        .unwrap_or_default();
+    if free.is_empty() {
+        return Target::External;
+    }
+    let by_module: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&id| module_matches(g, id, &head))
+        .collect();
+    if by_module.len() == 1 {
+        return Target::Resolved(by_module[0]);
+    }
+    if free.len() == 1 {
+        return Target::Resolved(free[0]);
+    }
+    Target::Unresolved
+}
+
+/// Free-call resolution: unique workspace name, with same-file preference.
+fn classify_free(g: &CallGraph, fi: usize, name: &str) -> Target {
+    let free: Vec<usize> = g
+        .by_name
+        .get(name)
+        .map(|v| {
+            v.iter()
+                .copied()
+                .filter(|&id| g.fns[id].self_ty.is_none())
+                .collect()
+        })
+        .unwrap_or_default();
+    match free.len() {
+        0 => Target::External,
+        1 => Target::Resolved(free[0]),
+        _ => {
+            let same_file: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&id| g.fns[id].file == fi)
+                .collect();
+            if same_file.len() == 1 {
+                Target::Resolved(same_file[0])
+            } else {
+                Target::Unresolved
+            }
+        }
+    }
+}
+
+/// Does `head` plausibly name the module of node `id`? Accepts the
+/// defining file's stem (`pool::take` ← `…/pool.rs`) and the crate name
+/// with or without a `dt_` prefix (`dt_parallel::par_rows` ←
+/// `crates/parallel/…`).
+fn module_matches(g: &CallGraph, id: usize, head: &str) -> bool {
+    let node = &g.fns[id];
+    if node.stem == head {
+        return true;
+    }
+    node.crate_name
+        .as_ref()
+        .is_some_and(|c| head == c || head.strip_prefix("dt_").is_some_and(|h| h == c))
+}
+
+/// Collects `Enum::Variant → payload type head` for every enum variant
+/// with exactly one tuple payload (`Dense(Tensor)`). Variants with
+/// several payloads, struct bodies, or no payload are skipped.
+fn scan_enum_payloads(code: &[Token], map: &mut BTreeMap<String, String>) {
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text != "enum" || code.get(i + 1).map_or(true, |t| t.kind != TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let ename = code[i + 1].text.clone();
+        // Skip any generics on the enum head, then require the body brace.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                ";" | "}" => break, // not an enum body after all
+                _ => {}
+            }
+            j += 1;
+        }
+        if code.get(j).map_or(true, |t| t.text != "{") {
+            i += 1;
+            continue;
+        }
+        let close = brace_close(code, j, code.len());
+        let mut k = j + 1;
+        while k < close {
+            let t = &code[k];
+            if t.kind == TokKind::Ident && starts_upper(&t.text) {
+                match code.get(k + 1).map(|n| n.text.as_str()) {
+                    Some("(") => {
+                        let pc = paren_close(code, k + 1).unwrap_or(close).min(close);
+                        let inner: Vec<&Token> = code[k + 2..pc].iter().collect();
+                        let single = !inner.iter().any(|t| t.text == ",");
+                        if single {
+                            if let Some(head) = coarse_type_head(&inner) {
+                                map.insert(format!("{ename}::{}", t.text), head);
+                            }
+                        }
+                        k = pc + 1;
+                        continue;
+                    }
+                    Some("{") => {
+                        // Struct variant: skip its body wholesale.
+                        k = brace_close(code, k + 1, close) + 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+}
+
+/// Stem of a workspace-relative path (`crates/tensor/src/pool.rs` →
+/// `pool`).
+fn file_stem(rel: &str) -> String {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+        .to_owned()
+}
+
+/// Walks back over `a::b::name` and returns the segment just before
+/// `name` (`b`).
+fn path_head(code: &[Token], i: usize) -> Option<String> {
+    let p = i.checked_sub(3)?;
+    let t = code.get(p)?;
+    if t.kind == TokKind::Ident {
+        Some(t.text.clone())
+    } else {
+        None
+    }
+}
+
+/// `(` at `open` → index of its matching `)`.
+fn paren_close(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Marks closures that are arguments of the parallel-entry call spanning
+/// `(open … close)`: closure literals inside the span, and `let`-bound
+/// closure names passed bare.
+fn mark_parallel_closures(
+    code: &[Token],
+    open: usize,
+    close: usize,
+    entry: &str,
+    closures: &mut [ParClosure],
+    closure_lets: &BTreeMap<String, usize>,
+) {
+    for c in closures.iter_mut() {
+        if c.span.0 > open && c.span.0 < close && c.entry.is_empty() {
+            c.entry = entry.to_owned();
+        }
+    }
+    for t in &code[open + 1..close.min(code.len())] {
+        if t.kind == TokKind::Ident {
+            if let Some(&idx) = closure_lets.get(&t.text) {
+                if closures[idx].entry.is_empty() {
+                    closures[idx].entry = entry.to_owned();
+                }
+            }
+        }
+    }
+}
+
+/// Is the `|` at `i` a closure head rather than a binary or?
+pub(crate) fn is_closure_start(code: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| code[p].text.as_str()) {
+        None => true,
+        Some("(" | "," | "=" | "move" | "{" | "return" | ">" | "else") => true,
+        Some(_) => false,
+    }
+}
+
+/// Parses a closure starting at the `|` at `i`: returns the bound
+/// parameter names and the inclusive token index where the closure ends.
+pub(crate) fn parse_closure(
+    code: &[Token],
+    i: usize,
+    limit: usize,
+) -> Option<(Vec<String>, usize)> {
+    // Parameter list: up to the matching `|` (depth over brackets).
+    let mut params = Vec::new();
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut after_colon = false;
+    let close_bar = loop {
+        if j >= limit {
+            return None;
+        }
+        let t = &code[j];
+        match t.text.as_str() {
+            "|" if depth <= 0 => break j,
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            ":" if depth <= 0 => after_colon = true,
+            "," if depth <= 0 => after_colon = false,
+            _ => {
+                if !after_colon
+                    && t.kind == TokKind::Ident
+                    && t.text != "mut"
+                    && t.text != "ref"
+                    && t.text != "_"
+                {
+                    params.push(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    };
+    // Body: a block (possibly after a `-> Type` annotation), or a bare
+    // expression up to the enclosing `,`/`)`/`;`.
+    let mut k = close_bar + 1;
+    if code.get(k).is_some_and(|t| t.text == "-") && code.get(k + 1).is_some_and(|t| t.text == ">")
+    {
+        // Return-annotated closures require a braced body.
+        while k < limit && code[k].text != "{" {
+            k += 1;
+        }
+    }
+    if k < limit && code[k].text == "{" {
+        let end = brace_close(code, k, limit);
+        return Some((params, end));
+    }
+    // Expression body: scan to the `,` / `)` / `;` at depth 0.
+    let mut depth = 0i32;
+    let mut k = close_bar + 1;
+    while k < limit {
+        match code[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return Some((params, k.saturating_sub(1)));
+                }
+                depth -= 1;
+            }
+            "," | ";" if depth == 0 => return Some((params, k.saturating_sub(1))),
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((params, limit.saturating_sub(1)))
+}
+
+/// Declared return-type head of the closure whose opening `|` sits at
+/// `i` (`|v: Var| -> &Tensor { … }` → `Tensor`); `None` when the closure
+/// has no `-> Type` annotation.
+fn closure_ret_head(code: &[Token], i: usize, limit: usize) -> Option<String> {
+    // Find the closing `|` with the same bracket-depth rule as
+    // `parse_closure`.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let close_bar = loop {
+        if j >= limit {
+            return None;
+        }
+        match code[j].text.as_str() {
+            "|" if depth <= 0 => break j,
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    };
+    if code.get(close_bar + 1).map_or(true, |t| t.text != "-")
+        || code.get(close_bar + 2).map_or(true, |t| t.text != ">")
+    {
+        return None;
+    }
+    let ty: Vec<&Token> = code[close_bar + 3..limit]
+        .iter()
+        .take_while(|t| t.text != "{")
+        .collect();
+    coarse_type_head(&ty)
+}
+
+/// `{` at `open` → index of its matching `}` (or `limit - 1`).
+fn brace_close(code: &[Token], open: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().take(limit).skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    limit.saturating_sub(1)
+}
+
+/// Coarse type head over borrowed tokens (mirrors `parser::type_head`).
+fn coarse_type_head(toks: &[&Token]) -> Option<String> {
+    let mut last: Option<String> = None;
+    for t in toks {
+        match t.text.as_str() {
+            "&" | "mut" | "dyn" | "impl" | ":" => continue,
+            "<" | "(" | "[" | "," | ";" | "+" => break,
+            _ if t.kind == TokKind::Lifetime => continue,
+            _ if t.kind == TokKind::Ident => last = Some(t.text.clone()),
+            _ => break,
+        }
+    }
+    last
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FileAnalysis;
+
+    fn build(src: &str) -> CallGraph {
+        let fa = FileAnalysis::new("crates/x/src/lib.rs", src);
+        CallGraph::build(&[FileInput {
+            rel: &fa.rel,
+            role: fa.role,
+            code: &fa.code,
+            tree: &fa.tree,
+        }])
+    }
+
+    /// Target of the only call named `callee` inside `caller`.
+    fn target(g: &CallGraph, caller: &str, callee: &str) -> Target {
+        let f = g
+            .fns
+            .iter()
+            .find(|f| f.qual == caller)
+            .unwrap_or_else(|| panic!("no fn {caller}"));
+        let hits: Vec<&CallSite> = f.calls.iter().filter(|c| c.name == callee).collect();
+        assert_eq!(hits.len(), 1, "{caller} should call {callee} exactly once");
+        hits[0].target
+    }
+
+    fn resolved_qual(g: &CallGraph, caller: &str, callee: &str) -> String {
+        match target(g, caller, callee) {
+            Target::Resolved(id) => g.fns[id].qual.clone(),
+            other => panic!("{caller} -> {callee} not resolved: {other:?}"),
+        }
+    }
+
+    // `rows` is deliberately defined on two types in these sources, so an
+    // unhinted receiver cannot resolve it — each test exercises one hint
+    // mechanism that must survive the ambiguity.
+    const TWO_ROWS: &str = "impl Alpha { pub fn rows(&self) -> usize { 1 } }\n\
+                            impl Beta { pub fn rows(&self) -> usize { 2 } }\n";
+
+    #[test]
+    fn range_expression_keeps_the_receiver_hint() {
+        let src = format!(
+            "{TWO_ROWS}impl Alpha {{\n  pub fn f(&self) -> usize {{\n    \
+             let mut s = 0;\n    for i in 0..self.rows() {{ s += i; }}\n    s\n  }}\n}}\n"
+        );
+        let g = build(&src);
+        assert_eq!(resolved_qual(&g, "Alpha::f", "rows"), "Alpha::rows");
+    }
+
+    #[test]
+    fn enum_payload_scan_maps_single_tuple_variants_only() {
+        let src = "pub enum Grad {\n  Dense(Tensor),\n  Pair(Tensor, Tensor),\n  \
+                   Named { t: Tensor },\n  Empty,\n}\n";
+        let g = build(src);
+        assert_eq!(
+            g.variant_payload.get("Grad::Dense").map(String::as_str),
+            Some("Tensor")
+        );
+        assert!(!g.variant_payload.contains_key("Grad::Pair"));
+        assert!(!g.variant_payload.contains_key("Grad::Named"));
+        assert!(!g.variant_payload.contains_key("Grad::Empty"));
+    }
+
+    #[test]
+    fn match_and_if_let_bindings_carry_the_payload_type() {
+        let src = format!(
+            "pub enum G {{ A(Alpha), B(Beta) }}\n{TWO_ROWS}\
+             impl G {{\n  pub fn m(&self) -> usize {{\n    match self {{\n      \
+             G::A(t) => t.rows(),\n      G::B(s) => s.rows(),\n    }}\n  }}\n  \
+             pub fn n(g: G) -> usize {{\n    if let G::A(inner) = g {{ inner.rows() }} \
+             else {{ 0 }}\n  }}\n}}\n"
+        );
+        let g = build(&src);
+        let m = g.fns.iter().find(|f| f.qual == "G::m").unwrap();
+        let quals: Vec<&str> = m
+            .calls
+            .iter()
+            .filter(|c| c.name == "rows")
+            .map(|c| match c.target {
+                Target::Resolved(id) => g.fns[id].qual.as_str(),
+                other => panic!("unresolved arm call: {other:?}"),
+            })
+            .collect();
+        assert_eq!(quals, ["Alpha::rows", "Beta::rows"]);
+        assert_eq!(resolved_qual(&g, "G::n", "rows"), "Alpha::rows");
+    }
+
+    #[test]
+    fn closure_return_annotation_types_its_invocations() {
+        let src = format!(
+            "{TWO_ROWS}impl Alpha {{\n  pub fn f(&self) -> usize {{\n    \
+             let pick = |i: usize| -> &Alpha {{ self }};\n    \
+             let t = pick(0);\n    t.rows() + pick(1).rows()\n  }}\n}}\n"
+        );
+        let g = build(&src);
+        let f = g.fns.iter().find(|f| f.qual == "Alpha::f").unwrap();
+        let rows: Vec<Target> = f
+            .calls
+            .iter()
+            .filter(|c| c.name == "rows")
+            .map(|c| c.target)
+            .collect();
+        assert_eq!(rows.len(), 2);
+        for t in rows {
+            match t {
+                Target::Resolved(id) => assert_eq!(g.fns[id].qual, "Alpha::rows"),
+                other => panic!("closure-typed rows call not resolved: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_hint_rescues_shadow_externals_and_self_returns() {
+        // `mk` returns `Self`; `map` shadows a std name; `rows` is
+        // ambiguous. The chain only resolves if the `Self` return is
+        // normalised to `Alpha` AND the shadow External is overridden.
+        let src = format!(
+            "{TWO_ROWS}impl Alpha {{\n  pub fn mk() -> Self {{ Alpha }}\n  \
+             pub fn map(&self, k: usize) -> Self {{ Alpha }}\n  \
+             pub fn g() -> usize {{ Alpha::mk().map(1).rows() }}\n}}\n\
+             impl Beta {{ pub fn map(&self, k: usize) -> Self {{ Beta }} }}\n"
+        );
+        let g = build(&src);
+        assert_eq!(resolved_qual(&g, "Alpha::g", "map"), "Alpha::map");
+        assert_eq!(resolved_qual(&g, "Alpha::g", "rows"), "Alpha::rows");
+    }
+}

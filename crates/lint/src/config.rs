@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 /// A parse or validation problem in `lint.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,10 +55,27 @@ pub struct Config {
     pub r5_allow_crates: Vec<String>,
     /// R6: crate directory names whose `pub fn`s must cite the paper.
     pub r6_crates: Vec<String>,
-    /// R7: files (workspace-relative) whose allocations must ride the step
-    /// pool; direct `Tensor::zeros`/`Tensor::from_vec` calls there need a
-    /// `// pool:` / `// alloc-ok:` annotation.
-    pub r7_hot_paths: Vec<String>,
+    /// R10: hot-path entry points (`Type::method` or bare fn name); the
+    /// transitive call-graph closure from these denies unannotated
+    /// allocation and panic paths. Replaces the `[r7] hot_paths` file
+    /// list of schema v1.
+    pub r10_entry_points: Vec<String>,
+    /// Every parsed `(section, key, value, line)`, kept for validation
+    /// diagnostics (`--check-config`) and entry-point line lookup.
+    pub raw: Vec<RawValue>,
+}
+
+/// One parsed configuration value with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawValue {
+    /// `[section]` name.
+    pub section: String,
+    /// Key within the section.
+    pub key: String,
+    /// String value.
+    pub value: String,
+    /// 1-based line of the value itself (not the key).
+    pub line: u32,
 }
 
 impl Config {
@@ -78,7 +96,17 @@ impl Config {
                 ("r4", "wallclock_allow") => &mut cfg.r4_wallclock_allow,
                 ("r5", "allow_crates") => &mut cfg.r5_allow_crates,
                 ("r6", "crates") => &mut cfg.r6_crates,
-                ("r7", "hot_paths") => &mut cfg.r7_hot_paths,
+                ("r10", "entry_points") => &mut cfg.r10_entry_points,
+                ("r7", "hot_paths") => {
+                    errors.push(ConfigError {
+                        line,
+                        message: "[r7] hot_paths was removed in schema v2: the hot-path \
+                                  closure is now computed from [r10] entry_points via \
+                                  call-graph reachability (see DESIGN.md §14)"
+                            .to_owned(),
+                    });
+                    continue;
+                }
                 _ => {
                     errors.push(ConfigError {
                         line,
@@ -87,8 +115,17 @@ impl Config {
                     continue;
                 }
             };
-            *dest = values;
+            for (value, vline) in &values {
+                cfg.raw.push(RawValue {
+                    section: section.clone(),
+                    key: key.clone(),
+                    value: value.clone(),
+                    line: *vline,
+                });
+            }
+            *dest = values.into_iter().map(|(v, _)| v).collect();
         }
+        cfg.raw.sort_by_key(|r| r.line);
         if errors.is_empty() {
             Ok(cfg)
         } else {
@@ -106,11 +143,60 @@ impl Config {
                     && rel_path[p.trim_end_matches('/').len()..].starts_with('/')
         })
     }
+
+    /// Source line of an `[r10] entry_points` value (0 when absent).
+    #[must_use]
+    pub fn entry_line(&self, entry: &str) -> u32 {
+        self.raw
+            .iter()
+            .find(|r| r.section == "r10" && r.key == "entry_points" && r.value == entry)
+            .map_or(0, |r| r.line)
+    }
+
+    /// Existence checks behind `--check-config`: every path-valued entry
+    /// must name a real file or directory, every crate-valued entry a
+    /// real `crates/<name>` directory. Typos in exemptions must not
+    /// silently widen the gate.
+    #[must_use]
+    pub fn validate_paths(&self, root: &Path) -> Vec<ConfigError> {
+        let mut errors = Vec::new();
+        for r in &self.raw {
+            match (r.section.as_str(), r.key.as_str()) {
+                ("global", "skip") | ("r1" | "r2", "allow") | ("r4", "wallclock_allow") => {
+                    let p = r.value.trim_end_matches('/');
+                    if !root.join(p).exists() {
+                        errors.push(ConfigError {
+                            line: r.line,
+                            message: format!(
+                                "[{}] {}: path {:?} matches no file or directory",
+                                r.section, r.key, r.value
+                            ),
+                        });
+                    }
+                }
+                ("r3" | "r6", "crates") | ("r5", "allow_crates")
+                    if !root.join("crates").join(&r.value).is_dir() =>
+                {
+                    errors.push(ConfigError {
+                        line: r.line,
+                        message: format!(
+                            "[{}] {}: no crate directory crates/{}",
+                            r.section, r.key, r.value
+                        ),
+                    });
+                }
+                _ => {} // [r10] entry_points is validated against the call graph
+            }
+        }
+        errors
+    }
 }
 
-type RawEntries = BTreeMap<(String, String), (u32, Vec<String>)>;
+type RawEntries = BTreeMap<(String, String), (u32, Vec<(String, u32)>)>;
 
 /// Parses `[section]` headers and `key = "…"` / `key = […]` entries.
+/// Values carry the line they appear on (multi-line arrays keep per-item
+/// lines).
 fn parse_toml_subset(text: &str) -> Result<RawEntries, Vec<ConfigError>> {
     let mut out = RawEntries::new();
     let mut errors = Vec::new();
@@ -134,18 +220,24 @@ fn parse_toml_subset(text: &str) -> Result<RawEntries, Vec<ConfigError>> {
             continue;
         };
         let key = key.trim().to_owned();
-        let mut value = value.trim().to_owned();
-        // Multi-line arrays: keep consuming until the closing bracket.
-        while value.starts_with('[') && !value.ends_with(']') {
-            match lines.next() {
-                Some((_, cont)) => {
-                    value.push(' ');
-                    value.push_str(strip_comment(cont).trim());
+        let value = value.trim().to_owned();
+        // Collect `(fragment, line)` pairs: multi-line arrays keep
+        // consuming until the closing bracket.
+        let mut fragments: Vec<(String, u32)> = vec![(value.clone(), line_no)];
+        if value.starts_with('[') {
+            let mut closed = value.ends_with(']');
+            while !closed {
+                match lines.next() {
+                    Some((cidx, cont)) => {
+                        let cont = strip_comment(cont).trim().to_owned();
+                        closed = cont.ends_with(']');
+                        fragments.push((cont, cidx as u32 + 1));
+                    }
+                    None => break,
                 }
-                None => break,
             }
         }
-        match parse_value(&value) {
+        match parse_value_fragments(&fragments) {
             Ok(values) => {
                 if section.is_empty() {
                     errors.push(ConfigError {
@@ -156,10 +248,7 @@ fn parse_toml_subset(text: &str) -> Result<RawEntries, Vec<ConfigError>> {
                     out.insert((section.clone(), key), (line_no, values));
                 }
             }
-            Err(message) => errors.push(ConfigError {
-                line: line_no,
-                message,
-            }),
+            Err(e) => errors.push(e),
         }
     }
     if errors.is_empty() {
@@ -182,20 +271,40 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// Parses `"string"` or `["a", "b"]` into a list of strings.
-fn parse_value(value: &str) -> Result<Vec<String>, String> {
-    if let Some(inner) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-        let mut items = Vec::new();
-        for part in inner.split(',') {
+/// Parses `"string"` or `["a", "b"]` (possibly split across fragments,
+/// one per source line) into `(value, line)` pairs.
+fn parse_value_fragments(fragments: &[(String, u32)]) -> Result<Vec<(String, u32)>, ConfigError> {
+    let (first, first_line) = &fragments[0];
+    if !first.starts_with('[') {
+        let v = parse_string(first).map_err(|message| ConfigError {
+            line: *first_line,
+            message,
+        })?;
+        return Ok(vec![(v, *first_line)]);
+    }
+    let last = fragments.len() - 1;
+    let mut items = Vec::new();
+    for (fi, (frag, line)) in fragments.iter().enumerate() {
+        let mut frag = frag.as_str();
+        if fi == 0 {
+            frag = frag.strip_prefix('[').unwrap_or(frag);
+        }
+        if fi == last {
+            frag = frag.strip_suffix(']').unwrap_or(frag);
+        }
+        for part in frag.split(',') {
             let part = part.trim();
             if part.is_empty() {
-                continue; // trailing comma
+                continue; // trailing comma / blank continuation
             }
-            items.push(parse_string(part)?);
+            let v = parse_string(part).map_err(|message| ConfigError {
+                line: *line,
+                message,
+            })?;
+            items.push((v, *line));
         }
-        return Ok(items);
     }
-    Ok(vec![parse_string(value)?])
+    Ok(items)
 }
 
 fn parse_string(value: &str) -> Result<String, String> {
@@ -272,5 +381,43 @@ crates = ["tensor", "optim"]
     fn hash_inside_string_is_not_a_comment() {
         let cfg = Config::parse("[r1]\nallow = [\"a#b\"]\n").expect("parses");
         assert_eq!(cfg.r1_allow, vec!["a#b"]);
+    }
+
+    #[test]
+    fn removed_r7_section_gets_a_migration_error() {
+        let err = Config::parse("[r7]\nhot_paths = [\"crates/x.rs\"]\n").expect_err("removed");
+        assert!(err[0].message.contains("[r10] entry_points"), "{err:?}");
+    }
+
+    #[test]
+    fn entry_points_keep_their_source_lines() {
+        let cfg = Config::parse(
+            "[r10]\nentry_points = [\n    \"TopKEngine::retrieve_into\",\n    \"train_step\",\n]\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            cfg.r10_entry_points,
+            vec!["TopKEngine::retrieve_into", "train_step"]
+        );
+        assert_eq!(cfg.entry_line("TopKEngine::retrieve_into"), 3);
+        assert_eq!(cfg.entry_line("train_step"), 4);
+        assert_eq!(cfg.entry_line("absent"), 0);
+    }
+
+    #[test]
+    fn validate_paths_flags_nonexistent_entries() {
+        let cfg = Config::parse(
+            "[r1]\nallow = [\"no/such/file.rs\"]\n[r3]\ncrates = [\"no_such_crate\"]\n",
+        )
+        .expect("parses");
+        let errors = cfg.validate_paths(Path::new("/nonexistent-root"));
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert_eq!(errors[0].line, 2);
+        assert!(errors[0].message.contains("matches no file"), "{errors:?}");
+        assert_eq!(errors[1].line, 4);
+        assert!(
+            errors[1].message.contains("no crate directory"),
+            "{errors:?}"
+        );
     }
 }

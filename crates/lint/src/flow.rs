@@ -1,0 +1,1005 @@
+//! Flow-aware rules R8–R10 over the item tree and call graph.
+//!
+//! * **R8 determinism** — closures handed to the `dt_parallel` entry
+//!   points run concurrently, so their observable effects must be
+//!   order-independent. The rule flags (a) compound assignments
+//!   (`+=`/`-=`/`*=`/`/=`) whose place expression is rooted in *captured*
+//!   state rather than closure-local bindings, and (b) lock/atomic-RMW
+//!   calls (`lock`, `fetch_add`, `compare_exchange`, …) inside the
+//!   closure. Reductions belong in the sanctioned fixed-geometry kernels
+//!   (`matmul_tn` panel chunking, `select_top_k`,
+//!   `centroid_affinity_into`-style blocked scans) whose merge order is a
+//!   function of shapes, never of thread interleaving.
+//! * **R9 pool discipline** — a `let`-bound pooled buffer
+//!   (`pool::take*`, `Tensor::pooled_*`) must be recycled, returned or
+//!   moved on *every* exit path of its scope. The walker is
+//!   path-sensitive over `if`/`else` chains, treats `return`/`?` as
+//!   exits, and `panic!`/`break`/`continue` as divergence. Leak findings
+//!   carry the allocating span.
+//! * **R10 transitive hot-path closure** — call-graph reachability from
+//!   the `[r10] entry_points` of `lint.toml` replaces the old per-file
+//!   `[r7] hot_paths` list. Unannotated allocations (`Tensor::zeros`,
+//!   `Tensor::from_vec`, `Vec::new`, `Vec::with_capacity`, `vec!`) and
+//!   panic shortcuts (`unwrap`/`expect`/`panic!`/`todo!`/`unreachable!`)
+//!   are denied anywhere in the closure; each finding carries its
+//!   call-chain witness from the entry point. `assert!` remains the
+//!   sanctioned contract check, and `// pool:` / `// alloc-ok:`
+//!   annotations waive deliberate allocations exactly as under R7.
+//!
+//! Approximations (false negatives, never false positives by design):
+//! unresolved calls do not extend the R10 closure (they are counted in
+//! the report instead), `match` arms are not path-split for R9, and
+//! buffers that escape through struct literals or closures are assumed
+//! consumed.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{parse_closure, CallGraph, FileInput, ParClosure, Target};
+use crate::config::Config;
+use crate::lexer::{lex, TokKind, Token};
+use crate::parser::{match_braces, parse, FnDecl, ItemTree};
+use crate::report::{Finding, Severity};
+use crate::rules::{collect_allows, collect_pool_annotations, collect_test_ranges};
+use crate::walker::{classify, Role};
+
+/// Everything the flow rules need to know about one file.
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Layout role.
+    pub role: Role,
+    /// Comment-free token stream.
+    pub code: Vec<Token>,
+    /// Item tree over `code`.
+    pub tree: ItemTree,
+    allows: Vec<(String, u32)>,
+    test_ranges: Vec<(u32, u32)>,
+    pool_annots: Vec<u32>,
+}
+
+impl FileAnalysis {
+    /// Lexes and parses one source file.
+    #[must_use]
+    pub fn new(rel: &str, src: &str) -> FileAnalysis {
+        let tokens = lex(src);
+        let allows = collect_allows(&tokens);
+        let test_ranges = collect_test_ranges(&tokens);
+        let pool_annots = collect_pool_annotations(&tokens);
+        let code: Vec<Token> = tokens.into_iter().filter(|t| !t.is_comment()).collect();
+        let tree = parse(&code);
+        FileAnalysis {
+            rel: rel.to_owned(),
+            role: classify(rel),
+            code,
+            tree,
+            allows,
+            test_ranges,
+            pool_annots,
+        }
+    }
+
+    fn exempt(&self, rule: &str, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+            || self.allows.iter().any(|(r, l)| r == rule && *l == line)
+    }
+}
+
+/// Aggregate numbers for the report's `stats` block.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    /// Parsed items across the workspace.
+    pub items: usize,
+    /// Parsed functions (graph nodes).
+    pub functions: usize,
+    /// Classified call sites: `(resolved, external, unresolved)`.
+    pub calls: (usize, usize, usize),
+    /// Entry points that resolved.
+    pub entry_points: usize,
+    /// Functions in the R10 reachability closure.
+    pub closure_fns: usize,
+    /// Call sites inside the closure: `(resolved, external, unresolved)`.
+    pub closure_calls: (usize, usize, usize),
+}
+
+/// Runs R8–R10 over the analysed files. Returns findings plus the graph
+/// statistics for the report.
+#[must_use]
+pub fn analyze(files: &[FileAnalysis], cfg: &Config) -> (Vec<Finding>, FlowStats) {
+    let inputs: Vec<FileInput<'_>> = files
+        .iter()
+        .map(|f| FileInput {
+            rel: &f.rel,
+            role: f.role,
+            code: &f.code,
+            tree: &f.tree,
+        })
+        .collect();
+    let graph = CallGraph::build(&inputs);
+
+    let mut findings = Vec::new();
+    rule_r8(files, &graph, cfg, &mut findings);
+    rule_r9(files, cfg, &mut findings);
+    let (entry_points, closure) = rule_r10(files, &graph, cfg, &mut findings);
+
+    let all: Vec<usize> = (0..graph.fns.len()).collect();
+    let stats = FlowStats {
+        items: files.iter().map(|f| f.tree.items).sum(),
+        functions: graph.fns.len(),
+        calls: graph.call_stats(&all),
+        entry_points,
+        closure_fns: closure.len(),
+        closure_calls: graph.call_stats(&closure),
+    };
+    (findings, stats)
+}
+
+// --------------------------------------------------------------------
+// R8: determinism inside parallel closures
+// --------------------------------------------------------------------
+
+/// Lock/atomic read-modify-write entry points whose mere presence inside
+/// a parallel closure makes the merge order thread-dependent.
+const SYNC_CALLS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn rule_r8(files: &[FileAnalysis], graph: &CallGraph, cfg: &Config, findings: &mut Vec<Finding>) {
+    for node in &graph.fns {
+        if node.role != Role::Lib || node.par_closures.is_empty() {
+            continue;
+        }
+        let file = &files[node.file];
+        if Config::path_matches(&file.rel, &cfg.r2_allow) {
+            continue; // the pool's own machinery is the sanctioned exception
+        }
+        for cl in &node.par_closures {
+            check_closure_r8(file, cl, findings);
+        }
+    }
+}
+
+fn check_closure_r8(file: &FileAnalysis, cl: &ParClosure, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let (start, end) = cl.span;
+    let end = (end + 1).min(code.len());
+    let declared = locals_declared(code, start, end, &cl.params);
+    let mut i = start;
+    while i < end {
+        let t = &code[i];
+        // (a) compound assignment rooted in captured state.
+        if t.text == "="
+            && i >= 1
+            && matches!(code[i - 1].text.as_str(), "+" | "-" | "*" | "/")
+            && code[i - 1].kind == TokKind::Punct
+        {
+            if let Some(base) = place_base(code, start, i.saturating_sub(2)) {
+                let name = &code[base].text;
+                if !declared.contains(name) && !file.exempt("r8", t.line) {
+                    findings.push(finding_r8(
+                        file,
+                        t.line,
+                        format!(
+                            "`{}=` accumulates into captured `{name}` inside a `{}` \
+                             closure: reduction order follows thread interleaving. Route \
+                             the reduction through a fixed-geometry kernel \
+                             (matmul_tn panels, select_top_k, centroid_affinity_into) \
+                             or keep the accumulator closure-local",
+                            code[i - 1].text,
+                            cl.entry
+                        ),
+                    ));
+                }
+            }
+        }
+        // (b) lock/atomic-RMW calls.
+        if t.kind == TokKind::Ident
+            && SYNC_CALLS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+            && !file.exempt("r8", t.line)
+        {
+            findings.push(finding_r8(
+                file,
+                t.line,
+                format!(
+                    "`{}` inside a `{}` closure: lock/atomic merge order is \
+                     thread-dependent, so results can vary with DT_NUM_THREADS. Use a \
+                     per-task slot merged in index order, or annotate why the effect \
+                     is order-independent",
+                    t.text, cl.entry
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+fn finding_r8(file: &FileAnalysis, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "r8",
+        severity: Severity::Deny,
+        path: file.rel.clone(),
+        line,
+        end_line: line,
+        message,
+        chain: Vec::new(),
+    }
+}
+
+/// Names bound inside `[start, end)`: closure params, `let` bindings,
+/// `for` patterns, and nested closure params.
+fn locals_declared(
+    code: &[Token],
+    start: usize,
+    end: usize,
+    params: &[String],
+) -> std::collections::BTreeSet<String> {
+    let mut out: std::collections::BTreeSet<String> = params.iter().cloned().collect();
+    let mut i = start;
+    while i < end {
+        match code[i].text.as_str() {
+            "let" => {
+                let mut j = i + 1;
+                while j < end && code[j].text != "=" && code[j].text != ";" {
+                    if code[j].text == ":" {
+                        break; // type annotation: names come before it
+                    }
+                    if code[j].kind == TokKind::Ident
+                        && !matches!(code[j].text.as_str(), "mut" | "ref")
+                    {
+                        out.insert(code[j].text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            "for" => {
+                let mut j = i + 1;
+                while j < end && code[j].text != "in" && code[j].text != "{" {
+                    if code[j].kind == TokKind::Ident
+                        && !matches!(code[j].text.as_str(), "mut" | "ref")
+                    {
+                        out.insert(code[j].text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            "|" => {
+                // Nested closure head: bind its params too.
+                if let Some((nested, _)) = parse_closure(code, i, end) {
+                    out.extend(nested);
+                }
+                // Skip just the head so body `let`s are still collected.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Walks left from `p` over a place expression (`a.b[i]`, `*x`, chained
+/// calls) and returns the token index of its leftmost base identifier.
+fn place_base(code: &[Token], floor: usize, mut p: usize) -> Option<usize> {
+    let mut candidate = None;
+    loop {
+        if p < floor {
+            return candidate;
+        }
+        match code[p].text.as_str() {
+            "]" => p = match_open(code, floor, p, "[", "]")?,
+            ")" => p = match_open(code, floor, p, "(", ")")?,
+            "." => {}
+            "*" | "&" | "mut" => {}
+            _ if code[p].kind == TokKind::Ident => {
+                candidate = Some(p);
+                // Keep walking only across `.`/`::` to the left.
+                if p >= 1 && (code[p - 1].text == "." || code[p - 1].text == ":") {
+                    p -= 1;
+                    continue;
+                }
+                return candidate;
+            }
+            _ if code[p].kind == TokKind::Num => {} // tuple field
+            ":" => {}
+            _ => return candidate,
+        }
+        if p == 0 {
+            return candidate;
+        }
+        p -= 1;
+    }
+}
+
+/// Backward bracket matching: from a closer at `p` to its opener.
+fn match_open(code: &[Token], floor: usize, p: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = p;
+    loop {
+        if code[k].text == *close {
+            depth += 1;
+        } else if code[k].text == *open {
+            depth -= 1;
+            if depth == 0 {
+                return k.checked_sub(1).filter(|&v| v >= floor.saturating_sub(1));
+            }
+        }
+        if k == floor || k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+// --------------------------------------------------------------------
+// R9: pool take/recycle pairing
+// --------------------------------------------------------------------
+
+/// One tracked pooled binding.
+struct PoolBinding {
+    name: String,
+    take_line: u32,
+    /// First token after the binding statement's `;`.
+    scan_from: usize,
+    /// Exclusive end of the binding's scope (its block's `}`).
+    scope_end: usize,
+}
+
+fn rule_r9(files: &[FileAnalysis], _cfg: &Config, findings: &mut Vec<Finding>) {
+    for file in files {
+        if file.role != Role::Lib {
+            continue;
+        }
+        for decl in &file.tree.fns {
+            let Some((open, close)) = decl.body else {
+                continue;
+            };
+            for b in find_pool_bindings(&file.code, open + 1, close) {
+                if file.exempt("r9", b.take_line) {
+                    continue;
+                }
+                track_binding(file, decl, &b, findings);
+            }
+        }
+    }
+}
+
+/// Finds `let [mut] NAME = <pool take>` bindings in `[start, end)`.
+fn find_pool_bindings(code: &[Token], start: usize, end: usize) -> Vec<PoolBinding> {
+    let braces = match_braces(code);
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if code[i].text != "let" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < end && code[j].text == "mut" {
+            j += 1;
+        }
+        let Some(name_tok) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if code.get(j + 1).map_or(true, |t| t.text != "=") {
+            i = j + 1;
+            continue;
+        }
+        // Walk the initializer's leading path: `crate::pool::take_zeroed(`,
+        // `Tensor::pooled_zeros(`, `Self::pooled_scratch(` …
+        let mut k = j + 2;
+        let mut prev_seg: Option<&str> = None;
+        let mut call: Option<(&str, Option<&str>)> = None;
+        while k < end {
+            let t = &code[k];
+            if t.kind == TokKind::Ident {
+                if code.get(k + 1).is_some_and(|n| n.text == "(") {
+                    call = Some((t.text.as_str(), prev_seg));
+                    break;
+                }
+                prev_seg = Some(t.text.as_str());
+                k += 1;
+            } else if t.text == ":" {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        let pooled = matches!(
+            call,
+            Some(("take" | "take_zeroed", Some("pool")))
+                | Some(("pooled_zeros" | "pooled_scratch", _))
+        );
+        if pooled {
+            // Statement end and enclosing scope.
+            let mut s = k;
+            let mut depth = 0i32;
+            while s < end {
+                match code[s].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                s += 1;
+            }
+            let scope_end = enclosing_block_end(&braces, i, end);
+            out.push(PoolBinding {
+                name: name_tok.text.clone(),
+                take_line: name_tok.line,
+                scan_from: s + 1,
+                scope_end,
+            });
+        }
+        i = k + 1;
+    }
+    out
+}
+
+/// Exclusive end (`}` index) of the innermost block containing `tok`.
+fn enclosing_block_end(braces: &[Option<usize>], tok: usize, default: usize) -> usize {
+    let mut best = default;
+    let mut best_open = 0;
+    for (open, close) in braces.iter().enumerate() {
+        if let Some(c) = close {
+            if open < tok && *c > tok && open >= best_open {
+                best_open = open;
+                best = *c;
+            }
+        }
+    }
+    best
+}
+
+/// Outcome of walking one region for one binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The buffer was recycled / returned / moved on this path.
+    Consumed,
+    /// The path diverges without needing consumption (panic/break/…).
+    Diverged,
+    /// Fell off the end of the region with the buffer still live.
+    Live,
+}
+
+struct BindWalk<'a> {
+    file: &'a FileAnalysis,
+    name: &'a str,
+    take_line: u32,
+    fn_name: &'a str,
+    findings: &'a mut Vec<Finding>,
+}
+
+fn track_binding(file: &FileAnalysis, decl: &FnDecl, b: &PoolBinding, findings: &mut Vec<Finding>) {
+    let mut w = BindWalk {
+        file,
+        name: &b.name,
+        take_line: b.take_line,
+        fn_name: &decl.name,
+        findings,
+    };
+    let outcome = w.walk(b.scan_from, b.scope_end);
+    if outcome == Outcome::Live {
+        let end_line = w
+            .file
+            .code
+            .get(b.scope_end)
+            .map_or(decl.end_line, |t| t.line);
+        w.leak(
+            end_line,
+            format!(
+                "pooled buffer `{}` (taken at line {}) reaches the end of its scope in \
+                 `{}` without being recycled or returned",
+                b.name, b.take_line, decl.name
+            ),
+        );
+    }
+}
+
+impl BindWalk<'_> {
+    fn code(&self) -> &[Token] {
+        &self.file.code
+    }
+
+    fn leak(&mut self, end_line: u32, message: String) {
+        if self.file.exempt("r9", self.take_line) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule: "r9",
+            severity: Severity::Deny,
+            path: self.file.rel.clone(),
+            line: self.take_line,
+            end_line,
+            message,
+            chain: Vec::new(),
+        });
+    }
+
+    /// Walks `[i0, end)` (a block interior) and reports how the binding
+    /// fares on this path.
+    fn walk(&mut self, i0: usize, end: usize) -> Outcome {
+        let mut i = i0;
+        while i < end.min(self.code().len()) {
+            let text = self.code()[i].text.clone();
+            let line = self.code()[i].line;
+            match text.as_str() {
+                "if" => {
+                    let Some((merged, next)) = self.walk_if(i, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    match merged {
+                        Outcome::Consumed => return Outcome::Consumed,
+                        Outcome::Diverged => return Outcome::Diverged,
+                        Outcome::Live => i = next,
+                    }
+                }
+                "while" | "loop" | "for" => {
+                    let Some(open) = self.scan_to_open(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let close = self.brace_close(open, end);
+                    // Executed-once approximation: consumption inside the
+                    // body counts; divergence (break) does not.
+                    if self.walk(open + 1, close) == Outcome::Consumed {
+                        return Outcome::Consumed;
+                    }
+                    i = close + 1;
+                }
+                "match" => {
+                    let Some(open) = self.scan_to_open(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let close = self.brace_close(open, end);
+                    if self.flat_consumes(open + 1, close) {
+                        return Outcome::Consumed;
+                    }
+                    // No arm consumes: early `return`s inside still leak.
+                    self.flat_check_returns(open + 1, close);
+                    i = close + 1;
+                }
+                "return" => {
+                    let stop = self.stmt_end(i + 1, end);
+                    if self.flat_consumes(i + 1, stop) {
+                        // `return buf` consumes *and* exits the fn, so the
+                        // path diverges: sibling branches keep their own
+                        // consumption duty.
+                        return Outcome::Diverged;
+                    }
+                    self.leak(
+                        line,
+                        format!(
+                            "pooled buffer `{}` (taken at line {}) leaks on the early \
+                             `return` at line {line} in `{}`",
+                            self.name, self.take_line, self.fn_name
+                        ),
+                    );
+                    return Outcome::Diverged;
+                }
+                "?" => {
+                    self.leak(
+                        line,
+                        format!(
+                            "pooled buffer `{}` (taken at line {}) may leak through the \
+                             `?` early exit at line {line} in `{}`",
+                            self.name, self.take_line, self.fn_name
+                        ),
+                    );
+                    i += 1;
+                }
+                "break" | "continue" => return Outcome::Diverged,
+                "panic" | "todo" | "unimplemented" | "unreachable"
+                    if self.code().get(i + 1).is_some_and(|n| n.text == "!") =>
+                {
+                    return Outcome::Diverged;
+                }
+                "|" if crate::callgraph::is_closure_start(self.code(), i) => {
+                    // Closure body: only consumption counts; a `return`
+                    // inside exits the closure, not this fn.
+                    if let Some((_, span_end)) = parse_closure(self.code(), i, end) {
+                        if self.flat_consumes(i, span_end + 1) {
+                            return Outcome::Consumed;
+                        }
+                        i = span_end + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "{" => {
+                    let close = self.brace_close(i, end);
+                    match self.walk(i + 1, close) {
+                        Outcome::Consumed => return Outcome::Consumed,
+                        Outcome::Diverged => return Outcome::Diverged,
+                        Outcome::Live => i = close + 1,
+                    }
+                }
+                _ => {
+                    if self.consumes_at(i) {
+                        return Outcome::Consumed;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // Tail expression `…; NAME }`.
+        if end >= 1
+            && self
+                .code()
+                .get(end.saturating_sub(1))
+                .is_some_and(|t| t.text == self.name)
+        {
+            return Outcome::Consumed;
+        }
+        Outcome::Live
+    }
+
+    /// Handles an `if … {} else if … {} else {}` chain starting at `i`.
+    /// Returns the merged outcome and the index after the chain.
+    fn walk_if(&mut self, i: usize, end: usize) -> Option<(Outcome, usize)> {
+        let if_line = self.code()[i].line;
+        let mut branches: Vec<Outcome> = Vec::new();
+        let mut had_else = false;
+        let mut j = i;
+        loop {
+            // `j` is at `if`: condition runs to the `{`.
+            let open = self.scan_to_open(j + 1, end)?;
+            if self.flat_consumes(j + 1, open) {
+                return Some((Outcome::Consumed, open));
+            }
+            let close = self.brace_close(open, end);
+            branches.push(self.walk(open + 1, close));
+            j = close + 1;
+            if self.code().get(j).map_or(true, |t| t.text != "else") {
+                break;
+            }
+            match self.code().get(j + 1).map(|t| t.text.as_str()) {
+                Some("if") => {
+                    j += 1; // loop continues at the nested `if`
+                }
+                Some("{") => {
+                    let close = self.brace_close(j + 1, end);
+                    branches.push(self.walk(j + 2, close));
+                    had_else = true;
+                    j = close + 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if !had_else {
+            branches.push(Outcome::Live); // implicit fall-through arm
+        }
+        let effective: Vec<Outcome> = branches
+            .iter()
+            .copied()
+            .filter(|&o| o != Outcome::Diverged)
+            .collect();
+        let merged = if effective.is_empty() {
+            Outcome::Diverged
+        } else if effective.iter().all(|&o| o == Outcome::Consumed) {
+            Outcome::Consumed
+        } else if effective.iter().all(|&o| o == Outcome::Live) {
+            Outcome::Live
+        } else {
+            self.leak(
+                if_line,
+                format!(
+                    "pooled buffer `{}` (taken at line {}) is recycled on only some \
+                     branches of the `if` at line {if_line} in `{}`",
+                    self.name, self.take_line, self.fn_name
+                ),
+            );
+            Outcome::Consumed // reported once; stop tracking
+        };
+        Some((merged, j))
+    }
+
+    /// First `{` at paren depth 0 in `[from, end)`, checking consumption
+    /// events in the header tokens on the way.
+    fn scan_to_open(&mut self, from: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut k = from;
+        while k < end.min(self.code().len()) {
+            match self.code()[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => return Some(k),
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    fn brace_close(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let code = self.code();
+        let mut k = open;
+        while k < end.min(code.len()) {
+            match code[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// End of the current statement (`;` at depth 0), exclusive.
+    fn stmt_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let code = self.code();
+        let mut k = from;
+        while k < end.min(code.len()) {
+            match code[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth <= 0 => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Linear scan of `[from, to)` for any consumption event.
+    fn flat_consumes(&self, from: usize, to: usize) -> bool {
+        (from..to.min(self.code().len())).any(|k| self.consumes_at(k))
+    }
+
+    /// Linear scan reporting `return`-while-live leaks (used inside
+    /// `match` blocks, which are not path-split).
+    fn flat_check_returns(&mut self, from: usize, to: usize) {
+        let mut k = from;
+        while k < to.min(self.code().len()) {
+            if self.code()[k].text == "return" {
+                let stop = self.stmt_end(k + 1, to);
+                if !self.flat_consumes(k + 1, stop) {
+                    let line = self.code()[k].line;
+                    self.leak(
+                        line,
+                        format!(
+                            "pooled buffer `{}` (taken at line {}) leaks on the early \
+                             `return` at line {line} (inside a `match`) in `{}`",
+                            self.name, self.take_line, self.fn_name
+                        ),
+                    );
+                }
+                k = stop;
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Is the token at `k` a consumption event for this binding?
+    fn consumes_at(&self, k: usize) -> bool {
+        let code = self.code();
+        let t = &code[k];
+        // `recycle(NAME)` / `pool::recycle(NAME)`.
+        if t.text == "recycle"
+            && code.get(k + 1).is_some_and(|n| n.text == "(")
+            && code.get(k + 2).is_some_and(|n| n.text == self.name)
+        {
+            return true;
+        }
+        if t.text != self.name || t.kind != TokKind::Ident {
+            return false;
+        }
+        let prev = k.checked_sub(1).map(|p| code[p].text.as_str());
+        let next = code.get(k + 1).map(|n| n.text.as_str());
+        let next2 = code.get(k + 2).map(|n| n.text.as_str());
+        // `NAME.recycle()`.
+        if next == Some(".") && next2 == Some("recycle") {
+            return true;
+        }
+        match (prev, next) {
+            // Returned to the caller (ownership transfer).
+            (Some("return"), _) => true,
+            // Moved into a call / struct / array / tuple.
+            (Some("(" | ","), Some(")" | "," | ";")) => true,
+            (Some(":"), Some("," | "}")) => true,
+            (Some("{" | "," | "["), Some("," | "}" | "]")) => true,
+            // Moved into another binding (ownership transfer).
+            (Some("="), Some(";")) => true,
+            // Tail expression of a block.
+            (_, Some("}")) => true,
+            _ => false,
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// R10: transitive hot-path closure
+// --------------------------------------------------------------------
+
+/// Resolves entry points, walks the closure and applies the deny rules.
+/// Returns `(resolved_entry_count, closure_node_ids)`.
+fn rule_r10(
+    files: &[FileAnalysis],
+    graph: &CallGraph,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> (usize, Vec<usize>) {
+    // Resolve entries.
+    let mut queue: Vec<usize> = Vec::new();
+    let mut resolved_entries = 0usize;
+    for entry in &cfg.r10_entry_points {
+        let ids: Vec<usize> = if entry.contains("::") {
+            graph.by_qual.get(entry).copied().into_iter().collect()
+        } else {
+            graph.by_name.get(entry).cloned().unwrap_or_default()
+        };
+        if ids.is_empty() {
+            findings.push(Finding {
+                rule: "r10",
+                severity: Severity::Deny,
+                path: crate::CONFIG_FILE.to_owned(),
+                line: cfg.entry_line(entry),
+                end_line: cfg.entry_line(entry),
+                message: format!(
+                    "[r10] entry point `{entry}` matches no function in the workspace"
+                ),
+                chain: Vec::new(),
+            });
+        } else {
+            resolved_entries += 1;
+            queue.extend(ids);
+        }
+    }
+
+    // BFS over resolved edges between Lib-role functions.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut seen: Vec<usize> = Vec::new();
+    let mut head = 0usize;
+    let mut in_closure = vec![false; graph.fns.len()];
+    for &id in &queue {
+        if !in_closure[id] {
+            in_closure[id] = true;
+            seen.push(id);
+        }
+    }
+    let mut order = seen.clone();
+    while head < order.len() {
+        let id = order[head];
+        head += 1;
+        for call in &graph.fns[id].calls {
+            if let Target::Resolved(callee) = call.target {
+                if graph.fns[callee].role == Role::Lib && !in_closure[callee] {
+                    in_closure[callee] = true;
+                    parent.insert(callee, id);
+                    order.push(callee);
+                }
+            }
+        }
+    }
+
+    // Deny scan over every closure member.
+    for &id in &order {
+        let node = &graph.fns[id];
+        let file = &files[node.file];
+        let Some((open, close)) = node.body else {
+            continue;
+        };
+        let chain = witness_chain(graph, &parent, id);
+        scan_deny(file, &file.code[..], open, close, &chain, findings);
+    }
+    (resolved_entries, order)
+}
+
+/// The call-chain witness from an entry point to `id`, as qualified
+/// names.
+fn witness_chain(graph: &CallGraph, parent: &BTreeMap<usize, usize>, id: usize) -> Vec<String> {
+    let mut chain = vec![graph.fns[id].qual.clone()];
+    let mut cur = id;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(graph.fns[p].qual.clone());
+        cur = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Applies the R10 deny list to one function body.
+fn scan_deny(
+    file: &FileAnalysis,
+    code: &[Token],
+    open: usize,
+    close: usize,
+    chain: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    let via = chain.join(" -> ");
+    for i in open + 1..close.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| code.get(i + 1).is_some_and(|n| n.text == s);
+        let prev_is = |s: &str| i >= 1 && code[i - 1].text == s;
+        let path_prefix = |p: &str| {
+            i >= 3 && code[i - 1].text == ":" && code[i - 2].text == ":" && code[i - 3].text == p
+        };
+        let mut hit: Option<(String, bool)> = None; // (what, is_alloc)
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_is(".") && next_is("(") => {
+                hit = Some((format!(".{}()", t.text), false));
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable" if next_is("!") => {
+                hit = Some((format!("{}!", t.text), false));
+            }
+            "zeros" | "from_vec" if path_prefix("Tensor") && next_is("(") => {
+                hit = Some((format!("Tensor::{}", t.text), true));
+            }
+            "new" | "with_capacity" if path_prefix("Vec") && next_is("(") => {
+                hit = Some((format!("Vec::{}", t.text), true));
+            }
+            "vec" if next_is("!") => {
+                hit = Some(("vec!".to_owned(), true));
+            }
+            _ => {}
+        }
+        let Some((what, is_alloc)) = hit else {
+            continue;
+        };
+        if file.exempt("r10", t.line) {
+            continue;
+        }
+        if is_alloc && file.pool_annots.contains(&t.line) {
+            continue;
+        }
+        let (noun, fix) = if is_alloc {
+            (
+                "allocation",
+                "draw the buffer from the step pool or justify it with `// pool: why` / \
+                 `// alloc-ok: why`",
+            )
+        } else {
+            (
+                "panic path",
+                "propagate a Result, use assert! for contract checks, or annotate \
+                 `// lint: allow(r10): why`",
+            )
+        };
+        findings.push(Finding {
+            rule: "r10",
+            severity: Severity::Deny,
+            path: file.rel.clone(),
+            line: t.line,
+            end_line: t.line,
+            message: format!(
+                "`{what}` {noun} reachable from a hot-path entry point \
+                 (via {via}): {fix}"
+            ),
+            chain: chain.to_vec(),
+        });
+    }
+}

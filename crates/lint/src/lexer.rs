@@ -339,11 +339,14 @@ pub fn lex(src: &str) -> Vec<Token> {
 }
 
 /// `true` when the `r`/`b` at the cursor starts a literal rather than an
-/// identifier (`radius`, `beta`, …).
+/// identifier (`radius`, `beta`, …). A raw identifier `r#match` is *not*
+/// a literal: `r#` followed by an identifier character is the raw-ident
+/// prefix, whereas raw strings continue with `"` or more `#`s.
 fn is_raw_or_byte_literal(lx: &Lexer<'_>) -> bool {
     let b = lx.peek(0);
     match (b, lx.peek(1)) {
-        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'r'), Some(b'"')) => true,
+        (Some(b'r'), Some(b'#')) => matches!(lx.peek(2), Some(b'"' | b'#')),
         (Some(b'b'), Some(b'"' | b'\'')) => true,
         (Some(b'b'), Some(b'r')) => matches!(lx.peek(2), Some(b'"' | b'#')),
         _ => false,
@@ -466,5 +469,84 @@ mod tests {
         let _ = lex("/* unterminated");
         let _ = lex("r#\"unterminated");
         let _ = lex("'");
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        let src = "let s = r###\"two \"# hashes \"## inside\"###; tail";
+        let toks = kinds(src);
+        assert!(
+            toks.iter()
+                .any(|(k, t)| *k == TokKind::RawStr && t.contains("inside")),
+            "{toks:?}"
+        );
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let toks = kinds("let r#match = 1; r#\"raw\"#");
+        // `r#match` lexes as `r` `#` `match`, not as a raw-string attempt
+        // that would swallow the rest of the file.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "match"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t.contains("raw")));
+    }
+
+    #[test]
+    fn braces_inside_char_and_byte_literals_stay_hidden() {
+        let toks = kinds("match c { '{' => b'{', '}' => b'}', _ => b'x' }");
+        let braces = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && (t == "{" || t == "}"))
+            .count();
+        // Only the match block's own braces survive as punctuation.
+        assert_eq!(braces, 2, "{toks:?}");
+    }
+
+    /// Minimal xorshift-style generator (std-only stand-in for proptest):
+    /// deterministic, so failures reproduce.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn lexer_never_panics_and_terminates_on_arbitrary_input() {
+        // Alphabet biased toward the constructs with tricky state machines:
+        // raw-string hashes, comment openers, escapes, braces in literals.
+        const ALPHABET: &[u8] = b"rb#\"'{}/*\\\n a0._:;|=<>!()[]-+";
+        let mut state = 0x3141_5926_5358_9793u64;
+        for trial in 0..500 {
+            let len = (splitmix64(&mut state) % 200) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| ALPHABET[(splitmix64(&mut state) as usize) % ALPHABET.len()])
+                .collect();
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let toks = lex(&src);
+            // Terminated (we got here), produced sane line numbers.
+            let mut prev = 1;
+            for t in &toks {
+                assert!(t.line >= prev, "trial {trial}: lines regressed on {src:?}");
+                prev = t.line;
+            }
+        }
+        // Arbitrary (non-alphabet) bytes, including invalid UTF-8 runs
+        // smoothed by from_utf8_lossy at the call boundary.
+        for trial in 0..200 {
+            let len = (splitmix64(&mut state) % 64) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| (splitmix64(&mut state) & 0xff) as u8)
+                .collect();
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let _ = lex(&src);
+            let _ = trial;
+        }
     }
 }

@@ -1,8 +1,10 @@
 //! # dt-lint
 //!
 //! Std-only static analysis for the disrec workspace: a hand-rolled Rust
-//! lexer, a token-stream rule engine, and a workspace walker that together
-//! enforce the repo's reproducibility invariants (see DESIGN.md §9):
+//! lexer, an item-tree parser, a workspace call graph, a token-stream rule
+//! engine plus flow-aware rule families, and a workspace walker that
+//! together enforce the repo's reproducibility invariants (see DESIGN.md
+//! §9 and §14):
 //!
 //! * **R1** — `unsafe` only in the audited modules,
 //! * **R2** — all parallelism rides the shared `dt-parallel` pool,
@@ -10,7 +12,13 @@
 //! * **R4** — no unseeded randomness or stray wall-clock reads,
 //! * **R5** — no console printing from library code,
 //! * **R6** — estimator/identifiability APIs cite the paper construct they
-//!   implement.
+//!   implement,
+//! * **R8** — parallel closures must not accumulate into captured state or
+//!   reach for locks/atomics (determinism across `DT_NUM_THREADS`),
+//! * **R9** — pooled buffers are recycled or returned on every exit path,
+//! * **R10** — no unannotated allocation/panic anywhere in the call-graph
+//!   closure of the declared hot-path entry points (replaces the old
+//!   per-file R7 list).
 //!
 //! The paper's DT-IPS/DT-DR results hinge on bit-identical reruns; these
 //! rules keep nondeterminism and panic shortcuts from sneaking back in as
@@ -31,8 +39,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walker;
@@ -41,7 +52,7 @@ use std::io;
 use std::path::Path;
 
 pub use config::{Config, ConfigError};
-pub use report::{Finding, Report, Severity};
+pub use report::{Finding, Report, Severity, Stats};
 
 /// Name of the allowlist file at the workspace root.
 pub const CONFIG_FILE: &str = "lint.toml";
@@ -56,18 +67,44 @@ pub const REPORT_FILE: &str = "LINT_report.json";
 /// Propagates filesystem errors from the walk or unreadable files.
 pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
     let files = walker::walk(root, config)?;
-    let mut report = Report {
-        findings: Vec::new(),
-        files_scanned: files.len(),
-    };
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(&file.abs)?;
-        report
-            .findings
-            .extend(rules::lint_source(&file.rel, &src, config));
+        sources.push((file.rel.clone(), src));
     }
+    Ok(run_sources(&sources, config))
+}
+
+/// Lints an in-memory set of `(workspace-relative path, source)` pairs:
+/// phase 1 applies the token rules per file, phase 2 builds the item
+/// trees and call graph and applies the flow rules R8–R10. Fixture tests
+/// use this directly with synthetic paths and entry points.
+#[must_use]
+pub fn run_sources(sources: &[(String, String)], config: &Config) -> Report {
+    let mut report = Report {
+        findings: Vec::new(),
+        files_scanned: sources.len(),
+        stats: Stats::default(),
+    };
+    let mut analyses = Vec::with_capacity(sources.len());
+    for (rel, src) in sources {
+        report.findings.extend(rules::lint_source(rel, src, config));
+        analyses.push(flow::FileAnalysis::new(rel, src));
+    }
+    let (flow_findings, fs) = flow::analyze(&analyses, config);
+    report.findings.extend(flow_findings);
+    report.stats = Stats {
+        files: sources.len(),
+        items: fs.items,
+        functions: fs.functions,
+        calls: fs.calls,
+        entry_points: fs.entry_points,
+        closure_fns: fs.closure_fns,
+        closure_calls: fs.closure_calls,
+        wall_ms: 0, // stamped by the CLI, kept 0 in library runs
+    };
     report.sort();
-    Ok(report)
+    report
 }
 
 /// Reads and parses `lint.toml` under `root`.

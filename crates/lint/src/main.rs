@@ -1,16 +1,19 @@
-//! The `dt-lint` binary: walks the workspace, applies R1–R7, prints the
-//! human-readable findings and writes `LINT_report.json`.
+//! The `dt-lint` binary: walks the workspace, applies R1–R6 and the
+//! flow-aware R8–R10, prints the human-readable findings and writes
+//! `LINT_report.json` (schema v2).
 //!
 //! Exit status: `0` when the gate passes, `1` on findings (errors always;
-//! warnings too under `--deny-warnings`), `2` on usage or I/O problems.
+//! warnings too under `--deny-warnings`), `2` on usage, configuration or
+//! I/O problems.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use dt_lint::{find_root, load_config, run, REPORT_FILE};
 
 const USAGE: &str = "\
-dt-lint: workspace invariant analyzer (see DESIGN.md section 9)
+dt-lint: workspace invariant analyzer (see DESIGN.md sections 9 and 14)
 
 USAGE:
     dt-lint [OPTIONS]
@@ -18,6 +21,9 @@ USAGE:
 OPTIONS:
     --root <DIR>       workspace root (default: nearest ancestor with lint.toml)
     --deny-warnings    exit nonzero on warnings (R6) as well as errors
+    --check-config     also validate lint.toml paths/crates against the tree
+    --stats            print call-graph statistics (files, items, edges,
+                       unresolved-call ratio, wall time) after the summary
     --json <FILE>      write the JSON report here (default: <root>/LINT_report.json)
     --no-json          skip writing the JSON report
     --quiet            suppress the per-finding listing, keep the summary
@@ -27,6 +33,8 @@ OPTIONS:
 struct Opts {
     root: Option<PathBuf>,
     deny_warnings: bool,
+    check_config: bool,
+    stats: bool,
     json: Option<PathBuf>,
     no_json: bool,
     quiet: bool,
@@ -36,6 +44,8 @@ fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         root: None,
         deny_warnings: false,
+        check_config: false,
+        stats: false,
         json: None,
         no_json: false,
         quiet: false,
@@ -53,6 +63,8 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--no-json" => opts.no_json = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--check-config" => opts.check_config = true,
+            "--stats" => opts.stats = true,
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -95,13 +107,25 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run(&root, &config) {
+    if opts.check_config {
+        let errors = config.validate_paths(&root);
+        if !errors.is_empty() {
+            for e in &errors {
+                eprintln!("dt-lint: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    }
+
+    let started = Instant::now();
+    let mut report = match run(&root, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dt-lint: walk failed: {e}");
             return ExitCode::from(2);
         }
     };
+    report.stats.wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
 
     if !opts.no_json {
         let path = opts.json.unwrap_or_else(|| root.join(REPORT_FILE));
@@ -118,6 +142,9 @@ fn main() -> ExitCode {
         }
     } else {
         print!("{}", report.human());
+    }
+    if opts.stats {
+        print!("{}", report.stats.human());
     }
 
     if report.fails(opts.deny_warnings) {

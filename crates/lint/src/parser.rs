@@ -1,0 +1,469 @@
+//! The item-tree parser: a brace-matched view of one source file.
+//!
+//! The flow rules (R8–R10) need more than a token stream: they need to know
+//! where each function begins and ends, which `impl` block it sits in, what
+//! its parameters and return type look like, and where its body's braces
+//! match. This module builds exactly that — an *item tree* — on top of the
+//! comment-free token stream from [`crate::lexer`]:
+//!
+//! * every `fn` item with its name, enclosing `impl` self-type, signature
+//!   hints (parameter names with coarse type heads, return-type head) and
+//!   the token range of its `{ … }` body,
+//! * a count of items seen (`fn`/`impl`/`mod`/`struct`/`enum`/`trait`),
+//!   reported in the `--stats` block.
+//!
+//! Like the lexer, the parser is total: it never panics and always
+//! terminates — malformed input degrades to fewer recognised items, never
+//! to a crash. Braces inside strings/chars/comments are already hidden by
+//! the lexer, so brace matching over the code tokens is exact.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parameter of a parsed function.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (first identifier of the pattern; `self` for receivers).
+    pub name: String,
+    /// Coarse type head: the last identifier of the type's leading path
+    /// before any generics (`&ScoringIndex` → `ScoringIndex`,
+    /// `&mut Vec<u32>` → `Vec`). `None` when the type is not path-shaped.
+    pub ty: Option<String>,
+}
+
+/// One `fn` item with its span and signature hints.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Bare function name.
+    pub name: String,
+    /// Self-type of the enclosing `impl` block, when any
+    /// (`impl Trait for Type` records `Type`).
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace (header line for
+    /// body-less trait declarations).
+    pub end_line: u32,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Coarse return-type head (`-> Tensor` → `Tensor`; `Self` is
+    /// substituted with the impl type when known).
+    pub ret_ty: Option<String>,
+    /// Token-index range `(open_brace, close_brace)` of the body in the
+    /// comment-free code slice; `None` for trait method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnDecl {
+    /// `Type::name` when inside an impl, else the bare name.
+    #[must_use]
+    pub fn qual(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The item tree of one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Every parsed `fn` item, in source order.
+    pub fns: Vec<FnDecl>,
+    /// Count of items recognised (`fn`, `impl`, `mod`, `struct`, `enum`,
+    /// `trait`).
+    pub items: usize,
+}
+
+/// Pairs every `{` with its matching `}` by token index. Unmatched braces
+/// map to `None`; an unmatched `}` is ignored (forgiving, like the lexer).
+#[must_use]
+pub fn match_braces(code: &[Token]) -> Vec<Option<usize>> {
+    let mut out = vec![None; code.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    out[open] = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses the item tree of a comment-free code token slice.
+#[must_use]
+pub fn parse(code: &[Token]) -> ItemTree {
+    let braces = match_braces(code);
+    let mut tree = ItemTree::default();
+    // Stack of `(self_ty, close_brace_idx)` for open impl blocks.
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        while impls.last().is_some_and(|&(_, end)| i > end) {
+            impls.pop();
+        }
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                tree.items += 1;
+                if let Some((ty, open)) = parse_impl_header(code, i) {
+                    if let Some(Some(close)) = braces.get(open).copied() {
+                        impls.push((ty, close));
+                    }
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                tree.items += 1;
+                let self_ty = impls.last().and_then(|(ty, _)| ty.clone());
+                if let Some((decl, next)) = parse_fn(code, i, &braces, self_ty) {
+                    tree.fns.push(decl);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "mod" | "struct" | "enum" | "trait" => {
+                tree.items += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    tree
+}
+
+/// At an `impl` keyword: extracts the self-type head and the index of the
+/// body's opening brace. `impl<T> Trait for Type<T> where …` records
+/// `Type`; `impl Type` records `Type`.
+fn parse_impl_header(code: &[Token], at: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0i32;
+    let mut path_last: Option<String> = None;
+    let mut in_where = false; // `where` bounds are not type heads
+    let mut j = at + 1;
+    while j < code.len() {
+        let t = &code[j];
+        match t.text.as_str() {
+            "{" if angle <= 0 => {
+                return Some((path_last, j));
+            }
+            ";" if angle <= 0 => return None, // e.g. `impl Trait for Ty;` — no body
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "for" if angle <= 0 => {
+                // The trait path collected so far is not the self type.
+                path_last = None;
+            }
+            "where" if angle <= 0 => in_where = true,
+            _ if t.kind == TokKind::Ident && angle <= 0 && !in_where => {
+                path_last = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// At a `fn` keyword: parses the header and body span. Returns the decl
+/// plus the index to continue scanning from (inside the body, so nested
+/// items are still visited).
+fn parse_fn(
+    code: &[Token],
+    at: usize,
+    braces: &[Option<usize>],
+    self_ty: Option<String>,
+) -> Option<(FnDecl, usize)> {
+    let name_tok = code.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(` function-pointer type, not an item
+    }
+    // Signature parens, skipping generics between name and `(`.
+    let mut j = at + 2;
+    let mut angle = 0i32;
+    let open_paren = loop {
+        let t = code.get(j)?;
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "(" if angle <= 0 => break j,
+            "{" | ";" => return None, // malformed header
+            _ => {}
+        }
+        j += 1;
+    };
+    let close_paren = match_paren(code, open_paren)?;
+    let params = parse_params(code, open_paren, close_paren, self_ty.as_deref());
+
+    // Return type and body/terminator.
+    let mut ret_ty = None;
+    let mut k = close_paren + 1;
+    let mut body = None;
+    let mut in_ret = false;
+    let mut ret_toks: Vec<&Token> = Vec::new();
+    let mut angle = 0i32;
+    while let Some(t) = code.get(k) {
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" if !(k > 0 && code[k - 1].text == "-") => angle = (angle - 1).max(0),
+            ">" => {} // the `>` of `->`
+            "-" if code.get(k + 1).is_some_and(|n| n.text == ">") => {
+                in_ret = true;
+                k += 2;
+                continue;
+            }
+            "where" if angle <= 0 => in_ret = false,
+            "{" if angle <= 0 => {
+                body = Some(k);
+                break;
+            }
+            ";" if angle <= 0 => break,
+            _ => {
+                if in_ret && angle <= 0 {
+                    ret_toks.push(t);
+                }
+            }
+        }
+        k += 1;
+    }
+    if !ret_toks.is_empty() {
+        ret_ty = type_head(&ret_toks);
+        if ret_ty.as_deref() == Some("Self") {
+            ret_ty.clone_from(&self_ty);
+        }
+    }
+    let (span, end_line, next) = match body {
+        Some(open) => {
+            let close = braces.get(open).copied().flatten();
+            match close {
+                Some(c) => (Some((open, c)), code[c].line, open + 1),
+                None => (
+                    Some((open, code.len().saturating_sub(1))),
+                    code[code.len() - 1].line,
+                    open + 1,
+                ),
+            }
+        }
+        None => (None, name_tok.line, k + 1),
+    };
+    Some((
+        FnDecl {
+            name: name_tok.text.clone(),
+            self_ty,
+            line: code[at].line,
+            end_line,
+            params,
+            ret_ty,
+            body: span,
+        },
+        next,
+    ))
+}
+
+/// Matches a `(` at `open` to its `)` by scanning forward.
+fn match_paren(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the parameter list between `open`/`close` parens: one
+/// [`Param`] per top-level comma segment.
+fn parse_params(code: &[Token], open: usize, close: usize, self_ty: Option<&str>) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut seg: Vec<&Token> = Vec::new();
+    for t in &code[open + 1..close] {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "," if depth <= 0 => {
+                if let Some(p) = parse_param(&seg, self_ty) {
+                    out.push(p);
+                }
+                seg.clear();
+                continue;
+            }
+            _ => {}
+        }
+        seg.push(t);
+    }
+    if let Some(p) = parse_param(&seg, self_ty) {
+        out.push(p);
+    }
+    out
+}
+
+/// One `name: Type` (or receiver) segment → a [`Param`].
+fn parse_param(seg: &[&Token], self_ty: Option<&str>) -> Option<Param> {
+    if seg.is_empty() {
+        return None;
+    }
+    // Receiver forms: `self`, `&self`, `&mut self`, `mut self`, `self: …`.
+    if seg
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+        .is_some_and(|t| t.text == "self")
+    {
+        return Some(Param {
+            name: "self".to_owned(),
+            ty: self_ty.map(str::to_owned),
+        });
+    }
+    let colon = seg.iter().position(|t| t.text == ":");
+    let name = seg[..colon.unwrap_or(seg.len())]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+        .text
+        .clone();
+    let ty = colon.and_then(|c| type_head(&seg[c + 1..]));
+    Some(Param { name, ty })
+}
+
+/// Coarse type head of a type-token sequence: skips references, `mut`,
+/// lifetimes, `dyn`/`impl`, then takes the last identifier of the leading
+/// path before any generics. Tuples, slices and fn-pointers yield `None`.
+fn type_head(toks: &[&Token]) -> Option<String> {
+    let mut last: Option<String> = None;
+    for t in toks {
+        match t.text.as_str() {
+            "&" | "mut" | "dyn" | "impl" => continue,
+            ":" => continue, // path separator halves
+            "<" | "(" | "[" | "," | ";" | "+" => break,
+            _ if t.kind == TokKind::Lifetime => continue,
+            _ if t.kind == TokKind::Ident => last = Some(t.text.clone()),
+            _ => break,
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_of(src: &str) -> Vec<Token> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    fn parse_src(src: &str) -> ItemTree {
+        parse(&code_of(src))
+    }
+
+    #[test]
+    fn free_fn_with_params_and_ret() {
+        let t = parse_src("pub fn f(x: &Tensor, n: usize) -> Tensor { x.clone() }");
+        assert_eq!(t.fns.len(), 1);
+        let f = &t.fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.self_ty, None);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "x");
+        assert_eq!(f.params[0].ty.as_deref(), Some("Tensor"));
+        assert_eq!(f.params[1].ty.as_deref(), Some("usize"));
+        assert_eq!(f.ret_ty.as_deref(), Some("Tensor"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_the_self_type() {
+        let t = parse_src(
+            "impl TopKEngine {\n  pub fn retrieve_into(&self, k: usize) {}\n}\n\
+             impl fmt::Display for Finding {\n  fn fmt(&self) -> Self {}\n}",
+        );
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].qual(), "TopKEngine::retrieve_into");
+        assert_eq!(t.fns[0].params[0].name, "self");
+        assert_eq!(t.fns[0].params[0].ty.as_deref(), Some("TopKEngine"));
+        assert_eq!(t.fns[1].qual(), "Finding::fmt");
+        // `-> Self` resolves to the impl type.
+        assert_eq!(t.fns[1].ret_ty.as_deref(), Some("Finding"));
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses() {
+        let t = parse_src(
+            "impl<T: Clone> Wrapper<T> where T: Send {\n  fn get(&self) -> T { todo!() }\n}",
+        );
+        assert_eq!(t.fns[0].qual(), "Wrapper::get");
+    }
+
+    #[test]
+    fn body_spans_are_brace_matched() {
+        let src = "fn a() {\n  if x { y(); }\n}\nfn b() {}";
+        let t = parse_src(src);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].line, 1);
+        assert_eq!(t.fns[0].end_line, 3);
+        assert_eq!(t.fns[1].line, 4);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies() {
+        let t = parse_src("trait T {\n  fn required(&self) -> usize;\n  fn provided(&self) {}\n}");
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let t = parse_src("fn apply(f: fn(usize) -> usize) -> usize { f(1) }");
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn item_counts_cover_the_kinds() {
+        let t = parse_src("mod m { struct S; enum E {} trait T {} impl S { fn f() {} } }");
+        assert_eq!(t.items, 5 + 1); // mod, struct, enum, trait, impl, fn
+        assert_eq!(t.fns.len(), 1);
+    }
+
+    #[test]
+    fn malformed_input_degrades_without_panicking() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "fn f(x: ) -> {",
+            "impl X fn f",
+            "fn f() { unclosed",
+            "} } fn g() {}",
+        ] {
+            let _ = parse_src(src);
+        }
+        // The trailing well-formed item is still found after garbage.
+        let t = parse_src("} } fn g() {}");
+        assert_eq!(t.fns.len(), 1);
+    }
+
+    #[test]
+    fn generic_fn_headers() {
+        let t = parse_src("pub fn max_of<T: PartialOrd>(a: T, b: T) -> T { a }");
+        assert_eq!(t.fns[0].name, "max_of");
+        assert_eq!(t.fns[0].params.len(), 2);
+    }
+}

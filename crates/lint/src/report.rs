@@ -29,16 +29,22 @@ impl Severity {
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule identifier (`r1` … `r6`).
+    /// Rule identifier (`r1` … `r10`).
     pub rule: &'static str,
     /// Gate behaviour of the rule.
     pub severity: Severity,
     /// Workspace-relative path with forward slashes.
     pub path: String,
-    /// 1-based source line.
+    /// 1-based source line where the finding starts.
     pub line: u32,
+    /// 1-based source line where the finding's span ends (equals `line`
+    /// for single-line findings; R9 leaks span take → exit).
+    pub end_line: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// R10 call-chain witness from the entry point to the flagged
+    /// function, as qualified names. Empty for other rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -55,6 +61,83 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Call-graph statistics recorded in the report (schema v2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// `.rs` files analysed.
+    pub files: usize,
+    /// Parsed items (fns, impls, mods, structs, enums, traits).
+    pub items: usize,
+    /// Parsed functions (call-graph nodes).
+    pub functions: usize,
+    /// Workspace-wide call sites: `(resolved, external, unresolved)`.
+    pub calls: (usize, usize, usize),
+    /// `[r10]` entry points that resolved to a workspace function.
+    pub entry_points: usize,
+    /// Functions in the R10 hot-path closure.
+    pub closure_fns: usize,
+    /// Call sites inside the closure: `(resolved, external, unresolved)`.
+    pub closure_calls: (usize, usize, usize),
+    /// End-to-end lint wall time in milliseconds (measured by the CLI;
+    /// zero in library runs so the JSON stays deterministic for tests).
+    pub wall_ms: u64,
+}
+
+impl Stats {
+    /// `resolved / (resolved + unresolved)` — external calls are
+    /// *confidently* non-workspace, so they sit outside the honesty
+    /// denominator. `1.0` when nothing was ambiguous.
+    #[must_use]
+    pub fn resolved_ratio(calls: (usize, usize, usize)) -> f64 {
+        let denom = calls.0 + calls.2;
+        if denom == 0 {
+            1.0
+        } else {
+            calls.0 as f64 / denom as f64
+        }
+    }
+
+    fn calls_json(calls: (usize, usize, usize)) -> String {
+        format!(
+            "{{\"total\": {}, \"resolved\": {}, \"external\": {}, \
+             \"unresolved\": {}, \"resolved_ratio\": {:.4}}}",
+            calls.0 + calls.1 + calls.2,
+            calls.0,
+            calls.1,
+            calls.2,
+            Stats::resolved_ratio(calls)
+        )
+    }
+
+    /// Renders the one-screen `--stats` summary.
+    #[must_use]
+    pub fn human(&self) -> String {
+        format!(
+            "dt-lint stats: {} files, {} items, {} functions\n\
+             calls: {} resolved, {} external, {} unresolved \
+             (resolved ratio {:.4})\n\
+             r10 closure: {} entry point(s), {} function(s), \
+             {} resolved / {} external / {} unresolved calls \
+             (resolved ratio {:.4})\n\
+             wall time: {} ms\n",
+            self.files,
+            self.items,
+            self.functions,
+            self.calls.0,
+            self.calls.1,
+            self.calls.2,
+            Stats::resolved_ratio(self.calls),
+            self.entry_points,
+            self.closure_fns,
+            self.closure_calls.0,
+            self.closure_calls.1,
+            self.closure_calls.2,
+            Stats::resolved_ratio(self.closure_calls),
+            self.wall_ms
+        )
+    }
+}
+
 /// The result of linting a workspace: all findings plus file statistics.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -62,6 +145,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Call-graph statistics (schema v2).
+    pub stats: Stats,
 }
 
 impl Report {
@@ -110,13 +195,29 @@ impl Report {
         out
     }
 
-    /// Renders the `LINT_report.json` document.
+    /// Renders the `LINT_report.json` document (schema v2).
     #[must_use]
     pub fn json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let s = &self.stats;
+        let mut out = String::from("{\n  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"errors\": {},\n", self.errors()));
         out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str("  \"stats\": {\n");
+        out.push_str(&format!("    \"files\": {},\n", s.files));
+        out.push_str(&format!("    \"items\": {},\n", s.items));
+        out.push_str(&format!("    \"functions\": {},\n", s.functions));
+        out.push_str(&format!("    \"calls\": {},\n", Stats::calls_json(s.calls)));
+        out.push_str(&format!("    \"entry_points\": {},\n", s.entry_points));
+        out.push_str("    \"hot_closure\": {\n");
+        out.push_str(&format!("      \"functions\": {},\n", s.closure_fns));
+        out.push_str(&format!(
+            "      \"calls\": {}\n",
+            Stats::calls_json(s.closure_calls)
+        ));
+        out.push_str("    },\n");
+        out.push_str(&format!("    \"wall_ms\": {}\n", s.wall_ms));
+        out.push_str("  },\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -127,6 +228,11 @@ impl Report {
             out.push_str(&format!("\"severity\": {}, ", json_str(f.severity.label())));
             out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
             out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"end_line\": {}, ", f.end_line));
+            if !f.chain.is_empty() {
+                let chain: Vec<String> = f.chain.iter().map(|c| json_str(c)).collect();
+                out.push_str(&format!("\"chain\": [{}], ", chain.join(", ")));
+            }
             out.push_str(&format!("\"message\": {}", json_str(&f.message)));
             out.push('}');
         }
@@ -168,7 +274,9 @@ mod tests {
             severity,
             path: path.to_owned(),
             line,
+            end_line: line,
             message: format!("violation of {rule}"),
+            chain: Vec::new(),
         }
     }
 
@@ -181,6 +289,7 @@ mod tests {
                 finding("a.rs", 9, "r3", Severity::Deny),
             ],
             files_scanned: 2,
+            stats: Stats::default(),
         };
         r.sort();
         let order: Vec<_> = r
@@ -199,6 +308,7 @@ mod tests {
         let r = Report {
             findings: vec![finding("a.rs", 1, "r6", Severity::Warning)],
             files_scanned: 1,
+            stats: Stats::default(),
         };
         assert_eq!(r.errors(), 0);
         assert_eq!(r.warnings(), 1);
@@ -216,19 +326,33 @@ mod tests {
                 severity: Severity::Deny,
                 path: "crates/x/src/lib.rs".into(),
                 line: 3,
+                end_line: 4,
                 message: "found `println!(\"hi\\n\")`".into(),
+                chain: vec!["A::a".into(), "b".into()],
             }],
             files_scanned: 1,
+            stats: Stats::default(),
         };
         let j = r.json();
         assert!(j.contains(r#""rule": "r5""#), "{j}");
         assert!(j.contains(r#"\"hi\\n\""#), "{j}");
         assert!(j.contains("\"errors\": 1"), "{j}");
+        assert!(j.contains("\"end_line\": 4"), "{j}");
+        assert!(j.contains(r#""chain": ["A::a", "b"]"#), "{j}");
+        assert!(j.contains("\"version\": 2"), "{j}");
     }
 
     #[test]
     fn empty_report_is_valid_json_shape() {
         let j = Report::default().json();
         assert!(j.contains("\"findings\": []"), "{j}");
+        assert!(j.contains("\"stats\""), "{j}");
+        assert!(j.contains("\"hot_closure\""), "{j}");
+    }
+
+    #[test]
+    fn resolved_ratio_excludes_externals() {
+        assert!((Stats::resolved_ratio((19, 100, 1)) - 0.95).abs() < 1e-12);
+        assert!((Stats::resolved_ratio((0, 5, 0)) - 1.0).abs() < 1e-12);
     }
 }

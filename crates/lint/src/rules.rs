@@ -1,4 +1,6 @@
-//! The rule engine: R1–R7 over a token stream.
+//! The token-rule engine: R1–R6 over a token stream. The flow-aware
+//! families R8–R10 live in [`crate::flow`]; the old per-file R7
+//! hot-path rule was replaced by R10's call-graph closure.
 //!
 //! Each rule scans the lexed tokens of one file, scoped by the file's
 //! [`Role`], its crate, and the `lint.toml` allowlists:
@@ -17,11 +19,6 @@
 //! * **R6** every `pub fn` in the configured crates carries a doc comment
 //!   citing the paper construct it implements (equation, lemma, theorem,
 //!   …). R6 findings are warnings; the other rules are errors.
-//! * **R7** no direct `Tensor::zeros`/`Tensor::from_vec` in the configured
-//!   allocation hot paths: buffers there must come from the step pool
-//!   (`pooled_zeros`/`pooled_scratch`) or carry a `// pool: why` /
-//!   `// alloc-ok: why` annotation explaining the deliberate fresh
-//!   allocation (same own-line-plus-next coverage as `lint: allow`).
 //!
 //! Two exemption mechanisms apply everywhere: code under a `#[test]` /
 //! `#[cfg(test)]` item, and lines annotated
@@ -68,7 +65,6 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         cfg,
         allows: collect_allows(&tokens),
         test_ranges: collect_test_ranges(&tokens),
-        pool_annots: collect_pool_annotations(&tokens),
     };
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
 
@@ -79,7 +75,6 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     rule_r4(&ctx, &code, &mut findings);
     rule_r5(&ctx, &code, &mut findings);
     rule_r6(&ctx, &tokens, &mut findings);
-    rule_r7(&ctx, &code, &mut findings);
     findings
 }
 
@@ -92,9 +87,6 @@ struct FileCtx<'a> {
     allows: Vec<(String, u32)>,
     /// Inclusive line ranges covered by `#[test]`/`#[cfg(test)]` items.
     test_ranges: Vec<(u32, u32)>,
-    /// Lines covered by a `// pool: why` / `// alloc-ok: why` annotation
-    /// (each annotation covers its own line and the next, like `allows`).
-    pool_annots: Vec<u32>,
 }
 
 impl FileCtx<'_> {
@@ -125,7 +117,9 @@ impl FileCtx<'_> {
                 severity,
                 path: self.rel.to_owned(),
                 line,
+                end_line: line,
                 message,
+                chain: Vec::new(),
             });
         }
     }
@@ -134,7 +128,7 @@ impl FileCtx<'_> {
 /// Extracts `// lint: allow(r3, r5): why` annotations. Each annotation
 /// covers its own line and the next, so it works trailing a statement or
 /// on the line directly above it.
-fn collect_allows(tokens: &[Token]) -> Vec<(String, u32)> {
+pub(crate) fn collect_allows(tokens: &[Token]) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     for t in tokens {
         if !t.is_comment() {
@@ -161,7 +155,7 @@ fn collect_allows(tokens: &[Token]) -> Vec<(String, u32)> {
 /// covers its own line and the next. Doc comments are ignored: the
 /// annotation is a reviewer-facing plain comment, not API prose that
 /// happens to mention the pool.
-fn collect_pool_annotations(tokens: &[Token]) -> Vec<u32> {
+pub(crate) fn collect_pool_annotations(tokens: &[Token]) -> Vec<u32> {
     let mut out = Vec::new();
     for t in tokens {
         if !t.is_comment() || t.is_doc() {
@@ -178,7 +172,7 @@ fn collect_pool_annotations(tokens: &[Token]) -> Vec<u32> {
 /// Finds the inclusive line ranges of items annotated `#[test]` or
 /// `#[cfg(test)]` (including `#[cfg(all(test, …))]`; `#[cfg(not(test))]`
 /// is *not* a test scope). Works on the comment-free token stream.
-fn collect_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn collect_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut out = Vec::new();
     let mut i = 0;
@@ -473,38 +467,6 @@ fn check_r6_docs(
     }
 }
 
-/// R7: no direct `Tensor::zeros`/`Tensor::from_vec` in the configured
-/// allocation hot paths — buffers there must ride the step pool or carry
-/// a `// pool:` / `// alloc-ok:` annotation.
-fn rule_r7(ctx: &FileCtx<'_>, code: &[&Token], findings: &mut Vec<Finding>) {
-    if !Config::path_matches(ctx.rel, &ctx.cfg.r7_hot_paths) {
-        return;
-    }
-    for (i, t) in code.iter().enumerate() {
-        if t.kind != TokKind::Ident
-            || !matches!(t.text.as_str(), "zeros" | "from_vec")
-            || !path_prefix_is(code, i, "Tensor")
-        {
-            continue;
-        }
-        if ctx.pool_annots.contains(&t.line) {
-            continue;
-        }
-        ctx.push(
-            findings,
-            "r7",
-            Severity::Deny,
-            t.line,
-            format!(
-                "`Tensor::{}` in an allocation hot path: draw the buffer from the \
-                 step pool (`pooled_zeros`/`pooled_scratch`) or justify the fresh \
-                 allocation with a `// pool: why` / `// alloc-ok: why` annotation",
-                t.text
-            ),
-        );
-    }
-}
-
 /// Skips a `#[…]` attribute starting at the `#`; returns the index after
 /// the closing `]`.
 fn skip_attribute(tokens: &[Token], i: usize) -> usize {
@@ -616,10 +578,7 @@ mod tests {
             r4_wallclock_allow: vec!["crates/bench/".into()],
             r5_allow_crates: vec!["bench".into()],
             r6_crates: vec!["estimators".into()],
-            r7_hot_paths: vec![
-                "crates/tensor/src/gemm.rs".into(),
-                "crates/autograd/src/graph.rs".into(),
-            ],
+            ..Config::default()
         }
     }
 
@@ -755,42 +714,6 @@ mod tests {
         assert!(rules_of("crates/estimators/src/lib.rs", "pub(crate) fn helper() {}").is_empty());
         // Out-of-scope crates are untouched.
         assert!(rules_of("crates/data/src/lib.rs", undocumented).is_empty());
-    }
-
-    #[test]
-    fn r7_fresh_allocations_fire_in_hot_paths() {
-        let src = "fn f() { let t = Tensor::zeros(2, 2); }";
-        assert_eq!(rules_of("crates/tensor/src/gemm.rs", src), vec!["r7"]);
-        let fv = "fn f() { let t = Tensor::from_vec(2, 2, v); }";
-        assert_eq!(rules_of("crates/autograd/src/graph.rs", fv), vec!["r7"]);
-        // Files outside [r7] hot_paths are untouched.
-        assert!(rules_of("crates/tensor/src/init.rs", src).is_empty());
-        // Pooled constructors never fire.
-        assert!(rules_of(
-            "crates/tensor/src/gemm.rs",
-            "fn f() { let t = Tensor::pooled_zeros(2, 2); }"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn r7_annotations_and_tests_are_exempt() {
-        let trailing =
-            "fn f() { let t = Tensor::zeros(2, 2); } // pool: accumulator must start zeroed";
-        assert!(rules_of("crates/tensor/src/gemm.rs", trailing).is_empty());
-        let above =
-            "// alloc-ok: cold path, once per process\nfn f() { let t = Tensor::zeros(2, 2); }";
-        assert!(rules_of("crates/tensor/src/gemm.rs", above).is_empty());
-        // Doc comments mentioning the pool are not annotations.
-        let doc =
-            "/// Draws from the pool: see DESIGN.md.\nfn f() { let t = Tensor::zeros(2, 2); }";
-        assert_eq!(rules_of("crates/tensor/src/gemm.rs", doc), vec!["r7"]);
-        // `lint: allow(r7)` works like every other rule waiver.
-        let waived = "fn f() { let t = Tensor::zeros(2, 2); } // lint: allow(r7): fixture";
-        assert!(rules_of("crates/tensor/src/gemm.rs", waived).is_empty());
-        // Test scopes are exempt.
-        let test = "#[cfg(test)]\nmod tests {\n  fn f() { let t = Tensor::zeros(2, 2); }\n}\n";
-        assert!(rules_of("crates/tensor/src/gemm.rs", test).is_empty());
     }
 
     #[test]

@@ -3,20 +3,45 @@
 //! source) that must stay silent. The fixtures live under
 //! `tests/fixtures/` and are excluded from the workspace walk by the
 //! committed `lint.toml`, so deliberate violations never reach CI.
+//!
+//! Token rules (R1–R6) drive `rules::lint_source` directly; the flow
+//! rules (R8–R10) go through `run_sources`, which also builds the item
+//! tree and call graph, with fixture-local `[r10]` entry points.
 
 use std::path::Path;
 
 use dt_lint::rules::lint_source;
-use dt_lint::{find_root, load_config, Config, Report, Severity};
+use dt_lint::{find_root, load_config, run_sources, Config, Finding, Report, Severity, Stats};
 
 fn config() -> Config {
     let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint.toml above the crate");
     load_config(&root).expect("committed lint.toml parses")
 }
 
-/// Rule ids fired when linting `src` as if it lived at `rel`.
+/// Rule ids fired when token-linting `src` as if it lived at `rel`.
 fn fired(rel: &str, src: &str) -> Vec<&'static str> {
     lint_source(rel, src, &config())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+/// Full two-phase findings for `src` at `rel`, using the committed
+/// config with its `[r10]` entry points replaced by `entries` (the real
+/// entries match nothing inside a single-fixture workspace).
+fn flow_findings(rel: &str, src: &str, entries: &[&str]) -> Vec<Finding> {
+    run_sources(&[(rel.to_owned(), src.to_owned())], &flow_config(entries)).findings
+}
+
+fn flow_config(entries: &[&str]) -> Config {
+    let mut cfg = config();
+    cfg.r10_entry_points = entries.iter().map(|s| (*s).to_owned()).collect();
+    cfg
+}
+
+/// Rule ids from [`flow_findings`], in canonical report order.
+fn flow_fired(rel: &str, src: &str, entries: &[&str]) -> Vec<&'static str> {
+    flow_findings(rel, src, entries)
         .into_iter()
         .map(|f| f.rule)
         .collect()
@@ -34,8 +59,12 @@ const R5_BAD: &str = include_str!("fixtures/r5_bad.rs");
 const R5_OK: &str = include_str!("fixtures/r5_ok.rs");
 const R6_BAD: &str = include_str!("fixtures/r6_bad.rs");
 const R6_OK: &str = include_str!("fixtures/r6_ok.rs");
-const R7_BAD: &str = include_str!("fixtures/r7_bad.rs");
-const R7_OK: &str = include_str!("fixtures/r7_ok.rs");
+const R8_BAD: &str = include_str!("fixtures/r8_bad.rs");
+const R8_OK: &str = include_str!("fixtures/r8_ok.rs");
+const R9_BAD: &str = include_str!("fixtures/r9_bad.rs");
+const R9_OK: &str = include_str!("fixtures/r9_ok.rs");
+const R10_BAD: &str = include_str!("fixtures/r10_bad.rs");
+const R10_OK: &str = include_str!("fixtures/r10_ok.rs");
 
 #[test]
 fn r1_unsafe_outside_the_allowlist_fires() {
@@ -123,18 +152,102 @@ fn r6_citations_private_fns_and_waivers_pass() {
 }
 
 #[test]
-fn r7_fresh_allocations_fire_in_configured_hot_paths() {
-    assert_eq!(fired("crates/tensor/src/gemm.rs", R7_BAD), ["r7", "r7"]);
-    assert_eq!(fired("crates/autograd/src/graph.rs", R7_BAD), ["r7", "r7"]);
+fn r8_captured_accumulation_and_sync_calls_fire() {
+    assert_eq!(
+        flow_fired("crates/core/src/fixture.rs", R8_BAD, &[]),
+        ["r8", "r8", "r8"]
+    );
 }
 
 #[test]
-fn r7_pooled_annotated_and_out_of_scope_allocations_pass() {
-    assert!(fired("crates/tensor/src/gemm.rs", R7_OK).is_empty());
-    assert!(fired("crates/tensor/src/elementwise.rs", R7_OK).is_empty());
-    // Only the configured hot paths carry the duty.
-    assert!(fired("crates/tensor/src/init.rs", R7_BAD).is_empty());
-    assert!(fired("crates/models/src/mf.rs", R7_BAD).is_empty());
+fn r8_local_accumulators_slot_writes_and_waivers_pass() {
+    assert!(flow_fired("crates/core/src/fixture.rs", R8_OK, &[]).is_empty());
+    // The pool crate's own machinery is the sanctioned exception …
+    assert!(flow_fired("crates/parallel/src/fixture.rs", R8_BAD, &[]).is_empty());
+    // … and determinism is a library duty, not a test duty.
+    assert!(flow_fired("crates/core/tests/fixture.rs", R8_BAD, &[]).is_empty());
+}
+
+#[test]
+fn r9_leaky_exit_paths_fire() {
+    let findings = flow_findings("crates/core/src/fixture.rs", R9_BAD, &[]);
+    let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["r9", "r9", "r9"]);
+    // The scope leak spans take → end-of-scope.
+    assert!(findings.iter().any(|f| f.end_line > f.line));
+}
+
+#[test]
+fn r9_balanced_paths_moves_and_waivers_pass() {
+    assert!(flow_fired("crates/core/src/fixture.rs", R9_OK, &[]).is_empty());
+    // Pool discipline is a library duty; tests may hold scratch forever.
+    assert!(flow_fired("crates/core/tests/fixture.rs", R9_BAD, &[]).is_empty());
+}
+
+#[test]
+fn r10_closure_denies_allocation_and_panic_paths() {
+    assert_eq!(
+        flow_fired(
+            "crates/core/src/fixture.rs",
+            R10_BAD,
+            &["Engine::hot_entry"]
+        ),
+        ["r10", "r10"]
+    );
+    // Without the entry point the same code sits outside the closure.
+    assert!(flow_fired("crates/core/src/fixture.rs", R10_BAD, &[]).is_empty());
+}
+
+#[test]
+fn r10_pooled_assert_and_annotated_allocations_pass() {
+    assert!(flow_fired("crates/core/src/fixture.rs", R10_OK, &["Engine::hot_entry"]).is_empty());
+}
+
+#[test]
+fn r10_unmatched_entry_points_are_reported_not_dropped() {
+    let findings = flow_findings("crates/core/src/fixture.rs", R10_OK, &["Missing::entry"]);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "r10");
+    assert_eq!(findings[0].path, "lint.toml");
+    assert!(findings[0].message.contains("matches no function"));
+}
+
+/// Regression: the R10 witness format is part of the report contract —
+/// `(via A -> B -> C)` in the message, the same chain as a JSON array.
+#[test]
+fn r10_call_chain_witness_format_is_pinned() {
+    let report = run_sources(
+        &[("crates/core/src/fixture.rs".to_owned(), R10_BAD.to_owned())],
+        &flow_config(&["Engine::hot_entry"]),
+    );
+    let alloc = &report.findings[0];
+    assert_eq!(alloc.chain, ["Engine::hot_entry", "stage_one", "stage_two"]);
+    assert!(
+        alloc
+            .message
+            .contains("(via Engine::hot_entry -> stage_one -> stage_two)"),
+        "witness rendering changed: {}",
+        alloc.message
+    );
+    assert!(
+        report
+            .json()
+            .contains(r#""chain": ["Engine::hot_entry", "stage_one", "stage_two"]"#),
+        "JSON chain rendering changed"
+    );
+}
+
+#[test]
+fn stats_count_the_hot_closure() {
+    let report = run_sources(
+        &[("crates/core/src/fixture.rs".to_owned(), R10_BAD.to_owned())],
+        &flow_config(&["Engine::hot_entry"]),
+    );
+    assert_eq!(report.stats.entry_points, 1);
+    assert_eq!(report.stats.functions, 3);
+    assert_eq!(report.stats.closure_fns, 3);
+    // hot_entry -> stage_one -> stage_two both resolve in-workspace.
+    assert!(report.stats.calls.0 >= 2);
 }
 
 #[test]
@@ -143,6 +256,7 @@ fn gate_semantics_errors_always_fail_warnings_only_under_deny() {
     let warn_only = Report {
         findings: lint_source("crates/estimators/src/fixture.rs", R6_BAD, &cfg),
         files_scanned: 1,
+        stats: Stats::default(),
     };
     assert!(!warn_only.fails(false));
     assert!(warn_only.fails(true));
@@ -150,6 +264,7 @@ fn gate_semantics_errors_always_fail_warnings_only_under_deny() {
     let errors = Report {
         findings: lint_source("crates/data/src/fixture.rs", R1_BAD, &cfg),
         files_scanned: 1,
+        stats: Stats::default(),
     };
     assert!(errors.fails(false));
     assert!(errors.fails(true));

@@ -1,0 +1,22 @@
+//! R10 fixture: allocation and panic paths two resolved calls below the
+//! declared entry point `Engine::hot_entry`. Both must be denied with a
+//! call-chain witness.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn hot_entry(&self, n: usize) -> f64 {
+        let s = stage_one(n);
+        s + 1.0
+    }
+}
+
+fn stage_one(n: usize) -> f64 {
+    stage_two(n)
+}
+
+fn stage_two(n: usize) -> f64 {
+    let v = vec![0.0; n];
+    let head = v.first().unwrap();
+    *head
+}

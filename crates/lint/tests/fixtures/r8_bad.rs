@@ -1,0 +1,23 @@
+//! R8 fixture: parallel closures whose merge order depends on thread
+//! interleaving. Every function here must produce a finding.
+
+pub fn captured_accumulator(rows: usize, data: &[f64], out: &mut [f64]) {
+    let mut total = 0.0;
+    dt_parallel::par_rows(rows, |r| {
+        total += data[r];
+    });
+    out[0] = total;
+}
+
+pub fn locked_merge(n: usize, slots: &std::sync::Mutex<Vec<f64>>) {
+    dt_parallel::par_indices(n, |i| {
+        let mut guard = slots.lock();
+        guard[i] = i as f64;
+    });
+}
+
+pub fn atomic_reduction(n: usize, hits: &std::sync::atomic::AtomicUsize) {
+    dt_parallel::par_indices(n, |_i| {
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,26 @@
+//! R8 fixture: sanctioned parallel closures — closure-local accumulators,
+//! per-slot writes, and an annotated order-independent lock. No findings.
+
+pub fn blocked_sum(data: &[f64], out: &mut [f64]) {
+    dt_parallel::for_each_chunk(out, 64, |ci, chunk| {
+        let mut local = 0.0;
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            local += data[ci * 64 + k];
+            *slot = local;
+        }
+    });
+}
+
+pub fn per_slot_writes(n: usize, out: &mut [f64]) {
+    dt_parallel::par_indices(n, |i| {
+        out[i] = i as f64;
+    });
+}
+
+pub fn annotated_slot_merge(n: usize, slots: &std::sync::Mutex<Vec<f64>>) {
+    dt_parallel::par_indices(n, |i| {
+        // lint: allow(r8): per-slot writes at distinct indices are order-independent
+        let mut guard = slots.lock();
+        guard[i] = i as f64;
+    });
+}

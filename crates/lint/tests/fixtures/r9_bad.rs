@@ -1,0 +1,24 @@
+//! R9 fixture: pooled buffers leaking on at least one exit path. Every
+//! function here must produce a finding.
+
+pub fn leak_on_early_return(flag: bool, n: usize) -> f64 {
+    let buf = crate::pool::take(n);
+    if flag {
+        return 0.0;
+    }
+    let s = buf[0];
+    crate::pool::recycle(buf);
+    s
+}
+
+pub fn leak_one_branch(flag: bool, n: usize) {
+    let buf = crate::pool::take_zeroed(n);
+    if flag {
+        crate::pool::recycle(buf);
+    }
+}
+
+pub fn never_recycled(n: usize) -> usize {
+    let buf = crate::pool::take(n);
+    buf.len()
+}

@@ -1,0 +1,46 @@
+//! R9 fixture: every exit path recycles, returns, or moves the pooled
+//! buffer — plus one justified waiver. No findings.
+
+pub struct Scratch {
+    pub buf: Vec<f64>,
+    pub n: usize,
+}
+
+pub fn both_branches(flag: bool, n: usize) -> f64 {
+    let buf = crate::pool::take_zeroed(n);
+    let s;
+    if flag {
+        s = buf[0];
+        crate::pool::recycle(buf);
+    } else {
+        s = 1.0;
+        crate::pool::recycle(buf);
+    }
+    s
+}
+
+pub fn returned_to_caller(n: usize) -> Vec<f64> {
+    let buf = crate::pool::take(n);
+    buf
+}
+
+pub fn moved_into_struct(n: usize) -> Scratch {
+    let buf = crate::pool::take(n);
+    Scratch { buf, n }
+}
+
+pub fn recycle_after_loop(m: usize, n: usize) {
+    let mut acc = crate::pool::take_zeroed(n);
+    let mut i = 0;
+    while i < m {
+        acc[i % n] += 1.0;
+        i += 1;
+    }
+    crate::pool::recycle(acc);
+}
+
+pub fn annotated_cache(n: usize) -> usize {
+    // lint: allow(r9): buffer parked in a process-lifetime cache, drained at exit
+    let buf = crate::pool::take(n);
+    buf.capacity()
+}

@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use dt_lint::{find_root, load_config, run};
+use dt_lint::{find_root, load_config, run, Stats};
 
 #[test]
 fn committed_workspace_has_no_findings() {
@@ -20,5 +20,18 @@ fn committed_workspace_has_no_findings() {
         report.files_scanned > 50,
         "suspiciously few files scanned: {}",
         report.files_scanned
+    );
+    // Every configured entry point must resolve (unmatched ones produce
+    // findings, caught above), and the R10 closure must be almost fully
+    // resolved — below this floor the "hot paths are allocation-free"
+    // claim would rest on calls the linter could not see through.
+    assert_eq!(report.stats.entry_points, config.r10_entry_points.len());
+    assert!(report.stats.closure_fns >= report.stats.entry_points);
+    let ratio = Stats::resolved_ratio(report.stats.closure_calls);
+    assert!(
+        ratio >= 0.95,
+        "hot-closure resolved-call ratio {ratio:.4} fell below 0.95 \
+         (calls: {:?})",
+        report.stats.closure_calls
     );
 }

@@ -76,6 +76,7 @@ fn pool() -> &'static Pool {
                         }
                     }
                 })
+                // lint: allow(r10): one-time pool construction — a failed worker spawn has no caller to propagate to
                 .expect("dt-parallel: failed to spawn worker thread");
         }
         Pool { sender, width }
@@ -334,6 +335,7 @@ pub fn for_each_chunk<T: Send>(
     // Contiguous runs of chunks per task, balanced to within one chunk.
     let base = chunks.len() / n_tasks;
     let rem = chunks.len() % n_tasks;
+    // alloc-ok: one closure slot per task (≤ thread count), allocated per parallel region, not per element
     let mut tasks = Vec::with_capacity(n_tasks);
     for t in (0..n_tasks).rev() {
         let len = base + usize::from(t < rem);

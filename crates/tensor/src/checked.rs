@@ -31,7 +31,7 @@ impl Check {
                 Check::NoNan => out.iter().enumerate().find(|(_, v)| v.is_nan()),
             };
             if let Some((i, v)) = bad {
-                // lint: allow(r3): debug-build guard — the panic is the diagnostic
+                // lint: allow(r3, r10): debug-build guard — the panic is the diagnostic
                 panic!("{op}: non-finite output {v} at flat index {i} (debug finiteness guard)");
             }
         }

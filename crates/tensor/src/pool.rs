@@ -141,6 +141,7 @@ fn take_inner(len: usize) -> (Vec<f64>, bool) {
         }
     }
     FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // alloc-ok: the pool's own refill — the one place fresh backing buffers are minted
     (vec![0.0; len], false)
 }
 

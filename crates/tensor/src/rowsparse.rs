@@ -81,6 +81,7 @@ impl RowSparse {
         // scatter's per-row accumulation order.
         let mut order: Vec<usize> = (0..indices.len()).collect();
         order.sort_by_key(|&k| indices[k]);
+        // alloc-ok: row-index bookkeeping (usize), outside the f64 step pool's domain
         let mut uniq: Vec<usize> = Vec::with_capacity(order.len());
         for &k in &order {
             if uniq.last() != Some(&indices[k]) {
@@ -223,7 +224,9 @@ impl RowSparse {
             return;
         }
         // Two-pointer union: for every output row, where it comes from.
+        // alloc-ok: row-index union bookkeeping (usize), not poolable f64 scratch
         let mut idx = Vec::with_capacity(self.indices.len() + other.indices.len());
+        // alloc-ok: merge plan (one entry per union row), freed with the merge
         let mut plan: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(idx.capacity());
         let (mut a, mut b) = (0usize, 0usize);
         while a < self.indices.len() || b < other.indices.len() {

@@ -59,6 +59,7 @@ impl Tensor {
     pub fn scalar(value: f64) -> Self {
         Self {
             shape: Shape::new(1, 1),
+            // alloc-ok: 1×1 scalar — below any pooling granularity
             data: vec![value],
         }
     }

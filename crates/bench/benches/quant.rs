@@ -1,0 +1,59 @@
+//! Mixed-precision scoring panels: f64 exact vs quantized dtype arms.
+//!
+//! The criterion run covers the `M = 10⁵` scale interactively; `main`
+//! then regenerates `BENCH_quant.json` at the repo root via
+//! [`dt_bench::quant`], which sweeps dtype × `M ∈ {10⁴, 10⁵, 10⁶}` ×
+//! `K ∈ {10, 50}` at pool widths 1/2/8.
+
+use criterion::{criterion_group, Criterion};
+use dt_bench::ann::build_clustered_index;
+use dt_bench::quant::DTYPES;
+use dt_serve::{QuantScratch, TopKBatch, TopKEngine};
+
+fn bench_quant(c: &mut Criterion) {
+    let (n_users, m, dim, k) = (2048, 100_000, 32, 10);
+    let index = build_clustered_index(n_users, m, dim, 512, 0.25, 0x0A17);
+    let users: Vec<usize> = (0..16).map(|j| (j * 131) % n_users).collect();
+    let engine = TopKEngine::new();
+    let mut group = c.benchmark_group(format!("quant M={m} K={k} users={}", users.len()));
+    group.sample_size(10);
+    let mut batch = TopKBatch::new();
+    group.bench_function("exact f64 full-catalog", |bench| {
+        bench.iter(|| engine.recommend_into(&index, &users, k, None, &mut batch));
+    });
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let mut scratch = QuantScratch::default();
+        group.bench_function(format!("quantized dtype={}", dtype.label()), |bench| {
+            bench.iter(|| {
+                engine.recommend_quantized_into(
+                    &qidx,
+                    &users,
+                    k,
+                    None,
+                    None,
+                    &mut scratch,
+                    &mut batch,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quant
+}
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.json");
+    eprintln!("\nwriting quant report to {path}");
+    if let Err(e) = dt_bench::quant::write_quant_report(std::path::Path::new(path)) {
+        eprintln!("failed to write {path}: {e}");
+    }
+}

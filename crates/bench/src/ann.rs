@@ -270,13 +270,9 @@ pub fn run_measurements() -> Vec<AnnMeasurement> {
 #[must_use]
 pub fn render_report(results: &[AnnMeasurement]) -> String {
     let host = crate::report::host_threads();
-    let rev = crate::report::git_rev();
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/ann/v1\",");
-    let _ = writeln!(
-        s,
-        "  \"note\": \"recall/latency frontier for IVF probe-and-rerank vs \
+    let mut s = crate::report::bench_header(
+        "dt-bench/ann/v1",
+        "recall/latency frontier for IVF probe-and-rerank vs \
          the exact dt-serve engine: one batched top-K query (16 users x all \
          M items, dim-32 panels, item panel clustered around 512 latent \
          centers with 0.25 spread — the geometry trained MF embeddings \
@@ -289,10 +285,9 @@ pub fn render_report(results: &[AnnMeasurement]) -> String {
          IvfIndex per (m, nlist) (iters 6, train_cap 131072), reused \
          across widths/nprobe/k — builds are bit-identical at any width. \
          ivf_allocs_per_batch is the post-warm-up dt_tensor::pool::stats \
-         fresh-alloc delta per query batch; steady state is zero.\","
+         fresh-alloc delta per query batch; steady state is zero.",
+        None,
     );
-    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
-    let _ = writeln!(s, "  \"host_threads\": {host},");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };

@@ -1,0 +1,48 @@
+//! Offline generator for `BENCH_quant.json`: the mixed-precision
+//! accuracy-vs-bandwidth frontier without the criterion harness, so the
+//! artefact can be (re)built in environments where `cargo bench` is
+//! unavailable (the offline `.verify` shim). Sweeps dtype ×
+//! `M ∈ {10⁴, 10⁵, 10⁶}` × `K ∈ {10, 50}` at the pool widths in
+//! [`dt_bench::serve::SWEEP_WIDTHS`] in-process.
+//!
+//! Usage: `gen_quant [--smoke] [output-path]`. The default output is
+//! `BENCH_quant.json` at the repo root, resolved relative to this crate.
+//! `--smoke` trims the sweep to `M = 10⁴` at the ambient pool width and
+//! defaults the output to a scratch file under the system temp dir, so a
+//! CI run exercises every dtype arm (including the f64 bit-identity
+//! assert) in seconds without touching the committed artefact.
+
+fn main() {
+    let mut smoke = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_quant_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.json").to_string()
+        }
+    });
+    eprintln!(
+        "writing {} quant report to {path}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let result = if smoke {
+        dt_bench::quant::write_quant_smoke_report(std::path::Path::new(&path))
+    } else {
+        dt_bench::quant::write_quant_report(std::path::Path::new(&path))
+    };
+    if let Err(e) = result {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}

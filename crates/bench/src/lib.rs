@@ -26,6 +26,10 @@
 //! * `ann` — IVF coarse-quantized retrieval vs exact: recall@K and the
 //!   latency/recall frontier over `nlist` × `nprobe` × `M` × `K`; the run
 //!   also regenerates `BENCH_ann.json` at the repo root (see [`ann`]).
+//! * `quant` — mixed-precision scoring panels: the exact f64 engine vs
+//!   `QuantizedIndex` exports at dtype f64 / f32 / scaled-i8; the run
+//!   also regenerates `BENCH_quant.json` at the repo root (see
+//!   [`quant`]), the accuracy-vs-bandwidth frontier.
 //!
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ann;
+pub mod quant;
 pub mod report;
 pub mod serve;
 pub mod train_step;

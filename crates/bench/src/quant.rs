@@ -1,0 +1,447 @@
+//! Mixed-precision scoring report: the accuracy-vs-bandwidth frontier for
+//! `BENCH_quant.json` (schema `dt-bench/quant/v1`).
+//!
+//! The acceptance artefact for the quantized serving panels is a frontier
+//! over panel dtypes: the same sixteen-user full-catalog top-K query
+//! answered by the exact f64 [`dt_serve::TopKEngine`] arm (the oracle and
+//! latency baseline) and by [`dt_serve::QuantizedIndex`] exports of the
+//! same index at every [`dt_serve::PanelDtype`] — `f64` (a verbatim copy,
+//! so its rows double as a bit-identity check on the quantized engine),
+//! `f32`, and per-row-scaled `i8`. The sweep covers
+//! `M ∈ {10⁴, 10⁵, 10⁶}` × `K ∈ {10, 50}` at the pool widths in
+//! [`crate::serve::SWEEP_WIDTHS`] (forced in-process through
+//! `dt_parallel::with_thread_limit`; every row records the host's true
+//! hardware width so oversubscribed rows are self-describing).
+//!
+//! The item panel is **clustered** (reusing
+//! [`crate::ann::build_clustered_index`]) — the geometry trained MF item
+//! embeddings actually have, and the regime where a lossy top-K can
+//! plausibly miss: near-duplicate items whose score gap is smaller than
+//! the quantization step. Per row the report carries `bytes_per_item`
+//! (quantized item-panel payload + the f64 item bias), `overlap`
+//! (top-K set overlap against the f64 oracle batch, micro-averaged — the
+//! same counting as the ANN report's recall), `ndcg_at_k` (oracle members
+//! as binary relevance, so misses at the top ranks cost more than misses
+//! at the tail), and `allocs_per_batch` (post-warm-up
+//! [`dt_tensor::pool::stats`] fresh-alloc delta per query batch; the
+//! quantized engine's steady state is zero). Quality and alloc numbers
+//! are measured once per `(M, K, dtype)` at width 1 — both are
+//! width-independent by the engine's determinism contract. Like
+//! [`crate::report`], the harness is a plain `Instant` best-of-N
+//! (std-only, so the offline verification shim can run it) and the JSON
+//! is hand-rolled.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use dt_serve::{PanelDtype, QuantScratch, TopKBatch, TopKEngine};
+use dt_tensor::pool;
+
+use crate::ann::{build_clustered_index, recall_vs};
+
+/// Micro-averaged NDCG@K of `got` against the oracle `truth` batch, with
+/// binary relevance: an item is relevant iff it appears in that user's
+/// oracle top-K. Unlike the flat set overlap this weighs *where* the
+/// misses land — a wrong item at the top rank costs more than one at the
+/// bottom, so quantization error that displaces the best item shows up
+/// harder than error that perturbs the tail.
+#[must_use]
+pub fn ndcg_vs(truth: &TopKBatch, got: &TopKBatch) -> f64 {
+    assert_eq!(truth.n_users(), got.n_users(), "ndcg_vs: stripe mismatch");
+    let discount = |pos: usize| 1.0 / (pos as f64 + 2.0).log2();
+    let mut dcg_sum = 0.0;
+    let mut idcg_sum = 0.0;
+    for j in 0..truth.n_users() {
+        let want: Vec<u32> = truth.user(j).iter().map(|r| r.item).collect();
+        for (pos, r) in got.user(j).iter().enumerate() {
+            if want.contains(&r.item) {
+                dcg_sum += discount(pos);
+            }
+        }
+        idcg_sum += (0..want.len()).map(discount).sum::<f64>();
+    }
+    if idcg_sum == 0.0 {
+        1.0
+    } else {
+        dcg_sum / idcg_sum
+    }
+}
+
+/// One frontier point: `(M, K, dtype, threads)` with the exact-f64 and
+/// quantized arm latencies, the quality-vs-oracle pair, and the
+/// steady-state alloc probe.
+pub struct QuantMeasurement {
+    pub m: usize,
+    pub k: usize,
+    pub users: usize,
+    pub dim: usize,
+    pub threads: usize,
+    pub dtype: PanelDtype,
+    pub bytes_per_item: f64,
+    pub exact_f64_ms: f64,
+    pub quant_ms: f64,
+    pub overlap: f64,
+    pub ndcg_at_k: f64,
+    pub allocs_per_batch: f64,
+}
+
+impl QuantMeasurement {
+    fn speedup(&self) -> f64 {
+        self.exact_f64_ms / self.quant_ms.max(1e-9)
+    }
+
+    fn items_per_sec(&self) -> f64 {
+        if self.quant_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.users * self.m) as f64 / (self.quant_ms / 1e3)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Every panel dtype the frontier sweeps, lossless first.
+pub const DTYPES: [PanelDtype; 3] = [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8];
+
+/// The frontier sweep over the given catalog sizes and pool widths
+/// (module docs). The full artefact uses
+/// `ms = [10⁴, 10⁵, 10⁶]` × `widths = SWEEP_WIDTHS`; the smoke entry
+/// point trims both so the offline shim can run it in seconds.
+#[must_use]
+pub fn run_measurements(ms: &[usize], widths: &[usize]) -> Vec<QuantMeasurement> {
+    let (n_users, dim, n_query) = (2048usize, 32usize, 16usize);
+    let ks = [10usize, 50];
+    let engine = TopKEngine::new();
+    let mut out = Vec::new();
+
+    for &m in ms {
+        let index = build_clustered_index(n_users, m, dim, 512, 0.25, 0x0A17 ^ m as u64);
+        let users: Vec<usize> = (0..n_query).map(|j| (j * 131) % n_users).collect();
+        let reps = if m >= 1_000_000 { 2 } else { 3 };
+
+        // Exact f64 arm per (K, width): the oracle batch once
+        // (width-free), then the timed baseline under each forced width.
+        let mut exact: Vec<(usize, TopKBatch, Vec<f64>)> = Vec::new();
+        for &k in &ks {
+            let mut batch = TopKBatch::new();
+            let mut per_width = Vec::new();
+            for &w in widths {
+                let ms_at_w = dt_parallel::with_thread_limit(w, || {
+                    engine.recommend_into(&index, &users, k, None, &mut batch); // warm-up
+                    time_ms(reps, || {
+                        engine.recommend_into(&index, &users, k, None, &mut batch);
+                    })
+                });
+                per_width.push(ms_at_w);
+            }
+            let truth = engine.recommend(&index, &users, k, None);
+            exact.push((k, truth, per_width));
+        }
+
+        for &dtype in &DTYPES {
+            // One export per (M, dtype), reused across K and widths —
+            // quantization happens at index-export time, not per query.
+            let qidx = index.quantize(dtype);
+            let bytes_per_item = qidx.bytes_per_item();
+            let mut scratch = QuantScratch::default();
+            let mut batch = TopKBatch::new();
+            for (k, truth, exact_per_width) in &exact {
+                let k = *k;
+                // Quality + alloc probe once per point: both are
+                // width-independent by the determinism contract.
+                let (overlap, ndcg_at_k, allocs) = dt_parallel::with_thread_limit(1, || {
+                    engine.recommend_quantized_into(
+                        &qidx,
+                        &users,
+                        k,
+                        None,
+                        None,
+                        &mut scratch,
+                        &mut batch,
+                    );
+                    let probe_batches = 5usize;
+                    let before = pool::stats();
+                    for _ in 0..probe_batches {
+                        engine.recommend_quantized_into(
+                            &qidx,
+                            &users,
+                            k,
+                            None,
+                            None,
+                            &mut scratch,
+                            &mut batch,
+                        );
+                    }
+                    let after = pool::stats();
+                    let allocs =
+                        (after.fresh_allocs - before.fresh_allocs) as f64 / probe_batches as f64;
+                    (recall_vs(truth, &batch), ndcg_vs(truth, &batch), allocs)
+                });
+                if dtype == PanelDtype::F64 {
+                    // The f64 export is a verbatim copy: its quantized-arm
+                    // batch must equal the exact engine's bit-for-bit.
+                    assert_eq!(
+                        *truth, batch,
+                        "f64 quantized arm drifted from the exact engine at M={m} K={k}"
+                    );
+                }
+                for (wi, &w) in widths.iter().enumerate() {
+                    let quant_ms = dt_parallel::with_thread_limit(w, || {
+                        engine.recommend_quantized_into(
+                            &qidx,
+                            &users,
+                            k,
+                            None,
+                            None,
+                            &mut scratch,
+                            &mut batch,
+                        ); // warm-up at this width
+                        time_ms(reps, || {
+                            engine.recommend_quantized_into(
+                                &qidx,
+                                &users,
+                                k,
+                                None,
+                                None,
+                                &mut scratch,
+                                &mut batch,
+                            );
+                        })
+                    });
+                    out.push(QuantMeasurement {
+                        m,
+                        k,
+                        users: n_query,
+                        dim,
+                        threads: w,
+                        dtype,
+                        bytes_per_item,
+                        exact_f64_ms: exact_per_width[wi],
+                        quant_ms,
+                        overlap,
+                        ndcg_at_k,
+                        allocs_per_batch: allocs,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the report as JSON (schema `dt-bench/quant/v1`).
+#[must_use]
+pub fn render_report(results: &[QuantMeasurement]) -> String {
+    let host = crate::report::host_threads();
+    let mut s = crate::report::bench_header(
+        "dt-bench/quant/v1",
+        "accuracy-vs-bandwidth frontier for mixed-precision scoring \
+         panels: one batched full-catalog top-K query (16 users x all M \
+         items, dim-32 panels, item panel clustered around 512 latent \
+         centers with 0.25 spread — the regime where a lossy top-K can \
+         plausibly miss) answered by the exact f64 dt-serve engine \
+         (exact_f64_ms, the oracle) and by QuantizedIndex exports at \
+         dtype f64 / f32 / scaled_i8 (quant_ms, fused range-sharded \
+         scan). bytes_per_item = quantized item-panel payload + f64 item \
+         bias. overlap is micro-averaged top-K set overlap vs the oracle \
+         batch; ndcg_at_k scores the same lists with oracle membership as \
+         binary relevance, so top-rank misses cost more. The f64 dtype is a \
+         verbatim copy and is asserted bit-identical to the exact engine. \
+         Thread widths are forced in-process via \
+         dt_parallel::with_thread_limit; host_threads per row records the \
+         hardware actually available. Quality and alloc numbers are \
+         width-independent by the determinism contract and measured at \
+         width 1. allocs_per_batch is the post-warm-up \
+         dt_tensor::pool::stats fresh-alloc delta per query batch; the \
+         quantized engine's steady state is zero.",
+        None,
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"m\": {}, \"k\": {}, \"users\": {}, \"dim\": {}, \
+             \"threads\": {}, \"host_threads\": {host}, \"dtype\": \"{}\", \
+             \"bytes_per_item\": {:.1}, \"exact_f64_ms\": {:.3}, \
+             \"quant_ms\": {:.3}, \"speedup_vs_f64\": {:.2}, \
+             \"items_per_sec\": {:.0}, \"overlap\": {:.4}, \
+             \"ndcg_at_k\": {:.4}, \"allocs_per_batch\": {:.1}}}{sep}",
+            r.m,
+            r.k,
+            r.users,
+            r.dim,
+            r.threads,
+            r.dtype.label(),
+            r.bytes_per_item,
+            r.exact_f64_ms,
+            r.quant_ms,
+            r.speedup(),
+            r.items_per_sec(),
+            r.overlap,
+            r.ndcg_at_k,
+            r.allocs_per_batch,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn eprint_rows(results: &[QuantMeasurement]) {
+    for r in results {
+        eprintln!(
+            "quant M={:7} K={:2} t={} dtype={:9}  exact {:8.3} ms  quant {:8.3} ms  \
+             speedup {:5.2}x  overlap {:.4}  ndcg {:.4}  allocs/batch {:4.1}",
+            r.m,
+            r.k,
+            r.threads,
+            r.dtype.label(),
+            r.exact_f64_ms,
+            r.quant_ms,
+            r.speedup(),
+            r.overlap,
+            r.ndcg_at_k,
+            r.allocs_per_batch,
+        );
+    }
+}
+
+/// Runs the full frontier sweep and writes `BENCH_quant.json` to `path`.
+///
+/// # Errors
+/// Propagates the underlying file-write error.
+pub fn write_quant_report(path: &Path) -> std::io::Result<()> {
+    let results = run_measurements(&[10_000, 100_000, 1_000_000], &crate::serve::SWEEP_WIDTHS);
+    std::fs::write(path, render_report(&results))?;
+    eprint_rows(&results);
+    Ok(())
+}
+
+/// Runs a trimmed sweep — `M = 10⁴` at the ambient pool width — and
+/// writes the report to `path`. The CI smoke entry point: it exercises
+/// every dtype arm and the f64 bit-identity assert in seconds without
+/// touching the committed full artefact.
+///
+/// # Errors
+/// Propagates the underlying file-write error.
+pub fn write_quant_smoke_report(path: &Path) -> std::io::Result<()> {
+    let results = run_measurements(&[10_000], &[dt_parallel::num_threads()]);
+    std::fs::write(path, render_report(&results))?;
+    eprint_rows(&results);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndcg_is_one_against_itself_and_discounts_misses() {
+        let index = build_clustered_index(8, 300, 6, 8, 0.3, 5);
+        let engine = TopKEngine::new();
+        let truth = engine.recommend(&index, &[0, 1, 2], 5, None);
+        assert!((ndcg_vs(&truth, &truth) - 1.0).abs() < 1e-12);
+        let other = engine.recommend(&index, &[3, 4, 5], 5, None);
+        assert!(ndcg_vs(&truth, &other) < 1.0);
+    }
+
+    #[test]
+    fn ndcg_weighs_miss_position_where_overlap_is_flat() {
+        use dt_serve::Ranked;
+        let mut truth = TopKBatch::new();
+        truth.reset(1, 3);
+        let mut got = TopKBatch::new();
+        got.reset(1, 3);
+        for (pos, item) in [0u32, 1, 2].iter().enumerate() {
+            truth.user_mut(0)[pos] = Ranked {
+                item: *item,
+                score: -(pos as f64),
+            };
+            // Same member set, reversed order.
+            got.user_mut(0)[pos] = Ranked {
+                item: 2 - *item,
+                score: -(pos as f64),
+            };
+        }
+        truth.set_count(0, 3);
+        got.set_count(0, 3);
+        assert!((recall_vs(&truth, &got) - 1.0).abs() < 1e-12);
+        // Binary relevance: every returned item is an oracle member, so
+        // NDCG is 1.0 too — only true misses are penalised.
+        assert!((ndcg_vs(&truth, &got) - 1.0).abs() < 1e-12);
+        // Drop the top item for a genuine miss at the top rank: NDCG
+        // falls below overlap because the miss sat at the best position.
+        got.user_mut(0)[0] = Ranked {
+            item: 99,
+            score: 0.0,
+        };
+        let overlap = recall_vs(&truth, &got);
+        let ndcg = ndcg_vs(&truth, &got);
+        assert!((overlap - 2.0 / 3.0).abs() < 1e-12);
+        assert!(ndcg < overlap, "ndcg {ndcg} not below overlap {overlap}");
+    }
+
+    #[test]
+    fn smoke_sweep_covers_every_dtype_and_f64_is_exact() {
+        let rows = run_measurements(&[2_000], &[2]);
+        assert_eq!(rows.len(), DTYPES.len() * 2); // x K in {10, 50}
+        for r in &rows {
+            assert!(r.quant_ms >= 0.0 && r.exact_f64_ms >= 0.0);
+            assert!(
+                r.overlap > 0.5,
+                "{}: overlap {}",
+                r.dtype.label(),
+                r.overlap
+            );
+            assert!(r.ndcg_at_k > 0.5);
+            if r.dtype == PanelDtype::F64 {
+                assert!((r.overlap - 1.0).abs() < 1e-12);
+                assert!((r.ndcg_at_k - 1.0).abs() < 1e-12);
+            }
+        }
+        let i8_row = rows
+            .iter()
+            .find(|r| r.dtype == PanelDtype::ScaledI8)
+            .unwrap();
+        assert!((i8_row.bytes_per_item - 48.0).abs() < 1e-9); // dim 32 + scale + bias
+    }
+
+    #[test]
+    fn report_shape_is_valid() {
+        let m = QuantMeasurement {
+            m: 1_000_000,
+            k: 10,
+            users: 16,
+            dim: 32,
+            threads: 8,
+            dtype: PanelDtype::ScaledI8,
+            bytes_per_item: 48.0,
+            exact_f64_ms: 700.0,
+            quant_ms: 175.0,
+            overlap: 0.98,
+            ndcg_at_k: 0.975,
+            allocs_per_batch: 0.0,
+        };
+        let json = render_report(&[m]);
+        assert!(json.contains("\"schema\": \"dt-bench/quant/v1\""));
+        assert!(json.contains("\"dtype\": \"scaled_i8\""));
+        assert!(json.contains("\"bytes_per_item\": 48.0"));
+        assert!(json.contains("\"speedup_vs_f64\": 4.00"));
+        assert!(json.contains("\"items_per_sec\": 91428571"));
+        assert!(json.contains("\"overlap\": 0.9800"));
+        assert!(json.contains("\"ndcg_at_k\": 0.9750"));
+        assert!(json.contains("\"allocs_per_batch\": 0.0"));
+        assert!(json.contains("\"git_rev\": \""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

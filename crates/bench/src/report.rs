@@ -40,6 +40,27 @@ pub fn host_threads() -> usize {
         .max(1)
 }
 
+/// Shared JSON report header: the opening brace plus the `schema`,
+/// `note`, `git_rev`, and `host_threads` fields every bench artefact
+/// leads with, and `pool_threads` when the caller passes one. Every
+/// emitter used to hand-roll these lines; factoring them here keeps the
+/// probes and the field order identical across artefacts by
+/// construction. The caller appends its `"results"` array and the
+/// closing brace.
+#[must_use]
+pub fn bench_header(schema: &str, note: &str, pool_threads: Option<usize>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{schema}\",");
+    let _ = writeln!(s, "  \"note\": \"{note}\",");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
+    if let Some(threads) = pool_threads {
+        let _ = writeln!(s, "  \"pool_threads\": {threads},");
+    }
+    s
+}
+
 /// One kernel × shape measurement. Times are the best of several reps.
 pub struct Measurement {
     pub kernel: &'static str,
@@ -173,22 +194,14 @@ pub fn run_measurements() -> Vec<Measurement> {
 /// Renders the report as JSON.
 #[must_use]
 pub fn render_report(results: &[Measurement]) -> String {
-    let threads = dt_parallel::num_threads();
-    let host = host_threads();
-    let rev = git_rev();
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/kernels/v2\",");
-    let _ = writeln!(
-        s,
-        "  \"note\": \"best-of-N wall times; naive = unblocked seed loops \
+    let mut s = bench_header(
+        "dt-bench/kernels/v2",
+        "best-of-N wall times; naive = unblocked seed loops \
          (dt_tensor::reference), blocked = cache-blocked kernels, parallel = \
          blocked kernels on the dt-parallel pool. Parallel speedup needs a \
-         multi-core host.\","
+         multi-core host.",
+        Some(dt_parallel::num_threads()),
     );
-    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
-    let _ = writeln!(s, "  \"host_threads\": {host},");
-    let _ = writeln!(s, "  \"pool_threads\": {threads},");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -276,5 +289,19 @@ mod tests {
     #[test]
     fn host_threads_is_at_least_one() {
         assert!(host_threads() >= 1);
+    }
+
+    #[test]
+    fn bench_header_fields_are_ordered_and_optional_pool_threads_works() {
+        let bare = bench_header("dt-bench/x/v1", "a note", None);
+        let lines: Vec<&str> = bare.lines().collect();
+        assert_eq!(lines[0], "{");
+        assert_eq!(lines[1], "  \"schema\": \"dt-bench/x/v1\",");
+        assert_eq!(lines[2], "  \"note\": \"a note\",");
+        assert!(lines[3].starts_with("  \"git_rev\": \""));
+        assert!(lines[4].starts_with("  \"host_threads\": "));
+        assert_eq!(lines.len(), 5);
+        let pooled = bench_header("dt-bench/x/v1", "a note", Some(7));
+        assert!(pooled.lines().nth(5) == Some("  \"pool_threads\": 7,"));
     }
 }

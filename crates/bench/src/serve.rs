@@ -204,13 +204,9 @@ pub fn run_measurements(widths: &[usize]) -> Vec<ServeMeasurement> {
 #[must_use]
 pub fn render_report(results: &[ServeMeasurement]) -> String {
     let host = crate::report::host_threads();
-    let rev = crate::report::git_rev();
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/serve/v3\",");
-    let _ = writeln!(
-        s,
-        "  \"note\": \"best-of-N wall times for one batched full-catalog \
+    let mut s = crate::report::bench_header(
+        "dt-bench/serve/v3",
+        "best-of-N wall times for one batched full-catalog \
          top-K query (16 users x all M items, dim-32 panels) through the \
          dt-serve engine, one results row per pool width (threads, forced \
          in-process via dt_parallel::with_thread_limit; host_threads per \
@@ -221,10 +217,9 @@ pub fn render_report(results: &[ServeMeasurement]) -> String {
          the bounded-heap kernel (O(M + K log K)) into a reused batch. \
          partial_allocs_per_batch is the post-warm-up \
          dt_tensor::pool::stats fresh-alloc delta per query batch; the \
-         engine's steady state is zero.\","
+         engine's steady state is zero.",
+        None,
     );
-    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
-    let _ = writeln!(s, "  \"host_threads\": {host},");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };

@@ -386,15 +386,9 @@ pub fn run_measurements() -> Vec<StepMeasurement> {
 /// Renders the report as JSON (schema `dt-bench/train_step/v2`).
 #[must_use]
 pub fn render_report(results: &[StepMeasurement]) -> String {
-    let threads = dt_parallel::num_threads();
-    let host = crate::report::host_threads();
-    let rev = crate::report::git_rev();
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"dt-bench/train_step/v2\",");
-    let _ = writeln!(
-        s,
-        "  \"note\": \"best-of-N per-step wall times for one DT-IPS-shaped \
+    let mut s = crate::report::bench_header(
+        "dt-bench/train_step/v2",
+        "best-of-N per-step wall times for one DT-IPS-shaped \
          training step (propensity BCE on a 4B uniform batch + IPS-weighted \
          rating BCE on a B observed batch over M x K tables, one Adam step). \
          dense = Params::densify_grads + GradMode::DenseEquivalent (the \
@@ -402,11 +396,9 @@ pub fn render_report(results: &[StepMeasurement]) -> String {
          with the buffer pool disabled and composed-op losses (the PR 3 \
          step); pooled = sparse + step-scoped buffer pool + fused \
          sigmoid-BCE kernels. allocs_per_step counts buffers drawn from the \
-         global allocator per step (dt_tensor::pool::stats).\","
+         global allocator per step (dt_tensor::pool::stats).",
+        Some(dt_parallel::num_threads()),
     );
-    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
-    let _ = writeln!(s, "  \"host_threads\": {host},");
-    let _ = writeln!(s, "  \"pool_threads\": {threads},");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };

@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use dt_data::Dataset;
 use dt_metrics::{auc, evaluate_ranking, mae, mse};
 use dt_serve::{
-    IvfIndex, IvfParams, IvfScratch, RetrievalMode, ScoringIndex, SeenLists, TopKBatch, TopKEngine,
+    IvfIndex, IvfParams, IvfScratch, PanelDtype, QuantizedIndex, RetrievalMode, ScoringIndex,
+    SeenLists, TopKBatch, TopKEngine,
 };
 use dt_tensor::topk::select_top_k;
 
@@ -35,6 +36,16 @@ pub trait Recommender {
     /// to scoring the catalog through [`Recommender::predict`].
     fn scoring_index(&self) -> Option<ScoringIndex> {
         None
+    }
+
+    /// The serving index re-exported at a serving dtype
+    /// ([`dt_serve::ScoringIndex::quantize`], DESIGN.md section 15), when
+    /// the method exposes a [`Recommender::scoring_index`]. Every
+    /// MF-family method inherits this — all nine paper methods can emit
+    /// `F64`, `F32` or `ScaledI8` panels; `None` mirrors
+    /// `scoring_index`'s default for predict-only methods.
+    fn quantized_index(&self, dtype: PanelDtype) -> Option<QuantizedIndex> {
+        self.scoring_index().map(|index| index.quantize(dtype))
     }
 
     /// Batched full-catalog retrieval: the top `k` unseen items for each
@@ -333,6 +344,28 @@ mod tests {
             let slow_items: Vec<u32> = b.user(j).iter().map(|r| r.item).collect();
             assert_eq!(fast_items, slow_items, "user-slot {j}");
         }
+    }
+
+    #[test]
+    fn quantized_index_f64_serves_bit_identically_and_fallback_has_none() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let served = Served {
+            model: dt_models::MfModel::new(9, 41, 4, &mut rng),
+            expose_index: true,
+        };
+        let users: Vec<usize> = (0..12).map(|j| (j * 7) % 9).collect();
+        let exact = served.recommend_top_k(&users, 41, 5, None);
+        let qidx = served.quantized_index(PanelDtype::F64).unwrap();
+        let quant = TopKEngine::new().recommend_quantized(&qidx, &users, 5, None);
+        assert_eq!(exact, quant);
+        // Lossy dtypes exist for every index-exposing method too.
+        assert!(served.quantized_index(PanelDtype::ScaledI8).is_some());
+        let fallback = Served {
+            model: served.model,
+            expose_index: false,
+        };
+        assert!(fallback.quantized_index(PanelDtype::F32).is_none());
     }
 
     #[test]

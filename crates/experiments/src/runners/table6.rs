@@ -9,7 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dt_core::{registry, Method};
-use dt_serve::{IvfIndex, IvfParams, IvfScratch, TopKBatch, TopKEngine};
+use dt_metrics::top_k_overlap;
+use dt_serve::{IvfIndex, IvfParams, IvfScratch, PanelDtype, QuantScratch, TopKBatch, TopKEngine};
 
 use crate::report::{Table, TableSet};
 use crate::runners::util::{realworld_datasets, short_name, train_cfg};
@@ -43,14 +44,18 @@ pub fn run(opts: &RunOptions) -> TableSet {
         columns.push(format!("{n} topk us"));
         columns.push(format!("{n} ann us"));
         columns.push(format!("{n} ann r@10"));
+        columns.push(format!("{n} q8 us"));
+        columns.push(format!("{n} q8 ov@10"));
     }
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "table6",
         "Table VI — parameters, training seconds, inference microseconds/sample, \
-         top-10 full-catalog serving microseconds/user, and IVF ann top-10 \
-         microseconds/user with recall@10 vs the exact arm (MF-family methods \
-         only; tower methods export no index and show NaN)",
+         top-10 full-catalog serving microseconds/user, IVF ann top-10 \
+         microseconds/user with recall@10 vs the exact arm, and scaled-i8 \
+         quantized full-catalog top-10 microseconds/user with set overlap@10 \
+         vs the exact arm (MF-family methods only; tower methods export no \
+         index and show NaN)",
         &col_refs,
     );
 
@@ -139,12 +144,56 @@ pub fn run(opts: &RunOptions) -> TableSet {
                 }
             };
 
+            // Scaled-i8 quantized serving latency + set overlap@10 vs the
+            // exact batch above. The export happens once outside the timed
+            // region, like the IVF build; tower methods report NaN.
+            let (q8_micros, q8_overlap) = match model.scoring_index() {
+                None => (f64::NAN, f64::NAN),
+                Some(index) => {
+                    let qidx = index.quantize(PanelDtype::ScaledI8);
+                    let engine = TopKEngine::new();
+                    let mut out = TopKBatch::new();
+                    let mut scratch = QuantScratch::default();
+                    // Warm-up sizes the scratch, then the timed pass.
+                    engine.recommend_quantized_into(
+                        &qidx,
+                        &query,
+                        10,
+                        None,
+                        None,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    let t3 = Instant::now(); // lint: allow(r4): serving latency is the measurement, as above
+                    engine.recommend_quantized_into(
+                        &qidx,
+                        &query,
+                        10,
+                        None,
+                        None,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    let us = t3.elapsed().as_secs_f64() * 1e6 / out.n_users().max(1) as f64;
+                    let (mut overlap_sum, mut n_users_scored) = (0.0, 0usize);
+                    for j in 0..query.len() {
+                        let truth: Vec<u32> = batch.user(j).iter().map(|r| r.item).collect();
+                        let got: Vec<u32> = out.user(j).iter().map(|r| r.item).collect();
+                        overlap_sum += top_k_overlap(&truth, &got);
+                        n_users_scored += 1;
+                    }
+                    (us, overlap_sum / n_users_scored.max(1) as f64)
+                }
+            };
+
             row.push(model.n_parameters() as f64);
             row.push(fit.train_seconds);
             row.push(micros);
             row.push(topk_micros);
             row.push(ann_micros);
             row.push(ann_recall);
+            row.push(q8_micros);
+            row.push(q8_overlap);
         }
         table.push_row(method.label(), row);
     }

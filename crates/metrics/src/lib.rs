@@ -15,4 +15,6 @@ mod ranking;
 pub use auc::auc;
 pub use calibration::{expected_calibration_error, CalibrationBin};
 pub use pointwise::{mae, mse, rmse};
-pub use ranking::{evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, RankingReport};
+pub use ranking::{
+    evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, top_k_overlap, RankingReport,
+};

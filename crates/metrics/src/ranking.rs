@@ -77,6 +77,27 @@ pub fn precision_at_k(items: ScoredItems, k: usize) -> Option<f64> {
     Some(hits as f64 / depth as f64)
 }
 
+/// Set overlap@K between two ranked item lists: `|truth ∩ got| /
+/// |truth|`. Tie-insensitive by construction — only membership in the
+/// two lists matters, never the order within them — which makes it the
+/// right fidelity metric for comparing a quantized retrieval against its
+/// f64 oracle, where near-ties may legitimately reorder.
+///
+/// An empty `truth` list yields `1.0` (nothing to retrieve, nothing
+/// missed — mirrors the IVF recall convention in `dt-bench`). Lists are
+/// item ids, assumed duplicate-free (the contract of a top-K stripe);
+/// `got` may have any length, e.g. a deeper or shallower cutoff.
+#[must_use]
+pub fn top_k_overlap(truth: &[u32], got: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    // Top-K lists are short (K ≲ 100), so a quadratic membership scan
+    // beats sorting or hashing — and allocates nothing.
+    let hits = truth.iter().filter(|t| got.contains(t)).count();
+    hits as f64 / truth.len() as f64
+}
+
 /// Dataset-level ranking report at a single cutoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankingReport {
@@ -192,6 +213,34 @@ mod tests {
         let items = [(0.9, 0.0), (0.8, 1.0), (0.1, 0.0)];
         let expected = 1.0 / 3f64.log2();
         assert!((ndcg_at_k(&items, 2).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_counts_shared_members_order_free() {
+        assert_eq!(top_k_overlap(&[1, 2, 3, 4], &[4, 3, 2, 1]), 1.0);
+        assert_eq!(top_k_overlap(&[1, 2, 3, 4], &[1, 2, 9, 8]), 0.5);
+        assert_eq!(top_k_overlap(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_tie_insensitive_and_length_tolerant() {
+        // A reordered truth set scores the same.
+        let got = [7u32, 5, 6];
+        assert_eq!(
+            top_k_overlap(&[5, 6, 7], &got),
+            top_k_overlap(&[7, 6, 5], &got)
+        );
+        // `got` deeper than truth: still 1.0 when truth is covered.
+        assert_eq!(top_k_overlap(&[5], &[9, 5, 2]), 1.0);
+        // `got` shallower: only the covered fraction counts.
+        assert_eq!(top_k_overlap(&[5, 9, 11, 13], &[9]), 0.25);
+    }
+
+    #[test]
+    fn overlap_of_empty_truth_is_one() {
+        assert_eq!(top_k_overlap(&[], &[1, 2]), 1.0);
+        assert_eq!(top_k_overlap(&[], &[]), 1.0);
+        assert_eq!(top_k_overlap(&[1], &[]), 0.0);
     }
 
     #[test]

@@ -375,6 +375,14 @@ impl DisentangledMf {
         )
     }
 
+    /// The rating-head serving index re-exported at a serving dtype:
+    /// [`DisentangledMf::rating_scoring_index`] followed by
+    /// [`dt_serve::ScoringIndex::quantize`] (DESIGN.md section 15).
+    #[must_use]
+    pub fn rating_quantized_index(&self, dtype: dt_serve::PanelDtype) -> dt_serve::QuantizedIndex {
+        self.rating_scoring_index().quantize(dtype)
+    }
+
     fn score_head(
         &self,
         user: usize,
@@ -539,6 +547,25 @@ mod tests {
             assert_eq!(block.row(0)[i].to_bits(), direct.to_bits(), "item {i}");
         }
         block.recycle();
+    }
+
+    #[test]
+    fn rating_quantized_index_f64_matches_the_unquantized_index() {
+        use dt_serve::{PanelDtype, TopKEngine};
+        let m = model();
+        let engine = TopKEngine::new();
+        let oracle = engine.recommend(&m.rating_scoring_index(), &[1, 3], 4, None);
+        let quant = engine.recommend_quantized(
+            &m.rating_quantized_index(PanelDtype::F64),
+            &[1, 3],
+            4,
+            None,
+        );
+        assert_eq!(oracle, quant);
+        assert_eq!(
+            m.rating_quantized_index(PanelDtype::ScaledI8).dim(),
+            m.primary_dim()
+        );
     }
 
     #[test]

@@ -188,6 +188,16 @@ impl MfModel {
         )
     }
 
+    /// Extracts a serving index re-exported at a lossy (or verbatim)
+    /// serving dtype: [`MfModel::scoring_index`] followed by
+    /// [`dt_serve::ScoringIndex::quantize`]. `PanelDtype::F64` serves
+    /// bit-identically to the unquantized index; lossy dtypes trade
+    /// top-K fidelity for bandwidth (DESIGN.md section 15).
+    #[must_use]
+    pub fn quantized_index(&self, dtype: dt_serve::PanelDtype) -> dt_serve::QuantizedIndex {
+        self.scoring_index().quantize(dtype)
+    }
+
     /// L2 penalty on the embedding tables (not the biases), as a
     /// differentiable term.
     pub fn l2_penalty(&self, g: &mut Graph) -> Var {
@@ -292,5 +302,25 @@ mod tests {
             }
         }
         block.recycle();
+    }
+
+    #[test]
+    fn quantized_index_serves_every_dtype() {
+        use dt_serve::{PanelDtype, TopKEngine};
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = MfModel::new(6, 30, 4, &mut rng);
+        let engine = TopKEngine::new();
+        let oracle = engine.recommend(&m.scoring_index(), &[0, 4], 5, None);
+        // F64 export is bit-identical to the unquantized serving path.
+        let f64_batch =
+            engine.recommend_quantized(&m.quantized_index(PanelDtype::F64), &[0, 4], 5, None);
+        assert_eq!(oracle, f64_batch);
+        // Lossy exports serve the same shape (fidelity is benchmarked in
+        // BENCH_quant.json, not asserted on random tiny panels).
+        for dtype in [PanelDtype::F32, PanelDtype::ScaledI8] {
+            let got = engine.recommend_quantized(&m.quantized_index(dtype), &[0, 4], 5, None);
+            assert_eq!(got.n_users(), 2);
+            assert_eq!(got.user(0).len(), 5);
+        }
     }
 }

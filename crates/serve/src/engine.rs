@@ -13,7 +13,7 @@ pub const DEFAULT_BLOCK_ELEMS: usize = 1 << 22;
 
 /// Maximum users per block regardless of catalog size (keeps the gather
 /// panel and per-block latency bounded).
-const MAX_BLOCK_USERS: usize = 512;
+pub(crate) const MAX_BLOCK_USERS: usize = 512;
 
 /// How a [`TopKEngine`] generates candidates before selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,15 +38,77 @@ pub enum RetrievalMode {
 #[derive(Debug, Clone, Default)]
 pub struct IvfScratch {
     /// Per-cell centroid scores of the current user.
-    cell_scores: Vec<f64>,
+    pub(crate) cell_scores: Vec<f64>,
     /// Selected probe cells (best first).
-    cells: Vec<Ranked>,
+    pub(crate) cells: Vec<Ranked>,
     /// Gathered candidate item ids, ascending, seen items removed.
-    cand: Vec<usize>,
-    /// Exact scores of `cand` (parallel array).
-    scores: Vec<f64>,
+    pub(crate) cand: Vec<usize>,
+    /// Rerank scores of `cand` (parallel array).
+    pub(crate) scores: Vec<f64>,
     /// Selected candidate *positions* before the id remap.
-    sel: Vec<Ranked>,
+    pub(crate) sel: Vec<Ranked>,
+}
+
+impl IvfScratch {
+    /// Fills `cell_scores` with `affinity_row + centroid_bias` — the
+    /// per-cell ranking scores of one user (user bias and μ are constant
+    /// per user, so cell ranking ignores them).
+    pub(crate) fn fill_cell_scores(&mut self, affinity_row: &[f64], centroid_bias: &[f64]) {
+        self.cell_scores.clear();
+        self.cell_scores
+            .extend(affinity_row.iter().zip(centroid_bias).map(|(a, b)| a + b));
+    }
+
+    /// Gathers the members of the user's best `nprobe` cells into `cand`
+    /// (ascending item ids, `exclude` removed), widening the probe while
+    /// fewer than `k` candidates survive — the shortfall loop shared by
+    /// the f64 and quantized IVF arms. `fill_cell_scores` must have run
+    /// for this user first.
+    pub(crate) fn gather_candidates(
+        &mut self,
+        ivf: &IvfIndex,
+        nprobe: usize,
+        k: usize,
+        exclude: &[u32],
+    ) {
+        let nlist = ivf.nlist();
+        let mut probe = nprobe.clamp(1, nlist);
+        loop {
+            self.cells.clear();
+            self.cells.resize(probe, Ranked::TOMBSTONE);
+            let n_cells = select_top_k(&self.cell_scores, &[], &mut self.cells);
+            self.cand.clear();
+            for cell in &self.cells[..n_cells] {
+                self.cand
+                    .extend(ivf.cell(cell.item as usize).iter().map(|&i| i as usize));
+            }
+            // Cells partition the catalog, so the concatenation is
+            // duplicate-free; sorting restores ascending item ids
+            // (the select_top_k tie-break order).
+            self.cand.sort_unstable();
+            if !exclude.is_empty() {
+                let cand = &mut self.cand;
+                let mut e = 0usize;
+                let mut w = 0usize;
+                for r in 0..cand.len() {
+                    let id = cand[r] as u32;
+                    while e < exclude.len() && exclude[e] < id {
+                        e += 1;
+                    }
+                    if e < exclude.len() && exclude[e] == id {
+                        continue;
+                    }
+                    cand[w] = cand[r];
+                    w += 1;
+                }
+                cand.truncate(w);
+            }
+            if self.cand.len() >= k || probe == nlist {
+                return;
+            }
+            probe = (probe * 2).min(nlist);
+        }
+    }
 }
 
 /// Batched full-catalog top-K retrieval over a [`ScoringIndex`].
@@ -104,6 +166,11 @@ impl TopKEngine {
     #[must_use]
     pub fn mode(&self) -> RetrievalMode {
         self.mode
+    }
+
+    /// The configured score-matrix element budget per block.
+    pub(crate) fn block_elems(&self) -> usize {
+        self.block_elems
     }
 
     /// Users per block for a catalog of `n_items`.
@@ -253,52 +320,9 @@ impl TopKEngine {
                 None,
             );
             for (j, &user) in block_users.iter().enumerate() {
-                scratch.cell_scores.clear();
-                scratch.cell_scores.extend(
-                    affinity
-                        .row(j)
-                        .iter()
-                        .zip(ivf.centroid_bias())
-                        .map(|(a, b)| a + b),
-                );
+                scratch.fill_cell_scores(affinity.row(j), ivf.centroid_bias());
                 let exclude = seen.map_or(&[][..], |s| s.seen(user));
-                let mut probe = nprobe.clamp(1, nlist);
-                loop {
-                    scratch.cells.clear();
-                    scratch.cells.resize(probe, Ranked::TOMBSTONE);
-                    let n_cells = select_top_k(&scratch.cell_scores, &[], &mut scratch.cells);
-                    scratch.cand.clear();
-                    for cell in &scratch.cells[..n_cells] {
-                        scratch
-                            .cand
-                            .extend(ivf.cell(cell.item as usize).iter().map(|&i| i as usize));
-                    }
-                    // Cells partition the catalog, so the concatenation is
-                    // duplicate-free; sorting restores ascending item ids
-                    // (the select_top_k tie-break order).
-                    scratch.cand.sort_unstable();
-                    if !exclude.is_empty() {
-                        let cand = &mut scratch.cand;
-                        let mut e = 0usize;
-                        let mut w = 0usize;
-                        for r in 0..cand.len() {
-                            let id = cand[r] as u32;
-                            while e < exclude.len() && exclude[e] < id {
-                                e += 1;
-                            }
-                            if e < exclude.len() && exclude[e] == id {
-                                continue;
-                            }
-                            cand[w] = cand[r];
-                            w += 1;
-                        }
-                        cand.truncate(w);
-                    }
-                    if scratch.cand.len() >= k || probe == nlist {
-                        break;
-                    }
-                    probe = (probe * 2).min(nlist);
-                }
+                scratch.gather_candidates(ivf, nprobe, k, exclude);
                 dt_tensor::scoring::score_user_items_into(
                     index.user_panel(),
                     index.item_panel(),
@@ -446,10 +470,17 @@ impl TopKBatch {
         self.counts[j] = n;
     }
 
+    /// Mutable view of the stripes for queried users `lo..hi`, for
+    /// crate-internal engines that fill many stripes from one parallel
+    /// pass (chunked by `k`). Follow with [`TopKBatch::recount`].
+    pub(crate) fn stripes_mut(&mut self, lo: usize, hi: usize) -> &mut [Ranked] {
+        &mut self.entries[lo * self.k..hi * self.k]
+    }
+
     /// Recomputes all counts from the tombstone boundaries (used after a
     /// parallel fill, where per-user counts cannot be written from the
     /// selection tasks).
-    fn recount(&mut self) {
+    pub(crate) fn recount(&mut self) {
         for (j, count) in self.counts.iter_mut().enumerate() {
             *count = self.entries[j * self.k..(j + 1) * self.k]
                 .iter()

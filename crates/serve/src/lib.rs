@@ -34,6 +34,17 @@
 //! reranked **exactly** through the same scoring kernels —
 //! [`RetrievalMode::Ivf`] with a shortfall fallback that degrades to
 //! exact rather than under-filling a stripe.
+//!
+//! The exact scan is memory-bandwidth-bound at catalog scale, so the
+//! index can also be re-exported at a lossy serving dtype (DESIGN.md
+//! section 15): [`ScoringIndex::quantize`] produces a [`QuantizedIndex`]
+//! whose panels store `f64`, `f32` or per-row-scaled `i8`
+//! ([`PanelDtype`]), served by the same engine through
+//! [`TopKEngine::retrieve_quantized_into`] — a fused range-sharded
+//! scan-and-select for the exact arm, and the shared IVF probe loop with
+//! a dtype rerank (plus an opt-in f64 refine pass) for the IVF arm. The
+//! `F64` dtype is bit-identical to the unquantized path, so every lossy
+//! dtype's accuracy bill can be measured against it.
 
 #![forbid(unsafe_code)]
 
@@ -41,8 +52,13 @@ mod engine;
 mod index;
 mod ivf;
 pub mod kmeans;
+mod qengine;
+mod qindex;
 
+pub use dt_tensor::quant::{Panel, PanelDtype};
 pub use dt_tensor::topk::Ranked;
 pub use engine::{IvfScratch, RetrievalMode, TopKBatch, TopKEngine, DEFAULT_BLOCK_ELEMS};
 pub use index::{ScoringIndex, SeenLists};
 pub use ivf::{IvfIndex, IvfParams};
+pub use qengine::QuantScratch;
+pub use qindex::QuantizedIndex;

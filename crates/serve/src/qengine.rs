@@ -1,0 +1,384 @@
+//! Retrieval over a [`QuantizedIndex`]: the bandwidth-bound serving
+//! paths at a chosen dtype (DESIGN.md section 15).
+//!
+//! ## Exact arm: fused range-sharded scan
+//!
+//! The f64 exact arm materializes a `B × M` score block (GEMM-friendly,
+//! but it writes and re-reads 8 bytes per score on top of streaming the
+//! panel). The quantized arm instead shards the catalog into fixed
+//! [`SCAN_RANGE_ITEMS`]-item ranges and runs one fused
+//! [`dt_tensor::quant::scan_top_k`] per `(range, user)` task: each task
+//! streams its panel range once, keeps a K-bounded heap, and writes only
+//! `K` entries. Partial results merge through the same heap — exact,
+//! because the retained top-K set is push-order independent. Tasks are
+//! laid out range-major, so at low widths the B users of a block reuse
+//! each panel range while it is cache-hot. Chunk geometry derives from
+//! `(M, K, B)` only, so results are bit-identical at any thread count —
+//! and for `PanelDtype::F64`, bit-identical to the unquantized engine.
+//!
+//! ## IVF arm: shared probe loop, dtype rerank, opt-in refine
+//!
+//! Cell ranking keeps the f64 user panel and centroid GEMM (the
+//! `N × nlist` part is not where the bytes are), reusing the exact
+//! [`IvfScratch`] probe/shortfall loop; only the member rerank runs at
+//! the serving dtype. An optional **refine** pass rescores the final ≤ K
+//! stripe through the f64 oracle pair kernel — `K` dots per user against
+//! the training-precision panels — restoring oracle scores (and their
+//! order) on the survivors while the scan that chose them stays cheap.
+
+use dt_tensor::quant;
+use dt_tensor::topk::{rank_cmp, select_top_k, BoundedRank, Ranked};
+
+use crate::engine::{TopKBatch, TopKEngine, MAX_BLOCK_USERS};
+use crate::index::{ScoringIndex, SeenLists};
+use crate::ivf::IvfIndex;
+use crate::qindex::QuantizedIndex;
+use crate::{IvfScratch, RetrievalMode};
+
+/// Items per fused-scan shard. A shape constant (never a function of the
+/// thread count): it fixes the partial-result geometry, and with it the
+/// task grid. 8192 items × dim 32 is 256 KiB of f64 panel (32 KiB at
+/// i8) — small enough to stay cache-resident across the users of a
+/// block, large enough to amortize task hand-off.
+pub(crate) const SCAN_RANGE_ITEMS: usize = 8192;
+
+/// Reusable scratch for the quantized retrieval paths. Buffers grow to
+/// steady state on the first query and are only rewritten afterwards, so
+/// repeated queries through one scratch allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    /// Per-`(range, user)` partial top-K stripes, range-major.
+    partials: Vec<Ranked>,
+    /// The IVF probe loop's scratch (shared shape with the f64 arm).
+    ivf: IvfScratch,
+    /// Item ids of the stripe under refine.
+    refine_items: Vec<usize>,
+    /// Oracle scores of `refine_items` (parallel array).
+    refine_scores: Vec<f64>,
+}
+
+fn check_refine(index: &QuantizedIndex, oracle: Option<&ScoringIndex>) {
+    if let Some(o) = oracle {
+        assert!(
+            o.n_users() == index.n_users() && o.n_items() == index.n_items(),
+            "refine: oracle shape {}x{} vs quantized index {}x{}",
+            o.n_users(),
+            o.n_items(),
+            index.n_users(),
+            index.n_items()
+        );
+        assert_eq!(
+            o.dim(),
+            index.dim(),
+            "refine: oracle dim {} vs quantized index dim {}",
+            o.dim(),
+            index.dim()
+        );
+    }
+}
+
+/// Rescores the filled prefix of one stripe through the f64 oracle pair
+/// kernel and re-sorts it by [`rank_cmp`]. The candidate *set* is
+/// unchanged — refine restores training-precision scores (and their
+/// order) on the dtype scan's survivors.
+fn refine_stripe(
+    oracle: &ScoringIndex,
+    user: usize,
+    stripe: &mut [Ranked],
+    n: usize,
+    items: &mut Vec<usize>,
+    scores: &mut Vec<f64>,
+) {
+    items.clear();
+    items.extend(stripe[..n].iter().map(|r| r.item as usize));
+    dt_tensor::scoring::score_user_items_into(
+        oracle.user_panel(),
+        oracle.item_panel(),
+        0..oracle.dim(),
+        user,
+        items,
+        Some(oracle.biases()),
+        scores,
+    );
+    for (slot, &s) in stripe[..n].iter_mut().zip(scores.iter()) {
+        slot.score = s;
+    }
+    // Distinct item ids make rank_cmp a strict total order, so the sort
+    // is deterministic regardless of the pre-refine order.
+    stripe[..n].sort_unstable_by(rank_cmp);
+}
+
+impl TopKEngine {
+    /// Quantized exact retrieval: the fused range-sharded scan (see the
+    /// module docs). Writes into `out`; with a warmed `scratch`/`out`
+    /// pair, steady-state queries allocate nothing. An optional `refine`
+    /// oracle rescores each final stripe at f64.
+    ///
+    /// # Panics
+    /// Panics when a user id is out of bounds, `seen` covers a different
+    /// user universe than the index, or `refine` disagrees with the
+    /// index's shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_quantized_into(
+        &self,
+        index: &QuantizedIndex,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        refine: Option<&ScoringIndex>,
+        scratch: &mut QuantScratch,
+        out: &mut TopKBatch,
+    ) {
+        if let Some(s) = seen {
+            assert_eq!(
+                s.n_users(),
+                index.n_users(),
+                "recommend_quantized: seen-lists cover {} users, index has {}",
+                s.n_users(),
+                index.n_users()
+            );
+        }
+        assert!(
+            users.iter().all(|&u| u < index.n_users()),
+            "recommend_quantized: user id out of bounds for {} users",
+            index.n_users()
+        );
+        check_refine(index, refine);
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return;
+        }
+        let m = index.n_items();
+        let n_ranges = m.div_ceil(SCAN_RANGE_ITEMS);
+        // Budget the partial grid like the f64 engine budgets its score
+        // block: `n_ranges × B × K` retained entries per block.
+        let block = (self.block_elems() / (n_ranges * k).max(1)).clamp(1, MAX_BLOCK_USERS);
+        let biases = Some(index.biases());
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = (lo + block).min(users.len());
+            let block_users = &users[lo..hi];
+            let nb = hi - lo;
+            scratch.partials.clear();
+            scratch
+                .partials
+                .resize(n_ranges * nb * k, Ranked::TOMBSTONE);
+            // One fused scan per (range, user), range-major: consecutive
+            // chunks share a panel range across the block's users.
+            dt_parallel::for_each_chunk(&mut scratch.partials, k, |ci, slot| {
+                let (r, j) = (ci / nb, ci % nb);
+                let user = block_users[j];
+                let exclude = seen.map_or(&[][..], |s| s.seen(user));
+                let start = r * SCAN_RANGE_ITEMS;
+                let end = (start + SCAN_RANGE_ITEMS).min(m);
+                quant::scan_top_k(
+                    index.user_panel_q(),
+                    index.item_panel_q(),
+                    user,
+                    start..end,
+                    exclude,
+                    biases,
+                    slot,
+                );
+            });
+            // Merge the n_ranges partial stripes of each user through the
+            // same bounded heap — exact by push-order independence.
+            let partials = &scratch.partials;
+            let stripes = out.stripes_mut(lo, hi);
+            dt_parallel::for_each_chunk(stripes, k, |j, slot| {
+                let mut rank = BoundedRank::new(slot);
+                for r in 0..n_ranges {
+                    for e in &partials[(r * nb + j) * k..][..k] {
+                        if e.is_tombstone() {
+                            break;
+                        }
+                        rank.push(*e);
+                    }
+                }
+                rank.finish();
+            });
+            lo = hi;
+        }
+        out.recount();
+        if let Some(oracle) = refine {
+            for (j, &user) in users.iter().enumerate() {
+                let n = out.user(j).len();
+                refine_stripe(
+                    oracle,
+                    user,
+                    out.user_mut(j),
+                    n,
+                    &mut scratch.refine_items,
+                    &mut scratch.refine_scores,
+                );
+            }
+        }
+    }
+
+    /// [`TopKEngine::recommend_quantized_into`] returning a fresh batch.
+    #[must_use]
+    pub fn recommend_quantized(
+        &self,
+        index: &QuantizedIndex,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+    ) -> TopKBatch {
+        let mut scratch = QuantScratch::default();
+        let mut out = TopKBatch::new();
+        self.recommend_quantized_into(index, users, k, seen, None, &mut scratch, &mut out);
+        out
+    }
+
+    /// Quantized IVF retrieval: f64 cell ranking over the retained user
+    /// panel (bit-identical probe choices and shortfall widening to the
+    /// unquantized IVF arm), dtype rerank of the gathered candidates,
+    /// optional f64 refine of the final stripe.
+    ///
+    /// # Panics
+    /// Panics when the IVF index does not match `index` (catalog size or
+    /// panel width), a user id is out of bounds, `seen` covers a
+    /// different user universe than the index, or `refine` disagrees
+    /// with the index's shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_ivf_quantized_into(
+        &self,
+        index: &QuantizedIndex,
+        ivf: &IvfIndex,
+        nprobe: usize,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        refine: Option<&ScoringIndex>,
+        scratch: &mut QuantScratch,
+        out: &mut TopKBatch,
+    ) {
+        assert_eq!(
+            ivf.n_items(),
+            index.n_items(),
+            "recommend_ivf_quantized: IVF built over {} items, index has {}",
+            ivf.n_items(),
+            index.n_items()
+        );
+        assert_eq!(
+            ivf.dim(),
+            index.dim(),
+            "recommend_ivf_quantized: IVF built at dim {}, index has {}",
+            ivf.dim(),
+            index.dim()
+        );
+        if let Some(s) = seen {
+            assert_eq!(
+                s.n_users(),
+                index.n_users(),
+                "recommend_ivf_quantized: seen-lists cover {} users, index has {}",
+                s.n_users(),
+                index.n_users()
+            );
+        }
+        check_refine(index, refine);
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return;
+        }
+        let nlist = ivf.nlist();
+        let block = (self.block_elems() / nlist.max(1)).clamp(1, MAX_BLOCK_USERS);
+        let biases = Some(index.biases());
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = (lo + block).min(users.len());
+            let block_users = &users[lo..hi];
+            // Cell affinities stay f64: same GEMM, same panel, same cells
+            // as the unquantized IVF arm.
+            let affinity = dt_tensor::scoring::score_user_block(
+                index.user_panel(),
+                ivf.centroids(),
+                block_users,
+                None,
+            );
+            for (j, &user) in block_users.iter().enumerate() {
+                scratch
+                    .ivf
+                    .fill_cell_scores(affinity.row(j), ivf.centroid_bias());
+                let exclude = seen.map_or(&[][..], |s| s.seen(user));
+                scratch.ivf.gather_candidates(ivf, nprobe, k, exclude);
+                quant::score_user_items_into(
+                    index.user_panel_q(),
+                    index.item_panel_q(),
+                    user,
+                    &scratch.ivf.cand,
+                    biases,
+                    &mut scratch.ivf.scores,
+                );
+                scratch.ivf.sel.clear();
+                scratch.ivf.sel.resize(k, Ranked::TOMBSTONE);
+                let n = select_top_k(&scratch.ivf.scores, &[], &mut scratch.ivf.sel);
+                let stripe = out.user_mut(lo + j);
+                for (slot, r) in stripe.iter_mut().zip(&scratch.ivf.sel[..n]) {
+                    *slot = Ranked {
+                        item: scratch.ivf.cand[r.item as usize] as u32,
+                        score: r.score,
+                    };
+                }
+                if let Some(oracle) = refine {
+                    refine_stripe(
+                        oracle,
+                        user,
+                        stripe,
+                        n,
+                        &mut scratch.refine_items,
+                        &mut scratch.refine_scores,
+                    );
+                }
+                out.set_count(lo + j, n);
+            }
+            affinity.recycle();
+            lo = hi;
+        }
+    }
+
+    /// Dispatches on [`TopKEngine::mode`] over a quantized index — the
+    /// dtype twin of [`TopKEngine::retrieve_into`]. The exact arm
+    /// ignores `ivf`; the IVF arm requires a companion index built with
+    /// the matching `nlist`. `refine` applies to both arms.
+    ///
+    /// # Panics
+    /// Panics in IVF mode when `ivf` is `None` or was built with a
+    /// different `nlist` than the mode says (after clamping to the
+    /// catalog size), plus everything the two arms panic on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retrieve_quantized_into(
+        &self,
+        index: &QuantizedIndex,
+        ivf: Option<&IvfIndex>,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        refine: Option<&ScoringIndex>,
+        scratch: &mut QuantScratch,
+        out: &mut TopKBatch,
+    ) {
+        match self.mode() {
+            RetrievalMode::Exact => {
+                self.recommend_quantized_into(index, users, k, seen, refine, scratch, out);
+            }
+            RetrievalMode::Ivf { nlist, nprobe } => {
+                assert!(
+                    ivf.is_some(),
+                    "retrieve_quantized: RetrievalMode::Ivf needs a companion IvfIndex"
+                );
+                let Some(ivf) = ivf else { return };
+                assert_eq!(
+                    ivf.nlist(),
+                    nlist.min(index.n_items()),
+                    "retrieve_quantized: IvfIndex has {} cells, mode says nlist {}",
+                    ivf.nlist(),
+                    nlist
+                );
+                self.recommend_ivf_quantized_into(
+                    index, ivf, nprobe, users, k, seen, refine, scratch, out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The mixed-precision serving index: a [`ScoringIndex`] re-exported at
+//! a serving dtype (DESIGN.md section 15).
+
+use dt_tensor::quant::{Panel, PanelDtype};
+use dt_tensor::scoring::Biases;
+use dt_tensor::Tensor;
+
+use crate::index::ScoringIndex;
+
+/// A [`ScoringIndex`] whose panels are stored in a serving dtype
+/// ([`PanelDtype`]): `F64` verbatim (the accuracy oracle), `F32`, or
+/// per-row-scaled `ScaledI8`.
+///
+/// Quantization points (what stays `f64`):
+///
+/// * **biases** — three small vectors, applied after the dot in the
+///   shared association order; keeping them exact means only the dot
+///   product carries quantization error;
+/// * **the IVF cell-ranking user panel** — cell ranking runs one GEMM
+///   over ≤ `nlist` centroids, which is `N·nlist` work, not `N·M`; the
+///   `f64` copy retained here is user-proportional, not
+///   catalog-proportional, so it costs little and keeps probe choices
+///   (and the shortfall fallback) bit-identical to the unquantized IVF
+///   path. Only the M-proportional member panels quantize.
+pub struct QuantizedIndex {
+    /// f64 user panel for the IVF cell-ranking GEMM (see above).
+    user_panel: Tensor,
+    p: Panel,
+    q: Panel,
+    user_bias: Vec<f64>,
+    item_bias: Vec<f64>,
+    mu: f64,
+}
+
+impl ScoringIndex {
+    /// Re-exports this index at a serving dtype. Quantization runs once
+    /// here — at index-export time, with static per-row scales — never
+    /// on the query path. `PanelDtype::F64` yields an index whose
+    /// retrieval results are bit-identical to this one's.
+    #[must_use]
+    pub fn quantize(&self, dtype: PanelDtype) -> QuantizedIndex {
+        let b = self.biases();
+        QuantizedIndex {
+            user_panel: self.user_panel().clone(),
+            p: Panel::quantize(self.user_panel(), dtype),
+            q: Panel::quantize(self.item_panel(), dtype),
+            user_bias: b.user.to_vec(),
+            item_bias: b.item.to_vec(),
+            mu: b.global,
+        }
+    }
+}
+
+impl QuantizedIndex {
+    /// Number of users the index can serve.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Catalog size M.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Panel width (the scoring dimension).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.p.cols()
+    }
+
+    /// Serving dtype of the quantized panels.
+    #[must_use]
+    pub fn dtype(&self) -> PanelDtype {
+        self.q.dtype()
+    }
+
+    /// The quantized user panel.
+    #[must_use]
+    pub fn user_panel_q(&self) -> &Panel {
+        &self.p
+    }
+
+    /// The quantized item panel — the panel the exact scan streams.
+    #[must_use]
+    pub fn item_panel_q(&self) -> &Panel {
+        &self.q
+    }
+
+    /// The f64 user panel retained for IVF cell ranking.
+    #[must_use]
+    pub fn user_panel(&self) -> &Tensor {
+        &self.user_panel
+    }
+
+    /// The affine bias view used by the scoring kernels (always `f64`).
+    #[must_use]
+    pub fn biases(&self) -> Biases<'_> {
+        Biases {
+            user: &self.user_bias,
+            item: &self.item_bias,
+            global: self.mu,
+        }
+    }
+
+    /// Catalog-side payload bytes per item (quantized item panel plus
+    /// the `f64` item bias), the bandwidth the exact scan streams.
+    #[must_use]
+    pub fn bytes_per_item(&self) -> f64 {
+        let items = self.n_items().max(1);
+        (self.q.payload_bytes() + self.item_bias.len() * 8) as f64 / items as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> ScoringIndex {
+        let p = Tensor::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.1 - 0.5);
+        let q = Tensor::from_fn(7, 4, |r, c| ((r * 4 + c) as f64 * 0.37).sin());
+        ScoringIndex::new(
+            p,
+            q,
+            vec![0.1, -0.2, 0.3],
+            (0..7).map(|i| f64::from(i) * 0.01).collect(),
+            0.05,
+        )
+    }
+
+    #[test]
+    fn quantize_preserves_shapes_and_biases() {
+        let idx = index();
+        for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+            let qi = idx.quantize(dtype);
+            assert_eq!(qi.n_users(), 3);
+            assert_eq!(qi.n_items(), 7);
+            assert_eq!(qi.dim(), 4);
+            assert_eq!(qi.dtype(), dtype);
+            assert_eq!(qi.biases().user, idx.biases().user);
+            assert_eq!(qi.biases().item, idx.biases().item);
+            assert_eq!(qi.biases().global, idx.biases().global);
+            assert_eq!(qi.user_panel().data(), idx.user_panel().data());
+        }
+    }
+
+    #[test]
+    fn bytes_per_item_orders_the_dtypes() {
+        let idx = index();
+        let b64 = idx.quantize(PanelDtype::F64).bytes_per_item();
+        let b32 = idx.quantize(PanelDtype::F32).bytes_per_item();
+        let b8 = idx.quantize(PanelDtype::ScaledI8).bytes_per_item();
+        // dim 4: 4*8+8=40, 4*4+8=24, 4+8+8=20 bytes/item.
+        assert_eq!(b64, 40.0);
+        assert_eq!(b32, 24.0);
+        assert_eq!(b8, 20.0);
+        assert!(b8 < b32 && b32 < b64);
+    }
+}

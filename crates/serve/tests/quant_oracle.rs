@@ -1,0 +1,337 @@
+//! Oracle tests for the quantized retrieval paths (DESIGN.md section 15):
+//!
+//! * `PanelDtype::F64` through the fused range-sharded scan must be
+//!   **bit-identical** to the unquantized exact engine — same items, same
+//!   score bits — at any thread count and block geometry. This is the
+//!   strongest statement of the scan + merge's exactness: the sharding
+//!   never changes results, only the dtype does.
+//! * Lossy dtypes must agree with their own score-then-select oracle
+//!   (the dtype pair kernel + `select_top_k`), and with the quantized
+//!   IVF arm at full probe.
+//! * The opt-in refine pass must reproduce f64 oracle scores on the
+//!   selected stripe.
+
+use dt_serve::{
+    IvfIndex, IvfParams, PanelDtype, QuantScratch, RetrievalMode, ScoringIndex, SeenLists,
+    TopKBatch, TopKEngine,
+};
+use dt_tensor::topk::{select_top_k, Ranked};
+use dt_tensor::Tensor;
+
+const DTYPES: [PanelDtype; 3] = [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8];
+
+fn build_index(n_users: usize, n_items: usize, dim: usize, seed: u64) -> ScoringIndex {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let p = Tensor::from_fn(n_users, dim, |_, _| next());
+    let q = Tensor::from_fn(n_items, dim, |_, _| next());
+    let bu: Vec<f64> = (0..n_users).map(|_| next() * 0.2).collect();
+    let bi: Vec<f64> = (0..n_items).map(|_| next() * 0.2).collect();
+    ScoringIndex::new(p, q, bu, bi, 0.07)
+}
+
+fn seen_for(n_users: usize) -> SeenLists {
+    SeenLists::from_pairs(
+        n_users,
+        (0..n_users as u32).flat_map(|u| [(u, u % 11), (u, (u * 7) % 23), (u, 2)]),
+    )
+}
+
+#[test]
+fn f64_dtype_is_bit_identical_to_the_exact_engine() {
+    let index = build_index(40, 20_000, 12, 0xA1);
+    let seen = seen_for(40);
+    let users: Vec<usize> = (0..64).map(|j| (j * 13) % 40).collect();
+    let engine = TopKEngine::new();
+    for k in [1, 10, 50] {
+        let exact = engine.recommend(&index, &users, k, Some(&seen));
+        let quant =
+            engine.recommend_quantized(&index.quantize(PanelDtype::F64), &users, k, Some(&seen));
+        assert_eq!(exact, quant, "k={k}");
+    }
+}
+
+#[test]
+fn lossy_dtypes_match_their_score_then_select_oracle() {
+    let index = build_index(9, 10_000, 8, 0xB2);
+    let seen = seen_for(9);
+    let users: Vec<usize> = vec![0, 5, 8, 5];
+    let k = 17;
+    let engine = TopKEngine::new();
+    let all_items: Vec<usize> = (0..index.n_items()).collect();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let got = engine.recommend_quantized(&qidx, &users, k, Some(&seen));
+        let mut scores = Vec::new();
+        for (j, &u) in users.iter().enumerate() {
+            dt_tensor::quant::score_user_items_into(
+                qidx.user_panel_q(),
+                qidx.item_panel_q(),
+                u,
+                &all_items,
+                Some(qidx.biases()),
+                &mut scores,
+            );
+            let mut want = vec![Ranked::TOMBSTONE; k];
+            let n = select_top_k(&scores, seen.seen(u), &mut want);
+            assert_eq!(got.user(j).len(), n, "{} user {u}", dtype.label());
+            for (g, w) in got.user(j).iter().zip(&want[..n]) {
+                assert_eq!(g.item, w.item, "{} user {u}", dtype.label());
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "{}", dtype.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn block_geometry_does_not_change_results() {
+    let index = build_index(12, 9_000, 6, 0xC3);
+    let users: Vec<usize> = (0..30).map(|j| (j * 5) % 12).collect();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let whole = TopKEngine::new().recommend_quantized(&qidx, &users, 8, None);
+        // Tiny budget: one user per block, many blocks.
+        let split = TopKEngine::with_block_elems(1).recommend_quantized(&qidx, &users, 8, None);
+        assert_eq!(whole, split, "{}", dtype.label());
+    }
+}
+
+#[test]
+fn results_are_bit_identical_across_widths() {
+    let index = build_index(16, 30_000, 16, 0xD4);
+    let seen = seen_for(16);
+    let users: Vec<usize> = (0..24).map(|j| (j * 3) % 16).collect();
+    let engine = TopKEngine::new();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let run = || engine.recommend_quantized(&qidx, &users, 10, Some(&seen));
+        let base = dt_parallel::with_thread_limit(1, run);
+        for width in [2, 8] {
+            let wide = dt_parallel::with_thread_limit(width, run);
+            assert_eq!(base, wide, "{} width {width}", dtype.label());
+        }
+    }
+}
+
+#[test]
+fn ivf_full_probe_equals_quantized_exact() {
+    let index = build_index(10, 6_000, 10, 0xE5);
+    let seen = seen_for(10);
+    let users: Vec<usize> = vec![3, 0, 9, 3];
+    let nlist = 16;
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist,
+            iters: 6,
+            seed: 11,
+            train_cap: 0,
+        },
+    );
+    let engine = TopKEngine::new();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let exact = engine.recommend_quantized(&qidx, &users, 12, Some(&seen));
+        let mut got = TopKBatch::new();
+        let mut scratch = QuantScratch::default();
+        engine.recommend_ivf_quantized_into(
+            &qidx,
+            &ivf,
+            nlist,
+            &users,
+            12,
+            Some(&seen),
+            None,
+            &mut scratch,
+            &mut got,
+        );
+        assert_eq!(exact, got, "{}", dtype.label());
+    }
+}
+
+#[test]
+fn retrieve_quantized_dispatches_on_mode() {
+    let index = build_index(8, 4_000, 8, 0xF6);
+    let qidx = index.quantize(PanelDtype::ScaledI8);
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 8,
+            iters: 4,
+            seed: 5,
+            train_cap: 0,
+        },
+    );
+    let users = [1usize, 7, 4];
+    let mut scratch = QuantScratch::default();
+    let mut exact = TopKBatch::new();
+    TopKEngine::new().retrieve_quantized_into(
+        &qidx,
+        None,
+        &users,
+        5,
+        None,
+        None,
+        &mut scratch,
+        &mut exact,
+    );
+    let mut via_ivf = TopKBatch::new();
+    TopKEngine::new()
+        .with_mode(RetrievalMode::Ivf {
+            nlist: 8,
+            nprobe: 8,
+        })
+        .retrieve_quantized_into(
+            &qidx,
+            Some(&ivf),
+            &users,
+            5,
+            None,
+            None,
+            &mut scratch,
+            &mut via_ivf,
+        );
+    assert_eq!(exact, via_ivf);
+}
+
+#[test]
+fn refine_restores_oracle_scores_on_the_selected_stripe() {
+    let index = build_index(6, 5_000, 12, 0xAB);
+    let users = [0usize, 2, 5];
+    let k = 9;
+    let engine = TopKEngine::new();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        let mut scratch = QuantScratch::default();
+        let mut refined = TopKBatch::new();
+        engine.recommend_quantized_into(
+            &qidx,
+            &users,
+            k,
+            None,
+            Some(&index),
+            &mut scratch,
+            &mut refined,
+        );
+        // Every refined score must equal the f64 pair-kernel score of its
+        // (user, item), and stripes must stay sorted best-first.
+        for (j, &u) in users.iter().enumerate() {
+            let stripe = refined.user(j);
+            assert_eq!(stripe.len(), k);
+            let items: Vec<usize> = stripe.iter().map(|r| r.item as usize).collect();
+            let want = dt_tensor::scoring::score_pairs(
+                index.user_panel(),
+                index.item_panel(),
+                0..index.dim(),
+                &vec![u; items.len()],
+                &items,
+                Some(index.biases()),
+            );
+            for (g, w) in stripe.iter().zip(&want) {
+                assert_eq!(g.score.to_bits(), w.to_bits(), "{}", dtype.label());
+            }
+            for pair in stripe.windows(2) {
+                assert!(
+                    dt_tensor::topk::rank_cmp(&pair[0], &pair[1]).is_le(),
+                    "{}: refined stripe out of order",
+                    dtype.label()
+                );
+            }
+        }
+    }
+    // For the F64 dtype, refine re-scores with the same kernel over the
+    // same panels, so it must be a no-op relative to the unrefined run.
+    let qidx = index.quantize(PanelDtype::F64);
+    let unrefined = engine.recommend_quantized(&qidx, &users, k, None);
+    let mut scratch = QuantScratch::default();
+    let mut refined = TopKBatch::new();
+    engine.recommend_quantized_into(
+        &qidx,
+        &users,
+        k,
+        None,
+        Some(&index),
+        &mut scratch,
+        &mut refined,
+    );
+    assert_eq!(unrefined, refined);
+}
+
+#[test]
+fn i8_overlap_with_the_f64_oracle_is_high() {
+    // Clustered-ish panels at serving scale would be slow here; even on
+    // unstructured random panels the i8 top-10 should mostly agree with
+    // the oracle. This is a sanity floor — BENCH_quant.json reports the
+    // real frontier on clustered panels.
+    let index = build_index(8, 20_000, 32, 0xCD);
+    let users: Vec<usize> = (0..8).collect();
+    let engine = TopKEngine::new();
+    let oracle = engine.recommend(&index, &users, 10, None);
+    let got = engine.recommend_quantized(&index.quantize(PanelDtype::ScaledI8), &users, 10, None);
+    let mut inter = 0usize;
+    let mut total = 0usize;
+    for j in 0..users.len() {
+        let truth: Vec<u32> = oracle.user(j).iter().map(|r| r.item).collect();
+        inter += got
+            .user(j)
+            .iter()
+            .filter(|r| truth.contains(&r.item))
+            .count();
+        total += truth.len();
+    }
+    let overlap = inter as f64 / total as f64;
+    assert!(overlap >= 0.85, "i8 top-10 overlap {overlap} too low");
+}
+
+#[test]
+fn edge_cases_mirror_the_exact_engine() {
+    let index = build_index(4, 100, 5, 0xEF);
+    let engine = TopKEngine::new();
+    for dtype in DTYPES {
+        let qidx = index.quantize(dtype);
+        // Empty users / zero k.
+        let empty = engine.recommend_quantized(&qidx, &[], 3, None);
+        assert_eq!(empty.n_users(), 0);
+        let zero_k = engine.recommend_quantized(&qidx, &[1], 0, None);
+        assert!(zero_k.user(0).is_empty());
+        // K beyond the catalog truncates counts.
+        let big_k = engine.recommend_quantized(&qidx, &[2], 150, None);
+        assert_eq!(big_k.user(0).len(), 100);
+        // Everything seen yields an empty stripe.
+        let all = SeenLists::from_pairs(4, (0..100u32).map(|i| (3u32, i)));
+        let none_left = engine.recommend_quantized(&qidx, &[3], 5, Some(&all));
+        assert!(none_left.user(0).is_empty());
+    }
+}
+
+#[test]
+#[should_panic(expected = "user id out of bounds")]
+fn out_of_bounds_user_panics() {
+    let index = build_index(3, 50, 4, 0x11);
+    let qidx = index.quantize(PanelDtype::F32);
+    let _ = TopKEngine::new().recommend_quantized(&qidx, &[3], 5, None);
+}
+
+#[test]
+#[should_panic(expected = "oracle shape")]
+fn mismatched_refine_oracle_panics() {
+    let index = build_index(3, 50, 4, 0x12);
+    let other = build_index(3, 60, 4, 0x13);
+    let qidx = index.quantize(PanelDtype::F32);
+    let mut scratch = QuantScratch::default();
+    let mut out = TopKBatch::new();
+    TopKEngine::new().recommend_quantized_into(
+        &qidx,
+        &[0],
+        5,
+        None,
+        Some(&other),
+        &mut scratch,
+        &mut out,
+    );
+}

@@ -8,7 +8,10 @@
 
 use std::sync::Mutex;
 
-use dt_serve::{IvfIndex, IvfParams, IvfScratch, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_serve::{
+    IvfIndex, IvfParams, IvfScratch, PanelDtype, QuantScratch, ScoringIndex, SeenLists, TopKBatch,
+    TopKEngine,
+};
 use dt_tensor::{pool, Tensor};
 
 /// Serializes the pool-stat probes: the counters are process-global, so
@@ -56,6 +59,86 @@ fn steady_state_queries_allocate_nothing() {
         after.pool_hits > before.pool_hits,
         "queries should be served from the free lists"
     );
+    drop(guard);
+}
+
+#[test]
+fn steady_state_quantized_queries_allocate_nothing() {
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 4096);
+    let index = build_index(n_users, n_items, 16);
+    let seen = SeenLists::from_pairs(n_users, (0..n_users as u32).map(|u| (u, u * 3)));
+    let users: Vec<usize> = (0..48).map(|j| (j * 5) % n_users).collect();
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 32,
+            iters: 4,
+            seed: 3,
+            train_cap: 0,
+        },
+    );
+
+    let engine = TopKEngine::new();
+    for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+        // Quantization is the cold path; it runs before the probe.
+        let qidx = index.quantize(dtype);
+        let mut batch = TopKBatch::new();
+        let mut scratch = QuantScratch::default();
+        // Warm-up grows the partial grid, the IVF scratch, the refine
+        // buffers and the batch to steady-state capacity.
+        engine.recommend_quantized_into(
+            &qidx,
+            &users,
+            10,
+            Some(&seen),
+            Some(&index),
+            &mut scratch,
+            &mut batch,
+        );
+        engine.recommend_ivf_quantized_into(
+            &qidx,
+            &ivf,
+            4,
+            &users,
+            10,
+            Some(&seen),
+            Some(&index),
+            &mut scratch,
+            &mut batch,
+        );
+
+        let before = pool::stats();
+        for _ in 0..5 {
+            engine.recommend_quantized_into(
+                &qidx,
+                &users,
+                10,
+                Some(&seen),
+                Some(&index),
+                &mut scratch,
+                &mut batch,
+            );
+            engine.recommend_ivf_quantized_into(
+                &qidx,
+                &ivf,
+                4,
+                &users,
+                10,
+                Some(&seen),
+                Some(&index),
+                &mut scratch,
+                &mut batch,
+            );
+        }
+        let after = pool::stats();
+        assert_eq!(
+            after.fresh_allocs - before.fresh_allocs,
+            0,
+            "steady-state quantized batches must not allocate ({})",
+            dtype.label()
+        );
+    }
     drop(guard);
 }
 

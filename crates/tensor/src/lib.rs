@@ -46,6 +46,7 @@ mod gemm;
 mod init;
 mod linalg;
 pub mod pool;
+pub mod quant;
 pub mod reference;
 mod rowsparse;
 pub mod scoring;

@@ -1,0 +1,707 @@
+//! Mixed-precision scoring panels: the bandwidth side of serving.
+//!
+//! The exact retrieval scan is memory-bound — at `M = 10^6` items every
+//! request streams the whole item panel, so bytes/item is the knob that
+//! moves items/sec. A [`Panel`] stores one embedding table in a serving
+//! dtype:
+//!
+//! * [`PanelDtype::F64`] — the training representation, kept verbatim.
+//!   The f64 panel is the **accuracy oracle**: its kernels are
+//!   bit-identical to the [`crate::scoring`] kernels, so quantization
+//!   error can always be measured against it.
+//! * [`PanelDtype::F32`] — rounds each weight to `f32` (4 bytes/weight).
+//! * [`PanelDtype::ScaledI8`] — per-row symmetric linear quantization
+//!   (1 byte/weight + one `f64` scale per row): row `r` with max
+//!   magnitude `a` stores `q = round(v / s)` with `s = a / 127`, so the
+//!   largest-magnitude entry maps to ±127 exactly and every entry
+//!   reconstructs within `s / 2`.
+//!
+//! ## Accumulation widths and determinism
+//!
+//! Scores leave every kernel as `f64`, whatever the storage dtype:
+//!
+//! * f64 panels accumulate in `f64` (sequential over the dim axis — the
+//!   same order as the pair kernels and the blocked GEMM, hence
+//!   bit-identical to them);
+//! * f32 panels accumulate in `f32` and widen once at the end;
+//! * i8 panels accumulate in `i32` (exact: `dim · 127² < 2^31` for any
+//!   dim < 133 000) and apply **one** final multiply by the product of
+//!   the two row scales.
+//!
+//! Biases stay `f64` and are applied in the association order
+//! `((dot + bᵤ) + bᵢ) + µ` shared by every scoring kernel in the
+//! workspace. Each dtype's scores are bit-identical at any
+//! `DT_NUM_THREADS`, pooled or pool-disabled: chunk geometry is fixed by
+//! [`crate::scoring::PAR_MIN_WORK`]-style constants, never by the thread
+//! count, and [`scan_top_k`] shards are merged through the push-order-
+//! independent [`BoundedRank`] heap.
+
+use std::ops::Range;
+
+use crate::scoring::{Biases, PAR_MIN_WORK};
+use crate::topk::{BoundedRank, Ranked};
+use crate::Tensor;
+
+/// Pair-kernel chunk length (output elements per parallel task unit) —
+/// mirrors the `scoring` module's constant. A shape constant, not a
+/// thread-count function.
+const PAIR_CHUNK: usize = 1024;
+
+/// Storage dtype of a serving [`Panel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PanelDtype {
+    /// 8 bytes/weight — the training representation, the accuracy oracle.
+    F64,
+    /// 4 bytes/weight — round-to-nearest `f32`.
+    F32,
+    /// 1 byte/weight + one `f64` scale per row — per-row symmetric
+    /// linear quantization.
+    ScaledI8,
+}
+
+impl PanelDtype {
+    /// Stable lowercase label used in benchmark reports and tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::F64 => "f64",
+            Self::F32 => "f32",
+            Self::ScaledI8 => "scaled_i8",
+        }
+    }
+
+    /// Payload bytes for one `rows × cols` panel in this dtype
+    /// (weights plus per-row scales; excludes biases, which stay `f64`
+    /// for every dtype).
+    #[must_use]
+    pub fn panel_bytes(self, rows: usize, cols: usize) -> usize {
+        match self {
+            Self::F64 => rows * cols * 8,
+            Self::F32 => rows * cols * 4,
+            Self::ScaledI8 => rows * cols + rows * 8,
+        }
+    }
+}
+
+enum Store {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+    ScaledI8 { data: Vec<i8>, scale: Vec<f64> },
+}
+
+/// One embedding table in a serving dtype — see the module docs for the
+/// quantization and accumulation contracts.
+pub struct Panel {
+    rows: usize,
+    cols: usize,
+    store: Store,
+}
+
+/// Quantizes one row to `i8` with a symmetric per-row scale and returns
+/// the scale. The scale is `max|v| / 127`, so the largest-magnitude
+/// entry maps to ±127 exactly; an all-zero row gets scale `0.0` (and
+/// dequantizes to exact zeros). Quantization commutes with negation:
+/// `quantize(-v) == -quantize(v)` because [`f64::round`] rounds halves
+/// away from zero symmetrically.
+///
+/// # Panics
+/// Panics when `out.len() != row.len()`.
+pub fn quantize_row_i8(row: &[f64], out: &mut [i8]) -> f64 {
+    assert_eq!(
+        row.len(),
+        out.len(),
+        "quantize_row_i8: {} values vs {} output slots",
+        row.len(),
+        out.len()
+    );
+    let mut amax = 0.0f64;
+    for &v in row {
+        amax = amax.max(v.abs());
+    }
+    if amax == 0.0 {
+        for q in out.iter_mut() {
+            *q = 0;
+        }
+        return 0.0;
+    }
+    let scale = amax / 127.0;
+    for (q, &v) in out.iter_mut().zip(row) {
+        // The clamp guards the one-ulp case where amax / (amax / 127)
+        // rounds up past 127.
+        *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+impl Panel {
+    /// Quantizes a training-dtype panel into a serving panel at
+    /// index-export time. `F64` copies the data verbatim (the oracle
+    /// path); lossy dtypes round per the module contract.
+    #[must_use]
+    pub fn quantize(t: &Tensor, dtype: PanelDtype) -> Self {
+        let (rows, cols) = (t.rows(), t.cols());
+        let d = t.data();
+        // alloc-ok: index-export path, runs once per model, not per query.
+        let store = match dtype {
+            PanelDtype::F64 => Store::F64(d.to_vec()),
+            PanelDtype::F32 => Store::F32(d.iter().map(|&v| v as f32).collect()),
+            PanelDtype::ScaledI8 => {
+                let mut data = vec![0i8; rows * cols];
+                let mut scale = vec![0.0f64; rows];
+                for r in 0..rows {
+                    scale[r] = quantize_row_i8(
+                        &d[r * cols..(r + 1) * cols],
+                        &mut data[r * cols..][..cols],
+                    );
+                }
+                Store::ScaledI8 { data, scale }
+            }
+        };
+        Self { rows, cols, store }
+    }
+
+    /// Number of rows (users or items).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage dtype of this panel.
+    #[must_use]
+    pub fn dtype(&self) -> PanelDtype {
+        match self.store {
+            Store::F64(_) => PanelDtype::F64,
+            Store::F32(_) => PanelDtype::F32,
+            Store::ScaledI8 { .. } => PanelDtype::ScaledI8,
+        }
+    }
+
+    /// Payload bytes of this panel (weights + per-row scales).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.dtype().panel_bytes(self.rows, self.cols)
+    }
+
+    /// The per-row quantization scale (`ScaledI8` panels; `None`
+    /// otherwise). Exposed for round-trip tests.
+    #[must_use]
+    pub fn row_scale(&self, r: usize) -> Option<f64> {
+        match &self.store {
+            Store::ScaledI8 { scale, .. } => Some(scale[r]),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs the panel as an `f64` tensor (dequantization).
+    /// `F64` round-trips bitwise; `ScaledI8` reconstructs each entry
+    /// within half its row scale.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        // alloc-ok: test/diagnostic path, not serving.
+        match &self.store {
+            Store::F64(d) => Tensor::from_vec(self.rows, self.cols, d.clone()),
+            Store::F32(d) => Tensor::from_vec(
+                self.rows,
+                self.cols,
+                d.iter().map(|&v| f64::from(v)).collect(),
+            ),
+            Store::ScaledI8 { data, scale } => Tensor::from_fn(self.rows, self.cols, |r, c| {
+                f64::from(data[r * self.cols + c]) * scale[r]
+            }),
+        }
+    }
+}
+
+/// Sequential f64 dot — the exact accumulation order of the `scoring`
+/// pair kernels and of the blocked GEMM's k-axis, so `F64` panel scores
+/// are bit-identical to the unquantized serving path.
+#[inline]
+fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[inline]
+fn dot_f32(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    f64::from(acc)
+}
+
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (x, y) in a.iter().zip(b) {
+        acc += i32::from(*x) * i32::from(*y);
+    }
+    acc
+}
+
+/// Applies the shared bias association order `((dot + bᵤ) + bᵢ) + µ`.
+#[inline]
+fn apply_bias(raw: f64, u: usize, i: usize, biases: Option<Biases<'_>>) -> f64 {
+    match biases {
+        Some(bs) => ((raw + bs.user[u]) + bs.item[i]) + bs.global,
+        None => raw,
+    }
+}
+
+fn check_panels(p: &Panel, q: &Panel, biases: Option<&Biases<'_>>) {
+    assert_eq!(
+        p.cols, q.cols,
+        "quant: panel width mismatch {} vs {}",
+        p.cols, q.cols
+    );
+    assert!(
+        p.dtype() == q.dtype(),
+        "quant: dtype mismatch {} vs {}",
+        p.dtype().label(),
+        q.dtype().label()
+    );
+    if let Some(b) = biases {
+        assert_eq!(
+            b.user.len(),
+            p.rows,
+            "quant: user bias length {} vs {} user rows",
+            b.user.len(),
+            p.rows
+        );
+        assert_eq!(
+            b.item.len(),
+            q.rows,
+            "quant: item bias length {} vs {} item rows",
+            b.item.len(),
+            q.rows
+        );
+    }
+}
+
+/// Raw (bias-free) score of one `(user, item)` pair in the panels'
+/// shared dtype. Row bounds are the caller's contract (`debug_assert`ed);
+/// the kernels below check them once per call, not per pair.
+#[inline]
+fn raw_score(p: &Panel, q: &Panel, u: usize, i: usize) -> f64 {
+    let c = p.cols;
+    debug_assert!(u < p.rows && i < q.rows);
+    match (&p.store, &q.store) {
+        (Store::F64(pd), Store::F64(qd)) => dot_f64(&pd[u * c..][..c], &qd[i * c..][..c]),
+        (Store::F32(pd), Store::F32(qd)) => dot_f32(&pd[u * c..][..c], &qd[i * c..][..c]),
+        (
+            Store::ScaledI8 {
+                data: pd,
+                scale: ps,
+            },
+            Store::ScaledI8 {
+                data: qd,
+                scale: qs,
+            },
+        ) => {
+            let acc = dot_i8(&pd[u * c..][..c], &qd[i * c..][..c]);
+            // One final scale multiply: i32 accumulation is exact, so the
+            // only rounding beyond quantization itself is this product.
+            f64::from(acc) * (ps[u] * qs[i])
+        }
+        // lint: allow(r10): dead arm — check_panels asserts dtype equality
+        _ => unreachable!("quant: checked dtype mismatch"),
+    }
+}
+
+/// Scores one user against an explicit item-id list — the dtype twin of
+/// [`crate::scoring::score_user_items_into`], used by the quantized IVF
+/// rerank. `out` is cleared and resized; chunk geometry is fixed by a
+/// shape constant, so results are bit-identical at any thread count.
+///
+/// # Panics
+/// Panics on mismatched panel widths or dtypes, bias vectors not
+/// matching the panel heights, or an out-of-bounds user/item index.
+pub fn score_user_items_into(
+    p: &Panel,
+    q: &Panel,
+    user: usize,
+    items: &[usize],
+    biases: Option<Biases<'_>>,
+    out: &mut Vec<f64>,
+) {
+    check_panels(p, q, biases.as_ref());
+    assert!(
+        user < p.rows,
+        "quant: user {user} out of bounds for {} user rows",
+        p.rows
+    );
+    assert!(
+        items.iter().all(|&i| i < q.rows),
+        "quant: item id out of bounds for {} item rows",
+        q.rows
+    );
+    out.clear();
+    out.resize(items.len(), 0.0);
+    let kernel = |base: usize, chunk: &mut [f64]| {
+        for (off, o) in chunk.iter_mut().enumerate() {
+            let i = items[base + off];
+            *o = apply_bias(raw_score(p, q, user, i), user, i, biases);
+        }
+    };
+    if items.len() * p.cols.max(1) >= PAR_MIN_WORK {
+        dt_parallel::for_each_chunk(&mut out[..], PAIR_CHUNK, |ci, chunk| {
+            kernel(ci * PAIR_CHUNK, chunk);
+        });
+    } else {
+        kernel(0, &mut out[..]);
+    }
+}
+
+/// Fused scan-and-select over a contiguous item range: scores `user`
+/// against every item in `items` (skipping ids in the ascending-sorted
+/// `exclude` list) and keeps the best `out.len()` per
+/// [`crate::topk::rank_cmp`], without materializing the score vector.
+/// Returns the number of slots filled; unused slots are tombstoned.
+///
+/// This is the bandwidth kernel: one streaming pass over the item-panel
+/// range, one bounded heap in the caller's slice, zero allocation. The
+/// serving engine shards the catalog into ranges, runs one `scan_top_k`
+/// per `(range, user)` task, and merges the partial results — exact
+/// because the retained set is push-order independent (see
+/// [`BoundedRank`]).
+///
+/// # Panics
+/// Panics on mismatched panel widths or dtypes, bias vectors not
+/// matching the panel heights, an out-of-bounds user, or an item range
+/// beyond the item panel.
+pub fn scan_top_k(
+    p: &Panel,
+    q: &Panel,
+    user: usize,
+    items: Range<usize>,
+    exclude: &[u32],
+    biases: Option<Biases<'_>>,
+    out: &mut [Ranked],
+) -> usize {
+    check_panels(p, q, biases.as_ref());
+    assert!(
+        user < p.rows,
+        "quant: user {user} out of bounds for {} user rows",
+        p.rows
+    );
+    assert!(
+        items.start <= items.end && items.end <= q.rows,
+        "quant: item range {}..{} out of bounds for {} item rows",
+        items.start,
+        items.end,
+        q.rows
+    );
+    debug_assert!(
+        exclude.windows(2).all(|w| w[0] <= w[1]),
+        "quant: exclude list must be sorted ascending"
+    );
+    if out.is_empty() {
+        return 0;
+    }
+    // Narrow the exclude list to the scanned range once.
+    let e_lo = exclude.partition_point(|&e| (e as usize) < items.start);
+    let excl = &exclude[e_lo..];
+    let mut rank = BoundedRank::new(out);
+    let c = p.cols;
+    // Dispatch the dtype once, then run a monomorphic stream loop: the
+    // per-item work is a contiguous-row dot plus one heap offer.
+    macro_rules! stream {
+        ($pu:expr, $qd:expr, $dot:ident, $finish:expr) => {{
+            let pu = $pu;
+            let qd = $qd;
+            let mut e = 0usize;
+            for i in items.clone() {
+                let item = i as u32;
+                while e < excl.len() && excl[e] < item {
+                    e += 1;
+                }
+                if e < excl.len() && excl[e] == item {
+                    continue;
+                }
+                let raw = $finish($dot(pu, &qd[i * c..][..c]), i);
+                rank.push(Ranked {
+                    item,
+                    score: apply_bias(raw, user, i, biases),
+                });
+            }
+        }};
+    }
+    match (&p.store, &q.store) {
+        (Store::F64(pd), Store::F64(qd)) => {
+            stream!(&pd[user * c..][..c], qd, dot_f64, |d: f64, _i| d);
+        }
+        (Store::F32(pd), Store::F32(qd)) => {
+            stream!(&pd[user * c..][..c], qd, dot_f32, |d: f64, _i| d);
+        }
+        (
+            Store::ScaledI8 {
+                data: pd,
+                scale: ps,
+            },
+            Store::ScaledI8 {
+                data: qd,
+                scale: qs,
+            },
+        ) => {
+            let su = ps[user];
+            stream!(&pd[user * c..][..c], qd, dot_i8, |acc: i32, i: usize| {
+                f64::from(acc) * (su * qs[i])
+            });
+        }
+        // lint: allow(r10): dead arm — check_panels asserts dtype equality
+        _ => unreachable!("quant: checked dtype mismatch"),
+    }
+    rank.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring;
+
+    fn panel(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    fn biases(nu: usize, ni: usize) -> (Vec<f64>, Vec<f64>) {
+        let bu: Vec<f64> = (0..nu).map(|i| (i as f64 * 0.7).sin() * 0.2).collect();
+        let bi: Vec<f64> = (0..ni).map(|i| (i as f64 * 1.3).cos() * 0.1).collect();
+        (bu, bi)
+    }
+
+    /// Published-vector pin of the i8 quantizer, mirroring the SplitMix64
+    /// reference-value test in `dt-serve`'s `kmeans.rs`: the row
+    /// `[1.0, -0.5, 0.25, 0.0]` has `amax = 1.0`, so the scale is exactly
+    /// `1/127` and the codes are the round of `v * 127`.
+    #[test]
+    fn i8_quantizer_reference_values() {
+        let row = [1.0, -0.5, 0.25, 0.0];
+        let mut q = [0i8; 4];
+        let scale = quantize_row_i8(&row, &mut q);
+        assert_eq!(scale, 1.0 / 127.0);
+        assert_eq!(q, [127, -64, 32, 0]);
+        // And a non-unit amax: scale = 3.5 / 127.
+        let row = [-3.5, 1.75, 3.5, -0.01];
+        let scale = quantize_row_i8(&row, &mut q);
+        assert_eq!(scale, 3.5 / 127.0);
+        assert_eq!(q, [-127, 64, 127, 0]);
+    }
+
+    #[test]
+    fn i8_round_trip_error_is_bounded_by_half_scale() {
+        let t = panel(16, 9, 99);
+        let p = Panel::quantize(&t, PanelDtype::ScaledI8);
+        let back = p.dequantize();
+        for r in 0..16 {
+            let s = p.row_scale(r).unwrap_or(f64::NAN);
+            for c in 0..9 {
+                let err = (t.get(r, c) - back.get(r, c)).abs();
+                assert!(err <= s * 0.5 + 1e-15, "row {r} col {c}: err {err} > s/2");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_quantization_is_exactly_symmetric_under_negation() {
+        let t = panel(8, 7, 1234);
+        let neg = Tensor::from_fn(8, 7, |r, c| -t.get(r, c));
+        let (a, b) = (
+            Panel::quantize(&t, PanelDtype::ScaledI8),
+            Panel::quantize(&neg, PanelDtype::ScaledI8),
+        );
+        for r in 0..8 {
+            assert_eq!(a.row_scale(r), b.row_scale(r));
+        }
+        let (da, db) = (a.dequantize(), b.dequantize());
+        for r in 0..8 {
+            for c in 0..7 {
+                assert_eq!(da.get(r, c).to_bits(), (-db.get(r, c)).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_scale_and_exact_zeros() {
+        let t = Tensor::zeros(3, 5);
+        let p = Panel::quantize(&t, PanelDtype::ScaledI8);
+        assert_eq!(p.row_scale(0), Some(0.0));
+        let back = p.dequantize();
+        assert!(back.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn f64_panel_round_trips_bitwise_and_scores_match_scoring_kernels() {
+        let pu = panel(6, 8, 5);
+        let qi = panel(13, 8, 7);
+        let p = Panel::quantize(&pu, PanelDtype::F64);
+        let q = Panel::quantize(&qi, PanelDtype::F64);
+        assert_eq!(p.dequantize().data(), pu.data());
+        let (bu, bi) = biases(6, 13);
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: 0.3,
+        };
+        let items: Vec<usize> = (0..13).rev().collect();
+        let mut got = Vec::new();
+        score_user_items_into(&p, &q, 4, &items, Some(bs), &mut got);
+        let mut want = Vec::new();
+        scoring::score_user_items_into(&pu, &qi, 0..8, 4, &items, Some(bs), &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn lossy_dtypes_score_close_to_the_oracle() {
+        let pu = panel(4, 16, 21);
+        let qi = panel(40, 16, 22);
+        let (bu, bi) = biases(4, 40);
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: -0.2,
+        };
+        let items: Vec<usize> = (0..40).collect();
+        let mut oracle = Vec::new();
+        scoring::score_user_items_into(&pu, &qi, 0..16, 1, &items, Some(bs), &mut oracle);
+        for (dtype, tol) in [(PanelDtype::F32, 1e-6), (PanelDtype::ScaledI8, 0.05)] {
+            let p = Panel::quantize(&pu, dtype);
+            let q = Panel::quantize(&qi, dtype);
+            let mut got = Vec::new();
+            score_user_items_into(&p, &q, 1, &items, Some(bs), &mut got);
+            for (g, w) in got.iter().zip(&oracle) {
+                assert!((g - w).abs() < tol, "{}: {g} vs {w}", dtype.label());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_score_then_select_for_every_dtype() {
+        let pu = panel(3, 12, 31);
+        let qi = panel(257, 12, 37);
+        let (bu, bi) = biases(3, 257);
+        let bs = Biases {
+            user: &bu,
+            item: &bi,
+            global: 0.05,
+        };
+        let exclude: Vec<u32> = vec![0, 31, 32, 200, 999];
+        for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+            let p = Panel::quantize(&pu, dtype);
+            let q = Panel::quantize(&qi, dtype);
+            let items: Vec<usize> = (0..257).collect();
+            let mut scores = Vec::new();
+            score_user_items_into(&p, &q, 2, &items, Some(bs), &mut scores);
+            for excl in &exclude {
+                if (*excl as usize) < scores.len() {
+                    scores[*excl as usize] = f64::NEG_INFINITY;
+                }
+            }
+            let want = crate::reference::top_k_by_sort(&scores, 10, &[]);
+            let mut out = vec![Ranked::TOMBSTONE; 10];
+            let n = scan_top_k(&p, &q, 2, 0..257, &exclude, Some(bs), &mut out);
+            assert_eq!(n, 10, "{}", dtype.label());
+            for (g, w) in out.iter().zip(&want) {
+                assert_eq!(g.item, w.item, "{}", dtype.label());
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "{}", dtype.label());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scans_merge_to_the_full_scan() {
+        let pu = panel(2, 6, 77);
+        let qi = panel(300, 6, 78);
+        for dtype in [PanelDtype::F32, PanelDtype::ScaledI8] {
+            let p = Panel::quantize(&pu, dtype);
+            let q = Panel::quantize(&qi, dtype);
+            let mut full = vec![Ranked::TOMBSTONE; 7];
+            let n = scan_top_k(&p, &q, 1, 0..300, &[5, 120], None, &mut full);
+            let mut merged = vec![Ranked::TOMBSTONE; 7];
+            let mut rank = BoundedRank::new(&mut merged);
+            for lo in (0..300).step_by(64) {
+                let hi = (lo + 64).min(300);
+                let mut part = vec![Ranked::TOMBSTONE; 7];
+                let np = scan_top_k(&p, &q, 1, lo..hi, &[5, 120], None, &mut part);
+                for r in &part[..np] {
+                    rank.push(*r);
+                }
+            }
+            let nm = rank.finish();
+            assert_eq!(nm, n);
+            assert_eq!(&merged[..nm], &full[..n], "{}", dtype.label());
+        }
+    }
+
+    #[test]
+    fn scan_is_bit_identical_across_widths() {
+        let pu = panel(2, 24, 91);
+        let qi = panel(4096, 24, 92);
+        for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+            let p = Panel::quantize(&pu, dtype);
+            let q = Panel::quantize(&qi, dtype);
+            let run = || {
+                let mut out = vec![Ranked::TOMBSTONE; 20];
+                let n = scan_top_k(&p, &q, 0, 0..4096, &[], None, &mut out);
+                out.truncate(n);
+                out
+            };
+            let base = dt_parallel::with_thread_limit(1, run);
+            for width in [2, 8] {
+                let wide = dt_parallel::with_thread_limit(width, run);
+                assert_eq!(base.len(), wide.len());
+                for (a, b) in base.iter().zip(&wide) {
+                    assert_eq!(a.item, b.item, "{} width {width}", dtype.label());
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bytes_follow_the_dtype() {
+        let t = panel(10, 32, 3);
+        assert_eq!(Panel::quantize(&t, PanelDtype::F64).payload_bytes(), 2560);
+        assert_eq!(Panel::quantize(&t, PanelDtype::F32).payload_bytes(), 1280);
+        assert_eq!(
+            Panel::quantize(&t, PanelDtype::ScaledI8).payload_bytes(),
+            10 * 32 + 10 * 8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dtype mismatch")]
+    fn mixed_dtype_panels_panic() {
+        let t = panel(2, 2, 1);
+        let p = Panel::quantize(&t, PanelDtype::F32);
+        let q = Panel::quantize(&t, PanelDtype::ScaledI8);
+        let mut out = Vec::new();
+        score_user_items_into(&p, &q, 0, &[0], None, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "item range")]
+    fn out_of_range_scan_panics() {
+        let t = panel(2, 2, 1);
+        let p = Panel::quantize(&t, PanelDtype::F64);
+        let q = Panel::quantize(&t, PanelDtype::F64);
+        let mut out = [Ranked::TOMBSTONE; 1];
+        let _ = scan_top_k(&p, &q, 0, 0..3, &[], None, &mut out);
+    }
+}

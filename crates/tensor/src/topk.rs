@@ -92,6 +92,59 @@ fn sift_up(heap: &mut [Ranked], mut i: usize) {
     }
 }
 
+/// The incremental form of [`select_top_k`]: a bounded worst-at-root heap
+/// living in a caller slice, fed candidate by candidate.
+///
+/// Callers that produce candidates in streams — dtype-specialized panel
+/// scans, or merges of per-shard partial results — push each survivor and
+/// call [`BoundedRank::finish`] once to heapsort the slice best-first per
+/// [`rank_cmp`]. Because the rank order is a strict total order, the
+/// retained set (and the sorted output) is a pure function of the pushed
+/// candidate *set*, independent of push order — which is what makes
+/// sharded partial selection plus merge bit-identical to one full pass.
+pub struct BoundedRank<'a> {
+    out: &'a mut [Ranked],
+    len: usize,
+}
+
+impl<'a> BoundedRank<'a> {
+    /// Starts a selection of the best `out.len()` candidates into `out`.
+    pub fn new(out: &'a mut [Ranked]) -> Self {
+        Self { out, len: 0 }
+    }
+
+    /// Offers one candidate; keeps it iff it ranks among the best seen.
+    #[inline]
+    pub fn push(&mut self, cand: Ranked) {
+        if self.len < self.out.len() {
+            self.out[self.len] = cand;
+            self.len += 1;
+            sift_up(&mut self.out[..self.len], self.len - 1);
+        } else if self.len > 0 && worse(self.out[0], cand) {
+            // The root is the worst kept candidate; replace and re-sink.
+            self.out[0] = cand;
+            sift_down(&mut self.out[..self.len], 0);
+        }
+    }
+
+    /// Heapsorts the survivors best-first, tombstones the unused tail,
+    /// and returns the number of slots filled.
+    pub fn finish(self) -> usize {
+        // In-place heapsort: repeatedly move the worst survivor to the
+        // back, leaving the filled prefix in best-first order.
+        let mut n = self.len;
+        while n > 1 {
+            self.out.swap(0, n - 1);
+            n -= 1;
+            sift_down(&mut self.out[..n], 0);
+        }
+        for slot in &mut self.out[self.len..] {
+            *slot = Ranked::TOMBSTONE;
+        }
+        self.len
+    }
+}
+
 /// Selects the top `out.len()` items of `scores` into `out`, best first
 /// per [`rank_cmp`], skipping the item ids listed in `exclude`.
 /// Returns the number of slots filled; the rest are set to
@@ -116,11 +169,10 @@ pub fn select_top_k(scores: &[f64], exclude: &[u32], out: &mut [Ranked]) -> usiz
         exclude.windows(2).all(|w| w[0] <= w[1]),
         "select_top_k: exclude list must be sorted ascending"
     );
-    let k = out.len();
-    if k == 0 {
+    if out.is_empty() {
         return 0;
     }
-    let mut len = 0usize;
+    let mut rank = BoundedRank::new(out);
     let mut e = 0usize;
     for (i, &score) in scores.iter().enumerate() {
         let item = i as u32;
@@ -130,29 +182,9 @@ pub fn select_top_k(scores: &[f64], exclude: &[u32], out: &mut [Ranked]) -> usiz
         if e < exclude.len() && exclude[e] == item {
             continue;
         }
-        let cand = Ranked { item, score };
-        if len < k {
-            out[len] = cand;
-            len += 1;
-            sift_up(&mut out[..len], len - 1);
-        } else if worse(out[0], cand) {
-            // The root is the worst kept candidate; replace and re-sink.
-            out[0] = cand;
-            sift_down(&mut out[..len], 0);
-        }
+        rank.push(Ranked { item, score });
     }
-    // In-place heapsort: repeatedly move the worst survivor to the back,
-    // leaving the filled prefix in best-first order.
-    let mut n = len;
-    while n > 1 {
-        out.swap(0, n - 1);
-        n -= 1;
-        sift_down(&mut out[..n], 0);
-    }
-    for slot in &mut out[len..] {
-        *slot = Ranked::TOMBSTONE;
-    }
-    len
+    rank.finish()
 }
 
 #[cfg(test)]
@@ -231,6 +263,32 @@ mod tests {
             let want = crate::reference::top_k_by_sort(&scores, k, &[3, 4, 100]);
             assert_eq!(got, want, "k={k}");
         }
+    }
+
+    #[test]
+    fn bounded_rank_is_push_order_independent() {
+        let scores: Vec<f64> = (0..97).map(|i| f64::from((i * 31) % 13) * 0.5).collect();
+        let forward = select(&scores, 10, &[]);
+        let mut out = vec![Ranked::TOMBSTONE; 10];
+        let mut rank = BoundedRank::new(&mut out);
+        for (i, &score) in scores.iter().enumerate().rev() {
+            rank.push(Ranked {
+                item: i as u32,
+                score,
+            });
+        }
+        let n = rank.finish();
+        assert_eq!(&out[..n], &forward[..]);
+    }
+
+    #[test]
+    fn bounded_rank_zero_capacity_keeps_nothing() {
+        let mut rank = BoundedRank::new(&mut []);
+        rank.push(Ranked {
+            item: 0,
+            score: 1.0,
+        });
+        assert_eq!(rank.finish(), 0);
     }
 
     #[test]

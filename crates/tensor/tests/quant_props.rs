@@ -1,0 +1,141 @@
+//! Property tests for the mixed-precision serving panels: the i8
+//! quantize→dequantize round trip against its analytic error bound, and
+//! the fused `scan_top_k` kernel against the score-then-sort oracle at
+//! every dtype and thread width.
+//!
+//! Needs the `proptest` crate, so this file only compiles in the full
+//! workspace; the offline shim covers the same ground with the
+//! deterministic fixed-vector and randomized sweeps inside
+//! `dt_tensor::quant`'s unit tests.
+
+use proptest::prelude::*;
+
+use dt_tensor::quant::{quantize_row_i8, scan_top_k, score_user_items_into, Panel, PanelDtype};
+use dt_tensor::topk::{select_top_k, Ranked};
+use dt_tensor::{reference, Tensor};
+
+/// Strategy: one panel row with entries spanning several magnitudes,
+/// including exact zeros so the degenerate all-zero row keeps coming up.
+fn row_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => -100.0f64..100.0,
+            1 => -0.001f64..0.001,
+            1 => Just(0.0),
+        ],
+        1..48,
+    )
+}
+
+/// Strategy: a (user panel, item panel) pair sharing one width, sized to
+/// cross the chunked-parallel thresholds now and then.
+fn panel_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=4, 1usize..=8, 1usize..=80).prop_flat_map(|(users, dim, items)| {
+        let p = prop::collection::vec(-2.0f64..2.0, users * dim);
+        let q = prop::collection::vec(-2.0f64..2.0, items * dim);
+        (p, q).prop_map(move |(p, q)| {
+            (
+                Tensor::from_vec(users, dim, p),
+                Tensor::from_vec(items, dim, q),
+            )
+        })
+    })
+}
+
+proptest! {
+    /// The i8 round trip obeys the symmetric-quantizer contract: codes
+    /// never exceed ±127, the largest-magnitude entry maps to ±127
+    /// exactly, and every reconstruction lands within half a step.
+    #[test]
+    fn i8_round_trip_is_within_half_a_step(row in row_strategy()) {
+        let mut q = vec![0i8; row.len()];
+        let scale = quantize_row_i8(&row, &mut q);
+        let amax = row.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if amax == 0.0 {
+            prop_assert_eq!(scale, 0.0);
+            prop_assert!(q.iter().all(|&c| c == 0));
+        } else {
+            prop_assert!(scale > 0.0);
+            prop_assert!(q.iter().all(|&c| c.unsigned_abs() <= 127));
+            prop_assert!(q.iter().any(|&c| c.unsigned_abs() == 127));
+            for (&v, &c) in row.iter().zip(&q) {
+                let err = (v - f64::from(c) * scale).abs();
+                prop_assert!(
+                    err <= scale / 2.0 + 1e-12 * amax,
+                    "err {err} vs half-step {}", scale / 2.0
+                );
+            }
+        }
+    }
+
+    /// Negating a row negates every code bit-exactly and keeps the scale:
+    /// `f64::round` is symmetric, so the quantizer commutes with sign.
+    #[test]
+    fn i8_quantizer_commutes_with_negation(row in row_strategy()) {
+        let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+        let (mut qa, mut qb) = (vec![0i8; row.len()], vec![0i8; row.len()]);
+        let sa = quantize_row_i8(&row, &mut qa);
+        let sb = quantize_row_i8(&neg, &mut qb);
+        prop_assert_eq!(sa.to_bits(), sb.to_bits());
+        for (&a, &b) in qa.iter().zip(&qb) {
+            prop_assert_eq!(a, -b);
+        }
+    }
+
+    /// The fused scan matches score-then-select bit-for-bit at every
+    /// dtype — same retained set, same order, same score bits.
+    #[test]
+    fn fused_scan_matches_the_sort_oracle_at_every_dtype(
+        (p, q) in panel_pair(),
+        k in 0usize..12,
+        user_pick in 0usize..4,
+        mut exclude in prop::collection::vec(0u32..90, 0..12),
+    ) {
+        exclude.sort_unstable();
+        exclude.dedup();
+        let user = user_pick % p.rows();
+        for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+            let pp = Panel::quantize(&p, dtype);
+            let qp = Panel::quantize(&q, dtype);
+            let items: Vec<usize> = (0..q.rows()).collect();
+            let mut scores = Vec::new();
+            score_user_items_into(&pp, &qp, user, &items, None, &mut scores);
+            let want = reference::top_k_by_sort(&scores, k, &exclude);
+            let mut got = vec![Ranked::TOMBSTONE; k];
+            let n = scan_top_k(&pp, &qp, user, 0..q.rows(), &exclude, None, &mut got);
+            prop_assert_eq!(n, want.len(), "dtype {:?}", dtype);
+            got.truncate(n);
+            prop_assert_eq!(got, want, "dtype {:?}", dtype);
+        }
+    }
+
+    /// Chunk geometry is fixed by shape constants, so both quant kernels
+    /// return bit-identical results at pool widths 1, 2, and 8.
+    #[test]
+    fn quant_kernels_are_bit_identical_across_widths(
+        (p, q) in panel_pair(),
+        k in 1usize..8,
+    ) {
+        for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
+            let pp = Panel::quantize(&p, dtype);
+            let qp = Panel::quantize(&q, dtype);
+            let items: Vec<usize> = (0..q.rows()).collect();
+            let run = || {
+                let mut scores = Vec::new();
+                score_user_items_into(&pp, &qp, 0, &items, None, &mut scores);
+                let mut sel = vec![Ranked::TOMBSTONE; k];
+                let n = select_top_k(&scores, &[], &mut sel);
+                sel.truncate(n);
+                (scores, sel)
+            };
+            let base = dt_parallel::with_thread_limit(1, run);
+            for width in [2usize, 8] {
+                let other = dt_parallel::with_thread_limit(width, run);
+                let same_bits = base.0.iter().zip(&other.0)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(same_bits, "dtype {:?} width {}", dtype, width);
+                prop_assert_eq!(&base.1, &other.1, "dtype {:?} width {}", dtype, width);
+            }
+        }
+    }
+}

@@ -27,17 +27,21 @@ cargo test --workspace -q
 # The kernels promise byte-identical output for any pool width; re-run the
 # tensor suite (reference-equivalence + proptests, including the quant
 # round-trip/oracle properties), the serving engine's oracle tests (exact +
-# IVF + quantized + k-means) and the bench helpers at explicit widths, then
-# smoke the quant frontier generator — it exercises every dtype arm and the
-# f64 bit-identity assert against the exact engine, writing to a scratch
-# path so the committed BENCH_quant.json stays untouched.
+# IVF + quantized + k-means + sharded), the latency-histogram and load
+# suites, and the bench helpers at explicit widths, then smoke the quant
+# frontier and load-replay generators — gen_quant exercises every dtype arm
+# and the f64 bit-identity assert, gen_load drives the whole harness
+# (generators, queue, batcher, worker arms) — both writing to scratch paths
+# so the committed BENCH_quant.json / BENCH_load.json stay untouched.
 for t in 1 2 8; do
-    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve -p dt-bench (DT_NUM_THREADS=$t)"
-    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve -p dt-bench
+    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-load -p dt-bench (DT_NUM_THREADS=$t)"
+    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-load -p dt-bench
     echo "==> cargo test -p dt-tensor --test quant_props (DT_NUM_THREADS=$t)"
     DT_NUM_THREADS=$t cargo test -q -p dt-tensor --test quant_props
     echo "==> gen_quant --smoke (DT_NUM_THREADS=$t)"
     DT_NUM_THREADS=$t cargo run -q -p dt-bench --release --bin gen_quant -- --smoke
+    echo "==> gen_load --smoke (DT_NUM_THREADS=$t)"
+    DT_NUM_THREADS=$t cargo run -q -p dt-bench --release --bin gen_load -- --smoke
 done
 
 echo "==> cargo clippy"

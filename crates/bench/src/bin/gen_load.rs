@@ -1,0 +1,48 @@
+//! Offline generator for `BENCH_load.json`: the serving stack under
+//! replayed heavy traffic, driven end to end by the `dt-load` harness
+//! (Zipf generators → bounded admission queue → max-batch/max-delay
+//! batching workers → engine arms). Sweeps engine arm × intra-query
+//! width ([`dt_bench::serve::SWEEP_WIDTHS`]) × offered load × batching
+//! policy; every row is one timed steady-state experiment.
+//!
+//! Usage: `gen_load [--smoke] [output-path]`. The default output is
+//! `BENCH_load.json` at the repo root, resolved relative to this crate.
+//! `--smoke` trims the sweep (tiny catalog, ambient width, short
+//! windows) and defaults the output to a scratch file under the system
+//! temp dir, so a CI run exercises every arm, both policies and both
+//! load points in seconds without touching the committed artefact.
+
+fn main() {
+    let mut smoke = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_load_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json").to_string()
+        }
+    });
+    eprintln!(
+        "writing {} load report to {path}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let result = if smoke {
+        dt_bench::load::write_load_smoke_report(std::path::Path::new(&path))
+    } else {
+        dt_bench::load::write_load_report(std::path::Path::new(&path))
+    };
+    if let Err(e) = result {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}

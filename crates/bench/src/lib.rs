@@ -30,6 +30,10 @@
 //!   `QuantizedIndex` exports at dtype f64 / f32 / scaled-i8; the run
 //!   also regenerates `BENCH_quant.json` at the repo root (see
 //!   [`quant`]), the accuracy-vs-bandwidth frontier.
+//! * `load` (`gen_load` bin only, no criterion bench) — the serving
+//!   stack under replayed heavy traffic via the `dt-load` harness:
+//!   engine arm × intra-query width × offered load × batching policy,
+//!   regenerating `BENCH_load.json` at the repo root (see [`load`]).
 //!
 //! Run with `cargo bench --workspace`. Kernel benches respect
 //! `DT_NUM_THREADS` (set it to 1 for a sequential baseline).
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ann;
+pub mod load;
 pub mod quant;
 pub mod report;
 pub mod serve;

@@ -1,0 +1,131 @@
+//! Engine-arm dispatch: one enum over the serving back-ends so the
+//! worker loop, the alloc probes, and the bench sweep all route a
+//! `TopKBatch`-shaped batch the same way (DESIGN.md section 16).
+
+use dt_serve::{
+    IvfIndex, IvfScratch, QuantScratch, QuantizedIndex, ScoringIndex, SeenLists, ShardScratch,
+    TopKBatch, TopKEngine,
+};
+
+/// Which serving back-end a worker drives. Borrowed, so one index set
+/// is shared by every worker thread.
+#[derive(Clone, Copy)]
+pub enum EngineArm<'a> {
+    /// Blocked exact scan over the full catalog.
+    Exact {
+        /// The f64 scoring index.
+        index: &'a ScoringIndex,
+    },
+    /// Item-sharded exact scan (bit-identical to `Exact`).
+    Sharded {
+        /// The f64 scoring index.
+        index: &'a ScoringIndex,
+        /// Contiguous item shards (DESIGN.md section 16).
+        n_shards: usize,
+    },
+    /// IVF candidate generation with exact rerank.
+    Ivf {
+        /// The f64 scoring index.
+        index: &'a ScoringIndex,
+        /// The coarse quantizer.
+        ivf: &'a IvfIndex,
+        /// Cells probed per user.
+        nprobe: usize,
+    },
+    /// Fused scan over a quantized panel (f32 / scaled-i8 / f64).
+    Quant {
+        /// The dtype-converted serving index.
+        index: &'a QuantizedIndex,
+    },
+}
+
+/// Per-worker reusable scratch for whichever arm dispatches. All four
+/// members ride the warm-up batch to steady-state capacity, after which
+/// dispatch allocates nothing (`load_allocs.rs` pins this per arm).
+#[derive(Debug, Clone, Default)]
+pub struct ArmScratch {
+    ivf: IvfScratch,
+    quant: QuantScratch,
+    shard: ShardScratch,
+}
+
+impl std::fmt::Debug for EngineArm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineArm")
+            .field("arm", &self.label())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineArm<'_> {
+    /// Stable arm label for bench artefacts and logs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineArm::Exact { .. } => "exact",
+            EngineArm::Sharded { .. } => "sharded",
+            EngineArm::Ivf { .. } => "ivf",
+            EngineArm::Quant { .. } => "quant",
+        }
+    }
+
+    /// Catalog size of the arm's index (for sizing seen-lists etc.).
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        match self {
+            EngineArm::Exact { index } | EngineArm::Sharded { index, .. } => index.n_users(),
+            EngineArm::Ivf { index, .. } => index.n_users(),
+            EngineArm::Quant { index } => index.n_users(),
+        }
+    }
+
+    /// Routes one user batch through the arm's engine path into `out`,
+    /// reusing `scratch`. Zero steady-state allocations once warm.
+    pub fn dispatch(
+        &self,
+        engine: &TopKEngine,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        scratch: &mut ArmScratch,
+        out: &mut TopKBatch,
+    ) {
+        match *self {
+            EngineArm::Exact { index } => engine.recommend_into(index, users, k, seen, out),
+            EngineArm::Sharded { index, n_shards } => {
+                engine.recommend_sharded_into(
+                    index,
+                    n_shards,
+                    users,
+                    k,
+                    seen,
+                    &mut scratch.shard,
+                    out,
+                );
+            }
+            EngineArm::Ivf { index, ivf, nprobe } => {
+                engine.recommend_ivf_into(
+                    index,
+                    ivf,
+                    nprobe,
+                    users,
+                    k,
+                    seen,
+                    &mut scratch.ivf,
+                    out,
+                );
+            }
+            EngineArm::Quant { index } => {
+                engine.recommend_quantized_into(
+                    index,
+                    users,
+                    k,
+                    seen,
+                    None,
+                    &mut scratch.quant,
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Max-batch/max-delay admission batching (DESIGN.md section 16).
+//!
+//! The serving engines amortise per-query overhead across a user block
+//! (one GEMM, one scratch warm-up), so a worker should not dispatch
+//! queries one at a time — but it also must not wait unboundedly for a
+//! full batch. The classic policy: block for the *first* query, then
+//! coalesce whatever arrives within `max_delay` of it, up to
+//! `max_batch`. `max_batch = 1` (or `max_delay = 0`) degenerates to
+//! latency-optimal single-query dispatch; large values trade queueing
+//! delay for throughput. The load sweep in `BENCH_load.json` measures
+//! exactly this trade.
+
+use std::time::{Duration, Instant};
+
+use crate::queue::BoundedQueue;
+
+/// One admitted query: the user id and its enqueue timestamp (the
+/// queue-wait clock starts at admission, not at generation).
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// User id to retrieve for.
+    pub user: usize,
+    /// When the producer enqueued the query.
+    pub enqueued: Instant,
+}
+
+/// The two knobs of the admission batcher; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many queries have coalesced.
+    pub max_batch: usize,
+    /// Dispatch at latest this long after the first query arrived.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Latency-optimal degenerate policy: every query dispatches alone.
+    #[must_use]
+    pub fn single() -> Self {
+        Self {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Short label for bench artefacts, e.g. `b64d1000us`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("b{}d{}us", self.max_batch, self.max_delay.as_micros())
+    }
+}
+
+/// Reusable batch assembly buffers: one worker owns one `Batcher` and
+/// refills it per dispatch, so steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Batcher {
+    /// User ids of the current batch (the engines' `users` argument).
+    pub users: Vec<usize>,
+    /// Enqueue timestamps, parallel to `users`.
+    pub enqueued: Vec<Instant>,
+}
+
+impl Batcher {
+    /// Assembles the next batch: blocks for the first query, then
+    /// coalesces up to `policy.max_batch` queries arriving within
+    /// `policy.max_delay`. Returns `false` only when the queue is
+    /// closed and drained (worker shutdown); otherwise the batch holds
+    /// at least one query.
+    ///
+    /// # Panics
+    /// Panics when `policy.max_batch` is zero.
+    pub fn fill(&mut self, queue: &BoundedQueue<Query>, policy: &BatchPolicy) -> bool {
+        assert!(
+            policy.max_batch > 0,
+            "BatchPolicy: max_batch must be positive"
+        );
+        self.users.clear();
+        self.enqueued.clear();
+        let Some(first) = queue.pop() else {
+            return false;
+        };
+        self.users.push(first.user);
+        self.enqueued.push(first.enqueued);
+        if policy.max_batch > 1 && policy.max_delay > Duration::ZERO {
+            let deadline = Instant::now() + policy.max_delay;
+            while self.users.len() < policy.max_batch {
+                let Some(q) = queue.pop_deadline(deadline) else {
+                    break;
+                };
+                self.users.push(q.user);
+                self.enqueued.push(q.enqueued);
+            }
+        } else if policy.max_batch > 1 {
+            // Zero delay: take whatever is already queued, never wait.
+            while self.users.len() < policy.max_batch {
+                let Some(q) = queue.try_pop() else {
+                    break;
+                };
+                self.users.push(q.user);
+                self.enqueued.push(q.enqueued);
+            }
+        }
+        true
+    }
+
+    /// Queries in the assembled batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch is empty (only before the first `fill`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q_at(user: usize) -> Query {
+        Query {
+            user,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn fill_takes_queued_items_up_to_max_batch() {
+        let queue = BoundedQueue::new(16);
+        for u in 0..5 {
+            queue.push(q_at(u));
+        }
+        let mut b = Batcher::default();
+        let policy = BatchPolicy {
+            max_batch: 3,
+            max_delay: Duration::from_millis(50),
+        };
+        assert!(b.fill(&queue, &policy));
+        assert_eq!(b.users, vec![0, 1, 2]);
+        assert!(b.fill(&queue, &policy));
+        assert_eq!(b.users, vec![3, 4]);
+    }
+
+    #[test]
+    fn single_policy_dispatches_one_at_a_time() {
+        let queue = BoundedQueue::new(16);
+        queue.push(q_at(7));
+        queue.push(q_at(8));
+        let mut b = Batcher::default();
+        assert!(b.fill(&queue, &BatchPolicy::single()));
+        assert_eq!(b.users, vec![7]);
+    }
+
+    #[test]
+    fn zero_delay_takes_backlog_without_waiting() {
+        let queue = BoundedQueue::new(16);
+        for u in 0..4 {
+            queue.push(q_at(u));
+        }
+        let mut b = Batcher::default();
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::ZERO,
+        };
+        let t0 = Instant::now();
+        assert!(b.fill(&queue, &policy));
+        assert_eq!(b.users, vec![0, 1, 2, 3]);
+        assert!(t0.elapsed() < Duration::from_millis(50), "must not wait");
+    }
+
+    #[test]
+    fn fill_returns_false_on_closed_drained_queue() {
+        let queue = BoundedQueue::new(4);
+        queue.push(q_at(1));
+        queue.close();
+        let mut b = Batcher::default();
+        assert!(b.fill(&queue, &BatchPolicy::single()));
+        assert_eq!(b.users, vec![1]);
+        assert!(!b.fill(&queue, &BatchPolicy::single()));
+    }
+
+    #[test]
+    fn max_delay_bounds_the_wait() {
+        let queue = BoundedQueue::new(4);
+        queue.push(q_at(1));
+        let mut b = Batcher::default();
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_millis(20),
+        };
+        let t0 = Instant::now();
+        assert!(b.fill(&queue, &policy));
+        assert_eq!(b.users, vec![1]);
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(2), "waited {waited:?}");
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(BatchPolicy::single().label(), "b1d0us");
+        let p = BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_micros(1000),
+        };
+        assert_eq!(p.label(), "b64d1000us");
+    }
+}

@@ -1,0 +1,298 @@
+//! The load-replay harness: generators → bounded queue → batching
+//! workers → engine arms, with steady-state telemetry (DESIGN.md
+//! section 16).
+//!
+//! One [`run_load`] call is one closed experiment: `n_generators`
+//! threads offer Poisson traffic with Zipf-popular users at a
+//! configured aggregate rate, `n_workers` threads coalesce and dispatch
+//! batches through one [`EngineArm`], and every query's queue-wait and
+//! service latency lands in per-worker [`LatencyHistogram`]s that merge
+//! into the report. The first `warmup` of traffic is excluded from
+//! every statistic (scratch buffers and the pool reach steady state
+//! during it); the measurement window is the `duration` after that.
+//!
+//! Threading is plain `std::thread::scope`. Workers wrap each dispatch
+//! in [`dt_parallel::with_thread_limit`], so the *intra-query* width
+//! sweeps independently of the worker count — on a many-core host the
+//! interesting frontier is (workers × width), on the CI box it
+//! documents the single-core queueing behaviour.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use dt_metrics::LatencyHistogram;
+use dt_serve::kmeans::SplitMix64;
+use dt_serve::{SeenLists, TopKBatch, TopKEngine};
+
+use crate::arm::{ArmScratch, EngineArm};
+use crate::batcher::{BatchPolicy, Batcher, Query};
+use crate::queue::BoundedQueue;
+use crate::zipf::{exp_gap_nanos, Zipf};
+
+/// What a generator does when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the producer (backpressure: overload becomes queueing).
+    Block,
+    /// Drop the query and count it (load shedding: overload becomes
+    /// a shed rate, the queue stays shallow).
+    Shed,
+}
+
+impl AdmissionPolicy {
+    /// Stable label for bench artefacts.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Shed => "shed",
+        }
+    }
+}
+
+/// Full parameterisation of one load experiment.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Traffic generator threads.
+    pub n_generators: usize,
+    /// Serving worker threads.
+    pub n_workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// Batch coalescing policy.
+    pub policy: BatchPolicy,
+    /// Zipf exponent of the user popularity law (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Aggregate offered load across all generators, queries/second.
+    pub offered_qps: f64,
+    /// Warm-up traffic excluded from every statistic.
+    pub warmup: Duration,
+    /// Measurement window after warm-up.
+    pub duration: Duration,
+    /// Top-K per query.
+    pub k: usize,
+    /// Intra-query parallelism (`with_thread_limit`) per dispatch.
+    pub intra_width: usize,
+    /// Seed of the per-thread traffic streams.
+    pub seed: u64,
+}
+
+/// Merged telemetry of one [`run_load`] experiment. All statistics
+/// cover only queries enqueued after the warm-up cutoff.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Admission attempts (accepted + shed), whole run.
+    pub submitted: u64,
+    /// Queries shed at admission, whole run.
+    pub shed: u64,
+    /// Queries dispatched, whole run (includes warm-up).
+    pub completed: u64,
+    /// Queries dispatched that were enqueued inside the window.
+    pub measured: u64,
+    /// Batches whose dispatch started inside the window.
+    pub batches: u64,
+    /// Queries in those batches.
+    pub batched_queries: u64,
+    /// Admission-to-dispatch-start latency, measured queries.
+    pub queue_wait: LatencyHistogram,
+    /// Dispatch-start-to-done latency, measured queries.
+    pub service: LatencyHistogram,
+    /// Admission-to-done latency, measured queries.
+    pub total: LatencyHistogram,
+    /// The measurement window (config `duration`).
+    pub window: Duration,
+}
+
+impl LoadReport {
+    /// Steady-state throughput: measured completions per window second.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.measured as f64 / secs
+    }
+
+    /// Fraction of admission attempts shed, whole run.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.submitted as f64
+    }
+
+    /// Mean queries per dispatched batch inside the window.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_queries as f64 / self.batches as f64
+    }
+}
+
+/// Per-worker accumulator returned through the scope join.
+struct WorkerStats {
+    completed: u64,
+    measured: u64,
+    batches: u64,
+    batched_queries: u64,
+    queue_wait: LatencyHistogram,
+    service: LatencyHistogram,
+    total: LatencyHistogram,
+}
+
+/// Runs one load experiment against `arm` and returns the merged
+/// report. Deterministic in its *offered* traffic (per-thread seeded
+/// streams); latencies are whatever the host delivers.
+///
+/// # Panics
+/// Panics on a zero generator/worker count, non-positive offered load,
+/// zero `k`, or if a worker or generator thread panics.
+#[must_use]
+pub fn run_load(
+    cfg: &LoadConfig,
+    engine: &TopKEngine,
+    arm: &EngineArm<'_>,
+    seen: Option<&SeenLists>,
+) -> LoadReport {
+    assert!(
+        cfg.n_generators > 0,
+        "run_load: need at least one generator"
+    );
+    assert!(cfg.n_workers > 0, "run_load: need at least one worker");
+    assert!(
+        cfg.offered_qps > 0.0 && cfg.offered_qps.is_finite(),
+        "run_load: offered_qps must be positive"
+    );
+    assert!(cfg.k > 0, "run_load: k must be positive");
+    assert!(
+        cfg.intra_width > 0,
+        "run_load: intra_width must be positive"
+    );
+
+    let zipf = Zipf::new(arm.n_users(), cfg.zipf_exponent);
+    let queue: BoundedQueue<Query> = BoundedQueue::new(cfg.queue_capacity);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let cutoff = start + cfg.warmup;
+    let end = cutoff + cfg.duration;
+    // Each generator paces to 1/n of the aggregate offered rate.
+    let mean_gap_nanos = cfg.n_generators as f64 * 1e9 / cfg.offered_qps;
+
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(cfg.n_workers);
+    std::thread::scope(|s| {
+        for g in 0..cfg.n_generators {
+            let queue = &queue;
+            let stop = &stop;
+            let zipf = &zipf;
+            s.spawn(move || {
+                // Distinct deterministic stream per generator thread.
+                let mut rng = SplitMix64(cfg.seed ^ ((g as u64 + 1) << 32));
+                while !stop.load(Ordering::Relaxed) {
+                    let gap = exp_gap_nanos(&mut rng, mean_gap_nanos);
+                    if gap > 0 {
+                        std::thread::sleep(Duration::from_nanos(gap));
+                    }
+                    let q = Query {
+                        user: zipf.sample(&mut rng),
+                        enqueued: Instant::now(),
+                    };
+                    let accepted = match cfg.admission {
+                        AdmissionPolicy::Block => queue.push(q),
+                        AdmissionPolicy::Shed => queue.try_push(q),
+                    };
+                    if !accepted && queue.is_closed() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        let mut workers = Vec::with_capacity(cfg.n_workers);
+        for _ in 0..cfg.n_workers {
+            let queue = &queue;
+            workers.push(s.spawn(move || {
+                let mut batcher = Batcher::default();
+                let mut scratch = ArmScratch::default();
+                let mut out = TopKBatch::new();
+                let mut st = WorkerStats {
+                    completed: 0,
+                    measured: 0,
+                    batches: 0,
+                    batched_queries: 0,
+                    queue_wait: LatencyHistogram::new(),
+                    service: LatencyHistogram::new(),
+                    total: LatencyHistogram::new(),
+                };
+                while batcher.fill(queue, &cfg.policy) {
+                    let t0 = Instant::now();
+                    dt_parallel::with_thread_limit(cfg.intra_width, || {
+                        arm.dispatch(engine, &batcher.users, cfg.k, seen, &mut scratch, &mut out);
+                    });
+                    let t1 = Instant::now();
+                    let service = t1 - t0;
+                    st.completed += batcher.len() as u64;
+                    if t0 >= cutoff {
+                        st.batches += 1;
+                        st.batched_queries += batcher.len() as u64;
+                    }
+                    for &enq in &batcher.enqueued {
+                        if enq < cutoff {
+                            continue; // warm-up traffic
+                        }
+                        st.measured += 1;
+                        st.queue_wait
+                            .record_duration(t0.saturating_duration_since(enq));
+                        st.service.record_duration(service);
+                        st.total.record_duration(t1.saturating_duration_since(enq));
+                    }
+                }
+                st
+            }));
+        }
+
+        // Pace the experiment: warm-up + window, then stop traffic and
+        // let the workers drain the queue.
+        let now = Instant::now();
+        if end > now {
+            std::thread::sleep(end - now);
+        }
+        stop.store(true, Ordering::Relaxed);
+        queue.close();
+        for h in workers {
+            match h.join() {
+                Ok(st) => worker_stats.push(st),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+
+    let qs = queue.stats();
+    let mut report = LoadReport {
+        submitted: qs.pushed + qs.shed,
+        shed: qs.shed,
+        completed: 0,
+        measured: 0,
+        batches: 0,
+        batched_queries: 0,
+        queue_wait: LatencyHistogram::new(),
+        service: LatencyHistogram::new(),
+        total: LatencyHistogram::new(),
+        window: cfg.duration,
+    };
+    for st in &worker_stats {
+        report.completed += st.completed;
+        report.measured += st.measured;
+        report.batches += st.batches;
+        report.batched_queries += st.batched_queries;
+        report.queue_wait.merge(&st.queue_wait);
+        report.service.merge(&st.service);
+        report.total.merge(&st.total);
+    }
+    report
+}

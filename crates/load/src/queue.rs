@@ -1,0 +1,337 @@
+//! Bounded MPMC admission queue on std `Mutex` + `Condvar`
+//! (DESIGN.md section 16).
+//!
+//! The queue is the single synchronisation point between traffic
+//! generators and serving workers, so its policy *is* the admission
+//! policy: [`BoundedQueue::push`] blocks the producer when full
+//! (backpressure — offered load above capacity turns into queueing
+//! delay at the generator), while [`BoundedQueue::try_push`] sheds the
+//! query instead (load shedding — the queue stays shallow and the shed
+//! count is the overload signal). Both are exact-once accounted:
+//! `pushed + shed` equals the number of admission attempts, and every
+//! pushed item is popped exactly once before [`BoundedQueue::pop`]
+//! reports drained-and-closed.
+//!
+//! A single `VecDeque` under one mutex gives global FIFO, which implies
+//! per-producer FIFO — the property the proptests pin. Poisoning is
+//! ignored deliberately (`PoisonError::into_inner`): a panicked worker
+//! already propagates through the harness scope, and the queue's state
+//! (counters + deque) is valid at every instruction boundary.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Counter snapshot for exact admission accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items accepted into the queue (blocked pushes count once).
+    pub pushed: u64,
+    /// Items rejected by [`BoundedQueue::try_push`] on a full queue.
+    pub shed: u64,
+    /// Items handed to consumers.
+    pub popped: u64,
+    /// Current depth.
+    pub depth: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    pushed: u64,
+    shed: u64,
+    popped: u64,
+}
+
+/// Bounded multi-producer multi-consumer FIFO queue; see module docs
+/// for the block-vs-shed admission semantics.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` queued items.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue: capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                pushed: 0,
+                shed: 0,
+                popped: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block-policy admission: waits while the queue is full, enqueues,
+    /// returns `true`. Returns `false` (dropping `item`) only when the
+    /// queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut g = self.lock();
+        while g.items.len() >= self.capacity && !g.closed {
+            g = self
+                .not_full
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if g.closed {
+            return false;
+        }
+        g.items.push_back(item);
+        g.pushed += 1;
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Shed-policy admission: enqueues if there is room and returns
+    /// `true`; otherwise drops `item`, counts the shed, and returns
+    /// `false` without blocking. A closed queue sheds too.
+    pub fn try_push(&self, item: T) -> bool {
+        let mut g = self.lock();
+        if g.closed || g.items.len() >= self.capacity {
+            g.shed += 1;
+            return false;
+        }
+        g.items.push_back(item);
+        g.pushed += 1;
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, waiting while the queue is empty and
+    /// open. Returns `None` only when the queue is closed *and*
+    /// drained — every accepted item is still delivered after `close`.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                g.popped += 1;
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`BoundedQueue::pop`] but gives up at `deadline` (the
+    /// batcher's max-delay bound): returns `None` on timeout or on
+    /// closed-and-drained, whichever comes first.
+    pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                g.popped += 1;
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self
+                .not_empty
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+            if res.timed_out() && g.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Non-blocking pop (drain helper for tests).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        let item = g.items.pop_front();
+        if item.is_some() {
+            g.popped += 1;
+            drop(g);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: future pushes fail, blocked producers and
+    /// consumers wake, queued items remain poppable until drained.
+    pub fn close(&self) {
+        let mut g = self.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Counter snapshot (consistent: taken under the one lock).
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let g = self.lock();
+        QueueStats {
+            pushed: g.pushed,
+            shed: g.shed,
+            popped: g.popped,
+            depth: g.items.len(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("stats", &s)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_exact_accounting_single_thread() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.try_push(3));
+        assert_eq!(q.stats().pushed, 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        let s = q.stats();
+        assert_eq!((s.pushed, s.shed, s.popped, s.depth), (3, 0, 3, 0));
+    }
+
+    #[test]
+    fn try_push_sheds_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3));
+        assert!(!q.try_push(4));
+        let s = q.stats();
+        assert_eq!((s.pushed, s.shed), (2, 2));
+        // Draining one makes room for exactly one.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(5));
+        assert!(!q.try_push(6));
+        assert_eq!(q.stats().shed, 3);
+    }
+
+    #[test]
+    fn close_drains_then_reports_none() {
+        let q = BoundedQueue::new(8);
+        q.push(7);
+        q.push(9);
+        q.close();
+        assert!(!q.push(11), "closed queue must refuse pushes");
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stats().popped, 2);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_deadline(t0 + Duration::from_millis(20)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn blocked_producer_resumes_without_loss() {
+        // One slot; a consumer thread drains slowly; the blocking
+        // producer must deliver every item exactly once, in order.
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let qc = q.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = qc.pop() {
+                got.push(v);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            got
+        });
+        for v in 0..50u32 {
+            assert!(q.push(v));
+        }
+        q.close();
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        let s = q.stats();
+        assert_eq!((s.pushed, s.shed, s.popped), (50, 0, 50));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_once() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let qc = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = qc.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..2u32 {
+            let qp = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    assert!(qp.push(p * 1000 + i));
+                }
+            }));
+        }
+        for h in producers {
+            h.join().expect("producer thread");
+        }
+        q.close();
+        let mut all: Vec<u32> = Vec::new();
+        for h in consumers {
+            all.extend(h.join().expect("consumer thread"));
+        }
+        all.sort_unstable();
+        let mut want: Vec<u32> = (0..100).chain(1000..1100).collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic traffic: Zipf user popularity and Poisson arrivals
+//! (DESIGN.md section 16).
+//!
+//! Real recommendation traffic is head-heavy — a small set of users
+//! (and the items they surface) dominates the query stream, which is
+//! exactly the MNAR exposure skew the paper's propensity models are
+//! built for. The generator replays that shape with a Zipf(s) law over
+//! user ids: `P(rank r) ∝ 1 / r^s`. Sampling inverts a precomputed CDF
+//! table by binary search, so each draw is O(log N) with zero
+//! steady-state allocations.
+//!
+//! Arrivals are a Poisson process per generator thread: exponential
+//! inter-arrival gaps by CDF inversion, `gap = -ln(1 - u) · mean`.
+//! Both streams draw from deterministic per-thread [`SplitMix64`]
+//! states (seeded `seed ⊕ thread-id`), so a load run's *offered*
+//! traffic is reproducible; the measured latencies of course are not.
+
+use dt_serve::kmeans::SplitMix64;
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of one `next_u64`.
+#[inline]
+fn unit_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s ≥ 0` (`s = 0`
+/// degenerates to uniform). Built once per run; `sample` never
+/// allocates.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[r]` = P(rank ≤ r); last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Tabulates the CDF of `P(rank r) ∝ 1/(r+1)^exponent` for `n` ranks.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or `exponent` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf: need at least one rank");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "Zipf: exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding leaving the tail unreachable.
+        cdf[n - 1] = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects `n = 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`: the first rank whose CDF covers a
+    /// uniform `u` (binary search, no allocation).
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = unit_f64(rng);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// One exponential inter-arrival gap in nanoseconds with the given mean
+/// (a Poisson process by CDF inversion). Mean 0 means back-to-back.
+#[inline]
+#[must_use]
+pub fn exp_gap_nanos(rng: &mut SplitMix64, mean_nanos: f64) -> u64 {
+    let u = unit_f64(rng);
+    // u < 1 strictly, so ln(1-u) is finite.
+    let gap = -(1.0 - u).ln() * mean_nanos;
+    if gap <= 0.0 {
+        0
+    } else if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let z = Zipf::new(1000, 1.1);
+        assert_eq!(z.len(), 1000);
+        for w in z.cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(z.cdf[999], 1.0);
+    }
+
+    #[test]
+    fn samples_are_in_range_and_deterministic() {
+        let z = Zipf::new(37, 1.0);
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert!(x < 37);
+            assert_eq!(x, z.sample(&mut b), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        // With s = 1.2 over 100 ranks, rank 0 alone should beat the
+        // whole tail half; uniform (s = 0) should not.
+        let mut rng = SplitMix64(7);
+        let z = Zipf::new(100, 1.2);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            if r == 0 {
+                head += 1;
+            } else if r >= 50 {
+                tail += 1;
+            }
+        }
+        assert!(head > tail, "head {head} vs tail {tail}");
+        let u = Zipf::new(100, 0.0);
+        let mut first = 0usize;
+        for _ in 0..20_000 {
+            if u.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        // Uniform: rank 0 gets ~1% of draws.
+        assert!(first < 600, "uniform head too heavy: {first}");
+    }
+
+    #[test]
+    fn uniform_exponent_covers_all_ranks() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = SplitMix64(3);
+        let mut seen = [false; 8];
+        for _ in 0..2000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exp_gaps_have_the_requested_mean() {
+        let mut rng = SplitMix64(11);
+        let mean = 50_000.0;
+        let n = 50_000u64;
+        let total: u128 = (0..n)
+            .map(|_| u128::from(exp_gap_nanos(&mut rng, mean)))
+            .sum();
+        let got = total as f64 / n as f64;
+        assert!(
+            (got - mean).abs() < mean * 0.05,
+            "mean {got} vs requested {mean}"
+        );
+        assert_eq!(exp_gap_nanos(&mut rng, 0.0), 0);
+    }
+}

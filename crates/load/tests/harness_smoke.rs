@@ -1,0 +1,119 @@
+//! End-to-end harness smoke (std-only; the offline verification shim
+//! runs this file verbatim): a short replay against real engine arms
+//! must complete, account exactly, and report internally consistent
+//! telemetry. Latency *values* are host-dependent and never asserted.
+
+use std::time::Duration;
+
+use dt_load::{run_load, AdmissionPolicy, BatchPolicy, EngineArm, LoadConfig};
+use dt_serve::{ScoringIndex, SeenLists, TopKEngine};
+use dt_tensor::Tensor;
+
+fn build_index(n_users: usize, n_items: usize, dim: usize) -> ScoringIndex {
+    let mut state = 0xDEAD_BEEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let p = Tensor::from_fn(n_users, dim, |_, _| next());
+    let q = Tensor::from_fn(n_items, dim, |_, _| next());
+    ScoringIndex::new(p, q, vec![0.02; n_users], vec![-0.03; n_items], 0.1)
+}
+
+fn base_config() -> LoadConfig {
+    LoadConfig {
+        n_generators: 2,
+        n_workers: 2,
+        queue_capacity: 64,
+        admission: AdmissionPolicy::Block,
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        },
+        zipf_exponent: 1.1,
+        offered_qps: 2_000.0,
+        warmup: Duration::from_millis(60),
+        duration: Duration::from_millis(250),
+        k: 10,
+        intra_width: 1,
+        seed: 42,
+    }
+}
+
+#[test]
+fn block_policy_run_accounts_exactly() {
+    let index = build_index(128, 2048, 8);
+    let seen = SeenLists::from_pairs(128, (0..128u32).map(|u| (u, u % 13)));
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    let report = run_load(&base_config(), &engine, &arm, Some(&seen));
+
+    assert!(report.completed > 0, "no queries served: {report:?}");
+    assert!(
+        report.measured > 0,
+        "warm-up swallowed the window: {report:?}"
+    );
+    assert_eq!(report.shed, 0, "block policy must never shed");
+    // Every admitted query is served before run_load returns.
+    assert_eq!(report.submitted, report.completed, "{report:?}");
+    assert!(report.measured <= report.completed);
+    assert_eq!(report.queue_wait.count(), report.measured);
+    assert_eq!(report.service.count(), report.measured);
+    assert_eq!(report.total.count(), report.measured);
+    assert!(report.qps() > 0.0);
+    assert!(report.mean_batch() >= 1.0);
+    // Total latency dominates service latency pointwise, so every
+    // quantile dominates too.
+    for q in [0.5, 0.9, 0.99] {
+        assert!(
+            report.total.quantile(q) >= report.service.quantile(q),
+            "q={q}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_arm_serves_under_load() {
+    let index = build_index(96, 4096, 8);
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Sharded {
+        index: &index,
+        n_shards: 4,
+    };
+    let mut cfg = base_config();
+    cfg.policy = BatchPolicy::single();
+    cfg.duration = Duration::from_millis(150);
+    let report = run_load(&cfg, &engine, &arm, None);
+    assert!(report.completed > 0);
+    assert_eq!(report.submitted, report.completed);
+    // Single-query policy: every dispatched batch holds exactly one.
+    assert_eq!(report.batched_queries, report.batches);
+}
+
+#[test]
+fn shed_policy_sheds_under_overload_and_accounts_exactly() {
+    // One worker, a catalog big enough that service time far exceeds
+    // the inter-arrival gap, and a shallow queue: shedding must engage.
+    let index = build_index(64, 32_768, 32);
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    let mut cfg = base_config();
+    cfg.n_workers = 1;
+    cfg.queue_capacity = 8;
+    cfg.admission = AdmissionPolicy::Shed;
+    cfg.offered_qps = 20_000.0;
+    cfg.k = 50;
+    cfg.warmup = Duration::from_millis(40);
+    cfg.duration = Duration::from_millis(200);
+    let report = run_load(&cfg, &engine, &arm, None);
+    assert!(report.shed > 0, "overload must shed: {report:?}");
+    assert!(report.shed_rate() > 0.0 && report.shed_rate() < 1.0);
+    // Shed + served == offered, exactly.
+    assert_eq!(
+        report.submitted,
+        report.completed + report.shed,
+        "{report:?}"
+    );
+}

@@ -1,0 +1,142 @@
+//! Steady-state allocation discipline of the serving worker loop: after
+//! one warm-up dispatch per arm, repeated batches through reused
+//! `ArmScratch`/`TopKBatch` buffers must take every pooled buffer from
+//! the free lists — zero fresh allocations per batch, for every engine
+//! arm the load harness can drive.
+//!
+//! Lives in its own integration-test binary because the pool counters
+//! are process-global; the tests serialize on a mutex so their stat
+//! deltas never interleave.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dt_load::{ArmScratch, BatchPolicy, Batcher, BoundedQueue, EngineArm, Query};
+use dt_serve::{IvfIndex, IvfParams, PanelDtype, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_tensor::{pool, Tensor};
+
+/// Serializes the pool-stat probes across tests in this binary.
+static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+fn build_index(n_users: usize, n_items: usize, dim: usize) -> ScoringIndex {
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let p = Tensor::from_fn(n_users, dim, |_, _| next());
+    let q = Tensor::from_fn(n_items, dim, |_, _| next());
+    ScoringIndex::new(p, q, vec![0.01; n_users], vec![-0.01; n_items], 0.5)
+}
+
+#[test]
+fn steady_state_dispatch_allocates_nothing_for_every_arm() {
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 4096);
+    let index = build_index(n_users, n_items, 16);
+    let seen = SeenLists::from_pairs(n_users, (0..n_users as u32).map(|u| (u, u * 3)));
+    let users: Vec<usize> = (0..48).map(|j| (j * 5) % n_users).collect();
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 32,
+            iters: 4,
+            seed: 3,
+            train_cap: 0,
+        },
+    );
+    let qidx = index.quantize(PanelDtype::ScaledI8);
+    let engine = TopKEngine::new();
+    let arms = [
+        EngineArm::Exact { index: &index },
+        EngineArm::Sharded {
+            index: &index,
+            n_shards: 8,
+        },
+        EngineArm::Ivf {
+            index: &index,
+            ivf: &ivf,
+            nprobe: 4,
+        },
+        EngineArm::Quant { index: &qidx },
+    ];
+    for arm in arms {
+        let mut scratch = ArmScratch::default();
+        let mut out = TopKBatch::new();
+        // Warm-up grows every scratch member and the batch to
+        // steady-state capacity and populates the pool free lists.
+        arm.dispatch(&engine, &users, 10, Some(&seen), &mut scratch, &mut out);
+
+        let before = pool::stats();
+        for _ in 0..5 {
+            arm.dispatch(&engine, &users, 10, Some(&seen), &mut scratch, &mut out);
+        }
+        let after = pool::stats();
+        assert_eq!(
+            after.fresh_allocs - before.fresh_allocs,
+            0,
+            "steady-state {} dispatch must not allocate (stats {after:?} vs {before:?})",
+            arm.label()
+        );
+    }
+    drop(guard);
+}
+
+#[test]
+fn steady_state_worker_loop_with_batcher_allocates_nothing() {
+    // The literal worker loop: queue → Batcher::fill → dispatch, with
+    // the batch-assembly buffers reused across iterations.
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 2048);
+    let index = build_index(n_users, n_items, 16);
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Sharded {
+        index: &index,
+        n_shards: 4,
+    };
+    let policy = BatchPolicy {
+        max_batch: 16,
+        max_delay: std::time::Duration::ZERO,
+    };
+    let queue = BoundedQueue::new(64);
+    let mut batcher = Batcher::default();
+    let mut scratch = ArmScratch::default();
+    let mut out = TopKBatch::new();
+
+    let refill = |queue: &BoundedQueue<Query>| {
+        for u in 0..32usize {
+            assert!(queue.push(Query {
+                user: (u * 7) % n_users,
+                enqueued: Instant::now(),
+            }));
+        }
+    };
+    // Warm-up pass.
+    refill(&queue);
+    while batcher.fill(&queue, &policy) {
+        arm.dispatch(&engine, &batcher.users, 10, None, &mut scratch, &mut out);
+        if queue.stats().depth == 0 {
+            break;
+        }
+    }
+
+    let before = pool::stats();
+    for _ in 0..3 {
+        refill(&queue);
+        while batcher.fill(&queue, &policy) {
+            arm.dispatch(&engine, &batcher.users, 10, None, &mut scratch, &mut out);
+            if queue.stats().depth == 0 {
+                break;
+            }
+        }
+    }
+    let after = pool::stats();
+    assert_eq!(
+        after.fresh_allocs - before.fresh_allocs,
+        0,
+        "steady-state worker loop must not allocate (stats {after:?} vs {before:?})"
+    );
+    drop(guard);
+}

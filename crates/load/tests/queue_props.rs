@@ -1,0 +1,109 @@
+//! Property tests for the bounded admission queue (full workspace only
+//! — the offline shim skips proptest suites): FIFO per producer with no
+//! loss under the block policy, and exact shed accounting against a
+//! reference model under the shed policy.
+
+use dt_load::BoundedQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Single-threaded op-sequence equivalence against a VecDeque model:
+    /// `try_push` sheds exactly when the model is full, `try_pop` pops
+    /// exactly the model's front, counters track the model perfectly.
+    #[test]
+    fn shed_accounting_matches_reference_model(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(0u8..3, 0..200),
+    ) {
+        let q = BoundedQueue::new(capacity);
+        let mut model = std::collections::VecDeque::new();
+        let (mut pushed, mut shed, mut popped) = (0u64, 0u64, 0u64);
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    if model.len() < capacity {
+                        model.push_back(next);
+                        pushed += 1;
+                        prop_assert!(q.try_push(next));
+                    } else {
+                        shed += 1;
+                        prop_assert!(!q.try_push(next));
+                    }
+                    next += 1;
+                }
+                1 => {
+                    // Blocking push, issued only when it cannot block
+                    // (single thread): must always accept.
+                    if model.len() < capacity {
+                        model.push_back(next);
+                        pushed += 1;
+                        prop_assert!(q.push(next));
+                        next += 1;
+                    }
+                }
+                _ => {
+                    let want = model.pop_front();
+                    if want.is_some() {
+                        popped += 1;
+                    }
+                    prop_assert_eq!(q.try_pop(), want);
+                }
+            }
+        }
+        let s = q.stats();
+        prop_assert_eq!(s.pushed, pushed);
+        prop_assert_eq!(s.shed, shed);
+        prop_assert_eq!(s.popped, popped);
+        prop_assert_eq!(s.depth, model.len());
+    }
+
+    /// Concurrent block-policy run: every produced item arrives exactly
+    /// once, in per-producer FIFO order, with zero sheds — even when the
+    /// queue is much smaller than the traffic.
+    #[test]
+    fn fifo_per_producer_and_no_loss_under_block(
+        n_producers in 1usize..4,
+        per_producer in 1usize..64,
+        capacity in 1usize..6,
+    ) {
+        let q = std::sync::Arc::new(BoundedQueue::new(capacity));
+        let mut producers = Vec::new();
+        for p in 0..n_producers {
+            let qp = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    assert!(qp.push(((p as u64) << 32) | i as u64));
+                }
+            }));
+        }
+        let qc = q.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = qc.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for h in producers {
+            h.join().expect("producer thread");
+        }
+        q.close();
+        let got = consumer.join().expect("consumer thread");
+        prop_assert_eq!(got.len(), n_producers * per_producer);
+        let mut next_idx = vec![0u64; n_producers];
+        for v in &got {
+            let p = (v >> 32) as usize;
+            let i = v & 0xFFFF_FFFF;
+            prop_assert_eq!(i, next_idx[p], "producer {} out of order", p);
+            next_idx[p] += 1;
+        }
+        let s = q.stats();
+        prop_assert_eq!(s.shed, 0);
+        prop_assert_eq!(s.pushed, (n_producers * per_producer) as u64);
+        prop_assert_eq!(s.popped, s.pushed);
+        prop_assert_eq!(s.depth, 0);
+    }
+}

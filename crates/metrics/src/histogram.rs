@@ -1,0 +1,321 @@
+//! Fixed-bucket log-scale latency histogram for serving telemetry.
+//!
+//! The load harness (`dt-load`) records one queue-wait and one service
+//! latency per query at sustained rates, so the recorder must be O(1),
+//! allocation-free, and mergeable across worker threads. This histogram
+//! is the classic HDR layout: values (nanoseconds) bucket by their
+//! binary exponent with [`SUB`] linear sub-buckets per octave, giving a
+//! bounded *relative* error instead of a bounded absolute one — the
+//! right trade for latencies spanning microseconds to seconds (the
+//! paper's Table VI timing columns span four orders of magnitude for
+//! the same reason).
+//!
+//! ## Precision contract
+//!
+//! With [`SUB`] = 8 sub-buckets per octave, every bucket's width is at
+//! most 1/8 of its lower bound, so any quantile reported from bucket
+//! upper bounds is within **12.5 %** of the true sample quantile
+//! (values below [`SUB`] are exact — one bucket per integer). Quantile
+//! extraction itself is exact *given the bucketing*: the reported value
+//! is the upper bound of the bucket holding the rank-`⌈qN⌉` sample,
+//! never an interpolation.
+//!
+//! Counters are plain `u64`s in a fixed array: `merge` is element-wise
+//! addition, so per-worker histograms combine into a process view
+//! without locks, and the merged quantiles equal the quantiles of the
+//! concatenated sample stream by construction.
+
+/// Log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+
+/// Linear sub-buckets per octave: bucket width ≤ lower bound / SUB.
+pub const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets: one per value below [`SUB`], then [`SUB`] per octave
+/// for the remaining `64 - SUB_BITS` leading-bit positions of a `u64`.
+pub const N_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index of a nanosecond value (monotone in `v`).
+#[inline]
+#[must_use]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let frac = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    let block = (exp - SUB_BITS) as usize + 1;
+    block * SUB + frac
+}
+
+/// Largest value mapping to bucket `i` — the bound quantiles report.
+#[inline]
+#[must_use]
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let block = i / SUB;
+    let pos = (i % SUB) as u64;
+    let shift = (block - 1) as u32;
+    // Lower bound (SUB + pos) << shift, width 1 << shift. The width is
+    // parenthesised first: the top bucket's upper bound is u64::MAX and
+    // adding before subtracting would overflow.
+    ((SUB as u64 + pos) << shift) + ((1u64 << shift) - 1)
+}
+
+/// A mergeable log-scale histogram of `u64` samples (nanoseconds by
+/// convention). See the module docs for the precision contract.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    /// Saturating sum of recorded values, for [`LatencyHistogram::mean`].
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. The bucket array lives inline (no heap), so
+    /// construction is allocation-free and per-worker instances are
+    /// cheap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample in O(1).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a [`std::time::Duration`] as saturating nanoseconds.
+    #[inline]
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every bucket of `other` into `self`. Quantiles of the merge
+    /// equal quantiles of the concatenated streams (same fixed buckets).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Sums of u64 samples fit f64 to ~2^53 ns total; fine for means.
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Largest recorded sample, exact (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: the
+    /// smallest bucket bound `B` such that at least `⌈q·N⌉` samples are
+    /// ≤ its bucket — within 12.5 % of the true sample quantile (module
+    /// docs). Returns 0 for an empty histogram. `q` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least rank 1 so q=0.0 reports the min bucket.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// `quantile` in fractional milliseconds, the reporting unit of the
+    /// bench artefacts.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        // One bucket per integer below SUB.
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_layout_published_vectors() {
+        // Hand-computed (SUB = 8): 8 → first octave bucket, 500 →
+        // exp 8, frac (500 >> 5) & 7 = 7, block 6 → index 55 with
+        // bounds [480, 511].
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(500), 55);
+        assert_eq!(bucket_upper(55), 511);
+        assert_eq!(bucket_of(511), 55);
+        assert_eq!(bucket_of(512), 56);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_contiguous() {
+        // Every bucket's upper bound maps back to the bucket, and the
+        // next value starts the next bucket — no gaps, no overlaps.
+        for i in 0..N_BUCKETS - 1 {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_of(hi), i, "upper({i})");
+            assert_eq!(bucket_of(hi + 1), i + 1, "upper({i})+1");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / lower bound ≤ 1/SUB for all log buckets.
+        for i in SUB..N_BUCKETS {
+            let hi = bucket_upper(i);
+            let lo = bucket_upper(i - 1) + 1;
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) <= (lo as f64) / SUB as f64 + 1.0,
+                "bucket {i}: [{lo}, {hi}] too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        // 1..=1000: the rank-500 sample is 500 (bucket [480, 511]),
+        // the rank-990 sample is 990 (bucket [960, 1023]).
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.quantile(0.5), 511);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.0), 1); // min sample's bucket
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_within_the_precision_contract() {
+        // Deterministic pseudo-stream spanning five decades.
+        let mut h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = 100 + state % 10_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let truth = samples[rank - 1] as f64;
+            let got = h.quantile(q) as f64;
+            assert!(
+                got >= truth && got <= truth * (1.0 + 1.0 / SUB as f64) + 1.0,
+                "q={q}: got {got}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..5_000u64 {
+            let x = (v * 2_654_435_761) % 1_000_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn durations_record_as_nanos() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), bucket_upper(bucket_of(3_000)));
+    }
+}

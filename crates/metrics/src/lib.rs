@@ -2,18 +2,22 @@
 //!
 //! Evaluation metrics used throughout the paper's tables: pointwise errors
 //! (MSE, MAE — Table III / Fig. 3), AUC and top-K ranking quality
-//! (NDCG@K, Recall@K, Precision@K — Tables IV/V, Fig. 5), and propensity
-//! calibration diagnostics for the identifiability experiments.
+//! (NDCG@K, Recall@K, Precision@K — Tables IV/V, Fig. 5), propensity
+//! calibration diagnostics for the identifiability experiments, and the
+//! log-scale latency [`histogram`] behind the serving-load telemetry
+//! (Table VI timing columns, `BENCH_load.json`).
 
 #![forbid(unsafe_code)]
 
 mod auc;
 mod calibration;
+pub mod histogram;
 mod pointwise;
 mod ranking;
 
 pub use auc::auc;
 pub use calibration::{expected_calibration_error, CalibrationBin};
+pub use histogram::LatencyHistogram;
 pub use pointwise::{mae, mse, rmse};
 pub use ranking::{
     evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, top_k_overlap, RankingReport,

@@ -45,6 +45,15 @@
 //! a dtype rerank (plus an opt-in f64 refine pass) for the IVF arm. The
 //! `F64` dtype is bit-identical to the unquantized path, so every lossy
 //! dtype's accuracy bill can be measured against it.
+//!
+//! Under concurrent load (the `dt-load` replay harness, DESIGN.md
+//! section 16) the exact arm can also run **item-sharded**
+//! ([`TopKEngine::recommend_sharded_into`]): the catalog splits into S
+//! contiguous ranges scored as independent pool tasks into per-shard
+//! partial top-K heaps, merged per user by the same bounded-heap kernel
+//! — bit-identical to the unsharded engine because shard geometry
+//! derives from `(M, S)` only and the tie-break is the global item-id
+//! order ([`shard_range`]).
 
 #![forbid(unsafe_code)]
 
@@ -54,6 +63,7 @@ mod ivf;
 pub mod kmeans;
 mod qengine;
 mod qindex;
+mod shard;
 
 pub use dt_tensor::quant::{Panel, PanelDtype};
 pub use dt_tensor::topk::Ranked;
@@ -62,3 +72,4 @@ pub use index::{ScoringIndex, SeenLists};
 pub use ivf::{IvfIndex, IvfParams};
 pub use qengine::QuantScratch;
 pub use qindex::QuantizedIndex;
+pub use shard::{shard_range, ShardScratch};

@@ -1,0 +1,250 @@
+//! Item-sharded exact retrieval: per-shard partial top-K merged by the
+//! shared bounded-heap kernel (DESIGN.md section 16).
+//!
+//! The exact arm scores a user block against the whole catalog in one
+//! GEMM — great throughput per query batch, but one query occupies the
+//! whole pool for the full catalog pass. Under concurrent load the
+//! serving front-end (`dt-load`) wants finer work units: this module
+//! splits the catalog into `S` **contiguous row ranges** and scores each
+//! `(shard, user)` pair as an independent pool task into a per-shard
+//! partial top-K heap, merging the `S` partial stripes per user through
+//! the same [`BoundedRank`] kernel.
+//!
+//! ## Bit-identity argument
+//!
+//! The sharded output equals the unsharded engine's bit for bit, for any
+//! shard count and any `DT_NUM_THREADS`:
+//!
+//! 1. **Scores.** Each shard scores items through the same
+//!    sequential-over-dim dot and `((dot + bᵤ) + bᵢ) + µ` association
+//!    order as the pair kernel ([`dt_tensor::scoring`]), which is pinned
+//!    bit-identical to the block GEMM the unsharded engine uses — so
+//!    every candidate's score is the same `f64` in both paths.
+//! 2. **Geometry.** Shard boundaries derive from `(M, S)` only
+//!    ([`shard_range`]) — never from the thread count — so the task grid
+//!    and each partial's candidate set are fixed per query shape.
+//! 3. **Selection.** [`BoundedRank`] retains a pure function of the
+//!    offered candidate *set* (score descending, item id ascending, a
+//!    strict total order), so per-shard partials then a merge retain
+//!    exactly the global top-K, and the merge tie-break equals the
+//!    global item-id order.
+//!
+//! The oracle tests (`shard_oracle.rs`) pin this equality across shard
+//! counts × K × widths × pooled-vs-fresh.
+
+use std::ops::Range;
+
+use dt_tensor::topk::{BoundedRank, Ranked};
+
+use crate::engine::{TopKBatch, TopKEngine, MAX_BLOCK_USERS};
+use crate::index::{ScoringIndex, SeenLists};
+
+/// The row range of shard `s` of `n_shards` over an `m`-item catalog:
+/// contiguous, ascending, balanced to within one item. A pure function
+/// of `(m, n_shards, s)` — shard geometry never depends on the thread
+/// count, which is half the bit-identity argument (module docs).
+///
+/// # Panics
+/// Panics when `n_shards` is zero or `s >= n_shards`.
+#[must_use]
+pub fn shard_range(m: usize, n_shards: usize, s: usize) -> Range<usize> {
+    assert!(n_shards > 0, "shard_range: n_shards must be positive");
+    assert!(
+        s < n_shards,
+        "shard_range: shard {s} out of bounds for {n_shards} shards"
+    );
+    let base = m / n_shards;
+    let rem = m % n_shards;
+    let start = s * base + s.min(rem);
+    let len = base + usize::from(s < rem);
+    start..start + len
+}
+
+/// Reusable scratch for the sharded arm: the `S × B × K` partial-stripe
+/// grid, shard-major. Grows to steady state on the first query and is
+/// only rewritten afterwards, so repeated queries allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ShardScratch {
+    partials: Vec<Ranked>,
+}
+
+/// Scores one user against the contiguous item range `items` and keeps
+/// the best `slot.len()` in `slot` (best first, tombstone-padded) — the
+/// f64 twin of the quantized fused scan. Score arithmetic matches the
+/// pair kernel exactly: sequential dot over the panel width, then
+/// `((dot + bᵤ) + bᵢ) + µ`.
+fn scan_shard_top_k(
+    index: &ScoringIndex,
+    user: usize,
+    items: Range<usize>,
+    exclude: &[u32],
+    slot: &mut [Ranked],
+) {
+    let dim = index.dim();
+    let pu = index.user_panel().row(user);
+    let qd = index.item_panel().data();
+    let biases = index.biases();
+    let bu = biases.user[user];
+    // Narrow the exclude list to the scanned range once.
+    let e_lo = exclude.partition_point(|&e| (e as usize) < items.start);
+    let excl = &exclude[e_lo..];
+    let mut rank = BoundedRank::new(slot);
+    let mut e = 0usize;
+    for i in items {
+        let item = i as u32;
+        while e < excl.len() && excl[e] < item {
+            e += 1;
+        }
+        if e < excl.len() && excl[e] == item {
+            continue;
+        }
+        let qi = &qd[i * dim..][..dim];
+        let mut dot = 0.0;
+        for (a, b) in pu.iter().zip(qi) {
+            dot += a * b;
+        }
+        rank.push(Ranked {
+            item,
+            score: ((dot + bu) + biases.item[i]) + biases.global,
+        });
+    }
+    rank.finish();
+}
+
+impl TopKEngine {
+    /// Sharded exact retrieval: the catalog splits into `n_shards`
+    /// contiguous ranges, every `(shard, user)` pair runs as one pool
+    /// task keeping a partial top-K, and the partials merge per user
+    /// through the same bounded heap — bit-identical to
+    /// [`TopKEngine::recommend_into`] at any shard count and thread
+    /// width (module docs). Writes into `out`; with a warmed
+    /// `scratch`/`out` pair, steady-state queries allocate nothing.
+    ///
+    /// # Panics
+    /// Panics when `n_shards` is zero, a user id is out of bounds, or
+    /// `seen` covers a different user universe than the index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_sharded_into(
+        &self,
+        index: &ScoringIndex,
+        n_shards: usize,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+        scratch: &mut ShardScratch,
+        out: &mut TopKBatch,
+    ) {
+        assert!(n_shards > 0, "recommend_sharded: n_shards must be positive");
+        if let Some(s) = seen {
+            assert_eq!(
+                s.n_users(),
+                index.n_users(),
+                "recommend_sharded: seen-lists cover {} users, index has {}",
+                s.n_users(),
+                index.n_users()
+            );
+        }
+        assert!(
+            users.iter().all(|&u| u < index.n_users()),
+            "recommend_sharded: user id out of bounds for {} users",
+            index.n_users()
+        );
+        out.reset(users.len(), k);
+        if users.is_empty() || k == 0 {
+            return;
+        }
+        let m = index.n_items();
+        // Budget the partial grid like the quantized fused scan budgets
+        // its: `S × B × K` retained entries per block.
+        let block = (self.block_elems() / (n_shards * k).max(1)).clamp(1, MAX_BLOCK_USERS);
+        let mut lo = 0;
+        while lo < users.len() {
+            let hi = (lo + block).min(users.len());
+            let block_users = &users[lo..hi];
+            let nb = hi - lo;
+            scratch.partials.clear();
+            scratch
+                .partials
+                .resize(n_shards * nb * k, Ranked::TOMBSTONE);
+            // One fused scan per (shard, user), shard-major: consecutive
+            // chunks share a panel range across the block's users.
+            dt_parallel::for_each_chunk(&mut scratch.partials, k, |ci, slot| {
+                let (s, j) = (ci / nb, ci % nb);
+                let user = block_users[j];
+                let exclude = seen.map_or(&[][..], |se| se.seen(user));
+                scan_shard_top_k(index, user, shard_range(m, n_shards, s), exclude, slot);
+            });
+            // Merge the n_shards partial stripes of each user through
+            // the same bounded heap — exact by push-order independence.
+            let partials = &scratch.partials;
+            let stripes = out.stripes_mut(lo, hi);
+            dt_parallel::for_each_chunk(stripes, k, |j, slot| {
+                let mut rank = BoundedRank::new(slot);
+                for s in 0..n_shards {
+                    for e in &partials[(s * nb + j) * k..][..k] {
+                        if e.is_tombstone() {
+                            break;
+                        }
+                        rank.push(*e);
+                    }
+                }
+                rank.finish();
+            });
+            lo = hi;
+        }
+        out.recount();
+    }
+
+    /// [`TopKEngine::recommend_sharded_into`] returning a fresh batch.
+    #[must_use]
+    pub fn recommend_sharded(
+        &self,
+        index: &ScoringIndex,
+        n_shards: usize,
+        users: &[usize],
+        k: usize,
+        seen: Option<&SeenLists>,
+    ) -> TopKBatch {
+        let mut scratch = ShardScratch::default();
+        let mut out = TopKBatch::new();
+        self.recommend_sharded_into(index, n_shards, users, k, seen, &mut scratch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_catalog() {
+        for (m, s_count) in [(10, 3), (7, 7), (4, 9), (0, 2), (1_000, 16)] {
+            let mut next = 0usize;
+            for s in 0..s_count {
+                let r = shard_range(m, s_count, s);
+                assert_eq!(r.start, next, "m={m} s={s}");
+                assert!(r.len() <= m / s_count + 1);
+                next = r.end;
+            }
+            assert_eq!(next, m, "m={m} S={s_count}");
+        }
+    }
+
+    #[test]
+    fn shard_lengths_are_balanced() {
+        let lens: Vec<usize> = (0..7).map(|s| shard_range(23, 7, s).len()).collect();
+        assert_eq!(lens, vec![4, 4, 3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_shards must be positive")]
+    fn zero_shards_panic() {
+        let _ = shard_range(5, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shard_index_beyond_count_panics() {
+        let _ = shard_range(5, 2, 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Sharded-vs-unsharded oracle (std-only; the offline verification shim
+//! runs this file verbatim): `recommend_sharded_into` must be bitwise
+//! equal to the unsharded engine for every shard count, K, thread width
+//! and buffer mode — the bit-identity contract DESIGN.md section 16
+//! leans on when the load harness serves the sharded arm concurrently.
+
+use dt_serve::{ScoringIndex, SeenLists, ShardScratch, TopKBatch, TopKEngine};
+use dt_tensor::Tensor;
+
+/// Deterministic xorshift64* stream, as in the bench emitters.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+    }
+}
+
+fn random_index(n_users: usize, n_items: usize, dim: usize, seed: u64) -> ScoringIndex {
+    let mut rng = XorShift(seed | 1);
+    let p = Tensor::from_fn(n_users, dim, |_, _| rng.next_f64());
+    let q = Tensor::from_fn(n_items, dim, |_, _| rng.next_f64());
+    let ub: Vec<f64> = (0..n_users).map(|_| rng.next_f64()).collect();
+    let ib: Vec<f64> = (0..n_items).map(|_| rng.next_f64()).collect();
+    let mu = rng.next_f64();
+    ScoringIndex::new(p, q, ub, ib, mu)
+}
+
+fn random_seen(n_users: usize, n_items: usize, per_user: usize, seed: u64) -> SeenLists {
+    let mut rng = XorShift(seed | 1);
+    let mut pairs = Vec::new();
+    for u in 0..n_users {
+        for _ in 0..rng.next_below(per_user + 1) {
+            pairs.push((u as u32, rng.next_below(n_items) as u32));
+        }
+    }
+    SeenLists::from_pairs(n_users, pairs)
+}
+
+fn assert_bitwise_eq(a: &TopKBatch, b: &TopKBatch, ctx: &str) {
+    assert_eq!(a.n_users(), b.n_users(), "{ctx}");
+    for j in 0..a.n_users() {
+        let (x, y) = (a.user(j), b.user(j));
+        assert_eq!(x.len(), y.len(), "{ctx} user-slot {j}");
+        for (r, s) in x.iter().zip(y) {
+            assert_eq!(r.item, s.item, "{ctx} user-slot {j}");
+            assert_eq!(r.score.to_bits(), s.score.to_bits(), "{ctx} user-slot {j}");
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_across_shards_and_k() {
+    let (n_users, n_items) = (29, 463);
+    let index = random_index(n_users, n_items, 7, 0x5AAD);
+    let seen = random_seen(n_users, n_items, 35, 0xFACE);
+    let users: Vec<usize> = (0..57).map(|j| (j * 11) % n_users).collect();
+    let engine = TopKEngine::new();
+    let mut scratch = ShardScratch::default();
+    let mut sharded = TopKBatch::new();
+    for k in [1usize, 10, 50] {
+        let want = engine.recommend(&index, &users, k, Some(&seen));
+        for n_shards in [1usize, 2, 7, 16] {
+            engine.recommend_sharded_into(
+                &index,
+                n_shards,
+                &users,
+                k,
+                Some(&seen),
+                &mut scratch,
+                &mut sharded,
+            );
+            assert_bitwise_eq(&sharded, &want, &format!("S={n_shards} k={k}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_is_bit_identical_across_thread_widths() {
+    let (n_users, n_items) = (19, 301);
+    let index = random_index(n_users, n_items, 9, 0xA11CE);
+    let seen = random_seen(n_users, n_items, 25, 0xB0B);
+    let users: Vec<usize> = (0..40).map(|j| (j * 7) % n_users).collect();
+    let engine = TopKEngine::new();
+    let baseline = dt_parallel::with_thread_limit(1, || {
+        engine.recommend_sharded(&index, 7, &users, 10, Some(&seen))
+    });
+    let unsharded =
+        dt_parallel::with_thread_limit(1, || engine.recommend(&index, &users, 10, Some(&seen)));
+    assert_bitwise_eq(&baseline, &unsharded, "width 1 vs unsharded");
+    for width in [2usize, 8] {
+        let wide = dt_parallel::with_thread_limit(width, || {
+            engine.recommend_sharded(&index, 7, &users, 10, Some(&seen))
+        });
+        assert_bitwise_eq(&wide, &baseline, &format!("width {width}"));
+    }
+}
+
+#[test]
+fn pooled_and_fresh_buffers_agree_bitwise() {
+    let index = random_index(13, 157, 6, 0xDECADE);
+    let users: Vec<usize> = (0..24).map(|j| (j * 5) % 13).collect();
+    let engine = TopKEngine::new();
+    let pooled = engine.recommend_sharded(&index, 7, &users, 9, None);
+    let fresh =
+        dt_tensor::pool::with_disabled(|| engine.recommend_sharded(&index, 7, &users, 9, None));
+    assert_eq!(pooled, fresh);
+}
+
+#[test]
+fn more_shards_than_items_still_exact() {
+    // Empty tail shards must contribute nothing, not corrupt the merge.
+    let index = random_index(5, 11, 3, 0x77);
+    let engine = TopKEngine::new();
+    let want = engine.recommend(&index, &[0, 4, 2], 11, None);
+    let got = engine.recommend_sharded(&index, 16, &[0, 4, 2], 11, None);
+    assert_bitwise_eq(&got, &want, "S=16 > M=11");
+}
+
+#[test]
+fn duplicate_scores_break_ties_by_item_id() {
+    // Rank-0 index: every item ties; the merged tie-break must equal the
+    // global item-id order regardless of which shard offered the item.
+    let p = Tensor::zeros(3, 2);
+    let q = Tensor::zeros(50, 2);
+    let index = ScoringIndex::new(p, q, vec![0.0; 3], vec![0.25; 50], 1.0);
+    let batch = TopKEngine::new().recommend_sharded(&index, 7, &[2, 0], 6, None);
+    for j in 0..2 {
+        let items: Vec<u32> = batch.user(j).iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4, 5]);
+    }
+}
+
+#[test]
+fn reused_scratch_and_batch_match_fresh_after_shape_changes() {
+    let index = random_index(9, 83, 4, 0x99);
+    let engine = TopKEngine::new();
+    let mut scratch = ShardScratch::default();
+    let mut reused = TopKBatch::new();
+    // Fill with one geometry, then a different one: stale state must not leak.
+    engine.recommend_sharded_into(
+        &index,
+        5,
+        &[0, 1, 2, 3, 4],
+        13,
+        None,
+        &mut scratch,
+        &mut reused,
+    );
+    engine.recommend_sharded_into(&index, 3, &[8, 8, 3], 2, None, &mut scratch, &mut reused);
+    let fresh = engine.recommend_sharded(&index, 3, &[8, 8, 3], 2, None);
+    assert_eq!(reused, fresh);
+}
+
+#[test]
+fn excluding_the_whole_catalog_empties_a_user() {
+    let index = random_index(4, 12, 3, 9);
+    let all: Vec<(u32, u32)> = (0..12).map(|i| (1u32, i)).collect();
+    let seen = SeenLists::from_pairs(4, all);
+    let batch = TopKEngine::new().recommend_sharded(&index, 5, &[0, 1], 5, Some(&seen));
+    assert_eq!(batch.user(0).len(), 5);
+    assert!(batch.user(1).is_empty());
+}
+
+#[test]
+fn tiny_block_budget_matches_one_shot() {
+    // Forcing one user per block exercises the block loop + stripe merge.
+    let index = random_index(11, 97, 5, 0x1234);
+    let users: Vec<usize> = (0..17).map(|j| (j * 3) % 11).collect();
+    let split = TopKEngine::with_block_elems(1).recommend_sharded(&index, 4, &users, 8, None);
+    let whole = TopKEngine::new().recommend_sharded(&index, 4, &users, 8, None);
+    assert_eq!(split, whole);
+}
+
+#[test]
+fn k_zero_and_empty_users_are_clean() {
+    let index = random_index(3, 10, 2, 5);
+    let engine = TopKEngine::new();
+    let empty_k = engine.recommend_sharded(&index, 4, &[0, 1], 0, None);
+    assert_eq!(empty_k.n_users(), 2);
+    assert!(empty_k.user(0).is_empty());
+    let no_users = engine.recommend_sharded(&index, 4, &[], 5, None);
+    assert_eq!(no_users.n_users(), 0);
+}

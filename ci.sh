@@ -34,8 +34,8 @@ cargo test --workspace -q
 # (generators, queue, batcher, worker arms) — both writing to scratch paths
 # so the committed BENCH_quant.json / BENCH_load.json stay untouched.
 for t in 1 2 8; do
-    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-load -p dt-bench (DT_NUM_THREADS=$t)"
-    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-load -p dt-bench
+    echo "==> cargo test -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-cache -p dt-load -p dt-bench (DT_NUM_THREADS=$t)"
+    DT_NUM_THREADS=$t cargo test -q -p dt-tensor -p dt-parallel -p dt-serve -p dt-metrics -p dt-cache -p dt-load -p dt-bench
     echo "==> cargo test -p dt-tensor --test quant_props (DT_NUM_THREADS=$t)"
     DT_NUM_THREADS=$t cargo test -q -p dt-tensor --test quant_props
     echo "==> gen_quant --smoke (DT_NUM_THREADS=$t)"

@@ -1,5 +1,5 @@
 //! Load-replay report: the serving stack under sustained concurrent
-//! traffic, for `BENCH_load.json` (schema `dt-bench/load/v1`).
+//! traffic, for `BENCH_load.json` (schema `dt-bench/load/v2`).
 //!
 //! Where `BENCH_serve`/`ann`/`quant` time one query batch in isolation,
 //! this report drives the [`dt_load`] harness end to end: Zipf-popular
@@ -17,7 +17,11 @@
 //! The sweep covers intra-query width ([`crate::serve::SWEEP_WIDTHS`],
 //! forced per dispatch through `dt_parallel::with_thread_limit` inside
 //! the workers) × engine arm × offered load (an underload and an
-//! overload point) × batching policy (single-query vs coalescing).
+//! overload point) × batching policy (single-query vs coalescing) ×
+//! result cache (off / per-worker CLOCK / shared sharded — `dt-cache`,
+//! schema v2). Cached rows report the whole-run hit rate and stale
+//! evictions; cache hits are bitwise identical to fresh dispatch, so
+//! the qps lift is pure saved scoring bandwidth, not changed answers.
 //! Latency numbers are host-dependent by nature — every row carries
 //! `host_threads` so oversubscribed runs are self-describing — but the
 //! *offered* traffic is deterministic (seeded per-thread streams) and
@@ -28,12 +32,16 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
-use dt_load::{run_load, AdmissionPolicy, ArmScratch, BatchPolicy, EngineArm, LoadConfig};
+use dt_cache::{ClockCache, SharedCache};
+use dt_load::{
+    dispatch_cached, run_load, AdmissionPolicy, ArmScratch, BatchPolicy, CacheMode, CacheScratch,
+    EngineArm, LoadConfig,
+};
 use dt_serve::{IvfIndex, IvfParams, PanelDtype, TopKBatch, TopKEngine};
 use dt_tensor::pool;
 
-/// One sweep point: `(arm, width, offered load, policy)` plus the
-/// merged steady-state telemetry of its run.
+/// One sweep point: `(arm, width, offered load, policy, cache)` plus
+/// the merged steady-state telemetry of its run.
 pub struct LoadMeasurement {
     pub arm: &'static str,
     pub m: usize,
@@ -41,12 +49,16 @@ pub struct LoadMeasurement {
     pub threads: usize,
     pub policy: String,
     pub admission: &'static str,
+    pub cache: &'static str,
+    pub cache_capacity: usize,
     pub offered_qps: f64,
     pub completed: u64,
     pub measured: u64,
     pub qps: f64,
     pub shed_rate: f64,
     pub mean_batch: f64,
+    pub hit_rate: f64,
+    pub stale_evictions: u64,
     pub p50_wait_ms: f64,
     pub p99_wait_ms: f64,
     pub p50_service_ms: f64,
@@ -61,19 +73,61 @@ const N_USERS: usize = 2048;
 const DIM: usize = 32;
 const K: usize = 10;
 
-/// Steady-state alloc probe for one arm: warm-up dispatch, then the
+/// Steady-state alloc probe for one `(arm, cache mode)`: warm-up
+/// dispatch through the same code path the workers run (uncached
+/// dispatch, or probe → miss sub-batch → scatter + insert), then the
 /// pool's fresh-alloc delta per batch over `probe_batches` (width 1 —
-/// the probe is width-independent by the determinism contract).
-fn alloc_probe(engine: &TopKEngine, arm: &EngineArm<'_>) -> f64 {
-    let users: Vec<usize> = (0..64).map(|j| (j * 131) % N_USERS).collect();
+/// the probe is width-independent by the determinism contract). The
+/// probed batches alternate warm and cold users so cached modes
+/// exercise the hit, miss, and mixed paths.
+fn alloc_probe(engine: &TopKEngine, arm: &EngineArm<'_>, cache: CacheMode) -> f64 {
+    let warm: Vec<usize> = (0..64).map(|j| (j * 131) % N_USERS).collect();
+    let cold: Vec<usize> = (0..64).map(|j| (j * 67 + 1) % N_USERS).collect();
+    let mut local = match cache {
+        CacheMode::PerWorker { capacity } => Some(ClockCache::new(capacity, K)),
+        CacheMode::Off | CacheMode::Shared { .. } => None,
+    };
+    let shared = match cache {
+        CacheMode::Shared { capacity, shards } => Some(SharedCache::new(capacity, K, shards)),
+        CacheMode::Off | CacheMode::PerWorker { .. } => None,
+    };
     dt_parallel::with_thread_limit(1, || {
         let mut scratch = ArmScratch::default();
+        let mut cs = CacheScratch::default();
         let mut out = TopKBatch::new();
-        arm.dispatch(engine, &users, K, None, &mut scratch, &mut out);
-        let probe_batches = 5usize;
+        let mut one = |users: &[usize], scratch: &mut ArmScratch, cs: &mut CacheScratch| match (
+            &mut local, &shared,
+        ) {
+            (Some(cache), _) => {
+                dispatch_cached(cache, arm, engine, users, K, None, scratch, cs, &mut out);
+            }
+            (None, Some(store)) => {
+                let mut view = store;
+                dispatch_cached(
+                    &mut view, arm, engine, users, K, None, scratch, cs, &mut out,
+                );
+            }
+            (None, None) => arm.dispatch(engine, users, K, None, scratch, &mut out),
+        };
+        // Warm-up must cover the full alternating warm/cold cycle: the
+        // miss sub-batch shrinks as the store fills, and the pool keys
+        // its free lists by buffer size, so every steady-state
+        // sub-batch size has to be seen once before measuring.
+        for i in 0..4 {
+            one(
+                if i % 2 == 0 { &warm } else { &cold },
+                &mut scratch,
+                &mut cs,
+            );
+        }
+        let probe_batches = 6usize;
         let before = pool::stats();
-        for _ in 0..probe_batches {
-            arm.dispatch(engine, &users, K, None, &mut scratch, &mut out);
+        for i in 0..probe_batches {
+            one(
+                if i % 2 == 0 { &warm } else { &cold },
+                &mut scratch,
+                &mut cs,
+            );
         }
         let after = pool::stats();
         (after.fresh_allocs - before.fresh_allocs) as f64 / probe_batches as f64
@@ -91,6 +145,7 @@ pub fn run_measurements(
     widths: &[usize],
     offered: &[f64],
     policies: &[BatchPolicy],
+    caches: &[CacheMode],
     warmup: Duration,
     duration: Duration,
 ) -> Vec<LoadMeasurement> {
@@ -123,46 +178,53 @@ pub fn run_measurements(
 
     let mut out = Vec::new();
     for arm in &arms {
-        let allocs_per_batch = alloc_probe(&engine, arm);
-        for &w in widths {
-            for &offered_qps in offered {
-                for policy in policies {
-                    let cfg = LoadConfig {
-                        n_generators: 2,
-                        n_workers: 2,
-                        queue_capacity: 256,
-                        admission: AdmissionPolicy::Shed,
-                        policy: *policy,
-                        zipf_exponent: 1.1,
-                        offered_qps,
-                        warmup,
-                        duration,
-                        k: K,
-                        intra_width: w,
-                        seed: 0x5EED ^ m as u64,
-                    };
-                    let report = run_load(&cfg, &engine, arm, None);
-                    out.push(LoadMeasurement {
-                        arm: arm.label(),
-                        m,
-                        k: K,
-                        threads: w,
-                        policy: policy.label(),
-                        admission: cfg.admission.label(),
-                        offered_qps,
-                        completed: report.completed,
-                        measured: report.measured,
-                        qps: report.qps(),
-                        shed_rate: report.shed_rate(),
-                        mean_batch: report.mean_batch(),
-                        p50_wait_ms: report.queue_wait.quantile_ms(0.5),
-                        p99_wait_ms: report.queue_wait.quantile_ms(0.99),
-                        p50_service_ms: report.service.quantile_ms(0.5),
-                        p99_service_ms: report.service.quantile_ms(0.99),
-                        p50_total_ms: report.total.quantile_ms(0.5),
-                        p99_total_ms: report.total.quantile_ms(0.99),
-                        allocs_per_batch,
-                    });
+        for &cache in caches {
+            let allocs_per_batch = alloc_probe(&engine, arm, cache);
+            for &w in widths {
+                for &offered_qps in offered {
+                    for policy in policies {
+                        let cfg = LoadConfig {
+                            n_generators: 2,
+                            n_workers: 2,
+                            queue_capacity: 256,
+                            admission: AdmissionPolicy::Shed,
+                            policy: *policy,
+                            zipf_exponent: 1.1,
+                            offered_qps,
+                            warmup,
+                            duration,
+                            k: K,
+                            intra_width: w,
+                            seed: 0x5EED ^ m as u64,
+                            cache,
+                        };
+                        let report = run_load(&cfg, &engine, arm, None);
+                        out.push(LoadMeasurement {
+                            arm: arm.label(),
+                            m,
+                            k: K,
+                            threads: w,
+                            policy: policy.label(),
+                            admission: cfg.admission.label(),
+                            cache: cache.label(),
+                            cache_capacity: cache.capacity(),
+                            offered_qps,
+                            completed: report.completed,
+                            measured: report.measured,
+                            qps: report.qps(),
+                            shed_rate: report.shed_rate(),
+                            mean_batch: report.mean_batch(),
+                            hit_rate: report.hit_rate(),
+                            stale_evictions: report.cache.stale_evictions,
+                            p50_wait_ms: report.queue_wait.quantile_ms(0.5),
+                            p99_wait_ms: report.queue_wait.quantile_ms(0.99),
+                            p50_service_ms: report.service.quantile_ms(0.5),
+                            p99_service_ms: report.service.quantile_ms(0.99),
+                            p50_total_ms: report.total.quantile_ms(0.5),
+                            p99_total_ms: report.total.quantile_ms(0.99),
+                            allocs_per_batch,
+                        });
+                    }
                 }
             }
         }
@@ -170,12 +232,12 @@ pub fn run_measurements(
     out
 }
 
-/// Renders the report as JSON (schema `dt-bench/load/v1`).
+/// Renders the report as JSON (schema `dt-bench/load/v2`).
 #[must_use]
 pub fn render_report(results: &[LoadMeasurement]) -> String {
     let host = crate::report::host_threads();
     let mut s = crate::report::bench_header(
-        "dt-bench/load/v1",
+        "dt-bench/load/v2",
         "serving under replayed heavy traffic: the dt-load harness drives \
          each engine arm (exact, item-sharded exact, IVF nprobe-8, \
          scaled-i8 quantized scan) with Zipf(1.1) users offered as a \
@@ -193,7 +255,15 @@ pub fn render_report(results: &[LoadMeasurement]) -> String {
          (8 sub-buckets per octave: reported bounds are within 12.5% of \
          the true sample quantile). allocs_per_batch is the post-warm-up \
          dt_tensor::pool::stats fresh-alloc delta per dispatched batch — \
-         the steady-state serving loop allocates nothing on every arm. \
+         the steady-state serving loop allocates nothing on every arm, \
+         cached or not. cache is the dt-cache result cache in front of \
+         dispatch (off, per-worker CLOCK store, or shared sharded store; \
+         cache_capacity is stripes per worker resp. total); cached rows \
+         report the whole-run hit_rate (cold warm-up misses included) \
+         and stale_evictions (epoch-lagging entries lazily evicted on \
+         probe — zero here, no epoch bump happens mid-run). Cache hits \
+         replay stored stripes verbatim, bitwise identical to fresh \
+         dispatch, and their service latency is the probe phase alone. \
          The offered traffic is deterministic (seeded per-thread \
          SplitMix64 streams); the latencies are whatever the host \
          delivers.",
@@ -206,9 +276,11 @@ pub fn render_report(results: &[LoadMeasurement]) -> String {
             s,
             "    {{\"arm\": \"{}\", \"m\": {}, \"k\": {}, \"threads\": {}, \
              \"host_threads\": {host}, \"policy\": \"{}\", \
-             \"admission\": \"{}\", \"offered_qps\": {:.0}, \
+             \"admission\": \"{}\", \"cache\": \"{}\", \
+             \"cache_capacity\": {}, \"offered_qps\": {:.0}, \
              \"completed\": {}, \"measured\": {}, \"qps\": {:.1}, \
              \"shed_rate\": {:.4}, \"mean_batch\": {:.2}, \
+             \"hit_rate\": {:.4}, \"stale_evictions\": {}, \
              \"p50_wait_ms\": {:.3}, \"p99_wait_ms\": {:.3}, \
              \"p50_service_ms\": {:.3}, \"p99_service_ms\": {:.3}, \
              \"p50_total_ms\": {:.3}, \"p99_total_ms\": {:.3}, \
@@ -219,12 +291,16 @@ pub fn render_report(results: &[LoadMeasurement]) -> String {
             r.threads,
             r.policy,
             r.admission,
+            r.cache,
+            r.cache_capacity,
             r.offered_qps,
             r.completed,
             r.measured,
             r.qps,
             r.shed_rate,
             r.mean_batch,
+            r.hit_rate,
+            r.stale_evictions,
             r.p50_wait_ms,
             r.p99_wait_ms,
             r.p50_service_ms,
@@ -241,15 +317,18 @@ pub fn render_report(results: &[LoadMeasurement]) -> String {
 fn eprint_rows(results: &[LoadMeasurement]) {
     for r in results {
         eprintln!(
-            "load {:7} t={} {:9} offered {:6.0}/s  qps {:7.1}  shed {:.3}  \
-             batch {:5.2}  p50/p99 total {:7.3}/{:8.3} ms  allocs/batch {:.1}",
+            "load {:7} t={} {:9} cache {:10} offered {:6.0}/s  qps {:7.1}  \
+             shed {:.3}  batch {:5.2}  hit {:.3}  p50/p99 total \
+             {:7.3}/{:8.3} ms  allocs/batch {:.1}",
             r.arm,
             r.threads,
             r.policy,
+            r.cache,
             r.offered_qps,
             r.qps,
             r.shed_rate,
             r.mean_batch,
+            r.hit_rate,
             r.p50_total_ms,
             r.p99_total_ms,
             r.allocs_per_batch,
@@ -271,10 +350,27 @@ pub fn full_policies() -> [BatchPolicy; 2] {
     ]
 }
 
+/// The three cache modes of the full sweep: the PR 9 uncached baseline,
+/// a 1024-stripe per-worker CLOCK store, and a 1024-stripe shared store
+/// over 8 mutex shards. 1024 stripes cover half the 2048-user pool —
+/// far more than the Zipf(1.1) head needs, so steady-state hit rates
+/// are popularity-limited, not capacity-limited.
+#[must_use]
+pub fn full_caches() -> [CacheMode; 3] {
+    [
+        CacheMode::Off,
+        CacheMode::PerWorker { capacity: 1024 },
+        CacheMode::Shared {
+            capacity: 1024,
+            shards: 8,
+        },
+    ]
+}
+
 /// Runs the full sweep — `M = 10⁵`, widths `SWEEP_WIDTHS`, an underload
-/// and an overload point, both policies — and writes `BENCH_load.json`
-/// to `path`. Takes a minute or two of wall time by construction (each
-/// row is a timed experiment).
+/// and an overload point, both policies, all three cache modes — and
+/// writes `BENCH_load.json` to `path`. Takes several minutes of wall
+/// time by construction (each row is a timed experiment).
 ///
 /// # Errors
 /// Propagates the underlying file-write error.
@@ -284,8 +380,13 @@ pub fn write_load_report(path: &Path) -> std::io::Result<()> {
         &crate::serve::SWEEP_WIDTHS,
         &[400.0, 4_000.0],
         &full_policies(),
-        Duration::from_millis(250),
-        Duration::from_millis(1_000),
+        &full_caches(),
+        // The warm-up must be long enough for the caches to fill at the
+        // *served* rate (an overloaded uncached arm completes only a few
+        // hundred queries/s), or cached rows measure the ramp, not the
+        // steady state.
+        Duration::from_millis(750),
+        Duration::from_millis(2_000),
     );
     std::fs::write(path, render_report(&results))?;
     eprint_rows(&results);
@@ -312,6 +413,13 @@ pub fn write_load_smoke_report(path: &Path) -> std::io::Result<()> {
                 max_delay: Duration::from_millis(1),
             },
         ],
+        &[
+            CacheMode::Off,
+            CacheMode::Shared {
+                capacity: 256,
+                shards: 4,
+            },
+        ],
         Duration::from_millis(40),
         Duration::from_millis(160),
     );
@@ -334,24 +442,50 @@ mod tests {
                 max_batch: 8,
                 max_delay: Duration::from_millis(1),
             }],
+            &[
+                CacheMode::Off,
+                CacheMode::Shared {
+                    capacity: 256,
+                    shards: 2,
+                },
+            ],
             Duration::from_millis(30),
             Duration::from_millis(120),
         );
-        assert_eq!(rows.len(), 4); // one per arm
+        assert_eq!(rows.len(), 8); // arm x cache
         for r in &rows {
-            assert!(r.completed > 0, "{}: no traffic served", r.arm);
+            assert!(r.completed > 0, "{}/{}: no traffic served", r.arm, r.cache);
             assert!(r.qps >= 0.0);
             assert!(r.shed_rate >= 0.0 && r.shed_rate <= 1.0);
             assert!(
                 r.allocs_per_batch == 0.0,
-                "{}: steady-state dispatch allocated ({} per batch)",
+                "{}/{}: steady-state dispatch allocated ({} per batch)",
                 r.arm,
+                r.cache,
                 r.allocs_per_batch
             );
             assert!(r.p99_total_ms >= r.p50_total_ms);
+            match r.cache {
+                "off" => {
+                    assert_eq!(r.cache_capacity, 0);
+                    assert_eq!(r.hit_rate, 0.0, "{}: uncached row probed", r.arm);
+                }
+                _ => {
+                    assert_eq!(r.cache_capacity, 256);
+                    assert!(
+                        r.hit_rate > 0.0,
+                        "{}: cached row never hit under Zipf head traffic",
+                        r.arm
+                    );
+                    assert_eq!(r.stale_evictions, 0, "no epoch bump happens mid-run");
+                }
+            }
         }
         let labels: Vec<&str> = rows.iter().map(|r| r.arm).collect();
-        assert_eq!(labels, vec!["exact", "sharded", "ivf", "quant"]);
+        assert_eq!(
+            labels,
+            vec!["exact", "exact", "sharded", "sharded", "ivf", "ivf", "quant", "quant"]
+        );
     }
 
     #[test]
@@ -363,12 +497,16 @@ mod tests {
             threads: 8,
             policy: "b64d2000us".to_owned(),
             admission: "shed",
+            cache: "shared",
+            cache_capacity: 1024,
             offered_qps: 4_000.0,
             completed: 12_345,
             measured: 10_000,
             qps: 2_500.5,
             shed_rate: 0.375,
             mean_batch: 12.25,
+            hit_rate: 0.8125,
+            stale_evictions: 0,
             p50_wait_ms: 0.5,
             p99_wait_ms: 4.25,
             p50_service_ms: 1.5,
@@ -378,14 +516,18 @@ mod tests {
             allocs_per_batch: 0.0,
         };
         let json = render_report(&[m]);
-        assert!(json.contains("\"schema\": \"dt-bench/load/v1\""));
+        assert!(json.contains("\"schema\": \"dt-bench/load/v2\""));
         assert!(json.contains("\"arm\": \"exact\""));
         assert!(json.contains("\"policy\": \"b64d2000us\""));
         assert!(json.contains("\"admission\": \"shed\""));
+        assert!(json.contains("\"cache\": \"shared\""));
+        assert!(json.contains("\"cache_capacity\": 1024"));
         assert!(json.contains("\"offered_qps\": 4000"));
         assert!(json.contains("\"qps\": 2500.5"));
         assert!(json.contains("\"shed_rate\": 0.3750"));
         assert!(json.contains("\"mean_batch\": 12.25"));
+        assert!(json.contains("\"hit_rate\": 0.8125"));
+        assert!(json.contains("\"stale_evictions\": 0"));
         assert!(json.contains("\"allocs_per_batch\": 0.0"));
         assert!(json.contains("\"git_rev\": \""));
         assert!(json.trim_end().ends_with('}'));

@@ -1,0 +1,401 @@
+//! The open-addressed CLOCK result store (DESIGN.md section 17).
+//!
+//! One store is a fixed-capacity slot table plus a parallel stripe slab
+//! of `(item id, score)` pairs, both sized at construction — probes and
+//! inserts after that perform zero allocations, which is what lets the
+//! per-worker store sit inside the zero-alloc serving loop. Placement is
+//! open addressing: a key lives somewhere in the `PROBE_WINDOW` slots
+//! starting at `slot_hash % capacity`, and both probe and insert scan
+//! that whole window (never early-exiting on an empty slot, so stale
+//! evictions cannot break lookup chains).
+//!
+//! Eviction is CLOCK/second-chance, windowed: every hit or insert sets
+//! the slot's reference bit; when an insert finds its window full, a
+//! hand sweeps the window clearing reference bits and evicts the first
+//! slot found unreferenced (at most two passes). With `capacity ≤
+//! PROBE_WINDOW` the window covers the whole table and this is textbook
+//! CLOCK; larger tables run one independent clock per window, which
+//! keeps eviction O(window) instead of O(capacity).
+//!
+//! Epoch invalidation is lazy (see [`crate::key`]): a probe or insert
+//! that finds the same `(user, fingerprint)` at an older epoch drops it
+//! on the spot and counts a stale eviction — `bump_epoch` itself never
+//! touches the store.
+
+use dt_metrics::CacheCounters;
+use dt_tensor::topk::Ranked;
+
+use crate::key::CacheKey;
+use crate::ResultCache;
+
+/// Slots scanned per probe/insert, starting at the key's base slot.
+pub const PROBE_WINDOW: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: CacheKey,
+    /// Filled stripe length (≤ k).
+    len: u32,
+    /// Slot holds a live entry.
+    occupied: bool,
+    /// CLOCK reference bit: set on hit/insert, cleared by the sweep.
+    referenced: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: CacheKey {
+        user: 0,
+        epoch: 0,
+        arm_fingerprint: 0,
+    },
+    len: 0,
+    occupied: false,
+    referenced: false,
+};
+
+/// The store shared by [`ClockCache`] (one per worker) and each shard of
+/// [`crate::SharedCache`].
+#[derive(Debug, Clone)]
+pub(crate) struct ClockCore {
+    slots: Vec<Slot>,
+    /// `capacity × k` stripe slab, parallel to `slots`.
+    stripes: Vec<Ranked>,
+    k: usize,
+    window: usize,
+    /// Sweep start offset within a window, advanced past each victim so
+    /// consecutive evictions rotate through the window.
+    hand: usize,
+    live: usize,
+    counters: CacheCounters,
+}
+
+impl ClockCore {
+    pub(crate) fn new(capacity: usize, k: usize) -> Self {
+        assert!(capacity > 0, "result cache: capacity must be positive");
+        assert!(k > 0, "result cache: k must be positive");
+        Self {
+            slots: vec![EMPTY_SLOT; capacity], // alloc-ok: construction-time slab
+            stripes: vec![Ranked::TOMBSTONE; capacity * k], // alloc-ok: construction-time slab
+            k,
+            window: PROBE_WINDOW.min(capacity),
+            hand: 0,
+            live: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    fn base(&self, key: &CacheKey) -> usize {
+        (key.slot_hash() % self.slots.len() as u64) as usize
+    }
+
+    /// Drops the entry in `idx` because `key` supersedes it.
+    fn evict_stale(&mut self, idx: usize) {
+        self.slots[idx].occupied = false;
+        self.slots[idx].referenced = false;
+        self.live -= 1;
+        self.counters.stale_evictions += 1;
+    }
+
+    fn write(&mut self, idx: usize, key: &CacheKey, stripe: &[Ranked]) {
+        self.slots[idx] = Slot {
+            key: *key,
+            len: stripe.len() as u32,
+            occupied: true,
+            referenced: true,
+        };
+        self.stripes[idx * self.k..idx * self.k + stripe.len()].copy_from_slice(stripe);
+    }
+
+    pub(crate) fn probe(&mut self, key: &CacheKey, out: &mut [Ranked]) -> Option<usize> {
+        let base = self.base(key);
+        let cap = self.slots.len();
+        for i in 0..self.window {
+            let idx = (base + i) % cap;
+            if !self.slots[idx].occupied {
+                continue;
+            }
+            if self.slots[idx].key == *key {
+                self.slots[idx].referenced = true;
+                let n = self.slots[idx].len as usize;
+                assert!(
+                    out.len() >= n,
+                    "result cache: probe output holds {} slots, stripe has {n}",
+                    out.len()
+                );
+                out[..n].copy_from_slice(&self.stripes[idx * self.k..idx * self.k + n]);
+                self.counters.hits += 1;
+                return Some(n);
+            }
+            if key.supersedes(&self.slots[idx].key) {
+                // Same user/arm at an older epoch: lazily invalidate and
+                // keep scanning (the current-epoch entry, if any, sits
+                // elsewhere in this same window).
+                self.evict_stale(idx);
+            }
+        }
+        self.counters.misses += 1;
+        None
+    }
+
+    pub(crate) fn insert(&mut self, key: &CacheKey, stripe: &[Ranked]) {
+        assert!(
+            stripe.len() <= self.k,
+            "result cache: stripe of {} exceeds slab width {}",
+            stripe.len(),
+            self.k
+        );
+        let base = self.base(key);
+        let cap = self.slots.len();
+        let mut free: Option<usize> = None;
+        for i in 0..self.window {
+            let idx = (base + i) % cap;
+            if self.slots[idx].occupied {
+                if self.slots[idx].key == *key {
+                    // Refresh in place (same key re-dispatched, e.g. a
+                    // duplicate user inside one batch).
+                    self.write(idx, key, stripe);
+                    return;
+                }
+                if key.supersedes(&self.slots[idx].key) {
+                    self.evict_stale(idx);
+                    free.get_or_insert(idx);
+                }
+            } else {
+                free.get_or_insert(idx);
+            }
+        }
+        if let Some(idx) = free {
+            self.write(idx, key, stripe);
+            self.live += 1;
+            return;
+        }
+        // Window full of live entries: second-chance sweep. Referenced
+        // slots spend their reference bit and survive; the first
+        // unreferenced slot is the victim. After one full clearing pass
+        // every slot is unreferenced, so the sweep terminates within two
+        // window lengths.
+        let start = self.hand;
+        let mut i = 0;
+        let victim = loop {
+            let idx = (base + (start + i) % self.window) % cap;
+            if self.slots[idx].referenced {
+                self.slots[idx].referenced = false;
+                i += 1;
+            } else {
+                break idx;
+            }
+        };
+        self.hand = (start + i + 1) % self.window;
+        self.counters.evictions += 1;
+        self.write(victim, key, stripe);
+    }
+
+    pub(crate) fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// A per-worker result cache: one [`ClockCore`] owned by a single
+/// thread. No locks anywhere — the worker's serving loop probes before
+/// dispatch and inserts after, and both are plain slice scans.
+#[derive(Debug, Clone)]
+pub struct ClockCache {
+    core: ClockCore,
+}
+
+impl ClockCache {
+    /// A store holding at most `capacity` stripes of up to `k` entries.
+    /// Both slabs are allocated here, once; probes and inserts never
+    /// allocate.
+    ///
+    /// # Panics
+    /// Panics when `capacity` or `k` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, k: usize) -> Self {
+        Self {
+            core: ClockCore::new(capacity, k),
+        }
+    }
+
+    /// Live entries currently stored (≤ capacity, by construction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// `true` when no entry is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.core.len() == 0
+    }
+
+    /// The fixed slot count chosen at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.core.capacity()
+    }
+
+    /// The stripe slab width (maximum cached K).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.core.k()
+    }
+}
+
+impl ResultCache for ClockCache {
+    fn probe(&mut self, key: &CacheKey, out: &mut [Ranked]) -> Option<usize> {
+        self.core.probe(key, out)
+    }
+
+    fn insert(&mut self, key: &CacheKey, stripe: &[Ranked]) {
+        self.core.insert(key, stripe)
+    }
+
+    fn counters(&self) -> CacheCounters {
+        self.core.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(user: u64, epoch: u64) -> CacheKey {
+        CacheKey {
+            user,
+            epoch,
+            arm_fingerprint: 0xFEED,
+        }
+    }
+
+    fn stripe(tag: u32, n: usize) -> Vec<Ranked> {
+        (0..n)
+            .map(|i| Ranked {
+                item: tag * 100 + i as u32,
+                score: f64::from(tag) - i as f64 * 0.125,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probe_returns_exact_inserted_bits() {
+        let mut c = ClockCache::new(16, 4);
+        let s = stripe(3, 3);
+        c.insert(&key(7, 0), &s);
+        let mut out = [Ranked::TOMBSTONE; 4];
+        let n = c.probe(&key(7, 0), &mut out).expect("hit");
+        assert_eq!(n, 3);
+        for (got, want) in out[..3].iter().zip(&s) {
+            assert_eq!(got.item, want.item);
+            assert_eq!(got.score.to_bits(), want.score.to_bits());
+        }
+        assert!(out[3].is_tombstone(), "slots past the stripe untouched");
+        let counters = c.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 0));
+    }
+
+    #[test]
+    fn miss_and_reinsert_refreshes_in_place() {
+        let mut c = ClockCache::new(8, 2);
+        let mut out = [Ranked::TOMBSTONE; 2];
+        assert!(c.probe(&key(1, 0), &mut out).is_none());
+        c.insert(&key(1, 0), &stripe(1, 2));
+        c.insert(&key(1, 0), &stripe(9, 1));
+        assert_eq!(c.len(), 1, "refresh must not duplicate the entry");
+        let n = c.probe(&key(1, 0), &mut out).expect("hit");
+        assert_eq!(n, 1);
+        assert_eq!(out[0].item, 900);
+    }
+
+    #[test]
+    fn stale_epoch_is_never_served_and_is_evicted_on_probe() {
+        let mut c = ClockCache::new(8, 2);
+        c.insert(&key(5, 0), &stripe(5, 2));
+        let mut out = [Ranked::TOMBSTONE; 2];
+        // Newer-epoch probe: miss, and the stale entry dies in place.
+        assert!(c.probe(&key(5, 1), &mut out).is_none());
+        assert_eq!(c.counters().stale_evictions, 1);
+        assert_eq!(c.len(), 0);
+        // The old-epoch key is gone too (it was the same slot).
+        assert!(c.probe(&key(5, 0), &mut out).is_none());
+        // An older-epoch probe never serves a newer entry either.
+        c.insert(&key(5, 3), &stripe(7, 2));
+        assert!(c.probe(&key(5, 2), &mut out).is_none());
+        assert_eq!(
+            c.counters().stale_evictions,
+            1,
+            "older probe must not evict a newer entry"
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_at_newer_epoch_displaces_the_stale_entry() {
+        let mut c = ClockCache::new(4, 2);
+        c.insert(&key(2, 0), &stripe(1, 2));
+        c.insert(&key(2, 1), &stripe(2, 2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters().stale_evictions, 1);
+        let mut out = [Ranked::TOMBSTONE; 2];
+        assert!(c.probe(&key(2, 0), &mut out).is_none());
+        assert_eq!(c.probe(&key(2, 1), &mut out), Some(2));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_and_evictions_are_counted() {
+        let mut c = ClockCache::new(4, 2);
+        for u in 0..9 {
+            c.insert(&key(u, 0), &stripe(u as u32, 2));
+            assert!(c.len() <= 4, "live {} exceeds capacity", c.len());
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.counters().evictions, 5);
+    }
+
+    #[test]
+    fn referenced_entries_get_a_second_chance() {
+        // Fill the table, force one eviction (which clears every
+        // reference bit), then re-reference one survivor: the next
+        // eviction must pick an unreferenced slot, never the survivor.
+        let mut c = ClockCache::new(4, 2);
+        for u in 0..4 {
+            c.insert(&key(u, 0), &stripe(u as u32, 2));
+        }
+        c.insert(&key(100, 0), &stripe(100, 2));
+        let mut out = [Ranked::TOMBSTONE; 2];
+        let survivor = (0..4)
+            .find(|&u| c.probe(&key(u, 0), &mut out).is_some())
+            .expect("three of the first four entries survive");
+        c.insert(&key(200, 0), &stripe(200, 2));
+        assert!(
+            c.probe(&key(survivor, 0), &mut out).is_some(),
+            "referenced entry was evicted ahead of unreferenced ones"
+        );
+        assert!(c.probe(&key(200, 0), &mut out).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ClockCache::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slab width")]
+    fn oversized_stripe_panics() {
+        let mut c = ClockCache::new(4, 2);
+        c.insert(&key(0, 0), &stripe(0, 3));
+    }
+}

@@ -1,0 +1,179 @@
+//! Cache keys and arm fingerprints (DESIGN.md section 17).
+//!
+//! A cached top-K stripe is only reusable when three things agree: the
+//! *user* being served, the *index epoch* the stripe was computed at,
+//! and the *retrieval configuration* that produced it — arm kind, K,
+//! serving dtype, IVF geometry, shard count. The first two are explicit
+//! key fields; the third is folded into a 64-bit [`Fingerprint`] so
+//! distinct arms (or the same arm at different K/nprobe/dtype) can share
+//! one store without ever aliasing.
+//!
+//! **Epoch is excluded from the slot hash on purpose.** Equality checks
+//! the full key, but [`CacheKey::slot_hash`] mixes only `(user,
+//! fingerprint)` — so after a `bump_epoch`, a new-epoch probe lands in
+//! the *same* probe window as the stale entry, recognises the
+//! user/fingerprint match with a lagging epoch, and evicts it in place.
+//! That is what makes invalidation lazy and O(1): no flush pass ever
+//! walks the store, stale entries die on the next probe (or under
+//! ordinary CLOCK pressure, whichever comes first).
+
+/// Identity of one cached top-K result stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// User the stripe was retrieved for.
+    pub user: u64,
+    /// Index epoch the stripe was computed at (see
+    /// `TopKEngine::bump_epoch` / `QuantizedIndex::bump_epoch`).
+    pub epoch: u64,
+    /// Retrieval-configuration fingerprint ([`Fingerprint::finish`]).
+    pub arm_fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Slot-placement hash: mixes `user` and `arm_fingerprint` but *not*
+    /// `epoch`, so stale-epoch entries stay discoverable (and evictable)
+    /// by the probes that supersede them (module docs).
+    #[must_use]
+    pub fn slot_hash(&self) -> u64 {
+        mix64(self.user ^ mix64(self.arm_fingerprint ^ 0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// `true` when `other` is the same logical entry at an older epoch —
+    /// the lazy-invalidation test applied during probes.
+    #[must_use]
+    pub fn supersedes(&self, other: &CacheKey) -> bool {
+        self.user == other.user
+            && self.arm_fingerprint == other.arm_fingerprint
+            && self.epoch > other.epoch
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer (every input bit
+/// flips each output bit with probability ~1/2), used for slot placement
+/// and shard selection.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Incremental FNV-1a-style fingerprint of a retrieval configuration.
+///
+/// Callers fold the arm kind plus every knob that changes results or
+/// their meaning (K, dtype, nlist/nprobe, shard count when it could
+/// matter) and [`Fingerprint::finish`] the digest into
+/// [`CacheKey::arm_fingerprint`]. Field *order* is significant — use one
+/// canonical construction per arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Starts a fingerprint from the arm-kind label.
+    #[must_use]
+    pub fn new(kind: &str) -> Self {
+        Self(Self::OFFSET).bytes(kind.as_bytes())
+    }
+
+    fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds one configuration field (label + value) into the digest.
+    #[must_use]
+    pub fn with(self, label: &str, value: u64) -> Self {
+        self.bytes(label.as_bytes()).bytes(&value.to_le_bytes())
+    }
+
+    /// The finished 64-bit fingerprint, avalanche-mixed so low-entropy
+    /// configurations still spread across the key space.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        mix64(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_arms_and_knobs() {
+        let exact = Fingerprint::new("exact").with("k", 10).finish();
+        let exact_k50 = Fingerprint::new("exact").with("k", 50).finish();
+        let sharded = Fingerprint::new("sharded")
+            .with("k", 10)
+            .with("shards", 8)
+            .finish();
+        let ivf = Fingerprint::new("ivf")
+            .with("k", 10)
+            .with("nlist", 256)
+            .with("nprobe", 8)
+            .finish();
+        let ivf_wide = Fingerprint::new("ivf")
+            .with("k", 10)
+            .with("nlist", 256)
+            .with("nprobe", 16)
+            .finish();
+        let all = [exact, exact_k50, sharded, ivf, ivf_wide];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "fingerprint collision between configurations");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let a = Fingerprint::new("quant").with("k", 10).with("dtype", 2);
+        let b = Fingerprint::new("quant").with("k", 10).with("dtype", 2);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn slot_hash_ignores_epoch_but_equality_does_not() {
+        let k0 = CacheKey {
+            user: 42,
+            epoch: 0,
+            arm_fingerprint: 7,
+        };
+        let k1 = CacheKey { epoch: 1, ..k0 };
+        assert_eq!(k0.slot_hash(), k1.slot_hash());
+        assert_ne!(k0, k1);
+        assert!(k1.supersedes(&k0));
+        assert!(!k0.supersedes(&k1));
+        assert!(!k1.supersedes(&k1));
+        let other_user = CacheKey { user: 43, ..k1 };
+        assert!(!other_user.supersedes(&k0));
+    }
+
+    #[test]
+    fn slot_hash_spreads_users() {
+        // Consecutive users must not collide in the low bits (slot index
+        // is hash % capacity).
+        let fp = Fingerprint::new("exact").with("k", 10).finish();
+        let mut low: Vec<u64> = (0..64u64)
+            .map(|user| {
+                CacheKey {
+                    user,
+                    epoch: 0,
+                    arm_fingerprint: fp,
+                }
+                .slot_hash()
+                    % 1024
+            })
+            .collect();
+        low.sort_unstable();
+        low.dedup();
+        assert!(low.len() > 56, "only {} distinct slots of 64", low.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! # dt-cache
+//!
+//! Epoch-keyed top-K **result cache** for the serving stack (DESIGN.md
+//! section 17). Under the replayed Zipf traffic of `dt-load`, a small
+//! head of users generates most queries; recomputing their top-K on
+//! every arrival wastes the very scoring bandwidth the overloaded
+//! regime is short of. This crate memoises finished `(item, score)`
+//! stripes keyed by `(user, epoch, arm_fingerprint)`:
+//!
+//! - [`CacheKey`] / [`Fingerprint`] ([`key`]) — identity of a stripe.
+//!   The fingerprint folds the full retrieval configuration (arm kind,
+//!   K, dtype, IVF geometry, shard count) so distinct arms never alias
+//!   in a shared store.
+//! - [`ClockCache`] — the per-worker store: open-addressed, fixed
+//!   capacity, CLOCK/second-chance eviction in a bounded probe window.
+//!   Zero locks, zero steady-state allocations; both slabs (slots and
+//!   result stripes) are sized at construction.
+//! - [`SharedCache`] — the cross-worker store: N independent
+//!   mutex-guarded CLOCK shards selected by key hash, so one worker's
+//!   warm entries serve every worker at `1/N` contention.
+//! - Epoch-keyed **lazy invalidation**: engines carry an `epoch: u64`
+//!   bumped on model updates; probes at the new epoch recognise stale
+//!   entries in place (same slot window — see [`key`]) and evict them.
+//!   No global flush ever runs.
+//!
+//! Both stores implement [`ResultCache`], which is what the `dt-load`
+//! worker loop programs against (probe-before-dispatch,
+//! insert-after-dispatch). Cached results are **bitwise identical** to
+//! fresh dispatch: stripes are stored and returned verbatim, never
+//! recomputed, so the determinism contract (`DT_NUM_THREADS`-invariant
+//! bytes) survives caching.
+//!
+//! Std-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+pub mod key;
+mod sharded;
+
+use dt_metrics::CacheCounters;
+use dt_tensor::topk::Ranked;
+
+pub use clock::{ClockCache, PROBE_WINDOW};
+pub use key::{mix64, CacheKey, Fingerprint};
+pub use sharded::SharedCache;
+
+/// The probe/insert surface the serving worker loop programs against.
+///
+/// `probe` takes `&mut self` because even a read mutates store state
+/// (reference bits, counters, stale evictions). Per-worker stores
+/// implement it directly; the shared store implements it for
+/// `&SharedCache`, so each worker holds a shared reference and the
+/// interior mutability lives behind the shard locks.
+pub trait ResultCache {
+    /// Looks up `key`. On a hit, copies the stored stripe into the
+    /// front of `out` and returns its length; on a miss (including a
+    /// stale-epoch entry, which is evicted) returns `None`.
+    fn probe(&mut self, key: &CacheKey, out: &mut [Ranked]) -> Option<usize>;
+
+    /// Stores `stripe` under `key`, refreshing in place when the exact
+    /// key is already present and evicting per CLOCK when full.
+    fn insert(&mut self, key: &CacheKey, stripe: &[Ranked]);
+
+    /// Lifetime hit/miss/eviction counters for this store.
+    fn counters(&self) -> CacheCounters;
+}

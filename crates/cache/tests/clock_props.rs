@@ -1,0 +1,161 @@
+//! Randomized model test: `ClockCache` (and `SharedCache`) against a
+//! naive `HashMap` reference. Std-only and fully deterministic — a
+//! SplitMix64 stream drives the op sequence, so the container needs no
+//! proptest dependency and every failure replays exactly.
+//!
+//! Checked invariants, per op, across seeds × capacities:
+//! - **No phantom hits** — a probe may only hit if the exact key
+//!   (user, epoch, fingerprint) was inserted, not since superseded, and
+//!   the returned stripe is bit-for-bit the latest inserted value.
+//! - **Stale epoch never served** — inserting at a newer epoch removes
+//!   the older entry from the model; a hit on a dead key is a failure.
+//! - **Capacity never exceeded** — `len() <= capacity()` always.
+//!
+//! Misses are always legal (CLOCK may evict anything), so the model is
+//! an over-approximation of the live set; the cache must stay inside it.
+
+use std::collections::HashMap;
+
+use dt_cache::{CacheKey, ClockCache, ResultCache, SharedCache};
+use dt_tensor::topk::Ranked;
+
+/// Same generator the serving stack uses for deterministic seeding.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const K: usize = 6;
+const N_USERS: u64 = 48;
+const FINGERPRINTS: [u64; 2] = [0x1111_2222_3333_4444, 0xAAAA_BBBB_CCCC_DDDD];
+
+/// Stripe whose bits encode the insert it came from: `nonce`
+/// distinguishes re-inserts of the same key, so a hit returning an
+/// outdated value (refresh-in-place bug) fails the bit compare.
+fn stripe(key: &CacheKey, nonce: u64, len: usize) -> Vec<Ranked> {
+    (0..len)
+        .map(|i| Ranked {
+            item: (key.user as u32) << 8 | i as u32,
+            score: f64::from(nonce as u32) + f64::from(i as u32) * 0.5 + key.epoch as f64 * 1e6,
+        })
+        .collect()
+}
+
+fn bits_equal(a: &[Ranked], b: &[Ranked]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.item == y.item && x.score.to_bits() == y.score.to_bits())
+}
+
+/// Drives `ops` random probe/insert/bump operations against `cache`,
+/// mirroring inserts into a HashMap model and checking every hit.
+fn drive<C: ResultCache>(cache: &mut C, capacity: usize, seed: u64, ops: usize) {
+    let mut rng = SplitMix64(seed);
+    // Model of everything the cache could legally still hold:
+    // key -> (nonce-tagged stripe). Superseded epochs are removed.
+    let mut model: HashMap<(u64, u64, u64), Vec<Ranked>> = HashMap::new();
+    // Current epoch per fingerprint (both sides use the same clock).
+    let mut epochs = [0u64; FINGERPRINTS.len()];
+    let mut out = [Ranked::TOMBSTONE; K];
+    let mut nonce = 0u64;
+    let mut hits = 0usize;
+
+    for _ in 0..ops {
+        let fp_idx = rng.below(FINGERPRINTS.len() as u64) as usize;
+        let key = CacheKey {
+            user: rng.below(N_USERS),
+            epoch: epochs[fp_idx],
+            arm_fingerprint: FINGERPRINTS[fp_idx],
+        };
+        match rng.below(100) {
+            // Epoch bump: every older entry for this fingerprint is now
+            // stale and must never be served again.
+            0..=4 => {
+                epochs[fp_idx] += 1;
+                model.retain(|&(_, _, fp), _| fp != FINGERPRINTS[fp_idx]);
+            }
+            5..=54 => {
+                let len = 1 + rng.below(K as u64) as usize;
+                nonce += 1;
+                let s = stripe(&key, nonce, len);
+                cache.insert(&key, &s);
+                // A newer-epoch insert displaces the older entry in the
+                // store, so drop superseded keys from the model too.
+                model.retain(|&(u, e, fp), _| {
+                    !(u == key.user && fp == key.arm_fingerprint && e < key.epoch)
+                });
+                model.insert((key.user, key.epoch, key.arm_fingerprint), s);
+            }
+            _ => {
+                if let Some(n) = cache.probe(&key, &mut out) {
+                    hits += 1;
+                    let expect = model
+                        .get(&(key.user, key.epoch, key.arm_fingerprint))
+                        .unwrap_or_else(|| {
+                            panic!("phantom hit: {key:?} was never inserted (or is stale)")
+                        });
+                    assert!(
+                        bits_equal(&out[..n], expect),
+                        "hit returned wrong bits for {key:?}: got {:?} want {expect:?}",
+                        &out[..n],
+                    );
+                }
+            }
+        }
+    }
+    // The workload revisits keys heavily (48 users, 2 fingerprints), so
+    // any non-toy capacity must produce real hits or the test is vacuous.
+    if capacity >= 16 && ops >= 2_000 {
+        assert!(
+            hits > ops / 50,
+            "only {hits} hits in {ops} ops — vacuous run"
+        );
+    }
+}
+
+#[test]
+fn clock_store_matches_hashmap_model() {
+    for &capacity in &[1usize, 4, 16, 64, 128] {
+        for seed in 0..4u64 {
+            let mut cache = ClockCache::new(capacity, K);
+            drive(
+                &mut cache,
+                capacity,
+                0xC10C_0000 + seed * 7919 + capacity as u64,
+                4_000,
+            );
+            assert!(
+                cache.len() <= cache.capacity(),
+                "len {} exceeds capacity {}",
+                cache.len(),
+                cache.capacity()
+            );
+            let c = cache.counters();
+            assert_eq!(c.hits + c.misses, c.probes());
+        }
+    }
+}
+
+#[test]
+fn sharded_store_matches_hashmap_model() {
+    for &(capacity, shards) in &[(16usize, 2usize), (64, 4), (128, 8)] {
+        for seed in 0..3u64 {
+            let cache = SharedCache::new(capacity, K, shards);
+            let mut view = &cache;
+            drive(&mut view, capacity, 0x5AAD_0000 + seed * 104_729, 4_000);
+            assert!(cache.len() <= cache.capacity());
+        }
+    }
+}

@@ -20,12 +20,14 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use dt_metrics::LatencyHistogram;
+use dt_cache::SharedCache;
+use dt_metrics::{CacheCounters, LatencyHistogram};
 use dt_serve::kmeans::SplitMix64;
 use dt_serve::{SeenLists, TopKBatch, TopKEngine};
 
 use crate::arm::{ArmScratch, EngineArm};
 use crate::batcher::{BatchPolicy, Batcher, Query};
+use crate::cached::{CacheMode, CacheScratch, WorkerCache};
 use crate::queue::BoundedQueue;
 use crate::zipf::{exp_gap_nanos, Zipf};
 
@@ -77,6 +79,9 @@ pub struct LoadConfig {
     pub intra_width: usize,
     /// Seed of the per-thread traffic streams.
     pub seed: u64,
+    /// Result cache in front of dispatch ([`CacheMode::Off`] replays
+    /// the PR 9 uncached pipeline exactly).
+    pub cache: CacheMode,
 }
 
 /// Merged telemetry of one [`run_load`] experiment. All statistics
@@ -101,6 +106,9 @@ pub struct LoadReport {
     pub service: LatencyHistogram,
     /// Admission-to-done latency, measured queries.
     pub total: LatencyHistogram,
+    /// Result-cache lifetime counters, whole run (zero when the cache
+    /// is off). Per-worker stores merge; the shared store reports once.
+    pub cache: CacheCounters,
     /// The measurement window (config `duration`).
     pub window: Duration,
 }
@@ -133,6 +141,13 @@ impl LoadReport {
         }
         self.batched_queries as f64 / self.batches as f64
     }
+
+    /// Result-cache hit rate over the whole run (0 when the cache is
+    /// off or never probed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
 }
 
 /// Per-worker accumulator returned through the scope join.
@@ -144,6 +159,70 @@ struct WorkerStats {
     queue_wait: LatencyHistogram,
     service: LatencyHistogram,
     total: LatencyHistogram,
+    cache: CacheCounters,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        Self {
+            completed: 0,
+            measured: 0,
+            batches: 0,
+            batched_queries: 0,
+            queue_wait: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
+            total: LatencyHistogram::new(),
+            cache: CacheCounters::default(),
+        }
+    }
+}
+
+/// Records one dispatched batch into a worker's histograms, splitting
+/// wait from service at the dispatch-start instant `t0` per query.
+///
+/// Every query's **wait** runs from its admission timestamp (taken by
+/// the generator *before* the queue push, so admission contention is
+/// charged to wait, not lost) to `t0`. **Service** depends on how the
+/// query completed: positions in `miss_pos` (ascending) travelled
+/// through the engine and finish at `t1`; every other position was
+/// served from the result cache and finished when the probe phase ended
+/// at `t_probe` — charging hits the full engine latency of the misses
+/// they shared a batch with would hide exactly the speed-up the cache
+/// exists to provide. `miss_pos: None` means uncached dispatch (every
+/// query finishes at `t1`, `t_probe` is ignored).
+fn record_batch(
+    st: &mut WorkerStats,
+    enqueued: &[Instant],
+    miss_pos: Option<&[usize]>,
+    cutoff: Instant,
+    t0: Instant,
+    t_probe: Instant,
+    t1: Instant,
+) {
+    let mut miss_at = 0usize;
+    for (i, &enq) in enqueued.iter().enumerate() {
+        let missed = match miss_pos {
+            None => true,
+            Some(pos) => {
+                let m = miss_at < pos.len() && pos[miss_at] == i;
+                if m {
+                    miss_at += 1;
+                }
+                m
+            }
+        };
+        if enq < cutoff {
+            continue; // warm-up traffic
+        }
+        let done = if missed { t1 } else { t_probe };
+        st.measured += 1;
+        st.queue_wait
+            .record_duration(t0.saturating_duration_since(enq));
+        st.service
+            .record_duration(done.saturating_duration_since(t0));
+        st.total
+            .record_duration(done.saturating_duration_since(enq));
+    }
 }
 
 /// Runs one load experiment against `arm` and returns the merged
@@ -176,6 +255,12 @@ pub fn run_load(
     );
 
     let zipf = Zipf::new(arm.n_users(), cfg.zipf_exponent);
+    // The shared store (if any) outlives the worker scope; each worker
+    // borrows it through its `WorkerCache` view.
+    let shared: Option<SharedCache> = match cfg.cache {
+        CacheMode::Shared { capacity, shards } => Some(SharedCache::new(capacity, cfg.k, shards)),
+        CacheMode::Off | CacheMode::PerWorker { .. } => None,
+    };
     let queue: BoundedQueue<Query> = BoundedQueue::new(cfg.queue_capacity);
     let stop = AtomicBool::new(false);
     let start = Instant::now();
@@ -216,42 +301,48 @@ pub fn run_load(
         let mut workers = Vec::with_capacity(cfg.n_workers);
         for _ in 0..cfg.n_workers {
             let queue = &queue;
+            let shared = shared.as_ref();
             workers.push(s.spawn(move || {
                 let mut batcher = Batcher::default();
                 let mut scratch = ArmScratch::default();
+                let mut cache_scratch = CacheScratch::default();
+                let mut cache = WorkerCache::for_mode(cfg.cache, cfg.k, shared);
                 let mut out = TopKBatch::new();
-                let mut st = WorkerStats {
-                    completed: 0,
-                    measured: 0,
-                    batches: 0,
-                    batched_queries: 0,
-                    queue_wait: LatencyHistogram::new(),
-                    service: LatencyHistogram::new(),
-                    total: LatencyHistogram::new(),
-                };
+                let mut st = WorkerStats::new();
                 while batcher.fill(queue, &cfg.policy) {
                     let t0 = Instant::now();
-                    dt_parallel::with_thread_limit(cfg.intra_width, || {
-                        arm.dispatch(engine, &batcher.users, cfg.k, seen, &mut scratch, &mut out);
+                    let t_probe = dt_parallel::with_thread_limit(cfg.intra_width, || {
+                        cache.dispatch(
+                            arm,
+                            engine,
+                            &batcher.users,
+                            cfg.k,
+                            seen,
+                            &mut scratch,
+                            &mut cache_scratch,
+                            &mut out,
+                        )
                     });
                     let t1 = Instant::now();
-                    let service = t1 - t0;
                     st.completed += batcher.len() as u64;
                     if t0 >= cutoff {
                         st.batches += 1;
                         st.batched_queries += batcher.len() as u64;
                     }
-                    for &enq in &batcher.enqueued {
-                        if enq < cutoff {
-                            continue; // warm-up traffic
-                        }
-                        st.measured += 1;
-                        st.queue_wait
-                            .record_duration(t0.saturating_duration_since(enq));
-                        st.service.record_duration(service);
-                        st.total.record_duration(t1.saturating_duration_since(enq));
-                    }
+                    // Uncached dispatch reports no probe instant and no
+                    // miss set: every query finishes at t1.
+                    let miss_pos = t_probe.map(|_| cache_scratch.miss_positions());
+                    record_batch(
+                        &mut st,
+                        &batcher.enqueued,
+                        miss_pos,
+                        cutoff,
+                        t0,
+                        t_probe.unwrap_or(t1),
+                        t1,
+                    );
                 }
+                st.cache = cache.local_counters();
                 st
             }));
         }
@@ -283,6 +374,7 @@ pub fn run_load(
         queue_wait: LatencyHistogram::new(),
         service: LatencyHistogram::new(),
         total: LatencyHistogram::new(),
+        cache: CacheCounters::default(),
         window: cfg.duration,
     };
     for st in &worker_stats {
@@ -293,6 +385,74 @@ pub fn run_load(
         report.queue_wait.merge(&st.queue_wait);
         report.service.merge(&st.service);
         report.total.merge(&st.total);
+        // Per-worker stores merge here; the shared store's counters are
+        // global, so they are read once below instead.
+        report.cache.merge(&st.cache);
+    }
+    if let Some(shared) = &shared {
+        report.cache.merge(&shared.counters());
     }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    /// Fabricates the instants of one batch: two warm queries enqueued
+    /// after the cutoff, one warm-up query before it.
+    fn batch_times() -> (Vec<Instant>, Instant, Instant, Instant, Instant) {
+        let base = Instant::now();
+        let cutoff = base + 5 * MS;
+        let enqueued = vec![base + 10 * MS, base + 12 * MS, base]; // last = warm-up
+        let t0 = base + 20 * MS;
+        let t_probe = base + 21 * MS;
+        let t1 = base + 30 * MS;
+        (enqueued, cutoff, t0, t_probe, t1)
+    }
+
+    #[test]
+    fn record_batch_uncached_charges_full_service_to_all() {
+        let (enqueued, cutoff, t0, t_probe, t1) = batch_times();
+        let mut st = WorkerStats::new();
+        record_batch(&mut st, &enqueued, None, cutoff, t0, t_probe, t1);
+        assert_eq!(st.measured, 2, "warm-up query must be excluded");
+        assert_eq!(st.service.count(), 2);
+        assert_eq!(st.service.max(), 10_000_000); // t1 - t0 = 10ms, both
+        assert_eq!(st.queue_wait.max(), 10_000_000); // t0 - enq[0]
+        assert_eq!(st.total.max(), 20_000_000); // t1 - enq[0]
+    }
+
+    #[test]
+    fn record_batch_splits_hit_and_miss_service_at_probe_instant() {
+        let (enqueued, cutoff, t0, t_probe, t1) = batch_times();
+        let mut st = WorkerStats::new();
+        // Query 1 missed (dispatched), queries 0 and 2 hit the cache.
+        record_batch(&mut st, &enqueued, Some(&[1]), cutoff, t0, t_probe, t1);
+        assert_eq!(st.measured, 2);
+        // Hit (query 0): service = t_probe - t0 = 1ms. Miss (query 1):
+        // service = t1 - t0 = 10ms. Mean and max are exact, so together
+        // they pin both samples.
+        assert_eq!(st.service.max(), 10_000_000);
+        assert!((st.service.mean() - 5_500_000.0).abs() < 1.0);
+        // Wait is charged from the pre-push admission timestamp for
+        // hits and misses alike: 10ms (query 0) and 8ms (query 1).
+        assert_eq!(st.queue_wait.max(), 10_000_000);
+        assert!((st.queue_wait.mean() - 9_000_000.0).abs() < 1.0);
+        // Totals: hit 21-10=11ms, miss 30-12=18ms.
+        assert_eq!(st.total.max(), 18_000_000);
+        assert!((st.total.mean() - 14_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn record_batch_all_hits_never_touches_t1() {
+        let (enqueued, cutoff, t0, t_probe, _) = batch_times();
+        let far = t0 + Duration::from_secs(60); // poison: must not be used
+        let mut st = WorkerStats::new();
+        record_batch(&mut st, &enqueued, Some(&[]), cutoff, t0, t_probe, far);
+        assert_eq!(st.measured, 2);
+        assert_eq!(st.service.max(), 1_000_000);
+    }
 }

@@ -21,6 +21,10 @@
 //! 4. [`EngineArm`] workers — per-worker reusable scratch dispatching
 //!    through the exact, sharded, IVF or quantized engine, zero
 //!    steady-state allocations ([`arm`]).
+//! 5. Optional result cache ([`cached`]) — an epoch-keyed `dt-cache`
+//!    store probed before dispatch ([`CacheMode`]); only misses travel
+//!    through the engine, and cached stripes are bitwise identical to
+//!    fresh dispatch.
 //!
 //! [`run_load`] composes these into one experiment and merges
 //! per-worker [`dt_metrics::LatencyHistogram`]s into a [`LoadReport`].
@@ -29,12 +33,14 @@
 
 pub mod arm;
 pub mod batcher;
+pub mod cached;
 pub mod harness;
 pub mod queue;
 pub mod zipf;
 
 pub use arm::{ArmScratch, EngineArm};
 pub use batcher::{BatchPolicy, Batcher, Query};
+pub use cached::{dispatch_cached, CacheMode, CacheScratch, WorkerCache};
 pub use harness::{run_load, AdmissionPolicy, LoadConfig, LoadReport};
 pub use queue::{BoundedQueue, QueueStats};
 pub use zipf::{exp_gap_nanos, Zipf};

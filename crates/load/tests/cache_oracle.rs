@@ -1,0 +1,322 @@
+//! The cache-correctness oracle: a batch served through
+//! [`dispatch_cached`] must be **bitwise identical** to an uncached
+//! [`EngineArm::dispatch`] of the same users — per arm, at intra-query
+//! widths 1/2/8, warm or cold, pooled or fresh buffers — and epoch
+//! bumps must invalidate without a flush. `TopKBatch` equality compares
+//! counts and every `Ranked` slot (scores via `f64` equality, which on
+//! identical bit patterns is exact), so one `assert_eq!` pins bytes.
+
+use dt_cache::{ClockCache, ResultCache, SharedCache};
+use dt_load::{dispatch_cached, ArmScratch, CacheScratch, EngineArm};
+use dt_parallel::with_thread_limit;
+use dt_serve::{IvfIndex, IvfParams, PanelDtype, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
+use dt_tensor::{pool, Tensor};
+
+const N_USERS: usize = 96;
+const N_ITEMS: usize = 2048;
+const DIM: usize = 16;
+const K: usize = 10;
+
+fn build_index() -> ScoringIndex {
+    let mut state = 0x07AC_1E5Eu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let p = Tensor::from_fn(N_USERS, DIM, |_, _| next());
+    let q = Tensor::from_fn(N_ITEMS, DIM, |_, _| next());
+    ScoringIndex::new(p, q, vec![0.02; N_USERS], vec![-0.01; N_ITEMS], 0.3)
+}
+
+/// Three batches with repeats within and across batches, so probes see
+/// cold misses, warm hits, and mixed batches.
+fn batches() -> [Vec<usize>; 3] {
+    [
+        (0..32).map(|j| (j * 5) % N_USERS).collect(),
+        (0..32).map(|j| (j * 3) % 48).collect(),
+        (0..32).map(|j| (j * 5) % N_USERS).collect(), // all warm
+    ]
+}
+
+fn assert_cached_matches_fresh(arm: &EngineArm<'_>, engine: &TopKEngine, width: usize) {
+    let seen = SeenLists::from_pairs(N_USERS as _, (0..N_USERS as u32).map(|u| (u, u % 7)));
+    let mut fresh_scratch = ArmScratch::default();
+    let mut fresh = TopKBatch::new();
+    let mut scratch = ArmScratch::default();
+    let mut cs = CacheScratch::default();
+    let mut cached = TopKBatch::new();
+    let mut local = ClockCache::new(256, K);
+    let shared = SharedCache::new(256, K, 4);
+
+    for (round, users) in batches().iter().enumerate() {
+        with_thread_limit(width, || {
+            arm.dispatch(
+                engine,
+                users,
+                K,
+                Some(&seen),
+                &mut fresh_scratch,
+                &mut fresh,
+            );
+        });
+        // Per-worker store.
+        with_thread_limit(width, || {
+            dispatch_cached(
+                &mut local,
+                arm,
+                engine,
+                users,
+                K,
+                Some(&seen),
+                &mut scratch,
+                &mut cs,
+                &mut cached,
+            );
+        });
+        assert_eq!(
+            cached,
+            fresh,
+            "arm {} width {width} round {round}: per-worker cache diverged",
+            arm.label()
+        );
+        // Shared store, probed through the shared-reference impl.
+        let mut view = &shared;
+        with_thread_limit(width, || {
+            dispatch_cached(
+                &mut view,
+                arm,
+                engine,
+                users,
+                K,
+                Some(&seen),
+                &mut scratch,
+                &mut cs,
+                &mut cached,
+            );
+        });
+        assert_eq!(
+            cached,
+            fresh,
+            "arm {} width {width} round {round}: shared cache diverged",
+            arm.label()
+        );
+    }
+    // The warm third batch must have been served mostly from cache —
+    // otherwise this oracle never exercised the hit path.
+    assert!(
+        local.counters().hits > 0,
+        "arm {}: oracle never hit the cache",
+        arm.label()
+    );
+}
+
+#[test]
+fn cached_results_are_bitwise_identical_per_arm_and_width() {
+    let index = build_index();
+    let ivf = IvfIndex::build(
+        &index,
+        &IvfParams {
+            nlist: 32,
+            iters: 4,
+            seed: 3,
+            train_cap: 0,
+        },
+    );
+    let qidx = index.quantize(PanelDtype::ScaledI8);
+    let engine = TopKEngine::new();
+    let arms = [
+        EngineArm::Exact { index: &index },
+        EngineArm::Sharded {
+            index: &index,
+            n_shards: 8,
+        },
+        EngineArm::Ivf {
+            index: &index,
+            ivf: &ivf,
+            nprobe: 4,
+        },
+        EngineArm::Quant { index: &qidx },
+    ];
+    for arm in &arms {
+        for width in [1, 2, 8] {
+            assert_cached_matches_fresh(arm, &engine, width);
+        }
+    }
+}
+
+#[test]
+fn pooled_and_fresh_buffers_agree_through_the_cache() {
+    // The determinism contract says pooling must never change bytes;
+    // the cache must preserve that: a stripe cached under pooled
+    // dispatch equals one computed with pooling disabled.
+    let index = build_index();
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    let users: Vec<usize> = (0..24).map(|j| (j * 7) % N_USERS).collect();
+
+    let mut scratch = ArmScratch::default();
+    let mut cs = CacheScratch::default();
+    let mut cache = ClockCache::new(128, K);
+    let mut pooled = TopKBatch::new();
+    // Warm the cache under pooled dispatch, then replay from cache.
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut pooled,
+    );
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut pooled,
+    );
+    assert!(
+        cache.counters().hits as usize >= users.len(),
+        "replay must hit"
+    );
+
+    let mut fresh = TopKBatch::new();
+    pool::with_disabled(|| {
+        let mut scratch = ArmScratch::default();
+        arm.dispatch(&engine, &users, K, None, &mut scratch, &mut fresh);
+    });
+    assert_eq!(pooled, fresh, "cached-pooled vs fresh-unpooled diverged");
+}
+
+#[test]
+fn epoch_bump_invalidates_cached_stripes() {
+    let index = build_index();
+    let mut engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    let users: Vec<usize> = (0..16).collect();
+    let mut scratch = ArmScratch::default();
+    let mut cs = CacheScratch::default();
+    let mut cache = ClockCache::new(128, K);
+    let mut out = TopKBatch::new();
+
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    let warm = cache.counters();
+    assert_eq!(
+        warm.hits,
+        users.len() as u64,
+        "second pass must be all hits"
+    );
+
+    engine.bump_epoch();
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    let bumped = cache.counters();
+    assert_eq!(bumped.hits, warm.hits, "stale epoch must never hit");
+    assert_eq!(
+        bumped.stale_evictions,
+        users.len() as u64,
+        "every stale stripe must be evicted in place"
+    );
+    // And the re-warmed epoch hits again.
+    dispatch_cached(
+        &mut cache,
+        &arm,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    assert_eq!(cache.counters().hits, warm.hits + users.len() as u64);
+}
+
+#[test]
+fn distinct_arms_never_alias_in_a_shared_store() {
+    // Exact and sharded are bit-identical arms — the fingerprint must
+    // still keep their entries separate (a re-sharded deployment must
+    // not inherit stripes it did not produce), and K must partition too.
+    let index = build_index();
+    let engine = TopKEngine::new();
+    let exact = EngineArm::Exact { index: &index };
+    let sharded = EngineArm::Sharded {
+        index: &index,
+        n_shards: 8,
+    };
+    assert_ne!(exact.fingerprint(K), sharded.fingerprint(K));
+    assert_ne!(exact.fingerprint(K), exact.fingerprint(K + 1));
+
+    let shared = SharedCache::new(256, K, 4);
+    let users: Vec<usize> = (0..16).collect();
+    let mut scratch = ArmScratch::default();
+    let mut cs = CacheScratch::default();
+    let mut out = TopKBatch::new();
+    let mut view = &shared;
+    dispatch_cached(
+        &mut view,
+        &exact,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    // A different arm probing the same users must miss everything.
+    dispatch_cached(
+        &mut view,
+        &sharded,
+        &engine,
+        &users,
+        K,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    assert_eq!(
+        shared.counters().hits,
+        0,
+        "arms aliased each other's stripes"
+    );
+}

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use dt_load::{run_load, AdmissionPolicy, BatchPolicy, EngineArm, LoadConfig};
+use dt_load::{run_load, AdmissionPolicy, BatchPolicy, CacheMode, EngineArm, LoadConfig};
 use dt_serve::{ScoringIndex, SeenLists, TopKEngine};
 use dt_tensor::Tensor;
 
@@ -39,6 +39,7 @@ fn base_config() -> LoadConfig {
         k: 10,
         intra_width: 1,
         seed: 42,
+        cache: CacheMode::Off,
     }
 }
 
@@ -90,6 +91,58 @@ fn sharded_arm_serves_under_load() {
     assert_eq!(report.submitted, report.completed);
     // Single-query policy: every dispatched batch holds exactly one.
     assert_eq!(report.batched_queries, report.batches);
+}
+
+#[test]
+fn uncached_run_reports_zero_cache_counters() {
+    let index = build_index(64, 1024, 8);
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    let mut cfg = base_config();
+    cfg.duration = Duration::from_millis(100);
+    let report = run_load(&cfg, &engine, &arm, None);
+    assert_eq!(report.cache.probes(), 0, "{report:?}");
+    assert_eq!(report.hit_rate(), 0.0);
+}
+
+#[test]
+fn cached_runs_account_exactly_and_hit_under_zipf() {
+    // Zipf(1.1) head traffic over 128 users with capacity for all of
+    // them: once warm, most probes must hit, and the accounting
+    // invariants of the uncached pipeline must all still hold.
+    let index = build_index(128, 2048, 8);
+    let seen = SeenLists::from_pairs(128, (0..128u32).map(|u| (u, u % 13)));
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Exact { index: &index };
+    for cache in [
+        CacheMode::PerWorker { capacity: 256 },
+        CacheMode::Shared {
+            capacity: 256,
+            shards: 4,
+        },
+    ] {
+        let mut cfg = base_config();
+        cfg.cache = cache;
+        let report = run_load(&cfg, &engine, &arm, Some(&seen));
+        assert!(report.completed > 0, "{cache:?}: no queries served");
+        assert_eq!(report.shed, 0, "{cache:?}: block policy must never shed");
+        assert_eq!(report.submitted, report.completed, "{cache:?}");
+        assert_eq!(report.queue_wait.count(), report.measured);
+        assert_eq!(report.service.count(), report.measured);
+        assert_eq!(report.total.count(), report.measured);
+        // Every dispatched query was probed exactly once, whole run.
+        assert_eq!(report.cache.probes(), report.completed, "{cache:?}");
+        assert_eq!(
+            report.cache.hits + report.cache.misses,
+            report.completed,
+            "{cache:?}"
+        );
+        assert!(
+            report.hit_rate() > 0.3,
+            "{cache:?}: hit rate {} too low for Zipf head traffic ({report:?})",
+            report.hit_rate()
+        );
+    }
 }
 
 #[test]

@@ -11,7 +11,10 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use dt_load::{ArmScratch, BatchPolicy, Batcher, BoundedQueue, EngineArm, Query};
+use dt_cache::{ClockCache, ResultCache, SharedCache};
+use dt_load::{
+    dispatch_cached, ArmScratch, BatchPolicy, Batcher, BoundedQueue, CacheScratch, EngineArm, Query,
+};
 use dt_serve::{IvfIndex, IvfParams, PanelDtype, ScoringIndex, SeenLists, TopKBatch, TopKEngine};
 use dt_tensor::{pool, Tensor};
 
@@ -138,5 +141,91 @@ fn steady_state_worker_loop_with_batcher_allocates_nothing() {
         0,
         "steady-state worker loop must not allocate (stats {after:?} vs {before:?})"
     );
+    drop(guard);
+}
+
+#[test]
+fn steady_state_cached_dispatch_allocates_nothing() {
+    // The cached worker loop: probe → miss sub-batch dispatch → scatter
+    // + insert. The cache slabs are sized at construction and the miss
+    // buffers reach steady state on the first batch, so warm batches —
+    // all-hit, all-miss, and mixed — must allocate nothing, through
+    // both the per-worker and the shared store.
+    let guard = STATS_LOCK.lock().unwrap();
+    let (n_users, n_items) = (64, 2048);
+    let index = build_index(n_users, n_items, 16);
+    let engine = TopKEngine::new();
+    let arm = EngineArm::Sharded {
+        index: &index,
+        n_shards: 4,
+    };
+    let warm: Vec<usize> = (0..32).map(|j| (j * 7) % n_users).collect();
+    let cold: Vec<usize> = (0..32).map(|j| (j * 3 + 1) % n_users).collect();
+
+    let mut local = ClockCache::new(128, 10);
+    let shared = SharedCache::new(128, 10, 4);
+    let mut scratch = ArmScratch::default();
+    let mut cs = CacheScratch::default();
+    let mut out = TopKBatch::new();
+
+    // Warm-up: engine scratch, miss buffers, and both stores see a
+    // full-miss batch once.
+    dispatch_cached(
+        &mut local,
+        &arm,
+        &engine,
+        &warm,
+        10,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+    let mut view = &shared;
+    dispatch_cached(
+        &mut view,
+        &arm,
+        &engine,
+        &warm,
+        10,
+        None,
+        &mut scratch,
+        &mut cs,
+        &mut out,
+    );
+
+    let before = pool::stats();
+    for batch in [&warm, &cold, &warm, &cold] {
+        dispatch_cached(
+            &mut local,
+            &arm,
+            &engine,
+            batch,
+            10,
+            None,
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+        let mut view = &shared;
+        dispatch_cached(
+            &mut view,
+            &arm,
+            &engine,
+            batch,
+            10,
+            None,
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+    }
+    let after = pool::stats();
+    assert_eq!(
+        after.fresh_allocs - before.fresh_allocs,
+        0,
+        "steady-state cached dispatch must not allocate (stats {after:?} vs {before:?})"
+    );
+    assert!(local.counters().hits > 0, "warm batches must hit");
     drop(guard);
 }

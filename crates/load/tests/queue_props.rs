@@ -1,36 +1,35 @@
-//! Property tests for the bounded admission queue (full workspace only
-//! — the offline shim skips proptest suites): FIFO per producer with no
-//! loss under the block policy, and exact shed accounting against a
-//! reference model under the shed policy.
+//! Randomized model tests for the bounded admission queue, std-only so
+//! the offline verification shim runs them verbatim: FIFO per producer
+//! with no loss under the block policy, and exact shed accounting
+//! against a `VecDeque` reference model under the shed policy. A
+//! SplitMix64 stream drives every case, so failures replay exactly.
 
 use dt_load::BoundedQueue;
-use proptest::prelude::*;
+use dt_serve::kmeans::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Single-threaded op-sequence equivalence against a VecDeque model:
-    /// `try_push` sheds exactly when the model is full, `try_pop` pops
-    /// exactly the model's front, counters track the model perfectly.
-    #[test]
-    fn shed_accounting_matches_reference_model(
-        capacity in 1usize..8,
-        ops in proptest::collection::vec(0u8..3, 0..200),
-    ) {
+/// Single-threaded op-sequence equivalence against a VecDeque model:
+/// `try_push` sheds exactly when the model is full, `try_pop` pops
+/// exactly the model's front, counters track the model perfectly.
+#[test]
+fn shed_accounting_matches_reference_model() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64(0x0DDB_A115 ^ (case << 24));
+        let capacity = 1 + (rng.next_u64() % 7) as usize;
+        let n_ops = (rng.next_u64() % 200) as usize;
         let q = BoundedQueue::new(capacity);
         let mut model = std::collections::VecDeque::new();
         let (mut pushed, mut shed, mut popped) = (0u64, 0u64, 0u64);
         let mut next = 0u32;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.next_u64() % 3 {
                 0 => {
                     if model.len() < capacity {
                         model.push_back(next);
                         pushed += 1;
-                        prop_assert!(q.try_push(next));
+                        assert!(q.try_push(next), "case {case}: queue full before model");
                     } else {
                         shed += 1;
-                        prop_assert!(!q.try_push(next));
+                        assert!(!q.try_push(next), "case {case}: model full, queue not");
                     }
                     next += 1;
                 }
@@ -40,7 +39,7 @@ proptest! {
                     if model.len() < capacity {
                         model.push_back(next);
                         pushed += 1;
-                        prop_assert!(q.push(next));
+                        assert!(q.push(next));
                         next += 1;
                     }
                 }
@@ -49,26 +48,28 @@ proptest! {
                     if want.is_some() {
                         popped += 1;
                     }
-                    prop_assert_eq!(q.try_pop(), want);
+                    assert_eq!(q.try_pop(), want, "case {case}");
                 }
             }
         }
         let s = q.stats();
-        prop_assert_eq!(s.pushed, pushed);
-        prop_assert_eq!(s.shed, shed);
-        prop_assert_eq!(s.popped, popped);
-        prop_assert_eq!(s.depth, model.len());
+        assert_eq!(s.pushed, pushed, "case {case}");
+        assert_eq!(s.shed, shed, "case {case}");
+        assert_eq!(s.popped, popped, "case {case}");
+        assert_eq!(s.depth, model.len(), "case {case}");
     }
+}
 
-    /// Concurrent block-policy run: every produced item arrives exactly
-    /// once, in per-producer FIFO order, with zero sheds — even when the
-    /// queue is much smaller than the traffic.
-    #[test]
-    fn fifo_per_producer_and_no_loss_under_block(
-        n_producers in 1usize..4,
-        per_producer in 1usize..64,
-        capacity in 1usize..6,
-    ) {
+/// Concurrent block-policy run: every produced item arrives exactly
+/// once, in per-producer FIFO order, with zero sheds — even when the
+/// queue is much smaller than the traffic.
+#[test]
+fn fifo_per_producer_and_no_loss_under_block() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64(0xF1F0 ^ (case << 16));
+        let n_producers = 1 + (rng.next_u64() % 3) as usize;
+        let per_producer = 1 + (rng.next_u64() % 63) as usize;
+        let capacity = 1 + (rng.next_u64() % 5) as usize;
         let q = std::sync::Arc::new(BoundedQueue::new(capacity));
         let mut producers = Vec::new();
         for p in 0..n_producers {
@@ -92,18 +93,18 @@ proptest! {
         }
         q.close();
         let got = consumer.join().expect("consumer thread");
-        prop_assert_eq!(got.len(), n_producers * per_producer);
+        assert_eq!(got.len(), n_producers * per_producer, "case {case}");
         let mut next_idx = vec![0u64; n_producers];
         for v in &got {
             let p = (v >> 32) as usize;
             let i = v & 0xFFFF_FFFF;
-            prop_assert_eq!(i, next_idx[p], "producer {} out of order", p);
+            assert_eq!(i, next_idx[p], "case {case}: producer {p} out of order");
             next_idx[p] += 1;
         }
         let s = q.stats();
-        prop_assert_eq!(s.shed, 0);
-        prop_assert_eq!(s.pushed, (n_producers * per_producer) as u64);
-        prop_assert_eq!(s.popped, s.pushed);
-        prop_assert_eq!(s.depth, 0);
+        assert_eq!(s.shed, 0, "case {case}");
+        assert_eq!(s.pushed, (n_producers * per_producer) as u64, "case {case}");
+        assert_eq!(s.popped, s.pushed, "case {case}");
+        assert_eq!(s.depth, 0, "case {case}");
     }
 }

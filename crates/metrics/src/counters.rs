@@ -1,0 +1,96 @@
+//! Mergeable cache telemetry counters for the serving-load reports
+//! (`BENCH_load.json` schema v2, DESIGN.md section 17).
+//!
+//! The result-cache stores in `dt-cache` accumulate one
+//! [`CacheCounters`] each; the load harness merges per-worker (and
+//! per-shard) counters into the run's `LoadReport` exactly like the
+//! latency histograms, so hit/miss/stale/evict accounting survives any
+//! worker topology.
+
+/// Probe/insert outcome counters of one result-cache store.
+///
+/// `hits + misses` equals the number of probes; `stale_evictions`
+/// counts entries dropped because their index epoch lagged the probing
+/// key's (lazy invalidation after a `bump_epoch`), and `evictions`
+/// counts CLOCK capacity evictions of live entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Probes answered from the store.
+    pub hits: u64,
+    /// Probes that found no usable entry.
+    pub misses: u64,
+    /// Entries dropped on probe because their epoch was stale.
+    pub stale_evictions: u64,
+    /// Live entries displaced by CLOCK second-chance eviction.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Element-wise accumulation, for merging per-worker or per-shard
+    /// counters into one report.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_evictions += other.stale_evictions;
+        self.evictions += other.evictions;
+    }
+
+    /// Total probes (hits + misses).
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of probes answered from the store (0 when never probed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.probes();
+        if probes == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / probes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_element_wise() {
+        let mut a = CacheCounters {
+            hits: 3,
+            misses: 1,
+            stale_evictions: 2,
+            evictions: 5,
+        };
+        let b = CacheCounters {
+            hits: 7,
+            misses: 9,
+            stale_evictions: 1,
+            evictions: 0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CacheCounters {
+                hits: 10,
+                misses: 10,
+                stale_evictions: 3,
+                evictions: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_probes() {
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+        let c = CacheCounters {
+            hits: 3,
+            misses: 1,
+            ..CacheCounters::default()
+        };
+        assert_eq!(c.probes(), 4);
+        assert_eq!(c.hit_rate(), 0.75);
+    }
+}

@@ -11,12 +11,14 @@
 
 mod auc;
 mod calibration;
+pub mod counters;
 pub mod histogram;
 mod pointwise;
 mod ranking;
 
 pub use auc::auc;
 pub use calibration::{expected_calibration_error, CalibrationBin};
+pub use counters::CacheCounters;
 pub use histogram::LatencyHistogram;
 pub use pointwise::{mae, mse, rmse};
 pub use ranking::{

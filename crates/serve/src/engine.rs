@@ -123,6 +123,10 @@ impl IvfScratch {
 pub struct TopKEngine {
     block_elems: usize,
     mode: RetrievalMode,
+    /// Index-generation counter for result caching (`dt-cache`): cached
+    /// stripes are keyed by this value, so bumping it lazily invalidates
+    /// every previously cached result without any flush pass.
+    epoch: u64,
 }
 
 impl Default for TopKEngine {
@@ -130,6 +134,7 @@ impl Default for TopKEngine {
         Self {
             block_elems: DEFAULT_BLOCK_ELEMS,
             mode: RetrievalMode::Exact,
+            epoch: 0,
         }
     }
 }
@@ -152,6 +157,7 @@ impl TopKEngine {
         Self {
             block_elems,
             mode: RetrievalMode::Exact,
+            epoch: 0,
         }
     }
 
@@ -166,6 +172,26 @@ impl TopKEngine {
     #[must_use]
     pub fn mode(&self) -> RetrievalMode {
         self.mode
+    }
+
+    /// The current index epoch (see [`TopKEngine::bump_epoch`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the index epoch. Call after the underlying
+    /// [`ScoringIndex`] changes (model refresh): every result cached at
+    /// an older epoch becomes stale and is lazily evicted by `dt-cache`
+    /// on its next probe — no global flush runs anywhere.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The same engine pinned to a specific epoch (tests and replay).
+    #[must_use]
+    pub fn with_epoch(self, epoch: u64) -> Self {
+        Self { epoch, ..self }
     }
 
     /// The configured score-matrix element budget per block.
@@ -551,6 +577,24 @@ mod tests {
         // Force one user per block: 4 items -> block budget of 1 element.
         let split = TopKEngine::with_block_elems(1).recommend(&idx, &users, 3, None);
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn epoch_starts_at_zero_and_survives_reconfiguration() {
+        let mut e = TopKEngine::new();
+        assert_eq!(e.epoch(), 0);
+        e.bump_epoch();
+        e.bump_epoch();
+        assert_eq!(e.epoch(), 2);
+        // Reconfiguring the mode must not reset the epoch (stale cache
+        // entries would be served as fresh).
+        let e = e.with_mode(RetrievalMode::Ivf {
+            nlist: 4,
+            nprobe: 2,
+        });
+        assert_eq!(e.epoch(), 2);
+        assert_eq!(TopKEngine::with_block_elems(64).epoch(), 0);
+        assert_eq!(TopKEngine::new().with_epoch(7).epoch(), 7);
     }
 
     #[test]

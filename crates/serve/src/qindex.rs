@@ -30,6 +30,12 @@ pub struct QuantizedIndex {
     user_bias: Vec<f64>,
     item_bias: Vec<f64>,
     mu: f64,
+    /// Index-generation counter for result caching (`dt-cache`), the
+    /// quantized twin of `TopKEngine::epoch`: the quantized arm caches
+    /// against the index it actually scans, so re-exporting or refreshing
+    /// this index invalidates its cached stripes independently of the
+    /// f64 engine's epoch.
+    epoch: u64,
 }
 
 impl ScoringIndex {
@@ -47,6 +53,7 @@ impl ScoringIndex {
             user_bias: b.user.to_vec(),
             item_bias: b.item.to_vec(),
             mu: b.global,
+            epoch: 0,
         }
     }
 }
@@ -74,6 +81,18 @@ impl QuantizedIndex {
     #[must_use]
     pub fn dtype(&self) -> PanelDtype {
         self.q.dtype()
+    }
+
+    /// The current index epoch (see [`QuantizedIndex::bump_epoch`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the index epoch; results cached by `dt-cache` at older
+    /// epochs become stale and are lazily evicted on their next probe.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// The quantized user panel.
@@ -133,7 +152,10 @@ mod tests {
     fn quantize_preserves_shapes_and_biases() {
         let idx = index();
         for dtype in [PanelDtype::F64, PanelDtype::F32, PanelDtype::ScaledI8] {
-            let qi = idx.quantize(dtype);
+            let mut qi = idx.quantize(dtype);
+            assert_eq!(qi.epoch(), 0);
+            qi.bump_epoch();
+            assert_eq!(qi.epoch(), 1);
             assert_eq!(qi.n_users(), 3);
             assert_eq!(qi.n_items(), 7);
             assert_eq!(qi.dim(), 4);
